@@ -1,0 +1,59 @@
+//! Randomization vs its baselines — the paper's Section-7 remark that
+//! "the randomization was far the fastest" of the three equally-accurate
+//! methods, plus the cost of the Figures-5–7 bounding pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use somrm_bench::onoff_model;
+use somrm_bounds::cms::cdf_bounds;
+use somrm_core::uniformization::{moments, SolverConfig};
+use somrm_num::Dd;
+use somrm_ode::{moments_ode, OdeMethod};
+use somrm_sim::reward::estimate_moments;
+use std::hint::black_box;
+
+fn methods(c: &mut Criterion) {
+    let mut g = c.benchmark_group("methods_table1");
+    g.sample_size(10);
+    let model = onoff_model(32, 1.0);
+    let t = 0.5;
+    let cfg = SolverConfig::default();
+    g.bench_function("randomization", |b| {
+        b.iter(|| moments(black_box(&model), 3, t, &cfg).unwrap())
+    });
+    g.bench_function("ode_trapezoid_10k", |b| {
+        b.iter(|| moments_ode(black_box(&model), 3, t, OdeMethod::Trapezoid, 10_000).unwrap())
+    });
+    g.bench_function("ode_rk4_2k", |b| {
+        b.iter(|| moments_ode(black_box(&model), 3, t, OdeMethod::Rk4, 2_000).unwrap())
+    });
+    g.bench_function("simulation_2k_paths", |b| {
+        let mut rng = StdRng::seed_from_u64(9);
+        b.iter(|| estimate_moments(&mut rng, black_box(&model), 3, t, 2_000))
+    });
+    g.finish();
+}
+
+fn bounding_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig5_7_pipeline");
+    let model = onoff_model(32, 10.0);
+    let cfg = SolverConfig::default();
+    let sol = moments(&model, 23, 0.5, &cfg).unwrap();
+    let xs: Vec<f64> = (-20..=20)
+        .map(|k| sol.mean() + sol.variance().sqrt() * k as f64 * 0.2)
+        .collect();
+    g.bench_function("moments_23", |b| {
+        b.iter(|| moments(black_box(&model), 23, 0.5, &cfg).unwrap())
+    });
+    g.bench_function("cms_bounds_dd_41pts", |b| {
+        b.iter(|| cdf_bounds::<Dd>(black_box(&sol.weighted), &xs).unwrap())
+    });
+    g.bench_function("cms_bounds_f64_41pts", |b| {
+        b.iter(|| cdf_bounds::<f64>(black_box(&sol.weighted), &xs).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, methods, bounding_pipeline);
+criterion_main!(benches);

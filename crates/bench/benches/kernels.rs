@@ -1,0 +1,73 @@
+//! Micro-benchmarks of the numerical kernels the solvers are built on.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use somrm_linalg::dense::Mat;
+use somrm_linalg::expm::expm;
+use somrm_linalg::sparse::TripletBuilder;
+use somrm_linalg::tridiag::eigen_tridiagonal;
+use somrm_num::poisson::PoissonWindow;
+use somrm_num::Dd;
+use std::hint::black_box;
+
+fn sparse_matvec(c: &mut Criterion) {
+    // Tridiagonal 100k-state chain — the shape of the paper's large model.
+    let n = 100_000;
+    let mut b = TripletBuilder::with_capacity(n, n, 3 * n);
+    for i in 0..n {
+        if i > 0 {
+            b.push(i, i - 1, 0.3);
+        }
+        b.push(i, i, 0.4);
+        if i + 1 < n {
+            b.push(i, i + 1, 0.3);
+        }
+    }
+    let m = b.build();
+    let x = vec![1.0f64; n];
+    let mut y = vec![0.0f64; n];
+    c.bench_function("csr_matvec_100k_tridiag", |bch| {
+        bch.iter(|| m.matvec_into(black_box(&x), &mut y))
+    });
+}
+
+fn dense_kernels(c: &mut Criterion) {
+    let n = 64;
+    let a = Mat::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.5);
+    c.bench_function("dense_matmul_64", |b| {
+        b.iter(|| a.matmul(black_box(&a)).unwrap())
+    });
+    // A generator-like matrix for expm.
+    let q = Mat::from_fn(32, 32, |i, j| {
+        if i == j {
+            -1.0
+        } else if j == (i + 1) % 32 {
+            1.0
+        } else {
+            0.0
+        }
+    });
+    c.bench_function("expm_32", |b| b.iter(|| expm(black_box(&q)).unwrap()));
+}
+
+fn eigen_kernel(c: &mut Criterion) {
+    let n = 64;
+    let diag = vec![0.0; n];
+    let off: Vec<f64> = (1..n).map(|k| (k as f64).sqrt()).collect();
+    c.bench_function("tridiag_eigen_64", |b| {
+        b.iter(|| eigen_tridiagonal(black_box(&diag), black_box(&off)).unwrap())
+    });
+}
+
+fn num_kernels(c: &mut Criterion) {
+    c.bench_function("poisson_window_qt_40000", |b| {
+        b.iter(|| PoissonWindow::new(black_box(40_000.0), 1e-12))
+    });
+    let x = Dd::from(1.0) / Dd::from(3.0);
+    let y = Dd::from(2.0) / Dd::from(7.0);
+    c.bench_function("dd_mul_add", |b| {
+        b.iter(|| black_box(x) * black_box(y) + black_box(x))
+    });
+}
+
+criterion_group!(benches, sparse_matvec, dense_kernels, eigen_kernel, num_kernels);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Benchmarks of the randomization moment solver — the paper's
+//! Section-6 complexity claims.
+//!
+//! * `order_parity`: first-order vs second-order cost on the same chain
+//!   (the paper: "practically the same").
+//! * `states`: cost vs state count at fixed `qt` per state scale.
+//! * `moment_order`: cost vs requested moment order.
+//! * `horizon`: cost vs `qt` (iterations `G = O(qt)`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use somrm_bench::onoff_model;
+use somrm_core::first_order::moments_first_order;
+use somrm_core::uniformization::{moments, SolverConfig};
+use std::hint::black_box;
+
+fn order_parity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("order_parity");
+    let cfg = SolverConfig::default();
+    let t = 0.1;
+    let n = 256;
+    let first = onoff_model(n, 0.0);
+    let second = onoff_model(n, 10.0);
+    g.bench_function("first_order_solver_sigma0", |b| {
+        b.iter(|| moments_first_order(black_box(&first), 3, t, &cfg).unwrap())
+    });
+    g.bench_function("general_solver_sigma0", |b| {
+        b.iter(|| moments(black_box(&first), 3, t, &cfg).unwrap())
+    });
+    g.bench_function("general_solver_sigma10", |b| {
+        b.iter(|| moments(black_box(&second), 3, t, &cfg).unwrap())
+    });
+    g.finish();
+}
+
+fn states(c: &mut Criterion) {
+    let mut g = c.benchmark_group("states");
+    g.sample_size(10);
+    let cfg = SolverConfig::default();
+    for &n in &[32usize, 128, 512, 2048] {
+        let model = onoff_model(n, 10.0);
+        // Keep qt constant-ish across sizes: q grows like 4n, so shrink t.
+        let t = 12.8 / model.generator().uniformization_rate();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| moments(black_box(&model), 3, t, &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn moment_order(c: &mut Criterion) {
+    let mut g = c.benchmark_group("moment_order");
+    let cfg = SolverConfig::default();
+    let model = onoff_model(32, 10.0);
+    for &order in &[1usize, 3, 8, 23] {
+        g.bench_with_input(BenchmarkId::from_parameter(order), &order, |b, &o| {
+            b.iter(|| moments(black_box(&model), o, 0.5, &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn horizon(c: &mut Criterion) {
+    let mut g = c.benchmark_group("horizon_qt");
+    g.sample_size(10);
+    let cfg = SolverConfig::default();
+    let model = onoff_model(32, 10.0);
+    let q = model.generator().uniformization_rate();
+    for &qt in &[16.0f64, 64.0, 256.0, 1024.0] {
+        g.bench_with_input(BenchmarkId::from_parameter(qt as u64), &qt, |b, &qt| {
+            b.iter(|| moments(black_box(&model), 3, qt / q, &cfg).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, order_parity, states, moment_order, horizon);
+criterion_main!(benches);

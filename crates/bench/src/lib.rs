@@ -1,0 +1,35 @@
+//! Shared model builders for the Criterion benchmarks.
+//!
+//! The benches quantify the paper's Section-6 complexity claims:
+//! per-iteration cost of `(m + 2)` vector products, `G = O(qt)`
+//! iterations, and — the headline — second-order analysis costing
+//! practically the same as first-order.
+
+use somrm_core::model::SecondOrderMrm;
+use somrm_models::OnOffMultiplexer;
+
+/// The Table-1 model rescaled to `n` sources, with the given per-source
+/// variance.
+pub fn onoff_model(n: usize, sigma2: f64) -> SecondOrderMrm {
+    OnOffMultiplexer {
+        capacity: n as f64,
+        n_sources: n,
+        alpha: 4.0,
+        beta: 3.0,
+        peak_rate: 1.0,
+        variance: sigma2,
+    }
+    .model()
+    .expect("valid model")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_scales() {
+        assert_eq!(onoff_model(16, 1.0).n_states(), 17);
+        assert!(onoff_model(16, 0.0).is_first_order());
+    }
+}

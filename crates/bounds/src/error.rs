@@ -1,0 +1,91 @@
+//! Error type for the moment-bounding pipeline.
+
+use somrm_linalg::LinalgError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising while turning moments into distribution bounds.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BoundsError {
+    /// Fewer than three moments (`m₀, m₁, m₂`) were supplied.
+    NotEnoughMoments {
+        /// Number supplied.
+        got: usize,
+    },
+    /// The zeroth moment is not 1.
+    NotNormalized {
+        /// The offending `m₀`.
+        m0: f64,
+    },
+    /// A moment is not finite.
+    NonFiniteMoment {
+        /// Index of the offending moment.
+        index: usize,
+    },
+    /// The sequence is not a valid moment sequence even at depth 1
+    /// (non-positive variance), so no non-trivial bound exists.
+    DegenerateVariance {
+        /// The computed variance.
+        variance: f64,
+    },
+    /// The underlying eigensolver failed.
+    Eigen(LinalgError),
+}
+
+impl fmt::Display for BoundsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BoundsError::NotEnoughMoments { got } => {
+                write!(f, "need at least 3 raw moments, got {got}")
+            }
+            BoundsError::NotNormalized { m0 } => {
+                write!(f, "zeroth moment must be 1, got {m0}")
+            }
+            BoundsError::NonFiniteMoment { index } => {
+                write!(f, "moment {index} is not finite")
+            }
+            BoundsError::DegenerateVariance { variance } => {
+                write!(f, "variance {variance} is not positive")
+            }
+            BoundsError::Eigen(e) => write!(f, "eigenproblem failed: {e}"),
+        }
+    }
+}
+
+impl Error for BoundsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BoundsError::Eigen(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<LinalgError> for BoundsError {
+    fn from(e: LinalgError) -> Self {
+        BoundsError::Eigen(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(BoundsError::NotEnoughMoments { got: 1 }.to_string().contains('1'));
+        assert!(BoundsError::NotNormalized { m0: 2.0 }.to_string().contains('2'));
+        let wrapped = BoundsError::from(LinalgError::NoConvergence {
+            index: 0,
+            iterations: 50,
+        });
+        assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<BoundsError>();
+    }
+}

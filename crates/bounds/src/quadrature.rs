@@ -1,0 +1,230 @@
+//! Gauss and fixed-node quadrature rules from recurrence coefficients
+//! (Golub–Welsch).
+//!
+//! The Jacobi matrix of `(α, β)` is symmetric tridiagonal with diagonal
+//! `α_k` and off-diagonal `√β_k`; its eigenvalues are the quadrature
+//! nodes and `β₀·z₁ᵢ²` (first eigenvector components) the weights. A
+//! rule with one *prescribed* node `c` (Gauss–Radau construction,
+//! Golub 1973) is obtained by replacing the last diagonal entry with
+//! `c − β_n·p_{n−1}(c)/p_n(c)` — this yields exactly the canonical
+//! representation of the moment set containing `c` that the
+//! Chebyshev–Markov–Stieltjes inequalities are stated for.
+
+use crate::chebyshev::Recurrence;
+use crate::error::BoundsError;
+use somrm_linalg::tridiag::eigen_tridiagonal;
+use somrm_num::real::Real;
+
+/// A discrete quadrature rule / canonical representation:
+/// nodes with positive weights matching the moment sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuadratureRule {
+    /// Nodes in ascending order.
+    pub nodes: Vec<f64>,
+    /// Corresponding weights (sum = `m₀`).
+    pub weights: Vec<f64>,
+}
+
+impl QuadratureRule {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// `true` if the rule has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Applies the rule to a function: `Σ w_i f(x_i)`.
+    pub fn integrate(&self, mut f: impl FnMut(f64) -> f64) -> f64 {
+        self.nodes
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, &w)| w * f(x))
+            .sum()
+    }
+
+    /// The `k`-th raw moment of the rule, `Σ w_i x_iᵏ`.
+    pub fn moment(&self, k: u32) -> f64 {
+        self.integrate(|x| x.powi(k as i32))
+    }
+}
+
+/// The `n`-point Gauss rule of a recurrence (uses all available depth).
+///
+/// # Errors
+///
+/// Propagates eigensolver failures.
+pub fn gauss_rule<T: Real>(rec: &Recurrence<T>) -> Result<QuadratureRule, BoundsError> {
+    rule_from_coeffs(
+        &rec.alpha.iter().map(|a| a.to_f64()).collect::<Vec<_>>(),
+        &rec.beta.iter().map(|b| b.to_f64()).collect::<Vec<_>>(),
+    )
+}
+
+/// An `(n+1)`-point rule with `c` prescribed as a node, built from a
+/// recurrence of depth `n+1` (uses `α_0..α_n`, `β_0..β_n`, i.e. one
+/// more coefficient pair than the embedded Gauss rule).
+///
+/// If the recurrence depth is `n+1`, the returned rule has `n+1` nodes,
+/// one of which is `c` (to eigen-solver accuracy), and is exact for
+/// polynomials up to degree `2n` — the canonical representation through
+/// `c`.
+///
+/// # Errors
+///
+/// Propagates eigensolver failures.
+pub fn fixed_node_rule<T: Real>(
+    rec: &Recurrence<T>,
+    c: f64,
+) -> Result<QuadratureRule, BoundsError> {
+    let n = rec.n();
+    assert!(n >= 2, "fixed-node rule needs recurrence depth >= 2");
+    // Evaluate p_{n−1}(c), p_n(c) with the *first n−1* recurrence steps
+    // so that the modified matrix uses α_0..α_{n−2} unchanged plus the
+    // modified last diagonal. Following Gautschi's `radau`: with
+    // coefficients up to index N (rows 0..=N), the modified α_N is
+    // c − β_N·p_{N−1}(c)/p_N(c) where the p's use rows 0..N−1.
+    let nn = n - 1; // index of the modified (last) diagonal
+    let c_t = T::from_f64(c);
+    let mut pm1 = T::zero();
+    let mut p = T::one();
+    for k in 0..nn {
+        let next = (c_t - rec.alpha[k]) * p - rec.beta[k] * pm1;
+        pm1 = p;
+        p = next;
+    }
+    // Guard a zero denominator (c is a node of the embedded Gauss rule):
+    // nudge c infinitesimally via the monic derivative direction.
+    if p.is_zero() {
+        p += T::from_f64(1e-300);
+    }
+    let alpha_mod = c_t - rec.beta[nn] * pm1 / p;
+
+    let mut alpha: Vec<f64> = rec.alpha.iter().map(|a| a.to_f64()).collect();
+    alpha[nn] = alpha_mod.to_f64();
+    let beta: Vec<f64> = rec.beta.iter().map(|b| b.to_f64()).collect();
+    rule_from_coeffs(&alpha, &beta)
+}
+
+fn rule_from_coeffs(alpha: &[f64], beta: &[f64]) -> Result<QuadratureRule, BoundsError> {
+    let n = alpha.len();
+    let offdiag: Vec<f64> = beta[1..].iter().map(|&b| b.max(0.0).sqrt()).collect();
+    let eig = eigen_tridiagonal(alpha, &offdiag)?;
+    let m0 = beta[0];
+    let weights: Vec<f64> = eig
+        .first_components
+        .iter()
+        .map(|&z| m0 * z * z)
+        .collect();
+    let _ = n;
+    Ok(QuadratureRule {
+        nodes: eig.values,
+        weights,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chebyshev::chebyshev;
+    use somrm_num::Dd;
+
+    fn uniform_moments(count: usize) -> Vec<f64> {
+        (0..count).map(|k| 1.0 / (k as f64 + 1.0)).collect()
+    }
+
+    fn normal_moments(count: usize) -> Vec<f64> {
+        let mut m = vec![0.0; count];
+        m[0] = 1.0;
+        for k in 2..count {
+            m[k] = (k - 1) as f64 * m[k - 2];
+        }
+        m
+    }
+
+    #[test]
+    fn gauss_rule_reproduces_moments() {
+        let m = uniform_moments(12);
+        let rec = chebyshev::<f64>(&m).unwrap();
+        let rule = gauss_rule(&rec).unwrap();
+        // Exact for polynomials up to degree 2n−1 = 11.
+        for k in 0..m.len().min(2 * rule.len()) {
+            assert!(
+                (rule.moment(k as u32) - m[k]).abs() < 1e-9,
+                "moment {k}: {} vs {}",
+                rule.moment(k as u32),
+                m[k]
+            );
+        }
+        // Nodes inside the support.
+        assert!(rule.nodes.iter().all(|&x| x > 0.0 && x < 1.0));
+        assert!(rule.weights.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn gauss_rule_normal_is_hermite() {
+        let rec = chebyshev::<Dd>(&normal_moments(12)).unwrap();
+        let rule = gauss_rule(&rec).unwrap();
+        assert_eq!(rule.len(), 6);
+        // Symmetric nodes.
+        for i in 0..rule.len() {
+            assert!(
+                (rule.nodes[i] + rule.nodes[rule.len() - 1 - i]).abs() < 1e-8,
+                "node symmetry"
+            );
+        }
+        // Weights sum to 1.
+        let s: f64 = rule.weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn fixed_node_rule_contains_the_node() {
+        let m = uniform_moments(12);
+        let rec = chebyshev::<f64>(&m).unwrap();
+        for &c in &[0.1, 0.37, 0.5, 0.82] {
+            let rule = fixed_node_rule(&rec, c).unwrap();
+            let nearest = rule
+                .nodes
+                .iter()
+                .map(|&x| (x - c).abs())
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 1e-9, "c = {c}: nearest node {nearest}");
+            // Still matches the moments it can (degree ≤ 2n−2).
+            for k in 0..(2 * rule.len() - 2).min(m.len()) {
+                assert!(
+                    (rule.moment(k as u32) - m[k]).abs() < 1e-8,
+                    "c = {c}, moment {k}"
+                );
+            }
+            // All weights positive (canonical representation).
+            assert!(rule.weights.iter().all(|&w| w > -1e-12));
+        }
+    }
+
+    #[test]
+    fn fixed_node_outside_support_still_valid() {
+        // Prescribing a node outside the support is allowed (its weight
+        // becomes ~0 for far-away points).
+        let m = uniform_moments(10);
+        let rec = chebyshev::<f64>(&m).unwrap();
+        let rule = fixed_node_rule(&rec, 3.0).unwrap();
+        let idx = rule
+            .nodes
+            .iter()
+            .position(|&x| (x - 3.0).abs() < 1e-8)
+            .expect("node present");
+        assert!(rule.weights[idx] < 1e-6);
+    }
+
+    #[test]
+    fn integrate_applies_function() {
+        let rec = chebyshev::<f64>(&uniform_moments(8)).unwrap();
+        let rule = gauss_rule(&rec).unwrap();
+        // ∫₀¹ e^x dx = e − 1, Gauss with 4 points is very accurate.
+        let v = rule.integrate(f64::exp);
+        assert!((v - (std::f64::consts::E - 1.0)).abs() < 1e-8);
+    }
+}

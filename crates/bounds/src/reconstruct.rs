@@ -1,0 +1,226 @@
+//! Point estimates of the distribution between the CMS envelopes.
+//!
+//! The envelopes of [`crate::cms`] are *guarantees*; for plotting and
+//! dimensioning one often also wants a single curve. Two standard
+//! moment-matched reconstructions are provided:
+//!
+//! * [`gauss_mixture_cdf`] — the discrete distribution of the Gauss
+//!   rule (a step function matching the first `2n−1` moments exactly);
+//!   it always lies inside the CMS envelope at every continuity point;
+//! * [`smoothed_cdf`] — the same atoms mollified by normal kernels
+//!   whose bandwidth spends the *next* moment's worth of freedom; a
+//!   smooth curve suitable as a density/CDF estimate (this is the
+//!   spirit of the estimation companion in the paper's reference \[12\]).
+
+use crate::chebyshev::chebyshev;
+use crate::error::BoundsError;
+use crate::quadrature::{gauss_rule, QuadratureRule};
+use somrm_num::real::Real;
+use somrm_num::special::normal_cdf_mv;
+
+/// The moment-matched discrete (Gauss-rule) CDF evaluated at `xs`.
+///
+/// Moments are standardized internally exactly as in
+/// [`crate::cms::cdf_bounds`]; the returned values are for the original
+/// variable.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::cms::cdf_bounds`].
+pub fn gauss_mixture_cdf<T: Real>(
+    moments: &[f64],
+    xs: &[f64],
+) -> Result<Vec<f64>, BoundsError> {
+    let (rule, mean, sd) = standardized_gauss_rule::<T>(moments)?;
+    Ok(xs
+        .iter()
+        .map(|&x| {
+            let y = (x - mean) / sd;
+            rule.nodes
+                .iter()
+                .zip(&rule.weights)
+                .filter(|&(&n, _)| n <= y)
+                .map(|(_, &w)| w)
+                .sum::<f64>()
+                .clamp(0.0, 1.0)
+        })
+        .collect())
+}
+
+/// A smooth CDF estimate: the Gauss-rule atoms convolved with normal
+/// kernels of common bandwidth `h` (in standardized units).
+///
+/// `h` trades fidelity to the matched moments (small `h`) against
+/// smoothness; `h ≈ 0.2–0.5` works well for unimodal distributions.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::cms::cdf_bounds`], plus an invalid
+/// (non-positive/non-finite) bandwidth.
+pub fn smoothed_cdf<T: Real>(
+    moments: &[f64],
+    xs: &[f64],
+    bandwidth: f64,
+) -> Result<Vec<f64>, BoundsError> {
+    if !(bandwidth > 0.0) || !bandwidth.is_finite() {
+        return Err(BoundsError::DegenerateVariance {
+            variance: bandwidth,
+        });
+    }
+    let (rule, mean, sd) = standardized_gauss_rule::<T>(moments)?;
+    let var = bandwidth * bandwidth;
+    Ok(xs
+        .iter()
+        .map(|&x| {
+            let y = (x - mean) / sd;
+            rule.nodes
+                .iter()
+                .zip(&rule.weights)
+                .map(|(&n, &w)| w * normal_cdf_mv(y, n, var))
+                .sum::<f64>()
+                .clamp(0.0, 1.0)
+        })
+        .collect())
+}
+
+fn standardized_gauss_rule<T: Real>(
+    moments: &[f64],
+) -> Result<(QuadratureRule, f64, f64), BoundsError> {
+    if moments.len() < 3 {
+        return Err(BoundsError::NotEnoughMoments {
+            got: moments.len(),
+        });
+    }
+    for (i, &m) in moments.iter().enumerate() {
+        if !m.is_finite() {
+            return Err(BoundsError::NonFiniteMoment { index: i });
+        }
+    }
+    if (moments[0] - 1.0).abs() > 1e-6 {
+        return Err(BoundsError::NotNormalized { m0: moments[0] });
+    }
+    let mean = moments[1];
+    let variance = moments[2] - mean * mean;
+    if !(variance > 0.0) {
+        return Err(BoundsError::DegenerateVariance { variance });
+    }
+    let sd = variance.sqrt();
+    // Standardize via the binomial transform in T.
+    let m_t: Vec<T> = moments.iter().map(|&x| T::from_f64(x)).collect();
+    let mean_t = T::from_f64(mean);
+    let sd_t = T::from_f64(sd);
+    let mut standardized = Vec::with_capacity(moments.len());
+    let mut sd_pow = T::one();
+    for n in 0..moments.len() {
+        let mut acc = T::zero();
+        for j in 0..=n {
+            let mut term =
+                T::from_f64(somrm_num::special::binomial(n as u32, j as u32)) * m_t[j];
+            let mut p = T::one();
+            for _ in 0..(n - j) {
+                p *= -mean_t;
+            }
+            term *= p;
+            acc += term;
+        }
+        standardized.push((acc / sd_pow).to_f64());
+        sd_pow *= sd_t;
+    }
+    let rec = chebyshev::<T>(&standardized)?;
+    let rule = gauss_rule(&rec)?;
+    Ok((rule, mean, sd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cms::cdf_bounds;
+    use somrm_num::special::normal_cdf;
+    use somrm_num::Dd;
+
+    fn normal_raw_moments(mean: f64, var: f64, count: usize) -> Vec<f64> {
+        let mut m = vec![0.0; count];
+        m[0] = 1.0;
+        if count > 1 {
+            m[1] = mean;
+        }
+        for n in 2..count {
+            m[n] = mean * m[n - 1] + (n - 1) as f64 * var * m[n - 2];
+        }
+        m
+    }
+
+    #[test]
+    fn gauss_mixture_lies_inside_cms_envelope() {
+        let m = normal_raw_moments(1.0, 4.0, 14);
+        let xs: Vec<f64> = (-10..=10).map(|k| 1.0 + 0.4 * k as f64).collect();
+        let mix = gauss_mixture_cdf::<Dd>(&m, &xs).unwrap();
+        let bounds = cdf_bounds::<Dd>(&m, &xs).unwrap();
+        for (i, b) in bounds.iter().enumerate() {
+            assert!(
+                mix[i] >= b.lower - 1e-7 && mix[i] <= b.upper + 1e-7,
+                "x = {}: {} outside [{}, {}]",
+                b.x,
+                mix[i],
+                b.lower,
+                b.upper
+            );
+        }
+    }
+
+    #[test]
+    fn smoothed_cdf_close_to_true_normal() {
+        let m = normal_raw_moments(0.0, 1.0, 16);
+        let xs: Vec<f64> = (-25..=25).map(|k| 0.1 * k as f64).collect();
+        let est = smoothed_cdf::<Dd>(&m, &xs, 0.35).unwrap();
+        for (i, &x) in xs.iter().enumerate() {
+            let exact = normal_cdf(x);
+            assert!(
+                (est[i] - exact).abs() < 0.03,
+                "x = {x}: {} vs {exact}",
+                est[i]
+            );
+        }
+    }
+
+    #[test]
+    fn smoothed_cdf_monotone() {
+        let m = normal_raw_moments(2.0, 1.0, 10);
+        let xs: Vec<f64> = (0..50).map(|k| -1.0 + 0.12 * k as f64).collect();
+        let est = smoothed_cdf::<f64>(&m, &xs, 0.3).unwrap();
+        for w in est.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn mixture_matches_moments_it_should() {
+        // Recompute moments of the discrete mixture: they must match the
+        // inputs up to order 2n−1.
+        let m = normal_raw_moments(0.5, 2.0, 12);
+        let (rule, mean, sd) = standardized_gauss_rule::<Dd>(&m).unwrap();
+        let n = rule.len();
+        for k in 0..(2 * n).min(m.len()) {
+            // De-standardize the rule's k-th moment: E[(sd·Y + mean)^k].
+            let mk: f64 = rule
+                .nodes
+                .iter()
+                .zip(&rule.weights)
+                .map(|(&y, &w)| w * (sd * y + mean).powi(k as i32))
+                .sum();
+            assert!(
+                (mk - m[k]).abs() < 1e-7 * (1.0 + m[k].abs()),
+                "moment {k}: {mk} vs {}",
+                m[k]
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        assert!(gauss_mixture_cdf::<f64>(&[1.0, 0.0], &[0.0]).is_err());
+        let m = normal_raw_moments(0.0, 1.0, 8);
+        assert!(smoothed_cdf::<f64>(&m, &[0.0], 0.0).is_err());
+        assert!(smoothed_cdf::<f64>(&m, &[0.0], f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests: the Chebyshev–Markov–Stieltjes machinery vs
+//! randomly generated discrete distributions with exactly computable
+//! moments and CDFs.
+
+use proptest::prelude::*;
+use somrm_bounds::chebyshev::chebyshev;
+use somrm_bounds::cms::cdf_bounds;
+use somrm_bounds::quadrature::gauss_rule;
+use somrm_bounds::reconstruct::gauss_mixture_cdf;
+use somrm_num::Dd;
+
+/// A random discrete distribution: distinct atom positions + weights.
+#[derive(Debug, Clone)]
+struct Atoms {
+    xs: Vec<f64>,
+    ws: Vec<f64>,
+}
+
+impl Atoms {
+    fn raw_moments(&self, count: usize) -> Vec<f64> {
+        (0..count)
+            .map(|k| {
+                self.xs
+                    .iter()
+                    .zip(&self.ws)
+                    .map(|(&x, &w)| w * x.powi(k as i32))
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        self.xs
+            .iter()
+            .zip(&self.ws)
+            .filter(|&(&a, _)| a <= x)
+            .map(|(_, &w)| w)
+            .sum()
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.raw_moments(3);
+        m[2] - m[1] * m[1]
+    }
+}
+
+fn arb_atoms() -> impl Strategy<Value = Atoms> {
+    // Atom positions kept in [-2, 2] with generous separation: exact
+    // atom *recovery* from f64-precision moments is exponentially
+    // ill-conditioned in the spread, and these tests probe correctness,
+    // not conditioning limits (the ablation binaries cover those).
+    (3usize..7)
+        .prop_flat_map(|k| {
+            (
+                prop::collection::vec(-2.0f64..2.0, k),
+                prop::collection::vec(0.05f64..1.0, k),
+            )
+        })
+        .prop_filter_map("atoms must be separated", |(mut xs, ws)| {
+            xs.sort_by(f64::total_cmp);
+            if xs.windows(2).any(|w| w[1] - w[0] < 0.4) {
+                return None;
+            }
+            let total: f64 = ws.iter().sum();
+            let ws: Vec<f64> = ws.iter().map(|w| w / total).collect();
+            Some(Atoms { xs, ws })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bounds_bracket_true_discrete_cdf(atoms in arb_atoms(), x in -6.0f64..6.0) {
+        // Use fewer moments than needed to identify the atoms, so the
+        // envelope is non-trivial but must still bracket the truth.
+        let m = atoms.raw_moments(2 * atoms.xs.len() - 2);
+        prop_assume!(atoms.variance() > 1e-6);
+        let b = &cdf_bounds::<Dd>(&m, &[x]).unwrap()[0];
+        let exact = atoms.cdf(x);
+        prop_assert!(
+            b.lower <= exact + 1e-6 && exact <= b.upper + 1e-6,
+            "x = {x}: [{}, {}] vs {exact}", b.lower, b.upper
+        );
+    }
+
+    #[test]
+    fn full_moments_recover_the_atoms(atoms in arb_atoms()) {
+        // With ≥ 2k+1 moments the Gauss rule IS the distribution.
+        prop_assume!(atoms.variance() > 1e-6);
+        let k = atoms.xs.len();
+        let m = atoms.raw_moments(2 * k + 2);
+        let rec = chebyshev::<Dd>(&m).unwrap();
+        let rule = gauss_rule(&rec).unwrap();
+        // The f64-precision *inputs* carry enough rounding noise to
+        // occasionally admit one spurious near-zero-weight node beyond
+        // the true atom count.
+        prop_assert!(rule.len() <= k + 1, "rule {} atoms {}", rule.len(), k);
+        // Every recovered node with non-negligible weight sits near a
+        // true atom with matching weight...
+        for (&node, &w) in rule.nodes.iter().zip(&rule.weights) {
+            if w < 1e-8 {
+                continue;
+            }
+            let (j, dist) = atoms
+                .xs
+                .iter()
+                .enumerate()
+                .map(|(j, &a)| (j, (a - node).abs()))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap();
+            prop_assert!(dist < 1e-4, "node {node} far from atoms");
+            prop_assert!((w - atoms.ws[j]).abs() < 1e-4, "weight mismatch at {node}");
+        }
+        // ...and every true atom is recovered.
+        for (&a, &w_true) in atoms.xs.iter().zip(&atoms.ws) {
+            let found = rule
+                .nodes
+                .iter()
+                .zip(&rule.weights)
+                .any(|(&n, &w)| (n - a).abs() < 1e-4 && (w - w_true).abs() < 1e-4);
+            prop_assert!(found, "atom {a} (weight {w_true}) not recovered");
+        }
+    }
+
+    #[test]
+    fn envelope_width_shrinks_with_more_moments(atoms in arb_atoms(), frac in 0.2f64..0.8) {
+        prop_assume!(atoms.variance() > 1e-6);
+        let k = atoms.xs.len();
+        // Query strictly between two atoms.
+        let idx = ((k - 1) as f64 * frac) as usize;
+        let x = 0.5 * (atoms.xs[idx] + atoms.xs[idx + 1]);
+        let m_few = atoms.raw_moments(5);
+        let m_more = atoms.raw_moments(2 * k - 1);
+        let few = &cdf_bounds::<Dd>(&m_few, &[x]).unwrap()[0];
+        let more = &cdf_bounds::<Dd>(&m_more, &[x]).unwrap()[0];
+        prop_assert!(more.width() <= few.width() + 1e-7,
+            "width grew: {} -> {}", few.width(), more.width());
+    }
+
+    #[test]
+    fn mixture_cdf_inside_envelope(atoms in arb_atoms(), x in -6.0f64..6.0) {
+        prop_assume!(atoms.variance() > 1e-6);
+        let m = atoms.raw_moments(2 * atoms.xs.len() - 2);
+        let est = gauss_mixture_cdf::<Dd>(&m, &[x]).unwrap()[0];
+        let b = &cdf_bounds::<Dd>(&m, &[x]).unwrap()[0];
+        prop_assert!(est >= b.lower - 1e-6 && est <= b.upper + 1e-6);
+    }
+
+    #[test]
+    fn gauss_rule_moments_exact_to_depth(atoms in arb_atoms()) {
+        prop_assume!(atoms.variance() > 1e-6);
+        let m = atoms.raw_moments(12.min(2 * atoms.xs.len()));
+        let rec = chebyshev::<Dd>(&m).unwrap();
+        let rule = gauss_rule(&rec).unwrap();
+        let exact_to = (2 * rule.len()).min(m.len());
+        for k in 0..exact_to {
+            let got = rule.moment(k as u32);
+            prop_assert!(
+                (got - m[k]).abs() < 1e-6 * (1.0 + m[k].abs()),
+                "moment {k}: {got} vs {}", m[k]
+            );
+        }
+    }
+}

@@ -1,0 +1,379 @@
+//! The CLI subcommands, as testable functions.
+
+use crate::format::ParsedModel;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use somrm_bounds::cms::cdf_bounds;
+use somrm_bounds::reconstruct::gauss_mixture_cdf;
+use somrm_core::impulse::moments_with_impulse;
+use somrm_core::moments::summarize;
+use somrm_core::uniformization::{moments, MomentSolution, SolverConfig};
+use somrm_ctmc::stationary::stationary_gth;
+use somrm_num::Dd;
+use somrm_sim::reward::{estimate_moments, estimate_moments_impulse};
+use somrm_transform::{density_at, TransformConfig};
+use std::fmt::Write as _;
+
+/// Options shared by the analysis commands.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommonOpts {
+    /// Accumulation time.
+    pub t: f64,
+    /// Solver precision ε.
+    pub epsilon: f64,
+}
+
+impl Default for CommonOpts {
+    fn default() -> Self {
+        CommonOpts {
+            t: 1.0,
+            epsilon: 1e-9,
+        }
+    }
+}
+
+fn solve(
+    parsed: &ParsedModel,
+    order: usize,
+    opts: &CommonOpts,
+) -> Result<MomentSolution, String> {
+    let cfg = SolverConfig {
+        epsilon: opts.epsilon,
+        ..SolverConfig::default()
+    };
+    if parsed.has_impulses() {
+        let m = parsed.clone().into_impulse_mrm().map_err(|e| e.to_string())?;
+        moments_with_impulse(&m, order, opts.t, &cfg).map_err(|e| e.to_string())
+    } else {
+        moments(&parsed.model, order, opts.t, &cfg).map_err(|e| e.to_string())
+    }
+}
+
+/// `somrm check`: validates the model and prints structural facts.
+///
+/// # Errors
+///
+/// Returns a human-readable message on analysis failure.
+pub fn cmd_check(parsed: &ParsedModel) -> Result<String, String> {
+    let m = &parsed.model;
+    let mut out = String::new();
+    let _ = writeln!(out, "states            : {}", m.n_states());
+    let _ = writeln!(
+        out,
+        "transitions       : {}",
+        m.generator().as_csr().nnz() - m.generator().diagonal().iter().filter(|&&d| d != 0.0).count()
+    );
+    let _ = writeln!(
+        out,
+        "uniformization q  : {}",
+        m.generator().uniformization_rate()
+    );
+    let _ = writeln!(
+        out,
+        "order             : {}",
+        if m.is_first_order() { "first (all variances zero)" } else { "second" }
+    );
+    let _ = writeln!(out, "impulses          : {}", parsed.impulses.len());
+    let _ = writeln!(
+        out,
+        "drift range       : [{}, {}]",
+        m.rates().iter().copied().fold(f64::INFINITY, f64::min),
+        m.rates().iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    );
+    match stationary_gth(m.generator()) {
+        Ok(pi) => {
+            let growth: f64 = pi.iter().zip(m.rates()).map(|(&p, &r)| p * r).sum();
+            let _ = writeln!(out, "long-run rate     : {growth}");
+        }
+        Err(_) => {
+            let _ = writeln!(out, "long-run rate     : (chain not irreducible)");
+        }
+    }
+    Ok(out)
+}
+
+/// `somrm moments`: raw moments and summary statistics at time `t`.
+///
+/// # Errors
+///
+/// Returns a human-readable message on analysis failure.
+pub fn cmd_moments(
+    parsed: &ParsedModel,
+    order: usize,
+    opts: &CommonOpts,
+) -> Result<String, String> {
+    let sol = solve(parsed, order.max(2), opts)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "t = {}, solver iterations G = {}, error bound {:.2e}",
+        opts.t, sol.stats.iterations, sol.stats.error_bound);
+    for n in 0..=order {
+        let _ = writeln!(out, "E[B^{n}] = {:.12e}", sol.raw_moment(n));
+    }
+    let s = summarize(&sol.weighted);
+    let _ = writeln!(out, "mean      = {:.6}", s.mean);
+    let _ = writeln!(out, "variance  = {:.6}", s.variance);
+    if order >= 3 {
+        let _ = writeln!(out, "skewness  = {:.6}", s.skewness);
+    }
+    if order >= 4 {
+        let _ = writeln!(out, "kurtosis  = {:.6}", s.kurtosis);
+    }
+    Ok(out)
+}
+
+/// `somrm bounds`: CDF envelope (and moment-matched estimate) on a grid.
+///
+/// # Errors
+///
+/// Returns a human-readable message on analysis failure.
+pub fn cmd_bounds(
+    parsed: &ParsedModel,
+    n_moments: usize,
+    n_points: usize,
+    opts: &CommonOpts,
+) -> Result<String, String> {
+    let sol = solve(parsed, n_moments.max(3), opts)?;
+    let mean = sol.mean();
+    let sd = sol.variance().max(0.0).sqrt();
+    if sd == 0.0 {
+        return Err("reward distribution is degenerate (zero variance)".to_string());
+    }
+    let xs: Vec<f64> = (0..n_points)
+        .map(|k| mean + sd * (k as f64 / (n_points - 1).max(1) as f64 * 8.0 - 4.0))
+        .collect();
+    let bounds = cdf_bounds::<Dd>(&sol.weighted, &xs).map_err(|e| e.to_string())?;
+    let estimate = gauss_mixture_cdf::<Dd>(&sol.weighted, &xs).map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "CDF bounds from {} moments at t = {} ({} canonical nodes)",
+        n_moments, opts.t, bounds[0].nodes_used
+    );
+    let _ = writeln!(out, "{:>14} {:>10} {:>10} {:>10}", "x", "lower", "upper", "estimate");
+    for (i, b) in bounds.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{:>14.6} {:>10.6} {:>10.6} {:>10.6}",
+            b.x, b.lower, b.upper, estimate[i]
+        );
+    }
+    Ok(out)
+}
+
+/// `somrm simulate`: Monte-Carlo moment estimates with standard errors.
+///
+/// # Errors
+///
+/// Returns a human-readable message on analysis failure.
+pub fn cmd_simulate(
+    parsed: &ParsedModel,
+    order: usize,
+    samples: usize,
+    seed: u64,
+    opts: &CommonOpts,
+) -> Result<String, String> {
+    if samples < 2 {
+        return Err("need at least 2 samples".to_string());
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let est = if parsed.has_impulses() {
+        let m = parsed.clone().into_impulse_mrm().map_err(|e| e.to_string())?;
+        estimate_moments_impulse(&mut rng, &m, order, opts.t, samples)
+    } else {
+        estimate_moments(&mut rng, &parsed.model, order, opts.t, samples)
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "{samples} paths, seed {seed}, t = {}", opts.t);
+    for n in 0..=order {
+        let _ = writeln!(
+            out,
+            "E[B^{n}] = {:.8e} +- {:.2e}",
+            est.estimates[n], est.std_errors[n]
+        );
+    }
+    Ok(out)
+}
+
+/// `somrm sweep`: mean and standard deviation of `B(t)` over a time
+/// grid `(0, t]`, CSV-ish output suitable for plotting.
+///
+/// # Errors
+///
+/// Returns a human-readable message on analysis failure.
+pub fn cmd_sweep(
+    parsed: &ParsedModel,
+    n_points: usize,
+    opts: &CommonOpts,
+) -> Result<String, String> {
+    if n_points < 2 {
+        return Err("need at least 2 sweep points".to_string());
+    }
+    let times: Vec<f64> = (1..=n_points)
+        .map(|k| opts.t * k as f64 / n_points as f64)
+        .collect();
+    let cfg = SolverConfig {
+        epsilon: opts.epsilon,
+        ..SolverConfig::default()
+    };
+    let mut out = String::new();
+    let _ = writeln!(out, "t,mean,stddev");
+    if parsed.has_impulses() {
+        let m = parsed.clone().into_impulse_mrm().map_err(|e| e.to_string())?;
+        for &t in &times {
+            let sol = moments_with_impulse(&m, 2, t, &cfg).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "{t},{},{}", sol.mean(), sol.variance().max(0.0).sqrt());
+        }
+    } else {
+        let sweep = somrm_core::uniformization::moments_sweep(&parsed.model, 2, &times, &cfg)
+            .map_err(|e| e.to_string())?;
+        for sol in &sweep {
+            let _ = writeln!(out, "{},{},{}", sol.t, sol.mean(), sol.variance().max(0.0).sqrt());
+        }
+    }
+    Ok(out)
+}
+
+/// `somrm density`: the reward density on a grid (transform inversion;
+/// small models, no impulses).
+///
+/// # Errors
+///
+/// Returns a human-readable message on analysis failure, including
+/// impulse models (the characteristic-function route implemented here
+/// covers rate rewards only) and models too large for dense transforms.
+pub fn cmd_density(
+    parsed: &ParsedModel,
+    n_points: usize,
+    opts: &CommonOpts,
+) -> Result<String, String> {
+    if parsed.has_impulses() {
+        return Err("density: impulse models are not supported by the transform route".into());
+    }
+    if parsed.model.n_states() > 200 {
+        return Err(format!(
+            "density: model has {} states; the dense transform route is limited to 200",
+            parsed.model.n_states()
+        ));
+    }
+    let sol = solve(parsed, 2, opts)?;
+    let mean = sol.mean();
+    let sd = sol.variance().max(1e-12).sqrt();
+    let xs: Vec<f64> = (0..n_points)
+        .map(|k| mean + sd * (k as f64 / (n_points - 1).max(1) as f64 * 10.0 - 5.0))
+        .collect();
+    let d = density_at(
+        &parsed.model,
+        opts.t,
+        &xs,
+        &TransformConfig::default(),
+    )
+    .map_err(|e| e.to_string())?;
+    let mut out = String::new();
+    let _ = writeln!(out, "{:>14} {:>14}", "x", "density");
+    for (i, &x) in xs.iter().enumerate() {
+        let _ = writeln!(out, "{:>14.6} {:>14.8}", x, d[i]);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::parse_model;
+
+    const MODEL: &str = "states 2\nrate 0 1 1.0\nrate 1 0 2.0\nreward 0 0.0 0.0\nreward 1 3.0 1.0\n";
+
+    fn parsed() -> ParsedModel {
+        parse_model(MODEL).unwrap()
+    }
+
+    #[test]
+    fn check_reports_structure() {
+        let out = cmd_check(&parsed()).unwrap();
+        assert!(out.contains("states            : 2"));
+        assert!(out.contains("second"));
+        assert!(out.contains("long-run rate     : 1"));
+    }
+
+    #[test]
+    fn moments_prints_all_orders() {
+        let out = cmd_moments(&parsed(), 3, &CommonOpts::default()).unwrap();
+        assert!(out.contains("E[B^0]"));
+        assert!(out.contains("E[B^3]"));
+        assert!(out.contains("skewness"));
+    }
+
+    #[test]
+    fn bounds_produces_monotone_envelope() {
+        let out = cmd_bounds(&parsed(), 12, 9, &CommonOpts::default()).unwrap();
+        assert!(out.contains("lower"));
+        // Crude sanity: at least 9 data lines.
+        assert!(out.lines().count() >= 11);
+    }
+
+    #[test]
+    fn simulate_agrees_with_moments() {
+        let opts = CommonOpts::default();
+        let exact = solve(&parsed(), 1, &opts).unwrap().mean();
+        let out = cmd_simulate(&parsed(), 1, 20_000, 1, &opts).unwrap();
+        // Extract E[B^1] from the printed line.
+        let line = out.lines().find(|l| l.starts_with("E[B^1]")).unwrap();
+        let val: f64 = line
+            .split('=')
+            .nth(1)
+            .unwrap()
+            .split("+-")
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert!((val - exact).abs() < 0.05, "{val} vs {exact}");
+    }
+
+    #[test]
+    fn sweep_outputs_monotone_mean() {
+        let out = cmd_sweep(&parsed(), 10, &CommonOpts::default()).unwrap();
+        let means: Vec<f64> = out
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(1).unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(means.len(), 10);
+        // Non-negative drifts: the mean grows with t.
+        for w in means.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn sweep_impulse_route() {
+        let p = parse_model("states 2\nrate 0 1 2.0\nrate 1 0 2.0\nimpulse 0 1 1.0\n").unwrap();
+        let out = cmd_sweep(&p, 5, &CommonOpts::default()).unwrap();
+        assert_eq!(out.lines().count(), 6);
+    }
+
+    #[test]
+    fn density_rejects_impulse_models() {
+        let with_imp =
+            parse_model("states 2\nrate 0 1 1.0\nrate 1 0 1.0\nimpulse 0 1 1.0\n").unwrap();
+        assert!(cmd_density(&with_imp, 10, &CommonOpts::default()).is_err());
+    }
+
+    #[test]
+    fn density_outputs_grid() {
+        let out = cmd_density(&parsed(), 11, &CommonOpts::default()).unwrap();
+        assert_eq!(out.lines().count(), 12);
+    }
+
+    #[test]
+    fn impulse_model_moments_route() {
+        let p = parse_model("states 2\nrate 0 1 2.0\nrate 1 0 2.0\nimpulse 0 1 1.0\n").unwrap();
+        let out = cmd_moments(&p, 2, &CommonOpts { t: 1.0, epsilon: 1e-9 }).unwrap();
+        assert!(out.contains("E[B^1]"));
+        // Mean = E[#(0->1) transitions] = t/2·2 + ... > 0.
+        let line = out.lines().find(|l| l.starts_with("mean")).unwrap();
+        let val: f64 = line.split('=').nth(1).unwrap().trim().parse().unwrap();
+        assert!(val > 0.5);
+    }
+}

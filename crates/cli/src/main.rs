@@ -1,0 +1,93 @@
+//! `somrm` — command-line analysis of (second-order) Markov reward
+//! models.
+//!
+//! ```text
+//! somrm-tool check    <model-file>
+//! somrm-tool moments  <model-file> [--t T] [--order N] [--eps E]
+//! somrm-tool sweep    <model-file> [--t T] [--points K]
+//! somrm-tool bounds   <model-file> [--t T] [--moments N] [--points K] [--eps E]
+//! somrm-tool simulate <model-file> [--t T] [--order N] [--samples K] [--seed S]
+//! somrm-tool density  <model-file> [--t T] [--points K]
+//! ```
+
+use somrm_cli::commands::{
+    cmd_bounds, cmd_check, cmd_density, cmd_moments, cmd_simulate, cmd_sweep, CommonOpts,
+};
+use somrm_cli::format::parse_model;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: somrm-tool <check|moments|bounds|simulate|density|sweep> <model-file> [options]
+
+options:
+  --t T           accumulation time (default 1.0)
+  --order N       highest moment order (default 3)
+  --moments N     moments fed to the bounding step (default 20)
+  --points K      grid points for bounds/density output (default 21)
+  --samples K     simulation paths (default 100000)
+  --seed S        simulation seed (default 1)
+  --eps E         solver precision (default 1e-9)
+
+model file format:
+  states N
+  rate   i j RATE
+  reward i DRIFT VARIANCE
+  impulse i j AMOUNT     (optional)
+  init   i PROB          (optional; default: all mass on state 0)";
+
+fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(default),
+        Some(i) => args
+            .get(i + 1)
+            .ok_or_else(|| format!("missing value after {name}"))?
+            .parse()
+            .map_err(|_| format!("cannot parse value of {name}")),
+    }
+}
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, file) = match (args.first(), args.get(1)) {
+        (Some(c), Some(f)) if !f.starts_with("--") => (c.clone(), f.clone()),
+        _ => return Err(USAGE.to_string()),
+    };
+    let text = std::fs::read_to_string(&file).map_err(|e| format!("cannot read {file}: {e}"))?;
+    let parsed = parse_model(&text).map_err(|e| e.to_string())?;
+    let opts = CommonOpts {
+        t: flag(&args, "--t", 1.0)?,
+        epsilon: flag(&args, "--eps", 1e-9)?,
+    };
+    match cmd.as_str() {
+        "check" => cmd_check(&parsed),
+        "moments" => cmd_moments(&parsed, flag(&args, "--order", 3usize)?, &opts),
+        "bounds" => cmd_bounds(
+            &parsed,
+            flag(&args, "--moments", 20usize)?,
+            flag(&args, "--points", 21usize)?,
+            &opts,
+        ),
+        "simulate" => cmd_simulate(
+            &parsed,
+            flag(&args, "--order", 3usize)?,
+            flag(&args, "--samples", 100_000usize)?,
+            flag(&args, "--seed", 1u64)?,
+            &opts,
+        ),
+        "density" => cmd_density(&parsed, flag(&args, "--points", 21usize)?, &opts),
+        "sweep" => cmd_sweep(&parsed, flag(&args, "--points", 20usize)?, &opts),
+        other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type for reward-model construction and analysis.
+
+use somrm_ctmc::CtmcError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors arising while building or analysing a Markov reward model.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MrmError {
+    /// A per-state parameter vector has the wrong length.
+    DimensionMismatch {
+        /// What the vector was.
+        what: &'static str,
+        /// Expected length (number of states).
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// A reward rate is not finite.
+    InvalidRate {
+        /// State index.
+        state: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A variance is negative or not finite.
+    InvalidVariance {
+        /// State index.
+        state: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// A solver parameter is out of range.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Description of the violation.
+        reason: String,
+    },
+    /// The underlying CTMC is invalid.
+    Ctmc(CtmcError),
+}
+
+impl fmt::Display for MrmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrmError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(f, "{what} has length {actual}, expected {expected}"),
+            MrmError::InvalidRate { state, value } => {
+                write!(f, "reward rate of state {state} is {value}")
+            }
+            MrmError::InvalidVariance { state, value } => {
+                write!(f, "reward variance of state {state} is {value}")
+            }
+            MrmError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            MrmError::Ctmc(e) => write!(f, "invalid structure-state process: {e}"),
+        }
+    }
+}
+
+impl Error for MrmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MrmError::Ctmc(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CtmcError> for MrmError {
+    fn from(e: CtmcError) -> Self {
+        MrmError::Ctmc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MrmError::InvalidVariance {
+            state: 3,
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("state 3"));
+        let wrapped = MrmError::from(CtmcError::DegenerateChain);
+        assert!(wrapped.to_string().contains("structure-state"));
+        assert!(wrapped.source().is_some());
+    }
+
+    #[test]
+    fn error_trait_bounds() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<MrmError>();
+    }
+}

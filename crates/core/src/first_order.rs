@@ -1,0 +1,297 @@
+//! Dedicated first-order (ordinary) MRM moment solver.
+//!
+//! The second-order solver handles `S = 0` transparently, but the paper's
+//! complexity claim — *"the computational cost … is practically the same
+//! as the one of the analysis of first-order reward models"* — deserves a
+//! genuinely independent first-order implementation to benchmark against.
+//! This is the classical randomization recursion without the `S'` term:
+//!
+//! ```text
+//! U⁽ⁿ⁾(k+1) = R'·U⁽ⁿ⁻¹⁾(k) + Q'·U⁽ⁿ⁾(k),   V⁽ⁿ⁾(t) = n!·dⁿ·Σ w_k U⁽ⁿ⁾(k).
+//! ```
+
+use crate::error::MrmError;
+use crate::model::SecondOrderMrm;
+use crate::uniformization::{MomentSolution, SolverConfig, SolverStats};
+use somrm_num::poisson;
+use somrm_num::special::ln_factorial;
+use somrm_num::sum::NeumaierSum;
+
+/// Computes raw moments `0 ..= order` of a **first-order** model at time
+/// `t` with the classical (variance-free) randomization recursion.
+///
+/// # Errors
+///
+/// * [`MrmError::InvalidParameter`] if the model has any non-zero
+///   variance (use [`crate::uniformization::moments`] instead), or for
+///   invalid `t`/`ε`.
+///
+/// # Example
+///
+/// ```
+/// use somrm_ctmc::generator::GeneratorBuilder;
+/// use somrm_core::model::SecondOrderMrm;
+/// use somrm_core::first_order::moments_first_order;
+/// use somrm_core::uniformization::SolverConfig;
+///
+/// let mut b = GeneratorBuilder::new(2);
+/// b.rate(0, 1, 1.0)?;
+/// b.rate(1, 0, 1.0)?;
+/// let m = SecondOrderMrm::first_order(b.build()?, vec![1.0, 1.0], vec![1.0, 0.0])?;
+/// let sol = moments_first_order(&m, 1, 0.5, &SolverConfig::default())?;
+/// assert!((sol.mean() - 0.5).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn moments_first_order(
+    model: &SecondOrderMrm,
+    order: usize,
+    t: f64,
+    config: &SolverConfig,
+) -> Result<MomentSolution, MrmError> {
+    if !model.is_first_order() {
+        return Err(MrmError::InvalidParameter {
+            name: "model",
+            reason: "model has non-zero variances; use the second-order solver".to_string(),
+        });
+    }
+    if !(t >= 0.0) || !t.is_finite() {
+        return Err(MrmError::InvalidParameter {
+            name: "t",
+            reason: format!("time must be finite and non-negative, got {t}"),
+        });
+    }
+    if !(config.epsilon > 0.0) || config.epsilon >= 1.0 {
+        return Err(MrmError::InvalidParameter {
+            name: "epsilon",
+            reason: format!("must lie in (0,1), got {}", config.epsilon),
+        });
+    }
+
+    let n_states = model.n_states();
+    let q = model.generator().uniformization_rate();
+    let shift = model.min_rate().min(0.0);
+    let shifted: Vec<f64> = model.rates().iter().map(|&r| r - shift).collect();
+    let max_rate = shifted.iter().copied().fold(0.0, f64::max);
+
+    // Degenerate paths reuse the second-order solver's logic by calling
+    // the general routine (it costs the same in these cases).
+    if q == 0.0 || max_rate == 0.0 || t == 0.0 {
+        return crate::uniformization::moments(model, order, t, config);
+    }
+
+    let d = max_rate / q;
+    let q_prime = model
+        .generator()
+        .uniformized_kernel(q)
+        .expect("q > 0 checked above");
+    let r_prime: Vec<f64> = shifted.iter().map(|&r| r / (q * d)).collect();
+
+    let qt = q * t;
+    let (g_limit, error_bound) = first_order_truncation(qt, d, order, config)?;
+    let weights = poisson::weights_upto(qt, g_limit);
+
+    let mut u: Vec<Vec<f64>> = (0..=order)
+        .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
+        .collect();
+    let mut acc: Vec<Vec<NeumaierSum>> = vec![vec![NeumaierSum::new(); n_states]; order + 1];
+    let mut scratch = vec![0.0f64; n_states];
+
+    for k in 0..=g_limit {
+        let wk = weights[k as usize];
+        if wk > 0.0 {
+            for j in 0..=order {
+                for i in 0..n_states {
+                    acc[j][i].add(wk * u[j][i]);
+                }
+            }
+        }
+        if k == g_limit {
+            break;
+        }
+        for j in (0..=order).rev() {
+            q_prime.matvec_into(&u[j], &mut scratch);
+            if j >= 1 {
+                let (lo, hi) = u.split_at_mut(j);
+                let uj = &mut hi[0];
+                let ujm1 = &lo[j - 1];
+                for i in 0..n_states {
+                    uj[i] = scratch[i] + r_prime[i] * ujm1[i];
+                }
+            } else {
+                u[0].copy_from_slice(&scratch);
+            }
+        }
+    }
+
+    let shifted_moments: Vec<Vec<f64>> = (0..=order)
+        .map(|j| {
+            let scale = (ln_factorial(j as u64) + j as f64 * d.ln()).exp();
+            acc[j].iter().map(|a| scale * a.value()).collect()
+        })
+        .collect();
+    let per_state = unshift(&shifted_moments, shift, t);
+    let weighted = (0..=order)
+        .map(|j| {
+            per_state[j]
+                .iter()
+                .zip(model.initial())
+                .map(|(&v, &p)| v * p)
+                .sum()
+        })
+        .collect();
+    Ok(MomentSolution {
+        t,
+        per_state,
+        weighted,
+        stats: SolverStats {
+            q,
+            d,
+            shift,
+            iterations: g_limit,
+            error_bound,
+        },
+    })
+}
+
+/// First-order Theorem-4 analogue: without the `S` term the coefficient
+/// bound is `U⁽ⁿ⁾(k) ≤ k!/(k−n)!` (no factor 2), but we keep the paper's
+/// common bound so first- and second-order runs truncate identically —
+/// that is what makes the cost comparison apples-to-apples.
+fn first_order_truncation(
+    qt: f64,
+    d: f64,
+    order: usize,
+    config: &SolverConfig,
+) -> Result<(u64, f64), MrmError> {
+    let ln_front: Vec<f64> = (0..=order)
+        .map(|j| {
+            std::f64::consts::LN_2
+                + j as f64 * d.ln()
+                + ln_factorial(j as u64)
+                + j as f64 * qt.ln()
+        })
+        .collect();
+    let ln_eps = config.epsilon.ln();
+    let ln_bound = |g: u64| {
+        (0..=order)
+            .map(|j| {
+                let tail = if g >= j as u64 {
+                    poisson::ln_tail_above(qt, g - j as u64)
+                } else {
+                    0.0 // P[Pois > negative] = 1
+                };
+                ln_front[j] + tail
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    let mut hi = (qt as u64).max(16);
+    let mut guard = 0;
+    while ln_bound(hi) >= ln_eps {
+        hi = hi.saturating_mul(2);
+        guard += 1;
+        if guard > 64 || hi > config.max_iterations {
+            return Err(MrmError::InvalidParameter {
+                name: "max_iterations",
+                reason: format!("truncation point exceeds cap (qt = {qt})"),
+            });
+        }
+    }
+    let mut lo = 0u64;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if ln_bound(mid) < ln_eps {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok((hi, ln_bound(hi).exp()))
+}
+
+fn unshift(shifted: &[Vec<f64>], shift: f64, t: f64) -> Vec<Vec<f64>> {
+    if shift == 0.0 {
+        return shifted.to_vec();
+    }
+    let order = shifted.len() - 1;
+    let n_states = shifted[0].len();
+    let c = shift * t;
+    (0..=order)
+        .map(|n| {
+            (0..n_states)
+                .map(|i| {
+                    (0..=n)
+                        .map(|j| {
+                            somrm_num::special::binomial(n as u32, j as u32)
+                                * c.powi((n - j) as i32)
+                                * shifted[j][i]
+                        })
+                        .sum()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniformization::moments;
+    use somrm_ctmc::generator::GeneratorBuilder;
+
+    fn first_order_model(r: [f64; 2]) -> SecondOrderMrm {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 2.0).unwrap();
+        SecondOrderMrm::first_order(b.build().unwrap(), r.to_vec(), vec![1.0, 0.0]).unwrap()
+    }
+
+    #[test]
+    fn agrees_with_general_solver() {
+        let m = first_order_model([0.0, 3.0]);
+        for &t in &[0.1, 0.7, 2.0] {
+            let a = moments_first_order(&m, 4, t, &SolverConfig::default()).unwrap();
+            let b = moments(&m, 4, t, &SolverConfig::default()).unwrap();
+            for j in 0..=4 {
+                let scale = b.raw_moment(j).abs().max(1.0);
+                assert!(
+                    (a.raw_moment(j) - b.raw_moment(j)).abs() < 1e-8 * scale,
+                    "t = {t}, order {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn agrees_with_general_solver_negative_rates() {
+        let m = first_order_model([-1.0, 2.0]);
+        let a = moments_first_order(&m, 3, 0.9, &SolverConfig::default()).unwrap();
+        let b = moments(&m, 3, 0.9, &SolverConfig::default()).unwrap();
+        for j in 0..=3 {
+            assert!((a.raw_moment(j) - b.raw_moment(j)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn rejects_second_order_models() {
+        let mut b = GeneratorBuilder::new(1);
+        let _ = &mut b;
+        let m = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![1.0],
+            vec![1.0],
+            vec![1.0],
+        )
+        .unwrap();
+        assert!(matches!(
+            moments_first_order(&m, 1, 1.0, &SolverConfig::default()),
+            Err(MrmError::InvalidParameter { name: "model", .. })
+        ));
+    }
+
+    #[test]
+    fn zero_time_and_frozen_paths_delegate() {
+        let m = first_order_model([1.0, 2.0]);
+        let sol = moments_first_order(&m, 2, 0.0, &SolverConfig::default()).unwrap();
+        assert_eq!(sol.raw_moment(1), 0.0);
+    }
+}

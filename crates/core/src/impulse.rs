@@ -1,0 +1,521 @@
+//! Impulse rewards — the extension the paper's introduction points at.
+//!
+//! Section 1 of the paper restricts the presentation to rate rewards
+//! but notes that "the introduced solution method allows to relax these
+//! restrictions". This module does exactly that: a transition `i → j`
+//! may additionally deposit a deterministic impulse reward `c_ij ≥ 0`
+//! into `B(t)`.
+//!
+//! # Theory
+//!
+//! Conditioning on the first event in `(0, Δ)` as in Theorem 1, a
+//! transition `i → j` multiplies the transform by `e^{−v·c_ij}`, so the
+//! moment ODE (eq. 6) gains impulse terms. With the *moment matrices*
+//! `Q_l = { q_ij · c_ij^l }` (for `l ≥ 1`, off-diagonal only):
+//!
+//! ```text
+//! d/dt V⁽ⁿ⁾ = Q·V⁽ⁿ⁾ + n·R·V⁽ⁿ⁻¹⁾ + ½n(n−1)·S·V⁽ⁿ⁻²⁾
+//!             + Σ_{l=1}^{n} C(n,l)·Q_l·V⁽ⁿ⁻ˡ⁾.
+//! ```
+//!
+//! Uniformizing with rate `q` and the normalization `d` extended to
+//! also dominate the impulses (`d ≥ max c_ij`), the randomization
+//! recursion becomes
+//!
+//! ```text
+//! U⁽ⁿ⁾(k+1) = Q'·U⁽ⁿ⁾(k) + R'·U⁽ⁿ⁻¹⁾(k) + ½S'·U⁽ⁿ⁻²⁾(k)
+//!             + Σ_{l=1}^{n} Q'_l·U⁽ⁿ⁻ˡ⁾(k),
+//! Q'_l = Q_l / (q·dˡ·l!),
+//! ```
+//!
+//! with every `Q'_l` substochastic. The coefficients obey
+//! `U⁽ⁿ⁾(k) ≤ [xⁿ] (1 + x + ½x² + Σ_{l≥1} xˡ/l!)ᵏ ≤ [xⁿ] e^{2xk}
+//! = (2k)ⁿ/n!`, and for `k ≥ 2n` one has `(2k)ⁿ ≤ 4ⁿ·k!/(k−n)!`,
+//! giving the Theorem-4-style truncation bound
+//! `ξ(G) ≤ 4ⁿ·dⁿ·n!·(qt)ⁿ·P[Pois(qt) > G−n]` — same shape, a factor
+//! `2ⁿ` looser, still fully computable.
+
+use crate::error::MrmError;
+use crate::model::SecondOrderMrm;
+use crate::uniformization::{MomentSolution, SolverConfig, SolverStats};
+use somrm_linalg::sparse::{CsrMatrix, TripletBuilder};
+use somrm_num::poisson;
+use somrm_num::special::ln_factorial;
+use somrm_num::sum::NeumaierSum;
+
+/// A second-order Markov reward model extended with deterministic
+/// impulse rewards at transitions.
+///
+/// # Example
+///
+/// ```
+/// use somrm_ctmc::generator::GeneratorBuilder;
+/// use somrm_core::model::SecondOrderMrm;
+/// use somrm_core::impulse::ImpulseMrm;
+///
+/// let mut b = GeneratorBuilder::new(2);
+/// b.rate(0, 1, 1.0)?;
+/// b.rate(1, 0, 1.0)?;
+/// let base = SecondOrderMrm::new(b.build()?, vec![0.0, 0.0], vec![0.0, 0.0], vec![1.0, 0.0])?;
+/// // Each 0 -> 1 transition deposits 2.5 units of reward.
+/// let model = ImpulseMrm::new(base, &[(0, 1, 2.5)])?;
+/// assert_eq!(model.impulse(0, 1), 2.5);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImpulseMrm {
+    base: SecondOrderMrm,
+    /// Sparse impulse matrix `C = {c_ij}` (off-diagonal, non-negative).
+    impulses: CsrMatrix<f64>,
+    max_impulse: f64,
+}
+
+impl ImpulseMrm {
+    /// Attaches impulses `(from, to, amount)` to a base model.
+    ///
+    /// # Errors
+    ///
+    /// * [`MrmError::InvalidParameter`] if an impulse is negative,
+    ///   non-finite, on the diagonal, or on a pair with zero transition
+    ///   rate (it could never fire).
+    pub fn new(
+        base: SecondOrderMrm,
+        impulses: &[(usize, usize, f64)],
+    ) -> Result<Self, MrmError> {
+        let n = base.n_states();
+        let mut b = TripletBuilder::with_capacity(n, n, impulses.len());
+        let mut max_impulse = 0.0f64;
+        for &(i, j, c) in impulses {
+            if i >= n || j >= n {
+                return Err(MrmError::InvalidParameter {
+                    name: "impulse",
+                    reason: format!("transition ({i},{j}) out of range for {n} states"),
+                });
+            }
+            if i == j || !(c >= 0.0) || !c.is_finite() {
+                return Err(MrmError::InvalidParameter {
+                    name: "impulse",
+                    reason: format!("invalid impulse {c} on ({i},{j})"),
+                });
+            }
+            if base.generator().as_csr().get(i, j) == 0.0 {
+                return Err(MrmError::InvalidParameter {
+                    name: "impulse",
+                    reason: format!("impulse on ({i},{j}) but the transition rate is zero"),
+                });
+            }
+            if c > 0.0 {
+                b.push(i, j, c);
+                max_impulse = max_impulse.max(c);
+            }
+        }
+        Ok(ImpulseMrm {
+            base,
+            impulses: b.build(),
+            max_impulse,
+        })
+    }
+
+    /// The underlying rate-reward model.
+    pub fn base(&self) -> &SecondOrderMrm {
+        &self.base
+    }
+
+    /// The impulse on transition `i → j` (0 if none).
+    pub fn impulse(&self, i: usize, j: usize) -> f64 {
+        self.impulses.get(i, j)
+    }
+
+    /// The largest impulse.
+    pub fn max_impulse(&self) -> f64 {
+        self.max_impulse
+    }
+
+    /// Sparse impulse matrix.
+    pub fn impulse_matrix(&self) -> &CsrMatrix<f64> {
+        &self.impulses
+    }
+}
+
+/// Computes raw moments `0 ..= order` of the accumulated reward of an
+/// impulse-extended model at time `t` by the extended randomization
+/// recursion (see module docs).
+///
+/// # Errors
+///
+/// Same conditions as [`crate::uniformization::moments`].
+pub fn moments_with_impulse(
+    model: &ImpulseMrm,
+    order: usize,
+    t: f64,
+    config: &SolverConfig,
+) -> Result<MomentSolution, MrmError> {
+    if !(t >= 0.0) || !t.is_finite() {
+        return Err(MrmError::InvalidParameter {
+            name: "t",
+            reason: format!("time must be finite and non-negative, got {t}"),
+        });
+    }
+    if !(config.epsilon > 0.0) || config.epsilon >= 1.0 {
+        return Err(MrmError::InvalidParameter {
+            name: "epsilon",
+            reason: format!("must lie in (0,1), got {}", config.epsilon),
+        });
+    }
+    // No impulses: delegate to the plain solver.
+    if model.max_impulse == 0.0 {
+        return crate::uniformization::moments(model.base(), order, t, config);
+    }
+
+    let base = model.base();
+    let n_states = base.n_states();
+    let q = base.generator().uniformization_rate();
+    if q == 0.0 {
+        // Impulses require transitions; with none the base solver's
+        // frozen-chain path applies.
+        return crate::uniformization::moments(base, order, t, config);
+    }
+    let shift = base.min_rate().min(0.0);
+    let shifted_rates: Vec<f64> = base.rates().iter().map(|&r| r - shift).collect();
+    let max_rate = shifted_rates.iter().copied().fold(0.0, f64::max);
+    let max_sigma = base.variances().iter().map(|&s| s.sqrt()).fold(0.0, f64::max);
+    // d additionally dominates the impulses (see module docs).
+    let d = (max_rate / q)
+        .max(max_sigma / q.sqrt())
+        .max(model.max_impulse);
+
+    let q_prime = base
+        .generator()
+        .uniformized_kernel(q)
+        .expect("q > 0 checked above");
+    let r_prime: Vec<f64> = shifted_rates.iter().map(|&r| r / (q * d)).collect();
+    let s_half: Vec<f64> = base
+        .variances()
+        .iter()
+        .map(|&s| 0.5 * s / (q * d * d))
+        .collect();
+
+    // Impulse moment matrices Q'_l = {q_ij c_ij^l} / (q d^l l!), l = 1..=order.
+    let mut q_l: Vec<CsrMatrix<f64>> = Vec::with_capacity(order);
+    for l in 1..=order {
+        let mut b = TripletBuilder::with_capacity(n_states, n_states, model.impulses.nnz());
+        let scale = (ln_factorial(l as u64) + l as f64 * d.ln() + q.ln()).exp();
+        for i in 0..n_states {
+            for (j, c) in model.impulses.row(i) {
+                let rate = base.generator().as_csr().get(i, j);
+                b.push(i, j, rate * c.powi(l as i32) / scale);
+            }
+        }
+        q_l.push(b.build());
+    }
+
+    let (g_limit, error_bound) = impulse_truncation(q * t, d, order, config)?;
+    let weights = if t == 0.0 {
+        Vec::new()
+    } else {
+        poisson::weights_upto(q * t, g_limit)
+    };
+
+    let mut u: Vec<Vec<f64>> = (0..=order)
+        .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
+        .collect();
+    let mut acc: Vec<Vec<NeumaierSum>> = vec![vec![NeumaierSum::new(); n_states]; order + 1];
+    let mut scratch = vec![0.0f64; n_states];
+    let mut scratch2 = vec![0.0f64; n_states];
+
+    for k in 0..=g_limit {
+        let wk = weights.get(k as usize).copied().unwrap_or(0.0);
+        if wk > 0.0 {
+            for j in 0..=order {
+                for i in 0..n_states {
+                    acc[j][i].add(wk * u[j][i]);
+                }
+            }
+        }
+        if k == g_limit {
+            break;
+        }
+        for j in (0..=order).rev() {
+            q_prime.matvec_into(&u[j], &mut scratch);
+            // Impulse contributions Σ_{l=1}^{j} Q'_l · U^{(j−l)}.
+            for l in 1..=j {
+                q_l[l - 1].matvec_into(&u[j - l], &mut scratch2);
+                for i in 0..n_states {
+                    scratch[i] += scratch2[i];
+                }
+            }
+            if j >= 1 {
+                let (lo, hi) = u.split_at_mut(j);
+                let uj = &mut hi[0];
+                let ujm1 = &lo[j - 1];
+                if j >= 2 {
+                    let ujm2 = &lo[j - 2];
+                    for i in 0..n_states {
+                        uj[i] = scratch[i] + r_prime[i] * ujm1[i] + s_half[i] * ujm2[i];
+                    }
+                } else {
+                    for i in 0..n_states {
+                        uj[i] = scratch[i] + r_prime[i] * ujm1[i];
+                    }
+                }
+            } else {
+                u[0].copy_from_slice(&scratch);
+            }
+        }
+    }
+
+    let shifted_moments: Vec<Vec<f64>> = if t == 0.0 {
+        (0..=order)
+            .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
+            .collect()
+    } else {
+        (0..=order)
+            .map(|j| {
+                let scale = (ln_factorial(j as u64) + j as f64 * d.ln()).exp();
+                acc[j].iter().map(|a| scale * a.value()).collect()
+            })
+            .collect()
+    };
+    let per_state = unshift(&shifted_moments, shift, t);
+    let weighted = (0..=order)
+        .map(|j| {
+            per_state[j]
+                .iter()
+                .zip(base.initial())
+                .map(|(&v, &p)| v * p)
+                .sum()
+        })
+        .collect();
+    Ok(MomentSolution {
+        t,
+        per_state,
+        weighted,
+        stats: SolverStats {
+            q,
+            d,
+            shift,
+            iterations: g_limit,
+            error_bound,
+        },
+    })
+}
+
+/// Impulse-extended truncation: `4ʲ` front factor instead of `2` (see
+/// module docs), worst order wins, `G ≥ 2·order` enforced so the bound
+/// derivation applies.
+fn impulse_truncation(
+    qt: f64,
+    d: f64,
+    order: usize,
+    config: &SolverConfig,
+) -> Result<(u64, f64), MrmError> {
+    if qt == 0.0 {
+        return Ok((0, 0.0));
+    }
+    let ln_front: Vec<f64> = (0..=order)
+        .map(|j| {
+            (j as f64) * 4.0f64.ln()
+                + j as f64 * d.ln()
+                + ln_factorial(j as u64)
+                + j as f64 * qt.ln()
+        })
+        .collect();
+    let ln_eps = config.epsilon.ln();
+    let ln_bound = |g: u64| {
+        (0..=order)
+            .map(|j| {
+                let tail = if g >= j as u64 {
+                    poisson::ln_tail_above(qt, g - j as u64)
+                } else {
+                    0.0
+                };
+                ln_front[j] + tail
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    let mut hi = (qt as u64).max(16);
+    let mut guard = 0;
+    while ln_bound(hi) >= ln_eps {
+        hi = hi.saturating_mul(2);
+        guard += 1;
+        if guard > 64 || hi > config.max_iterations {
+            return Err(MrmError::InvalidParameter {
+                name: "max_iterations",
+                reason: format!("truncation point exceeds cap (qt = {qt})"),
+            });
+        }
+    }
+    let mut lo = 0u64;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if ln_bound(mid) < ln_eps {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok((hi.max(2 * order as u64), ln_bound(hi).exp()))
+}
+
+fn unshift(shifted: &[Vec<f64>], shift: f64, t: f64) -> Vec<Vec<f64>> {
+    if shift == 0.0 {
+        return shifted.to_vec();
+    }
+    let order = shifted.len() - 1;
+    let n_states = shifted[0].len();
+    let c = shift * t;
+    (0..=order)
+        .map(|n| {
+            (0..n_states)
+                .map(|i| {
+                    (0..=n)
+                        .map(|j| {
+                            somrm_num::special::binomial(n as u32, j as u32)
+                                * c.powi((n - j) as i32)
+                                * shifted[j][i]
+                        })
+                        .sum()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use somrm_ctmc::generator::GeneratorBuilder;
+
+    fn cyclic_base(n: usize, rate: f64) -> SecondOrderMrm {
+        let mut b = GeneratorBuilder::new(n);
+        for i in 0..n {
+            b.rate(i, (i + 1) % n, rate).unwrap();
+        }
+        let mut init = vec![0.0; n];
+        init[0] = 1.0;
+        SecondOrderMrm::new(b.build().unwrap(), vec![0.0; n], vec![0.0; n], init).unwrap()
+    }
+
+    #[test]
+    fn pure_impulse_counts_poisson_events() {
+        // A 1-cycle... use 2-state cyclic chain with equal rates λ: the
+        // transition count N(t) is Poisson(λt) (every sojourn is
+        // exp(λ)). With impulse c on every transition, B(t) = c·N(t):
+        // E[B] = cλt, Var[B] = c²λt, E[B³] = c³·E[N³].
+        let lambda = 3.0;
+        let base = cyclic_base(2, lambda);
+        let c = 2.5;
+        let model = ImpulseMrm::new(base, &[(0, 1, c), (1, 0, c)]).unwrap();
+        let t = 0.8;
+        let sol = moments_with_impulse(&model, 3, t, &SolverConfig::default()).unwrap();
+        let m = lambda * t; // Poisson mean
+        assert!((sol.mean() - c * m).abs() < 1e-8, "mean {}", sol.mean());
+        assert!(
+            (sol.raw_moment(2) - c * c * (m + m * m)).abs() < 1e-7,
+            "m2 {}",
+            sol.raw_moment(2)
+        );
+        // E[N³] = m³ + 3m² + m for Poisson.
+        let n3 = m * m * m + 3.0 * m * m + m;
+        assert!(
+            (sol.raw_moment(3) - c * c * c * n3).abs() < 1e-6,
+            "m3 {}",
+            sol.raw_moment(3)
+        );
+    }
+
+    #[test]
+    fn zero_impulses_match_base_solver() {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 2.0).unwrap();
+        let base = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![1.0, 3.0],
+            vec![0.5, 2.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let model = ImpulseMrm::new(base.clone(), &[]).unwrap();
+        let t = 0.9;
+        let a = moments_with_impulse(&model, 3, t, &SolverConfig::default()).unwrap();
+        let c = crate::uniformization::moments(&base, 3, t, &SolverConfig::default()).unwrap();
+        for n in 0..=3 {
+            assert!((a.raw_moment(n) - c.raw_moment(n)).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn rate_plus_impulse_mean_decomposes() {
+        // E[B] = E[rate part] + Σ_ij c_ij · E[#transitions i→j]; for the
+        // symmetric 2-state chain with impulse on 0→1 only, the expected
+        // count is ∫ λ·P(Z=0) du.
+        let lambda = 2.0;
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, lambda).unwrap();
+        b.rate(1, 0, lambda).unwrap();
+        let base = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![1.0, 4.0],
+            vec![0.3, 0.6],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let c01 = 1.7;
+        let model = ImpulseMrm::new(base.clone(), &[(0, 1, c01)]).unwrap();
+        let t = 1.1;
+        let with = moments_with_impulse(&model, 1, t, &SolverConfig::default()).unwrap();
+        let without =
+            crate::uniformization::moments(&base, 1, t, &SolverConfig::default()).unwrap();
+        // P(Z=0 | Z0=0) = 1/2 (1 + e^{-2λu}); expected count = λ∫ = λt/2 + (1−e^{−2λt})/4.
+        let count = lambda * t / 2.0 + (1.0 - (-2.0 * lambda * t).exp()) / 4.0;
+        assert!(
+            (with.mean() - without.mean() - c01 * count).abs() < 1e-8,
+            "{} vs {} + {}",
+            with.mean(),
+            without.mean(),
+            c01 * count
+        );
+    }
+
+    #[test]
+    fn second_order_plus_impulse_variance_sane() {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        let base = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![1.0, 1.0],
+            vec![0.5, 0.5],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let model = ImpulseMrm::new(base.clone(), &[(0, 1, 1.0)]).unwrap();
+        let sol = moments_with_impulse(&model, 2, 1.0, &SolverConfig::default()).unwrap();
+        let no_imp = crate::uniformization::moments(&base, 2, 1.0, &SolverConfig::default())
+            .unwrap();
+        // Impulses add variance.
+        assert!(sol.variance() > no_imp.variance());
+        assert!((sol.raw_moment(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_impulses_rejected() {
+        let base = cyclic_base(2, 1.0);
+        assert!(ImpulseMrm::new(base.clone(), &[(0, 0, 1.0)]).is_err());
+        assert!(ImpulseMrm::new(base.clone(), &[(0, 1, -1.0)]).is_err());
+        assert!(ImpulseMrm::new(base.clone(), &[(0, 5, 1.0)]).is_err());
+        assert!(ImpulseMrm::new(base.clone(), &[(0, 1, f64::NAN)]).is_err());
+        // 3-state cycle has no 0→2 rate.
+        let base3 = cyclic_base(3, 1.0);
+        assert!(ImpulseMrm::new(base3, &[(0, 2, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn zero_time_degenerate() {
+        let base = cyclic_base(2, 1.0);
+        let model = ImpulseMrm::new(base, &[(0, 1, 1.0)]).unwrap();
+        let sol = moments_with_impulse(&model, 2, 0.0, &SolverConfig::default()).unwrap();
+        assert_eq!(sol.raw_moment(1), 0.0);
+    }
+}

@@ -1,0 +1,422 @@
+//! Terminal-state-resolved reward moments.
+//!
+//! Classic performability questions condition on where the system ends
+//! up: *"how much work is done by time `t` **and** the system is
+//! operational at `t`?"* Formally, for a terminal weight vector `w`,
+//!
+//! ```text
+//! W⁽ⁿ⁾_i(t) = E[ Bⁿ(t) · w_{Z(t)} | Z(0) = i ].
+//! ```
+//!
+//! `w = 1` recovers the plain moments; `w = 1_{A}` gives the restricted
+//! (defective) moments on the event `{Z(t) ∈ A}`, whose order-0 entry is
+//! `P[Z(t) ∈ A | Z(0) = i]`. The derivation of Theorem 2 goes through
+//! verbatim with the initial condition `W⁽⁰⁾(0) = w` instead of `1`
+//! (the conditioning argument is on the *first* interval, so only the
+//! terminal boundary changes), and Theorem 3's recursion follows with
+//! `U⁽⁰⁾(0) = w` — one extra detail: Lemma 2 bounds coefficients by
+//! `‖w‖_∞·g_{n,k}`, so the Theorem-4 truncation picks up a factor
+//! `max(1, ‖w‖_∞)`.
+
+use crate::error::MrmError;
+use crate::model::SecondOrderMrm;
+use crate::uniformization::{MomentSolution, SolverConfig, SolverStats};
+use somrm_num::poisson;
+use somrm_num::special::{binomial, ln_factorial};
+use somrm_num::sum::NeumaierSum;
+
+/// Computes terminal-weighted raw moments
+/// `E[Bⁿ(t)·w_{Z(t)} | Z(0) = i]` for `n = 0 ..= order`.
+///
+/// The returned [`MomentSolution`] holds these defective moments; its
+/// order-0 entries equal `E[w_{Z(t)}]` rather than 1.
+///
+/// # Errors
+///
+/// Same conditions as [`crate::uniformization::moments`], plus a
+/// length/validity check on `terminal_weights` (finite, non-negative).
+///
+/// # Example
+///
+/// ```
+/// use somrm_ctmc::generator::GeneratorBuilder;
+/// use somrm_core::model::SecondOrderMrm;
+/// use somrm_core::terminal::moments_terminal_weighted;
+/// use somrm_core::uniformization::SolverConfig;
+///
+/// let mut b = GeneratorBuilder::new(2);
+/// b.rate(0, 1, 1.0)?;
+/// b.rate(1, 0, 1.0)?;
+/// let m = SecondOrderMrm::new(b.build()?, vec![1.0, 0.0], vec![0.1, 0.0], vec![1.0, 0.0])?;
+/// // Reward accumulated *and* chain in state 0 at t.
+/// let sol = moments_terminal_weighted(&m, 1, 0.5, &[1.0, 0.0], &SolverConfig::default())?;
+/// assert!(sol.raw_moment(0) < 1.0); // P[Z(t)=0] < 1
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn moments_terminal_weighted(
+    model: &SecondOrderMrm,
+    order: usize,
+    t: f64,
+    terminal_weights: &[f64],
+    config: &SolverConfig,
+) -> Result<MomentSolution, MrmError> {
+    let n_states = model.n_states();
+    if terminal_weights.len() != n_states {
+        return Err(MrmError::DimensionMismatch {
+            what: "terminal weight vector",
+            expected: n_states,
+            actual: terminal_weights.len(),
+        });
+    }
+    for (i, &w) in terminal_weights.iter().enumerate() {
+        if !(w >= 0.0) || !w.is_finite() {
+            return Err(MrmError::InvalidParameter {
+                name: "terminal_weights",
+                reason: format!("weight of state {i} is {w}"),
+            });
+        }
+    }
+    if !(t >= 0.0) || !t.is_finite() {
+        return Err(MrmError::InvalidParameter {
+            name: "t",
+            reason: format!("time must be finite and non-negative, got {t}"),
+        });
+    }
+    if !(config.epsilon > 0.0) || config.epsilon >= 1.0 {
+        return Err(MrmError::InvalidParameter {
+            name: "epsilon",
+            reason: format!("must lie in (0,1), got {}", config.epsilon),
+        });
+    }
+
+    let q = model.generator().uniformization_rate();
+    let shift = model.min_rate().min(0.0);
+    let shifted_rates: Vec<f64> = model.rates().iter().map(|&r| r - shift).collect();
+    let w_max = terminal_weights.iter().cloned().fold(0.0, f64::max);
+
+    if q == 0.0 || t == 0.0 {
+        // Frozen chain / zero horizon: w_{Z(t)} = w_{Z(0)} and B(t) has
+        // the single-state normal moments (or is 0 at t = 0).
+        let plain = crate::uniformization::moments(model, order, t, config)?;
+        let per_state: Vec<Vec<f64>> = (0..=order)
+            .map(|n| {
+                (0..n_states)
+                    .map(|i| plain.per_state[n][i] * terminal_weights[i])
+                    .collect()
+            })
+            .collect();
+        let weighted = (0..=order)
+            .map(|n| {
+                per_state[n]
+                    .iter()
+                    .zip(model.initial())
+                    .map(|(&v, &p)| v * p)
+                    .sum()
+            })
+            .collect();
+        return Ok(MomentSolution {
+            t,
+            per_state,
+            weighted,
+            stats: plain.stats,
+        });
+    }
+
+    let max_rate = shifted_rates.iter().copied().fold(0.0, f64::max);
+    let max_sigma = model.variances().iter().map(|&s| s.sqrt()).fold(0.0, f64::max);
+    let d = (max_rate / q).max(max_sigma / q.sqrt()).max(f64::MIN_POSITIVE);
+
+    let q_prime = model
+        .generator()
+        .uniformized_kernel(q)
+        .expect("q > 0 checked above");
+    let r_prime: Vec<f64> = shifted_rates.iter().map(|&r| r / (q * d)).collect();
+    let s_half: Vec<f64> = model
+        .variances()
+        .iter()
+        .map(|&s| 0.5 * s / (q * d * d))
+        .collect();
+
+    let (g_limit, error_bound) = terminal_truncation(q * t, d, order, w_max, config)?;
+    let weights = poisson::weights_upto(q * t, g_limit);
+
+    let mut u: Vec<Vec<f64>> = (0..=order)
+        .map(|j| {
+            if j == 0 {
+                terminal_weights.to_vec()
+            } else {
+                vec![0.0; n_states]
+            }
+        })
+        .collect();
+    let mut acc: Vec<Vec<NeumaierSum>> = vec![vec![NeumaierSum::new(); n_states]; order + 1];
+    let mut scratch = vec![0.0f64; n_states];
+
+    for k in 0..=g_limit {
+        let wk = weights[k as usize];
+        if wk > 0.0 {
+            for j in 0..=order {
+                for i in 0..n_states {
+                    acc[j][i].add(wk * u[j][i]);
+                }
+            }
+        }
+        if k == g_limit {
+            break;
+        }
+        for j in (0..=order).rev() {
+            q_prime.matvec_into_parallel(&u[j], &mut scratch, config.threads);
+            if j >= 1 {
+                let (lo, hi) = u.split_at_mut(j);
+                let uj = &mut hi[0];
+                let ujm1 = &lo[j - 1];
+                if j >= 2 {
+                    let ujm2 = &lo[j - 2];
+                    for i in 0..n_states {
+                        uj[i] = scratch[i] + r_prime[i] * ujm1[i] + s_half[i] * ujm2[i];
+                    }
+                } else {
+                    for i in 0..n_states {
+                        uj[i] = scratch[i] + r_prime[i] * ujm1[i];
+                    }
+                }
+            } else {
+                u[0].copy_from_slice(&scratch);
+            }
+        }
+    }
+
+    let shifted_moments: Vec<Vec<f64>> = (0..=order)
+        .map(|j| {
+            let scale = (ln_factorial(j as u64) + j as f64 * d.ln()).exp();
+            acc[j].iter().map(|a| scale * a.value()).collect()
+        })
+        .collect();
+    // Un-shift the *defective* moments: E[(B̌+c)ⁿ w] = Σ C(n,j)c^{n−j}E[B̌ʲ w].
+    let per_state = if shift == 0.0 {
+        shifted_moments
+    } else {
+        let c = shift * t;
+        (0..=order)
+            .map(|n| {
+                (0..n_states)
+                    .map(|i| {
+                        (0..=n)
+                            .map(|j| {
+                                binomial(n as u32, j as u32)
+                                    * c.powi((n - j) as i32)
+                                    * shifted_moments[j][i]
+                            })
+                            .sum()
+                    })
+                    .collect()
+            })
+            .collect()
+    };
+    let weighted = (0..=order)
+        .map(|j| {
+            per_state[j]
+                .iter()
+                .zip(model.initial())
+                .map(|(&v, &p)| v * p)
+                .sum()
+        })
+        .collect();
+    Ok(MomentSolution {
+        t,
+        per_state,
+        weighted,
+        stats: SolverStats {
+            q,
+            d,
+            shift,
+            iterations: g_limit,
+            error_bound,
+        },
+    })
+}
+
+/// Theorem-4 truncation with the extra `max(1, ‖w‖_∞)` factor from the
+/// weighted initial condition.
+fn terminal_truncation(
+    qt: f64,
+    d: f64,
+    order: usize,
+    w_max: f64,
+    config: &SolverConfig,
+) -> Result<(u64, f64), MrmError> {
+    if qt == 0.0 {
+        return Ok((0, 0.0));
+    }
+    let ln_w = w_max.max(1.0).ln();
+    let ln_front: Vec<f64> = (0..=order)
+        .map(|j| {
+            std::f64::consts::LN_2
+                + ln_w
+                + j as f64 * d.ln()
+                + ln_factorial(j as u64)
+                + j as f64 * qt.ln()
+        })
+        .collect();
+    let ln_eps = config.epsilon.ln();
+    let ln_bound = |g: u64| {
+        (0..=order)
+            .map(|j| {
+                let tail = if g >= j as u64 {
+                    poisson::ln_tail_above(qt, g - j as u64)
+                } else {
+                    0.0
+                };
+                ln_front[j] + tail
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+    let mut hi = (qt as u64).max(16);
+    let mut guard = 0;
+    while ln_bound(hi) >= ln_eps {
+        hi = hi.saturating_mul(2);
+        guard += 1;
+        if guard > 64 || hi > config.max_iterations {
+            return Err(MrmError::InvalidParameter {
+                name: "max_iterations",
+                reason: format!("truncation point exceeds cap (qt = {qt})"),
+            });
+        }
+    }
+    let mut lo = 0u64;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if ln_bound(mid) < ln_eps {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok((hi, ln_bound(hi).exp()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniformization::moments;
+    use somrm_ctmc::generator::GeneratorBuilder;
+    use somrm_ctmc::transient::transient_distribution;
+
+    fn model2() -> SecondOrderMrm {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 2.0).unwrap();
+        SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![1.0, 4.0],
+            vec![0.5, 2.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn unit_weights_recover_plain_moments() {
+        let m = model2();
+        let t = 0.8;
+        let a =
+            moments_terminal_weighted(&m, 3, t, &[1.0, 1.0], &SolverConfig::default()).unwrap();
+        let b = moments(&m, 3, t, &SolverConfig::default()).unwrap();
+        for n in 0..=3 {
+            assert!(
+                (a.raw_moment(n) - b.raw_moment(n)).abs() < 1e-9 * b.raw_moment(n).abs().max(1.0),
+                "order {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn order_zero_is_transient_probability() {
+        let m = model2();
+        let t = 0.6;
+        let sol =
+            moments_terminal_weighted(&m, 2, t, &[0.0, 1.0], &SolverConfig::default()).unwrap();
+        let p = transient_distribution(m.generator(), m.initial(), t, 1e-12).unwrap();
+        assert!(
+            (sol.raw_moment(0) - p[1]).abs() < 1e-9,
+            "{} vs {}",
+            sol.raw_moment(0),
+            p[1]
+        );
+    }
+
+    #[test]
+    fn indicator_weights_partition_the_moments() {
+        // Σ over a partition of terminal indicators = plain moments.
+        let m = model2();
+        let t = 1.1;
+        let a =
+            moments_terminal_weighted(&m, 3, t, &[1.0, 0.0], &SolverConfig::default()).unwrap();
+        let b =
+            moments_terminal_weighted(&m, 3, t, &[0.0, 1.0], &SolverConfig::default()).unwrap();
+        let total = moments(&m, 3, t, &SolverConfig::default()).unwrap();
+        for n in 0..=3 {
+            assert!(
+                (a.raw_moment(n) + b.raw_moment(n) - total.raw_moment(n)).abs()
+                    < 1e-8 * total.raw_moment(n).abs().max(1.0),
+                "order {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_in_the_weights() {
+        let m = model2();
+        let t = 0.5;
+        let w1 = [2.0, 0.5];
+        let a = moments_terminal_weighted(&m, 2, t, &w1, &SolverConfig::default()).unwrap();
+        let e0 =
+            moments_terminal_weighted(&m, 2, t, &[1.0, 0.0], &SolverConfig::default()).unwrap();
+        let e1 =
+            moments_terminal_weighted(&m, 2, t, &[0.0, 1.0], &SolverConfig::default()).unwrap();
+        for n in 0..=2 {
+            let combo = 2.0 * e0.raw_moment(n) + 0.5 * e1.raw_moment(n);
+            assert!((a.raw_moment(n) - combo).abs() < 1e-8, "order {n}");
+        }
+    }
+
+    #[test]
+    fn negative_rates_handled_via_shift() {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        let m = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![-2.0, 3.0],
+            vec![0.5, 0.5],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let t = 0.7;
+        let a =
+            moments_terminal_weighted(&m, 2, t, &[1.0, 1.0], &SolverConfig::default()).unwrap();
+        let plain = moments(&m, 2, t, &SolverConfig::default()).unwrap();
+        for n in 0..=2 {
+            assert!((a.raw_moment(n) - plain.raw_moment(n)).abs() < 1e-8, "order {n}");
+        }
+    }
+
+    #[test]
+    fn zero_time_weights_by_initial_state() {
+        let m = model2();
+        let sol =
+            moments_terminal_weighted(&m, 1, 0.0, &[3.0, 7.0], &SolverConfig::default()).unwrap();
+        // Start in state 0 surely: E[w_{Z(0)}] = 3.
+        assert!((sol.raw_moment(0) - 3.0).abs() < 1e-12);
+        assert_eq!(sol.raw_moment(1), 0.0);
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        let m = model2();
+        let cfg = SolverConfig::default();
+        assert!(moments_terminal_weighted(&m, 1, 1.0, &[1.0], &cfg).is_err());
+        assert!(moments_terminal_weighted(&m, 1, 1.0, &[-1.0, 1.0], &cfg).is_err());
+        assert!(moments_terminal_weighted(&m, 1, 1.0, &[f64::NAN, 1.0], &cfg).is_err());
+    }
+}

@@ -1,0 +1,899 @@
+//! The randomization (uniformization) based moment solver —
+//! Theorems 3 and 4 of the paper, implemented as in Appendix B.
+//!
+//! # Method
+//!
+//! With `q = max_i |q_ii|` and a normalization constant `d`, define the
+//! non-negative substochastic matrices
+//!
+//! ```text
+//! Q' = Q/q + I,     R' = R/(q·d),     S' = S/(q·d²),
+//! ```
+//!
+//! after shifting the drifts by `ř = min_i r_i` when any drift is
+//! negative. The n-th raw moment of the (shifted) accumulated reward is
+//! the Poisson-weighted series (Theorem 3)
+//!
+//! ```text
+//! V⁽ⁿ⁾(t) = n!·dⁿ · Σ_k e^{−qt}(qt)^k/k! · U⁽ⁿ⁾(k),
+//! U⁽ⁿ⁾(k+1) = R'·U⁽ⁿ⁻¹⁾(k) + ½·S'·U⁽ⁿ⁻²⁾(k) + Q'·U⁽ⁿ⁾(k),
+//! ```
+//!
+//! truncated at the `G` of Theorem 4 so the absolute error is below a
+//! user-chosen `ε`. The recursion multiplies only substochastic matrices
+//! with non-negative vectors: it is subtraction-free, hence numerically
+//! stable, and each step costs `(m + 2)` sparse/diagonal vector products
+//! (`m` = mean non-zeros per row of `Q'`) — the same as first-order MRM
+//! analysis, which is the paper's headline complexity claim.
+//!
+//! # Deviation from the paper (documented in DESIGN.md §2)
+//!
+//! The paper prints `d = max_i{r_i, σ_i}/q`, which does **not** make
+//! `S' = S/(q·d²)` substochastic whenever `q > 1`. Lemma 2 requires
+//! `d ≥ r_i/q` *and* `d ≥ σ_i/√q`; we use the smallest such `d`:
+//!
+//! ```text
+//! d = max( max_i ř_i/q , max_i σ_i/√q )
+//! ```
+//!
+//! All statements of Theorems 3–4 hold verbatim with this `d`.
+
+use crate::error::MrmError;
+use crate::model::SecondOrderMrm;
+use somrm_num::poisson;
+use somrm_num::special::{binomial, ln_factorial};
+use somrm_num::sum::NeumaierSum;
+
+/// Configuration of the randomization moment solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverConfig {
+    /// Absolute truncation error bound `ε` of Theorem 4 (paper default
+    /// `1e-9`).
+    pub epsilon: f64,
+    /// Hard cap on the number of iterations `G` (safety valve for
+    /// extreme `qt`; the bound of Theorem 4 always terminates, this cap
+    /// only guards against absurd resource use).
+    pub max_iterations: u64,
+    /// Worker threads for the sparse mat-vec (only engaged on models
+    /// with ≥ 4096 states; 1 = serial). The recursion itself is
+    /// inherently sequential in `k`, so this parallelizes within each
+    /// step.
+    pub threads: usize,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            epsilon: 1e-9,
+            max_iterations: 50_000_000,
+            threads: 1,
+        }
+    }
+}
+
+/// Moments of the accumulated reward `B(t)` at one time point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentSolution {
+    /// The time of accumulation `t`.
+    pub t: f64,
+    /// `per_state[n][i] = E[Bⁿ(t) | Z(0) = i]` for `n = 0 ..= order`.
+    pub per_state: Vec<Vec<f64>>,
+    /// `weighted[n] = π · V⁽ⁿ⁾(t)`, the moments from the model's initial
+    /// distribution.
+    pub weighted: Vec<f64>,
+    /// Diagnostics of the run.
+    pub stats: SolverStats,
+}
+
+impl MomentSolution {
+    /// Highest moment order contained in this solution.
+    pub fn order(&self) -> usize {
+        self.weighted.len() - 1
+    }
+
+    /// The π-weighted `n`-th raw moment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.order()`.
+    pub fn raw_moment(&self, n: usize) -> f64 {
+        self.weighted[n]
+    }
+
+    /// The π-weighted mean `E[B(t)]`.
+    pub fn mean(&self) -> f64 {
+        self.raw_moment(1)
+    }
+
+    /// The π-weighted variance `E[B²] − E[B]²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution holds fewer than 2 moments.
+    pub fn variance(&self) -> f64 {
+        self.weighted[2] - self.weighted[1] * self.weighted[1]
+    }
+
+    /// The `n`-th raw moment of the **time-averaged** reward `B(t)/t`
+    /// (e.g. the average available bandwidth over the interval, rather
+    /// than the accumulated amount).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.order()` or `t == 0` (the time average is
+    /// undefined at `t = 0`).
+    pub fn time_average_raw_moment(&self, n: usize) -> f64 {
+        assert!(self.t > 0.0, "time average undefined at t = 0");
+        self.weighted[n] / self.t.powi(n as i32)
+    }
+
+    /// Mean of the time-averaged reward `E[B(t)]/t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t == 0`.
+    pub fn time_average_mean(&self) -> f64 {
+        self.time_average_raw_moment(1)
+    }
+
+    /// Variance of the time-averaged reward `Var[B(t)]/t²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution holds fewer than 2 moments or `t == 0`.
+    pub fn time_average_variance(&self) -> f64 {
+        assert!(self.t > 0.0, "time average undefined at t = 0");
+        self.variance() / (self.t * self.t)
+    }
+}
+
+/// Diagnostics reported alongside a solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SolverStats {
+    /// Uniformization rate `q = max_i |q_ii|`.
+    pub q: f64,
+    /// Normalization constant `d` (see module docs).
+    pub d: f64,
+    /// Drift shift `ř` applied (0 when all drifts are non-negative).
+    pub shift: f64,
+    /// Truncation point `G` of Theorem 4 for the largest requested
+    /// time/order.
+    pub iterations: u64,
+    /// The absolute error bound that `G` guarantees.
+    pub error_bound: f64,
+}
+
+/// Computes raw moments `0 ..= order` of the accumulated reward at time
+/// `t`.
+///
+/// This is the paper's algorithm (Appendix B) generalized to return all
+/// moment orders up to `order` in a single pass (the recursion computes
+/// them anyway).
+///
+/// # Errors
+///
+/// Returns [`MrmError::InvalidParameter`] for a negative/non-finite `t`,
+/// a non-positive `ε`, or if the iteration cap is exceeded.
+///
+/// # Example
+///
+/// ```
+/// use somrm_ctmc::generator::GeneratorBuilder;
+/// use somrm_core::model::SecondOrderMrm;
+/// use somrm_core::uniformization::{moments, SolverConfig};
+///
+/// let mut b = GeneratorBuilder::new(2);
+/// b.rate(0, 1, 1.0)?;
+/// b.rate(1, 0, 1.0)?;
+/// let model = SecondOrderMrm::new(b.build()?, vec![1.0, 1.0], vec![0.5, 0.5], vec![1.0, 0.0])?;
+/// // Unit drift everywhere: the mean reward is exactly t.
+/// let sol = moments(&model, 2, 0.7, &SolverConfig::default())?;
+/// assert!((sol.mean() - 0.7).abs() < 1e-9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn moments(
+    model: &SecondOrderMrm,
+    order: usize,
+    t: f64,
+    config: &SolverConfig,
+) -> Result<MomentSolution, MrmError> {
+    let mut sweep = moments_sweep(model, order, &[t], config)?;
+    Ok(sweep.pop().expect("one time point requested"))
+}
+
+/// Computes moments at several time points in a single pass of the
+/// `U`-recursion.
+///
+/// The coefficient vectors `U⁽ⁿ⁾(k)` do not depend on `t` — only the
+/// Poisson weights do — so one recursion run (to the `G` of the largest
+/// time) serves every requested point. This is how the paper's Figure 3,
+/// 4 and 8 sweeps are produced efficiently.
+///
+/// # Errors
+///
+/// See [`moments`]. An empty `times` slice yields an empty vector.
+pub fn moments_sweep(
+    model: &SecondOrderMrm,
+    order: usize,
+    times: &[f64],
+    config: &SolverConfig,
+) -> Result<Vec<MomentSolution>, MrmError> {
+    validate_params(times, config)?;
+    if times.is_empty() {
+        return Ok(Vec::new());
+    }
+    let n_states = model.n_states();
+    let q = model.generator().uniformization_rate();
+
+    // Shift negative drifts: ř = min_i r_i if negative, else 0.
+    let shift = model.min_rate().min(0.0);
+    let shifted_rates: Vec<f64> = model.rates().iter().map(|&r| r - shift).collect();
+
+    // Degenerate chains (q = 0): the state never changes, B(t) is a plain
+    // Brownian motion with the initial state's parameters.
+    if q == 0.0 {
+        return Ok(times
+            .iter()
+            .map(|&t| frozen_chain_solution(model, order, t))
+            .collect());
+    }
+
+    // Corrected normalization constant (see module docs).
+    let max_rate = shifted_rates.iter().copied().fold(0.0, f64::max);
+    let max_sigma = model
+        .variances()
+        .iter()
+        .map(|&s| s.sqrt())
+        .fold(0.0, f64::max);
+    let d = (max_rate / q).max(max_sigma / q.sqrt());
+
+    if d == 0.0 {
+        // All shifted rates and variances vanish: B(t) = ř·t surely.
+        return Ok(times
+            .iter()
+            .map(|&t| deterministic_solution(model, order, t, shift))
+            .collect());
+    }
+
+    // Substochastic ingredients.
+    let q_prime = model
+        .generator()
+        .uniformized_kernel(q)
+        .expect("q > 0 checked above");
+    let r_prime: Vec<f64> = shifted_rates.iter().map(|&r| r / (q * d)).collect();
+    let s_half: Vec<f64> = model
+        .variances()
+        .iter()
+        .map(|&s| 0.5 * s / (q * d * d))
+        .collect();
+
+    // Truncation point: the largest G over requested times and orders.
+    let t_max = times.iter().copied().fold(0.0, f64::max);
+    let (g_limit, error_bound) = truncation_point(q * t_max, d, order, config)?;
+
+    // Poisson weights per time point.
+    let weights: Vec<Vec<f64>> = times
+        .iter()
+        .map(|&t| {
+            if t == 0.0 {
+                Vec::new()
+            } else {
+                poisson::weights_upto(q * t, g_limit)
+            }
+        })
+        .collect();
+
+    // U-recursion state: U[j] for j = 0..=order, plus accumulators per
+    // (time, order).
+    let mut u: Vec<Vec<f64>> = (0..=order)
+        .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
+        .collect();
+    let mut acc: Vec<Vec<Vec<NeumaierSum>>> = times
+        .iter()
+        .map(|_| vec![vec![NeumaierSum::new(); n_states]; order + 1])
+        .collect();
+
+    let mut scratch = vec![0.0f64; n_states];
+    for k in 0..=g_limit {
+        // Accumulate the k-th term for every time point.
+        for (ti, w) in weights.iter().enumerate() {
+            let wk = w.get(k as usize).copied().unwrap_or(0.0);
+            if wk > 0.0 {
+                for j in 0..=order {
+                    let uj = &u[j];
+                    let aj = &mut acc[ti][j];
+                    for i in 0..n_states {
+                        aj[i].add(wk * uj[i]);
+                    }
+                }
+            }
+        }
+        if k == g_limit {
+            break;
+        }
+        // U⁽ʲ⁾ ← ½S'·U⁽ʲ⁻²⁾ + R'·U⁽ʲ⁻¹⁾ + Q'·U⁽ʲ⁾, j = order .. 0
+        // (downward so the right-hand side uses iteration-k values).
+        for j in (0..=order).rev() {
+            q_prime.matvec_into_parallel(&u[j], &mut scratch, config.threads);
+            if j >= 1 {
+                let (lo, hi) = u.split_at_mut(j);
+                let uj = &mut hi[0];
+                let ujm1 = &lo[j - 1];
+                if j >= 2 {
+                    let ujm2 = &lo[j - 2];
+                    for i in 0..n_states {
+                        uj[i] = scratch[i] + r_prime[i] * ujm1[i] + s_half[i] * ujm2[i];
+                    }
+                } else {
+                    for i in 0..n_states {
+                        uj[i] = scratch[i] + r_prime[i] * ujm1[i];
+                    }
+                }
+            } else {
+                u[0].copy_from_slice(&scratch);
+            }
+        }
+    }
+
+    // Assemble solutions: scale by n!·dⁿ, un-shift, weight by π.
+    let stats = SolverStats {
+        q,
+        d,
+        shift,
+        iterations: g_limit,
+        error_bound,
+    };
+    let solutions = times
+        .iter()
+        .enumerate()
+        .map(|(ti, &t)| {
+            let shifted_moments: Vec<Vec<f64>> = if t == 0.0 {
+                // B(0) = 0: moment 0 is 1, the rest are 0.
+                (0..=order)
+                    .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
+                    .collect()
+            } else {
+                (0..=order)
+                    .map(|j| {
+                        let scale = (ln_factorial(j as u64) + j as f64 * d.ln()).exp();
+                        acc[ti][j].iter().map(|a| scale * a.value()).collect()
+                    })
+                    .collect()
+            };
+            let per_state = unshift_moments(&shifted_moments, shift, t);
+            let weighted = (0..=order)
+                .map(|j| {
+                    per_state[j]
+                        .iter()
+                        .zip(model.initial())
+                        .map(|(&v, &p)| v * p)
+                        .sum()
+                })
+                .collect();
+            MomentSolution {
+                t,
+                per_state,
+                weighted,
+                stats,
+            }
+        })
+        .collect();
+    Ok(solutions)
+}
+
+fn validate_params(times: &[f64], config: &SolverConfig) -> Result<(), MrmError> {
+    for &t in times {
+        if !(t >= 0.0) || !t.is_finite() {
+            return Err(MrmError::InvalidParameter {
+                name: "t",
+                reason: format!("time must be finite and non-negative, got {t}"),
+            });
+        }
+    }
+    if !(config.epsilon > 0.0) || config.epsilon >= 1.0 {
+        return Err(MrmError::InvalidParameter {
+            name: "epsilon",
+            reason: format!("must lie in (0,1), got {}", config.epsilon),
+        });
+    }
+    Ok(())
+}
+
+/// Theorem 4 (with two corrections): the smallest `G` with
+/// `2·dʲ·j!·(qt)ʲ · P[Pois(qt) > G − j] < ε` for every requested order
+/// `j ≤ n`.
+///
+/// Corrections relative to the paper's eq. (11), documented in
+/// DESIGN.md §2:
+///
+/// 1. **Tail index.** The proof bounds
+///    `Σ_{k>G} w_k·k!/(k−j)! = (qt)ʲ·Σ_{k>G−j} w_k` via the substitution
+///    `k → k−j`, i.e. the Poisson tail starts at `G+1−j`; the paper
+///    prints `G+j+1`, which *under*-estimates the error (empirically
+///    visible: with the printed index the realized truncation error
+///    exceeds ε for small `qt`).
+/// 2. **All orders.** We return all orders `0..=n` from one pass, so `G`
+///    must satisfy the per-order bound for each of them.
+///
+/// Found by bisection on the monotone log-space bound. Returns
+/// `(G, guaranteed bound)`.
+fn truncation_point(
+    qt: f64,
+    d: f64,
+    order: usize,
+    config: &SolverConfig,
+) -> Result<(u64, f64), MrmError> {
+    if qt == 0.0 {
+        return Ok((0, 0.0));
+    }
+    let ln_front: Vec<f64> = (0..=order)
+        .map(|j| {
+            std::f64::consts::LN_2
+                + j as f64 * d.ln()
+                + ln_factorial(j as u64)
+                + j as f64 * qt.ln()
+        })
+        .collect();
+    let ln_eps = config.epsilon.ln();
+    let ln_bound = |g: u64| {
+        (0..=order)
+            .map(|j| {
+                let tail = if g >= j as u64 {
+                    poisson::ln_tail_above(qt, g - j as u64)
+                } else {
+                    0.0 // P[Pois > negative] = 1
+                };
+                ln_front[j] + tail
+            })
+            .fold(f64::NEG_INFINITY, f64::max)
+    };
+
+    // Exponential search for an upper bracket, then bisection.
+    let mut hi = (qt as u64).max(16);
+    let mut guard = 0;
+    while ln_bound(hi) >= ln_eps {
+        hi = hi.saturating_mul(2);
+        guard += 1;
+        if guard > 64 || hi > config.max_iterations {
+            return Err(MrmError::InvalidParameter {
+                name: "max_iterations",
+                reason: format!(
+                    "Theorem-4 truncation point exceeds the configured cap {} (qt = {qt})",
+                    config.max_iterations
+                ),
+            });
+        }
+    }
+    let mut lo = 0u64;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if ln_bound(mid) < ln_eps {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    Ok((hi, ln_bound(hi).exp()))
+}
+
+/// Moments when the chain never leaves its initial state: per state `i`,
+/// `B(t) ~ Normal(r_i t, σ_i² t)`, whose raw moments follow the
+/// recurrence `m_n = μ·m_{n−1} + (n−1)·σ²·m_{n−2}`.
+fn frozen_chain_solution(model: &SecondOrderMrm, order: usize, t: f64) -> MomentSolution {
+    let n_states = model.n_states();
+    let mut per_state: Vec<Vec<f64>> = vec![vec![0.0; n_states]; order + 1];
+    for i in 0..n_states {
+        let mu = model.rates()[i] * t;
+        let var = model.variances()[i] * t;
+        let mut m = vec![0.0; order + 1];
+        m[0] = 1.0;
+        if order >= 1 {
+            m[1] = mu;
+        }
+        for n in 2..=order {
+            m[n] = mu * m[n - 1] + (n - 1) as f64 * var * m[n - 2];
+        }
+        for n in 0..=order {
+            per_state[n][i] = m[n];
+        }
+    }
+    let weighted = (0..=order)
+        .map(|n| {
+            per_state[n]
+                .iter()
+                .zip(model.initial())
+                .map(|(&v, &p)| v * p)
+                .sum()
+        })
+        .collect();
+    MomentSolution {
+        t,
+        per_state,
+        weighted,
+        stats: SolverStats {
+            q: 0.0,
+            d: 0.0,
+            shift: 0.0,
+            iterations: 0,
+            error_bound: 0.0,
+        },
+    }
+}
+
+/// Moments when `B(t) = shift·t` deterministically.
+fn deterministic_solution(
+    model: &SecondOrderMrm,
+    order: usize,
+    t: f64,
+    shift: f64,
+) -> MomentSolution {
+    let n_states = model.n_states();
+    let per_state: Vec<Vec<f64>> = (0..=order)
+        .map(|n| vec![(shift * t).powi(n as i32); n_states])
+        .collect();
+    let weighted = (0..=order).map(|n| (shift * t).powi(n as i32)).collect();
+    MomentSolution {
+        t,
+        per_state,
+        weighted,
+        stats: SolverStats {
+            q: model.generator().uniformization_rate(),
+            d: 0.0,
+            shift,
+            iterations: 0,
+            error_bound: 0.0,
+        },
+    }
+}
+
+/// Un-shifts raw moments: if `B = B̌ + ř·t`, then
+/// `E[Bⁿ] = Σ_j C(n,j)·(řt)^{n−j}·E[B̌ʲ]`.
+fn unshift_moments(shifted: &[Vec<f64>], shift: f64, t: f64) -> Vec<Vec<f64>> {
+    if shift == 0.0 {
+        return shifted.to_vec();
+    }
+    let order = shifted.len() - 1;
+    let n_states = shifted[0].len();
+    let c = shift * t;
+    (0..=order)
+        .map(|n| {
+            (0..n_states)
+                .map(|i| {
+                    let mut acc = NeumaierSum::new();
+                    for j in 0..=n {
+                        acc.add(
+                            binomial(n as u32, j as u32)
+                                * c.powi((n - j) as i32)
+                                * shifted[j][i],
+                        );
+                    }
+                    acc.value()
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use somrm_ctmc::generator::GeneratorBuilder;
+
+    fn two_state_model(r: [f64; 2], s: [f64; 2]) -> SecondOrderMrm {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 2.0).unwrap();
+        SecondOrderMrm::new(b.build().unwrap(), r.to_vec(), s.to_vec(), vec![1.0, 0.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn zeroth_moment_is_one() {
+        let m = two_state_model([1.0, 3.0], [0.5, 2.0]);
+        let sol = moments(&m, 3, 0.8, &SolverConfig::default()).unwrap();
+        for i in 0..2 {
+            assert!((sol.per_state[0][i] - 1.0).abs() < 1e-9, "state {i}");
+        }
+        assert!((sol.raw_moment(0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_drift_gives_exact_mean() {
+        // r_i = c for all i → B(t) has mean c·t regardless of the chain.
+        let m = two_state_model([2.5, 2.5], [1.0, 3.0]);
+        let sol = moments(&m, 2, 1.3, &SolverConfig::default()).unwrap();
+        assert!((sol.mean() - 2.5 * 1.3).abs() < 1e-8);
+    }
+
+    #[test]
+    fn single_state_matches_normal_moments() {
+        // One state: B(t) ~ Normal(r t, σ² t). Raw moments are known.
+        let b = GeneratorBuilder::new(1);
+        let m = SecondOrderMrm::new(b.build().unwrap(), vec![2.0], vec![3.0], vec![1.0])
+            .unwrap();
+        let t = 0.7;
+        let sol = moments(&m, 4, t, &SolverConfig::default()).unwrap();
+        let mu = 2.0 * t;
+        let var = 3.0 * t;
+        assert!((sol.raw_moment(1) - mu).abs() < 1e-10);
+        assert!((sol.raw_moment(2) - (var + mu * mu)).abs() < 1e-10);
+        assert!((sol.raw_moment(3) - (mu * mu * mu + 3.0 * mu * var)).abs() < 1e-9);
+        assert!(
+            (sol.raw_moment(4) - (mu.powi(4) + 6.0 * mu * mu * var + 3.0 * var * var)).abs()
+                < 1e-9
+        );
+    }
+
+    #[test]
+    fn mean_independent_of_variance_parameters() {
+        // Figure 3's observation: E[B(t)] does not depend on S.
+        let m0 = two_state_model([1.0, 4.0], [0.0, 0.0]);
+        let m1 = two_state_model([1.0, 4.0], [1.0, 10.0]);
+        let cfg = SolverConfig {
+            epsilon: 1e-12,
+            ..SolverConfig::default()
+        };
+        for &t in &[0.2, 0.9, 2.0] {
+            let a = moments(&m0, 1, t, &cfg).unwrap();
+            let b = moments(&m1, 1, t, &cfg).unwrap();
+            // Each run carries up to ε absolute truncation error.
+            assert!((a.mean() - b.mean()).abs() < 5e-12, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn variance_increases_second_moment() {
+        let m0 = two_state_model([1.0, 4.0], [0.0, 0.0]);
+        let m1 = two_state_model([1.0, 4.0], [1.0, 10.0]);
+        let t = 0.5;
+        let a = moments(&m0, 2, t, &SolverConfig::default()).unwrap();
+        let b = moments(&m1, 2, t, &SolverConfig::default()).unwrap();
+        assert!(b.raw_moment(2) > a.raw_moment(2) + 0.1);
+        // In fact E[B²] grows by exactly E[∫σ²(Z(u))du]; sanity: positive.
+        assert!(b.variance() > a.variance());
+    }
+
+    #[test]
+    fn negative_rates_shift_round_trip() {
+        // Same chain, rates shifted by a constant c: moments must satisfy
+        // E[(B+ct)ⁿ] relation; easiest check: mean shifts by ct, variance
+        // unchanged.
+        let m_pos = two_state_model([1.0, 4.0], [0.5, 2.0]);
+        let m_neg = two_state_model([-2.0, 1.0], [0.5, 2.0]);
+        let t = 0.8;
+        let a = moments(&m_pos, 3, t, &SolverConfig::default()).unwrap();
+        let b = moments(&m_neg, 3, t, &SolverConfig::default()).unwrap();
+        assert!(b.stats.shift < 0.0);
+        assert!((a.mean() - 3.0 * t - b.mean()).abs() < 1e-8);
+        assert!((a.variance() - b.variance()).abs() < 1e-7);
+        // Third central moments also agree.
+        let c3 = |s: &MomentSolution| {
+            s.raw_moment(3) - 3.0 * s.mean() * s.raw_moment(2) + 2.0 * s.mean().powi(3)
+        };
+        assert!((c3(&a) - c3(&b)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sweep_matches_single_calls() {
+        let m = two_state_model([0.0, 3.0], [0.0, 2.0]);
+        let times = [0.1, 0.5, 1.0];
+        let cfg = SolverConfig {
+            epsilon: 1e-12,
+            ..SolverConfig::default()
+        };
+        let sweep = moments_sweep(&m, 3, &times, &cfg).unwrap();
+        for (i, &t) in times.iter().enumerate() {
+            let single = moments(&m, 3, t, &cfg).unwrap();
+            for j in 0..=3 {
+                // Sweep and single runs truncate at different G, so each
+                // carries its own ≤ ε error.
+                assert!(
+                    (sweep[i].raw_moment(j) - single.raw_moment(j)).abs()
+                        < 5e-12 * single.raw_moment(j).abs().max(1.0) + 5e-12,
+                    "t = {t}, order {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_time_moments() {
+        let m = two_state_model([1.0, 2.0], [1.0, 1.0]);
+        let sol = moments(&m, 3, 0.0, &SolverConfig::default()).unwrap();
+        assert_eq!(sol.raw_moment(0), 1.0);
+        assert_eq!(sol.raw_moment(1), 0.0);
+        assert_eq!(sol.raw_moment(3), 0.0);
+    }
+
+    #[test]
+    fn frozen_chain_normal_moments() {
+        // No transitions at all: q = 0 path.
+        let b = GeneratorBuilder::new(2);
+        let m = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![1.0, -1.0],
+            vec![2.0, 0.0],
+            vec![0.5, 0.5],
+        )
+        .unwrap();
+        let sol = moments(&m, 2, 1.0, &SolverConfig::default()).unwrap();
+        // State 0: N(1, 2): E[B²] = 2 + 1 = 3. State 1: B = −1 surely: E[B²] = 1.
+        assert!((sol.per_state[2][0] - 3.0).abs() < 1e-12);
+        assert!((sol.per_state[2][1] - 1.0).abs() < 1e-12);
+        assert!((sol.raw_moment(1) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_negative_drift_everywhere() {
+        // All rates equal and negative, zero variance: B(t) = −3t surely;
+        // exercises the d == 0 path after shifting.
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        let m = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![-3.0, -3.0],
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let sol = moments(&m, 2, 2.0, &SolverConfig::default()).unwrap();
+        assert!((sol.mean() + 6.0).abs() < 1e-12);
+        assert!((sol.raw_moment(2) - 36.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn substochasticity_of_normalized_matrices() {
+        // The corrected d must make R', S' substochastic even when q > 1
+        // and σ is large — the configuration where the paper's printed
+        // formula fails.
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 100.0).unwrap();
+        b.rate(1, 0, 50.0).unwrap();
+        let m = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![1.0, 5.0],
+            vec![0.0, 300.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let sol = moments(&m, 2, 0.1, &SolverConfig::default()).unwrap();
+        let q = sol.stats.q;
+        let d = sol.stats.d;
+        for (&r, &s) in m.rates().iter().zip(m.variances()) {
+            assert!(r / (q * d) <= 1.0 + 1e-12);
+            assert!(s / (q * d * d) <= 1.0 + 1e-12);
+        }
+        // And the paper's formula would have failed here:
+        let d_paper = m
+            .rates()
+            .iter()
+            .zip(m.variances())
+            .map(|(&r, &s)| r.max(s.sqrt()))
+            .fold(0.0f64, f64::max)
+            / q;
+        assert!(300.0 / (q * d_paper * d_paper) > 1.0, "paper d would not be substochastic");
+    }
+
+    #[test]
+    fn error_bound_reported_below_epsilon() {
+        let m = two_state_model([1.0, 3.0], [0.5, 2.0]);
+        let cfg = SolverConfig {
+            epsilon: 1e-10,
+            ..SolverConfig::default()
+        };
+        let sol = moments(&m, 3, 1.0, &cfg).unwrap();
+        assert!(sol.stats.error_bound < 1e-10);
+        assert!(sol.stats.iterations > 0);
+    }
+
+    #[test]
+    fn tighter_epsilon_needs_more_iterations() {
+        let m = two_state_model([1.0, 3.0], [0.5, 2.0]);
+        let loose = moments(&m, 2, 1.0, &SolverConfig { epsilon: 1e-4, ..Default::default() })
+            .unwrap();
+        let tight = moments(&m, 2, 1.0, &SolverConfig { epsilon: 1e-12, ..Default::default() })
+            .unwrap();
+        assert!(tight.stats.iterations > loose.stats.iterations);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let m = two_state_model([1.0, 1.0], [0.0, 0.0]);
+        assert!(moments(&m, 1, -1.0, &SolverConfig::default()).is_err());
+        assert!(moments(&m, 1, f64::NAN, &SolverConfig::default()).is_err());
+        let bad = SolverConfig {
+            epsilon: 0.0,
+            ..SolverConfig::default()
+        };
+        assert!(moments(&m, 1, 1.0, &bad).is_err());
+    }
+
+    #[test]
+    fn iteration_cap_enforced() {
+        let m = two_state_model([1.0, 1.0], [1.0, 1.0]);
+        let cfg = SolverConfig {
+            epsilon: 1e-9,
+            max_iterations: 2,
+            ..SolverConfig::default()
+        };
+        assert!(matches!(
+            moments(&m, 2, 100.0, &cfg),
+            Err(MrmError::InvalidParameter { name: "max_iterations", .. })
+        ));
+    }
+
+    #[test]
+    fn time_average_measures() {
+        let m = two_state_model([1.0, 3.0], [0.5, 2.0]);
+        let t = 2.0;
+        let sol = moments(&m, 2, t, &SolverConfig::default()).unwrap();
+        assert!((sol.time_average_mean() - sol.mean() / t).abs() < 1e-14);
+        assert!(
+            (sol.time_average_variance() - sol.variance() / (t * t)).abs() < 1e-14
+        );
+        assert!((sol.time_average_raw_moment(0) - 1.0).abs() < 1e-9);
+        // Long horizon: the time average concentrates at the long-run
+        // rate and its variance decays like 1/t.
+        let long = moments(&m, 2, 50.0, &SolverConfig::default()).unwrap();
+        let rate = m.steady_state_growth_rate().unwrap();
+        assert!((long.time_average_mean() - rate).abs() < 0.05);
+        assert!(long.time_average_variance() < sol.time_average_variance());
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined at t = 0")]
+    fn time_average_rejects_zero_time() {
+        let m = two_state_model([1.0, 3.0], [0.5, 2.0]);
+        let sol = moments(&m, 2, 0.0, &SolverConfig::default()).unwrap();
+        let _ = sol.time_average_mean();
+    }
+
+    #[test]
+    fn parallel_threads_give_identical_results() {
+        // Birth–death chain big enough to cross the parallel threshold.
+        let n = 5000usize;
+        let mut b = GeneratorBuilder::new(n);
+        for i in 0..n - 1 {
+            b.rate(i, i + 1, 3.0).unwrap();
+            b.rate(i + 1, i, 4.0).unwrap();
+        }
+        let mut init = vec![0.0; n];
+        init[0] = 1.0;
+        let rates: Vec<f64> = (0..n).map(|i| (n - i) as f64 / n as f64).collect();
+        let variances: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let m = SecondOrderMrm::new(b.build().unwrap(), rates, variances, init).unwrap();
+        let t = 0.5;
+        let serial = moments(&m, 2, t, &SolverConfig::default()).unwrap();
+        let parallel = moments(
+            &m,
+            2,
+            t,
+            &SolverConfig {
+                threads: 4,
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap();
+        // Same summation order per row → bitwise identical.
+        assert_eq!(serial.weighted, parallel.weighted);
+    }
+
+    #[test]
+    fn first_order_special_case_matches_known_two_state_mean() {
+        // First-order MRM with r = (0, 1), start in 0:
+        // E[B(t)] = ∫ P(Z(u)=1) du, closed form for the 2-state chain.
+        let (a, b) = (1.0, 2.0);
+        let mut gb = GeneratorBuilder::new(2);
+        gb.rate(0, 1, a).unwrap();
+        gb.rate(1, 0, b).unwrap();
+        let m = SecondOrderMrm::first_order(gb.build().unwrap(), vec![0.0, 1.0], vec![1.0, 0.0])
+            .unwrap();
+        let t: f64 = 1.1;
+        let sol = moments(&m, 1, t, &SolverConfig::default()).unwrap();
+        // P(Z(u)=1 | Z(0)=0) = a/(a+b)(1 − e^{−(a+b)u})
+        let s = a + b;
+        let integral = a / s * (t - (1.0 - (-s * t).exp()) / s);
+        assert!((sol.mean() - integral).abs() < 1e-9);
+    }
+}

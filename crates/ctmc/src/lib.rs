@@ -1,0 +1,37 @@
+//! Continuous-time Markov chain substrate.
+//!
+//! The structure-state process of a (second-order) Markov reward model is
+//! a finite CTMC. This crate provides everything the reward layers need
+//! from it:
+//!
+//! * [`generator`] — a validated generator matrix type ([`Generator`])
+//!   with a safe builder that derives the diagonal from the off-diagonal
+//!   rates;
+//! * [`transient`] — transient state probabilities `p(t) = π·e^{Qt}` by
+//!   uniformization (Poisson-weighted powers of the uniformized kernel);
+//! * [`stationary`] — stationary distributions by GTH elimination
+//!   (dense, numerically benign: no subtractions), a specialized O(n)
+//!   birth–death solver for the paper's ON-OFF model class, and power
+//!   iteration for very large sparse chains.
+//!
+//! # Example
+//!
+//! ```
+//! use somrm_ctmc::generator::GeneratorBuilder;
+//!
+//! // Two-state on/off chain.
+//! let mut b = GeneratorBuilder::new(2);
+//! b.rate(0, 1, 3.0).unwrap(); // off -> on
+//! b.rate(1, 0, 4.0).unwrap(); // on -> off
+//! let q = b.build().unwrap();
+//! let pi = somrm_ctmc::stationary::stationary_gth(&q).unwrap();
+//! assert!((pi[0] - 4.0 / 7.0).abs() < 1e-12);
+//! ```
+
+pub mod error;
+pub mod generator;
+pub mod stationary;
+pub mod transient;
+
+pub use error::CtmcError;
+pub use generator::{Generator, GeneratorBuilder};

@@ -1,0 +1,320 @@
+//! Stationary distributions of irreducible CTMCs.
+//!
+//! Three methods, matched to model scale:
+//!
+//! * [`stationary_gth`] — Grassmann–Taksar–Heyman elimination on a dense
+//!   copy. Subtraction-free (like the paper's randomization recursion)
+//!   and therefore extremely accurate; O(n³), fine up to a few thousand
+//!   states.
+//! * [`stationary_birth_death`] — closed-form product solution for
+//!   birth–death chains, O(n); this covers the paper's ON-OFF multiplexer
+//!   model at any size.
+//! * [`stationary_power`] — uniformized power iteration for large sparse
+//!   chains where neither of the above applies.
+
+use crate::error::CtmcError;
+use crate::generator::Generator;
+
+/// Stationary distribution by GTH (state-reduction) elimination.
+///
+/// Works on any irreducible generator; O(n³) time, O(n²) memory.
+///
+/// # Errors
+///
+/// Returns [`CtmcError::DegenerateChain`] if elimination hits a state
+/// with no remaining transitions (chain not irreducible).
+pub fn stationary_gth(gen: &Generator) -> Result<Vec<f64>, CtmcError> {
+    let n = gen.n_states();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if n == 1 {
+        return Ok(vec![1.0]);
+    }
+    let mut a = gen.to_dense();
+    // GTH elimination (Stewart, *Introduction to the Numerical Solution
+    // of Markov Chains*, §2.5): fold states n−1 .. 1 into the rest. Only
+    // off-diagonal entries are read, only additions/divisions of
+    // non-negative quantities are performed.
+    for k in (1..n).rev() {
+        let s: f64 = (0..k).map(|j| a[(k, j)]).sum();
+        if s <= 0.0 {
+            return Err(CtmcError::DegenerateChain);
+        }
+        for i in 0..k {
+            a[(i, k)] /= s;
+        }
+        for i in 0..k {
+            let aik = a[(i, k)];
+            if aik == 0.0 {
+                continue;
+            }
+            for j in 0..k {
+                // The j == i term only touches the diagonal, which GTH
+                // never reads; including it keeps the loop branch-free.
+                let add = aik * a[(k, j)];
+                a[(i, j)] += add;
+            }
+        }
+    }
+    // Back substitution: unnormalized π, then normalize.
+    let mut pi = vec![0.0; n];
+    pi[0] = 1.0;
+    for k in 1..n {
+        pi[k] = (0..k).map(|i| pi[i] * a[(i, k)]).sum();
+    }
+    let total: f64 = pi.iter().sum();
+    for p in &mut pi {
+        *p /= total;
+    }
+    Ok(pi)
+}
+
+/// Stationary distribution of a birth–death chain with birth rates
+/// `birth[i]` (`i → i+1`) and death rates `death[i]` (`i+1 → i`).
+///
+/// Uses the product form `π_{i+1} = π_i · birth[i]/death[i]`, computed
+/// with running normalization to avoid overflow for very long chains
+/// (the paper's large model has 200,001 states).
+///
+/// # Errors
+///
+/// Returns [`CtmcError::InvalidRate`] if any rate is non-positive or
+/// non-finite (the chain must be irreducible) and
+/// [`CtmcError::DimensionMismatch`] if the slices differ in length.
+pub fn stationary_birth_death(birth: &[f64], death: &[f64]) -> Result<Vec<f64>, CtmcError> {
+    if birth.len() != death.len() {
+        return Err(CtmcError::DimensionMismatch {
+            expected: birth.len(),
+            actual: death.len(),
+        });
+    }
+    let n = birth.len() + 1;
+    for (i, (&b, &d)) in birth.iter().zip(death).enumerate() {
+        if !(b > 0.0) || !b.is_finite() {
+            return Err(CtmcError::InvalidRate {
+                from: i,
+                to: i + 1,
+                rate: b,
+            });
+        }
+        if !(d > 0.0) || !d.is_finite() {
+            return Err(CtmcError::InvalidRate {
+                from: i + 1,
+                to: i,
+                rate: d,
+            });
+        }
+    }
+    // π_i ∝ Π_{j<i} birth[j]/death[j]; renormalize on the fly so the
+    // running maximum stays at 1.
+    let mut pi = Vec::with_capacity(n);
+    pi.push(1.0f64);
+    let mut max = 1.0f64;
+    for i in 0..n - 1 {
+        let next = pi[i] * birth[i] / death[i];
+        pi.push(next);
+        if next > max {
+            max = next;
+        }
+        if max > 1e250 {
+            for p in &mut pi {
+                *p /= max;
+            }
+            max = 1.0;
+        }
+    }
+    let total: f64 = pi.iter().sum();
+    for p in &mut pi {
+        *p /= total;
+    }
+    Ok(pi)
+}
+
+/// Stationary distribution by uniformized power iteration, for large
+/// sparse chains.
+///
+/// Iterates `π ← π·P` with `P = Q/q + I` until the ∞-norm change drops
+/// below `tol`, up to `max_iter` sweeps.
+///
+/// # Errors
+///
+/// * [`CtmcError::DegenerateChain`] if the chain has no transitions.
+/// * [`CtmcError::NoConvergence`] if `max_iter` is exhausted.
+pub fn stationary_power(
+    gen: &Generator,
+    tol: f64,
+    max_iter: usize,
+) -> Result<Vec<f64>, CtmcError> {
+    let n = gen.n_states();
+    let q = gen.uniformization_rate();
+    if q == 0.0 {
+        return Err(CtmcError::DegenerateChain);
+    }
+    // Strictly larger rate keeps the kernel aperiodic.
+    let kernel = gen.uniformized_kernel(q * 1.05)?;
+    let mut pi = vec![1.0 / n as f64; n];
+    for iter in 1..=max_iter {
+        let next = kernel.vecmat(&pi);
+        let diff = somrm_linalg::vec_ops::max_abs_diff(&next, &pi);
+        pi = next;
+        if diff < tol {
+            // Final normalization sweeps out rounding drift.
+            let s: f64 = pi.iter().sum();
+            for p in &mut pi {
+                *p /= s;
+            }
+            return Ok(pi);
+        }
+        if iter == max_iter {
+            return Err(CtmcError::NoConvergence {
+                iterations: iter,
+                residual: diff,
+            });
+        }
+    }
+    unreachable!("loop returns or errors before exiting")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GeneratorBuilder;
+
+    fn three_state() -> Generator {
+        let mut b = GeneratorBuilder::new(3);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        b.rate(1, 2, 3.0).unwrap();
+        b.rate(2, 1, 4.0).unwrap();
+        b.rate(2, 0, 1.0).unwrap();
+        b.rate(0, 2, 0.5).unwrap();
+        b.build().unwrap()
+    }
+
+    fn check_stationary(gen: &Generator, pi: &[f64], tol: f64) {
+        // π Q = 0 and Σ π = 1.
+        let residual = gen.as_csr().vecmat(pi);
+        for (i, r) in residual.iter().enumerate() {
+            assert!(r.abs() < tol, "πQ[{i}] = {r}");
+        }
+        let s: f64 = pi.iter().sum();
+        assert!((s - 1.0).abs() < tol);
+        assert!(pi.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn gth_two_state_closed_form() {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 3.0).unwrap();
+        b.rate(1, 0, 4.0).unwrap();
+        let g = b.build().unwrap();
+        let pi = stationary_gth(&g).unwrap();
+        assert!((pi[0] - 4.0 / 7.0).abs() < 1e-14);
+        assert!((pi[1] - 3.0 / 7.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn gth_general_three_state() {
+        let g = three_state();
+        let pi = stationary_gth(&g).unwrap();
+        check_stationary(&g, &pi, 1e-12);
+    }
+
+    #[test]
+    fn gth_detects_reducible_chain() {
+        // State 1 absorbing → not irreducible.
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            stationary_gth(&g),
+            Err(CtmcError::DegenerateChain)
+        ));
+    }
+
+    #[test]
+    fn birth_death_matches_gth() {
+        // M/M/1/4-style chain.
+        let birth = [2.0, 2.0, 2.0, 2.0];
+        let death = [3.0, 3.0, 3.0, 3.0];
+        let pi_bd = stationary_birth_death(&birth, &death).unwrap();
+        let mut b = GeneratorBuilder::new(5);
+        for i in 0..4 {
+            b.rate(i, i + 1, birth[i]).unwrap();
+            b.rate(i + 1, i, death[i]).unwrap();
+        }
+        let g = b.build().unwrap();
+        let pi_gth = stationary_gth(&g).unwrap();
+        for i in 0..5 {
+            assert!((pi_bd[i] - pi_gth[i]).abs() < 1e-13, "state {i}");
+        }
+        check_stationary(&g, &pi_bd, 1e-12);
+    }
+
+    #[test]
+    fn birth_death_binomial_for_onoff_superposition() {
+        // N independent on-off sources (on rate β, off rate α) superpose
+        // to a birth-death chain whose stationary distribution is
+        // Binomial(N, β/(α+β)).
+        let n = 16usize;
+        let (alpha, beta) = (4.0, 3.0);
+        let birth: Vec<f64> = (0..n).map(|i| (n - i) as f64 * beta).collect();
+        let death: Vec<f64> = (0..n).map(|i| (i + 1) as f64 * alpha).collect();
+        let pi = stationary_birth_death(&birth, &death).unwrap();
+        let p = beta / (alpha + beta);
+        for i in 0..=n {
+            let expect =
+                somrm_num::special::binomial(n as u32, i as u32) * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32);
+            assert!((pi[i] - expect).abs() < 1e-12, "state {i}");
+        }
+    }
+
+    #[test]
+    fn birth_death_long_chain_no_overflow() {
+        // Strong upward drift over many states would overflow a naive
+        // product; the running renormalization must cope.
+        let n = 5000;
+        let birth = vec![10.0; n];
+        let death = vec![1.0; n];
+        let pi = stationary_birth_death(&birth, &death).unwrap();
+        assert!(pi.iter().all(|p| p.is_finite()));
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // Mass concentrates at the top.
+        assert!(pi[n] > 0.89);
+    }
+
+    #[test]
+    fn birth_death_rejects_bad_input() {
+        assert!(stationary_birth_death(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(stationary_birth_death(&[0.0], &[1.0]).is_err());
+        assert!(stationary_birth_death(&[1.0], &[-1.0]).is_err());
+    }
+
+    #[test]
+    fn power_iteration_matches_gth() {
+        let g = three_state();
+        let pi_gth = stationary_gth(&g).unwrap();
+        let pi_pow = stationary_power(&g, 1e-13, 100_000).unwrap();
+        for i in 0..3 {
+            assert!((pi_gth[i] - pi_pow[i]).abs() < 1e-9, "state {i}");
+        }
+    }
+
+    #[test]
+    fn power_iteration_reports_nonconvergence() {
+        let g = three_state();
+        assert!(matches!(
+            stationary_power(&g, 1e-16, 3),
+            Err(CtmcError::NoConvergence { .. })
+        ));
+    }
+
+    #[test]
+    fn trivial_sizes() {
+        assert_eq!(stationary_gth(&GeneratorBuilder::new(1).build().unwrap()).unwrap(), vec![1.0]);
+        assert!(stationary_gth(&GeneratorBuilder::new(0).build().unwrap())
+            .unwrap()
+            .is_empty());
+    }
+}

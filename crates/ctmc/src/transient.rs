@@ -1,0 +1,184 @@
+//! Transient state probabilities by uniformization.
+//!
+//! `p(t) = π e^{Qt} = Σ_k e^{−qt}(qt)^k/k! · π P^k` with `P = Q/q + I`.
+//! Only stochastic matrices and non-negative vectors are multiplied, so
+//! the computation is subtraction-free — the same numerical-stability
+//! argument the paper makes for its reward recursion in Section 6.
+
+use crate::error::{validate_distribution, CtmcError};
+use crate::generator::Generator;
+use somrm_num::poisson::PoissonWindow;
+
+/// Transient distribution `p(t)` from initial distribution `pi`.
+///
+/// `eps` bounds the neglected Poisson mass (and hence the ∞-norm error
+/// of the result).
+///
+/// # Errors
+///
+/// * [`CtmcError::DimensionMismatch`] if `pi` has the wrong length.
+/// * [`CtmcError::InvalidDistribution`] if `pi` is not a distribution.
+/// * [`CtmcError::DegenerateChain`] if the chain has no transitions and
+///   `t > 0` cannot be uniformized — in that case the distribution is
+///   constant, which is returned instead of an error.
+///
+/// # Example
+///
+/// ```
+/// use somrm_ctmc::generator::GeneratorBuilder;
+/// use somrm_ctmc::transient::transient_distribution;
+///
+/// let mut b = GeneratorBuilder::new(2);
+/// b.rate(0, 1, 1.0).unwrap();
+/// b.rate(1, 0, 1.0).unwrap();
+/// let q = b.build().unwrap();
+/// let p = transient_distribution(&q, &[1.0, 0.0], 1e6, 1e-12).unwrap();
+/// // Long horizon: converges to the (1/2, 1/2) stationary distribution.
+/// assert!((p[0] - 0.5).abs() < 1e-9);
+/// ```
+pub fn transient_distribution(
+    gen: &Generator,
+    pi: &[f64],
+    t: f64,
+    eps: f64,
+) -> Result<Vec<f64>, CtmcError> {
+    let n = gen.n_states();
+    if pi.len() != n {
+        return Err(CtmcError::DimensionMismatch {
+            expected: n,
+            actual: pi.len(),
+        });
+    }
+    validate_distribution(pi, 1e-9)?;
+    assert!(t >= 0.0, "time must be non-negative, got {t}");
+    assert!(eps > 0.0 && eps < 1.0, "eps must lie in (0,1), got {eps}");
+
+    let q = gen.uniformization_rate();
+    if t == 0.0 || q == 0.0 {
+        // No motion: the distribution is unchanged.
+        return Ok(pi.to_vec());
+    }
+    let kernel = gen.uniformized_kernel(q)?;
+    let window = PoissonWindow::new(q * t, eps);
+
+    let mut v = pi.to_vec();
+    let mut out = vec![0.0; n];
+    for k in 0..=window.right() {
+        let w = window.weight(k);
+        if w > 0.0 {
+            for (o, &x) in out.iter_mut().zip(&v) {
+                *o += w * x;
+            }
+        }
+        if k < window.right() {
+            v = kernel.vecmat(&v);
+        }
+    }
+    Ok(out)
+}
+
+/// Transient distributions at several time points in one pass.
+///
+/// The points need not be sorted; each is solved independently (the
+/// Poisson windows differ), but the uniformized kernel is shared.
+///
+/// # Errors
+///
+/// See [`transient_distribution`].
+pub fn transient_sweep(
+    gen: &Generator,
+    pi: &[f64],
+    times: &[f64],
+    eps: f64,
+) -> Result<Vec<Vec<f64>>, CtmcError> {
+    times
+        .iter()
+        .map(|&t| transient_distribution(gen, pi, t, eps))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GeneratorBuilder;
+    use somrm_linalg::expm::expm;
+
+    fn two_state(a: f64, b: f64) -> Generator {
+        let mut g = GeneratorBuilder::new(2);
+        g.rate(0, 1, a).unwrap();
+        g.rate(1, 0, b).unwrap();
+        g.build().unwrap()
+    }
+
+    #[test]
+    fn matches_closed_form_two_state() {
+        // p₀(t) for start in 0: b/(a+b) + a/(a+b)·e^{−(a+b)t}
+        let (a, b) = (2.0, 3.0);
+        let g = two_state(a, b);
+        for &t in &[0.0, 0.1, 0.5, 2.0] {
+            let p = transient_distribution(&g, &[1.0, 0.0], t, 1e-13).unwrap();
+            let expect = b / (a + b) + a / (a + b) * (-(a + b) * t).exp();
+            assert!((p[0] - expect).abs() < 1e-11, "t = {t}");
+            assert!((p[0] + p[1] - 1.0).abs() < 1e-11);
+        }
+    }
+
+    #[test]
+    fn matches_matrix_exponential() {
+        let mut g = GeneratorBuilder::new(3);
+        g.rate(0, 1, 1.0).unwrap();
+        g.rate(1, 2, 2.0).unwrap();
+        g.rate(2, 0, 0.7).unwrap();
+        g.rate(2, 1, 0.3).unwrap();
+        let g = g.build().unwrap();
+        let t = 0.8;
+        let e = expm(&g.to_dense().scaled(t)).unwrap();
+        let pi = [0.2, 0.5, 0.3];
+        let p_unif = transient_distribution(&g, &pi, t, 1e-13).unwrap();
+        let p_expm = e.vecmat(&pi);
+        for i in 0..3 {
+            assert!((p_unif[i] - p_expm[i]).abs() < 1e-11, "state {i}");
+        }
+    }
+
+    #[test]
+    fn mass_conserved_and_nonnegative() {
+        let g = two_state(5.0, 0.1);
+        let p = transient_distribution(&g, &[0.3, 0.7], 1.7, 1e-12).unwrap();
+        assert!(p.iter().all(|&x| x >= 0.0));
+        let s: f64 = p.iter().sum();
+        assert!((s - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn zero_time_returns_initial() {
+        let g = two_state(1.0, 1.0);
+        let p = transient_distribution(&g, &[0.25, 0.75], 0.0, 1e-10).unwrap();
+        assert_eq!(p, vec![0.25, 0.75]);
+    }
+
+    #[test]
+    fn chain_without_transitions_is_constant() {
+        let g = GeneratorBuilder::new(2).build().unwrap();
+        let p = transient_distribution(&g, &[0.4, 0.6], 3.0, 1e-10).unwrap();
+        assert_eq!(p, vec![0.4, 0.6]);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let g = two_state(1.0, 1.0);
+        assert!(transient_distribution(&g, &[1.0], 1.0, 1e-10).is_err());
+        assert!(transient_distribution(&g, &[0.7, 0.7], 1.0, 1e-10).is_err());
+    }
+
+    #[test]
+    fn sweep_matches_pointwise() {
+        let g = two_state(1.0, 2.0);
+        let times = [0.1, 0.4];
+        let sweep = transient_sweep(&g, &[1.0, 0.0], &times, 1e-12).unwrap();
+        for (i, &t) in times.iter().enumerate() {
+            let single = transient_distribution(&g, &[1.0, 0.0], t, 1e-12).unwrap();
+            assert_eq!(sweep[i], single);
+        }
+    }
+}

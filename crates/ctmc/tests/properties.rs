@@ -1,0 +1,140 @@
+//! Property-based tests for the CTMC substrate over random chains.
+
+use proptest::prelude::*;
+use somrm_ctmc::generator::{Generator, GeneratorBuilder};
+use somrm_ctmc::stationary::{stationary_gth, stationary_power};
+use somrm_ctmc::transient::transient_distribution;
+use somrm_linalg::expm::expm;
+
+/// A random irreducible generator (ring + extra random transitions).
+fn arb_generator() -> impl Strategy<Value = Generator> {
+    (2usize..7)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                prop::collection::vec(0.1f64..5.0, n),
+                prop::collection::vec((0..n, 0..n, 0.0f64..3.0), 0..2 * n),
+            )
+        })
+        .prop_map(|(n, ring, extra)| {
+            let mut b = GeneratorBuilder::new(n);
+            for i in 0..n {
+                b.rate(i, (i + 1) % n, ring[i]).unwrap();
+            }
+            for (i, j, r) in extra {
+                if i != j && r > 0.0 {
+                    b.rate(i, j, r).unwrap();
+                }
+            }
+            b.build().unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn transient_matches_matrix_exponential(g in arb_generator(), t in 0.0f64..3.0) {
+        let n = g.n_states();
+        let pi = vec![1.0 / n as f64; n];
+        let unif = transient_distribution(&g, &pi, t, 1e-13).unwrap();
+        let e = expm(&g.to_dense().scaled(t)).unwrap();
+        let direct = e.vecmat(&pi);
+        for i in 0..n {
+            prop_assert!((unif[i] - direct[i]).abs() < 1e-9, "state {i}");
+        }
+    }
+
+    #[test]
+    fn transient_preserves_mass_and_positivity(g in arb_generator(), t in 0.0f64..5.0) {
+        let n = g.n_states();
+        let init = vec![1.0 / n as f64; n];
+        let p = transient_distribution(&g, &init, t, 1e-12).unwrap();
+        let total: f64 = p.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| x >= -1e-12));
+    }
+
+    #[test]
+    fn chapman_kolmogorov(g in arb_generator(), t1 in 0.05f64..1.5, t2 in 0.05f64..1.5) {
+        // p(t1 + t2) = (p(t1) evolved for t2 more).
+        let n = g.n_states();
+        let mut init = vec![0.0; n];
+        init[0] = 1.0;
+        let direct = transient_distribution(&g, &init, t1 + t2, 1e-13).unwrap();
+        let mid = transient_distribution(&g, &init, t1, 1e-13).unwrap();
+        // Renormalize mid against truncation dust before reusing it as
+        // an initial distribution.
+        let s: f64 = mid.iter().sum();
+        let mid: Vec<f64> = mid.iter().map(|x| x / s).collect();
+        let two_step = transient_distribution(&g, &mid, t2, 1e-13).unwrap();
+        for i in 0..n {
+            prop_assert!((direct[i] - two_step[i]).abs() < 1e-8, "state {i}");
+        }
+    }
+
+    #[test]
+    fn stationary_is_fixed_point(g in arb_generator()) {
+        let pi = stationary_gth(&g).unwrap();
+        // π Q = 0.
+        let residual = g.as_csr().vecmat(&pi);
+        for (i, r) in residual.iter().enumerate() {
+            prop_assert!(r.abs() < 1e-10, "state {i}: {r}");
+        }
+        // And the transient from π stays at π.
+        let p = transient_distribution(&g, &pi, 1.0, 1e-13).unwrap();
+        for i in 0..pi.len() {
+            prop_assert!((p[i] - pi[i]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gth_and_power_iteration_agree(g in arb_generator()) {
+        let a = stationary_gth(&g).unwrap();
+        let b = stationary_power(&g, 1e-13, 200_000).unwrap();
+        for i in 0..a.len() {
+            prop_assert!((a[i] - b[i]).abs() < 1e-8, "state {i}");
+        }
+    }
+
+    #[test]
+    fn transient_converges_to_stationary(g in arb_generator(), init_seed in 0usize..4) {
+        let n = g.n_states();
+        let mut init = vec![0.0; n];
+        init[init_seed % n] = 1.0;
+        let pi = stationary_gth(&g).unwrap();
+        // Long horizon relative to the slowest rate.
+        let t = 200.0 / g.uniformization_rate().max(0.1);
+        let p = transient_distribution(&g, &init, t, 1e-12).unwrap();
+        for i in 0..n {
+            prop_assert!((p[i] - pi[i]).abs() < 1e-4, "state {i}: {} vs {}", p[i], pi[i]);
+        }
+    }
+
+    #[test]
+    fn transient_from_random_distribution(g in arb_generator(), t in 0.0f64..2.0, seed in 1u64..1000) {
+        // Linearity: p(t | mixture) = mixture of p(t | point masses).
+        let n = g.n_states();
+        // Deterministic pseudo-random initial distribution from the seed.
+        let mut s = seed;
+        let raw: Vec<f64> = (0..n).map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            0.01 + ((s >> 11) as f64 / (1u64 << 53) as f64)
+        }).collect();
+        let total: f64 = raw.iter().sum();
+        let init: Vec<f64> = raw.iter().map(|x| x / total).collect();
+        let combined = transient_distribution(&g, &init, t, 1e-13).unwrap();
+        let mut mixed = vec![0.0; n];
+        for (j, &w) in init.iter().enumerate() {
+            let mut e = vec![0.0; n];
+            e[j] = 1.0;
+            let p = transient_distribution(&g, &e, t, 1e-13).unwrap();
+            for i in 0..n {
+                mixed[i] += w * p[i];
+            }
+        }
+        for i in 0..n {
+            prop_assert!((combined[i] - mixed[i]).abs() < 1e-9, "state {i}");
+        }
+    }
+}

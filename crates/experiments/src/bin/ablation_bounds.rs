@@ -1,0 +1,94 @@
+//! Ablation: working precision of the moment-bounding stage.
+//!
+//! The Hankel-type map from moments to recurrence coefficients is
+//! exponentially ill-conditioned; this sweep shows how many moments
+//! plain `f64` can actually exploit before the Chebyshev recursion
+//! loses positivity, versus double-double (`Dd`) — justifying why the
+//! paper's 23-moment configuration (Figures 5–7) runs in `Dd` here.
+
+use somrm_bounds::cms::cdf_bounds;
+use somrm_core::uniformization::{moments, SolverConfig};
+use somrm_experiments::{print_table, write_csv};
+use somrm_models::OnOffMultiplexer;
+use somrm_num::Dd;
+
+fn envelope<T: somrm_num::real::Real>(
+    raw: &[f64],
+    xs: &[f64],
+) -> Option<Vec<somrm_bounds::cms::CdfBound>> {
+    cdf_bounds::<T>(raw, xs).ok()
+}
+
+fn main() {
+    println!("Ablation: f64 vs double-double in the moments -> CDF-bounds pipeline");
+    println!("  model: Table-1, sigma^2 = 10, t = 0.5 (the Figures 5-7 configuration)");
+
+    let model = OnOffMultiplexer::table1(10.0).model().expect("valid model");
+    let t = 0.5;
+    // Go well past the paper's 23 moments to expose the f64 cliff.
+    let deep = moments(&model, 40, t, &SolverConfig::default()).expect("solver");
+    let mean = deep.mean();
+    let sd = deep.variance().sqrt();
+    let xs: Vec<f64> = (-20..=20).map(|k| mean + sd * k as f64 * 0.2).collect();
+
+    let mut rows = Vec::new();
+    for &n_mom in &[6usize, 10, 14, 18, 23, 28, 32, 36, 40] {
+        let raw = &deep.weighted[..=n_mom];
+        let b_dd = envelope::<Dd>(raw, &xs).expect("Dd bounding");
+        let (nodes_f64, discrepancy) = match envelope::<f64>(raw, &xs) {
+            Some(b_f64) => {
+                let d = b_f64
+                    .iter()
+                    .zip(&b_dd)
+                    .map(|(a, b)| (a.lower - b.lower).abs().max((a.upper - b.upper).abs()))
+                    .fold(0.0, f64::max);
+                (b_f64[0].nodes_used, d)
+            }
+            None => (0, 1.0),
+        };
+        rows.push(vec![
+            n_mom as f64,
+            nodes_f64 as f64,
+            b_dd[0].nodes_used as f64,
+            b_dd[xs.len() / 2].width(),
+            discrepancy,
+        ]);
+    }
+    print_table(
+        "depth, Dd envelope width at the mean, and f64-vs-Dd discrepancy",
+        &["moments", "nodes(f64)", "nodes(Dd)", "width(Dd)", "max|f64-Dd|"],
+        &rows,
+    );
+    write_csv(
+        "ablation_bounds_precision.csv",
+        "moments,nodes_f64,nodes_dd,width_dd,max_abs_discrepancy",
+        &rows,
+    );
+
+    // Dd must keep tightening monotonically, never achieve less depth
+    // than f64, and the f64 precision loss must grow with the depth.
+    let last = rows.last().expect("rows");
+    for w in rows.windows(2) {
+        assert!(
+            w[1][3] <= w[0][3] + 1e-9,
+            "Dd envelope must tighten with more moments"
+        );
+    }
+    for r in &rows {
+        assert!(r[2] >= r[1], "Dd must never achieve less depth than f64");
+    }
+    let first_disc = rows[0][4];
+    let last_disc = last[4];
+    println!(
+        "\n  finding: after standardization this (near-Gaussian) reward's moment\n  \
+         sequence stays benign — f64 sustains the full depth through 40 moments,\n  \
+         but its envelope drifts from the certified Dd one as depth grows\n  \
+         ({first_disc:.1e} at 6 moments -> {last_disc:.1e} at 40). Dd supplies the\n  \
+         certified digits; on harder (skewed/multimodal) sequences f64 loses\n  \
+         beta-positivity outright (see the two-point tests in somrm-bounds)."
+    );
+    assert!(
+        last_disc > first_disc,
+        "f64 precision loss must grow with moment depth"
+    );
+}

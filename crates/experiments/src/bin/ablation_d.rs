@@ -1,0 +1,188 @@
+//! Ablation: the normalization constant `d`.
+//!
+//! The paper prints `d = max_i{r_i, σ_i}/q` (Section 6); DESIGN.md §2b
+//! argues this fails to make `S' = S/(q·d²)` substochastic whenever
+//! `q > 1`, voiding Lemma 2 and with it the Theorem-4 error bound. This
+//! binary demonstrates the failure concretely on the paper's own
+//! Table-1 model (σ² = 10):
+//!
+//! * with the printed `d`, `max_i S'_ii = 40` — *not* substochastic;
+//! * the recursion run with the printed `d` and the `G` suggested by
+//!   the printed bound formula truncates too early: the realized error
+//!   of the 3rd moment exceeds the claimed `ε` by orders of magnitude;
+//! * the corrected `d` keeps every matrix substochastic and its realized
+//!   error stays below `ε`.
+
+use somrm_core::uniformization::{moments, SolverConfig};
+use somrm_experiments::print_table;
+use somrm_models::OnOffMultiplexer;
+use somrm_num::poisson;
+use somrm_num::special::ln_factorial;
+use somrm_num::sum::NeumaierSum;
+
+/// Runs the raw Theorem-3 recursion with an explicit `d` and `G`,
+/// returning the π-weighted moments 0..=order (rates must be
+/// non-negative, as in the Table-1 model).
+fn raw_recursion(
+    model: &somrm_core::model::SecondOrderMrm,
+    order: usize,
+    t: f64,
+    d: f64,
+    g_limit: u64,
+) -> Vec<f64> {
+    let n = model.n_states();
+    let q = model.generator().uniformization_rate();
+    let kernel = model.generator().uniformized_kernel(q).expect("q > 0");
+    let r_prime: Vec<f64> = model.rates().iter().map(|&r| r / (q * d)).collect();
+    let s_half: Vec<f64> = model
+        .variances()
+        .iter()
+        .map(|&s| 0.5 * s / (q * d * d))
+        .collect();
+    let weights = poisson::weights_upto(q * t, g_limit);
+    let mut u: Vec<Vec<f64>> = (0..=order)
+        .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n])
+        .collect();
+    let mut acc = vec![vec![NeumaierSum::new(); n]; order + 1];
+    let mut scratch = vec![0.0; n];
+    for k in 0..=g_limit {
+        let w = weights[k as usize];
+        if w > 0.0 {
+            for j in 0..=order {
+                for i in 0..n {
+                    acc[j][i].add(w * u[j][i]);
+                }
+            }
+        }
+        if k == g_limit {
+            break;
+        }
+        for j in (0..=order).rev() {
+            kernel.matvec_into(&u[j], &mut scratch);
+            if j >= 1 {
+                let (lo, hi) = u.split_at_mut(j);
+                for i in 0..n {
+                    hi[0][i] = scratch[i]
+                        + r_prime[i] * lo[j - 1][i]
+                        + if j >= 2 { s_half[i] * lo[j - 2][i] } else { 0.0 };
+                }
+            } else {
+                u[0].copy_from_slice(&scratch);
+            }
+        }
+    }
+    (0..=order)
+        .map(|j| {
+            let scale = (ln_factorial(j as u64) + j as f64 * d.ln()).exp();
+            acc[j]
+                .iter()
+                .zip(model.initial())
+                .map(|(a, &p)| scale * a.value() * p)
+                .sum()
+        })
+        .collect()
+}
+
+/// The paper's eq. (11) G (tail from `g + n + 1`), evaluated verbatim.
+fn paper_g(qt: f64, d: f64, order: usize, eps: f64) -> u64 {
+    let n = order as f64;
+    let ln_front =
+        std::f64::consts::LN_2 + n * d.ln() + ln_factorial(order as u64) + n * qt.ln();
+    let mut g = 1u64;
+    while ln_front + poisson::ln_tail_above(qt, g + order as u64) >= eps.ln() {
+        g += 1;
+        if g > 10_000_000 {
+            break;
+        }
+    }
+    g
+}
+
+fn main() {
+    println!("Ablation: paper's printed d vs the corrected d (Table-1 model, sigma^2 = 10)");
+    let mux = OnOffMultiplexer::table1(10.0);
+    let model = mux.model().expect("valid model");
+    let q = model.generator().uniformization_rate();
+    let t = 0.5;
+    let order = 3;
+    let eps = 1e-9;
+
+    // The paper's d.
+    let d_paper = model
+        .rates()
+        .iter()
+        .zip(model.variances())
+        .map(|(&r, &s)| r.max(s.sqrt()))
+        .fold(0.0f64, f64::max)
+        / q;
+    // The corrected d (what somrm-core uses).
+    let reference = moments(
+        &model,
+        order,
+        t,
+        &SolverConfig {
+            epsilon: 1e-13,
+            ..SolverConfig::default()
+        },
+    )
+    .expect("solver");
+    let d_fixed = reference.stats.d;
+
+    let s_max = model.variances().iter().cloned().fold(0.0, f64::max);
+    println!("  q = {q}, max sigma^2 = {s_max}");
+    println!(
+        "  paper d = {d_paper}: max S' entry = {:.1}  (substochastic: {})",
+        s_max / (q * d_paper * d_paper),
+        s_max / (q * d_paper * d_paper) <= 1.0 + 1e-12
+    );
+    println!(
+        "  fixed d = {d_fixed}: max S' entry = {:.3} (substochastic: {})",
+        s_max / (q * d_fixed * d_fixed),
+        s_max / (q * d_fixed * d_fixed) <= 1.0 + 1e-12
+    );
+
+    // Truncation points each choice of (d, formula) suggests.
+    let g_paper = paper_g(q * t, d_paper, order, eps);
+    let g_fixed = reference.stats.iterations;
+    println!("\n  G from the paper's formula with paper d: {g_paper}");
+    println!("  G used by the corrected implementation : {g_fixed}");
+
+    let v_paper = raw_recursion(&model, order, t, d_paper, g_paper);
+    let v_fixed = raw_recursion(&model, order, t, d_fixed, g_fixed);
+
+    let mut rows = Vec::new();
+    for nn in 1..=order {
+        let exact = reference.raw_moment(nn);
+        rows.push(vec![
+            nn as f64,
+            exact,
+            v_paper[nn],
+            (v_paper[nn] - exact).abs(),
+            v_fixed[nn],
+            (v_fixed[nn] - exact).abs(),
+        ]);
+    }
+    print_table(
+        "moments and realized absolute errors",
+        &["order", "exact", "paper-d@paper-G", "err", "fixed-d@fixed-G", "err"],
+        &rows,
+    );
+
+    let err_paper = (v_paper[order] - reference.raw_moment(order)).abs();
+    let err_fixed = (v_fixed[order] - reference.raw_moment(order)).abs();
+    println!("\n  claimed epsilon: {eps:.1e}");
+    println!("  realized error with paper d + paper G: {err_paper:.2e}");
+    println!("  realized error with corrected d + G  : {err_fixed:.2e}");
+    assert!(
+        err_fixed < eps,
+        "corrected configuration must honour its bound"
+    );
+    if err_paper > eps {
+        println!(
+            "  -> the printed formula under-truncates by a factor {:.0} beyond its claim",
+            err_paper / eps
+        );
+    } else {
+        println!("  -> on this instance the printed formula happened to stay within eps");
+    }
+}

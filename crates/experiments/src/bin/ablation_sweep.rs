@@ -1,0 +1,62 @@
+//! Ablation: shared-recursion time sweeps.
+//!
+//! The coefficient vectors `U⁽ⁿ⁾(k)` of Theorem 3 do not depend on `t`,
+//! so a sweep over many time points can reuse one recursion
+//! (`moments_sweep`) instead of solving each point separately. This
+//! binary measures the speedup on the Figure-3/4 workload — the reason
+//! those figures cost barely more than a single evaluation.
+
+use somrm_core::uniformization::{moments, moments_sweep, SolverConfig};
+use somrm_experiments::{print_table, timed, write_csv};
+use somrm_models::OnOffMultiplexer;
+
+fn main() {
+    println!("Ablation: moments_sweep (shared recursion) vs per-point solves");
+    let model = OnOffMultiplexer::table1(10.0).model().expect("valid model");
+    let cfg = SolverConfig::default();
+    let order = 3;
+
+    let mut rows = Vec::new();
+    for &npts in &[5usize, 20, 50, 200] {
+        let times: Vec<f64> = (1..=npts).map(|k| k as f64 / npts as f64).collect();
+        let (sweep, t_sweep) = timed(&format!("sweep, {npts} points"), || {
+            moments_sweep(&model, order, &times, &cfg).expect("solver")
+        });
+        let (_, t_each) = timed(&format!("individual, {npts} points"), || {
+            times
+                .iter()
+                .map(|&t| moments(&model, order, t, &cfg).expect("solver"))
+                .collect::<Vec<_>>()
+        });
+        // Verify identical results (to solver tolerance) along the way.
+        let check = moments(&model, order, *times.last().expect("nonempty"), &cfg)
+            .expect("solver");
+        let diff = (sweep.last().expect("nonempty").raw_moment(order)
+            - check.raw_moment(order))
+        .abs();
+        assert!(diff < 1e-6 * check.raw_moment(order).abs().max(1.0));
+        rows.push(vec![
+            npts as f64,
+            t_sweep,
+            t_each,
+            t_each / t_sweep.max(1e-12),
+        ]);
+    }
+    print_table(
+        "wall time (s)",
+        &["points", "sweep", "individual", "speedup"],
+        &rows,
+    );
+    write_csv(
+        "ablation_sweep.csv",
+        "points,sweep_seconds,individual_seconds,speedup",
+        &rows,
+    );
+    // Wall-clock assertion kept deliberately loose: the directional
+    // claim (sweep ≥ individual) must hold, but absolute ratios wobble
+    // on a shared/loaded machine.
+    assert!(
+        rows.last().expect("rows")[3] > 1.2,
+        "sharing the recursion must pay off for dense sweeps"
+    );
+}

@@ -1,0 +1,64 @@
+//! Figure 4: second and third moments of the accumulated reward of the
+//! Table-1 model as functions of time, for σ² ∈ {0, 1, 10}.
+//!
+//! The paper's observation: the larger the per-state variances, the
+//! larger the higher moments.
+
+use somrm_core::uniformization::{moments_sweep, SolverConfig};
+use somrm_experiments::{print_table, timed, write_csv};
+use somrm_models::OnOffMultiplexer;
+
+fn main() {
+    println!("Figure 4: 2nd and 3rd moments of the Table-1 model");
+
+    let times: Vec<f64> = (1..=50).map(|k| k as f64 * 0.02).collect();
+    let cfg = SolverConfig::default();
+    let sigmas = [0.0, 1.0, 10.0];
+
+    let mut m2: Vec<Vec<f64>> = Vec::new();
+    let mut m3: Vec<Vec<f64>> = Vec::new();
+    for &s2 in &sigmas {
+        let model = OnOffMultiplexer::table1(s2).model().expect("valid model");
+        let (sweep, _) = timed(&format!("sigma^2 = {s2}"), || {
+            moments_sweep(&model, 3, &times, &cfg).expect("solver")
+        });
+        m2.push(sweep.iter().map(|s| s.raw_moment(2)).collect());
+        m3.push(sweep.iter().map(|s| s.raw_moment(3)).collect());
+    }
+
+    let rows: Vec<Vec<f64>> = times
+        .iter()
+        .enumerate()
+        .map(|(i, &t)| {
+            vec![
+                t, m2[0][i], m2[1][i], m2[2][i], m3[0][i], m3[1][i], m3[2][i],
+            ]
+        })
+        .collect();
+    write_csv(
+        "fig4_moments.csv",
+        "t,m2_sigma0,m2_sigma1,m2_sigma10,m3_sigma0,m3_sigma1,m3_sigma10",
+        &rows,
+    );
+    let preview: Vec<Vec<f64>> = rows.iter().step_by(5).cloned().collect();
+    print_table(
+        "E[B^2] and E[B^3]",
+        &["t", "m2|s2=0", "m2|s2=1", "m2|s2=10", "m3|s2=0", "m3|s2=1", "m3|s2=10"],
+        &preview,
+    );
+
+    // Paper check: higher variance ⇒ higher moments (pointwise).
+    for i in 0..times.len() {
+        assert!(
+            m2[0][i] <= m2[1][i] + 1e-9 && m2[1][i] <= m2[2][i] + 1e-9,
+            "2nd moment must grow with sigma^2 at t = {}",
+            times[i]
+        );
+        assert!(
+            m3[0][i] <= m3[1][i] + 1e-9 && m3[1][i] <= m3[2][i] + 1e-9,
+            "3rd moment must grow with sigma^2 at t = {}",
+            times[i]
+        );
+    }
+    println!("\nFigure 4 claim verified: moments increase with the variance parameter.");
+}

@@ -1,0 +1,83 @@
+//! Beyond-paper sensitivity study: how the accumulated-reward
+//! statistics of the Section-7 model respond to its two randomness
+//! sources — ON-OFF burstiness (structure-state variance) and the
+//! per-source Brownian noise (second-order variance).
+//!
+//! For each utilization level `ρ = β/(α+β)` and per-source variance
+//! `σ²`, the binary reports the variance decomposition of the class-2
+//! capacity at `t = 0.5`: structure part (from the σ² = 0 model) vs
+//! Brownian part (the remainder) — quantifying when a first-order model
+//! is an acceptable approximation and when it badly underestimates the
+//! risk.
+
+use somrm_core::uniformization::{moments, SolverConfig};
+use somrm_experiments::{print_table, write_csv};
+use somrm_models::OnOffMultiplexer;
+
+fn main() {
+    println!("Sensitivity: structure vs Brownian variance of the ON-OFF model (t = 0.5)");
+    let cfg = SolverConfig::default();
+    let t = 0.5;
+    let mut rows = Vec::new();
+    for &rho in &[0.2, 0.43, 0.7] {
+        // α + β = 7 as in the paper; split by the utilization ρ.
+        let beta = 7.0 * rho;
+        let alpha = 7.0 - beta;
+        for &s2 in &[0.0, 1.0, 10.0] {
+            let mux = OnOffMultiplexer {
+                capacity: 32.0,
+                n_sources: 32,
+                alpha,
+                beta,
+                peak_rate: 1.0,
+                variance: s2,
+            };
+            let total = moments(&mux.model().expect("model"), 2, t, &cfg)
+                .expect("solver")
+                .variance();
+            let structure = moments(
+                &OnOffMultiplexer { variance: 0.0, ..mux }.model().expect("model"),
+                2,
+                t,
+                &cfg,
+            )
+            .expect("solver")
+            .variance();
+            let brownian = total - structure;
+            rows.push(vec![
+                rho,
+                s2,
+                total,
+                structure,
+                brownian,
+                100.0 * brownian / total.max(1e-30),
+            ]);
+        }
+    }
+    print_table(
+        "variance decomposition of B(0.5)",
+        &["rho", "sigma^2", "Var total", "structure", "brownian", "brownian %"],
+        &rows,
+    );
+    write_csv(
+        "sensitivity_variance.csv",
+        "rho,sigma2,var_total,var_structure,var_brownian,brownian_pct",
+        &rows,
+    );
+
+    // Structural checks: the Brownian part equals E[∫σ²(Z_u)du] =
+    // t·σ²·E[#ON] in steady state — here the transient from all-OFF, so
+    // it must be positive and grow linearly in σ².
+    for chunk in rows.chunks(3) {
+        let b1 = chunk[1][4]; // σ² = 1
+        let b10 = chunk[2][4]; // σ² = 10
+        assert!(chunk[0][4].abs() < 1e-9, "zero-noise model has no Brownian part");
+        assert!(
+            (b10 / b1 - 10.0).abs() < 1e-3,
+            "Brownian variance must be linear in sigma^2: {b1} vs {b10}"
+        );
+    }
+    println!("\nBrownian variance scales exactly linearly in sigma^2 (checked).");
+    println!("At high utilization the Brownian part dominates: a first-order model");
+    println!("would underestimate the capacity risk by the 'brownian %' column.");
+}

@@ -1,0 +1,111 @@
+//! Shared plumbing for the experiment binaries that regenerate every
+//! table and figure of the DSN 2004 paper.
+//!
+//! Each binary (`fig1`, `fig3`, `fig4`, `fig5_7`, `fig8`, `crossval`)
+//! prints the series the paper plots and writes a CSV under `results/`.
+//! See `EXPERIMENTS.md` at the workspace root for the paper-vs-measured
+//! comparison each run feeds.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Resolves the `results/` directory (workspace root), creating it if
+/// needed.
+///
+/// # Panics
+///
+/// Panics if the directory cannot be created (nothing sensible to do in
+/// an experiment binary).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/experiments → workspace root is ../..
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("..")
+        .join("..");
+    let dir = root.join("results");
+    fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Writes a CSV file into `results/` with the given header and rows.
+///
+/// # Panics
+///
+/// Panics on I/O errors.
+pub fn write_csv(name: &str, header: &str, rows: &[Vec<f64>]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut f = fs::File::create(&path).expect("create CSV");
+    writeln!(f, "{header}").expect("write header");
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.12e}")).collect();
+        writeln!(f, "{}", line.join(",")).expect("write row");
+    }
+    println!("  -> wrote {}", path.display());
+    path
+}
+
+/// Prints a fixed-width numeric table to stdout.
+pub fn print_table(title: &str, columns: &[&str], rows: &[Vec<f64>]) {
+    println!("\n== {title} ==");
+    let widths: Vec<usize> = columns.iter().map(|c| c.len().max(14)).collect();
+    let header: Vec<String> = columns
+        .iter()
+        .zip(&widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect();
+    println!("{}", header.join("  "));
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(v, w)| format!("{v:>w$.6}"))
+            .collect();
+        println!("{}", cells.join("  "));
+    }
+}
+
+/// Runs `f`, printing and returning its wall-clock duration in seconds.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    let secs = start.elapsed().as_secs_f64();
+    println!("  [{label}: {secs:.3} s]");
+    (out, secs)
+}
+
+/// Very small CLI-flag helper: returns the value after `--name`, parsed.
+pub fn flag_value<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// `true` if the bare flag `--name` is present.
+pub fn flag_present(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_parse() {
+        let args: Vec<String> = ["--scale", "100", "--full"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(flag_value::<usize>(&args, "--scale"), Some(100));
+        assert_eq!(flag_value::<usize>(&args, "--missing"), None);
+        assert!(flag_present(&args, "--full"));
+        assert!(!flag_present(&args, "--quick"));
+    }
+
+    #[test]
+    fn results_dir_exists_after_call() {
+        let d = results_dir();
+        assert!(d.is_dir());
+    }
+}

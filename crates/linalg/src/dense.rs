@@ -1,0 +1,386 @@
+//! Dense matrices, generic over the scalar.
+//!
+//! Row-major storage; sizes in this workspace are small-to-moderate
+//! (dense paths are used for ≤ a few hundred states, exactly the regime
+//! the paper says transform/PDE methods are applicable in), so the
+//! implementation favours clarity over blocking.
+
+use crate::error::LinalgError;
+use crate::scalar::Scalar;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `rows × cols` matrix over scalar `T` in row-major order.
+///
+/// # Example
+///
+/// ```
+/// use somrm_linalg::Mat;
+///
+/// let i: Mat<f64> = Mat::identity(3);
+/// let a = Mat::zeros(3, 3);
+/// let s = i.add(&a).unwrap();
+/// assert_eq!(s[(1, 1)], 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat<T> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Scalar> Mat<T> {
+    /// A matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![T::zero(); rows * cols],
+        }
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::one();
+        }
+        m
+    }
+
+    /// Builds from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the rows have
+    /// unequal lengths.
+    pub fn from_rows(rows: &[&[T]]) -> Result<Self, LinalgError> {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        for row in rows {
+            if row.len() != c {
+                return Err(LinalgError::DimensionMismatch {
+                    op: "from_rows",
+                    lhs: (r, c),
+                    rhs: (1, row.len()),
+                });
+            }
+        }
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Ok(Mat {
+            rows: r,
+            cols: c,
+            data,
+        })
+    }
+
+    /// Builds a diagonal matrix from its diagonal entries.
+    pub fn from_diag(diag: &[T]) -> Self {
+        let n = diag.len();
+        let mut m = Mat::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    /// Builds from a function of the index pair.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut m = Mat::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `i` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> &[T] {
+        assert!(i < self.rows, "row index {i} out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        assert!(i < self.rows, "row index {i} out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// The underlying row-major data.
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Elementwise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn add(&self, other: &Self) -> Result<Self, LinalgError> {
+        self.zip_with(other, "add", |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] on shape mismatch.
+    pub fn sub(&self, other: &Self) -> Result<Self, LinalgError> {
+        self.zip_with(other, "sub", |a, b| a - b)
+    }
+
+    fn zip_with(
+        &self,
+        other: &Self,
+        op: &'static str,
+        f: impl Fn(T, T) -> T,
+    ) -> Result<Self, LinalgError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op,
+                lhs: (self.rows, self.cols),
+                rhs: (other.rows, other.cols),
+            });
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Ok(Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// Multiplies every entry by `a`.
+    pub fn scaled(&self, a: T) -> Self {
+        Mat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| a * x).collect(),
+        }
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the inner
+    /// dimensions disagree.
+    pub fn matmul(&self, other: &Self) -> Result<Self, LinalgError> {
+        if self.cols != other.rows {
+            return Err(LinalgError::DimensionMismatch {
+                op: "matmul",
+                lhs: (self.rows, self.cols),
+                rhs: (other.rows, other.cols),
+            });
+        }
+        let mut out = Mat::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let aik = self[(i, k)];
+                if aik == T::zero() {
+                    continue;
+                }
+                let orow = other.row(k);
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += aik * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–(column-)vector product `self · x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.cols, "matvec: dimension mismatch");
+        (0..self.rows)
+            .map(|i| crate::vec_ops::dot(self.row(i), x))
+            .collect()
+    }
+
+    /// (Row-)vector–matrix product `x · self`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn vecmat(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.rows, "vecmat: dimension mismatch");
+        let mut out = vec![T::zero(); self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == T::zero() {
+                continue;
+            }
+            crate::vec_ops::axpy(xi, self.row(i), &mut out);
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Self {
+        Mat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Maximum absolute row sum (the induced ∞-norm).
+    pub fn norm_inf(&self) -> f64 {
+        (0..self.rows)
+            .map(|i| self.row(i).iter().map(|v| v.modulus()).sum::<f64>())
+            .fold(0.0, f64::max)
+    }
+
+    /// Maximum absolute entry.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().map(|v| v.modulus()).fold(0.0, f64::max)
+    }
+}
+
+impl<T> Index<(usize, usize)> for Mat<T> {
+    type Output = T;
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for Mat<T> {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl<T: Scalar + fmt::Display> fmt::Display for Mat<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Cx;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = Mat::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]).unwrap();
+        let i = Mat::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Mat::from_rows(&[&[1.0, 2.0][..], &[3.0, 4.0][..]]).unwrap();
+        let b = Mat::from_rows(&[&[5.0, 6.0][..], &[7.0, 8.0][..]]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matvec_vs_vecmat_transpose_identity() {
+        let a = Mat::from_rows(&[&[1.0, 2.0, 3.0][..], &[4.0, 5.0, 6.0][..]]).unwrap();
+        let x = [1.0, -1.0];
+        // x·A == Aᵀ·x
+        assert_eq!(a.vecmat(&x), a.transpose().matvec(&x));
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let a = Mat::from_rows(&[&[1.0, 2.0][..]]).unwrap();
+        let b = Mat::from_rows(&[&[3.0, 5.0][..]]).unwrap();
+        assert_eq!(a.add(&b).unwrap()[(0, 1)], 7.0);
+        assert_eq!(b.sub(&a).unwrap()[(0, 0)], 2.0);
+        assert_eq!(a.scaled(2.0)[(0, 1)], 4.0);
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let a = Mat::<f64>::zeros(2, 3);
+        let b = Mat::<f64>::zeros(2, 2);
+        assert!(matches!(
+            a.add(&b),
+            Err(LinalgError::DimensionMismatch { op: "add", .. })
+        ));
+        assert!(matches!(
+            a.matmul(&a),
+            Err(LinalgError::DimensionMismatch { op: "matmul", .. })
+        ));
+        assert!(Mat::from_rows(&[&[1.0][..], &[1.0, 2.0][..]]).is_err());
+    }
+
+    #[test]
+    fn from_diag_and_norms() {
+        let d = Mat::from_diag(&[1.0, -4.0]);
+        assert_eq!(d[(1, 1)], -4.0);
+        assert_eq!(d[(0, 1)], 0.0);
+        assert_eq!(d.norm_inf(), 4.0);
+        assert_eq!(d.max_abs(), 4.0);
+    }
+
+    #[test]
+    fn complex_matrices_work() {
+        let a = Mat::from_rows(&[&[Cx::I, Cx::ZERO][..], &[Cx::ZERO, Cx::I][..]]).unwrap();
+        let sq = a.matmul(&a).unwrap();
+        // (iI)² = −I
+        assert_eq!(sq[(0, 0)], Cx::new(-1.0, 0.0));
+        assert_eq!(sq[(0, 1)], Cx::ZERO);
+    }
+
+    #[test]
+    fn display_shows_rows() {
+        let a: Mat<f64> = Mat::identity(2);
+        let s = a.to_string();
+        assert!(s.contains('['));
+        assert!(s.lines().count() == 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_bounds_checked() {
+        let a: Mat<f64> = Mat::zeros(2, 2);
+        let _ = a[(2, 0)];
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type shared by the linear-algebra routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by `somrm-linalg` operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// Operand shapes are incompatible.
+    DimensionMismatch {
+        /// What was being attempted.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand.
+        rhs: (usize, usize),
+    },
+    /// A factorization encountered an (numerically) singular matrix.
+    Singular {
+        /// Pivot column at which elimination broke down.
+        pivot: usize,
+    },
+    /// An FFT length that is not a power of two.
+    NotPowerOfTwo {
+        /// The offending length.
+        len: usize,
+    },
+    /// An eigenvalue iteration failed to converge.
+    NoConvergence {
+        /// Index of the eigenvalue being isolated.
+        index: usize,
+        /// Iterations spent.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: {}x{} vs {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            LinalgError::NotPowerOfTwo { len } => {
+                write!(f, "FFT length {len} is not a power of two")
+            }
+            LinalgError::NoConvergence { index, iterations } => write!(
+                f,
+                "eigenvalue {index} failed to converge after {iterations} iterations"
+            ),
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        assert!(e.to_string().contains("matmul"));
+        assert!(LinalgError::Singular { pivot: 3 }.to_string().contains('3'));
+        assert!(LinalgError::NotPowerOfTwo { len: 12 }
+            .to_string()
+            .contains("12"));
+        assert!(LinalgError::NoConvergence {
+            index: 1,
+            iterations: 30
+        }
+        .to_string()
+        .contains("30"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<LinalgError>();
+    }
+}

@@ -1,0 +1,231 @@
+//! Matrix exponential by scaling-and-squaring with a Padé(13,13)
+//! approximant (Higham 2005), generic over the scalar.
+//!
+//! The transform-domain solver evaluates `b*(t,v) = exp((Q − vR + v²S/2)·t)·h`
+//! for complex `v` on the imaginary axis; this is the `exp` it uses. For
+//! CTMC generators the `somrm-ctmc` crate prefers uniformization (it
+//! preserves probability structure), but `expm` is the general tool and
+//! serves as an independent cross-check.
+
+use crate::dense::Mat;
+use crate::error::LinalgError;
+use crate::lu::Lu;
+use crate::scalar::Scalar;
+
+/// Padé(13) numerator coefficients `b₀..b₁₃` (Higham, *Functions of
+/// Matrices*, Table 10.4).
+const B: [f64; 14] = [
+    64_764_752_532_480_000.0,
+    32_382_376_266_240_000.0,
+    7_771_770_303_897_600.0,
+    1_187_353_796_428_800.0,
+    129_060_195_264_000.0,
+    10_559_470_521_600.0,
+    670_442_572_800.0,
+    33_522_128_640.0,
+    1_323_241_920.0,
+    40_840_800.0,
+    960_960.0,
+    16_380.0,
+    182.0,
+    1.0,
+];
+
+/// θ₁₃: the largest ∞-norm for which the unscaled Padé(13) approximant
+/// meets double-precision accuracy.
+const THETA_13: f64 = 5.371_920_351_148_152;
+
+/// Computes `exp(a)`.
+///
+/// # Errors
+///
+/// Returns [`LinalgError::DimensionMismatch`] if `a` is not square and
+/// [`LinalgError::Singular`] if the internal Padé solve breaks down
+/// (does not happen for matrices with a finite norm).
+///
+/// # Example
+///
+/// ```
+/// use somrm_linalg::{Mat, expm::expm};
+///
+/// // exp(0) = I
+/// let e = expm(&Mat::<f64>::zeros(2, 2)).unwrap();
+/// assert!((e[(0, 0)] - 1.0).abs() < 1e-14);
+/// assert!(e[(0, 1)].abs() < 1e-14);
+/// ```
+pub fn expm<T: Scalar>(a: &Mat<T>) -> Result<Mat<T>, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "expm",
+            lhs: (a.rows(), a.cols()),
+            rhs: (n, n),
+        });
+    }
+    if n == 0 {
+        return Ok(Mat::zeros(0, 0));
+    }
+
+    // Scaling: bring ‖A/2^s‖∞ under θ₁₃.
+    let norm = a.norm_inf();
+    let s = if norm > THETA_13 {
+        (norm / THETA_13).log2().ceil() as u32
+    } else {
+        0
+    };
+    let a = a.scaled(T::from_f64(0.5f64.powi(s as i32)));
+
+    // Powers.
+    let a2 = a.matmul(&a)?;
+    let a4 = a2.matmul(&a2)?;
+    let a6 = a2.matmul(&a4)?;
+    let id: Mat<T> = Mat::identity(n);
+
+    let b = |k: usize| T::from_f64(B[k]);
+
+    // U = A · (A6·(b13·A6 + b11·A4 + b9·A2) + b7·A6 + b5·A4 + b3·A2 + b1·I)
+    let inner_u = a6
+        .scaled(b(13))
+        .add(&a4.scaled(b(11)))?
+        .add(&a2.scaled(b(9)))?;
+    let u_poly = a6
+        .matmul(&inner_u)?
+        .add(&a6.scaled(b(7)))?
+        .add(&a4.scaled(b(5)))?
+        .add(&a2.scaled(b(3)))?
+        .add(&id.scaled(b(1)))?;
+    let u = a.matmul(&u_poly)?;
+
+    // V = A6·(b12·A6 + b10·A4 + b8·A2) + b6·A6 + b4·A4 + b2·A2 + b0·I
+    let inner_v = a6
+        .scaled(b(12))
+        .add(&a4.scaled(b(10)))?
+        .add(&a2.scaled(b(8)))?;
+    let v = a6
+        .matmul(&inner_v)?
+        .add(&a6.scaled(b(6)))?
+        .add(&a4.scaled(b(4)))?
+        .add(&a2.scaled(b(2)))?
+        .add(&id.scaled(b(0)))?;
+
+    // r = (V − U)⁻¹ (V + U), then square s times.
+    let lhs = v.sub(&u)?;
+    let rhs = v.add(&u)?;
+    let mut r = Lu::factor(lhs)?.solve_mat(&rhs)?;
+    for _ in 0..s {
+        r = r.matmul(&r)?;
+    }
+    Ok(r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Cx;
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let e = expm(&Mat::<f64>::zeros(3, 3)).unwrap();
+        let i: Mat<f64> = Mat::identity(3);
+        for r in 0..3 {
+            for c in 0..3 {
+                assert!((e[(r, c)] - i[(r, c)]).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn exp_of_diagonal() {
+        let a = Mat::from_diag(&[1.0, -2.0, 0.5]);
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - 1.0f64.exp()).abs() < 1e-13);
+        assert!((e[(1, 1)] - (-2.0f64).exp()).abs() < 1e-14);
+        assert!((e[(2, 2)] - 0.5f64.exp()).abs() < 1e-14);
+        assert!(e[(0, 1)].abs() < 1e-15);
+    }
+
+    #[test]
+    fn exp_of_nilpotent() {
+        // N = [[0,1],[0,0]] → exp(N) = I + N exactly.
+        let a = Mat::from_rows(&[&[0.0, 1.0][..], &[0.0, 0.0][..]]).unwrap();
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - 1.0).abs() < 1e-15);
+        assert!((e[(0, 1)] - 1.0).abs() < 1e-15);
+        assert!(e[(1, 0)].abs() < 1e-15);
+    }
+
+    #[test]
+    fn exp_of_rotation_generator() {
+        // A = θ·[[0,−1],[1,0]] → exp(A) is rotation by θ.
+        let theta = 0.7;
+        let a = Mat::from_rows(&[&[0.0, -theta][..], &[theta, 0.0][..]]).unwrap();
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - theta.cos()).abs() < 1e-13);
+        assert!((e[(0, 1)] + theta.sin()).abs() < 1e-13);
+        assert!((e[(1, 0)] - theta.sin()).abs() < 1e-13);
+    }
+
+    #[test]
+    fn scaling_branch_large_norm() {
+        // Large-norm diagonal exercises s > 0.
+        let a = Mat::from_diag(&[30.0, -30.0]);
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] / 30.0f64.exp() - 1.0).abs() < 1e-11);
+        assert!((e[(1, 1)] / (-30.0f64).exp() - 1.0).abs() < 1e-11);
+    }
+
+    #[test]
+    fn generator_exponential_is_stochastic() {
+        // exp(Qt) of a CTMC generator must have unit row sums.
+        let q = Mat::from_rows(&[
+            &[-2.0, 1.5, 0.5][..],
+            &[0.3, -1.0, 0.7][..],
+            &[1.0, 2.0, -3.0][..],
+        ])
+        .unwrap();
+        let p = expm(&q.scaled(0.37)).unwrap();
+        for i in 0..3 {
+            let s: f64 = p.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "row {i} sums to {s}");
+            for j in 0..3 {
+                assert!(p[(i, j)] >= -1e-13, "negative probability at {i},{j}");
+            }
+        }
+    }
+
+    #[test]
+    fn semigroup_property() {
+        let q = Mat::from_rows(&[&[-1.0, 1.0][..], &[2.0, -2.0][..]]).unwrap();
+        let e1 = expm(&q.scaled(0.4)).unwrap();
+        let e2 = expm(&q.scaled(0.6)).unwrap();
+        let e_sum = expm(&q).unwrap();
+        let prod = e1.matmul(&e2).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((prod[(i, j)] - e_sum[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_exponential_matches_scalar() {
+        // 1×1 complex: exp([z]) = [e^z].
+        let z = Cx::new(0.3, 2.1);
+        let a = Mat::from_rows(&[&[z][..]]).unwrap();
+        let e = expm(&a).unwrap();
+        assert!((e[(0, 0)] - z.exp()).modulus() < 1e-13);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Mat::<f64>::zeros(2, 3);
+        assert!(expm(&a).is_err());
+    }
+
+    #[test]
+    fn empty_matrix_ok() {
+        let a = Mat::<f64>::zeros(0, 0);
+        let e = expm(&a).unwrap();
+        assert_eq!(e.rows(), 0);
+    }
+}

@@ -1,0 +1,216 @@
+//! Radix-2 fast Fourier transform over [`Cx`].
+//!
+//! Used by `somrm-transform` to invert the characteristic function of
+//! the accumulated reward into its density. Plain iterative
+//! Cooley–Tukey with bit-reversal permutation; lengths must be powers of
+//! two (the callers choose their grids accordingly).
+
+use crate::error::LinalgError;
+use crate::scalar::Cx;
+
+fn is_power_of_two(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+fn bit_reverse_permute(data: &mut [Cx]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 0..n {
+        if i < j {
+            data.swap(i, j);
+        }
+        let mut mask = n >> 1;
+        while mask > 0 && j & mask != 0 {
+            j ^= mask;
+            mask >>= 1;
+        }
+        j |= mask;
+    }
+}
+
+fn transform(data: &mut [Cx], inverse: bool) -> Result<(), LinalgError> {
+    let n = data.len();
+    if !is_power_of_two(n) {
+        return Err(LinalgError::NotPowerOfTwo { len: n });
+    }
+    bit_reverse_permute(data);
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Cx::cis(ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Cx::ONE;
+            for k in 0..len / 2 {
+                let a = data[start + k];
+                let b = data[start + k + len / 2] * w;
+                data[start + k] = a + b;
+                data[start + k + len / 2] = a - b;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    if inverse {
+        let inv_n = 1.0 / n as f64;
+        for x in data.iter_mut() {
+            *x = *x * inv_n;
+        }
+    }
+    Ok(())
+}
+
+/// In-place forward DFT: `X_k = Σ_j x_j e^{−2πi jk/n}` (no
+/// normalization).
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotPowerOfTwo`] unless `data.len()` is a
+/// power of two.
+///
+/// # Example
+///
+/// ```
+/// use somrm_linalg::{Cx, fft::fft};
+///
+/// let mut x = vec![Cx::ONE; 4];
+/// fft(&mut x).unwrap();
+/// assert!((x[0].re - 4.0).abs() < 1e-12); // DC bin
+/// assert!(x[1].modulus() < 1e-12);
+/// ```
+pub fn fft(data: &mut [Cx]) -> Result<(), LinalgError> {
+    transform(data, false)
+}
+
+/// In-place inverse DFT (with the `1/n` normalization), the exact
+/// inverse of [`fft`].
+///
+/// # Errors
+///
+/// Returns [`LinalgError::NotPowerOfTwo`] unless `data.len()` is a
+/// power of two.
+pub fn ifft(data: &mut [Cx]) -> Result<(), LinalgError> {
+    transform(data, true)
+}
+
+/// Naive O(n²) DFT used as a test oracle and for non-power-of-two
+/// lengths in non-critical paths.
+pub fn dft_naive(data: &[Cx]) -> Vec<Cx> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Cx::ZERO;
+            for (j, &x) in data.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
+                acc += x * Cx::cis(ang);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &[Cx], b: &[Cx], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).modulus() < tol, "bin {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_constant() {
+        let mut x = vec![Cx::ZERO; 8];
+        x[0] = Cx::ONE;
+        fft(&mut x).unwrap();
+        for v in &x {
+            assert!((*v - Cx::ONE).modulus() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let n = 32;
+        let data: Vec<Cx> = (0..n)
+            .map(|j| Cx::new((j as f64 * 0.37).sin(), (j as f64 * 0.11).cos()))
+            .collect();
+        let mut fast = data.clone();
+        fft(&mut fast).unwrap();
+        let slow = dft_naive(&data);
+        close(&fast, &slow, 1e-11);
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let n = 64;
+        let data: Vec<Cx> = (0..n)
+            .map(|j| Cx::new((j as f64).sin(), (j as f64 * 0.5).cos()))
+            .collect();
+        let mut x = data.clone();
+        fft(&mut x).unwrap();
+        ifft(&mut x).unwrap();
+        close(&x, &data, 1e-12);
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 16;
+        let k0 = 3;
+        let mut x: Vec<Cx> = (0..n)
+            .map(|j| Cx::cis(2.0 * std::f64::consts::PI * (k0 * j) as f64 / n as f64))
+            .collect();
+        fft(&mut x).unwrap();
+        for (k, v) in x.iter().enumerate() {
+            if k == k0 {
+                assert!((v.re - n as f64).abs() < 1e-11);
+            } else {
+                assert!(v.modulus() < 1e-11, "leak in bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_conserved() {
+        let n = 128;
+        let data: Vec<Cx> = (0..n).map(|j| Cx::new((j as f64 * 1.7).sin(), 0.0)).collect();
+        let time_energy: f64 = data.iter().map(|v| v.norm_sqr()).sum();
+        let mut x = data;
+        fft(&mut x).unwrap();
+        let freq_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn linearity() {
+        let n = 16;
+        let a: Vec<Cx> = (0..n).map(|j| Cx::new(j as f64, 0.0)).collect();
+        let b: Vec<Cx> = (0..n).map(|j| Cx::new(0.0, (j * j) as f64 % 5.0)).collect();
+        let sum: Vec<Cx> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        let mut fs = sum;
+        fft(&mut fa).unwrap();
+        fft(&mut fb).unwrap();
+        fft(&mut fs).unwrap();
+        let combined: Vec<Cx> = fa.iter().zip(&fb).map(|(&x, &y)| x + y).collect();
+        close(&fs, &combined, 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![Cx::ZERO; 12];
+        assert!(matches!(
+            fft(&mut x),
+            Err(LinalgError::NotPowerOfTwo { len: 12 })
+        ));
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let mut x = vec![Cx::new(2.0, 3.0)];
+        fft(&mut x).unwrap();
+        assert_eq!(x[0], Cx::new(2.0, 3.0));
+    }
+}

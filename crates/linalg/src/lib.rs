@@ -1,0 +1,46 @@
+//! Linear-algebra substrate for the `somrm` workspace.
+//!
+//! The second-order MRM solvers need a specific, smallish set of kernels,
+//! all implemented here from scratch:
+//!
+//! * [`dense`] — dense matrices generic over a [`scalar::Scalar`]
+//!   (`f64` or the complex type [`scalar::Cx`]);
+//! * [`lu`] — LU factorization with partial pivoting (solve / det /
+//!   inverse), used by the transform-domain solver and small-model
+//!   stationary analysis;
+//! * [`sparse`] — CSR sparse matrices with a triplet builder; the
+//!   randomization solver's inner loop is one sparse mat-vec per step;
+//! * [`expm`] — matrix exponential by scaling-and-squaring with Padé(13),
+//!   generic over the scalar, used to evaluate `exp((Q − vR + v²S/2)t)`;
+//! * [`tridiag`] — symmetric tridiagonal eigensolver (implicit-shift QL)
+//!   returning eigenvalues and first eigenvector components, the engine
+//!   of Golub–Welsch quadrature in `somrm-bounds`;
+//! * [`fft`] — radix-2 FFT for Fourier inversion of characteristic
+//!   functions;
+//! * [`vec_ops`] — the handful of BLAS-1 helpers everything shares.
+//!
+//! # Example
+//!
+//! ```
+//! use somrm_linalg::dense::Mat;
+//!
+//! let a = Mat::from_rows(&[&[0.0, 1.0][..], &[1.0, 0.0][..]]).unwrap();
+//! let v = a.matvec(&[2.0, 3.0]);
+//! assert_eq!(v, vec![3.0, 2.0]);
+//! ```
+
+pub mod dense;
+pub mod error;
+pub mod expm;
+pub mod fft;
+pub mod lu;
+pub mod scalar;
+pub mod sparse;
+pub mod thomas;
+pub mod tridiag;
+pub mod vec_ops;
+
+pub use dense::Mat;
+pub use error::LinalgError;
+pub use scalar::{Cx, Scalar};
+pub use sparse::{CsrMatrix, TripletBuilder};

@@ -1,0 +1,294 @@
+//! LU factorization with partial pivoting, generic over the scalar.
+//!
+//! Used for small dense systems: the resolvent `[sI − Q + vR − v²/2·S]⁻¹ h`
+//! of the paper's Corollary 2, stationary distributions of dense chains,
+//! and the Padé solve inside the matrix exponential.
+
+use crate::dense::Mat;
+use crate::error::LinalgError;
+use crate::scalar::Scalar;
+
+/// An LU factorization `P·A = L·U` of a square matrix.
+///
+/// # Example
+///
+/// ```
+/// use somrm_linalg::{Mat, lu::Lu};
+///
+/// let a = Mat::from_rows(&[&[2.0, 1.0][..], &[1.0, 3.0][..]]).unwrap();
+/// let lu = Lu::factor(a).unwrap();
+/// let x = lu.solve(&[3.0, 5.0]).unwrap();
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Lu<T> {
+    /// Combined L (unit lower, below diagonal) and U (upper) factors.
+    lu: Mat<T>,
+    /// Row permutation: `perm[i]` is the original row now in position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1/−1), for determinants.
+    sign: f64,
+}
+
+impl<T: Scalar> Lu<T> {
+    /// Factors `a` in place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::Singular`] if a pivot column is numerically
+    /// zero, and [`LinalgError::DimensionMismatch`] if `a` is not square.
+    pub fn factor(mut a: Mat<T>) -> Result<Self, LinalgError> {
+        let n = a.rows();
+        if a.cols() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu",
+                lhs: (a.rows(), a.cols()),
+                rhs: (n, n),
+            });
+        }
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = a.max_abs().max(f64::MIN_POSITIVE);
+        for k in 0..n {
+            // Partial pivot: largest modulus in column k at/below row k.
+            let (pivot_row, pivot_val) = (k..n)
+                .map(|i| (i, a[(i, k)].modulus()))
+                .max_by(|x, y| x.1.total_cmp(&y.1))
+                .expect("non-empty column range");
+            if pivot_val <= scale * 1e-300 {
+                return Err(LinalgError::Singular { pivot: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(pivot_row, j)];
+                    a[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let akk = a[(k, k)];
+            for i in (k + 1)..n {
+                let factor = a[(i, k)] / akk;
+                a[(i, k)] = factor;
+                if factor == T::zero() {
+                    continue;
+                }
+                for j in (k + 1)..n {
+                    let u = a[(k, j)];
+                    let delta = factor * u;
+                    a[(i, j)] -= delta;
+                }
+            }
+        }
+        Ok(Lu { lu: a, perm, sign })
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.lu.rows()
+    }
+
+    /// Solves `A·x = b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b` has the wrong
+    /// length.
+    pub fn solve(&self, b: &[T]) -> Result<Vec<T>, LinalgError> {
+        let n = self.dim();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply permutation, then forward/back substitution.
+        let mut x: Vec<T> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 1..n {
+            let mut s = x[i];
+            for j in 0..i {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s;
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in (i + 1)..n {
+                s -= self.lu[(i, j)] * x[j];
+            }
+            x[i] = s / self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Solves `A·X = B` column by column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if `b` has the wrong
+    /// row count.
+    pub fn solve_mat(&self, b: &Mat<T>) -> Result<Mat<T>, LinalgError> {
+        let n = self.dim();
+        if b.rows() != n {
+            return Err(LinalgError::DimensionMismatch {
+                op: "lu_solve_mat",
+                lhs: (n, n),
+                rhs: (b.rows(), b.cols()),
+            });
+        }
+        let mut out = Mat::zeros(n, b.cols());
+        let mut col = vec![T::zero(); n];
+        for j in 0..b.cols() {
+            for i in 0..n {
+                col[i] = b[(i, j)];
+            }
+            let x = self.solve(&col)?;
+            for i in 0..n {
+                out[(i, j)] = x[i];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> T {
+        let mut d = T::from_f64(self.sign);
+        for i in 0..self.dim() {
+            d *= self.lu[(i, i)];
+        }
+        d
+    }
+
+    /// Inverse of the original matrix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates solve errors (cannot occur for a successfully factored
+    /// matrix of matching size).
+    pub fn inverse(&self) -> Result<Mat<T>, LinalgError> {
+        self.solve_mat(&Mat::identity(self.dim()))
+    }
+}
+
+/// Convenience: solves `A·x = b` by factoring `a`.
+///
+/// # Errors
+///
+/// See [`Lu::factor`] and [`Lu::solve`].
+pub fn solve<T: Scalar>(a: Mat<T>, b: &[T]) -> Result<Vec<T>, LinalgError> {
+    Lu::factor(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Cx;
+
+    #[test]
+    fn solves_known_system() {
+        let a = Mat::from_rows(&[&[4.0, 3.0][..], &[6.0, 3.0][..]]).unwrap();
+        let x = solve(a, &[10.0, 12.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_small_on_random_system() {
+        // Deterministic pseudo-random fill.
+        let n = 25;
+        let mut seed = 42u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let a = Mat::from_fn(n, n, |_, _| rnd());
+        let b: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let lu = Lu::factor(a.clone()).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = a.matvec(&x);
+        let err = crate::vec_ops::max_abs_diff(&r, &b);
+        assert!(err < 1e-10, "residual {err}");
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Mat::from_rows(&[&[0.0, 1.0][..], &[1.0, 0.0][..]]).unwrap();
+        let x = solve(a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = Mat::from_rows(&[&[1.0, 2.0][..], &[2.0, 4.0][..]]).unwrap();
+        assert!(matches!(
+            Lu::factor(a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn determinant_with_permutation_sign() {
+        let a = Mat::from_rows(&[&[0.0, 1.0][..], &[1.0, 0.0][..]]).unwrap();
+        let lu = Lu::factor(a).unwrap();
+        assert!((lu.det() + 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn inverse_times_original_is_identity() {
+        let a = Mat::from_rows(&[&[2.0, 1.0, 0.0][..], &[1.0, 3.0, 1.0][..], &[0.0, 1.0, 4.0][..]])
+            .unwrap();
+        let inv = Lu::factor(a.clone()).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        let i3: Mat<f64> = Mat::identity(3);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((prod[(i, j)] - i3[(i, j)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_resolvent_solve() {
+        let a = Mat::from_rows(&[
+            &[Cx::new(2.0, 0.0), -Cx::I][..],
+            &[Cx::I, Cx::new(2.0, 0.0)][..],
+        ])
+        .unwrap();
+        let b = [Cx::ONE, Cx::I];
+        let lu = Lu::factor(a.clone()).unwrap();
+        let x = lu.solve(&b).unwrap();
+        let r = a.matvec(&x);
+        assert!((r[0] - b[0]).modulus() < 1e-13);
+        assert!((r[1] - b[1]).modulus() < 1e-13);
+    }
+
+    #[test]
+    fn solve_mat_matches_columnwise_solve() {
+        let a = Mat::from_rows(&[&[3.0, 1.0][..], &[1.0, 2.0][..]]).unwrap();
+        let b = Mat::from_rows(&[&[1.0, 0.0][..], &[0.0, 1.0][..]]).unwrap();
+        let lu = Lu::factor(a.clone()).unwrap();
+        let x = lu.solve_mat(&b).unwrap();
+        let prod = a.matmul(&x).unwrap();
+        assert!((prod[(0, 0)] - 1.0).abs() < 1e-13);
+        assert!((prod[(1, 0)]).abs() < 1e-13);
+    }
+
+    #[test]
+    fn non_square_rejected() {
+        let a = Mat::<f64>::zeros(2, 3);
+        assert!(matches!(
+            Lu::factor(a),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn wrong_rhs_length_rejected() {
+        let a: Mat<f64> = Mat::identity(2);
+        let lu = Lu::factor(a).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+}

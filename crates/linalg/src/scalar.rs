@@ -1,0 +1,297 @@
+//! Scalar abstraction over real and complex arithmetic, and the complex
+//! number type [`Cx`].
+//!
+//! The dense kernels (matmul, LU, `expm`) are written once over
+//! [`Scalar`] and instantiated at `f64` (moment equations) and [`Cx`]
+//! (characteristic-function evaluation on the imaginary axis).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Field operations required by the generic dense kernels.
+pub trait Scalar:
+    Copy
+    + fmt::Debug
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + Sum
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Embeds a real number.
+    fn from_f64(x: f64) -> Self;
+    /// Modulus (absolute value), used for pivoting and norms.
+    fn modulus(self) -> f64;
+}
+
+impl Scalar for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn modulus(self) -> f64 {
+        self.abs()
+    }
+}
+
+/// A complex number `re + i·im` over `f64`.
+///
+/// # Example
+///
+/// ```
+/// use somrm_linalg::Cx;
+///
+/// let i = Cx::I;
+/// assert_eq!(i * i, Cx::new(-1.0, 0.0));
+/// assert!((Cx::new(3.0, 4.0).modulus() - 5.0).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Cx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cx {
+    /// Zero.
+    pub const ZERO: Cx = Cx { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Cx = Cx { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Cx = Cx { re: 0.0, im: 1.0 };
+
+    /// Creates `re + i·im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Cx { re, im }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Cx::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `re² + im²`.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|re + i·im|` (also available via [`Scalar::modulus`]).
+    pub fn modulus(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Complex exponential `e^self`.
+    pub fn exp(self) -> Self {
+        let r = self.re.exp();
+        Cx::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// `e^{iθ}` on the unit circle.
+    pub fn cis(theta: f64) -> Self {
+        Cx::new(theta.cos(), theta.sin())
+    }
+}
+
+impl Scalar for Cx {
+    fn zero() -> Self {
+        Cx::ZERO
+    }
+    fn one() -> Self {
+        Cx::ONE
+    }
+    fn from_f64(x: f64) -> Self {
+        Cx::new(x, 0.0)
+    }
+    fn modulus(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+}
+
+impl From<f64> for Cx {
+    fn from(x: f64) -> Self {
+        Cx::new(x, 0.0)
+    }
+}
+
+impl Add for Cx {
+    type Output = Cx;
+    fn add(self, rhs: Cx) -> Cx {
+        Cx::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Cx {
+    type Output = Cx;
+    fn sub(self, rhs: Cx) -> Cx {
+        Cx::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Cx {
+    type Output = Cx;
+    fn mul(self, rhs: Cx) -> Cx {
+        Cx::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Cx {
+    type Output = Cx;
+    fn div(self, rhs: Cx) -> Cx {
+        // Smith's algorithm: avoids overflow for extreme components.
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            Cx::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            Cx::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Neg for Cx {
+    type Output = Cx;
+    fn neg(self) -> Cx {
+        Cx::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Cx {
+    type Output = Cx;
+    fn mul(self, rhs: f64) -> Cx {
+        Cx::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl AddAssign for Cx {
+    fn add_assign(&mut self, rhs: Cx) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Cx {
+    fn sub_assign(&mut self, rhs: Cx) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Cx {
+    fn mul_assign(&mut self, rhs: Cx) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Cx {
+    fn div_assign(&mut self, rhs: Cx) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Cx {
+    fn sum<I: Iterator<Item = Cx>>(iter: I) -> Cx {
+        iter.fold(Cx::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for Cx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Cx::new(1.0, 2.0);
+        let b = Cx::new(-0.5, 3.0);
+        assert_eq!(a + b, b + a);
+        assert_eq!(a * b, b * a);
+        assert_eq!(a * (b + Cx::ONE), a * b + a);
+        assert_eq!(a - a, Cx::ZERO);
+    }
+
+    #[test]
+    fn division_inverts_multiplication() {
+        let a = Cx::new(3.0, -4.0);
+        let b = Cx::new(1e-8, 2.5);
+        let q = (a * b) / b;
+        assert!((q - a).modulus() < 1e-12);
+    }
+
+    #[test]
+    fn division_extreme_components_no_overflow() {
+        let a = Cx::new(1e300, 1.0);
+        let q = a / a;
+        assert!((q - Cx::ONE).modulus() < 1e-12);
+    }
+
+    #[test]
+    fn exp_of_imaginary_is_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * 0.4;
+            let e = Cx::new(0.0, theta).exp();
+            assert!((e.modulus() - 1.0).abs() < 1e-14);
+            assert!((e - Cx::cis(theta)).modulus() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn exp_addition_law() {
+        let a = Cx::new(0.3, 1.2);
+        let b = Cx::new(-0.7, 0.4);
+        let lhs = (a + b).exp();
+        let rhs = a.exp() * b.exp();
+        assert!((lhs - rhs).modulus() < 1e-14);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let a = Cx::new(2.0, -3.0);
+        assert_eq!(a.conj(), Cx::new(2.0, 3.0));
+        assert_eq!((a * a.conj()).re, a.norm_sqr());
+        assert!((a * a.conj()).im.abs() < 1e-15);
+    }
+
+    #[test]
+    fn display_covers_signs() {
+        assert_eq!(Cx::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Cx::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn scalar_impls_behave() {
+        assert_eq!(<Cx as Scalar>::from_f64(2.0), Cx::new(2.0, 0.0));
+        assert_eq!(<f64 as Scalar>::from_f64(2.0), 2.0);
+        assert_eq!(Cx::I.modulus(), 1.0);
+        let s: Cx = [Cx::ONE, Cx::I].into_iter().sum();
+        assert_eq!(s, Cx::new(1.0, 1.0));
+    }
+}

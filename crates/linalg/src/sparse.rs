@@ -1,0 +1,523 @@
+//! Compressed-sparse-row matrices.
+//!
+//! The randomization solver's per-iteration cost is one CSR mat-vec with
+//! the uniformized generator `Q'` plus two diagonal multiplies — exactly
+//! the `(m + 2)` vector multiplications the paper counts in Section 6.
+//! The paper's large example (200,001 states, tridiagonal `Q'`) runs
+//! through this type.
+
+use crate::error::LinalgError;
+use crate::scalar::Scalar;
+
+/// A sparse matrix in CSR (compressed sparse row) format.
+///
+/// Build one with [`TripletBuilder`] or [`CsrMatrix::from_triplets`].
+///
+/// # Example
+///
+/// ```
+/// use somrm_linalg::TripletBuilder;
+///
+/// let mut b = TripletBuilder::new(2, 2);
+/// b.push(0, 1, 1.0);
+/// b.push(1, 0, 2.0);
+/// let m = b.build();
+/// assert_eq!(m.matvec(&[1.0, 1.0]), vec![1.0, 2.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix<T = f64> {
+    rows: usize,
+    cols: usize,
+    /// Row start offsets, length `rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Column indices of the stored entries.
+    col_idx: Vec<usize>,
+    /// Stored entry values.
+    values: Vec<T>,
+}
+
+impl<T: Scalar> CsrMatrix<T> {
+    /// Builds from `(row, col, value)` triplets; duplicate positions are
+    /// summed, explicit zeros are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, T)]) -> Self {
+        let mut b = TripletBuilder::with_capacity(rows, cols, triplets.len());
+        for &(i, j, v) in triplets {
+            b.push(i, j, v);
+        }
+        b.build()
+    }
+
+    /// The `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let row_ptr = (0..=n).collect();
+        let col_idx = (0..n).collect();
+        let values = vec![T::one(); n];
+        CsrMatrix {
+            rows: n,
+            cols: n,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (structurally non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Mean number of stored entries per row (the paper's `m`).
+    pub fn mean_row_nnz(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / self.rows as f64
+        }
+    }
+
+    /// Iterates the stored entries of row `i` as `(col, value)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (usize, T)> + '_ {
+        assert!(i < self.rows, "row index {i} out of bounds");
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .zip(&self.values[lo..hi])
+            .map(|(&j, &v)| (j, v))
+    }
+
+    /// The value at `(i, j)` (zero if not stored).
+    pub fn get(&self, i: usize, j: usize) -> T {
+        self.row(i)
+            .find(|&(c, _)| c == j)
+            .map_or(T::zero(), |(_, v)| v)
+    }
+
+    /// The diagonal as a vector.
+    pub fn diagonal(&self) -> Vec<T> {
+        (0..self.rows.min(self.cols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// Computes `y = A·x` into a caller-provided buffer (the hot kernel:
+    /// no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths do not match the matrix shape.
+    pub fn matvec_into(&self, x: &[T], y: &mut [T]) {
+        assert_eq!(x.len(), self.cols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.rows, "matvec: y length mismatch");
+        for i in 0..self.rows {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            let mut acc = T::zero();
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_idx[k]];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// `A·x` as a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    pub fn matvec(&self, x: &[T]) -> Vec<T> {
+        let mut y = vec![T::zero(); self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `xᵀ·A` (row vector times matrix) as a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.rows()`.
+    pub fn vecmat(&self, x: &[T]) -> Vec<T> {
+        assert_eq!(x.len(), self.rows, "vecmat: x length mismatch");
+        let mut y = vec![T::zero(); self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == T::zero() {
+                continue;
+            }
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            for k in lo..hi {
+                y[self.col_idx[k]] += xi * self.values[k];
+            }
+        }
+        y
+    }
+
+    /// Multiplies all stored values by `a`.
+    pub fn scaled(&self, a: T) -> Self {
+        let mut out = self.clone();
+        for v in &mut out.values {
+            *v *= a;
+        }
+        out
+    }
+
+    /// `self + a·I` (used to form the uniformized `Q' = Q/q + I`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::DimensionMismatch`] if the matrix is not
+    /// square.
+    pub fn add_scaled_identity(&self, a: T) -> Result<Self, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::DimensionMismatch {
+                op: "add_scaled_identity",
+                lhs: (self.rows, self.cols),
+                rhs: (self.rows, self.rows),
+            });
+        }
+        let mut b = TripletBuilder::with_capacity(self.rows, self.cols, self.nnz() + self.rows);
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                b.push(i, j, v);
+            }
+            b.push(i, i, a);
+        }
+        Ok(b.build())
+    }
+
+    /// Transpose (CSR → CSR of the transpose).
+    pub fn transpose(&self) -> Self {
+        let mut b = TripletBuilder::with_capacity(self.cols, self.rows, self.nnz());
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                b.push(j, i, v);
+            }
+        }
+        b.build()
+    }
+
+    /// Converts to a dense matrix (tests and small models only).
+    pub fn to_dense(&self) -> crate::dense::Mat<T> {
+        let mut m = crate::dense::Mat::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row(i) {
+                m[(i, j)] = v;
+            }
+        }
+        m
+    }
+
+    /// Row sums (for substochasticity checks).
+    pub fn row_sums(&self) -> Vec<T> {
+        (0..self.rows)
+            .map(|i| self.row(i).map(|(_, v)| v).sum())
+            .collect()
+    }
+}
+
+/// Incremental COO builder producing a [`CsrMatrix`].
+///
+/// Duplicate entries are summed; entries that sum to exactly zero are
+/// still stored (they are structurally present), but pushed zeros are
+/// dropped.
+#[derive(Debug, Clone)]
+pub struct TripletBuilder<T = f64> {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Scalar> TripletBuilder<T> {
+    /// An empty builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self::with_capacity(rows, cols, 0)
+    }
+
+    /// An empty builder with preallocated capacity.
+    pub fn with_capacity(rows: usize, cols: usize, cap: usize) -> Self {
+        TripletBuilder {
+            rows,
+            cols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Records `a[i][j] += v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn push(&mut self, i: usize, j: usize, v: T) {
+        assert!(
+            i < self.rows && j < self.cols,
+            "triplet ({i},{j}) out of bounds for {}x{}",
+            self.rows,
+            self.cols
+        );
+        if v != T::zero() {
+            self.entries.push((i, j, v));
+        }
+    }
+
+    /// Number of triplets recorded so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` if no triplets were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Builds the CSR matrix, summing duplicates.
+    pub fn build(mut self) -> CsrMatrix<T> {
+        self.entries.sort_by_key(|&(i, j, _)| (i, j));
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(self.entries.len());
+        let mut values: Vec<T> = Vec::with_capacity(self.entries.len());
+        let mut last: Option<(usize, usize)> = None;
+        for (i, j, v) in self.entries {
+            if last == Some((i, j)) {
+                let v_last = values.last_mut().expect("non-empty on duplicate");
+                *v_last += v;
+            } else {
+                col_idx.push(j);
+                values.push(v);
+                row_ptr[i + 1] += 1;
+                last = Some((i, j));
+            }
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        CsrMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Mat;
+
+    fn example() -> CsrMatrix<f64> {
+        // [1 0 2]
+        // [0 0 0]
+        // [3 4 0]
+        CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (0, 2, 2.0), (2, 0, 3.0), (2, 1, 4.0)])
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let a = example();
+        let d = a.to_dense();
+        let x = [1.0, -2.0, 0.5];
+        assert_eq!(a.matvec(&x), d.matvec(&x));
+        assert_eq!(a.vecmat(&x), d.vecmat(&x));
+    }
+
+    #[test]
+    fn duplicates_are_summed() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.5)]);
+        assert_eq!(a.get(0, 0), 3.5);
+        assert_eq!(a.nnz(), 1);
+    }
+
+    #[test]
+    fn explicit_zeros_dropped() {
+        let a = CsrMatrix::from_triplets(2, 2, &[(0, 1, 0.0), (1, 0, 1.0)]);
+        assert_eq!(a.nnz(), 1);
+        assert_eq!(a.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn identity_matvec_is_noop() {
+        let i: CsrMatrix<f64> = CsrMatrix::identity(4);
+        let x = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(i.matvec(&x), x.to_vec());
+        assert_eq!(i.nnz(), 4);
+    }
+
+    #[test]
+    fn add_scaled_identity_builds_uniformized_form() {
+        // Q' = Q/q + I for a tiny generator.
+        let q = CsrMatrix::from_triplets(2, 2, &[(0, 0, -1.0), (0, 1, 1.0), (1, 0, 2.0), (1, 1, -2.0)]);
+        let qp = q.scaled(1.0 / 2.0).add_scaled_identity(1.0).unwrap();
+        let rs = qp.row_sums();
+        assert!((rs[0] - 1.0).abs() < 1e-15);
+        assert!((rs[1] - 1.0).abs() < 1e-15);
+        assert!((qp.get(0, 0) - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = example();
+        let t = a.transpose();
+        assert_eq!(t.get(0, 2), 3.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn diagonal_and_row_iteration() {
+        let a = example();
+        assert_eq!(a.diagonal(), vec![1.0, 0.0, 0.0]);
+        let row2: Vec<_> = a.row(2).collect();
+        assert_eq!(row2, vec![(0, 3.0), (1, 4.0)]);
+        let row1: Vec<_> = a.row(1).collect();
+        assert!(row1.is_empty());
+    }
+
+    #[test]
+    fn mean_row_nnz_counts() {
+        let a = example();
+        assert!((a.mean_row_nnz() - 4.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn matvec_into_no_alloc_path() {
+        let a = example();
+        let mut y = vec![0.0; 3];
+        a.matvec_into(&[1.0, 1.0, 1.0], &mut y);
+        assert_eq!(y, vec![3.0, 0.0, 7.0]);
+    }
+
+    #[test]
+    fn builder_len_and_empty() {
+        let mut b: TripletBuilder<f64> = TripletBuilder::new(2, 2);
+        assert!(b.is_empty());
+        b.push(0, 0, 1.0);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn builder_bounds_checked() {
+        let mut b: TripletBuilder<f64> = TripletBuilder::new(2, 2);
+        b.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn non_square_add_identity_rejected() {
+        let a = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]);
+        assert!(a.add_scaled_identity(1.0).is_err());
+    }
+
+    #[test]
+    fn to_dense_round_trip_values() {
+        let a = example();
+        let d = a.to_dense();
+        let back = Mat::from_fn(3, 3, |i, j| d[(i, j)]);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(a.get(i, j), back[(i, j)]);
+            }
+        }
+    }
+}
+
+impl CsrMatrix<f64> {
+    /// Parallel `y = A·x` over contiguous row chunks using scoped
+    /// threads. Falls back to the serial kernel for small matrices or
+    /// `n_threads <= 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths do not match the matrix shape.
+    pub fn matvec_into_parallel(&self, x: &[f64], y: &mut [f64], n_threads: usize) {
+        assert_eq!(x.len(), self.cols, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.rows, "matvec: y length mismatch");
+        if n_threads <= 1 || self.rows < 4096 {
+            self.matvec_into(x, y);
+            return;
+        }
+        let threads = n_threads.min(self.rows);
+        let chunk = self.rows.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let mut rest = &mut y[..];
+            let mut start = 0usize;
+            while start < self.rows {
+                let len = chunk.min(self.rows - start);
+                let (head, tail) = rest.split_at_mut(len);
+                rest = tail;
+                let row_ptr = &self.row_ptr;
+                let col_idx = &self.col_idx;
+                let values = &self.values;
+                scope.spawn(move || {
+                    for (offset, out) in head.iter_mut().enumerate() {
+                        let i = start + offset;
+                        let lo = row_ptr[i];
+                        let hi = row_ptr[i + 1];
+                        let mut acc = 0.0;
+                        for k in lo..hi {
+                            acc += values[k] * x[col_idx[k]];
+                        }
+                        *out = acc;
+                    }
+                });
+                start += len;
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod parallel_tests {
+    use super::*;
+
+    #[test]
+    fn parallel_matvec_matches_serial() {
+        // Large tridiagonal matrix crossing the parallel threshold.
+        let n = 10_000;
+        let mut b = TripletBuilder::with_capacity(n, n, 3 * n);
+        for i in 0..n {
+            if i > 0 {
+                b.push(i, i - 1, 0.25 + (i % 7) as f64 * 0.1);
+            }
+            b.push(i, i, -1.0);
+            if i + 1 < n {
+                b.push(i, i + 1, 0.5);
+            }
+        }
+        let m = b.build();
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
+        let mut serial = vec![0.0; n];
+        m.matvec_into(&x, &mut serial);
+        for threads in [1usize, 2, 3, 8] {
+            let mut par = vec![0.0; n];
+            m.matvec_into_parallel(&x, &mut par, threads);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn small_matrix_takes_serial_path() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(0, 1, 2.0), (2, 0, 1.0)]);
+        let mut y = vec![0.0; 3];
+        m.matvec_into_parallel(&[1.0, 1.0, 1.0], &mut y, 8);
+        assert_eq!(y, vec![2.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,142 @@
+//! The Thomas algorithm: O(n) solves of tridiagonal linear systems.
+//!
+//! Used by the semi-implicit reward-density PDE scheme, where each state
+//! contributes an independent tridiagonal system per time step.
+
+use crate::error::LinalgError;
+
+/// Solves the tridiagonal system with sub-diagonal `a` (length `n−1`),
+/// diagonal `b` (length `n`) and super-diagonal `c` (length `n−1`) for
+/// the right-hand side `d`.
+///
+/// Plain Thomas elimination without pivoting — stable for the
+/// diagonally dominant matrices produced by implicit diffusion stencils
+/// (`|b_i| ≥ |a_i| + |c_i|`).
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if the band lengths are
+///   inconsistent.
+/// * [`LinalgError::Singular`] if elimination encounters a zero pivot.
+///
+/// # Example
+///
+/// ```
+/// use somrm_linalg::thomas::solve_tridiagonal;
+///
+/// // [2 1 0; 1 2 1; 0 1 2] x = [4, 8, 8] → x = [1, 2, 3].
+/// let x = solve_tridiagonal(&[1.0, 1.0], &[2.0, 2.0, 2.0], &[1.0, 1.0], &[4.0, 8.0, 8.0]).unwrap();
+/// assert!((x[0] - 1.0).abs() < 1e-12);
+/// assert!((x[2] - 3.0).abs() < 1e-12);
+/// ```
+pub fn solve_tridiagonal(
+    a: &[f64],
+    b: &[f64],
+    c: &[f64],
+    d: &[f64],
+) -> Result<Vec<f64>, LinalgError> {
+    let n = b.len();
+    if n == 0 {
+        if a.is_empty() && c.is_empty() && d.is_empty() {
+            return Ok(Vec::new());
+        }
+        return Err(LinalgError::DimensionMismatch {
+            op: "thomas",
+            lhs: (0, 0),
+            rhs: (a.len(), d.len()),
+        });
+    }
+    if a.len() + 1 != n || c.len() + 1 != n || d.len() != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "thomas",
+            lhs: (n, n),
+            rhs: (a.len() + 1, d.len()),
+        });
+    }
+    let mut cp = vec![0.0; n];
+    let mut dp = vec![0.0; n];
+    if b[0] == 0.0 {
+        return Err(LinalgError::Singular { pivot: 0 });
+    }
+    cp[0] = if n > 1 { c[0] / b[0] } else { 0.0 };
+    dp[0] = d[0] / b[0];
+    for i in 1..n {
+        let denom = b[i] - a[i - 1] * cp[i - 1];
+        if denom == 0.0 {
+            return Err(LinalgError::Singular { pivot: i });
+        }
+        cp[i] = if i + 1 < n { c[i] / denom } else { 0.0 };
+        dp[i] = (d[i] - a[i - 1] * dp[i - 1]) / denom;
+    }
+    let mut x = dp;
+    for i in (0..n - 1).rev() {
+        let correction = cp[i] * x[i + 1];
+        x[i] -= correction;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::Mat;
+
+    #[test]
+    fn matches_dense_lu_on_random_band() {
+        let n = 40;
+        let mut seed = 5u64;
+        let mut rnd = || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let a: Vec<f64> = (0..n - 1).map(|_| rnd()).collect();
+        let c: Vec<f64> = (0..n - 1).map(|_| rnd()).collect();
+        // Diagonally dominant diagonal.
+        let b: Vec<f64> = (0..n).map(|i| {
+            3.0 + rnd().abs()
+                + if i > 0 { a[i - 1].abs() } else { 0.0 }
+                + if i < n - 1 { c[i].abs() } else { 0.0 }
+        })
+        .collect();
+        let d: Vec<f64> = (0..n).map(|_| rnd()).collect();
+        let x = solve_tridiagonal(&a, &b, &c, &d).unwrap();
+        // Dense check.
+        let dense = Mat::from_fn(n, n, |i, j| {
+            if i == j {
+                b[i]
+            } else if j + 1 == i {
+                a[j]
+            } else if i + 1 == j {
+                c[i]
+            } else {
+                0.0
+            }
+        });
+        let r = dense.matvec(&x);
+        for i in 0..n {
+            assert!((r[i] - d[i]).abs() < 1e-11, "row {i}");
+        }
+    }
+
+    #[test]
+    fn singleton_system() {
+        let x = solve_tridiagonal(&[], &[4.0], &[], &[8.0]).unwrap();
+        assert_eq!(x, vec![2.0]);
+    }
+
+    #[test]
+    fn empty_system() {
+        assert!(solve_tridiagonal(&[], &[], &[], &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_bad_shapes_and_singularity() {
+        assert!(solve_tridiagonal(&[1.0], &[1.0], &[], &[1.0]).is_err());
+        assert!(matches!(
+            solve_tridiagonal(&[], &[0.0], &[], &[1.0]),
+            Err(LinalgError::Singular { pivot: 0 })
+        ));
+    }
+}

@@ -1,0 +1,265 @@
+//! Symmetric tridiagonal eigensolver (implicit-shift QL).
+//!
+//! This is the engine behind Golub–Welsch quadrature in `somrm-bounds`:
+//! the Jacobi matrix built from a moment sequence is symmetric
+//! tridiagonal, its eigenvalues are the quadrature nodes, and the squared
+//! first components of the (normalized) eigenvectors — scaled by the
+//! zeroth moment — are the weights. The implementation follows the
+//! classic EISPACK `imtql2` routine, accumulating only the first row of
+//! the eigenvector matrix since that is all quadrature needs.
+
+use crate::error::LinalgError;
+
+/// Eigendecomposition of a symmetric tridiagonal matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TridiagEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// First components of the corresponding orthonormal eigenvectors
+    /// (same order as `values`).
+    pub first_components: Vec<f64>,
+}
+
+/// Computes eigenvalues and first eigenvector components of the
+/// symmetric tridiagonal matrix with diagonal `diag` and off-diagonal
+/// `offdiag` (`offdiag.len() == diag.len() − 1`).
+///
+/// # Errors
+///
+/// * [`LinalgError::DimensionMismatch`] if the off-diagonal has the
+///   wrong length.
+/// * [`LinalgError::NoConvergence`] if a QL sweep exceeds the iteration
+///   budget (pathological input).
+///
+/// # Example
+///
+/// ```
+/// use somrm_linalg::tridiag::eigen_tridiagonal;
+///
+/// // [[2,1],[1,2]] has eigenvalues 1 and 3.
+/// let e = eigen_tridiagonal(&[2.0, 2.0], &[1.0]).unwrap();
+/// assert!((e.values[0] - 1.0).abs() < 1e-12);
+/// assert!((e.values[1] - 3.0).abs() < 1e-12);
+/// ```
+pub fn eigen_tridiagonal(diag: &[f64], offdiag: &[f64]) -> Result<TridiagEigen, LinalgError> {
+    let n = diag.len();
+    if n == 0 {
+        return Ok(TridiagEigen {
+            values: Vec::new(),
+            first_components: Vec::new(),
+        });
+    }
+    if offdiag.len() + 1 != n {
+        return Err(LinalgError::DimensionMismatch {
+            op: "eigen_tridiagonal",
+            lhs: (n, n),
+            rhs: (offdiag.len() + 1, offdiag.len() + 1),
+        });
+    }
+
+    let mut d = diag.to_vec();
+    // e is shifted: e[0..n-1] are the off-diagonals, e[n-1] is workspace.
+    let mut e = offdiag.to_vec();
+    e.push(0.0);
+    // First row of the accumulated eigenvector matrix, starting at e₁ᵀ.
+    let mut z = vec![0.0; n];
+    z[0] = 1.0;
+
+    const MAX_ITER: usize = 50;
+    for l in 0..n {
+        let mut iter = 0;
+        loop {
+            // Find the first negligible off-diagonal at or after l.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if e[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > MAX_ITER {
+                return Err(LinalgError::NoConvergence {
+                    index: l,
+                    iterations: iter,
+                });
+            }
+            // Wilkinson-style shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+            let mut r = g.hypot(1.0);
+            let r_signed = if g >= 0.0 { r } else { -r };
+            g = d[m] - d[l] + e[l] / (g + r_signed);
+            let mut s = 1.0;
+            let mut c = 1.0;
+            let mut p = 0.0;
+            let mut underflow = false;
+            for i in (l..m).rev() {
+                let mut f = s * e[i];
+                let b = c * e[i];
+                r = f.hypot(g);
+                e[i + 1] = r;
+                if r == 0.0 {
+                    d[i + 1] -= p;
+                    e[m] = 0.0;
+                    underflow = true;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i + 1] - p;
+                r = (d[i] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i + 1] = g + p;
+                g = c * r - b;
+                // Accumulate the rotation into the tracked first row.
+                f = z[i + 1];
+                z[i + 1] = s * z[i] + c * f;
+                z[i] = c * z[i] - s * f;
+            }
+            if underflow {
+                continue;
+            }
+            d[l] -= p;
+            e[l] = g;
+            e[m] = 0.0;
+        }
+    }
+
+    // Sort ascending, carrying the first components along.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| d[a].total_cmp(&d[b]));
+    let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let first_components: Vec<f64> = order.iter().map(|&i| z[i]).collect();
+    Ok(TridiagEigen {
+        values,
+        first_components,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Dense characteristic check: Σ λᵢ = tr(T), Σ λᵢ² = ‖T‖²_F.
+    fn check_invariants(diag: &[f64], off: &[f64], eig: &TridiagEigen) {
+        let n = diag.len();
+        let tr: f64 = diag.iter().sum();
+        let s1: f64 = eig.values.iter().sum();
+        assert!((tr - s1).abs() < 1e-10 * (1.0 + tr.abs()), "trace mismatch");
+        let fro: f64 = diag.iter().map(|x| x * x).sum::<f64>()
+            + 2.0 * off.iter().map(|x| x * x).sum::<f64>();
+        let s2: f64 = eig.values.iter().map(|x| x * x).sum();
+        assert!((fro - s2).abs() < 1e-9 * (1.0 + fro), "Frobenius mismatch");
+        // First components of an orthonormal basis: Σ z₁ᵢ² = 1.
+        let zsum: f64 = eig.first_components.iter().map(|x| x * x).sum();
+        assert!((zsum - 1.0).abs() < 1e-12, "z norm {zsum}");
+        assert_eq!(eig.values.len(), n);
+    }
+
+    #[test]
+    fn two_by_two_exact() {
+        let e = eigen_tridiagonal(&[2.0, 2.0], &[1.0]).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-13);
+        assert!((e.values[1] - 3.0).abs() < 1e-13);
+        // Eigenvectors (1,∓1)/√2: first components ±1/√2.
+        assert!((e.first_components[0].abs() - 0.5f64.sqrt()).abs() < 1e-13);
+        check_invariants(&[2.0, 2.0], &[1.0], &e);
+    }
+
+    #[test]
+    fn diagonal_matrix_short_circuits() {
+        let e = eigen_tridiagonal(&[3.0, 1.0, 2.0], &[0.0, 0.0]).unwrap();
+        assert_eq!(e.values, vec![1.0, 2.0, 3.0]);
+        // e₁ is an eigenvector of eigenvalue 3 → its first component is ±1.
+        assert!((e.first_components[2].abs() - 1.0).abs() < 1e-14);
+        assert!(e.first_components[0].abs() < 1e-14);
+    }
+
+    #[test]
+    fn toeplitz_known_spectrum() {
+        // Tridiag(-1, 2, -1) of size n has λ_k = 2 − 2cos(kπ/(n+1)).
+        let n = 12;
+        let diag = vec![2.0; n];
+        let off = vec![-1.0; n - 1];
+        let e = eigen_tridiagonal(&diag, &off).unwrap();
+        for k in 1..=n {
+            let expect = 2.0 - 2.0 * (k as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
+            assert!(
+                (e.values[k - 1] - expect).abs() < 1e-12,
+                "λ_{k}: {} vs {expect}",
+                e.values[k - 1]
+            );
+        }
+        check_invariants(&diag, &off, &e);
+    }
+
+    #[test]
+    fn jacobi_matrix_of_legendre_weights() {
+        // Golub–Welsch for Legendre on [−1,1]: nodes are Gauss points,
+        // μ₀·z₁ᵢ² are the Gauss–Legendre weights (μ₀ = 2).
+        // Jacobi recurrence: aₖ = 0, bₖ = k/sqrt(4k²−1).
+        let n = 5;
+        let diag = vec![0.0; n];
+        let off: Vec<f64> = (1..n)
+            .map(|k| k as f64 / ((4 * k * k - 1) as f64).sqrt())
+            .collect();
+        let e = eigen_tridiagonal(&diag, &off).unwrap();
+        // 5-point Gauss–Legendre nodes/weights (Abramowitz & Stegun 25.4.30).
+        let nodes = [
+            -0.906_179_845_938_664,
+            -0.538_469_310_105_683,
+            0.0,
+            0.538_469_310_105_683,
+            0.906_179_845_938_664,
+        ];
+        let weights = [
+            0.236_926_885_056_189,
+            0.478_628_670_499_366,
+            0.568_888_888_888_889,
+            0.478_628_670_499_366,
+            0.236_926_885_056_189,
+        ];
+        for i in 0..n {
+            assert!((e.values[i] - nodes[i]).abs() < 1e-12, "node {i}");
+            let w = 2.0 * e.first_components[i] * e.first_components[i];
+            assert!((w - weights[i]).abs() < 1e-12, "weight {i}: {w}");
+        }
+    }
+
+    #[test]
+    fn random_matrix_invariants() {
+        let mut seed = 7u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for n in [1usize, 2, 3, 8, 40] {
+            let diag: Vec<f64> = (0..n).map(|_| rnd() * 4.0).collect();
+            let off: Vec<f64> = (0..n.saturating_sub(1)).map(|_| rnd() * 2.0).collect();
+            let e = eigen_tridiagonal(&diag, &off).unwrap();
+            check_invariants(&diag, &off, &e);
+            // Sorted.
+            for w in e.values.windows(2) {
+                assert!(w[0] <= w[1] + 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = eigen_tridiagonal(&[], &[]).unwrap();
+        assert!(e.values.is_empty());
+        let e = eigen_tridiagonal(&[5.0], &[]).unwrap();
+        assert_eq!(e.values, vec![5.0]);
+        assert_eq!(e.first_components, vec![1.0]);
+    }
+
+    #[test]
+    fn wrong_offdiag_length_rejected() {
+        assert!(eigen_tridiagonal(&[1.0, 2.0], &[1.0, 1.0]).is_err());
+    }
+}

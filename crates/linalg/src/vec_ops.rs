@@ -1,0 +1,115 @@
+//! BLAS-1 style helpers on plain slices.
+//!
+//! The randomization solver's inner loop is built from exactly these
+//! operations, so they are kept free-standing (no vector newtype) and
+//! trivially inlinable.
+
+use crate::scalar::Scalar;
+
+/// Dot product `Σ xᵢ yᵢ`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn dot<T: Scalar>(x: &[T], y: &[T]) -> T {
+    assert_eq!(x.len(), y.len(), "dot: length mismatch");
+    x.iter().zip(y).map(|(&a, &b)| a * b).sum()
+}
+
+/// `y ← a·x + y`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy<T: Scalar>(a: T, x: &[T], y: &mut [T]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += a * xi;
+    }
+}
+
+/// `x ← a·x`.
+pub fn scale<T: Scalar>(a: T, x: &mut [T]) {
+    for xi in x.iter_mut() {
+        *xi *= a;
+    }
+}
+
+/// Euclidean norm.
+pub fn norm2<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|v| v.modulus() * v.modulus()).sum::<f64>().sqrt()
+}
+
+/// Maximum modulus of the entries (∞-norm).
+pub fn norm_inf<T: Scalar>(x: &[T]) -> f64 {
+    x.iter().map(|v| v.modulus()).fold(0.0, f64::max)
+}
+
+/// Largest absolute difference between two vectors.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff<T: Scalar>(x: &[T], y: &[T]) -> f64 {
+    assert_eq!(x.len(), y.len(), "max_abs_diff: length mismatch");
+    x.iter()
+        .zip(y)
+        .map(|(&a, &b)| (a - b).modulus())
+        .fold(0.0, f64::max)
+}
+
+/// Sum of the entries.
+pub fn sum<T: Scalar>(x: &[T]) -> T {
+    x.iter().copied().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Cx;
+
+    #[test]
+    fn dot_and_axpy() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&x, &y), 32.0);
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [6.0, 9.0, 12.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let x = [3.0, 4.0];
+        assert!((norm2(&x) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&x), 4.0);
+        assert_eq!(sum(&x), 7.0);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut x = [1.0, -2.0];
+        scale(-3.0, &mut x);
+        assert_eq!(x, [-3.0, 6.0]);
+    }
+
+    #[test]
+    fn complex_variants() {
+        let x = [Cx::ONE, Cx::I];
+        let y = [Cx::I, Cx::I];
+        assert_eq!(dot(&x, &y), Cx::new(-1.0, 1.0));
+        assert!((norm2(&x) - 2.0f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_divergence() {
+        let x = [1.0, 2.0];
+        let y = [1.0, 2.5];
+        assert_eq!(max_abs_diff(&x, &y), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_rejects_mismatch() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

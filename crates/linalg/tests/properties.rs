@@ -1,0 +1,131 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use proptest::prelude::*;
+use somrm_linalg::dense::Mat;
+use somrm_linalg::fft::{dft_naive, fft, ifft};
+use somrm_linalg::lu::Lu;
+use somrm_linalg::scalar::Cx;
+use somrm_linalg::sparse::CsrMatrix;
+use somrm_linalg::tridiag::eigen_tridiagonal;
+use somrm_linalg::vec_ops;
+
+fn small_f64() -> impl Strategy<Value = f64> {
+    -10.0f64..10.0
+}
+
+fn mat_strategy(n: usize) -> impl Strategy<Value = Mat<f64>> {
+    prop::collection::vec(small_f64(), n * n).prop_map(move |data| {
+        Mat::from_fn(n, n, |i, j| data[i * n + j])
+    })
+}
+
+fn triplets(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    prop::collection::vec((0..n, 0..n, small_f64()), 0..3 * n)
+}
+
+proptest! {
+    #[test]
+    fn matmul_associative(a in mat_strategy(4), b in mat_strategy(4), c in mat_strategy(4)) {
+        let lhs = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        for i in 0..4 {
+            for j in 0..4 {
+                prop_assert!((lhs[(i,j)] - rhs[(i,j)]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_product(a in mat_strategy(3), b in mat_strategy(3)) {
+        // (AB)ᵀ = BᵀAᵀ
+        let lhs = a.matmul(&b).unwrap().transpose();
+        let rhs = b.transpose().matmul(&a.transpose()).unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((lhs[(i,j)] - rhs[(i,j)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn lu_solve_residual(a in mat_strategy(6), b in prop::collection::vec(small_f64(), 6)) {
+        if let Ok(lu) = Lu::factor(a.clone()) {
+            let x = lu.solve(&b).unwrap();
+            let r = a.matvec(&x);
+            // Residual is scaled by matrix conditioning; accept a loose bound.
+            let scale = a.norm_inf().max(1.0) * vec_ops::norm_inf(&x).max(1.0);
+            prop_assert!(vec_ops::max_abs_diff(&r, &b) < 1e-7 * scale);
+        }
+    }
+
+    #[test]
+    fn lu_det_multiplicative(a in mat_strategy(4), b in mat_strategy(4)) {
+        let ab = a.matmul(&b).unwrap();
+        let da = Lu::factor(a).map(|f| f.det()).unwrap_or(0.0);
+        let db = Lu::factor(b).map(|f| f.det()).unwrap_or(0.0);
+        let dab = Lu::factor(ab).map(|f| f.det()).unwrap_or(0.0);
+        let scale = da.abs().max(db.abs()).max(dab.abs()).max(1.0);
+        prop_assert!((dab - da * db).abs() < 1e-6 * scale * scale);
+    }
+
+    #[test]
+    fn sparse_matvec_matches_dense(t in triplets(8), x in prop::collection::vec(small_f64(), 8)) {
+        let s = CsrMatrix::from_triplets(8, 8, &t);
+        let d = s.to_dense();
+        let ys = s.matvec(&x);
+        let yd = d.matvec(&x);
+        prop_assert!(vec_ops::max_abs_diff(&ys, &yd) < 1e-10);
+        let zs = s.vecmat(&x);
+        let zd = d.vecmat(&x);
+        prop_assert!(vec_ops::max_abs_diff(&zs, &zd) < 1e-10);
+    }
+
+    #[test]
+    fn sparse_transpose_involution(t in triplets(6)) {
+        let s = CsrMatrix::from_triplets(6, 6, &t);
+        prop_assert_eq!(s.transpose().transpose(), s);
+    }
+
+    #[test]
+    fn fft_round_trip(data in prop::collection::vec((small_f64(), small_f64()), 1..5)) {
+        // Round up to a power of two by zero-padding.
+        let n = data.len().next_power_of_two() * 8;
+        let mut x: Vec<Cx> = data.iter().map(|&(r, i)| Cx::new(r, i)).collect();
+        x.resize(n, Cx::ZERO);
+        let orig = x.clone();
+        fft(&mut x).unwrap();
+        ifft(&mut x).unwrap();
+        for (a, b) in x.iter().zip(&orig) {
+            prop_assert!((*a - *b).modulus() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive(data in prop::collection::vec((small_f64(), small_f64()), 16..17)) {
+        let mut x: Vec<Cx> = data.iter().map(|&(r, i)| Cx::new(r, i)).collect();
+        let slow = dft_naive(&x);
+        fft(&mut x).unwrap();
+        for (a, b) in x.iter().zip(&slow) {
+            prop_assert!((*a - *b).modulus() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn tridiag_eigen_trace_preserved(
+        diag in prop::collection::vec(small_f64(), 2..12),
+        seed in 0u64..1000,
+    ) {
+        let n = diag.len();
+        let mut s = seed;
+        let off: Vec<f64> = (0..n - 1).map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 11) as f64 / (1u64 << 53) as f64) * 4.0 - 2.0
+        }).collect();
+        let e = eigen_tridiagonal(&diag, &off).unwrap();
+        let tr: f64 = diag.iter().sum();
+        let s1: f64 = e.values.iter().sum();
+        prop_assert!((tr - s1).abs() < 1e-8 * (1.0 + tr.abs()));
+        let znorm: f64 = e.first_components.iter().map(|z| z * z).sum();
+        prop_assert!((znorm - 1.0).abs() < 1e-10);
+    }
+}

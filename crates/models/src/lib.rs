@@ -1,0 +1,22 @@
+//! Model library and workload generators for Markov reward analysis.
+//!
+//! * [`onoff`] — the paper's Section-7 example: `N` ON-OFF CBR sources
+//!   multiplexed on a channel of capacity `C`, the reward being the
+//!   capacity left over for best-effort traffic (Tables 1 and 2,
+//!   Figures 2–8);
+//! * [`multiprocessor`] — a classic performability scenario: a
+//!   multiprocessor with failures and repair, reward = effective
+//!   computing capacity, with second-order noise per active processor;
+//! * [`queue`] — an M/M/1/K queue whose accumulated served work is a
+//!   noisy (second-order) function of the busy time.
+//!
+//! Every builder produces a validated
+//! [`somrm_core::model::SecondOrderMrm`].
+
+pub mod multiprocessor;
+pub mod onoff;
+pub mod queue;
+
+pub use multiprocessor::Multiprocessor;
+pub use onoff::OnOffMultiplexer;
+pub use queue::NoisyQueue;

@@ -1,0 +1,439 @@
+//! Double-double arithmetic: an unevaluated sum of two `f64`s giving a
+//! ~106-bit significand (~32 decimal digits).
+//!
+//! The moment-based distribution bounding of Figures 5–7 of the paper
+//! feeds 23 moments into Hankel-type computations whose conditioning
+//! grows exponentially with the moment order; plain `f64` loses all
+//! accuracy around 12–16 moments. [`Dd`] recovers enough headroom to run
+//! the paper's 23-moment configuration. The algorithms are the classical
+//! error-free transformations (Dekker/Knuth two-sum, FMA-based
+//! two-product) as used in the QD library of Hida, Li and Bailey.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::iter::{Product, Sum};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Error-free sum: returns `(s, e)` with `s = fl(a+b)` and `a+b = s+e`.
+#[inline]
+fn two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let bb = s - a;
+    let e = (a - (s - bb)) + (b - bb);
+    (s, e)
+}
+
+/// Error-free sum assuming `|a| >= |b|`.
+#[inline]
+fn quick_two_sum(a: f64, b: f64) -> (f64, f64) {
+    let s = a + b;
+    let e = b - (s - a);
+    (s, e)
+}
+
+/// Error-free product via fused multiply-add.
+#[inline]
+fn two_prod(a: f64, b: f64) -> (f64, f64) {
+    let p = a * b;
+    let e = a.mul_add(b, -p);
+    (p, e)
+}
+
+/// A double-double number: the unevaluated sum `hi + lo` with
+/// `|lo| ≤ ulp(hi)/2`.
+///
+/// Supports `+ - * /`, square roots, integer powers and comparisons.
+/// Conversions: [`Dd::from`] an `f64` is exact; [`Dd::to_f64`] rounds to
+/// nearest.
+///
+/// # Example
+///
+/// ```
+/// use somrm_num::Dd;
+///
+/// // (1 + 2^-60) - 1 is exactly representable in Dd but not in f64.
+/// let tiny = Dd::from(2.0f64.powi(-60));
+/// let x = Dd::ONE + tiny;
+/// assert_eq!((x - Dd::ONE).to_f64(), 2.0f64.powi(-60));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Dd {
+    hi: f64,
+    lo: f64,
+}
+
+impl Dd {
+    /// Zero.
+    pub const ZERO: Dd = Dd { hi: 0.0, lo: 0.0 };
+    /// One.
+    pub const ONE: Dd = Dd { hi: 1.0, lo: 0.0 };
+    /// Two.
+    pub const TWO: Dd = Dd { hi: 2.0, lo: 0.0 };
+
+    /// Builds a `Dd` from high and low parts, renormalizing.
+    pub fn new(hi: f64, lo: f64) -> Self {
+        let (s, e) = two_sum(hi, lo);
+        Dd { hi: s, lo: e }
+    }
+
+    /// The high (leading) component.
+    pub fn hi(self) -> f64 {
+        self.hi
+    }
+
+    /// The low (trailing) component.
+    pub fn lo(self) -> f64 {
+        self.lo
+    }
+
+    /// Rounds to the nearest `f64`.
+    pub fn to_f64(self) -> f64 {
+        self.hi + self.lo
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Self {
+        if self.hi < 0.0 || (self.hi == 0.0 && self.lo < 0.0) {
+            -self
+        } else {
+            self
+        }
+    }
+
+    /// `true` if the value is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.hi == 0.0 && self.lo == 0.0
+    }
+
+    /// `true` if either component is NaN.
+    pub fn is_nan(self) -> bool {
+        self.hi.is_nan() || self.lo.is_nan()
+    }
+
+    /// Multiplicative inverse.
+    pub fn recip(self) -> Self {
+        Dd::ONE / self
+    }
+
+    /// Square root (full double-double accuracy via one Newton step).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is negative.
+    pub fn sqrt(self) -> Self {
+        assert!(
+            self.hi >= 0.0,
+            "Dd::sqrt of negative value {}",
+            self.to_f64()
+        );
+        if self.is_zero() {
+            return Dd::ZERO;
+        }
+        // s ≈ sqrt(x) in f64, then one Newton/Karp step:
+        // sqrt(x) ≈ s + (x − s²) / (2 s), with the residual in Dd.
+        let s = self.hi.sqrt();
+        let s_dd = Dd::from(s);
+        let residual = self - s_dd * s_dd;
+        s_dd + Dd::from(residual.to_f64() / (2.0 * s))
+    }
+
+    /// Integer power by binary exponentiation.
+    pub fn powi(self, mut n: i32) -> Self {
+        if n == 0 {
+            return Dd::ONE;
+        }
+        let invert = n < 0;
+        if invert {
+            n = -n;
+        }
+        let mut base = self;
+        let mut acc = Dd::ONE;
+        let mut m = n as u32;
+        while m > 0 {
+            if m & 1 == 1 {
+                acc *= base;
+            }
+            base = base * base;
+            m >>= 1;
+        }
+        if invert {
+            acc.recip()
+        } else {
+            acc
+        }
+    }
+
+    /// The larger of two values.
+    pub fn max(self, other: Self) -> Self {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The smaller of two values.
+    pub fn min(self, other: Self) -> Self {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl From<f64> for Dd {
+    fn from(x: f64) -> Self {
+        Dd { hi: x, lo: 0.0 }
+    }
+}
+
+impl From<i32> for Dd {
+    fn from(x: i32) -> Self {
+        Dd {
+            hi: x as f64,
+            lo: 0.0,
+        }
+    }
+}
+
+impl From<u32> for Dd {
+    fn from(x: u32) -> Self {
+        Dd {
+            hi: x as f64,
+            lo: 0.0,
+        }
+    }
+}
+
+impl PartialEq for Dd {
+    fn eq(&self, other: &Self) -> bool {
+        self.hi == other.hi && self.lo == other.lo
+    }
+}
+
+impl PartialOrd for Dd {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        if self.is_nan() || other.is_nan() {
+            return None;
+        }
+        match self.hi.partial_cmp(&other.hi) {
+            Some(Ordering::Equal) => self.lo.partial_cmp(&other.lo),
+            ord => ord,
+        }
+    }
+}
+
+impl Neg for Dd {
+    type Output = Dd;
+    fn neg(self) -> Dd {
+        Dd {
+            hi: -self.hi,
+            lo: -self.lo,
+        }
+    }
+}
+
+impl Add for Dd {
+    type Output = Dd;
+    fn add(self, rhs: Dd) -> Dd {
+        let (s1, s2) = two_sum(self.hi, rhs.hi);
+        let (t1, t2) = two_sum(self.lo, rhs.lo);
+        let (s1, s2) = quick_two_sum(s1, s2 + t1);
+        let (hi, lo) = quick_two_sum(s1, s2 + t2);
+        Dd { hi, lo }
+    }
+}
+
+impl Sub for Dd {
+    type Output = Dd;
+    fn sub(self, rhs: Dd) -> Dd {
+        self + (-rhs)
+    }
+}
+
+impl Mul for Dd {
+    type Output = Dd;
+    fn mul(self, rhs: Dd) -> Dd {
+        let (p1, p2) = two_prod(self.hi, rhs.hi);
+        let p2 = p2 + self.hi * rhs.lo + self.lo * rhs.hi;
+        let (hi, lo) = quick_two_sum(p1, p2);
+        Dd { hi, lo }
+    }
+}
+
+impl Div for Dd {
+    type Output = Dd;
+    fn div(self, rhs: Dd) -> Dd {
+        // Long division: two quotient refinement steps.
+        let q1 = self.hi / rhs.hi;
+        let r = self - rhs * Dd::from(q1);
+        let q2 = r.hi / rhs.hi;
+        let r = r - rhs * Dd::from(q2);
+        let q3 = r.hi / rhs.hi;
+        let (hi, lo) = quick_two_sum(q1, q2);
+        Dd { hi, lo } + Dd::from(q3)
+    }
+}
+
+impl AddAssign for Dd {
+    fn add_assign(&mut self, rhs: Dd) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Dd {
+    fn sub_assign(&mut self, rhs: Dd) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Dd {
+    fn mul_assign(&mut self, rhs: Dd) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Dd {
+    fn div_assign(&mut self, rhs: Dd) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Dd {
+    fn sum<I: Iterator<Item = Dd>>(iter: I) -> Dd {
+        iter.fold(Dd::ZERO, |a, b| a + b)
+    }
+}
+
+impl Product for Dd {
+    fn product<I: Iterator<Item = Dd>>(iter: I) -> Dd {
+        iter.fold(Dd::ONE, |a, b| a * b)
+    }
+}
+
+impl fmt::Display for Dd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Show the rounded f64 value; the trailing component is an
+        // implementation detail for display purposes.
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dd(x: f64) -> Dd {
+        Dd::from(x)
+    }
+
+    #[test]
+    fn exact_small_integer_arithmetic() {
+        assert_eq!((dd(2.0) + dd(3.0)).to_f64(), 5.0);
+        assert_eq!((dd(2.0) * dd(3.0)).to_f64(), 6.0);
+        assert_eq!((dd(7.0) - dd(3.0)).to_f64(), 4.0);
+        assert_eq!((dd(8.0) / dd(2.0)).to_f64(), 4.0);
+    }
+
+    #[test]
+    fn captures_beyond_f64_precision() {
+        let eps = 2.0f64.powi(-80);
+        let x = Dd::ONE + dd(eps);
+        // In f64 this sum would be exactly 1.
+        assert_eq!((x - Dd::ONE).to_f64(), eps);
+    }
+
+    #[test]
+    fn third_is_accurate_to_dd_precision() {
+        let third = Dd::ONE / dd(3.0);
+        let back = third * dd(3.0) - Dd::ONE;
+        assert!(back.to_f64().abs() < 1e-31);
+    }
+
+    #[test]
+    fn sqrt_two_squares_back() {
+        let r = dd(2.0).sqrt();
+        let err = (r * r - dd(2.0)).to_f64().abs();
+        assert!(err < 1e-31, "err = {err}");
+        assert_eq!(Dd::ZERO.sqrt(), Dd::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn sqrt_rejects_negative() {
+        dd(-1.0).sqrt();
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let x = dd(1.5);
+        let mut acc = Dd::ONE;
+        for _ in 0..13 {
+            acc *= x;
+        }
+        assert!((x.powi(13) - acc).to_f64().abs() < 1e-25);
+        assert_eq!(x.powi(0), Dd::ONE);
+        let inv = x.powi(-2);
+        assert!((inv * x * x - Dd::ONE).to_f64().abs() < 1e-30);
+    }
+
+    #[test]
+    fn ordering_uses_both_components() {
+        let tiny = dd(2.0f64.powi(-70));
+        let a = Dd::ONE + tiny;
+        assert!(a > Dd::ONE);
+        assert!(Dd::ONE < a);
+        assert!(Dd::ONE.max(a) == a);
+        assert!(Dd::ONE.min(a) == Dd::ONE);
+    }
+
+    #[test]
+    fn abs_and_neg() {
+        assert_eq!((-dd(3.0)).abs().to_f64(), 3.0);
+        assert_eq!(dd(3.0).abs().to_f64(), 3.0);
+        let tiny_neg = Dd::new(0.0, -1e-300);
+        assert!(tiny_neg.abs() >= Dd::ZERO);
+    }
+
+    #[test]
+    fn sum_and_product_iterators() {
+        let xs = [dd(1.0), dd(2.0), dd(3.0)];
+        let s: Dd = xs.iter().copied().sum();
+        let p: Dd = xs.iter().copied().product();
+        assert_eq!(s.to_f64(), 6.0);
+        assert_eq!(p.to_f64(), 6.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", dd(0.0)), "0");
+        assert_eq!(format!("{}", dd(2.5)), "2.5");
+    }
+
+    #[test]
+    fn renormalizing_constructor() {
+        // hi and lo deliberately out of order.
+        let x = Dd::new(1e-20, 1.0);
+        assert_eq!(x.hi(), 1.0);
+        assert!((x.lo() - 1e-20).abs() < 1e-35);
+    }
+
+    #[test]
+    fn harmonic_series_more_accurate_than_f64() {
+        // Compare Σ 1/k computed in Dd vs f64 against a compensated
+        // reference; the Dd error must be much smaller.
+        let n = 20_000u32;
+        let mut f = 0.0f64;
+        let mut d = Dd::ZERO;
+        let mut reference = crate::sum::NeumaierSum::new();
+        for k in 1..=n {
+            f += 1.0 / k as f64;
+            d += Dd::ONE / Dd::from(k as f64);
+            reference.add(1.0 / k as f64);
+        }
+        let err_f = (f - reference.value()).abs();
+        let err_d = (d.to_f64() - reference.value()).abs();
+        assert!(err_d <= err_f.max(1e-18));
+    }
+}

@@ -1,0 +1,38 @@
+//! Numeric substrate for the `somrm` workspace.
+//!
+//! This crate collects the low-level numerical building blocks that the
+//! second-order Markov reward model (MRM) solvers are built on:
+//!
+//! * [`sum`] — compensated (Neumaier) summation and log-sum-exp, used
+//!   wherever long Poisson-weighted series are accumulated;
+//! * [`special`] — special functions (`ln Γ`, `ln k!`, `erf`, the normal
+//!   distribution) implemented from scratch so that the workspace has no
+//!   external math dependency;
+//! * [`poisson`] — mode-anchored, log-space-stable Poisson weight
+//!   generation and tail probabilities, the heart of the randomization
+//!   (uniformization) method and of its Theorem-4 truncation bound;
+//! * [`dd`] — double-double (~106-bit significand) arithmetic used by the
+//!   moment-based distribution bounding code, where Hankel-matrix
+//!   conditioning destroys plain `f64`;
+//! * [`real`] — a small scalar abstraction ([`real::Real`]) letting the
+//!   bounding algorithms run generically in `f64` or [`dd::Dd`].
+//!
+//! # Example
+//!
+//! ```
+//! use somrm_num::poisson::PoissonWindow;
+//!
+//! // Weights of a Poisson(1000) variable, truncated to relative mass 1e-12.
+//! let w = PoissonWindow::new(1000.0, 1e-12);
+//! let total: f64 = w.weights().iter().sum();
+//! assert!((total - 1.0).abs() < 1e-10);
+//! ```
+
+pub mod dd;
+pub mod poisson;
+pub mod real;
+pub mod special;
+pub mod sum;
+
+pub use dd::Dd;
+pub use real::Real;

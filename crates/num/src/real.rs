@@ -1,0 +1,147 @@
+//! A minimal real-scalar abstraction.
+//!
+//! The moment-problem algorithms in `somrm-bounds` are written once,
+//! generically over [`Real`], and instantiated with `f64` for speed or
+//! with [`crate::Dd`] for the ill-conditioned high-moment-order runs.
+
+use crate::Dd;
+use std::fmt::Debug;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Scalar operations required by the generic numerical algorithms.
+///
+/// Implemented for `f64` and [`Dd`]. The trait is deliberately small: the
+/// generic code needs field arithmetic, comparisons, square roots and
+/// `f64` conversions — nothing transcendental.
+pub trait Real:
+    Copy
+    + Debug
+    + PartialEq
+    + PartialOrd
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + 'static
+{
+    /// Additive identity.
+    fn zero() -> Self;
+    /// Multiplicative identity.
+    fn one() -> Self;
+    /// Exact embedding of an `f64`.
+    fn from_f64(x: f64) -> Self;
+    /// Rounds to the nearest `f64`.
+    fn to_f64(self) -> f64;
+    /// Square root.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic on negative input.
+    fn sqrt(self) -> Self;
+    /// Machine epsilon of this representation (distance from 1 to the
+    /// next representable value), as an `f64`.
+    fn epsilon() -> f64;
+    /// Absolute value.
+    fn abs(self) -> Self;
+
+    /// `true` if exactly zero.
+    fn is_zero(self) -> bool {
+        self == Self::zero()
+    }
+
+    /// Multiplicative inverse.
+    fn recip(self) -> Self {
+        Self::one() / self
+    }
+}
+
+impl Real for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn sqrt(self) -> Self {
+        assert!(self >= 0.0, "sqrt of negative value {self}");
+        f64::sqrt(self)
+    }
+    fn epsilon() -> f64 {
+        f64::EPSILON
+    }
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+}
+
+impl Real for Dd {
+    fn zero() -> Self {
+        Dd::ZERO
+    }
+    fn one() -> Self {
+        Dd::ONE
+    }
+    fn from_f64(x: f64) -> Self {
+        Dd::from(x)
+    }
+    fn to_f64(self) -> f64 {
+        Dd::to_f64(self)
+    }
+    fn sqrt(self) -> Self {
+        Dd::sqrt(self)
+    }
+    fn epsilon() -> f64 {
+        // ~2^-104: the unit roundoff of a double-double significand.
+        4.93e-32
+    }
+    fn abs(self) -> Self {
+        Dd::abs(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_root<T: Real>(a: T, b: T, c: T) -> T {
+        // (-b + sqrt(b² - 4ac)) / 2a, generic smoke test of the trait ops.
+        let disc = b * b - T::from_f64(4.0) * a * c;
+        (-b + disc.sqrt()) / (T::from_f64(2.0) * a)
+    }
+
+    #[test]
+    fn generic_algorithm_runs_in_both_scalars() {
+        // x² - 3x + 2 = 0 → larger root 2.
+        let rf = quadratic_root(1.0f64, -3.0, 2.0);
+        let rd = quadratic_root(Dd::ONE, Dd::from(-3.0), Dd::TWO);
+        assert!((rf - 2.0).abs() < 1e-14);
+        assert!((rd.to_f64() - 2.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn default_methods() {
+        assert!(0.0f64.is_zero());
+        assert!(!1.0f64.is_zero());
+        assert!((2.0f64.recip() - 0.5).abs() < 1e-16);
+        assert!(Dd::ZERO.is_zero());
+        assert!((Real::recip(Dd::TWO).to_f64() - 0.5).abs() < 1e-16);
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        for &x in &[0.0, 1.5, -7.25, 1e-12] {
+            assert_eq!(<f64 as Real>::from_f64(x).to_f64(), x);
+            assert_eq!(<Dd as Real>::from_f64(x).to_f64(), x);
+        }
+    }
+}

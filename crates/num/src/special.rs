@@ -1,0 +1,404 @@
+//! Special functions implemented from scratch.
+//!
+//! Provides the log-gamma function, log-factorials, the error function
+//! family and the standard normal distribution. Accuracy targets are
+//! ~1e-14 relative for `ln_gamma`/`ln_factorial` and ~1e-9 absolute for
+//! `erf`/`normal_cdf`, which is ample for the solvers in this workspace
+//! (their own truncation errors dominate).
+
+use std::sync::OnceLock;
+
+/// Lanczos coefficients (g = 7, n = 9), giving ~15 significant digits.
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_1,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function for `x > 0`.
+///
+/// Uses the Lanczos approximation. Exact (to rounding) at integer and
+/// half-integer arguments relevant to the solvers.
+///
+/// # Panics
+///
+/// Panics if `x <= 0` (the reflection branch is intentionally omitted:
+/// no caller in this workspace needs it, and a silent wrong value would
+/// be worse than a panic).
+///
+/// # Example
+///
+/// ```
+/// // Γ(5) = 24
+/// assert!((somrm_num::special::ln_gamma(5.0) - 24.0_f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument, got {x}");
+    // Lanczos: Γ(x) = sqrt(2π) (x+g-0.5)^(x-0.5) e^-(x+g-0.5) A_g(x)
+    let mut a = LANCZOS_COEF[0];
+    for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+        a += c / (x - 1.0 + i as f64);
+    }
+    let t = x + LANCZOS_G - 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x - 0.5) * t.ln() - t + a.ln()
+}
+
+const LN_FACTORIAL_TABLE_SIZE: usize = 2048;
+
+fn ln_factorial_table() -> &'static [f64; LN_FACTORIAL_TABLE_SIZE] {
+    static TABLE: OnceLock<[f64; LN_FACTORIAL_TABLE_SIZE]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0.0; LN_FACTORIAL_TABLE_SIZE];
+        let mut acc = crate::sum::NeumaierSum::new();
+        for k in 1..LN_FACTORIAL_TABLE_SIZE {
+            acc.add((k as f64).ln());
+            t[k] = acc.value();
+        }
+        t
+    })
+}
+
+/// Natural logarithm of `k!`.
+///
+/// Small arguments come from an exact cumulative table; larger ones from
+/// [`ln_gamma`].
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(somrm_num::special::ln_factorial(0), 0.0);
+/// assert!((somrm_num::special::ln_factorial(10) - 3628800.0_f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_factorial(k: u64) -> f64 {
+    if (k as usize) < LN_FACTORIAL_TABLE_SIZE {
+        ln_factorial_table()[k as usize]
+    } else {
+        ln_gamma(k as f64 + 1.0)
+    }
+}
+
+/// Binomial coefficient `C(n, k)` as `f64` (exact for small arguments,
+/// accurate to ~1e-14 relative otherwise).
+pub fn binomial(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    if k == 0 {
+        return 1.0;
+    }
+    // Multiplicative form keeps intermediate values small and exact for
+    // the (n ≤ ~30) arguments used by the moment-unshift formula.
+    let mut c = 1.0;
+    for i in 0..k {
+        c = c * (n - i) as f64 / (i + 1) as f64;
+    }
+    c
+}
+
+/// The error function `erf(x)`, accurate to ~1.5e-9 absolute.
+///
+/// Uses the rational Chebyshev fit of W. J. Cody's `erf`/`erfc` split at
+/// |x| = 0.5, via the complementary function for large arguments.
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    if x < 1.5 {
+        erf_series(x)
+    } else {
+        1.0 - erfc_cf(x)
+    }
+}
+
+/// Abramowitz & Stegun 7.1.5 Maclaurin series, used for `0 ≤ x < 1.5`
+/// where it converges fast with mild cancellation.
+fn erf_series(x: f64) -> f64 {
+    let two_over_sqrt_pi = 2.0 / std::f64::consts::PI.sqrt();
+    let x2 = x * x;
+    let mut term = x;
+    let mut acc = crate::sum::NeumaierSum::with_value(x);
+    for n in 1..80 {
+        term *= -x2 / n as f64;
+        let contrib = term / (2 * n + 1) as f64;
+        acc.add(contrib);
+        if contrib.abs() < 1e-18 {
+            break;
+        }
+    }
+    two_over_sqrt_pi * acc.value()
+}
+
+/// The complementary error function `erfc(x) = 1 − erf(x)`.
+///
+/// Stable (no cancellation) for large positive `x`, where it underflows
+/// gracefully to zero near `x ≈ 27`.
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    if x < 1.5 {
+        // erfc(1.5) ≈ 0.034: the subtraction loses < 2 digits, well within
+        // the documented accuracy target.
+        return 1.0 - erf_series(x);
+    }
+    erfc_cf(x)
+}
+
+/// Laplace continued fraction
+/// `erfc(x) = e^{−x²}/√π · 1/(x + (1/2)/(x + 1/(x + (3/2)/(x + …))))`,
+/// evaluated bottom-up; rapidly convergent for `x ≥ 1.5`.
+fn erfc_cf(x: f64) -> f64 {
+    let x2 = x * x;
+    let depth = (90.0 / x).ceil() as usize + 40;
+    let mut tail = 0.0;
+    for j in (1..=depth).rev() {
+        tail = (j as f64 / 2.0) / (x + tail);
+    }
+    (-x2).exp() / std::f64::consts::PI.sqrt() / (x + tail)
+}
+
+/// Standard normal density `φ(x)`.
+pub fn normal_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cumulative distribution `Φ(x)`.
+///
+/// # Example
+///
+/// ```
+/// assert!((somrm_num::special::normal_cdf(0.0) - 0.5).abs() < 1e-15);
+/// assert!((somrm_num::special::normal_cdf(1.96) - 0.975).abs() < 1e-3);
+/// ```
+pub fn normal_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Density of a `Normal(mean, var)` variable at `x`.
+///
+/// # Panics
+///
+/// Panics if `var <= 0`.
+pub fn normal_pdf_mv(x: f64, mean: f64, var: f64) -> f64 {
+    assert!(var > 0.0, "variance must be positive, got {var}");
+    let sd = var.sqrt();
+    normal_pdf((x - mean) / sd) / sd
+}
+
+/// CDF of a `Normal(mean, var)` variable at `x`.
+///
+/// # Panics
+///
+/// Panics if `var <= 0`.
+pub fn normal_cdf_mv(x: f64, mean: f64, var: f64) -> f64 {
+    assert!(var > 0.0, "variance must be positive, got {var}");
+    normal_cdf((x - mean) / var.sqrt())
+}
+
+/// Inverse of [`normal_cdf`] (the standard normal quantile function).
+///
+/// Uses Acklam's rational approximation refined by one Halley step,
+/// giving ~1e-13 absolute accuracy over `(0, 1)`.
+///
+/// # Panics
+///
+/// Panics unless `0 < p < 1`.
+pub fn normal_quantile(p: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "p must lie in (0,1), got {p}");
+    // Acklam coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+    // One Halley refinement.
+    let e = normal_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (0.5 * x * x).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_integers() {
+        // Γ(n) = (n-1)!
+        let mut fact = 1.0f64;
+        for n in 1..20u64 {
+            if n > 1 {
+                fact *= (n - 1) as f64;
+            }
+            let rel = (ln_gamma(n as f64) - fact.ln()).abs() / fact.ln().abs().max(1.0);
+            assert!(rel < 1e-13, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = sqrt(pi)
+        let expect = 0.5 * std::f64::consts::PI.ln();
+        assert!((ln_gamma(0.5) - expect).abs() < 1e-13);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive argument")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn ln_factorial_table_and_stirling_agree() {
+        // Around the table boundary the two branches must agree.
+        let k = LN_FACTORIAL_TABLE_SIZE as u64 - 1;
+        let a = ln_factorial(k);
+        let b = ln_gamma(k as f64 + 1.0);
+        assert!((a - b).abs() / a < 1e-13);
+    }
+
+    #[test]
+    fn ln_factorial_small_exact() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120.0_f64.ln()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn binomial_pascal_triangle() {
+        for n in 0..20u32 {
+            for k in 1..n {
+                let lhs = binomial(n, k);
+                let rhs = binomial(n - 1, k - 1) + binomial(n - 1, k);
+                assert!((lhs - rhs).abs() < 1e-9 * lhs.max(1.0), "n={n} k={k}");
+            }
+        }
+        assert_eq!(binomial(5, 7), 0.0);
+        assert_eq!(binomial(7, 0), 1.0);
+        assert_eq!(binomial(6, 3), 20.0);
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        // Reference values from Abramowitz & Stegun table 7.1.
+        let cases = [
+            (0.0, 0.0),
+            (0.5, 0.520_499_877_8),
+            (1.0, 0.842_700_792_9),
+            (2.0, 0.995_322_265_0),
+            (3.0, 0.999_977_909_5),
+        ];
+        for (x, v) in cases {
+            assert!((erf(x) - v).abs() < 2e-9, "erf({x})");
+            assert!((erf(-x) + v).abs() < 2e-9, "erf(-{x})");
+        }
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for i in 0..100 {
+            let x = -5.0 + 0.1 * i as f64;
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 2e-9, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn erfc_large_argument_no_cancellation() {
+        // erfc(10) ≈ 2.088e-45; the naive 1-erf would give 0.
+        let v = erfc(10.0);
+        assert!((v / 2.088_487_583_762_545e-45 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        for i in 0..80 {
+            let x = -4.0 + 0.1 * i as f64;
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normal_quantile_inverts_cdf() {
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() < 1e-11, "p = {p}");
+        }
+        // Deep tails.
+        for &p in &[1e-10, 1e-6, 1.0 - 1e-6] {
+            let x = normal_quantile(p);
+            assert!((normal_cdf(x) - p).abs() / p.min(1.0 - p) < 1e-6, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn normal_pdf_integrates_to_cdf_increment() {
+        // Trapezoid check of d/dx Φ = φ.
+        let h = 1e-5;
+        for &x in &[-2.0, -0.5, 0.0, 1.3, 2.7] {
+            let numeric = (normal_cdf(x + h) - normal_cdf(x - h)) / (2.0 * h);
+            assert!((numeric - normal_pdf(x)).abs() < 1e-7, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn normal_mv_reduces_to_standard() {
+        assert_eq!(normal_cdf_mv(1.3, 0.0, 1.0), normal_cdf(1.3));
+        assert_eq!(normal_pdf_mv(1.3, 0.0, 1.0), normal_pdf(1.3));
+        // Scaling: N(2, 4) at 4 is standard at (4-2)/2 = 1.
+        assert!((normal_cdf_mv(4.0, 2.0, 4.0) - normal_cdf(1.0)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "variance must be positive")]
+    fn normal_mv_rejects_zero_variance() {
+        normal_cdf_mv(0.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Property-based tests for the numeric substrate.
+
+use proptest::prelude::*;
+use somrm_num::dd::Dd;
+use somrm_num::poisson;
+use somrm_num::special;
+use somrm_num::sum::{compensated_sum, log_add_exp};
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    (-1e12f64..1e12).prop_filter("nonzero-ish", |x| x.abs() > 1e-12)
+}
+
+proptest! {
+    #[test]
+    fn dd_add_commutes(a in finite_f64(), b in finite_f64()) {
+        let x = Dd::from(a) + Dd::from(b);
+        let y = Dd::from(b) + Dd::from(a);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn dd_mul_commutes(a in finite_f64(), b in finite_f64()) {
+        let x = Dd::from(a) * Dd::from(b);
+        let y = Dd::from(b) * Dd::from(a);
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn dd_sub_is_add_neg(a in finite_f64(), b in finite_f64()) {
+        let x = Dd::from(a) - Dd::from(b);
+        let y = Dd::from(a) + (-Dd::from(b));
+        prop_assert_eq!(x, y);
+    }
+
+    #[test]
+    fn dd_add_exact_on_f64_pairs(a in finite_f64(), b in finite_f64()) {
+        // The double-double sum of two f64s is *exact*: converting back
+        // after subtracting the f64-rounded sum recovers the rounding
+        // error of the f64 addition.
+        let s = Dd::from(a) + Dd::from(b);
+        let rounded = a + b;
+        let err = s - Dd::from(rounded);
+        // |true - rounded| ≤ ulp(rounded)/2.
+        let ulp_bound = (rounded.abs() * f64::EPSILON).max(f64::MIN_POSITIVE);
+        prop_assert!(err.to_f64().abs() <= ulp_bound);
+    }
+
+    #[test]
+    fn dd_div_inverts_mul(a in finite_f64(), b in finite_f64()) {
+        let x = Dd::from(a);
+        let y = Dd::from(b);
+        let z = (x * y) / y;
+        let rel = ((z - x).to_f64() / a).abs();
+        prop_assert!(rel < 1e-28, "rel = {rel}");
+    }
+
+    #[test]
+    fn dd_sqrt_of_square(a in 1e-6f64..1e6) {
+        let x = Dd::from(a);
+        let r = (x * x).sqrt();
+        let rel = ((r - x).to_f64() / a).abs();
+        prop_assert!(rel < 1e-28);
+    }
+
+    #[test]
+    fn dd_ordering_consistent_with_f64(a in finite_f64(), b in finite_f64()) {
+        if a < b {
+            prop_assert!(Dd::from(a) < Dd::from(b));
+        } else if a > b {
+            prop_assert!(Dd::from(a) > Dd::from(b));
+        }
+    }
+
+    #[test]
+    fn compensated_sum_matches_dd_reference(xs in prop::collection::vec(-1e6f64..1e6, 0..200)) {
+        let reference: Dd = xs.iter().map(|&x| Dd::from(x)).sum();
+        let got = compensated_sum(&xs);
+        let scale: f64 = xs.iter().map(|x| x.abs()).sum::<f64>().max(1.0);
+        prop_assert!((got - reference.to_f64()).abs() <= 1e-12 * scale);
+    }
+
+    #[test]
+    fn log_add_exp_ge_max(a in -700.0f64..700.0, b in -700.0f64..700.0) {
+        let r = log_add_exp(a, b);
+        prop_assert!(r >= a.max(b));
+        prop_assert!(r <= a.max(b) + std::f64::consts::LN_2 + 1e-12);
+    }
+
+    #[test]
+    fn poisson_pmf_recurrence(lambda in 0.1f64..500.0, k in 0u64..200) {
+        // w_{k+1} / w_k = λ / (k+1)
+        let wk = poisson::pmf(lambda, k);
+        let wk1 = poisson::pmf(lambda, k + 1);
+        if wk > 1e-250 {
+            let ratio = wk1 / wk;
+            let expect = lambda / (k + 1) as f64;
+            prop_assert!((ratio / expect - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn poisson_tail_decreasing(lambda in 0.5f64..300.0, g in 0u64..400) {
+        let t0 = poisson::ln_tail_above(lambda, g);
+        let t1 = poisson::ln_tail_above(lambda, g + 1);
+        prop_assert!(t1 <= t0 + 1e-12);
+    }
+
+    #[test]
+    fn erf_odd_and_bounded(x in -6.0f64..6.0) {
+        let e = special::erf(x);
+        prop_assert!(e.abs() <= 1.0);
+        prop_assert!((special::erf(-x) + e).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normal_cdf_monotone(a in -8.0f64..8.0, d in 1e-6f64..4.0) {
+        prop_assert!(special::normal_cdf(a + d) >= special::normal_cdf(a));
+    }
+
+    #[test]
+    fn normal_quantile_round_trip(p in 1e-8f64..0.99999999) {
+        let x = special::normal_quantile(p);
+        prop_assert!((special::normal_cdf(x) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_factorial_recurrence(k in 1u64..3000) {
+        // ln k! = ln (k-1)! + ln k
+        let lhs = special::ln_factorial(k);
+        let rhs = special::ln_factorial(k - 1) + (k as f64).ln();
+        prop_assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0));
+    }
+}

@@ -1,0 +1,533 @@
+//! ODE baselines for the moment equations of second-order Markov reward
+//! models.
+//!
+//! Theorem 2 of the paper gives the linear ODE system
+//!
+//! ```text
+//! d/dt V⁽ⁿ⁾(t) = Q·V⁽ⁿ⁾(t) + n·R·V⁽ⁿ⁻¹⁾(t) + ½n(n−1)·S·V⁽ⁿ⁻²⁾(t),
+//! V⁽⁰⁾(0) = 1,  V⁽ⁿ⁾(0) = 0.
+//! ```
+//!
+//! The paper validates its randomization method against "a numerical ODE
+//! solver (working based on eq. 6 using trapezoid rule)". This crate is
+//! that baseline: a fixed-step explicit trapezoid (Heun) integrator and
+//! a classical RK4 integrator over the joint system of all orders
+//! `0..=n`. It exists to (a) reproduce the paper's three-way
+//! cross-validation and (b) benchmark the speed gap the paper reports
+//! ("the randomization was far the fastest").
+
+use somrm_core::error::MrmError;
+use somrm_core::model::SecondOrderMrm;
+use somrm_linalg::sparse::CsrMatrix;
+
+/// Integration scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OdeMethod {
+    /// Explicit trapezoid (Heun / improved Euler), order 2 — the
+    /// paper's comparison scheme.
+    Trapezoid,
+    /// Classical Runge–Kutta, order 4.
+    Rk4,
+}
+
+/// Result of an ODE moment integration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OdeMomentSolution {
+    /// Time of accumulation.
+    pub t: f64,
+    /// `per_state[n][i] = E[Bⁿ(t) | Z(0) = i]`.
+    pub per_state: Vec<Vec<f64>>,
+    /// Initial-distribution-weighted moments.
+    pub weighted: Vec<f64>,
+    /// Number of time steps used.
+    pub steps: usize,
+    /// Scheme used.
+    pub method: OdeMethod,
+}
+
+impl OdeMomentSolution {
+    /// The π-weighted `n`-th raw moment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the computed order.
+    pub fn raw_moment(&self, n: usize) -> f64 {
+        self.weighted[n]
+    }
+
+    /// The π-weighted mean.
+    pub fn mean(&self) -> f64 {
+        self.weighted[1]
+    }
+}
+
+/// The coupled right-hand side evaluator for all orders `0..=order`.
+struct MomentRhs<'a> {
+    q: &'a CsrMatrix<f64>,
+    rates: &'a [f64],
+    variances: &'a [f64],
+    order: usize,
+    n_states: usize,
+}
+
+impl MomentRhs<'_> {
+    /// `out[j] = Q·u[j] + j·R·u[j−1] + ½j(j−1)·S·u[j−2]`.
+    fn eval(&self, u: &[Vec<f64>], out: &mut [Vec<f64>]) {
+        for j in 0..=self.order {
+            self.q.matvec_into(&u[j], &mut out[j]);
+            if j >= 1 {
+                let jf = j as f64;
+                for i in 0..self.n_states {
+                    out[j][i] += jf * self.rates[i] * u[j - 1][i];
+                }
+            }
+            if j >= 2 {
+                let c = 0.5 * (j * (j - 1)) as f64;
+                for i in 0..self.n_states {
+                    out[j][i] += c * self.variances[i] * u[j - 2][i];
+                }
+            }
+        }
+    }
+}
+
+/// Integrates the moment ODE (eq. 6) to time `t` with `steps` fixed
+/// steps of the chosen scheme.
+///
+/// # Errors
+///
+/// Returns [`MrmError::InvalidParameter`] for a negative/non-finite `t`
+/// or `steps == 0`.
+///
+/// # Example
+///
+/// ```
+/// use somrm_ctmc::generator::GeneratorBuilder;
+/// use somrm_core::model::SecondOrderMrm;
+/// use somrm_ode::{moments_ode, OdeMethod};
+///
+/// let mut b = GeneratorBuilder::new(2);
+/// b.rate(0, 1, 1.0)?;
+/// b.rate(1, 0, 1.0)?;
+/// let m = SecondOrderMrm::new(b.build()?, vec![1.0, 1.0], vec![0.1, 0.2], vec![1.0, 0.0])?;
+/// let sol = moments_ode(&m, 2, 0.5, OdeMethod::Rk4, 200)?;
+/// assert!((sol.mean() - 0.5).abs() < 1e-8);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn moments_ode(
+    model: &SecondOrderMrm,
+    order: usize,
+    t: f64,
+    method: OdeMethod,
+    steps: usize,
+) -> Result<OdeMomentSolution, MrmError> {
+    if !(t >= 0.0) || !t.is_finite() {
+        return Err(MrmError::InvalidParameter {
+            name: "t",
+            reason: format!("time must be finite and non-negative, got {t}"),
+        });
+    }
+    if steps == 0 {
+        return Err(MrmError::InvalidParameter {
+            name: "steps",
+            reason: "need at least one step".to_string(),
+        });
+    }
+    let n_states = model.n_states();
+    let rhs = MomentRhs {
+        q: model.generator().as_csr(),
+        rates: model.rates(),
+        variances: model.variances(),
+        order,
+        n_states,
+    };
+
+    let mut u: Vec<Vec<f64>> = (0..=order)
+        .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
+        .collect();
+
+    if t > 0.0 {
+        let h = t / steps as f64;
+        let zeros: Vec<Vec<f64>> = (0..=order).map(|_| vec![0.0; n_states]).collect();
+        let mut k1 = zeros.clone();
+        let mut k2 = zeros.clone();
+        let mut k3 = zeros.clone();
+        let mut k4 = zeros.clone();
+        let mut tmp = zeros;
+        for _ in 0..steps {
+            match method {
+                OdeMethod::Trapezoid => {
+                    rhs.eval(&u, &mut k1);
+                    stage(&u, &k1, h, &mut tmp);
+                    rhs.eval(&tmp, &mut k2);
+                    for j in 0..=order {
+                        for i in 0..n_states {
+                            u[j][i] += 0.5 * h * (k1[j][i] + k2[j][i]);
+                        }
+                    }
+                }
+                OdeMethod::Rk4 => {
+                    rhs.eval(&u, &mut k1);
+                    stage(&u, &k1, 0.5 * h, &mut tmp);
+                    rhs.eval(&tmp, &mut k2);
+                    stage(&u, &k2, 0.5 * h, &mut tmp);
+                    rhs.eval(&tmp, &mut k3);
+                    stage(&u, &k3, h, &mut tmp);
+                    rhs.eval(&tmp, &mut k4);
+                    for j in 0..=order {
+                        for i in 0..n_states {
+                            u[j][i] += h / 6.0
+                                * (k1[j][i] + 2.0 * k2[j][i] + 2.0 * k3[j][i] + k4[j][i]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let weighted = (0..=order)
+        .map(|j| {
+            u[j].iter()
+                .zip(model.initial())
+                .map(|(&v, &p)| v * p)
+                .sum()
+        })
+        .collect();
+    Ok(OdeMomentSolution {
+        t,
+        per_state: u,
+        weighted,
+        steps,
+        method,
+    })
+}
+
+/// `out = u + h·k`.
+fn stage(u: &[Vec<f64>], k: &[Vec<f64>], h: f64, out: &mut [Vec<f64>]) {
+    for j in 0..u.len() {
+        for i in 0..u[j].len() {
+            out[j][i] = u[j][i] + h * k[j][i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use somrm_core::uniformization::{moments, SolverConfig};
+    use somrm_ctmc::generator::GeneratorBuilder;
+
+    fn example_model() -> SecondOrderMrm {
+        let mut b = GeneratorBuilder::new(3);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        b.rate(1, 2, 3.0).unwrap();
+        b.rate(2, 1, 4.0).unwrap();
+        SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![0.0, 2.0, 5.0],
+            vec![0.0, 1.0, 4.0],
+            vec![1.0, 0.0, 0.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rk4_matches_randomization() {
+        let m = example_model();
+        let t = 0.6;
+        let ode = moments_ode(&m, 3, t, OdeMethod::Rk4, 2000).unwrap();
+        let rnd = moments(&m, 3, t, &SolverConfig::default()).unwrap();
+        for j in 0..=3 {
+            let scale = rnd.raw_moment(j).abs().max(1.0);
+            assert!(
+                (ode.raw_moment(j) - rnd.raw_moment(j)).abs() < 1e-8 * scale,
+                "order {j}: {} vs {}",
+                ode.raw_moment(j),
+                rnd.raw_moment(j)
+            );
+        }
+    }
+
+    #[test]
+    fn trapezoid_matches_randomization_coarser() {
+        let m = example_model();
+        let t = 0.6;
+        let ode = moments_ode(&m, 3, t, OdeMethod::Trapezoid, 20_000).unwrap();
+        let rnd = moments(&m, 3, t, &SolverConfig::default()).unwrap();
+        for j in 0..=3 {
+            let scale = rnd.raw_moment(j).abs().max(1.0);
+            assert!(
+                (ode.raw_moment(j) - rnd.raw_moment(j)).abs() < 1e-6 * scale,
+                "order {j}"
+            );
+        }
+    }
+
+    #[test]
+    fn convergence_orders() {
+        // Halving h must shrink the error by ~4 (Heun) and ~16 (RK4).
+        let m = example_model();
+        let t = 0.5;
+        let reference = moments(
+            &m,
+            2,
+            t,
+            &SolverConfig {
+                epsilon: 1e-13,
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap()
+        .raw_moment(2);
+        let err = |method, steps| {
+            (moments_ode(&m, 2, t, method, steps).unwrap().raw_moment(2) - reference).abs()
+        };
+        let e1 = err(OdeMethod::Trapezoid, 50);
+        let e2 = err(OdeMethod::Trapezoid, 100);
+        let ratio = e1 / e2;
+        assert!(ratio > 3.0 && ratio < 5.5, "Heun ratio {ratio}");
+        let e1 = err(OdeMethod::Rk4, 25);
+        let e2 = err(OdeMethod::Rk4, 50);
+        let ratio = e1 / e2;
+        assert!(ratio > 11.0 && ratio < 22.0, "RK4 ratio {ratio}");
+    }
+
+    #[test]
+    fn zeroth_moment_conserved() {
+        let m = example_model();
+        let sol = moments_ode(&m, 2, 1.0, OdeMethod::Rk4, 500).unwrap();
+        for i in 0..3 {
+            assert!((sol.per_state[0][i] - 1.0).abs() < 1e-10, "state {i}");
+        }
+    }
+
+    #[test]
+    fn zero_time_is_initial_condition() {
+        let m = example_model();
+        let sol = moments_ode(&m, 3, 0.0, OdeMethod::Trapezoid, 10).unwrap();
+        assert_eq!(sol.raw_moment(0), 1.0);
+        assert_eq!(sol.raw_moment(1), 0.0);
+        assert_eq!(sol.raw_moment(3), 0.0);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let m = example_model();
+        assert!(moments_ode(&m, 1, -1.0, OdeMethod::Rk4, 10).is_err());
+        assert!(moments_ode(&m, 1, 1.0, OdeMethod::Rk4, 0).is_err());
+        assert!(moments_ode(&m, 1, f64::INFINITY, OdeMethod::Rk4, 10).is_err());
+    }
+
+    #[test]
+    fn negative_rates_no_shift_needed() {
+        // The ODE integrates eq. (6) directly; negative rates need no
+        // shifting here, making it an independent check of the
+        // randomization solver's shift logic.
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 2.0).unwrap();
+        let m = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![-2.0, 1.0],
+            vec![0.5, 2.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let t = 0.8;
+        let ode = moments_ode(&m, 3, t, OdeMethod::Rk4, 3000).unwrap();
+        let rnd = moments(&m, 3, t, &SolverConfig::default()).unwrap();
+        for j in 0..=3 {
+            assert!(
+                (ode.raw_moment(j) - rnd.raw_moment(j)).abs() < 1e-8,
+                "order {j}"
+            );
+        }
+    }
+}
+
+/// Integrates the impulse-extended moment ODE
+/// `d/dt V⁽ⁿ⁾ = Q·V⁽ⁿ⁾ + n·R·V⁽ⁿ⁻¹⁾ + ½n(n−1)·S·V⁽ⁿ⁻²⁾ +
+/// Σ_{l=1}^{n} C(n,l)·Q_l·V⁽ⁿ⁻ˡ⁾` (see `somrm_core::impulse`) — the
+/// ODE cross-check of the extended randomization recursion.
+///
+/// # Errors
+///
+/// Same conditions as [`moments_ode`].
+pub fn moments_ode_impulse(
+    model: &somrm_core::impulse::ImpulseMrm,
+    order: usize,
+    t: f64,
+    method: OdeMethod,
+    steps: usize,
+) -> Result<OdeMomentSolution, MrmError> {
+    if !(t >= 0.0) || !t.is_finite() {
+        return Err(MrmError::InvalidParameter {
+            name: "t",
+            reason: format!("time must be finite and non-negative, got {t}"),
+        });
+    }
+    if steps == 0 {
+        return Err(MrmError::InvalidParameter {
+            name: "steps",
+            reason: "need at least one step".to_string(),
+        });
+    }
+    let base = model.base();
+    let n_states = base.n_states();
+    // Impulse moment matrices Q_l = {q_ij·c_ij^l}, l = 1..=order.
+    let q_l: Vec<somrm_linalg::sparse::CsrMatrix<f64>> = (1..=order)
+        .map(|l| {
+            let mut b = somrm_linalg::sparse::TripletBuilder::with_capacity(
+                n_states,
+                n_states,
+                model.impulse_matrix().nnz(),
+            );
+            for i in 0..n_states {
+                for (j, c) in model.impulse_matrix().row(i) {
+                    let rate = base.generator().as_csr().get(i, j);
+                    b.push(i, j, rate * c.powi(l as i32));
+                }
+            }
+            b.build()
+        })
+        .collect();
+
+    let rhs = |u: &[Vec<f64>], out: &mut [Vec<f64>], scratch: &mut Vec<f64>| {
+        for j in 0..=order {
+            base.generator().as_csr().matvec_into(&u[j], &mut out[j]);
+            if j >= 1 {
+                let jf = j as f64;
+                for i in 0..n_states {
+                    out[j][i] += jf * base.rates()[i] * u[j - 1][i];
+                }
+            }
+            if j >= 2 {
+                let c = 0.5 * (j * (j - 1)) as f64;
+                for i in 0..n_states {
+                    out[j][i] += c * base.variances()[i] * u[j - 2][i];
+                }
+            }
+            for l in 1..=j {
+                q_l[l - 1].matvec_into(&u[j - l], scratch);
+                let coeff = somrm_num::special::binomial(j as u32, l as u32);
+                for i in 0..n_states {
+                    out[j][i] += coeff * scratch[i];
+                }
+            }
+        }
+    };
+
+    let mut u: Vec<Vec<f64>> = (0..=order)
+        .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
+        .collect();
+    if t > 0.0 {
+        let h = t / steps as f64;
+        let zeros: Vec<Vec<f64>> = (0..=order).map(|_| vec![0.0; n_states]).collect();
+        let mut k1 = zeros.clone();
+        let mut k2 = zeros.clone();
+        let mut k3 = zeros.clone();
+        let mut k4 = zeros.clone();
+        let mut tmp = zeros;
+        let mut scratch = vec![0.0; n_states];
+        for _ in 0..steps {
+            match method {
+                OdeMethod::Trapezoid => {
+                    rhs(&u, &mut k1, &mut scratch);
+                    stage(&u, &k1, h, &mut tmp);
+                    rhs(&tmp, &mut k2, &mut scratch);
+                    for j in 0..=order {
+                        for i in 0..n_states {
+                            u[j][i] += 0.5 * h * (k1[j][i] + k2[j][i]);
+                        }
+                    }
+                }
+                OdeMethod::Rk4 => {
+                    rhs(&u, &mut k1, &mut scratch);
+                    stage(&u, &k1, 0.5 * h, &mut tmp);
+                    rhs(&tmp, &mut k2, &mut scratch);
+                    stage(&u, &k2, 0.5 * h, &mut tmp);
+                    rhs(&tmp, &mut k3, &mut scratch);
+                    stage(&u, &k3, h, &mut tmp);
+                    rhs(&tmp, &mut k4, &mut scratch);
+                    for j in 0..=order {
+                        for i in 0..n_states {
+                            u[j][i] += h / 6.0
+                                * (k1[j][i] + 2.0 * k2[j][i] + 2.0 * k3[j][i] + k4[j][i]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let weighted = (0..=order)
+        .map(|j| {
+            u[j].iter()
+                .zip(base.initial())
+                .map(|(&v, &p)| v * p)
+                .sum()
+        })
+        .collect();
+    Ok(OdeMomentSolution {
+        t,
+        per_state: u,
+        weighted,
+        steps,
+        method,
+    })
+}
+
+#[cfg(test)]
+mod impulse_tests {
+    use super::*;
+    use somrm_core::impulse::{moments_with_impulse, ImpulseMrm};
+    use somrm_core::uniformization::SolverConfig;
+    use somrm_ctmc::generator::GeneratorBuilder;
+
+    #[test]
+    fn ode_matches_extended_randomization() {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 0, 3.0).unwrap();
+        let base = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![1.0, 4.0],
+            vec![0.5, 1.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let model = ImpulseMrm::new(base, &[(0, 1, 1.5), (1, 0, 0.5)]).unwrap();
+        let t = 0.9;
+        let ode = moments_ode_impulse(&model, 3, t, OdeMethod::Rk4, 3000).unwrap();
+        let rnd = moments_with_impulse(&model, 3, t, &SolverConfig::default()).unwrap();
+        for n in 0..=3 {
+            let scale = rnd.raw_moment(n).abs().max(1.0);
+            assert!(
+                (ode.raw_moment(n) - rnd.raw_moment(n)).abs() < 1e-7 * scale,
+                "order {n}: {} vs {}",
+                ode.raw_moment(n),
+                rnd.raw_moment(n)
+            );
+        }
+    }
+
+    #[test]
+    fn ode_impulse_reduces_to_plain_without_impulses() {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 2.0).unwrap();
+        let base = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![1.0, 3.0],
+            vec![0.2, 0.4],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let model = ImpulseMrm::new(base.clone(), &[]).unwrap();
+        let a = moments_ode_impulse(&model, 2, 0.7, OdeMethod::Rk4, 500).unwrap();
+        let c = moments_ode(&base, 2, 0.7, OdeMethod::Rk4, 500).unwrap();
+        for n in 0..=2 {
+            assert!((a.raw_moment(n) - c.raw_moment(n)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,555 @@
+//! Finite-difference solver for the reward-density PDE of second-order
+//! Markov reward models.
+//!
+//! Corollary 1 of the paper (eq. 4):
+//!
+//! ```text
+//! ∂b/∂t + R·∂b/∂x − ½·S·∂²b/∂x² = Q·b,     b(0, x) = δ(x),
+//! ```
+//!
+//! where `b(t, x)` is the column vector of per-initial-state reward
+//! densities. The paper notes this route to the distribution "might be
+//! slow and inaccurate" and is only practical for small models — which
+//! is exactly the role it plays here: an independent small-model
+//! cross-check of the randomization moments, the transform inversion and
+//! the simulator.
+//!
+//! Two schemes are provided (selected by [`PdeScheme`]):
+//!
+//! * **Explicit** — Euler in time, first-order upwind advection (the
+//!   advection velocity in state `i` is `r_i`), central second-order
+//!   diffusion, explicit `Q`-coupling; the time step obeys the combined
+//!   CFL/diffusion/coupling stability constraint.
+//! * **Semi-implicit** — diffusion advanced by backward Euler (an O(n)
+//!   Thomas solve per state per step), advection and coupling explicit;
+//!   removes the quadratic `dx²/σ²` step restriction, which dominates
+//!   exactly when second-order effects are strong.
+//!
+//! The Dirac initial condition is mollified into a narrow Gaussian a
+//! few cells wide (for `σ_i = 0` states a true delta cannot be
+//! represented on a grid).
+
+use somrm_core::error::MrmError;
+use somrm_core::model::SecondOrderMrm;
+use somrm_linalg::thomas::solve_tridiagonal;
+use somrm_num::sum::NeumaierSum;
+
+/// Time-stepping scheme of the density solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PdeScheme {
+    /// Fully explicit (upwind + central + explicit coupling).
+    #[default]
+    Explicit,
+    /// Backward-Euler diffusion via tridiagonal solves, explicit
+    /// advection/coupling — no `dx²/σ²` step restriction.
+    SemiImplicit,
+}
+
+/// Configuration of the density PDE solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PdeConfig {
+    /// Left edge of the reward grid.
+    pub x_min: f64,
+    /// Right edge of the reward grid.
+    pub x_max: f64,
+    /// Number of grid points.
+    pub nx: usize,
+    /// Safety factor applied to the stability limit (`< 1`).
+    pub cfl_safety: f64,
+    /// Width (in cells) of the Gaussian mollifier replacing `δ(x)`.
+    pub init_sigma_cells: f64,
+    /// Time-stepping scheme.
+    pub scheme: PdeScheme,
+}
+
+impl Default for PdeConfig {
+    fn default() -> Self {
+        PdeConfig {
+            x_min: -10.0,
+            x_max: 10.0,
+            nx: 801,
+            cfl_safety: 0.8,
+            init_sigma_cells: 2.0,
+            scheme: PdeScheme::Explicit,
+        }
+    }
+}
+
+/// The reward density on a grid at one time point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensitySolution {
+    /// Grid abscissae.
+    pub xs: Vec<f64>,
+    /// `per_state[i][k] = b_i(t, xs[k])`.
+    pub per_state: Vec<Vec<f64>>,
+    /// Initial-distribution-weighted density `π·b(t, ·)`.
+    pub weighted: Vec<f64>,
+    /// Time of accumulation.
+    pub t: f64,
+    /// Time step actually used.
+    pub dt: f64,
+    /// Number of steps taken.
+    pub steps: usize,
+}
+
+impl DensitySolution {
+    /// Grid spacing.
+    pub fn dx(&self) -> f64 {
+        if self.xs.len() < 2 {
+            return 0.0;
+        }
+        self.xs[1] - self.xs[0]
+    }
+
+    /// Total mass of the weighted density (should be ≈ 1 if the grid
+    /// captured the support).
+    pub fn total_mass(&self) -> f64 {
+        let dx = self.dx();
+        self.weighted.iter().map(|&v| v * dx).sum()
+    }
+
+    /// The `n`-th raw moment of the weighted density by trapezoid
+    /// integration.
+    pub fn moment(&self, n: u32) -> f64 {
+        let dx = self.dx();
+        let mut acc = NeumaierSum::new();
+        for (k, &x) in self.xs.iter().enumerate() {
+            let w = if k == 0 || k == self.xs.len() - 1 {
+                0.5
+            } else {
+                1.0
+            };
+            acc.add(w * x.powi(n as i32) * self.weighted[k] * dx);
+        }
+        acc.value()
+    }
+
+    /// The CDF of the weighted density on the grid (cumulative
+    /// trapezoid).
+    pub fn cdf(&self) -> Vec<f64> {
+        let dx = self.dx();
+        let mut out = Vec::with_capacity(self.xs.len());
+        let mut acc = 0.0;
+        let mut prev = self.weighted.first().copied().unwrap_or(0.0);
+        out.push(0.0);
+        for &v in self.weighted.iter().skip(1) {
+            acc += 0.5 * (prev + v) * dx;
+            out.push(acc.min(1.0));
+            prev = v;
+        }
+        out
+    }
+}
+
+/// Solves the density PDE (eq. 4) up to time `t`.
+///
+/// # Errors
+///
+/// Returns [`MrmError::InvalidParameter`] for invalid `t`, a degenerate
+/// grid, or a grid too coarse for stability.
+///
+/// # Example
+///
+/// ```
+/// use somrm_ctmc::generator::GeneratorBuilder;
+/// use somrm_core::model::SecondOrderMrm;
+/// use somrm_pde::{solve_density, PdeConfig};
+///
+/// let mut b = GeneratorBuilder::new(1);
+/// let _ = &mut b;
+/// let m = SecondOrderMrm::new(b.build()?, vec![1.0], vec![0.5], vec![1.0])?;
+/// let sol = solve_density(&m, 0.5, &PdeConfig::default())?;
+/// assert!((sol.total_mass() - 1.0).abs() < 0.01);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn solve_density(
+    model: &SecondOrderMrm,
+    t: f64,
+    config: &PdeConfig,
+) -> Result<DensitySolution, MrmError> {
+    if !(t >= 0.0) || !t.is_finite() {
+        return Err(MrmError::InvalidParameter {
+            name: "t",
+            reason: format!("time must be finite and non-negative, got {t}"),
+        });
+    }
+    if config.nx < 3 || !(config.x_max > config.x_min) {
+        return Err(MrmError::InvalidParameter {
+            name: "grid",
+            reason: format!(
+                "need nx >= 3 and x_max > x_min, got nx = {}, [{}, {}]",
+                config.nx, config.x_min, config.x_max
+            ),
+        });
+    }
+    if !(config.cfl_safety > 0.0) || config.cfl_safety >= 1.0 {
+        return Err(MrmError::InvalidParameter {
+            name: "cfl_safety",
+            reason: format!("must lie in (0,1), got {}", config.cfl_safety),
+        });
+    }
+
+    let n_states = model.n_states();
+    let nx = config.nx;
+    let dx = (config.x_max - config.x_min) / (nx - 1) as f64;
+    let xs: Vec<f64> = (0..nx).map(|k| config.x_min + k as f64 * dx).collect();
+
+    // Mollified delta: Normal(0, (init_sigma_cells·dx)²), normalized on
+    // the grid so the discrete mass is exactly 1.
+    let sigma0 = (config.init_sigma_cells * dx).max(1e-12);
+    let mut init: Vec<f64> = xs
+        .iter()
+        .map(|&x| (-0.5 * (x / sigma0).powi(2)).exp())
+        .collect();
+    let mass: f64 = init.iter().map(|&v| v * dx).sum();
+    for v in &mut init {
+        *v /= mass;
+    }
+    let mut b: Vec<Vec<f64>> = (0..n_states).map(|_| init.clone()).collect();
+
+    // Stability: dt ≤ safety·min over states of
+    //   advection  dx/|r_i|,
+    //   diffusion  dx²/σ_i²  (explicit central: dx²/(2·(σ²/2)) = dx²/σ²),
+    //   coupling   1/|q_ii|.
+    let mut dt_limit = f64::INFINITY;
+    for i in 0..n_states {
+        let r = model.rates()[i].abs();
+        if r > 0.0 {
+            dt_limit = dt_limit.min(dx / r);
+        }
+        // The diffusion restriction applies to the explicit scheme only;
+        // backward-Euler diffusion is unconditionally stable.
+        if config.scheme == PdeScheme::Explicit {
+            let s2 = model.variances()[i];
+            if s2 > 0.0 {
+                dt_limit = dt_limit.min(dx * dx / s2);
+            }
+        }
+    }
+    let q = model.generator().uniformization_rate();
+    if q > 0.0 {
+        dt_limit = dt_limit.min(1.0 / q);
+    }
+    let (dt, steps) = if t == 0.0 {
+        (0.0, 0)
+    } else if dt_limit.is_finite() {
+        let dt_target = config.cfl_safety * dt_limit;
+        let steps = (t / dt_target).ceil() as usize;
+        (t / steps as f64, steps)
+    } else {
+        // No dynamics at all.
+        (t, 0)
+    };
+
+    let q_csr = model.generator().as_csr();
+    let mut next: Vec<Vec<f64>> = b.clone();
+    for _ in 0..steps {
+        for i in 0..n_states {
+            let r = model.rates()[i];
+            let half_s2 = 0.5 * model.variances()[i];
+            let bi = &b[i];
+            let out = &mut next[i];
+            let explicit_diffusion = config.scheme == PdeScheme::Explicit;
+            for k in 0..nx {
+                // Upwind advection: ∂b/∂t = −r ∂b/∂x + ...
+                let adv = if r > 0.0 {
+                    let left = if k > 0 { bi[k - 1] } else { 0.0 };
+                    -r * (bi[k] - left) / dx
+                } else if r < 0.0 {
+                    let right = if k + 1 < nx { bi[k + 1] } else { 0.0 };
+                    -r * (right - bi[k]) / dx
+                } else {
+                    0.0
+                };
+                // Central diffusion (explicit scheme only; the
+                // semi-implicit scheme folds it into the Thomas solve).
+                let diff = if explicit_diffusion && half_s2 > 0.0 {
+                    let left = if k > 0 { bi[k - 1] } else { 0.0 };
+                    let right = if k + 1 < nx { bi[k + 1] } else { 0.0 };
+                    half_s2 * (right - 2.0 * bi[k] + left) / (dx * dx)
+                } else {
+                    0.0
+                };
+                out[k] = bi[k] + dt * (adv + diff);
+            }
+        }
+        // Q-coupling: b_i += dt·Σ_j q_ij·b_j (explicit, rowwise).
+        for i in 0..n_states {
+            for (j, qij) in q_csr.row(i) {
+                if i == j {
+                    for k in 0..nx {
+                        next[i][k] += dt * qij * b[i][k];
+                    }
+                } else {
+                    for k in 0..nx {
+                        next[i][k] += dt * qij * b[j][k];
+                    }
+                }
+            }
+        }
+        // Semi-implicit: (I − dt·½σ²·D₂)·b_new = rhs, one tridiagonal
+        // solve per state (zero Dirichlet at the grid edges).
+        if config.scheme == PdeScheme::SemiImplicit {
+            for i in 0..n_states {
+                let half_s2 = 0.5 * model.variances()[i];
+                if half_s2 == 0.0 {
+                    continue;
+                }
+                let lam = dt * half_s2 / (dx * dx);
+                let sub = vec![-lam; nx - 1];
+                let diag = vec![1.0 + 2.0 * lam; nx];
+                let sup = vec![-lam; nx - 1];
+                next[i] = solve_tridiagonal(&sub, &diag, &sup, &next[i])
+                    .expect("diagonally dominant tridiagonal system");
+            }
+        }
+        std::mem::swap(&mut b, &mut next);
+    }
+
+    let weighted: Vec<f64> = (0..nx)
+        .map(|k| {
+            (0..n_states)
+                .map(|i| model.initial()[i] * b[i][k])
+                .sum()
+        })
+        .collect();
+    Ok(DensitySolution {
+        xs,
+        per_state: b,
+        weighted,
+        t,
+        dt,
+        steps,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use somrm_core::uniformization::{moments, SolverConfig};
+    use somrm_ctmc::generator::GeneratorBuilder;
+    use somrm_num::special::normal_pdf_mv;
+
+    fn config(x_min: f64, x_max: f64, nx: usize) -> PdeConfig {
+        PdeConfig {
+            x_min,
+            x_max,
+            nx,
+            ..PdeConfig::default()
+        }
+    }
+
+    #[test]
+    fn pure_diffusion_matches_normal_density() {
+        // One state, zero drift: b(t, x) is Normal(0, σ²t) convolved with
+        // the mollifier — total variance σ²t + σ₀².
+        let b = GeneratorBuilder::new(1);
+        let m = SecondOrderMrm::new(b.build().unwrap(), vec![0.0], vec![1.0], vec![1.0])
+            .unwrap();
+        let cfg = config(-6.0, 6.0, 601);
+        let t = 1.0;
+        let sol = solve_density(&m, t, &cfg).unwrap();
+        let sigma0 = cfg.init_sigma_cells * sol.dx();
+        let var = t + sigma0 * sigma0;
+        for (k, &x) in sol.xs.iter().enumerate().step_by(25) {
+            let exact = normal_pdf_mv(x, 0.0, var);
+            assert!(
+                (sol.weighted[k] - exact).abs() < 0.01,
+                "x = {x}: {} vs {exact}",
+                sol.weighted[k]
+            );
+        }
+        assert!((sol.total_mass() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn advection_diffusion_shifts_the_mean() {
+        let b = GeneratorBuilder::new(1);
+        let m = SecondOrderMrm::new(b.build().unwrap(), vec![2.0], vec![0.5], vec![1.0])
+            .unwrap();
+        let t = 1.0;
+        let sol = solve_density(&m, t, &config(-4.0, 8.0, 1201)).unwrap();
+        assert!((sol.moment(1) - 2.0).abs() < 0.05, "mean {}", sol.moment(1));
+        assert!((sol.total_mass() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn two_state_moments_match_randomization() {
+        let mut gb = GeneratorBuilder::new(2);
+        gb.rate(0, 1, 2.0).unwrap();
+        gb.rate(1, 0, 3.0).unwrap();
+        let m = SecondOrderMrm::new(
+            gb.build().unwrap(),
+            vec![0.5, 2.0],
+            vec![0.4, 1.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let t = 1.0;
+        let sol = solve_density(&m, t, &config(-5.0, 8.0, 1301)).unwrap();
+        let exact = moments(&m, 2, t, &SolverConfig::default()).unwrap();
+        assert!((sol.total_mass() - 1.0).abs() < 1e-3);
+        assert!(
+            (sol.moment(1) - exact.mean()).abs() < 0.02,
+            "mean {} vs {}",
+            sol.moment(1),
+            exact.mean()
+        );
+        // Second moment carries the mollifier variance σ₀² extra.
+        let sigma0 = PdeConfig::default().init_sigma_cells * sol.dx();
+        assert!(
+            (sol.moment(2) - exact.raw_moment(2) - sigma0 * sigma0).abs() < 0.05,
+            "2nd {} vs {}",
+            sol.moment(2),
+            exact.raw_moment(2)
+        );
+    }
+
+    #[test]
+    fn cdf_monotone_and_saturates() {
+        let b = GeneratorBuilder::new(1);
+        let m = SecondOrderMrm::new(b.build().unwrap(), vec![1.0], vec![1.0], vec![1.0])
+            .unwrap();
+        let sol = solve_density(&m, 0.5, &config(-5.0, 6.0, 501)).unwrap();
+        let cdf = sol.cdf();
+        for w in cdf.windows(2) {
+            assert!(w[1] >= w[0] - 1e-12);
+        }
+        assert!(cdf[0] < 1e-6);
+        assert!(*cdf.last().unwrap() > 0.99);
+    }
+
+    #[test]
+    fn density_stays_nonnegative_enough() {
+        // Upwind + explicit diffusion under CFL keeps the solution
+        // essentially non-negative (tiny undershoots from coupling only).
+        let mut gb = GeneratorBuilder::new(2);
+        gb.rate(0, 1, 1.0).unwrap();
+        gb.rate(1, 0, 1.0).unwrap();
+        let m = SecondOrderMrm::new(
+            gb.build().unwrap(),
+            vec![-1.0, 1.0],
+            vec![0.3, 0.3],
+            vec![0.5, 0.5],
+        )
+        .unwrap();
+        let sol = solve_density(&m, 0.8, &config(-5.0, 5.0, 801)).unwrap();
+        let min = sol.weighted.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(min > -1e-8, "min density {min}");
+    }
+
+    #[test]
+    fn zero_time_returns_mollified_delta() {
+        let b = GeneratorBuilder::new(1);
+        let m = SecondOrderMrm::new(b.build().unwrap(), vec![1.0], vec![1.0], vec![1.0])
+            .unwrap();
+        let sol = solve_density(&m, 0.0, &config(-2.0, 2.0, 401)).unwrap();
+        assert_eq!(sol.steps, 0);
+        assert!((sol.total_mass() - 1.0).abs() < 1e-9);
+        assert!((sol.moment(1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let b = GeneratorBuilder::new(1);
+        let m = SecondOrderMrm::new(b.build().unwrap(), vec![1.0], vec![1.0], vec![1.0])
+            .unwrap();
+        assert!(solve_density(&m, -1.0, &PdeConfig::default()).is_err());
+        assert!(solve_density(&m, 1.0, &config(1.0, -1.0, 100)).is_err());
+        assert!(solve_density(&m, 1.0, &config(-1.0, 1.0, 2)).is_err());
+        let bad = PdeConfig {
+            cfl_safety: 1.5,
+            ..PdeConfig::default()
+        };
+        assert!(solve_density(&m, 1.0, &bad).is_err());
+    }
+}
+
+#[cfg(test)]
+mod semi_implicit_tests {
+    use super::*;
+    use somrm_core::uniformization::{moments, SolverConfig};
+    use somrm_ctmc::generator::GeneratorBuilder;
+
+    fn config(x_min: f64, x_max: f64, nx: usize, scheme: PdeScheme) -> PdeConfig {
+        PdeConfig {
+            x_min,
+            x_max,
+            nx,
+            scheme,
+            ..PdeConfig::default()
+        }
+    }
+
+    #[test]
+    fn semi_implicit_matches_explicit() {
+        let mut gb = GeneratorBuilder::new(2);
+        gb.rate(0, 1, 2.0).unwrap();
+        gb.rate(1, 0, 3.0).unwrap();
+        let m = SecondOrderMrm::new(
+            gb.build().unwrap(),
+            vec![0.5, 2.0],
+            vec![0.4, 1.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let t = 0.8;
+        let exp = solve_density(&m, t, &config(-5.0, 8.0, 1001, PdeScheme::Explicit)).unwrap();
+        let imp =
+            solve_density(&m, t, &config(-5.0, 8.0, 1001, PdeScheme::SemiImplicit)).unwrap();
+        // Different time discretizations of the same problem: densities
+        // agree to the schemes' O(dt + dx) accuracy.
+        for k in (0..exp.xs.len()).step_by(40) {
+            assert!(
+                (exp.weighted[k] - imp.weighted[k]).abs() < 0.01,
+                "x = {}: {} vs {}",
+                exp.xs[k],
+                exp.weighted[k],
+                imp.weighted[k]
+            );
+        }
+        assert!((imp.total_mass() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn semi_implicit_takes_fewer_steps_with_strong_diffusion() {
+        // Large σ² makes the explicit dx²/σ² limit brutal; the implicit
+        // scheme only pays the advection/coupling limits.
+        let gb = GeneratorBuilder::new(1);
+        let m = SecondOrderMrm::new(gb.build().unwrap(), vec![1.0], vec![50.0], vec![1.0])
+            .unwrap();
+        let t = 0.25;
+        let cfg_e = config(-25.0, 25.0, 1501, PdeScheme::Explicit);
+        let cfg_i = config(-25.0, 25.0, 1501, PdeScheme::SemiImplicit);
+        let exp = solve_density(&m, t, &cfg_e).unwrap();
+        let imp = solve_density(&m, t, &cfg_i).unwrap();
+        assert!(
+            imp.steps * 10 < exp.steps,
+            "implicit {} vs explicit {} steps",
+            imp.steps,
+            exp.steps
+        );
+        // And stays accurate: compare mean/variance against the solver.
+        let exact = moments(&m, 2, t, &SolverConfig::default()).unwrap();
+        assert!((imp.moment(1) - exact.mean()).abs() < 0.05);
+        let sigma0 = cfg_i.init_sigma_cells * imp.dx();
+        assert!(
+            (imp.moment(2) - exact.raw_moment(2) - sigma0 * sigma0).abs()
+                < 0.2 * exact.raw_moment(2),
+            "2nd moment {} vs {}",
+            imp.moment(2),
+            exact.raw_moment(2)
+        );
+    }
+
+    #[test]
+    fn semi_implicit_mass_conserved_in_the_interior() {
+        let gb = GeneratorBuilder::new(1);
+        let m = SecondOrderMrm::new(gb.build().unwrap(), vec![0.0], vec![2.0], vec![1.0])
+            .unwrap();
+        let sol =
+            solve_density(&m, 1.0, &config(-15.0, 15.0, 901, PdeScheme::SemiImplicit)).unwrap();
+        assert!((sol.total_mass() - 1.0).abs() < 1e-3);
+        assert!(sol.weighted.iter().all(|&v| v >= -1e-9));
+    }
+}

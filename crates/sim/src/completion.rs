@@ -1,0 +1,242 @@
+//! Completion (first-passage) times of the accumulated reward.
+//!
+//! `C(x) = inf{ t : B(t) ≥ x }` — the time to finish `x` units of work.
+//! For first-order models with non-negative rates, `B` is monotone and
+//! the classical duality `P[C(x) > t] = P[B(t) < x]` holds exactly; for
+//! second-order models `B` fluctuates, first passage happens *earlier*
+//! than the terminal level suggests, and only the inequality
+//! `P[C(x) > t] ≤ P[B(t) < x]` survives. Analytic first-passage
+//! analysis of second-order MRMs is the (harder) fluid-model territory
+//! the paper explicitly sets aside, so this module provides the
+//! simulation estimator — with the sojourn subdivided into small normal
+//! increments so level crossings inside a sojourn are caught (a
+//! discretization of the true continuous crossing, refined by `dt`).
+
+use crate::path::simulate_path;
+use crate::sampling::normal;
+use rand::Rng;
+use somrm_core::model::SecondOrderMrm;
+
+/// One sampled completion time, or `None` if the level was not reached
+/// by `max_t`.
+pub fn sample_completion_time<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &SecondOrderMrm,
+    level: f64,
+    max_t: f64,
+    dt: f64,
+) -> Option<f64> {
+    assert!(dt > 0.0, "dt must be positive");
+    assert!(max_t > 0.0, "max_t must be positive");
+    if level <= 0.0 {
+        return Some(0.0);
+    }
+    let path = simulate_path(rng, model.generator(), model.initial(), max_t);
+    let mut b = 0.0;
+    for (state, lo, hi) in path.sojourns() {
+        let r = model.rates()[state];
+        let s2 = model.variances()[state];
+        let mut now = lo;
+        while now < hi {
+            let step = dt.min(hi - now);
+            let next = b + normal(rng, r * step, s2 * step);
+            if next >= level {
+                // Linear interpolation of the crossing instant within
+                // the step (first-order accurate in dt).
+                let frac = if next > b { (level - b) / (next - b) } else { 1.0 };
+                return Some(now + frac * step);
+            }
+            b = next;
+            now += step;
+        }
+    }
+    None
+}
+
+/// Statistics of Monte-Carlo completion times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompletionEstimate {
+    /// Fraction of paths that reached the level by `max_t`.
+    pub completion_probability: f64,
+    /// Mean completion time among completed paths (`NaN` if none).
+    pub mean: f64,
+    /// Standard error of that mean.
+    pub std_error: f64,
+    /// Number of simulated paths.
+    pub n_samples: usize,
+}
+
+/// Estimates the completion-time distribution of level `level` from
+/// `n_samples` paths.
+///
+/// # Panics
+///
+/// Panics if `n_samples < 2` or the step/horizon parameters are
+/// non-positive.
+pub fn estimate_completion_time<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &SecondOrderMrm,
+    level: f64,
+    max_t: f64,
+    dt: f64,
+    n_samples: usize,
+) -> CompletionEstimate {
+    assert!(n_samples >= 2, "need at least two samples");
+    let mut completed = 0usize;
+    let mut sum = 0.0;
+    let mut sum_sq = 0.0;
+    for _ in 0..n_samples {
+        if let Some(c) = sample_completion_time(rng, model, level, max_t, dt) {
+            completed += 1;
+            sum += c;
+            sum_sq += c * c;
+        }
+    }
+    let mean = if completed > 0 {
+        sum / completed as f64
+    } else {
+        f64::NAN
+    };
+    let std_error = if completed > 1 {
+        let var = (sum_sq / completed as f64 - mean * mean).max(0.0);
+        (var / completed as f64).sqrt()
+    } else {
+        f64::NAN
+    };
+    CompletionEstimate {
+        completion_probability: completed as f64 / n_samples as f64,
+        mean,
+        std_error,
+        n_samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use somrm_core::uniformization::{moments, SolverConfig};
+    use somrm_ctmc::generator::GeneratorBuilder;
+
+    fn first_order_model() -> SecondOrderMrm {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 0, 3.0).unwrap();
+        SecondOrderMrm::first_order(b.build().unwrap(), vec![1.0, 3.0], vec![1.0, 0.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn deterministic_single_state_completion() {
+        // One state, rate 2, no noise: C(x) = x/2 exactly.
+        let b = GeneratorBuilder::new(1);
+        let m = SecondOrderMrm::first_order(b.build().unwrap(), vec![2.0], vec![1.0])
+            .unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let c = sample_completion_time(&mut rng, &m, 3.0, 10.0, 0.01).unwrap();
+        assert!((c - 1.5).abs() < 0.01, "completion {c}");
+    }
+
+    #[test]
+    fn duality_for_monotone_first_order_models() {
+        // P[C(x) ≤ t] = P[B(t) ≥ x] for monotone B. Check the completion
+        // probability against the simulated terminal distribution.
+        let m = first_order_model();
+        let (x, t) = (1.8, 1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let est = estimate_completion_time(&mut rng, &m, x, t, 0.005, 20_000);
+        let mut rng2 = StdRng::seed_from_u64(3);
+        let samples = crate::reward::sample_terminal_rewards(&mut rng2, &m, t, 20_000);
+        let p_terminal =
+            samples.iter().filter(|&&b| b >= x).count() as f64 / samples.len() as f64;
+        assert!(
+            (est.completion_probability - p_terminal).abs() < 0.02,
+            "{} vs {}",
+            est.completion_probability,
+            p_terminal
+        );
+    }
+
+    #[test]
+    fn second_order_first_passage_beats_terminal_probability() {
+        // With noise, reaching the level *at some point* before t is
+        // more likely than being above it *at* t.
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 0, 3.0).unwrap();
+        let m = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![1.0, 3.0],
+            vec![2.0, 2.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let (x, t) = (1.8, 1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let est = estimate_completion_time(&mut rng, &m, x, t, 0.005, 20_000);
+        let mut rng2 = StdRng::seed_from_u64(5);
+        let samples = crate::reward::sample_terminal_rewards(&mut rng2, &m, t, 20_000);
+        let p_terminal =
+            samples.iter().filter(|&&b| b >= x).count() as f64 / samples.len() as f64;
+        assert!(
+            est.completion_probability > p_terminal + 0.01,
+            "first-passage {} should exceed terminal {}",
+            est.completion_probability,
+            p_terminal
+        );
+    }
+
+    #[test]
+    fn mean_completion_time_roughly_level_over_rate() {
+        // Long-run rate of the 2-state model: π = (0.6, 0.4), r̄ = 1.8.
+        let m = first_order_model();
+        let level = 20.0;
+        let mut rng = StdRng::seed_from_u64(6);
+        let est = estimate_completion_time(&mut rng, &m, level, 100.0, 0.02, 4000);
+        assert!((est.completion_probability - 1.0).abs() < 1e-3);
+        let expect = level / 1.8;
+        assert!(
+            (est.mean - expect).abs() < 0.3,
+            "mean {} vs {}",
+            est.mean,
+            expect
+        );
+    }
+
+    #[test]
+    fn level_zero_completes_immediately() {
+        let m = first_order_model();
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(
+            sample_completion_time(&mut rng, &m, 0.0, 1.0, 0.01),
+            Some(0.0)
+        );
+    }
+
+    #[test]
+    fn unreachable_level_returns_none() {
+        let m = first_order_model();
+        let mut rng = StdRng::seed_from_u64(8);
+        // Max drift 3, horizon 1 → level 10 is unreachable.
+        assert_eq!(sample_completion_time(&mut rng, &m, 10.0, 1.0, 0.01), None);
+        let est = estimate_completion_time(&mut rng, &m, 10.0, 1.0, 0.01, 100);
+        assert_eq!(est.completion_probability, 0.0);
+        assert!(est.mean.is_nan());
+    }
+
+    #[test]
+    fn consistency_with_mean_reward_solver() {
+        // E[B(E[C(x)])] ≈ x for nearly-deterministic accumulation.
+        let m = first_order_model();
+        let level = 10.0;
+        let mut rng = StdRng::seed_from_u64(9);
+        let est = estimate_completion_time(&mut rng, &m, level, 60.0, 0.02, 4000);
+        let sol = moments(&m, 1, est.mean, &SolverConfig::default()).unwrap();
+        assert!(
+            (sol.mean() - level).abs() < 0.5,
+            "E[B(E[C])] = {} vs level {level}",
+            sol.mean()
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Monte-Carlo simulation of second-order Markov reward models.
+//!
+//! The paper validates its numerical method against "a second-order
+//! reward model simulation tool"; this crate is that tool. It simulates
+//! the structure-state CTMC jump by jump and adds, per sojourn of length
+//! `τ` in state `i`, a `Normal(r_i·τ, σ_i²·τ)` reward increment — which
+//! is *exact* (not a discretization): a Brownian increment over a fixed
+//! interval is normal.
+//!
+//! * [`sampling`] — exponential and normal variate generation (Box–
+//!   Muller; no external distribution crate);
+//! * [`path`] — CTMC trajectory simulation;
+//! * [`reward`] — terminal-reward sampling, moment estimators with
+//!   standard errors, empirical CDFs;
+//! * [`trajectory`] — fine-grained `(t, Z(t), B(t))` recording inside
+//!   sojourns (Brownian bridge steps), reproducing the paper's Figure 1;
+//! * [`completion`] — first-passage ("completion time") estimation,
+//!   the measure whose analytic treatment the paper defers to
+//!   fluid-model methods.
+
+pub mod completion;
+pub mod path;
+pub mod reward;
+pub mod sampling;
+pub mod trajectory;
+
+pub use reward::{estimate_moments, sample_terminal_rewards, MomentEstimate};
+pub use trajectory::{record_trajectory, TrajectoryPoint};

@@ -1,0 +1,169 @@
+//! CTMC trajectory simulation.
+
+use crate::sampling::{discrete, exponential};
+use rand::Rng;
+use somrm_ctmc::Generator;
+
+/// One simulated trajectory of the structure-state process on `[0, t]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtmcPath {
+    /// Visited states, in order; `states[k]` is occupied on
+    /// `[entry[k], entry[k+1])` (the last until the horizon).
+    pub states: Vec<usize>,
+    /// Entry time of each visit; `entry[0] = 0`.
+    pub entry: Vec<f64>,
+    /// The simulation horizon.
+    pub horizon: f64,
+}
+
+impl CtmcPath {
+    /// Number of state transitions along the path.
+    pub fn n_transitions(&self) -> usize {
+        self.states.len() - 1
+    }
+
+    /// Iterates `(state, sojourn_start, sojourn_end)` triples.
+    pub fn sojourns(&self) -> impl Iterator<Item = (usize, f64, f64)> + '_ {
+        (0..self.states.len()).map(move |k| {
+            let end = if k + 1 < self.entry.len() {
+                self.entry[k + 1]
+            } else {
+                self.horizon
+            };
+            (self.states[k], self.entry[k], end)
+        })
+    }
+
+    /// The state occupied at time `tau` (clamped to the horizon).
+    pub fn state_at(&self, tau: f64) -> usize {
+        let tau = tau.min(self.horizon);
+        match self
+            .entry
+            .binary_search_by(|e| e.partial_cmp(&tau).expect("finite times"))
+        {
+            Ok(k) => self.states[k],
+            Err(k) => self.states[k - 1],
+        }
+    }
+}
+
+/// Simulates the CTMC from an initial state drawn from `initial` up to
+/// the horizon `t`.
+///
+/// # Panics
+///
+/// Panics if `t < 0` or `initial` has the wrong length.
+pub fn simulate_path<R: Rng + ?Sized>(
+    rng: &mut R,
+    gen: &Generator,
+    initial: &[f64],
+    t: f64,
+) -> CtmcPath {
+    assert!(t >= 0.0, "horizon must be non-negative, got {t}");
+    assert_eq!(initial.len(), gen.n_states(), "initial length mismatch");
+    let mut state = discrete(rng, initial);
+    let mut states = vec![state];
+    let mut entry = vec![0.0];
+    let mut now = 0.0;
+    let q = gen.as_csr();
+    loop {
+        let exit_rate = -q.get(state, state);
+        if exit_rate <= 0.0 {
+            break; // absorbing
+        }
+        now += exponential(rng, exit_rate);
+        if now >= t {
+            break;
+        }
+        // Choose the destination proportionally to the off-diagonal rates.
+        let row: Vec<(usize, f64)> = q.row(state).filter(|&(j, _)| j != state).collect();
+        let weights: Vec<f64> = row.iter().map(|&(_, w)| w).collect();
+        state = row[discrete(rng, &weights)].0;
+        states.push(state);
+        entry.push(now);
+    }
+    CtmcPath {
+        states,
+        entry,
+        horizon: t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use somrm_ctmc::generator::GeneratorBuilder;
+
+    fn two_state(a: f64, b: f64) -> Generator {
+        let mut g = GeneratorBuilder::new(2);
+        g.rate(0, 1, a).unwrap();
+        g.rate(1, 0, b).unwrap();
+        g.build().unwrap()
+    }
+
+    #[test]
+    fn path_structure_is_consistent() {
+        let g = two_state(2.0, 3.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let p = simulate_path(&mut rng, &g, &[1.0, 0.0], 5.0);
+            assert_eq!(p.states.len(), p.entry.len());
+            assert_eq!(p.states[0], 0);
+            assert_eq!(p.entry[0], 0.0);
+            // Entry times strictly increase and stay below the horizon.
+            for w in p.entry.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            assert!(*p.entry.last().unwrap() < 5.0);
+            // Alternating states in a 2-state chain.
+            for w in p.states.windows(2) {
+                assert_ne!(w[0], w[1]);
+            }
+            // Sojourns tile [0, horizon].
+            let total: f64 = p.sojourns().map(|(_, s, e)| e - s).sum();
+            assert!((total - 5.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn occupancy_fraction_matches_stationary() {
+        let (a, b) = (2.0, 3.0);
+        let g = two_state(a, b);
+        let mut rng = StdRng::seed_from_u64(2);
+        let horizon = 2000.0;
+        let p = simulate_path(&mut rng, &g, &[1.0, 0.0], horizon);
+        let time_in_1: f64 = p
+            .sojourns()
+            .filter(|&(s, _, _)| s == 1)
+            .map(|(_, s, e)| e - s)
+            .sum();
+        let frac = time_in_1 / horizon;
+        // Stationary P(1) = a/(a+b) = 0.4.
+        assert!((frac - 0.4).abs() < 0.03, "fraction {frac}");
+    }
+
+    #[test]
+    fn state_at_lookup() {
+        let g = two_state(1.0, 1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let p = simulate_path(&mut rng, &g, &[1.0, 0.0], 10.0);
+        for (s, lo, hi) in p.sojourns() {
+            let mid = 0.5 * (lo + hi);
+            assert_eq!(p.state_at(mid), s);
+        }
+        assert_eq!(p.state_at(0.0), p.states[0]);
+    }
+
+    #[test]
+    fn absorbing_state_ends_path() {
+        let mut g = GeneratorBuilder::new(2);
+        g.rate(0, 1, 100.0).unwrap();
+        let g = g.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let p = simulate_path(&mut rng, &g, &[1.0, 0.0], 50.0);
+        assert_eq!(*p.states.last().unwrap(), 1);
+        assert!(p.n_transitions() <= 1);
+    }
+}

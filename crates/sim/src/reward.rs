@@ -1,0 +1,353 @@
+//! Terminal-reward sampling and moment/CDF estimation.
+
+use crate::path::simulate_path;
+use crate::sampling::normal;
+use rand::Rng;
+use somrm_core::model::SecondOrderMrm;
+use somrm_num::sum::NeumaierSum;
+
+/// Draws one sample of `B(t)`.
+///
+/// Each sojourn of length `τ` in state `i` contributes an exact
+/// `Normal(r_i τ, σ_i² τ)` increment.
+pub fn sample_terminal_reward<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &SecondOrderMrm,
+    t: f64,
+) -> f64 {
+    let path = simulate_path(rng, model.generator(), model.initial(), t);
+    let mut b = 0.0;
+    for (state, lo, hi) in path.sojourns() {
+        let tau = hi - lo;
+        b += normal(
+            rng,
+            model.rates()[state] * tau,
+            model.variances()[state] * tau,
+        );
+    }
+    b
+}
+
+/// Draws `n_samples` i.i.d. samples of `B(t)`.
+pub fn sample_terminal_rewards<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &SecondOrderMrm,
+    t: f64,
+    n_samples: usize,
+) -> Vec<f64> {
+    (0..n_samples)
+        .map(|_| sample_terminal_reward(rng, model, t))
+        .collect()
+}
+
+/// A Monte-Carlo estimate of raw moments with standard errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MomentEstimate {
+    /// `estimates[n] ≈ E[Bⁿ(t)]` for `n = 0 ..= order`.
+    pub estimates: Vec<f64>,
+    /// Standard error of each estimate.
+    pub std_errors: Vec<f64>,
+    /// Number of samples used.
+    pub n_samples: usize,
+}
+
+impl MomentEstimate {
+    /// `true` if `value` lies within `z` standard errors of the `n`-th
+    /// estimated moment.
+    pub fn consistent_with(&self, n: usize, value: f64, z: f64) -> bool {
+        (self.estimates[n] - value).abs() <= z * self.std_errors[n].max(1e-300)
+    }
+}
+
+/// Estimates raw moments `0 ..= order` of `B(t)` from `n_samples`
+/// simulated paths.
+///
+/// # Panics
+///
+/// Panics if `n_samples < 2`.
+pub fn estimate_moments<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &SecondOrderMrm,
+    order: usize,
+    t: f64,
+    n_samples: usize,
+) -> MomentEstimate {
+    assert!(n_samples >= 2, "need at least two samples");
+    let mut sums: Vec<NeumaierSum> = vec![NeumaierSum::new(); order + 1];
+    let mut sq_sums: Vec<NeumaierSum> = vec![NeumaierSum::new(); order + 1];
+    for _ in 0..n_samples {
+        let b = sample_terminal_reward(rng, model, t);
+        let mut p = 1.0;
+        for n in 0..=order {
+            sums[n].add(p);
+            sq_sums[n].add(p * p);
+            p *= b;
+        }
+    }
+    let nf = n_samples as f64;
+    let estimates: Vec<f64> = sums.iter().map(|s| s.value() / nf).collect();
+    let std_errors: Vec<f64> = (0..=order)
+        .map(|n| {
+            let mean = estimates[n];
+            let var = (sq_sums[n].value() / nf - mean * mean).max(0.0);
+            (var / nf).sqrt()
+        })
+        .collect();
+    MomentEstimate {
+        estimates,
+        std_errors,
+        n_samples,
+    }
+}
+
+/// Empirical CDF of `B(t)` evaluated at each point of `xs`.
+///
+/// Returns `P̂[B(t) ≤ x]` for each `x` in `xs`, from a single batch of
+/// `n_samples` simulations.
+pub fn empirical_cdf<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &SecondOrderMrm,
+    t: f64,
+    xs: &[f64],
+    n_samples: usize,
+) -> Vec<f64> {
+    let mut samples = sample_terminal_rewards(rng, model, t, n_samples);
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite rewards"));
+    xs.iter()
+        .map(|&x| {
+            let count = samples.partition_point(|&s| s <= x);
+            count as f64 / n_samples as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use somrm_core::uniformization::{moments, SolverConfig};
+    use somrm_ctmc::generator::GeneratorBuilder;
+    use somrm_num::special::normal_cdf_mv;
+
+    fn model2(r: [f64; 2], s: [f64; 2]) -> SecondOrderMrm {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, 2.0).unwrap();
+        SecondOrderMrm::new(b.build().unwrap(), r.to_vec(), s.to_vec(), vec![1.0, 0.0])
+            .unwrap()
+    }
+
+    #[test]
+    fn simulation_agrees_with_randomization_solver() {
+        // The paper's three-way cross-check, simulation side.
+        let m = model2([1.0, 4.0], [0.5, 2.0]);
+        let t = 0.7;
+        let mut rng = StdRng::seed_from_u64(11);
+        let est = estimate_moments(&mut rng, &m, 3, t, 60_000);
+        let exact = moments(&m, 3, t, &SolverConfig::default()).unwrap();
+        for n in 1..=3 {
+            assert!(
+                est.consistent_with(n, exact.raw_moment(n), 4.0),
+                "order {n}: sim {} ± {} vs exact {}",
+                est.estimates[n],
+                est.std_errors[n],
+                exact.raw_moment(n)
+            );
+        }
+        assert_eq!(est.estimates[0], 1.0);
+    }
+
+    #[test]
+    fn single_state_terminal_reward_is_normal() {
+        // One state: B(t) ~ Normal(rt, σ²t); check the empirical CDF
+        // against the exact normal CDF.
+        let b = GeneratorBuilder::new(1);
+        let m = SecondOrderMrm::new(b.build().unwrap(), vec![2.0], vec![3.0], vec![1.0])
+            .unwrap();
+        let t = 1.3;
+        let mut rng = StdRng::seed_from_u64(12);
+        let xs: Vec<f64> = (-2..8).map(|k| k as f64).collect();
+        let cdf = empirical_cdf(&mut rng, &m, t, &xs, 40_000);
+        for (i, &x) in xs.iter().enumerate() {
+            let exact = normal_cdf_mv(x, 2.0 * t, 3.0 * t);
+            assert!(
+                (cdf[i] - exact).abs() < 0.01,
+                "x = {x}: {} vs {exact}",
+                cdf[i]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_variance_model_has_bounded_reward() {
+        // First-order: B(t) = ∫ r(Z(u)) du ∈ [min r·t, max r·t].
+        let m = model2([1.0, 4.0], [0.0, 0.0]);
+        let t = 1.0;
+        let mut rng = StdRng::seed_from_u64(13);
+        for s in sample_terminal_rewards(&mut rng, &m, t, 1000) {
+            assert!((1.0 - 1e-12..=4.0 + 1e-12).contains(&s), "sample {s}");
+        }
+    }
+
+    #[test]
+    fn empirical_cdf_is_monotone() {
+        let m = model2([1.0, 4.0], [1.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(14);
+        let xs: Vec<f64> = (0..20).map(|k| 0.25 * k as f64).collect();
+        let cdf = empirical_cdf(&mut rng, &m, 0.8, &xs, 5000);
+        for w in cdf.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(cdf[0] >= 0.0 && *cdf.last().unwrap() <= 1.0);
+    }
+
+    #[test]
+    fn negative_rewards_occur_with_high_variance() {
+        // The paper's §3 remark: with σ > 0 the reward can go negative.
+        let m = model2([1.0, 1.0], [20.0, 20.0]);
+        let mut rng = StdRng::seed_from_u64(15);
+        let samples = sample_terminal_rewards(&mut rng, &m, 0.5, 2000);
+        assert!(samples.iter().any(|&s| s < 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two samples")]
+    fn estimate_requires_samples() {
+        let m = model2([1.0, 1.0], [0.0, 0.0]);
+        let mut rng = StdRng::seed_from_u64(16);
+        estimate_moments(&mut rng, &m, 1, 1.0, 1);
+    }
+}
+
+/// Draws one sample of `B(t)` for an impulse-extended model: rate
+/// rewards per sojourn plus the deterministic impulse of every
+/// transition taken.
+pub fn sample_terminal_reward_impulse<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &somrm_core::impulse::ImpulseMrm,
+    t: f64,
+) -> f64 {
+    let base = model.base();
+    let path = simulate_path(rng, base.generator(), base.initial(), t);
+    let mut b = 0.0;
+    for (state, lo, hi) in path.sojourns() {
+        let tau = hi - lo;
+        b += normal(
+            rng,
+            base.rates()[state] * tau,
+            base.variances()[state] * tau,
+        );
+    }
+    for w in path.states.windows(2) {
+        b += model.impulse(w[0], w[1]);
+    }
+    b
+}
+
+/// Estimates raw moments of an impulse-extended model from `n_samples`
+/// simulated paths.
+///
+/// # Panics
+///
+/// Panics if `n_samples < 2`.
+pub fn estimate_moments_impulse<R: Rng + ?Sized>(
+    rng: &mut R,
+    model: &somrm_core::impulse::ImpulseMrm,
+    order: usize,
+    t: f64,
+    n_samples: usize,
+) -> MomentEstimate {
+    assert!(n_samples >= 2, "need at least two samples");
+    let mut sums: Vec<NeumaierSum> = vec![NeumaierSum::new(); order + 1];
+    let mut sq_sums: Vec<NeumaierSum> = vec![NeumaierSum::new(); order + 1];
+    for _ in 0..n_samples {
+        let b = sample_terminal_reward_impulse(rng, model, t);
+        let mut p = 1.0;
+        for n in 0..=order {
+            sums[n].add(p);
+            sq_sums[n].add(p * p);
+            p *= b;
+        }
+    }
+    let nf = n_samples as f64;
+    let estimates: Vec<f64> = sums.iter().map(|s| s.value() / nf).collect();
+    let std_errors: Vec<f64> = (0..=order)
+        .map(|n| {
+            let mean = estimates[n];
+            let var = (sq_sums[n].value() / nf - mean * mean).max(0.0);
+            (var / nf).sqrt()
+        })
+        .collect();
+    MomentEstimate {
+        estimates,
+        std_errors,
+        n_samples,
+    }
+}
+
+#[cfg(test)]
+mod impulse_tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use somrm_core::impulse::{moments_with_impulse, ImpulseMrm};
+    use somrm_core::uniformization::SolverConfig;
+    use somrm_ctmc::generator::GeneratorBuilder;
+
+    #[test]
+    fn impulse_simulation_matches_extended_solver() {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 0, 3.0).unwrap();
+        let base = somrm_core::model::SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![1.0, 4.0],
+            vec![0.5, 1.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let model = ImpulseMrm::new(base, &[(0, 1, 1.5), (1, 0, 0.5)]).unwrap();
+        let t = 0.8;
+        let exact = moments_with_impulse(&model, 3, t, &SolverConfig::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(31);
+        let est = estimate_moments_impulse(&mut rng, &model, 3, t, 60_000);
+        for n in 1..=3 {
+            assert!(
+                est.consistent_with(n, exact.raw_moment(n), 4.5),
+                "order {n}: sim {} ± {} vs exact {}",
+                est.estimates[n],
+                est.std_errors[n],
+                exact.raw_moment(n)
+            );
+        }
+    }
+
+    #[test]
+    fn impulse_only_poisson_count_simulation() {
+        // B = c·N(t) with N(t) ~ Poisson(λt) on the symmetric 2-cycle.
+        let lambda = 3.0;
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, lambda).unwrap();
+        b.rate(1, 0, lambda).unwrap();
+        let base = somrm_core::model::SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![0.0, 0.0],
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let c = 2.0;
+        let model = ImpulseMrm::new(base, &[(0, 1, c), (1, 0, c)]).unwrap();
+        let t = 1.0;
+        let mut rng = StdRng::seed_from_u64(32);
+        let est = estimate_moments_impulse(&mut rng, &model, 2, t, 50_000);
+        let m = lambda * t;
+        assert!(est.consistent_with(1, c * m, 4.0), "mean {}", est.estimates[1]);
+        assert!(
+            est.consistent_with(2, c * c * (m + m * m), 4.0),
+            "m2 {}",
+            est.estimates[2]
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! Random variate generation for the simulator.
+//!
+//! Only two distributions are needed — exponential sojourn times and
+//! normal reward increments — so they are implemented directly on top of
+//! `rand`'s uniform source rather than pulling in a distributions crate.
+
+use rand::{Rng, RngExt};
+
+/// Samples `Exponential(rate)`.
+///
+/// # Panics
+///
+/// Panics if `rate <= 0`.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate > 0.0, "exponential rate must be positive, got {rate}");
+    // 1 − U ∈ (0, 1] avoids ln(0).
+    let u: f64 = rng.random();
+    -(1.0 - u).ln() / rate
+}
+
+/// Samples a standard normal variate by Box–Muller.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        return r * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+/// Samples `Normal(mean, var)`.
+///
+/// # Panics
+///
+/// Panics if `var < 0`.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, var: f64) -> f64 {
+    assert!(var >= 0.0, "variance must be non-negative, got {var}");
+    if var == 0.0 {
+        return mean;
+    }
+    mean + var.sqrt() * standard_normal(rng)
+}
+
+/// Samples an index from a discrete distribution given by `weights`
+/// (not necessarily normalized).
+///
+/// # Panics
+///
+/// Panics if the weights are all zero or any is negative.
+pub fn discrete<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    let total: f64 = weights.iter().sum();
+    assert!(
+        total > 0.0 && weights.iter().all(|&w| w >= 0.0),
+        "weights must be non-negative with positive total"
+    );
+    let mut u: f64 = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 200_000;
+        let rate = 2.5;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = exponential(&mut rng, rate);
+            assert!(x >= 0.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments_match() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 400_000;
+        let (mu, var) = (1.5, 4.0);
+        let (mut s1, mut s2) = (0.0, 0.0);
+        for _ in 0..n {
+            let x = normal(&mut rng, mu, var);
+            s1 += x;
+            s2 += x * x;
+        }
+        let mean = s1 / n as f64;
+        let v = s2 / n as f64 - mean * mean;
+        assert!((mean - mu).abs() < 0.02, "mean {mean}");
+        assert!((v - var).abs() < 0.05, "var {v}");
+    }
+
+    #[test]
+    fn normal_zero_variance_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(normal(&mut rng, 7.0, 0.0), 7.0);
+    }
+
+    #[test]
+    fn discrete_frequencies() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let weights = [1.0, 3.0, 0.0, 6.0];
+        let mut counts = [0usize; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[discrete(&mut rng, &weights)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        assert!((counts[1] as f64 / n as f64 - 0.3).abs() < 0.01);
+        assert!((counts[3] as f64 / n as f64 - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        let mut rng = StdRng::seed_from_u64(5);
+        exponential(&mut rng, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn discrete_rejects_all_zero() {
+        let mut rng = StdRng::seed_from_u64(6);
+        discrete(&mut rng, &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,459 @@
+//! Transform-domain solution of second-order Markov reward models.
+//!
+//! Theorem 1 of the paper (eq. 2) says that for a fixed transform
+//! variable `v`, the vector `b*(t, v)` of per-state Laplace transforms
+//! of the reward density satisfies the *linear* ODE
+//!
+//! ```text
+//! ∂/∂t b*(t,v) = (Q − v·R + v²/2·S) · b*(t,v),    b*(0,v) = 1,
+//! ```
+//!
+//! so `b*(t,v) = exp((Q − v·R + v²/2·S)·t)·1`. Evaluated on the
+//! imaginary axis `v = −iω` this is the characteristic function
+//! `E[e^{iωB(t)} | Z(0) = i]`, computed here with a complex matrix
+//! exponential, and inverted to the density by Fourier quadrature
+//! (directly, or on a full grid via FFT). The paper notes transform
+//! approaches are viable for small models only (≾ 100 states) — this
+//! crate is the workspace's independent distribution oracle in that
+//! regime.
+
+use somrm_core::error::MrmError;
+use somrm_core::model::SecondOrderMrm;
+use somrm_linalg::dense::Mat;
+use somrm_linalg::expm::expm;
+use somrm_linalg::fft::fft;
+use somrm_linalg::scalar::Cx;
+
+/// Configuration of the Fourier inversion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransformConfig {
+    /// Largest frequency sampled (`Ω`); the CF must be negligible
+    /// beyond it.
+    pub omega_max: f64,
+    /// Number of frequency samples on `[0, Ω]`.
+    pub n_omega: usize,
+}
+
+impl Default for TransformConfig {
+    fn default() -> Self {
+        TransformConfig {
+            omega_max: 40.0,
+            n_omega: 512,
+        }
+    }
+}
+
+/// The per-state characteristic function `E[e^{iωB(t)} | Z(0) = i]`.
+///
+/// # Panics
+///
+/// Panics if `t < 0` (the matrix exponential itself is defined for any
+/// argument, but negative accumulation times are meaningless here).
+pub fn characteristic_function(model: &SecondOrderMrm, t: f64, omega: f64) -> Vec<Cx> {
+    assert!(t >= 0.0, "time must be non-negative, got {t}");
+    let n = model.n_states();
+    // M = Q + iω·R − ω²/2·S  (v = −iω in eq. 2).
+    let mut m = Mat::<Cx>::zeros(n, n);
+    for i in 0..n {
+        for (j, q) in model.generator().as_csr().row(i) {
+            m[(i, j)] += Cx::new(q, 0.0);
+        }
+        m[(i, i)] += Cx::new(
+            -0.5 * omega * omega * model.variances()[i],
+            omega * model.rates()[i],
+        );
+    }
+    let e = expm(&m.scaled(Cx::new(t, 0.0))).expect("square matrix exponential");
+    let h = vec![Cx::ONE; n];
+    e.matvec(&h)
+}
+
+/// The initial-distribution-weighted characteristic function
+/// `E[e^{iωB(t)}]`.
+pub fn weighted_characteristic_function(model: &SecondOrderMrm, t: f64, omega: f64) -> Cx {
+    let phi = characteristic_function(model, t, omega);
+    phi.iter()
+        .zip(model.initial())
+        .map(|(&p, &w)| p * w)
+        .fold(Cx::ZERO, |a, b| a + b)
+}
+
+/// The π-weighted reward density at each point of `xs`, by direct
+/// Fourier quadrature
+/// `b(t,x) = (1/π)·∫₀^Ω Re[e^{−iωx}·φ(ω)] dω` (trapezoid rule,
+/// exploiting `φ(−ω) = conj(φ(ω))`).
+///
+/// # Errors
+///
+/// Returns [`MrmError::InvalidParameter`] for invalid `t` or config.
+pub fn density_at(
+    model: &SecondOrderMrm,
+    t: f64,
+    xs: &[f64],
+    config: &TransformConfig,
+) -> Result<Vec<f64>, MrmError> {
+    validate(t, config)?;
+    let n_omega = config.n_omega;
+    let d_omega = config.omega_max / n_omega as f64;
+    // Sample the weighted CF once.
+    let phis: Vec<Cx> = (0..=n_omega)
+        .map(|k| weighted_characteristic_function(model, t, k as f64 * d_omega))
+        .collect();
+    Ok(xs
+        .iter()
+        .map(|&x| {
+            let mut acc = 0.0;
+            for (k, &phi) in phis.iter().enumerate() {
+                let w = if k == 0 || k == n_omega { 0.5 } else { 1.0 };
+                let omega = k as f64 * d_omega;
+                acc += w * (phi * Cx::cis(-omega * x)).re;
+            }
+            acc * d_omega / std::f64::consts::PI
+        })
+        .collect())
+}
+
+/// The π-weighted density on a regular grid via FFT.
+///
+/// Returns `(xs, density)` where the grid has `2·n_omega` points with
+/// spacing `π/Ω` centred on `x_center`. Cost: `n_omega` complex matrix
+/// exponentials plus one FFT — the efficient way to get the whole
+/// density curve at once.
+///
+/// # Errors
+///
+/// Returns [`MrmError::InvalidParameter`] for invalid `t` or config
+/// (`n_omega` must be a power of two for this entry point).
+pub fn density_grid(
+    model: &SecondOrderMrm,
+    t: f64,
+    x_center: f64,
+    config: &TransformConfig,
+) -> Result<(Vec<f64>, Vec<f64>), MrmError> {
+    validate(t, config)?;
+    let n = 2 * config.n_omega;
+    if !n.is_power_of_two() {
+        return Err(MrmError::InvalidParameter {
+            name: "n_omega",
+            reason: format!("must be a power of two for the FFT path, got {}", config.n_omega),
+        });
+    }
+    let d_omega = 2.0 * config.omega_max / n as f64;
+    let dx = 2.0 * std::f64::consts::PI / (n as f64 * d_omega);
+    // Frequencies ω_j for j in 0..n, wrapped: j < n/2 → j·dω, else (j−n)·dω.
+    // b(x_m) = (dω/2π)·Σ_j φ(ω_j)·e^{−iω_j x_m}; with x_m = x_c + (m − n/2)·dx
+    // this becomes an inverse DFT after pre-twisting by e^{−iω_j x_c}·(−1)^j.
+    let mut spectrum: Vec<Cx> = (0..n)
+        .map(|j| {
+            let omega = if j < n / 2 {
+                j as f64 * d_omega
+            } else {
+                (j as f64 - n as f64) * d_omega
+            };
+            let phi = weighted_characteristic_function(model, t, omega.abs());
+            let phi = if omega < 0.0 { phi.conj() } else { phi };
+            // Pre-twist: e^{−iω x_c}, plus the (−1)^j factor that shifts
+            // the output window to be centred (m − n/2).
+            let sign = if j % 2 == 0 { 1.0 } else { -1.0 };
+            phi * Cx::cis(-omega * x_center) * sign
+        })
+        .collect();
+    // b(x_m) = (dω/2π)·Σ_j [pre-twisted φ]·e^{−2πi jm/n} — a *forward*
+    // DFT over the wrapped frequency index.
+    fft(&mut spectrum).expect("power-of-two length");
+    let scale = d_omega / (2.0 * std::f64::consts::PI);
+    let density: Vec<f64> = spectrum.iter().map(|c| c.re * scale).collect();
+    let xs: Vec<f64> = (0..n)
+        .map(|m| x_center + (m as f64 - n as f64 / 2.0) * dx)
+        .collect();
+    Ok((xs, density))
+}
+
+fn validate(t: f64, config: &TransformConfig) -> Result<(), MrmError> {
+    if !(t >= 0.0) || !t.is_finite() {
+        return Err(MrmError::InvalidParameter {
+            name: "t",
+            reason: format!("time must be finite and non-negative, got {t}"),
+        });
+    }
+    if !(config.omega_max > 0.0) || config.n_omega < 8 {
+        return Err(MrmError::InvalidParameter {
+            name: "transform config",
+            reason: format!(
+                "need omega_max > 0 and n_omega >= 8, got {} and {}",
+                config.omega_max, config.n_omega
+            ),
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use somrm_core::uniformization::{moments, SolverConfig};
+    use somrm_ctmc::generator::GeneratorBuilder;
+    use somrm_num::special::normal_pdf_mv;
+
+    fn single_state(r: f64, s2: f64) -> SecondOrderMrm {
+        let b = GeneratorBuilder::new(1);
+        SecondOrderMrm::new(b.build().unwrap(), vec![r], vec![s2], vec![1.0]).unwrap()
+    }
+
+    fn two_state() -> SecondOrderMrm {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 0, 3.0).unwrap();
+        SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![0.5, 2.0],
+            vec![0.4, 1.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_state_cf_is_normal_cf() {
+        // φ(ω) = exp(iωrt − ω²σ²t/2).
+        let (r, s2, t) = (2.0, 3.0, 0.7);
+        let m = single_state(r, s2);
+        for &omega in &[0.0, 0.5, 1.0, 2.0] {
+            let phi = weighted_characteristic_function(&m, t, omega);
+            let exact = Cx::new(-0.5 * omega * omega * s2 * t, omega * r * t).exp();
+            assert!((phi - exact).modulus() < 1e-10, "omega = {omega}");
+        }
+    }
+
+    #[test]
+    fn cf_at_zero_is_one() {
+        let m = two_state();
+        let phi = characteristic_function(&m, 0.9, 0.0);
+        for p in phi {
+            assert!((p - Cx::ONE).modulus() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cf_derivatives_give_moments() {
+        // Numerical differentiation of φ at 0 must match the
+        // randomization solver: φ'(0) = i·E[B], φ''(0) = −E[B²].
+        let m = two_state();
+        let t = 0.8;
+        let h = 1e-4;
+        let phi_p = weighted_characteristic_function(&m, t, h);
+        let phi_m = weighted_characteristic_function(&m, t, -h);
+        let phi_0 = weighted_characteristic_function(&m, t, 0.0);
+        let d1 = (phi_p - phi_m) * Cx::new(1.0 / (2.0 * h), 0.0);
+        let d2 = (phi_p - phi_0 * 2.0 + phi_m) * Cx::new(1.0 / (h * h), 0.0);
+        let exact = moments(&m, 2, t, &SolverConfig::default()).unwrap();
+        assert!((d1.im - exact.mean()).abs() < 1e-5, "mean: {}", d1.im);
+        assert!(
+            (-d2.re - exact.raw_moment(2)).abs() < 1e-4,
+            "E[B²]: {}",
+            -d2.re
+        );
+    }
+
+    #[test]
+    fn density_at_recovers_normal_density() {
+        let (r, s2, t) = (1.0, 0.5, 1.0);
+        let m = single_state(r, s2);
+        let xs: Vec<f64> = (-10..=30).map(|k| 0.1 * k as f64).collect();
+        let d = density_at(&m, t, &xs, &TransformConfig::default()).unwrap();
+        for (k, &x) in xs.iter().enumerate() {
+            let exact = normal_pdf_mv(x, r * t, s2 * t);
+            assert!(
+                (d[k] - exact).abs() < 1e-6,
+                "x = {x}: {} vs {exact}",
+                d[k]
+            );
+        }
+    }
+
+    #[test]
+    fn density_grid_matches_density_at() {
+        let m = two_state();
+        let t = 0.8;
+        let cfg = TransformConfig {
+            omega_max: 60.0,
+            n_omega: 512,
+        };
+        let exact_mean = moments(&m, 1, t, &SolverConfig::default()).unwrap().mean();
+        let (xs, grid) = density_grid(&m, t, exact_mean, &cfg).unwrap();
+        // Compare a central slice against the direct quadrature.
+        let idx: Vec<usize> = (0..xs.len()).step_by(97).collect();
+        let sample_xs: Vec<f64> = idx.iter().map(|&i| xs[i]).collect();
+        let direct = density_at(&m, t, &sample_xs, &cfg).unwrap();
+        for (n, &i) in idx.iter().enumerate() {
+            assert!(
+                (grid[i] - direct[n]).abs() < 1e-6,
+                "x = {}: {} vs {}",
+                xs[i],
+                grid[i],
+                direct[n]
+            );
+        }
+        // The grid density integrates to ~1.
+        let dx = xs[1] - xs[0];
+        let mass: f64 = grid.iter().map(|&v| v * dx).sum();
+        assert!((mass - 1.0).abs() < 1e-4, "mass {mass}");
+    }
+
+    #[test]
+    fn density_moments_match_solver() {
+        let m = two_state();
+        let t = 1.0;
+        let cfg = TransformConfig {
+            omega_max: 60.0,
+            n_omega: 512,
+        };
+        let exact = moments(&m, 2, t, &SolverConfig::default()).unwrap();
+        let (xs, d) = density_grid(&m, t, exact.mean(), &cfg).unwrap();
+        let dx = xs[1] - xs[0];
+        let mean: f64 = xs.iter().zip(&d).map(|(&x, &v)| x * v * dx).sum();
+        let m2: f64 = xs.iter().zip(&d).map(|(&x, &v)| x * x * v * dx).sum();
+        assert!((mean - exact.mean()).abs() < 1e-4, "mean {mean}");
+        assert!(
+            (m2 - exact.raw_moment(2)).abs() < 1e-3,
+            "2nd moment {m2} vs {}",
+            exact.raw_moment(2)
+        );
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let m = single_state(1.0, 1.0);
+        assert!(density_at(&m, -1.0, &[0.0], &TransformConfig::default()).is_err());
+        let bad = TransformConfig {
+            omega_max: 0.0,
+            n_omega: 512,
+        };
+        assert!(density_at(&m, 1.0, &[0.0], &bad).is_err());
+        let not_pow2 = TransformConfig {
+            omega_max: 10.0,
+            n_omega: 100,
+        };
+        assert!(density_grid(&m, 1.0, 0.0, &not_pow2).is_err());
+    }
+}
+
+pub mod resolvent;
+
+/// The per-state characteristic function of an **impulse-extended**
+/// model: transitions multiply the transform kernel by `e^{iω·c_ij}`,
+/// so the matrix of eq. (2) becomes `M(ω) = Q∘E(ω) + iω·R − ω²/2·S`
+/// with off-diagonals `q_ij·e^{iω c_ij}` and the diagonal unchanged.
+///
+/// # Panics
+///
+/// Panics if `t < 0`.
+pub fn characteristic_function_impulse(
+    model: &somrm_core::impulse::ImpulseMrm,
+    t: f64,
+    omega: f64,
+) -> Vec<Cx> {
+    assert!(t >= 0.0, "time must be non-negative, got {t}");
+    let base = model.base();
+    let n = base.n_states();
+    let mut m = Mat::<Cx>::zeros(n, n);
+    for i in 0..n {
+        for (j, q) in base.generator().as_csr().row(i) {
+            if i == j {
+                m[(i, j)] += Cx::new(q, 0.0);
+            } else {
+                let c = model.impulse(i, j);
+                m[(i, j)] += Cx::from(q) * Cx::cis(omega * c);
+            }
+        }
+        m[(i, i)] += Cx::new(
+            -0.5 * omega * omega * base.variances()[i],
+            omega * base.rates()[i],
+        );
+    }
+    let e = expm(&m.scaled(Cx::new(t, 0.0))).expect("square matrix exponential");
+    e.matvec(&vec![Cx::ONE; n])
+}
+
+#[cfg(test)]
+mod impulse_cf_tests {
+    use super::*;
+    use somrm_core::impulse::{moments_with_impulse, ImpulseMrm};
+    use somrm_core::uniformization::SolverConfig;
+    use somrm_ctmc::generator::GeneratorBuilder;
+
+    fn impulse_model() -> ImpulseMrm {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 0, 3.0).unwrap();
+        let base = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![0.5, 2.0],
+            vec![0.4, 1.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        ImpulseMrm::new(base, &[(0, 1, 1.5), (1, 0, 0.5)]).unwrap()
+    }
+
+    #[test]
+    fn impulse_cf_reduces_to_plain_cf_without_impulses() {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 2.0).unwrap();
+        b.rate(1, 0, 3.0).unwrap();
+        let base = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![0.5, 2.0],
+            vec![0.4, 1.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let m = ImpulseMrm::new(base.clone(), &[]).unwrap();
+        for &omega in &[0.0, 1.0, 2.5] {
+            let a = characteristic_function_impulse(&m, 0.7, omega);
+            let b = characteristic_function(&base, 0.7, omega);
+            for i in 0..2 {
+                assert!((a[i] - b[i]).modulus() < 1e-12, "omega = {omega}");
+            }
+        }
+    }
+
+    #[test]
+    fn impulse_cf_derivatives_match_extended_solver() {
+        // Numerical differentiation at ω = 0 recovers the impulse
+        // moments: φ'(0) = i·E[B], φ''(0) = −E[B²].
+        let m = impulse_model();
+        let t = 0.8;
+        let h = 1e-4;
+        let w = |omega: f64| {
+            let phi = characteristic_function_impulse(&m, t, omega);
+            phi.iter()
+                .zip(m.base().initial())
+                .map(|(&p, &pi)| p * pi)
+                .fold(Cx::ZERO, |a, b| a + b)
+        };
+        let (pp, p0, pm) = (w(h), w(0.0), w(-h));
+        let d1 = (pp - pm) * Cx::from(1.0 / (2.0 * h));
+        let d2 = (pp - p0 * 2.0 + pm) * Cx::from(1.0 / (h * h));
+        let exact = moments_with_impulse(&m, 2, t, &SolverConfig::default()).unwrap();
+        assert!((d1.im - exact.mean()).abs() < 1e-5, "mean {}", d1.im);
+        assert!(
+            (-d2.re - exact.raw_moment(2)).abs() < 1e-4,
+            "E[B^2] {}",
+            -d2.re
+        );
+    }
+
+    #[test]
+    fn impulse_cf_has_unit_modulus_bound() {
+        // |φ(ω)| ≤ 1 for every ω (it is a characteristic function).
+        let m = impulse_model();
+        for k in 0..20 {
+            let omega = k as f64 * 0.7;
+            let phi = characteristic_function_impulse(&m, 1.0, omega);
+            for (i, p) in phi.iter().enumerate() {
+                assert!(p.modulus() <= 1.0 + 1e-10, "state {i}, omega {omega}");
+            }
+        }
+    }
+}

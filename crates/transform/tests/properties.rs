@@ -1,0 +1,98 @@
+//! Property-based tests of the transform-domain solvers over random
+//! small models.
+
+use proptest::prelude::*;
+use somrm_core::model::SecondOrderMrm;
+use somrm_core::uniformization::{moments, SolverConfig};
+use somrm_ctmc::generator::GeneratorBuilder;
+use somrm_linalg::scalar::Cx;
+use somrm_transform::resolvent::{laplace_transform_at, resolvent};
+use somrm_transform::{characteristic_function, weighted_characteristic_function};
+
+fn arb_model() -> impl Strategy<Value = SecondOrderMrm> {
+    (2usize..5)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                prop::collection::vec(0.2f64..4.0, n),
+                prop::collection::vec(-3.0f64..3.0, n),
+                prop::collection::vec(0.0f64..2.0, n),
+            )
+        })
+        .prop_map(|(n, ring, rates, variances)| {
+            let mut b = GeneratorBuilder::new(n);
+            for i in 0..n {
+                b.rate(i, (i + 1) % n, ring[i]).unwrap();
+            }
+            let mut init = vec![0.0; n];
+            init[0] = 1.0;
+            SecondOrderMrm::new(b.build().unwrap(), rates, variances, init).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn cf_is_one_at_zero_and_bounded(model in arb_model(), t in 0.0f64..2.0, omega in -8.0f64..8.0) {
+        let phi0 = characteristic_function(&model, t, 0.0);
+        for p in &phi0 {
+            prop_assert!((*p - Cx::ONE).modulus() < 1e-10);
+        }
+        let phi = characteristic_function(&model, t, omega);
+        for (i, p) in phi.iter().enumerate() {
+            prop_assert!(p.modulus() <= 1.0 + 1e-9, "state {i}: |phi| = {}", p.modulus());
+        }
+    }
+
+    #[test]
+    fn cf_conjugate_symmetry(model in arb_model(), t in 0.0f64..1.5, omega in 0.1f64..6.0) {
+        // φ(−ω) = conj(φ(ω)) for a real-valued reward.
+        let plus = weighted_characteristic_function(&model, t, omega);
+        let minus = weighted_characteristic_function(&model, t, -omega);
+        prop_assert!((minus - plus.conj()).modulus() < 1e-10);
+    }
+
+    #[test]
+    fn cf_mean_derivative_matches_solver(model in arb_model(), t in 0.1f64..1.5) {
+        let h = 1e-5;
+        let d1 = (weighted_characteristic_function(&model, t, h)
+            - weighted_characteristic_function(&model, t, -h))
+            * Cx::new(1.0 / (2.0 * h), 0.0);
+        let exact = moments(&model, 1, t, &SolverConfig::default()).unwrap().mean();
+        prop_assert!((d1.im - exact).abs() < 1e-4 * (1.0 + exact.abs()),
+            "CF derivative {} vs solver {}", d1.im, exact);
+    }
+
+    #[test]
+    fn resolvent_rowsums_at_v0(model in arb_model(), s in 0.3f64..10.0) {
+        // (sI − Q)^{-1}·1 = 1/s for a conservative generator.
+        let r = resolvent(&model, Cx::from(s), Cx::ZERO).unwrap();
+        for ri in &r {
+            prop_assert!((*ri - Cx::from(1.0 / s)).modulus() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn talbot_agrees_with_expm_route(model in arb_model(), t in 0.1f64..1.2, v in 0.1f64..2.0) {
+        // Corollary 2 (resolvent + Talbot) vs Theorem 1 (matrix
+        // exponential) at real v.
+        let talbot = laplace_transform_at(&model, t, Cx::from(v), 40).unwrap();
+        let n = model.n_states();
+        let mut gen = somrm_linalg::dense::Mat::<f64>::zeros(n, n);
+        for i in 0..n {
+            for (j, q) in model.generator().as_csr().row(i) {
+                gen[(i, j)] += q;
+            }
+            gen[(i, i)] += -v * model.rates()[i] + 0.5 * v * v * model.variances()[i];
+        }
+        let e = somrm_linalg::expm::expm(&gen.scaled(t)).unwrap();
+        let direct = e.matvec(&vec![1.0; n]);
+        for i in 0..n {
+            prop_assert!(
+                (talbot[i].re - direct[i]).abs() < 1e-6 * direct[i].abs().max(1e-6),
+                "state {i}: {} vs {}", talbot[i].re, direct[i]
+            );
+        }
+    }
+}

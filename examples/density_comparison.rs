@@ -1,0 +1,78 @@
+//! Every route to the reward *distribution* on one plot: transform
+//! inversion, PDE solution, Monte-Carlo histogram, and moment bounds —
+//! the full §4 toolbox of the paper exercised on one small model.
+//!
+//! Run with `cargo run --release --example density_comparison`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use somrm::num::Dd;
+use somrm::pde::{solve_density, PdeConfig};
+use somrm::prelude::*;
+use somrm::sim::reward::empirical_cdf;
+use somrm::transform::{density_at, TransformConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2-state model small enough for every method.
+    let mut b = GeneratorBuilder::new(2);
+    b.rate(0, 1, 2.0)?;
+    b.rate(1, 0, 3.0)?;
+    let model = SecondOrderMrm::new(
+        b.build()?,
+        vec![0.5, 2.0],
+        vec![0.4, 1.0],
+        vec![1.0, 0.0],
+    )?;
+    let t = 1.0;
+
+    let exact = moments(&model, 23, t, &SolverConfig::default())?;
+    let mean = exact.mean();
+    let sd = exact.variance().sqrt();
+    println!("E[B({t})] = {mean:.4}, sd = {sd:.4}\n");
+
+    // 1. Transform-domain density (characteristic function + Fourier).
+    let xs: Vec<f64> = (-8..=8).map(|k| mean + sd * k as f64 * 0.5).collect();
+    let tf = density_at(&model, t, &xs, &TransformConfig { omega_max: 60.0, n_omega: 512 })?;
+
+    // 2. PDE density (eq. 4, upwind/central explicit scheme).
+    let pde = solve_density(
+        &model,
+        t,
+        &PdeConfig {
+            x_min: mean - 10.0 * sd,
+            x_max: mean + 10.0 * sd,
+            nx: 2001,
+            ..PdeConfig::default()
+        },
+    )?;
+
+    // 3. Monte-Carlo CDF.
+    let mut rng = StdRng::seed_from_u64(5);
+    let sim_cdf = empirical_cdf(&mut rng, &model, t, &xs, 100_000);
+
+    // 4. Moment bounds on the CDF.
+    let bounds = cdf_bounds::<Dd>(&exact.weighted, &xs)?;
+
+    println!(
+        "{:>9} {:>12} {:>12} {:>10} {:>10} {:>10}",
+        "x", "transform", "pde", "sim CDF", "lower", "upper"
+    );
+    for (i, &x) in xs.iter().enumerate() {
+        // Interpolate the PDE density onto x.
+        let k = ((x - pde.xs[0]) / pde.dx()).round() as usize;
+        let pde_d = pde.weighted.get(k).copied().unwrap_or(0.0);
+        println!(
+            "{x:>9.3} {:>12.5} {pde_d:>12.5} {:>10.4} {:>10.4} {:>10.4}",
+            tf[i], sim_cdf[i], bounds[i].lower, bounds[i].upper
+        );
+        // The independent methods must agree (PDE carries the mollifier
+        // smearing, hence the loose tolerance).
+        assert!((tf[i] - pde_d).abs() < 0.02, "transform vs PDE at x = {x}");
+        assert!(
+            bounds[i].lower <= sim_cdf[i] + 0.01 && sim_cdf[i] <= bounds[i].upper + 0.01,
+            "bounds must bracket the simulated CDF at x = {x}"
+        );
+    }
+    println!("\nAll four distribution routes agree.");
+    Ok(())
+}

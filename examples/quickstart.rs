@@ -1,0 +1,55 @@
+//! Quickstart: build a small second-order Markov reward model, compute
+//! moments of the accumulated reward, and bound its distribution.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use somrm::num::Dd;
+use somrm::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A tiny web service: state 0 = "healthy" (serves 100 req/h with
+    // jitter), state 1 = "degraded" (30 req/h, more jitter). Failures
+    // happen at rate 0.5/h, recovery at rate 6/h. The reward B(t) is the
+    // number of requests served by time t.
+    let mut builder = GeneratorBuilder::new(2);
+    builder.rate(0, 1, 0.5)?; // healthy -> degraded
+    builder.rate(1, 0, 6.0)?; // degraded -> healthy
+    let generator = builder.build()?;
+
+    let model = SecondOrderMrm::new(
+        generator,
+        vec![100.0, 30.0], // drift: mean service rate per state
+        vec![40.0, 90.0],  // variance of the served amount per unit time
+        vec![1.0, 0.0],    // start healthy
+    )?;
+
+    // --- Moments via the paper's randomization method ------------------
+    let horizon = 8.0; // hours
+    let sol = moments(&model, 4, horizon, &SolverConfig::default())?;
+    println!("over {horizon} h of operation:");
+    println!("  expected requests served : {:>12.1}", sol.mean());
+    println!("  standard deviation       : {:>12.1}", sol.variance().sqrt());
+    println!(
+        "  solver: q = {}, d = {:.3}, G = {} iterations, error bound {:.1e}",
+        sol.stats.q, sol.stats.d, sol.stats.iterations, sol.stats.error_bound
+    );
+
+    // --- Distribution bounds from many moments -------------------------
+    // How likely is it that fewer than 90 requests/h on average were
+    // served? Bound P[B(8h) <= 720] from 20 moments.
+    let deep = moments(&model, 20, horizon, &SolverConfig::default())?;
+    let target = 720.0;
+    let bound = &cdf_bounds::<Dd>(&deep.weighted, &[target])?[0];
+    println!(
+        "  P[B <= {target}] is certainly in [{:.4}, {:.4}] (from {} moments)",
+        bound.lower,
+        bound.upper,
+        deep.weighted.len() - 1
+    );
+
+    // --- Long-run sanity ------------------------------------------------
+    let growth = model.steady_state_growth_rate()?;
+    println!("  long-run service rate    : {growth:>12.3} req/h");
+    assert!(growth < 100.0 && growth > 30.0);
+    Ok(())
+}

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Regenerates every table and figure of the DSN 2004 paper plus the
+# beyond-paper studies. Outputs land in results/ and on stdout.
+# Usage: scripts/reproduce_all.sh [--full]   (--full runs the 200,001-state
+# Figure 8 exactly at the paper's size; minutes instead of seconds)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FULL=""
+if [[ "${1:-}" == "--full" ]]; then
+  FULL="--full"
+fi
+
+run() { echo; echo "=== $* ==="; cargo run --release -p somrm-experiments --bin "$@"; }
+
+cargo build --release --workspace
+
+run fig1
+run fig2
+run fig3
+run fig4
+run fig5_7
+run fig8 -- ${FULL}
+run crossval
+run ablation_d
+run ablation_bounds
+run ablation_sweep
+run sensitivity
+
+echo
+echo "=== examples ==="
+for e in quickstart telecom_multiplexer performability density_comparison impulse_rewards; do
+  echo; echo "--- example: $e ---"
+  cargo run --release --example "$e"
+done
+
+echo
+echo "All experiments reproduced. CSVs in results/."

@@ -1,0 +1,253 @@
+//! Integration tests: every solution method in the workspace must agree
+//! on shared models — the paper's Section-7 validation, automated.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use somrm::num::Dd;
+use somrm::ode::{moments_ode, OdeMethod};
+use somrm::pde::{solve_density, PdeConfig};
+use somrm::prelude::*;
+use somrm::sim::reward::{empirical_cdf, estimate_moments};
+use somrm::solver::moments_first_order;
+use somrm::transform::{density_at, TransformConfig};
+
+fn small_model() -> SecondOrderMrm {
+    let mut b = GeneratorBuilder::new(3);
+    b.rate(0, 1, 2.0).unwrap();
+    b.rate(1, 0, 1.0).unwrap();
+    b.rate(1, 2, 3.0).unwrap();
+    b.rate(2, 1, 4.0).unwrap();
+    b.rate(2, 0, 0.5).unwrap();
+    SecondOrderMrm::new(
+        b.build().unwrap(),
+        vec![0.0, 2.0, 5.0],
+        vec![0.0, 1.0, 4.0],
+        vec![0.6, 0.3, 0.1],
+    )
+    .unwrap()
+}
+
+#[test]
+fn randomization_vs_ode_all_orders() {
+    let m = small_model();
+    for &t in &[0.2, 0.8, 2.0] {
+        let rnd = moments(&m, 4, t, &SolverConfig::default()).unwrap();
+        let ode = moments_ode(&m, 4, t, OdeMethod::Rk4, 4000).unwrap();
+        for n in 0..=4 {
+            let scale = rnd.raw_moment(n).abs().max(1.0);
+            assert!(
+                (rnd.raw_moment(n) - ode.raw_moment(n)).abs() < 1e-7 * scale,
+                "t = {t}, order {n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn randomization_vs_simulation() {
+    let m = small_model();
+    let t = 0.9;
+    let rnd = moments(&m, 3, t, &SolverConfig::default()).unwrap();
+    let mut rng = StdRng::seed_from_u64(101);
+    let est = estimate_moments(&mut rng, &m, 3, t, 60_000);
+    for n in 1..=3 {
+        assert!(
+            est.consistent_with(n, rnd.raw_moment(n), 4.5),
+            "order {n}: {} ± {} vs {}",
+            est.estimates[n],
+            est.std_errors[n],
+            rnd.raw_moment(n)
+        );
+    }
+}
+
+/// A model whose density is smooth (every state has positive variance):
+/// the reward then has no atom and the characteristic function decays
+/// fast, which the Fourier-truncation routes require.
+fn smooth_model() -> SecondOrderMrm {
+    let mut b = GeneratorBuilder::new(3);
+    b.rate(0, 1, 2.0).unwrap();
+    b.rate(1, 0, 1.0).unwrap();
+    b.rate(1, 2, 3.0).unwrap();
+    b.rate(2, 1, 4.0).unwrap();
+    b.rate(2, 0, 0.5).unwrap();
+    SecondOrderMrm::new(
+        b.build().unwrap(),
+        vec![0.0, 2.0, 5.0],
+        vec![0.6, 1.0, 4.0],
+        vec![0.6, 0.3, 0.1],
+    )
+    .unwrap()
+}
+
+#[test]
+fn transform_density_moments_match_randomization() {
+    let m = smooth_model();
+    let t = 0.7;
+    let rnd = moments(&m, 2, t, &SolverConfig::default()).unwrap();
+    // Integrate the transform-domain density numerically.
+    let sd = rnd.variance().sqrt();
+    let lo = rnd.mean() - 10.0 * sd;
+    let hi = rnd.mean() + 10.0 * sd;
+    let n = 2000;
+    let xs: Vec<f64> = (0..=n)
+        .map(|k| lo + (hi - lo) * k as f64 / n as f64)
+        .collect();
+    let d = density_at(
+        &m,
+        t,
+        &xs,
+        &TransformConfig {
+            omega_max: 80.0,
+            n_omega: 1024,
+        },
+    )
+    .unwrap();
+    let dx = (hi - lo) / n as f64;
+    let mass: f64 = d.iter().sum::<f64>() * dx;
+    let mean: f64 = xs.iter().zip(&d).map(|(&x, &v)| x * v).sum::<f64>() * dx;
+    let m2: f64 = xs.iter().zip(&d).map(|(&x, &v)| x * x * v).sum::<f64>() * dx;
+    assert!((mass - 1.0).abs() < 1e-5, "mass {mass}");
+    assert!((mean - rnd.mean()).abs() < 1e-4, "mean {mean} vs {}", rnd.mean());
+    assert!(
+        (m2 - rnd.raw_moment(2)).abs() < 1e-3,
+        "2nd moment {m2} vs {}",
+        rnd.raw_moment(2)
+    );
+}
+
+#[test]
+fn pde_density_matches_transform_density() {
+    let m = smooth_model();
+    let t = 0.6;
+    let rnd = moments(&m, 2, t, &SolverConfig::default()).unwrap();
+    let sd = rnd.variance().sqrt();
+    let pde = solve_density(
+        &m,
+        t,
+        &PdeConfig {
+            x_min: rnd.mean() - 10.0 * sd,
+            x_max: rnd.mean() + 10.0 * sd,
+            nx: 1501,
+            ..PdeConfig::default()
+        },
+    )
+    .unwrap();
+    let sample: Vec<f64> = (0..8)
+        .map(|k| rnd.mean() + sd * (k as f64 - 3.5))
+        .collect();
+    let tf = density_at(
+        &m,
+        t,
+        &sample,
+        &TransformConfig {
+            omega_max: 80.0,
+            n_omega: 1024,
+        },
+    )
+    .unwrap();
+    for (i, &x) in sample.iter().enumerate() {
+        let k = ((x - pde.xs[0]) / pde.dx()).round() as usize;
+        let pd = pde.weighted[k];
+        assert!(
+            (pd - tf[i]).abs() < 0.03,
+            "x = {x}: pde {pd} vs transform {}",
+            tf[i]
+        );
+    }
+}
+
+#[test]
+fn bounds_bracket_simulated_cdf() {
+    let m = small_model();
+    let t = 0.8;
+    let sol = moments(&m, 18, t, &SolverConfig::default()).unwrap();
+    let sd = sol.variance().sqrt();
+    let xs: Vec<f64> = (-6..=6).map(|k| sol.mean() + sd * k as f64 * 0.5).collect();
+    let bounds = somrm::bounds::cms::cdf_bounds::<Dd>(&sol.weighted, &xs).unwrap();
+    let mut rng = StdRng::seed_from_u64(77);
+    let sim = empirical_cdf(&mut rng, &m, t, &xs, 50_000);
+    let mc_err = 4.0 * (0.25f64 / 50_000.0).sqrt();
+    for (i, b) in bounds.iter().enumerate() {
+        assert!(
+            sim[i] >= b.lower - mc_err && sim[i] <= b.upper + mc_err,
+            "x = {}: sim {} outside [{}, {}]",
+            b.x,
+            sim[i],
+            b.lower,
+            b.upper
+        );
+    }
+}
+
+#[test]
+fn first_order_solver_vs_general_on_first_order_model() {
+    let mut b = GeneratorBuilder::new(3);
+    b.rate(0, 1, 1.0).unwrap();
+    b.rate(1, 2, 2.0).unwrap();
+    b.rate(2, 0, 3.0).unwrap();
+    let m = SecondOrderMrm::first_order(
+        b.build().unwrap(),
+        vec![1.0, -0.5, 2.0],
+        vec![0.2, 0.5, 0.3],
+    )
+    .unwrap();
+    for &t in &[0.3, 1.5] {
+        let a = moments_first_order(&m, 3, t, &SolverConfig::default()).unwrap();
+        let b = moments(&m, 3, t, &SolverConfig::default()).unwrap();
+        for n in 0..=3 {
+            let scale = b.raw_moment(n).abs().max(1.0);
+            assert!(
+                (a.raw_moment(n) - b.raw_moment(n)).abs() < 1e-8 * scale,
+                "t = {t}, order {n}"
+            );
+        }
+    }
+}
+
+#[test]
+fn paper_example_steady_state_line() {
+    // Figure 3's steady-state start is linear with the closed-form slope.
+    let mux = OnOffMultiplexer::table1(10.0);
+    let m = mux.model_steady_start().unwrap();
+    let slope = mux.steady_state_mean_rate();
+    for &t in &[0.1, 0.5, 1.0] {
+        let sol = moments(&m, 1, t, &SolverConfig::default()).unwrap();
+        assert!(
+            (sol.mean() - slope * t).abs() < 1e-6 * slope * t,
+            "t = {t}"
+        );
+    }
+}
+
+#[test]
+fn variance_decomposition_structure_plus_brownian() {
+    // For constant σ² across states, the Brownian contribution to
+    // Var[B(t)] is exactly σ²·t (independent increments on top of the
+    // structure process): Var_total = Var_structure + σ²·t.
+    let mut b = GeneratorBuilder::new(2);
+    b.rate(0, 1, 2.0).unwrap();
+    b.rate(1, 0, 3.0).unwrap();
+    let gen = b.build().unwrap();
+    let s2 = 1.7;
+    let with = SecondOrderMrm::new(
+        gen.clone(),
+        vec![1.0, 4.0],
+        vec![s2, s2],
+        vec![1.0, 0.0],
+    )
+    .unwrap();
+    let without =
+        SecondOrderMrm::first_order(gen, vec![1.0, 4.0], vec![1.0, 0.0]).unwrap();
+    for &t in &[0.4, 1.3] {
+        let a = moments(&with, 2, t, &SolverConfig::default()).unwrap();
+        let b = moments(&without, 2, t, &SolverConfig::default()).unwrap();
+        assert!(
+            (a.variance() - b.variance() - s2 * t).abs() < 1e-7,
+            "t = {t}: {} vs {} + {}",
+            a.variance(),
+            b.variance(),
+            s2 * t
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! Fast, assertion-style versions of the paper's headline claims —
+//! the full experiment binaries print the detailed tables; these tests
+//! keep the claims from silently regressing.
+
+use somrm::models::OnOffMultiplexer;
+use somrm::prelude::*;
+
+/// §3 / Figure 3: the mean accumulated reward is independent of the
+/// variance parameters.
+#[test]
+fn claim_mean_is_variance_independent() {
+    // A reduced Table-1 model (8 sources) keeps the test quick.
+    let base = OnOffMultiplexer {
+        capacity: 8.0,
+        n_sources: 8,
+        alpha: 4.0,
+        beta: 3.0,
+        peak_rate: 1.0,
+        variance: 0.0,
+    };
+    let cfg = SolverConfig {
+        epsilon: 1e-12,
+        ..SolverConfig::default()
+    };
+    for &t in &[0.2, 0.7] {
+        let mut means = Vec::new();
+        for s2 in [0.0, 1.0, 10.0] {
+            let model = OnOffMultiplexer { variance: s2, ..base }.model().unwrap();
+            means.push(moments(&model, 1, t, &cfg).unwrap().mean());
+        }
+        assert!((means[0] - means[1]).abs() < 1e-10);
+        assert!((means[0] - means[2]).abs() < 1e-10);
+    }
+}
+
+/// §6: G has the same order of magnitude as qt (the iteration count
+/// scales linearly with the horizon).
+#[test]
+fn claim_iterations_scale_with_qt() {
+    let model = OnOffMultiplexer::table1(10.0).model().unwrap();
+    let q = model.generator().uniformization_rate();
+    let cfg = SolverConfig::default();
+    let g_at = |qt: f64| {
+        moments(&model, 3, qt / q, &cfg)
+            .unwrap()
+            .stats
+            .iterations as f64
+    };
+    let g1 = g_at(64.0);
+    let g2 = g_at(256.0);
+    let g3 = g_at(1024.0);
+    // Ratios approach 4 as the √qt fringe becomes negligible.
+    assert!(g2 / g1 > 2.0 && g2 / g1 < 4.5, "g2/g1 = {}", g2 / g1);
+    assert!(g3 / g2 > 3.0 && g3 / g2 < 4.5, "g3/g2 = {}", g3 / g2);
+    // And G/qt stays O(1).
+    assert!(g3 / 1024.0 < 2.0);
+}
+
+/// §6: the second-order recursion costs the same iteration count as the
+/// first-order one on the same chain (cost parity in G; per-step cost
+/// differs by one diagonal multiply, benchmarked separately).
+#[test]
+fn claim_first_and_second_order_share_g() {
+    let first = OnOffMultiplexer::table1(0.0).model().unwrap();
+    let second = OnOffMultiplexer::table1(10.0).model().unwrap();
+    let cfg = SolverConfig::default();
+    let t = 0.5;
+    let g1 = moments(&first, 3, t, &cfg).unwrap().stats.iterations;
+    let g2 = moments(&second, 3, t, &cfg).unwrap().stats.iterations;
+    // d differs (σ contributes), so G differs slightly — but stays within
+    // a small factor: the cost class is identical.
+    let ratio = g2 as f64 / g1 as f64;
+    assert!(ratio > 0.8 && ratio < 1.5, "G ratio {ratio}");
+}
+
+/// §7: the Section-7 model's steady-state growth rate matches the
+/// closed form C − N·r·β/(α+β).
+#[test]
+fn claim_steady_state_rate_closed_form() {
+    let mux = OnOffMultiplexer::table1(1.0);
+    let model = mux.model().unwrap();
+    let expect = 32.0 - 32.0 * 3.0 / 7.0;
+    assert!((model.steady_state_growth_rate().unwrap() - expect).abs() < 1e-9);
+    assert!((mux.steady_state_mean_rate() - expect).abs() < 1e-12);
+}
+
+/// Figures 5–7: the moment bounds bracket the moment-matched estimate
+/// and are non-trivial at the paper's 23-moment setting.
+#[test]
+fn claim_23_moment_bounds_are_informative() {
+    let model = OnOffMultiplexer::table1(10.0).model().unwrap();
+    let sol = moments(&model, 23, 0.5, &SolverConfig::default()).unwrap();
+    let mean = sol.mean();
+    let bounds =
+        cdf_bounds::<somrm::num::Dd>(&sol.weighted, &[mean - 10.0, mean, mean + 10.0]).unwrap();
+    // Tails pinned near 0/1, middle genuinely bounded away from both.
+    assert!(bounds[0].upper < 0.2);
+    assert!(bounds[2].lower > 0.8);
+    assert!(bounds[1].lower > 0.2 && bounds[1].upper < 0.8);
+    assert_eq!(bounds[1].nodes_used, 12);
+}
+
+/// §3: with positive variance the accumulated reward can decrease and
+/// even go negative — impossible for the first-order model with
+/// non-negative rates.
+#[test]
+fn claim_second_order_reward_not_monotone() {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mux = OnOffMultiplexer {
+        capacity: 4.0,
+        n_sources: 4,
+        alpha: 4.0,
+        beta: 3.0,
+        peak_rate: 1.0,
+        variance: 10.0,
+    };
+    let model = mux.model().unwrap();
+    let mut rng = StdRng::seed_from_u64(99);
+    let mut saw_decrease = false;
+    for _ in 0..50 {
+        let traj = somrm::sim::record_trajectory(&mut rng, &model, 1.0, 0.01);
+        if traj.windows(2).any(|w| w[1].reward < w[0].reward) {
+            saw_decrease = true;
+            break;
+        }
+    }
+    assert!(saw_decrease, "second-order trajectories must fluctuate");
+}

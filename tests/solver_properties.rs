@@ -1,0 +1,143 @@
+//! Property-based tests of the randomization solver over randomly
+//! generated second-order Markov reward models.
+
+use proptest::prelude::*;
+use somrm::ode::{moments_ode, OdeMethod};
+use somrm::prelude::*;
+
+/// Strategy: a random irreducible-ish CTMC with 2..6 states plus random
+/// rates/variances/initial distribution.
+fn arb_model() -> impl Strategy<Value = SecondOrderMrm> {
+    (2usize..6)
+        .prop_flat_map(|n| {
+            let rates = prop::collection::vec(-5.0f64..5.0, n);
+            let variances = prop::collection::vec(0.0f64..4.0, n);
+            let raw_init = prop::collection::vec(0.01f64..1.0, n);
+            // A ring of transitions guarantees irreducibility; extra
+            // random transitions on top.
+            let ring = prop::collection::vec(0.1f64..4.0, n);
+            let extra = prop::collection::vec((0..n, 0..n, 0.0f64..2.0), 0..2 * n);
+            (
+                Just(n),
+                rates,
+                variances,
+                raw_init,
+                ring,
+                extra,
+            )
+        })
+        .prop_map(|(n, rates, variances, raw_init, ring, extra)| {
+            let mut b = GeneratorBuilder::new(n);
+            for i in 0..n {
+                b.rate(i, (i + 1) % n, ring[i]).unwrap();
+            }
+            for (i, j, r) in extra {
+                if i != j && r > 0.0 {
+                    b.rate(i, j, r).unwrap();
+                }
+            }
+            let total: f64 = raw_init.iter().sum();
+            let init: Vec<f64> = raw_init.iter().map(|x| x / total).collect();
+            SecondOrderMrm::new(b.build().unwrap(), rates, variances, init).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn zeroth_moment_is_one(model in arb_model(), t in 0.0f64..2.0) {
+        let sol = moments(&model, 2, t, &SolverConfig::default()).unwrap();
+        prop_assert!((sol.raw_moment(0) - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn mean_within_drift_envelope(model in arb_model(), t in 0.01f64..2.0) {
+        // min r·t ≤ E[B(t)] ≤ max r·t.
+        let sol = moments(&model, 1, t, &SolverConfig::default()).unwrap();
+        let rmin = model.rates().iter().copied().fold(f64::INFINITY, f64::min);
+        let rmax = model.rates().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(sol.mean() >= rmin * t - 1e-7 * (1.0 + t));
+        prop_assert!(sol.mean() <= rmax * t + 1e-7 * (1.0 + t));
+    }
+
+    #[test]
+    fn variance_nonnegative_and_cauchy_schwarz(model in arb_model(), t in 0.0f64..2.0) {
+        let sol = moments(&model, 4, t, &SolverConfig::default()).unwrap();
+        let scale = (1.0 + sol.raw_moment(2).abs()).max(sol.mean() * sol.mean());
+        prop_assert!(sol.variance() >= -1e-8 * scale, "variance {}", sol.variance());
+        // E[B²]·E[B⁴] ≥ E[B³]² (Cauchy–Schwarz on B·B²).
+        let lhs = sol.raw_moment(2) * sol.raw_moment(4);
+        let rhs = sol.raw_moment(3) * sol.raw_moment(3);
+        prop_assert!(lhs >= rhs - 1e-6 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn moments_match_rk4(model in arb_model(), t in 0.05f64..1.0) {
+        let rnd = moments(&model, 3, t, &SolverConfig::default()).unwrap();
+        let ode = moments_ode(&model, 3, t, OdeMethod::Rk4, 1500).unwrap();
+        for n in 0..=3 {
+            let scale = rnd.raw_moment(n).abs().max(1.0);
+            prop_assert!(
+                (rnd.raw_moment(n) - ode.raw_moment(n)).abs() < 1e-5 * scale,
+                "order {n}: {} vs {}", rnd.raw_moment(n), ode.raw_moment(n)
+            );
+        }
+    }
+
+    #[test]
+    fn per_state_moments_interpolate_weighted(model in arb_model(), t in 0.0f64..1.0) {
+        // The π-weighted moment is the convex combination of per-state
+        // moments — and must lie between their extremes.
+        let sol = moments(&model, 2, t, &SolverConfig::default()).unwrap();
+        for n in 0..=2 {
+            let lo = sol.per_state[n].iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = sol.per_state[n].iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            let w = sol.raw_moment(n);
+            prop_assert!(w >= lo - 1e-8 * (1.0 + lo.abs()) && w <= hi + 1e-8 * (1.0 + hi.abs()));
+        }
+    }
+
+    #[test]
+    fn time_zero_is_degenerate(model in arb_model()) {
+        let sol = moments(&model, 3, 0.0, &SolverConfig::default()).unwrap();
+        // π is normalized in floating point, so allow an ulp of slack.
+        prop_assert!((sol.raw_moment(0) - 1.0).abs() < 1e-12);
+        prop_assert_eq!(sol.raw_moment(1), 0.0);
+        prop_assert_eq!(sol.raw_moment(2), 0.0);
+    }
+
+    #[test]
+    fn error_bound_honoured_against_tighter_run(model in arb_model(), t in 0.05f64..1.5) {
+        // A run at ε = 1e-6 must agree with a run at ε = 1e-13 to within
+        // the reported bound of the looser run.
+        let loose_cfg = SolverConfig { epsilon: 1e-6, ..SolverConfig::default() };
+        let tight_cfg = SolverConfig { epsilon: 1e-13, ..SolverConfig::default() };
+        let loose = moments(&model, 3, t, &loose_cfg).unwrap();
+        let tight = moments(&model, 3, t, &tight_cfg).unwrap();
+        for n in 0..=3 {
+            let diff = (loose.raw_moment(n) - tight.raw_moment(n)).abs();
+            // The Theorem-4 bound applies to the *shifted* moments; after
+            // unshifting, binomial mixing can scale it by (1+|řt|)^n.
+            let unshift_factor = (1.0 + (loose.stats.shift * t).abs()).powi(n as i32);
+            prop_assert!(
+                diff <= loose.stats.error_bound * unshift_factor * 4.0 + 1e-12,
+                "order {n}: diff {diff} vs bound {}", loose.stats.error_bound
+            );
+        }
+    }
+
+    #[test]
+    fn variance_monotone_in_sigma(t in 0.05f64..1.5, s in 0.0f64..5.0) {
+        // Adding per-state variance increases Var[B(t)] on a fixed chain.
+        let build = |s2: f64| {
+            let mut b = GeneratorBuilder::new(2);
+            b.rate(0, 1, 1.0).unwrap();
+            b.rate(1, 0, 2.0).unwrap();
+            SecondOrderMrm::new(b.build().unwrap(), vec![0.0, 3.0], vec![s2, s2], vec![1.0, 0.0]).unwrap()
+        };
+        let a = moments(&build(s), 2, t, &SolverConfig::default()).unwrap();
+        let b = moments(&build(s + 1.0), 2, t, &SolverConfig::default()).unwrap();
+        prop_assert!(b.variance() >= a.variance() - 1e-8);
+    }
+}
