@@ -1,9 +1,11 @@
 //! Micro-benchmarks of the numerical kernels the solvers are built on.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use somrm_linalg::dense::Mat;
 use somrm_linalg::expm::expm;
-use somrm_linalg::sparse::TripletBuilder;
+use somrm_linalg::fused::FusedMomentKernel;
+use somrm_linalg::pool::WorkerPool;
+use somrm_linalg::sparse::{CsrMatrix, TripletBuilder};
 use somrm_linalg::tridiag::eigen_tridiagonal;
 use somrm_num::poisson::PoissonWindow;
 use somrm_num::Dd;
@@ -12,6 +14,15 @@ use std::hint::black_box;
 fn sparse_matvec(c: &mut Criterion) {
     // Tridiagonal 100k-state chain — the shape of the paper's large model.
     let n = 100_000;
+    let m = tridiag_matrix(n);
+    let x = vec![1.0f64; n];
+    let mut y = vec![0.0f64; n];
+    c.bench_function("csr_matvec_100k_tridiag", |bch| {
+        bch.iter(|| m.matvec_into(black_box(&x), &mut y))
+    });
+}
+
+fn tridiag_matrix(n: usize) -> CsrMatrix<f64> {
     let mut b = TripletBuilder::with_capacity(n, n, 3 * n);
     for i in 0..n {
         if i > 0 {
@@ -22,12 +33,64 @@ fn sparse_matvec(c: &mut Criterion) {
             b.push(i, i + 1, 0.3);
         }
     }
-    let m = b.build();
-    let x = vec![1.0f64; n];
+    b.build()
+}
+
+/// The tentpole comparison: per-call spawned threads vs the persistent
+/// worker pool vs the plain serial kernel, on a model above the solver's
+/// parallel threshold. The pool must beat spawn-per-call (the whole
+/// point — the solver issues tens of thousands of these per solve) and
+/// not lose to serial.
+fn matvec_thread_strategies(c: &mut Criterion) {
+    let n = 8192;
+    let m = tridiag_matrix(n);
+    let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 - 5.0).collect();
     let mut y = vec![0.0f64; n];
-    c.bench_function("csr_matvec_100k_tridiag", |bch| {
-        bch.iter(|| m.matvec_into(black_box(&x), &mut y))
+    let mut group = c.benchmark_group("csr_matvec_8192");
+    group.bench_function("serial", |b| {
+        b.iter(|| m.matvec_into(black_box(&x), &mut y))
     });
+    for &threads in &[2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("spawn_per_call", threads),
+            &threads,
+            |b, &threads| b.iter(|| m.matvec_into_parallel(black_box(&x), &mut y, threads)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pooled", threads),
+            &threads,
+            |b, &threads| {
+                let mut pool = WorkerPool::new(threads);
+                b.iter(|| m.matvec_into_pooled(black_box(&x), &mut y, &mut pool));
+            },
+        );
+    }
+    group.finish();
+}
+
+/// One fused recursion step (mat-vec + diagonal combine + weighted
+/// accumulation for all orders) across thread counts.
+fn fused_step(c: &mut Criterion) {
+    let n = 8192;
+    let order = 2;
+    let m = tridiag_matrix(n);
+    let r_prime: Vec<f64> = (0..n).map(|i| (i % 7) as f64 / 10.0).collect();
+    let s_half: Vec<f64> = (0..n).map(|i| (i % 3) as f64 / 20.0).collect();
+    let u0 = vec![1.0f64; n];
+    let active = [(0usize, 0.01f64)];
+    let mut group = c.benchmark_group("fused_step_8192_order2");
+    for &threads in &[1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let mut k =
+                    FusedMomentKernel::new(&m, &r_prime, &s_half, order, 1, &u0, threads);
+                b.iter(|| k.step(black_box(&active), true));
+            },
+        );
+    }
+    group.finish();
 }
 
 fn dense_kernels(c: &mut Criterion) {
@@ -69,5 +132,13 @@ fn num_kernels(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, sparse_matvec, dense_kernels, eigen_kernel, num_kernels);
+criterion_group!(
+    benches,
+    sparse_matvec,
+    matvec_thread_strategies,
+    fused_step,
+    dense_kernels,
+    eigen_kernel,
+    num_kernels
+);
 criterion_main!(benches);

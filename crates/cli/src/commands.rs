@@ -21,6 +21,9 @@ pub struct CommonOpts {
     pub t: f64,
     /// Solver precision ε.
     pub epsilon: f64,
+    /// Solver worker threads (results are identical for any count; only
+    /// engaged on models above the solver's parallel threshold).
+    pub threads: usize,
 }
 
 impl Default for CommonOpts {
@@ -28,6 +31,17 @@ impl Default for CommonOpts {
         CommonOpts {
             t: 1.0,
             epsilon: 1e-9,
+            threads: 1,
+        }
+    }
+}
+
+impl CommonOpts {
+    fn solver_config(&self) -> SolverConfig {
+        SolverConfig {
+            epsilon: self.epsilon,
+            threads: self.threads,
+            ..SolverConfig::default()
         }
     }
 }
@@ -37,10 +51,7 @@ fn solve(
     order: usize,
     opts: &CommonOpts,
 ) -> Result<MomentSolution, String> {
-    let cfg = SolverConfig {
-        epsilon: opts.epsilon,
-        ..SolverConfig::default()
-    };
+    let cfg = opts.solver_config();
     if parsed.has_impulses() {
         let m = parsed.clone().into_impulse_mrm().map_err(|e| e.to_string())?;
         moments_with_impulse(&m, order, opts.t, &cfg).map_err(|e| e.to_string())
@@ -211,10 +222,7 @@ pub fn cmd_sweep(
     let times: Vec<f64> = (1..=n_points)
         .map(|k| opts.t * k as f64 / n_points as f64)
         .collect();
-    let cfg = SolverConfig {
-        epsilon: opts.epsilon,
-        ..SolverConfig::default()
-    };
+    let cfg = opts.solver_config();
     let mut out = String::new();
     let _ = writeln!(out, "t,mean,stddev");
     if parsed.has_impulses() {
@@ -369,7 +377,7 @@ mod tests {
     #[test]
     fn impulse_model_moments_route() {
         let p = parse_model("states 2\nrate 0 1 2.0\nrate 1 0 2.0\nimpulse 0 1 1.0\n").unwrap();
-        let out = cmd_moments(&p, 2, &CommonOpts { t: 1.0, epsilon: 1e-9 }).unwrap();
+        let out = cmd_moments(&p, 2, &CommonOpts::default()).unwrap();
         assert!(out.contains("E[B^1]"));
         // Mean = E[#(0->1) transitions] = t/2·2 + ... > 0.
         let line = out.lines().find(|l| l.starts_with("mean")).unwrap();

@@ -26,6 +26,8 @@ options:
   --samples K     simulation paths (default 100000)
   --seed S        simulation seed (default 1)
   --eps E         solver precision (default 1e-9)
+  --threads N     solver worker threads (default 1; results are
+                  identical for any count)
 
 model file format:
   states N
@@ -56,6 +58,7 @@ fn run() -> Result<String, String> {
     let opts = CommonOpts {
         t: flag(&args, "--t", 1.0)?,
         epsilon: flag(&args, "--eps", 1e-9)?,
+        threads: flag(&args, "--threads", 1usize)?,
     };
     match cmd.as_str() {
         "check" => cmd_check(&parsed),

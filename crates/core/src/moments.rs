@@ -94,8 +94,12 @@ pub struct MomentSummary {
 pub fn summarize(raw: &[f64]) -> MomentSummary {
     assert!(raw.len() >= 3, "need raw moments up to order 2");
     let central = raw_to_central(raw);
-    let variance = central[2];
-    let sd = variance.max(0.0).sqrt();
+    // Clamp like `MomentSolution::variance()`: cancellation in
+    // E[B²] − E[B]² can leave a tiny negative value for
+    // near-deterministic rewards, which would otherwise surface as
+    // "variance = -0.000000" in user-facing output.
+    let variance = central[2].max(0.0);
+    let sd = variance.sqrt();
     let skewness = if raw.len() > 3 && sd > 0.0 {
         central[3] / (sd * sd * sd)
     } else {
@@ -176,6 +180,20 @@ mod tests {
         assert!((s.variance - 1.0).abs() < 1e-12);
         assert!((s.skewness - 2.0).abs() < 1e-10);
         assert!((s.kurtosis - 9.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn summarize_clamps_cancellation_variance_at_zero() {
+        // Deterministic reward: E[B²] − E[B]² cancels to a tiny
+        // negative value in floating point; the summary must report
+        // exactly 0.0, never -0.000000.
+        let m1 = 1.5f64;
+        let raw = [1.0, m1, m1 * m1 - 1e-15];
+        assert!(raw[2] - raw[1] * raw[1] < 0.0);
+        let s = summarize(&raw);
+        assert_eq!(s.variance, 0.0);
+        assert!(s.variance.is_sign_positive());
+        assert_eq!(s.skewness, 0.0);
     }
 
     #[test]

@@ -21,9 +21,9 @@
 use crate::error::MrmError;
 use crate::model::SecondOrderMrm;
 use crate::uniformization::{MomentSolution, SolverConfig, SolverStats};
+use somrm_linalg::FusedMomentKernel;
 use somrm_num::poisson;
 use somrm_num::special::{binomial, ln_factorial};
-use somrm_num::sum::NeumaierSum;
 
 /// Computes terminal-weighted raw moments
 /// `E[Bⁿ(t)·w_{Z(t)} | Z(0) = i]` for `n = 0 ..= order`.
@@ -138,58 +138,33 @@ pub fn moments_terminal_weighted(
         .collect();
 
     let (g_limit, error_bound) = terminal_truncation(q * t, d, order, w_max, config)?;
-    let weights = poisson::weights_upto(q * t, g_limit);
+    let weights = poisson::weights_trimmed(q * t, g_limit);
 
-    let mut u: Vec<Vec<f64>> = (0..=order)
-        .map(|j| {
-            if j == 0 {
-                terminal_weights.to_vec()
-            } else {
-                vec![0.0; n_states]
-            }
-        })
-        .collect();
-    let mut acc: Vec<Vec<NeumaierSum>> = vec![vec![NeumaierSum::new(); n_states]; order + 1];
-    let mut scratch = vec![0.0f64; n_states];
-
+    // Same fused kernel as the plain sweep, with U⁽⁰⁾(0) = w and a
+    // single time point; threads live in one pool for the whole solve.
+    let mut kernel = FusedMomentKernel::new(
+        &q_prime,
+        &r_prime,
+        &s_half,
+        order,
+        1,
+        terminal_weights,
+        config.effective_threads(n_states),
+    );
     for k in 0..=g_limit {
-        let wk = weights[k as usize];
-        if wk > 0.0 {
-            for j in 0..=order {
-                for i in 0..n_states {
-                    acc[j][i].add(wk * u[j][i]);
-                }
-            }
-        }
-        if k == g_limit {
-            break;
-        }
-        for j in (0..=order).rev() {
-            q_prime.matvec_into_parallel(&u[j], &mut scratch, config.threads);
-            if j >= 1 {
-                let (lo, hi) = u.split_at_mut(j);
-                let uj = &mut hi[0];
-                let ujm1 = &lo[j - 1];
-                if j >= 2 {
-                    let ujm2 = &lo[j - 2];
-                    for i in 0..n_states {
-                        uj[i] = scratch[i] + r_prime[i] * ujm1[i] + s_half[i] * ujm2[i];
-                    }
-                } else {
-                    for i in 0..n_states {
-                        uj[i] = scratch[i] + r_prime[i] * ujm1[i];
-                    }
-                }
-            } else {
-                u[0].copy_from_slice(&scratch);
-            }
-        }
+        let wk = weights.get(k as usize).copied().unwrap_or(0.0);
+        let active = [(0usize, wk)];
+        kernel.step(if wk > 0.0 { &active } else { &[] }, k < g_limit);
     }
 
     let shifted_moments: Vec<Vec<f64>> = (0..=order)
         .map(|j| {
             let scale = (ln_factorial(j as u64) + j as f64 * d.ln()).exp();
-            acc[j].iter().map(|a| scale * a.value()).collect()
+            kernel
+                .accumulated(0, j)
+                .iter()
+                .map(|a| scale * a.value())
+                .collect()
         })
         .collect();
     // Un-shift the *defective* moments: E[(B̌+c)ⁿ w] = Σ C(n,j)c^{n−j}E[B̌ʲ w].

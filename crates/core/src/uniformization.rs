@@ -40,6 +40,7 @@
 
 use crate::error::MrmError;
 use crate::model::SecondOrderMrm;
+use somrm_linalg::FusedMomentKernel;
 use somrm_num::poisson;
 use somrm_num::special::{binomial, ln_factorial};
 use somrm_num::sum::NeumaierSum;
@@ -54,11 +55,19 @@ pub struct SolverConfig {
     /// extreme `qt`; the bound of Theorem 4 always terminates, this cap
     /// only guards against absurd resource use).
     pub max_iterations: u64,
-    /// Worker threads for the sparse mat-vec (only engaged on models
-    /// with ≥ 4096 states; 1 = serial). The recursion itself is
-    /// inherently sequential in `k`, so this parallelizes within each
-    /// step.
+    /// Worker threads for the fused iteration kernel (1 = serial). The
+    /// recursion itself is inherently sequential in `k`, so this
+    /// parallelizes within each step: the threads are spawned **once per
+    /// solve** into a [`somrm_linalg::WorkerPool`] and parked between
+    /// iterations. Thread counts do not change results — the kernel's
+    /// fixed chunk boundaries and deterministic per-row evaluation keep
+    /// every configuration bit-identical to the serial path.
     pub threads: usize,
+    /// Minimum number of states before `threads > 1` is engaged; smaller
+    /// models run serially regardless (the parallel handshake costs more
+    /// than it saves on short rows). Lower it in tests to exercise the
+    /// pooled path on small models.
+    pub parallel_threshold: usize,
 }
 
 impl Default for SolverConfig {
@@ -67,6 +76,20 @@ impl Default for SolverConfig {
             epsilon: 1e-9,
             max_iterations: 50_000_000,
             threads: 1,
+            parallel_threshold: 4096,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The thread count the kernels actually engage for an `n_states`
+    /// model: [`SolverConfig::threads`] when at or above the
+    /// [`SolverConfig::parallel_threshold`], otherwise 1.
+    pub fn effective_threads(&self, n_states: usize) -> usize {
+        if self.threads > 1 && n_states >= self.parallel_threshold {
+            self.threads
+        } else {
+            1
         }
     }
 }
@@ -105,13 +128,20 @@ impl MomentSolution {
         self.raw_moment(1)
     }
 
-    /// The π-weighted variance `E[B²] − E[B]²`.
+    /// The π-weighted variance `E[B²] − E[B]²`, clamped at `0.0`.
+    ///
+    /// The two raw moments each carry up to `ε` truncation error plus
+    /// rounding, so for a (nearly) deterministic reward — `σ² ≈ 0`, as in
+    /// a zero-variance model or the `t → 0` limit — the subtraction can
+    /// cancel to a tiny negative value. A negative variance has no
+    /// meaning downstream (distribution bounds take `√σ²`), so it is
+    /// clamped to exactly `0.0`.
     ///
     /// # Panics
     ///
     /// Panics if the solution holds fewer than 2 moments.
     pub fn variance(&self) -> f64 {
-        self.weighted[2] - self.weighted[1] * self.weighted[1]
+        (self.weighted[2] - self.weighted[1] * self.weighted[1]).max(0.0)
     }
 
     /// The `n`-th raw moment of the **time-averaged** reward `B(t)/t`
@@ -271,68 +301,45 @@ pub fn moments_sweep(
     let t_max = times.iter().copied().fold(0.0, f64::max);
     let (g_limit, error_bound) = truncation_point(q * t_max, d, order, config)?;
 
-    // Poisson weights per time point.
+    // Poisson weights per time point, each trimmed at its own underflow
+    // tail (the global G belongs to the largest time; smaller times'
+    // weights hit exact 0.0 much earlier).
     let weights: Vec<Vec<f64>> = times
         .iter()
         .map(|&t| {
             if t == 0.0 {
                 Vec::new()
             } else {
-                poisson::weights_upto(q * t, g_limit)
+                poisson::weights_trimmed(q * t, g_limit)
             }
         })
         .collect();
 
-    // U-recursion state: U[j] for j = 0..=order, plus accumulators per
-    // (time, order).
-    let mut u: Vec<Vec<f64>> = (0..=order)
-        .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
-        .collect();
-    let mut acc: Vec<Vec<Vec<NeumaierSum>>> = times
-        .iter()
-        .map(|_| vec![vec![NeumaierSum::new(); n_states]; order + 1])
-        .collect();
-
-    let mut scratch = vec![0.0f64; n_states];
+    // U-recursion via the fused kernel: one parallel pass per iteration
+    // k covers the sparse mat-vec, the R'/½S' combine, and the weighted
+    // accumulation for every time point. The worker pool inside the
+    // kernel is created once here and dropped with it.
+    let u0 = vec![1.0; n_states];
+    let mut kernel = FusedMomentKernel::new(
+        &q_prime,
+        &r_prime,
+        &s_half,
+        order,
+        times.len(),
+        &u0,
+        config.effective_threads(n_states),
+    );
+    let mut active: Vec<(usize, f64)> = Vec::with_capacity(times.len());
     for k in 0..=g_limit {
-        // Accumulate the k-th term for every time point.
+        active.clear();
         for (ti, w) in weights.iter().enumerate() {
             let wk = w.get(k as usize).copied().unwrap_or(0.0);
             if wk > 0.0 {
-                for j in 0..=order {
-                    let uj = &u[j];
-                    let aj = &mut acc[ti][j];
-                    for i in 0..n_states {
-                        aj[i].add(wk * uj[i]);
-                    }
-                }
+                active.push((ti, wk));
             }
         }
-        if k == g_limit {
-            break;
-        }
-        // U⁽ʲ⁾ ← ½S'·U⁽ʲ⁻²⁾ + R'·U⁽ʲ⁻¹⁾ + Q'·U⁽ʲ⁾, j = order .. 0
-        // (downward so the right-hand side uses iteration-k values).
-        for j in (0..=order).rev() {
-            q_prime.matvec_into_parallel(&u[j], &mut scratch, config.threads);
-            if j >= 1 {
-                let (lo, hi) = u.split_at_mut(j);
-                let uj = &mut hi[0];
-                let ujm1 = &lo[j - 1];
-                if j >= 2 {
-                    let ujm2 = &lo[j - 2];
-                    for i in 0..n_states {
-                        uj[i] = scratch[i] + r_prime[i] * ujm1[i] + s_half[i] * ujm2[i];
-                    }
-                } else {
-                    for i in 0..n_states {
-                        uj[i] = scratch[i] + r_prime[i] * ujm1[i];
-                    }
-                }
-            } else {
-                u[0].copy_from_slice(&scratch);
-            }
-        }
+        // The final iteration only accumulates; no U(G+1) is needed.
+        kernel.step(&active, k < g_limit);
     }
 
     // Assemble solutions: scale by n!·dⁿ, un-shift, weight by π.
@@ -356,7 +363,11 @@ pub fn moments_sweep(
                 (0..=order)
                     .map(|j| {
                         let scale = (ln_factorial(j as u64) + j as f64 * d.ln()).exp();
-                        acc[ti][j].iter().map(|a| scale * a.value()).collect()
+                        kernel
+                            .accumulated(ti, j)
+                            .iter()
+                            .map(|a| scale * a.value())
+                            .collect()
                     })
                     .collect()
             };
@@ -847,6 +858,39 @@ mod tests {
         let m = two_state_model([1.0, 3.0], [0.5, 2.0]);
         let sol = moments(&m, 2, 0.0, &SolverConfig::default()).unwrap();
         let _ = sol.time_average_mean();
+    }
+
+    #[test]
+    fn variance_never_negative_for_deterministic_reward() {
+        // Unit drift, zero variance everywhere: B(t) = t surely, so the
+        // true σ² is 0 and E[B²] − E[B]² is pure cancellation noise.
+        let m = two_state_model([1.0, 1.0], [0.0, 0.0]);
+        for &t in &[0.3, 1.0, 5.0] {
+            let sol = moments(&m, 2, t, &SolverConfig::default()).unwrap();
+            assert!(sol.variance() >= 0.0, "t = {t}: {}", sol.variance());
+            assert!(sol.variance() < 1e-9, "t = {t}");
+            assert!(sol.time_average_variance() >= 0.0, "t = {t}");
+        }
+    }
+
+    #[test]
+    fn variance_clamp_regression() {
+        // Raw moments that cancel to a tiny negative value must clamp to
+        // exactly 0.0.
+        let sol = MomentSolution {
+            t: 1.0,
+            per_state: vec![vec![1.0], vec![1.0], vec![1.0 - 1e-16]],
+            weighted: vec![1.0, 1.0, 1.0 - 1e-16],
+            stats: SolverStats {
+                q: 1.0,
+                d: 1.0,
+                shift: 0.0,
+                iterations: 1,
+                error_bound: 0.0,
+            },
+        };
+        assert!(sol.weighted[2] - sol.weighted[1] * sol.weighted[1] < 0.0);
+        assert_eq!(sol.variance(), 0.0);
     }
 
     #[test]

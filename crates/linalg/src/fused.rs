@@ -1,0 +1,330 @@
+//! Fused iteration kernel for the randomization `U`-recursion.
+//!
+//! One step of the moment recursion (paper, Theorem 3)
+//!
+//! ```text
+//! U⁽ʲ⁾(k+1) = R'·U⁽ʲ⁻¹⁾(k) + ½S'·U⁽ʲ⁻²⁾(k) + Q'·U⁽ʲ⁾(k),
+//! ```
+//!
+//! followed by the Poisson-weighted accumulation of `U⁽ʲ⁾(k)` for every
+//! requested time point, was previously executed as `(order + 1)`
+//! independent parallel mat-vec calls plus a serial accumulate loop —
+//! each mat-vec paying its own thread spawns and its own sweep over the
+//! iteration vectors. [`FusedMomentKernel`] fuses the whole step into
+//! **one** parallel pass over contiguous row chunks: each chunk streams
+//! its rows once, doing the sparse dot product, the `R'`/`½S'` diagonal
+//! combine, and the weighted [`NeumaierSum`] accumulation for all orders
+//! and all time points while the data is hot in cache.
+//!
+//! The recursion reads iteration-`k` values while writing iteration
+//! `k+1`, so the kernel double-buffers the `U` block (`u_cur`/`u_next`)
+//! and chunks only ever *read* shared state and *write* their own row
+//! range — no synchronization inside a pass beyond the pool's
+//! start/finish handshake.
+//!
+//! # Determinism
+//!
+//! Results are **bit-identical** to the serial reference loop for every
+//! thread count: chunk boundaries are fixed by `(n, chunks)`
+//! ([`chunk_range`]), each row's dot product runs in CSR storage order,
+//! the diagonal combine uses the exact expression
+//! `dot + r'[i]·u⁽ʲ⁻¹⁾[i] + ½s'[i]·u⁽ʲ⁻²⁾[i]` (left-associated), and
+//! each accumulator cell receives its terms in ascending-`k` order from
+//! a single thread.
+
+use crate::pool::{chunk_range, SyncMutPtr, WorkerPool};
+use crate::sparse::CsrMatrix;
+use somrm_num::sum::NeumaierSum;
+
+/// Fused recursion + accumulation kernel over a persistent worker pool.
+///
+/// Layout: `U` vectors are flattened as `u[j·n + i]`; accumulators as
+/// `acc[(ti·(order+1) + j)·n + i]`.
+#[derive(Debug)]
+pub struct FusedMomentKernel<'a> {
+    matrix: &'a CsrMatrix<f64>,
+    r_prime: &'a [f64],
+    s_half: &'a [f64],
+    order: usize,
+    n: usize,
+    n_times: usize,
+    chunks: usize,
+    pool: Option<WorkerPool>,
+    u_cur: Vec<f64>,
+    u_next: Vec<f64>,
+    acc: Vec<NeumaierSum>,
+}
+
+impl<'a> FusedMomentKernel<'a> {
+    /// Creates the kernel with `U⁽⁰⁾(0) = u0` and `U⁽ʲ⁾(0) = 0` for
+    /// `j ≥ 1`, ready to accumulate `n_times` time points.
+    ///
+    /// `threads` is the number of row chunks (and OS threads engaged);
+    /// the worker pool is created here — once per solve — and torn down
+    /// when the kernel is dropped. `threads ≤ 1` runs fully inline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` is not square or the vector lengths disagree.
+    pub fn new(
+        matrix: &'a CsrMatrix<f64>,
+        r_prime: &'a [f64],
+        s_half: &'a [f64],
+        order: usize,
+        n_times: usize,
+        u0: &[f64],
+        threads: usize,
+    ) -> Self {
+        let n = matrix.rows();
+        assert_eq!(matrix.cols(), n, "fused kernel needs a square matrix");
+        assert_eq!(r_prime.len(), n, "r_prime length mismatch");
+        assert_eq!(s_half.len(), n, "s_half length mismatch");
+        assert_eq!(u0.len(), n, "u0 length mismatch");
+        let chunks = threads.clamp(1, n.max(1));
+        let mut u_cur = vec![0.0; (order + 1) * n];
+        u_cur[..n].copy_from_slice(u0);
+        FusedMomentKernel {
+            matrix,
+            r_prime,
+            s_half,
+            order,
+            n,
+            n_times,
+            chunks,
+            pool: (chunks > 1).then(|| WorkerPool::new(chunks)),
+            u_cur,
+            u_next: vec![0.0; (order + 1) * n],
+            acc: vec![NeumaierSum::new(); n_times * (order + 1) * n],
+        }
+    }
+
+    /// Number of row chunks (= threads engaged per pass).
+    pub fn threads(&self) -> usize {
+        self.chunks
+    }
+
+    /// One fused pass at iteration `k`: adds `wk·U⁽ʲ⁾(k)` into the
+    /// accumulators of every `(ti, wk)` in `active`, and, if `advance`,
+    /// computes `U⁽ʲ⁾(k+1)` for all `j` in the same sweep (skipped on the
+    /// final iteration `k = G`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an `active` time index is out of range.
+    pub fn step(&mut self, active: &[(usize, f64)], advance: bool) {
+        for &(ti, _) in active {
+            assert!(ti < self.n_times, "time index {ti} out of range");
+        }
+        let n = self.n;
+        let order1 = self.order + 1;
+        let chunks = self.chunks;
+        let (row_ptr, col_idx, values) = self.matrix.csr_parts();
+        let r_prime = self.r_prime;
+        let s_half = self.s_half;
+        let u_cur = &self.u_cur;
+        let u_next = SyncMutPtr::new(self.u_next.as_mut_ptr());
+        let acc = SyncMutPtr::new(self.acc.as_mut_ptr());
+        let task = |c: usize| {
+            let range = chunk_range(n, chunks, c);
+            if range.is_empty() {
+                return;
+            }
+            for &(ti, wk) in active {
+                for j in 0..order1 {
+                    let uj = &u_cur[j * n..(j + 1) * n];
+                    let base = (ti * order1 + j) * n;
+                    for i in range.clone() {
+                        // SAFETY: chunks write disjoint row ranges.
+                        unsafe { (*acc.add(base + i)).add(wk * uj[i]) };
+                    }
+                }
+            }
+            if advance {
+                for j in 0..order1 {
+                    let uj = &u_cur[j * n..(j + 1) * n];
+                    for i in range.clone() {
+                        let mut dot = 0.0;
+                        for k in row_ptr[i]..row_ptr[i + 1] {
+                            dot += values[k] * uj[col_idx[k]];
+                        }
+                        let v = if j >= 2 {
+                            dot + r_prime[i] * u_cur[(j - 1) * n + i]
+                                + s_half[i] * u_cur[(j - 2) * n + i]
+                        } else if j == 1 {
+                            dot + r_prime[i] * u_cur[i]
+                        } else {
+                            dot
+                        };
+                        // SAFETY: chunks write disjoint row ranges.
+                        unsafe { *u_next.add(j * n + i) = v };
+                    }
+                }
+            }
+        };
+        match &mut self.pool {
+            Some(pool) => pool.run(&task),
+            None => task(0),
+        }
+        if advance {
+            std::mem::swap(&mut self.u_cur, &mut self.u_next);
+        }
+    }
+
+    /// The accumulator row of `(time index, order)` — Neumaier partial
+    /// sums of `Σ_k wk·U⁽ʲ⁾(k)[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ti` or `j` is out of range.
+    pub fn accumulated(&self, ti: usize, j: usize) -> &[NeumaierSum] {
+        assert!(ti < self.n_times && j <= self.order, "accumulator index out of range");
+        let base = (ti * (self.order + 1) + j) * self.n;
+        &self.acc[base..base + self.n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::TripletBuilder;
+
+    /// Straightforward single-threaded reference implementing the same
+    /// recursion as the pre-fusion solver loop.
+    struct Reference {
+        u: Vec<Vec<f64>>,
+        acc: Vec<Vec<Vec<NeumaierSum>>>,
+    }
+
+    impl Reference {
+        fn new(n: usize, order: usize, n_times: usize, u0: &[f64]) -> Self {
+            let mut u = vec![vec![0.0; n]; order + 1];
+            u[0].copy_from_slice(u0);
+            Reference {
+                u,
+                acc: vec![vec![vec![NeumaierSum::new(); n]; order + 1]; n_times],
+            }
+        }
+
+        fn step(
+            &mut self,
+            m: &CsrMatrix<f64>,
+            r_prime: &[f64],
+            s_half: &[f64],
+            active: &[(usize, f64)],
+            advance: bool,
+        ) {
+            let n = m.rows();
+            let order = self.u.len() - 1;
+            for &(ti, wk) in active {
+                for j in 0..=order {
+                    for i in 0..n {
+                        self.acc[ti][j][i].add(wk * self.u[j][i]);
+                    }
+                }
+            }
+            if !advance {
+                return;
+            }
+            let mut scratch = vec![0.0; n];
+            for j in (0..=order).rev() {
+                m.matvec_into(&self.u[j], &mut scratch);
+                if j >= 1 {
+                    let (lo, hi) = self.u.split_at_mut(j);
+                    let uj = &mut hi[0];
+                    let ujm1 = &lo[j - 1];
+                    if j >= 2 {
+                        let ujm2 = &lo[j - 2];
+                        for i in 0..n {
+                            uj[i] = scratch[i] + r_prime[i] * ujm1[i] + s_half[i] * ujm2[i];
+                        }
+                    } else {
+                        for i in 0..n {
+                            uj[i] = scratch[i] + r_prime[i] * ujm1[i];
+                        }
+                    }
+                } else {
+                    self.u[0].copy_from_slice(&scratch);
+                }
+            }
+        }
+    }
+
+    fn test_matrix(n: usize) -> CsrMatrix<f64> {
+        let mut b = TripletBuilder::with_capacity(n, n, 4 * n);
+        for i in 0..n {
+            b.push(i, i, 0.4 + (i % 3) as f64 * 0.05);
+            if i > 0 {
+                b.push(i, i - 1, 0.2);
+            }
+            if i + 1 < n {
+                b.push(i, i + 1, 0.3);
+            }
+            b.push(i, (i * 7 + 3) % n, 0.01);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn fused_kernel_bitwise_matches_reference() {
+        let n = 257;
+        let order = 3;
+        let m = test_matrix(n);
+        let r_prime: Vec<f64> = (0..n).map(|i| (i % 9) as f64 / 10.0).collect();
+        let s_half: Vec<f64> = (0..n).map(|i| (i % 4) as f64 / 20.0).collect();
+        let u0 = vec![1.0; n];
+        let active0 = [(0usize, 0.25f64), (1, 0.5)];
+        let active1 = [(1usize, 0.125f64)];
+        for threads in [1usize, 2, 4, 8] {
+            let mut fused =
+                FusedMomentKernel::new(&m, &r_prime, &s_half, order, 2, &u0, threads);
+            let mut reference = Reference::new(n, order, 2, &u0);
+            for k in 0..30 {
+                let active: &[(usize, f64)] = if k % 2 == 0 { &active0 } else { &active1 };
+                let advance = k < 29;
+                fused.step(active, advance);
+                reference.step(&m, &r_prime, &s_half, active, advance);
+            }
+            for ti in 0..2 {
+                for j in 0..=order {
+                    let f: Vec<f64> =
+                        fused.accumulated(ti, j).iter().map(|a| a.value()).collect();
+                    let r: Vec<f64> = reference.acc[ti][j].iter().map(|a| a.value()).collect();
+                    assert_eq!(f, r, "threads {threads}, ti {ti}, j {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn order_zero_and_empty_active_work() {
+        let n = 16;
+        let m = test_matrix(n);
+        let zeros = vec![0.0; n];
+        let u0 = vec![1.0; n];
+        let mut k = FusedMomentKernel::new(&m, &zeros, &zeros, 0, 1, &u0, 2);
+        k.step(&[], true); // pure advance, no accumulation
+        k.step(&[(0, 1.0)], false);
+        let mut expect = vec![0.0; n];
+        m.matvec_into(&u0, &mut expect);
+        let got: Vec<f64> = k.accumulated(0, 0).iter().map(|a| a.value()).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn more_threads_than_rows_is_fine() {
+        let n = 3;
+        let m = test_matrix(n);
+        let zeros = vec![0.0; n];
+        let u0 = vec![1.0; n];
+        let mut k = FusedMomentKernel::new(&m, &zeros, &zeros, 1, 1, &u0, 64);
+        assert!(k.threads() <= n);
+        k.step(&[(0, 1.0)], true);
+        k.step(&[(0, 0.5)], false);
+        let got: Vec<f64> = k.accumulated(0, 0).iter().map(|a| a.value()).collect();
+        let mut au0 = vec![0.0; n];
+        m.matvec_into(&u0, &mut au0);
+        for i in 0..n {
+            assert_eq!(got[i], 1.0 * u0[i] + 0.5 * au0[i]);
+        }
+    }
+}

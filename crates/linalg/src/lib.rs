@@ -10,6 +10,12 @@
 //!   stationary analysis;
 //! * [`sparse`] — CSR sparse matrices with a triplet builder; the
 //!   randomization solver's inner loop is one sparse mat-vec per step;
+//! * [`pool`] — a persistent worker pool (threads spawned once per
+//!   solve, parked between passes) with statically-assigned chunks, so
+//!   parallel reductions stay deterministic;
+//! * [`fused`] — the fused randomization-recursion kernel: one parallel
+//!   pass per iteration covering the sparse mat-vec, the `R'`/`½S'`
+//!   diagonal combine, and the Poisson-weighted moment accumulation;
 //! * [`expm`] — matrix exponential by scaling-and-squaring with Padé(13),
 //!   generic over the scalar, used to evaluate `exp((Q − vR + v²S/2)t)`;
 //! * [`tridiag`] — symmetric tridiagonal eigensolver (implicit-shift QL)
@@ -33,7 +39,9 @@ pub mod dense;
 pub mod error;
 pub mod expm;
 pub mod fft;
+pub mod fused;
 pub mod lu;
+pub mod pool;
 pub mod scalar;
 pub mod sparse;
 pub mod thomas;
@@ -42,5 +50,7 @@ pub mod vec_ops;
 
 pub use dense::Mat;
 pub use error::LinalgError;
+pub use fused::FusedMomentKernel;
+pub use pool::WorkerPool;
 pub use scalar::{Cx, Scalar};
 pub use sparse::{CsrMatrix, TripletBuilder};

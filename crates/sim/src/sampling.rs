@@ -4,7 +4,7 @@
 //! normal reward increments — so they are implemented directly on top of
 //! `rand`'s uniform source rather than pulling in a distributions crate.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Samples `Exponential(rate)`.
 ///

@@ -1,0 +1,94 @@
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of the `proptest` API the workspace's property
+//! tests use: range and tuple strategies, `Just`, `prop::collection::vec`,
+//! the `prop_map` / `prop_flat_map` / `prop_filter` / `prop_filter_map`
+//! combinators, `ProptestConfig::with_cases`, and the `proptest!`,
+//! `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`
+//! macros.
+//!
+//! Differences from upstream, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its case number and the
+//!   failure message, not a minimized input.
+//! * **No regression persistence.** `.proptest-regressions` files are
+//!   ignored; instead each test derives a deterministic RNG seed from its
+//!   module path and name, so failures reproduce across runs.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+pub mod prop {
+    //! Mirrors the `proptest::prop` re-export module.
+
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+}
+
+pub mod arbitrary {
+    //! Placeholder for upstream's `Arbitrary` machinery (unused here).
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples(x in 0.5f64..2.0, (a, b) in (0usize..5, 10u64..20)) {
+            prop_assert!((0.5..2.0).contains(&x));
+            prop_assert!(a < 5 && (10..20).contains(&b));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+
+        #[test]
+        fn combinators_compose(v in prop::collection::vec(-1.0f64..1.0, 0..8)) {
+            prop_assert!(v.len() < 8);
+            for x in &v {
+                prop_assert!(x.abs() <= 1.0);
+            }
+        }
+
+        #[test]
+        fn flat_map_and_filter(n in (2usize..6).prop_flat_map(|n| {
+            (Just(n), crate::strategy::vec(0.0f64..1.0, n))
+        }).prop_filter("first entry below 2", |(_, v)| v.first().copied().unwrap_or(0.0) < 2.0)) {
+            let (k, v) = n;
+            prop_assert_eq!(k, v.len());
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0.0f64..1.0) {
+            prop_assume!(x > 0.25);
+            prop_assert!(x > 0.25);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_property_panics() {
+        let config = ProptestConfig::with_cases(8);
+        crate::test_runner::run_property(&config, "failing_property_panics", |rng| {
+            let x = Strategy::generate(&(0.0f64..1.0), rng).unwrap();
+            if x > 2.0 {
+                Ok(true)
+            } else {
+                Err(TestCaseError::Fail(format!("x = {x} can never exceed 2")))
+            }
+        });
+    }
+}

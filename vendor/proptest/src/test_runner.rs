@@ -1,0 +1,221 @@
+//! Test configuration, RNG and the `proptest!` family of macros.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Cap on rejected cases (filters / `prop_assume!`) before the test
+    /// errors out, expressed as a multiple of `cases`.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// Why a single case did not succeed.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed; the test panics with this message.
+    Fail(String),
+    /// The case was rejected (`prop_assume!`); the runner retries.
+    Reject(String),
+}
+
+/// Deterministic RNG for value generation (SplitMix64).
+///
+/// Seeded from the test's module path and name so runs are reproducible
+/// without regression files.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: h }
+    }
+
+    /// The next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs one property: draws inputs and evaluates the body until
+/// `config.cases` successes, panicking on the first failure.
+///
+/// `case` returns `Ok(true)` for success, `Ok(false)` when input
+/// generation was rejected, and `Err` when the body failed or assumed.
+pub fn run_property<F>(config: &ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<bool, TestCaseError>,
+{
+    let mut rng = TestRng::from_name(name);
+    let mut successes: u32 = 0;
+    let mut rejects: u64 = 0;
+    let max_rejects =
+        (config.cases as u64) * (config.max_global_rejects as u64).max(1) + 1024;
+    while successes < config.cases {
+        match case(&mut rng) {
+            Ok(true) => successes += 1,
+            Ok(false) | Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                assert!(
+                    rejects < max_rejects,
+                    "property `{name}`: too many rejected cases \
+                     ({rejects} rejects for {successes} successes)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "property `{name}` failed at case {} (seeded from the test \
+                     name; re-run to reproduce):\n{msg}",
+                    successes + 1
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests. Mirrors proptest's macro of the same name.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let full_name = concat!(module_path!(), "::", stringify!($name));
+                $crate::test_runner::run_property(&config, full_name, |rng| {
+                    $(
+                        let $arg = match $crate::strategy::Strategy::generate(
+                            &($strat),
+                            rng,
+                        ) {
+                            Some(v) => v,
+                            None => return Ok(false),
+                        };
+                    )+
+                    let outcome: std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            Ok(())
+                        })();
+                    outcome.map(|()| true)
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*l != *r, $($fmt)*);
+    }};
+}
+
+/// Rejects the current case without failing the test.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
