@@ -73,8 +73,26 @@ impl CdfBound {
 /// assert!(b.lower <= exact && exact <= b.upper);
 /// ```
 pub fn cdf_bounds<T: Real>(moments: &[f64], xs: &[f64]) -> Result<Vec<CdfBound>, BoundsError> {
-    let std = StandardizedMoments::<T>::new(moments)?;
-    let rec = chebyshev::<T>(&std.standardized)?;
+    cdf_bounds_recorded::<T>(moments, xs, &somrm_obs::RecorderHandle::disabled())
+}
+
+/// [`cdf_bounds`] with stage timings emitted to `recorder`.
+///
+/// The stages are `bounds.standardize` (moment standardization in `T`),
+/// `bounds.chebyshev` (moment-to-recurrence conversion), and
+/// `bounds.envelope` (one fixed-node rule per query point). A disabled
+/// recorder reduces to [`cdf_bounds`] — same results, one branch per
+/// stage of extra cost.
+pub fn cdf_bounds_recorded<T: Real>(
+    moments: &[f64],
+    xs: &[f64],
+    recorder: &somrm_obs::RecorderHandle,
+) -> Result<Vec<CdfBound>, BoundsError> {
+    let std = recorder.time("bounds.standardize", || {
+        StandardizedMoments::<T>::new(moments)
+    })?;
+    let rec = recorder.time("bounds.chebyshev", || chebyshev::<T>(&std.standardized))?;
+    let _envelope = recorder.span("bounds.envelope");
     // If the recursion truncated because the distribution is *exactly*
     // atomic (finitely many support points), the Gauss rule at the
     // achieved depth reproduces every supplied moment and IS the
@@ -341,6 +359,26 @@ mod tests {
         let bounds = cdf_bounds::<Dd>(&m, &[-50.0, 50.0]).unwrap();
         assert!(bounds[0].upper < 0.01);
         assert!(bounds[1].lower > 0.99);
+    }
+
+    #[test]
+    fn recorded_variant_matches_and_times_stages() {
+        use somrm_obs::{MetricsRegistry, Recorder, RecorderHandle};
+        use std::sync::Arc;
+        let m = normal_raw_moments(0.0, 1.0, 12);
+        let xs = [0.0, 1.0];
+        let plain = cdf_bounds::<Dd>(&m, &xs).unwrap();
+        let registry = Arc::new(MetricsRegistry::new());
+        let handle = RecorderHandle::new(Arc::clone(&registry) as Arc<dyn Recorder>);
+        let recorded = cdf_bounds_recorded::<Dd>(&m, &xs, &handle).unwrap();
+        assert_eq!(plain, recorded);
+        let snap = registry.snapshot();
+        for stage in ["bounds.standardize", "bounds.chebyshev", "bounds.envelope"] {
+            let timing = snap
+                .timing(stage)
+                .unwrap_or_else(|| panic!("missing stage {stage}"));
+            assert_eq!(timing.count, 1);
+        }
     }
 
     #[test]

@@ -3,19 +3,21 @@
 use crate::format::ParsedModel;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use somrm_bounds::cms::cdf_bounds;
+use somrm_bounds::cms::cdf_bounds_recorded;
 use somrm_bounds::reconstruct::gauss_mixture_cdf;
 use somrm_core::impulse::moments_with_impulse;
 use somrm_core::moments::summarize;
 use somrm_core::uniformization::{moments, MomentSolution, SolverConfig};
 use somrm_ctmc::stationary::stationary_gth;
 use somrm_num::Dd;
+use somrm_obs::{MetricsRegistry, Recorder, RecorderHandle, SolveReport, TraceRecorder};
 use somrm_sim::reward::{estimate_moments, estimate_moments_impulse};
 use somrm_transform::{density_at, TransformConfig};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 /// Options shared by the analysis commands.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CommonOpts {
     /// Accumulation time.
     pub t: f64,
@@ -24,6 +26,13 @@ pub struct CommonOpts {
     /// Solver worker threads (results are identical for any count; only
     /// engaged on models above the solver's parallel threshold).
     pub threads: usize,
+    /// `--metrics` destination: `Some("-")` replaces the human-readable
+    /// output with the JSON [`SolveReport`] on stdout; `Some(path)`
+    /// writes the JSON to `path` and keeps the human output.
+    pub metrics: Option<String>,
+    /// `--trace`: print span open/close lines with timings to stderr
+    /// while the solver runs.
+    pub trace: bool,
 }
 
 impl Default for CommonOpts {
@@ -32,15 +41,33 @@ impl Default for CommonOpts {
             t: 1.0,
             epsilon: 1e-9,
             threads: 1,
+            metrics: None,
+            trace: false,
         }
     }
 }
 
 impl CommonOpts {
-    fn solver_config(&self) -> SolverConfig {
+    /// Builds the recorder for one command invocation. A `--trace` run
+    /// uses the live [`TraceRecorder`] (which also aggregates, so
+    /// `--metrics` composes with it); a `--metrics`-only run aggregates
+    /// silently; otherwise recording is disabled and the solver pays a
+    /// single predictable branch per instrumentation point.
+    fn telemetry(&self) -> RecorderHandle {
+        if self.trace {
+            RecorderHandle::new(Arc::new(TraceRecorder::new()) as Arc<dyn Recorder>)
+        } else if self.metrics.is_some() {
+            RecorderHandle::new(Arc::new(MetricsRegistry::new()) as Arc<dyn Recorder>)
+        } else {
+            RecorderHandle::disabled()
+        }
+    }
+
+    fn solver_config(&self, rec: &RecorderHandle) -> SolverConfig {
         SolverConfig {
             epsilon: self.epsilon,
             threads: self.threads,
+            recorder: rec.clone(),
             ..SolverConfig::default()
         }
     }
@@ -50,8 +77,9 @@ fn solve(
     parsed: &ParsedModel,
     order: usize,
     opts: &CommonOpts,
+    rec: &RecorderHandle,
 ) -> Result<MomentSolution, String> {
-    let cfg = opts.solver_config();
+    let cfg = opts.solver_config(rec);
     if parsed.has_impulses() {
         let m = parsed.clone().into_impulse_mrm().map_err(|e| e.to_string())?;
         moments_with_impulse(&m, order, opts.t, &cfg).map_err(|e| e.to_string())
@@ -60,12 +88,44 @@ fn solve(
     }
 }
 
+/// Routes a finished command's output according to `--metrics`.
+///
+/// The report is the solver-attached one when a solve ran (it carries
+/// the full solver section), or a fresh solver-less report otherwise;
+/// either way its metrics are re-snapshotted here so stages recorded
+/// *after* the solve (e.g. the CDF-bound stages) are included.
+fn emit(
+    opts: &CommonOpts,
+    rec: &RecorderHandle,
+    command: &str,
+    report: Option<&Arc<SolveReport>>,
+    human: String,
+) -> Result<String, String> {
+    let Some(dest) = &opts.metrics else {
+        return Ok(human);
+    };
+    let mut report = match report {
+        Some(r) => (**r).clone(),
+        None => SolveReport::new(command),
+    };
+    report.set_metrics(rec.snapshot().unwrap_or_default());
+    let json = report.to_json();
+    if dest == "-" {
+        Ok(format!("{json}\n"))
+    } else {
+        std::fs::write(dest, format!("{json}\n"))
+            .map_err(|e| format!("cannot write {dest}: {e}"))?;
+        Ok(human)
+    }
+}
+
 /// `somrm check`: validates the model and prints structural facts.
 ///
 /// # Errors
 ///
 /// Returns a human-readable message on analysis failure.
-pub fn cmd_check(parsed: &ParsedModel) -> Result<String, String> {
+pub fn cmd_check(parsed: &ParsedModel, opts: &CommonOpts) -> Result<String, String> {
+    let rec = opts.telemetry();
     let m = &parsed.model;
     let mut out = String::new();
     let _ = writeln!(out, "states            : {}", m.n_states());
@@ -100,7 +160,7 @@ pub fn cmd_check(parsed: &ParsedModel) -> Result<String, String> {
             let _ = writeln!(out, "long-run rate     : (chain not irreducible)");
         }
     }
-    Ok(out)
+    emit(opts, &rec, "check", None, out)
 }
 
 /// `somrm moments`: raw moments and summary statistics at time `t`.
@@ -113,12 +173,18 @@ pub fn cmd_moments(
     order: usize,
     opts: &CommonOpts,
 ) -> Result<String, String> {
-    let sol = solve(parsed, order.max(2), opts)?;
+    let rec = opts.telemetry();
+    let sol = solve(parsed, order.max(2), opts, &rec)?;
     let mut out = String::new();
     let _ = writeln!(out, "t = {}, solver iterations G = {}, error bound {:.2e}",
         opts.t, sol.stats.iterations, sol.stats.error_bound);
     for n in 0..=order {
-        let _ = writeln!(out, "E[B^{n}] = {:.12e}", sol.raw_moment(n));
+        let _ = writeln!(
+            out,
+            "E[B^{n}] = {:.12e}  (bound {:.2e})",
+            sol.raw_moment(n),
+            sol.error_bound(n)
+        );
     }
     let s = summarize(&sol.weighted);
     let _ = writeln!(out, "mean      = {:.6}", s.mean);
@@ -129,7 +195,7 @@ pub fn cmd_moments(
     if order >= 4 {
         let _ = writeln!(out, "kurtosis  = {:.6}", s.kurtosis);
     }
-    Ok(out)
+    emit(opts, &rec, "moments", sol.report.as_ref(), out)
 }
 
 /// `somrm bounds`: CDF envelope (and moment-matched estimate) on a grid.
@@ -143,7 +209,11 @@ pub fn cmd_bounds(
     n_points: usize,
     opts: &CommonOpts,
 ) -> Result<String, String> {
-    let sol = solve(parsed, n_moments.max(3), opts)?;
+    if n_points < 2 {
+        return Err("need at least 2 grid points".to_string());
+    }
+    let rec = opts.telemetry();
+    let sol = solve(parsed, n_moments.max(3), opts, &rec)?;
     let mean = sol.mean();
     let sd = sol.variance().max(0.0).sqrt();
     if sd == 0.0 {
@@ -152,7 +222,8 @@ pub fn cmd_bounds(
     let xs: Vec<f64> = (0..n_points)
         .map(|k| mean + sd * (k as f64 / (n_points - 1).max(1) as f64 * 8.0 - 4.0))
         .collect();
-    let bounds = cdf_bounds::<Dd>(&sol.weighted, &xs).map_err(|e| e.to_string())?;
+    let bounds =
+        cdf_bounds_recorded::<Dd>(&sol.weighted, &xs, &rec).map_err(|e| e.to_string())?;
     let estimate = gauss_mixture_cdf::<Dd>(&sol.weighted, &xs).map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(
@@ -168,7 +239,7 @@ pub fn cmd_bounds(
             b.x, b.lower, b.upper, estimate[i]
         );
     }
-    Ok(out)
+    emit(opts, &rec, "bounds", sol.report.as_ref(), out)
 }
 
 /// `somrm simulate`: Monte-Carlo moment estimates with standard errors.
@@ -186,6 +257,8 @@ pub fn cmd_simulate(
     if samples < 2 {
         return Err("need at least 2 samples".to_string());
     }
+    let rec = opts.telemetry();
+    let sim = rec.span("simulate.paths");
     let mut rng = StdRng::seed_from_u64(seed);
     let est = if parsed.has_impulses() {
         let m = parsed.clone().into_impulse_mrm().map_err(|e| e.to_string())?;
@@ -193,6 +266,7 @@ pub fn cmd_simulate(
     } else {
         estimate_moments(&mut rng, &parsed.model, order, opts.t, samples)
     };
+    drop(sim);
     let mut out = String::new();
     let _ = writeln!(out, "{samples} paths, seed {seed}, t = {}", opts.t);
     for n in 0..=order {
@@ -202,7 +276,7 @@ pub fn cmd_simulate(
             est.estimates[n], est.std_errors[n]
         );
     }
-    Ok(out)
+    emit(opts, &rec, "simulate", None, out)
 }
 
 /// `somrm sweep`: mean and standard deviation of `B(t)` over a time
@@ -219,17 +293,20 @@ pub fn cmd_sweep(
     if n_points < 2 {
         return Err("need at least 2 sweep points".to_string());
     }
+    let rec = opts.telemetry();
     let times: Vec<f64> = (1..=n_points)
         .map(|k| opts.t * k as f64 / n_points as f64)
         .collect();
-    let cfg = opts.solver_config();
+    let cfg = opts.solver_config(&rec);
     let mut out = String::new();
+    let mut report = None;
     let _ = writeln!(out, "t,mean,stddev");
     if parsed.has_impulses() {
         let m = parsed.clone().into_impulse_mrm().map_err(|e| e.to_string())?;
         for &t in &times {
             let sol = moments_with_impulse(&m, 2, t, &cfg).map_err(|e| e.to_string())?;
             let _ = writeln!(out, "{t},{},{}", sol.mean(), sol.variance().max(0.0).sqrt());
+            report = sol.report;
         }
     } else {
         let sweep = somrm_core::uniformization::moments_sweep(&parsed.model, 2, &times, &cfg)
@@ -237,8 +314,9 @@ pub fn cmd_sweep(
         for sol in &sweep {
             let _ = writeln!(out, "{},{},{}", sol.t, sol.mean(), sol.variance().max(0.0).sqrt());
         }
+        report = sweep.last().and_then(|s| s.report.clone());
     }
-    Ok(out)
+    emit(opts, &rec, "sweep", report.as_ref(), out)
 }
 
 /// `somrm density`: the reward density on a grid (transform inversion;
@@ -254,6 +332,9 @@ pub fn cmd_density(
     n_points: usize,
     opts: &CommonOpts,
 ) -> Result<String, String> {
+    if n_points < 2 {
+        return Err("need at least 2 grid points".to_string());
+    }
     if parsed.has_impulses() {
         return Err("density: impulse models are not supported by the transform route".into());
     }
@@ -263,25 +344,23 @@ pub fn cmd_density(
             parsed.model.n_states()
         ));
     }
-    let sol = solve(parsed, 2, opts)?;
+    let rec = opts.telemetry();
+    let sol = solve(parsed, 2, opts, &rec)?;
     let mean = sol.mean();
     let sd = sol.variance().max(1e-12).sqrt();
     let xs: Vec<f64> = (0..n_points)
         .map(|k| mean + sd * (k as f64 / (n_points - 1).max(1) as f64 * 10.0 - 5.0))
         .collect();
-    let d = density_at(
-        &parsed.model,
-        opts.t,
-        &xs,
-        &TransformConfig::default(),
-    )
+    let d = rec.time("density.transform", || {
+        density_at(&parsed.model, opts.t, &xs, &TransformConfig::default())
+    })
     .map_err(|e| e.to_string())?;
     let mut out = String::new();
     let _ = writeln!(out, "{:>14} {:>14}", "x", "density");
     for (i, &x) in xs.iter().enumerate() {
         let _ = writeln!(out, "{:>14.6} {:>14.8}", x, d[i]);
     }
-    Ok(out)
+    emit(opts, &rec, "density", sol.report.as_ref(), out)
 }
 
 #[cfg(test)]
@@ -297,7 +376,7 @@ mod tests {
 
     #[test]
     fn check_reports_structure() {
-        let out = cmd_check(&parsed()).unwrap();
+        let out = cmd_check(&parsed(), &CommonOpts::default()).unwrap();
         assert!(out.contains("states            : 2"));
         assert!(out.contains("second"));
         assert!(out.contains("long-run rate     : 1"));
@@ -322,7 +401,9 @@ mod tests {
     #[test]
     fn simulate_agrees_with_moments() {
         let opts = CommonOpts::default();
-        let exact = solve(&parsed(), 1, &opts).unwrap().mean();
+        let exact = solve(&parsed(), 1, &opts, &RecorderHandle::disabled())
+            .unwrap()
+            .mean();
         let out = cmd_simulate(&parsed(), 1, 20_000, 1, &opts).unwrap();
         // Extract E[B^1] from the printed line.
         let line = out.lines().find(|l| l.starts_with("E[B^1]")).unwrap();
@@ -372,6 +453,64 @@ mod tests {
     fn density_outputs_grid() {
         let out = cmd_density(&parsed(), 11, &CommonOpts::default()).unwrap();
         assert_eq!(out.lines().count(), 12);
+    }
+
+    #[test]
+    fn points_guard_is_uniform_across_grid_commands() {
+        let opts = CommonOpts::default();
+        for n in [0usize, 1] {
+            assert!(cmd_bounds(&parsed(), 12, n, &opts).is_err(), "bounds --points {n}");
+            assert!(cmd_density(&parsed(), n, &opts).is_err(), "density --points {n}");
+            assert!(cmd_sweep(&parsed(), n, &opts).is_err(), "sweep --points {n}");
+        }
+    }
+
+    #[test]
+    fn metrics_stdout_replaces_output_with_json() {
+        let opts = CommonOpts {
+            metrics: Some("-".to_string()),
+            ..CommonOpts::default()
+        };
+        let out = cmd_moments(&parsed(), 3, &opts).unwrap();
+        let v = somrm_obs::json::parse(&out).expect("valid JSON");
+        assert_eq!(v.get("command").and_then(|c| c.as_str()), Some("moments"));
+        assert!(v.get("G").and_then(|g| g.as_f64()).unwrap() > 0.0);
+        assert!(v.get("error_bound").and_then(|b| b.as_f64()).unwrap() < 1e-9);
+        assert_eq!(v.get("threads").and_then(|t| t.as_f64()), Some(1.0));
+    }
+
+    #[test]
+    fn metrics_file_keeps_human_output() {
+        let path = std::env::temp_dir().join("somrm-cli-metrics-test.json");
+        let opts = CommonOpts {
+            metrics: Some(path.display().to_string()),
+            ..CommonOpts::default()
+        };
+        let out = cmd_moments(&parsed(), 2, &opts).unwrap();
+        assert!(out.contains("E[B^1]"), "human output preserved");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let v = somrm_obs::json::parse(&text).expect("valid JSON file");
+        assert_eq!(v.get("command").and_then(|c| c.as_str()), Some("moments"));
+    }
+
+    #[test]
+    fn metrics_without_solver_emits_null_solver_fields() {
+        let opts = CommonOpts {
+            metrics: Some("-".to_string()),
+            ..CommonOpts::default()
+        };
+        let out = cmd_check(&parsed(), &opts).unwrap();
+        let v = somrm_obs::json::parse(&out).expect("valid JSON");
+        assert_eq!(v.get("command").and_then(|c| c.as_str()), Some("check"));
+        assert!(matches!(v.get("G"), Some(somrm_obs::json::Value::Null)));
+    }
+
+    #[test]
+    fn moments_prints_per_order_bounds() {
+        let out = cmd_moments(&parsed(), 3, &CommonOpts::default()).unwrap();
+        let bound_lines = out.lines().filter(|l| l.contains("(bound ")).count();
+        assert_eq!(bound_lines, 4);
     }
 
     #[test]

@@ -28,6 +28,9 @@ options:
   --eps E         solver precision (default 1e-9)
   --threads N     solver worker threads (default 1; results are
                   identical for any count)
+  --metrics DEST  emit the JSON solve report; DEST '-' replaces the
+                  normal output on stdout, anything else is a file path
+  --trace         print solver stage timings to stderr as they happen
 
 model file format:
   states N
@@ -47,6 +50,23 @@ fn flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result
     }
 }
 
+/// Valueless boolean flag: present or absent.
+fn switch(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Optional-valued flag (`--metrics -` or `--metrics report.json`).
+fn opt_flag(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("missing value after {name}")),
+    }
+}
+
 fn run() -> Result<String, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (cmd, file) = match (args.first(), args.get(1)) {
@@ -59,9 +79,11 @@ fn run() -> Result<String, String> {
         t: flag(&args, "--t", 1.0)?,
         epsilon: flag(&args, "--eps", 1e-9)?,
         threads: flag(&args, "--threads", 1usize)?,
+        metrics: opt_flag(&args, "--metrics")?,
+        trace: switch(&args, "--trace"),
     };
     match cmd.as_str() {
-        "check" => cmd_check(&parsed),
+        "check" => cmd_check(&parsed, &opts),
         "moments" => cmd_moments(&parsed, flag(&args, "--order", 3usize)?, &opts),
         "bounds" => cmd_bounds(
             &parsed,

@@ -12,10 +12,12 @@
 
 use crate::error::MrmError;
 use crate::model::SecondOrderMrm;
-use crate::uniformization::{MomentSolution, SolverConfig, SolverStats};
+use crate::uniformization::{poisson_accounting, MomentSolution, SolverConfig, SolverStats};
 use somrm_num::poisson;
 use somrm_num::special::ln_factorial;
 use somrm_num::sum::NeumaierSum;
+use somrm_obs::{SolveReport, SolverSection};
+use std::sync::Arc;
 
 /// Computes raw moments `0 ..= order` of a **first-order** model at time
 /// `t` with the classical (variance-free) randomization recursion.
@@ -79,16 +81,30 @@ pub fn moments_first_order(
         return crate::uniformization::moments(model, order, t, config);
     }
 
+    let rec = &config.recorder;
     let d = max_rate / q;
-    let q_prime = model
-        .generator()
-        .uniformized_kernel(q)
-        .expect("q > 0 checked above");
-    let r_prime: Vec<f64> = shifted.iter().map(|&r| r / (q * d)).collect();
+    let (q_prime, r_prime) = rec.time("solve.setup", || {
+        let q_prime = model
+            .generator()
+            .uniformized_kernel(q)
+            .expect("q > 0 checked above");
+        let r_prime: Vec<f64> = shifted.iter().map(|&r| r / (q * d)).collect();
+        (q_prime, r_prime)
+    });
 
     let qt = q * t;
-    let (g_limit, error_bound) = first_order_truncation(qt, d, order, config)?;
-    let weights = poisson::weights_upto(qt, g_limit);
+    let (g_limit, error_bounds) =
+        rec.time("solve.truncation", || first_order_truncation(qt, d, order, config))?;
+    let error_bound = error_bounds.iter().copied().fold(0.0, f64::max);
+    if rec.enabled() {
+        rec.gauge_set("solver.q", q);
+        rec.gauge_set("solver.d", d);
+        rec.gauge_set("solver.qt", qt);
+        rec.gauge_set("solver.shift", shift);
+        rec.gauge_set("solver.g", g_limit as f64);
+        rec.gauge_set("solver.error_bound", error_bound);
+    }
+    let weights = rec.time("solve.poisson", || poisson::weights_upto(qt, g_limit));
 
     let mut u: Vec<Vec<f64>> = (0..=order)
         .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
@@ -96,6 +112,7 @@ pub fn moments_first_order(
     let mut acc: Vec<Vec<NeumaierSum>> = vec![vec![NeumaierSum::new(); n_states]; order + 1];
     let mut scratch = vec![0.0f64; n_states];
 
+    let recursion = rec.span("solve.recursion");
     for k in 0..=g_limit {
         let wk = weights[k as usize];
         if wk > 0.0 {
@@ -122,7 +139,9 @@ pub fn moments_first_order(
             }
         }
     }
+    drop(recursion);
 
+    let assemble = rec.span("solve.assemble");
     let shifted_moments: Vec<Vec<f64>> = (0..=order)
         .map(|j| {
             let scale = (ln_factorial(j as u64) + j as f64 * d.ln()).exp();
@@ -130,7 +149,7 @@ pub fn moments_first_order(
         })
         .collect();
     let per_state = unshift(&shifted_moments, shift, t);
-    let weighted = (0..=order)
+    let weighted: Vec<f64> = (0..=order)
         .map(|j| {
             per_state[j]
                 .iter()
@@ -139,6 +158,32 @@ pub fn moments_first_order(
                 .sum()
         })
         .collect();
+    drop(assemble);
+
+    let report = rec.enabled().then(|| {
+        Arc::new(SolveReport {
+            command: "first_order".to_string(),
+            solver: Some(SolverSection {
+                q,
+                d,
+                qt,
+                shift,
+                g: g_limit,
+                max_iterations: config.max_iterations,
+                epsilon: config.epsilon,
+                order,
+                n_states,
+                n_times: 1,
+                threads: 1,
+                error_bound,
+                error_bounds: error_bounds.clone(),
+                poisson: poisson_accounting(&[t], std::slice::from_ref(&weights), g_limit),
+            }),
+            pool: None,
+            metrics: rec.snapshot().unwrap_or_default(),
+        })
+    });
+
     Ok(MomentSolution {
         t,
         per_state,
@@ -150,6 +195,8 @@ pub fn moments_first_order(
             iterations: g_limit,
             error_bound,
         },
+        error_bounds,
+        report,
     })
 }
 
@@ -162,7 +209,7 @@ fn first_order_truncation(
     d: f64,
     order: usize,
     config: &SolverConfig,
-) -> Result<(u64, f64), MrmError> {
+) -> Result<(u64, Vec<f64>), MrmError> {
     let ln_front: Vec<f64> = (0..=order)
         .map(|j| {
             std::f64::consts::LN_2
@@ -172,16 +219,17 @@ fn first_order_truncation(
         })
         .collect();
     let ln_eps = config.epsilon.ln();
+    let ln_bound_order = |g: u64, j: usize| {
+        let tail = if g >= j as u64 {
+            poisson::ln_tail_above(qt, g - j as u64)
+        } else {
+            0.0 // P[Pois > negative] = 1
+        };
+        ln_front[j] + tail
+    };
     let ln_bound = |g: u64| {
         (0..=order)
-            .map(|j| {
-                let tail = if g >= j as u64 {
-                    poisson::ln_tail_above(qt, g - j as u64)
-                } else {
-                    0.0 // P[Pois > negative] = 1
-                };
-                ln_front[j] + tail
-            })
+            .map(|j| ln_bound_order(g, j))
             .fold(f64::NEG_INFINITY, f64::max)
     };
     let mut hi = (qt as u64).max(16);
@@ -205,7 +253,8 @@ fn first_order_truncation(
             lo = mid + 1;
         }
     }
-    Ok((hi, ln_bound(hi).exp()))
+    let per_order = (0..=order).map(|j| ln_bound_order(hi, j).exp()).collect();
+    Ok((hi, per_order))
 }
 
 fn unshift(shifted: &[Vec<f64>], shift: f64, t: f64) -> Vec<Vec<f64>> {

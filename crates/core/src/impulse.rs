@@ -37,11 +37,13 @@
 
 use crate::error::MrmError;
 use crate::model::SecondOrderMrm;
-use crate::uniformization::{MomentSolution, SolverConfig, SolverStats};
+use crate::uniformization::{poisson_accounting, MomentSolution, SolverConfig, SolverStats};
 use somrm_linalg::sparse::{CsrMatrix, TripletBuilder};
 use somrm_num::poisson;
 use somrm_num::special::ln_factorial;
 use somrm_num::sum::NeumaierSum;
+use somrm_obs::{SolveReport, SolverSection};
+use std::sync::Arc;
 
 /// A second-order Markov reward model extended with deterministic
 /// impulse rewards at transitions.
@@ -184,6 +186,8 @@ pub fn moments_with_impulse(
         .max(max_sigma / q.sqrt())
         .max(model.max_impulse);
 
+    let rec = &config.recorder;
+    let setup = rec.span("solve.setup");
     let q_prime = base
         .generator()
         .uniformized_kernel(q)
@@ -208,13 +212,27 @@ pub fn moments_with_impulse(
         }
         q_l.push(b.build());
     }
+    drop(setup);
 
-    let (g_limit, error_bound) = impulse_truncation(q * t, d, order, config)?;
-    let weights = if t == 0.0 {
-        Vec::new()
-    } else {
-        poisson::weights_upto(q * t, g_limit)
-    };
+    let qt = q * t;
+    let (g_limit, error_bounds) =
+        rec.time("solve.truncation", || impulse_truncation(qt, d, order, config))?;
+    let error_bound = error_bounds.iter().copied().fold(0.0, f64::max);
+    if rec.enabled() {
+        rec.gauge_set("solver.q", q);
+        rec.gauge_set("solver.d", d);
+        rec.gauge_set("solver.qt", qt);
+        rec.gauge_set("solver.shift", shift);
+        rec.gauge_set("solver.g", g_limit as f64);
+        rec.gauge_set("solver.error_bound", error_bound);
+    }
+    let weights = rec.time("solve.poisson", || {
+        if t == 0.0 {
+            Vec::new()
+        } else {
+            poisson::weights_upto(qt, g_limit)
+        }
+    });
 
     let mut u: Vec<Vec<f64>> = (0..=order)
         .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
@@ -223,6 +241,7 @@ pub fn moments_with_impulse(
     let mut scratch = vec![0.0f64; n_states];
     let mut scratch2 = vec![0.0f64; n_states];
 
+    let recursion = rec.span("solve.recursion");
     for k in 0..=g_limit {
         let wk = weights.get(k as usize).copied().unwrap_or(0.0);
         if wk > 0.0 {
@@ -264,6 +283,9 @@ pub fn moments_with_impulse(
         }
     }
 
+    drop(recursion);
+
+    let assemble = rec.span("solve.assemble");
     let shifted_moments: Vec<Vec<f64>> = if t == 0.0 {
         (0..=order)
             .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
@@ -286,6 +308,30 @@ pub fn moments_with_impulse(
                 .sum()
         })
         .collect();
+    drop(assemble);
+    let report = rec.enabled().then(|| {
+        Arc::new(SolveReport {
+            command: "impulse".to_string(),
+            solver: Some(SolverSection {
+                q,
+                d,
+                qt,
+                shift,
+                g: g_limit,
+                max_iterations: config.max_iterations,
+                epsilon: config.epsilon,
+                order,
+                n_states,
+                n_times: 1,
+                threads: 1,
+                error_bound,
+                error_bounds: error_bounds.clone(),
+                poisson: poisson_accounting(&[t], std::slice::from_ref(&weights), g_limit),
+            }),
+            pool: None,
+            metrics: rec.snapshot().unwrap_or_default(),
+        })
+    });
     Ok(MomentSolution {
         t,
         per_state,
@@ -297,6 +343,8 @@ pub fn moments_with_impulse(
             iterations: g_limit,
             error_bound,
         },
+        error_bounds,
+        report,
     })
 }
 
@@ -308,9 +356,9 @@ fn impulse_truncation(
     d: f64,
     order: usize,
     config: &SolverConfig,
-) -> Result<(u64, f64), MrmError> {
+) -> Result<(u64, Vec<f64>), MrmError> {
     if qt == 0.0 {
-        return Ok((0, 0.0));
+        return Ok((0, vec![0.0; order + 1]));
     }
     let ln_front: Vec<f64> = (0..=order)
         .map(|j| {
@@ -321,16 +369,17 @@ fn impulse_truncation(
         })
         .collect();
     let ln_eps = config.epsilon.ln();
+    let ln_bound_order = |g: u64, j: usize| {
+        let tail = if g >= j as u64 {
+            poisson::ln_tail_above(qt, g - j as u64)
+        } else {
+            0.0
+        };
+        ln_front[j] + tail
+    };
     let ln_bound = |g: u64| {
         (0..=order)
-            .map(|j| {
-                let tail = if g >= j as u64 {
-                    poisson::ln_tail_above(qt, g - j as u64)
-                } else {
-                    0.0
-                };
-                ln_front[j] + tail
-            })
+            .map(|j| ln_bound_order(g, j))
             .fold(f64::NEG_INFINITY, f64::max)
     };
     let mut hi = (qt as u64).max(16);
@@ -354,7 +403,11 @@ fn impulse_truncation(
             lo = mid + 1;
         }
     }
-    Ok((hi.max(2 * order as u64), ln_bound(hi).exp()))
+    // The bound derivation needs G ≥ 2·order; the per-order bounds are
+    // evaluated at the G actually used (raising G only tightens them).
+    let g = hi.max(2 * order as u64);
+    let per_order = (0..=order).map(|j| ln_bound_order(g, j).exp()).collect();
+    Ok((g, per_order))
 }
 
 fn unshift(shifted: &[Vec<f64>], shift: f64, t: f64) -> Vec<Vec<f64>> {

@@ -20,10 +20,14 @@
 
 use crate::error::MrmError;
 use crate::model::SecondOrderMrm;
-use crate::uniformization::{MomentSolution, SolverConfig, SolverStats};
+use crate::uniformization::{
+    poisson_accounting, pool_section, MomentSolution, SolverConfig, SolverStats,
+};
 use somrm_linalg::FusedMomentKernel;
 use somrm_num::poisson;
 use somrm_num::special::{binomial, ln_factorial};
+use somrm_obs::{SolveReport, SolverSection};
+use std::sync::Arc;
 
 /// Computes terminal-weighted raw moments
 /// `E[Bⁿ(t)·w_{Z(t)} | Z(0) = i]` for `n = 0 ..= order`.
@@ -119,26 +123,43 @@ pub fn moments_terminal_weighted(
             per_state,
             weighted,
             stats: plain.stats,
+            error_bounds: plain.error_bounds.clone(),
+            report: plain.report.clone(),
         });
     }
 
+    let rec = &config.recorder;
     let max_rate = shifted_rates.iter().copied().fold(0.0, f64::max);
     let max_sigma = model.variances().iter().map(|&s| s.sqrt()).fold(0.0, f64::max);
     let d = (max_rate / q).max(max_sigma / q.sqrt()).max(f64::MIN_POSITIVE);
 
-    let q_prime = model
-        .generator()
-        .uniformized_kernel(q)
-        .expect("q > 0 checked above");
-    let r_prime: Vec<f64> = shifted_rates.iter().map(|&r| r / (q * d)).collect();
-    let s_half: Vec<f64> = model
-        .variances()
-        .iter()
-        .map(|&s| 0.5 * s / (q * d * d))
-        .collect();
+    let (q_prime, r_prime, s_half) = rec.time("solve.setup", || {
+        let q_prime = model
+            .generator()
+            .uniformized_kernel(q)
+            .expect("q > 0 checked above");
+        let r_prime: Vec<f64> = shifted_rates.iter().map(|&r| r / (q * d)).collect();
+        let s_half: Vec<f64> = model
+            .variances()
+            .iter()
+            .map(|&s| 0.5 * s / (q * d * d))
+            .collect();
+        (q_prime, r_prime, s_half)
+    });
 
-    let (g_limit, error_bound) = terminal_truncation(q * t, d, order, w_max, config)?;
-    let weights = poisson::weights_trimmed(q * t, g_limit);
+    let qt = q * t;
+    let (g_limit, error_bounds) =
+        rec.time("solve.truncation", || terminal_truncation(qt, d, order, w_max, config))?;
+    let error_bound = error_bounds.iter().copied().fold(0.0, f64::max);
+    if rec.enabled() {
+        rec.gauge_set("solver.q", q);
+        rec.gauge_set("solver.d", d);
+        rec.gauge_set("solver.qt", qt);
+        rec.gauge_set("solver.shift", shift);
+        rec.gauge_set("solver.g", g_limit as f64);
+        rec.gauge_set("solver.error_bound", error_bound);
+    }
+    let weights = rec.time("solve.poisson", || poisson::weights_trimmed(qt, g_limit));
 
     // Same fused kernel as the plain sweep, with U⁽⁰⁾(0) = w and a
     // single time point; threads live in one pool for the whole solve.
@@ -151,12 +172,17 @@ pub fn moments_terminal_weighted(
         terminal_weights,
         config.effective_threads(n_states),
     );
-    for k in 0..=g_limit {
-        let wk = weights.get(k as usize).copied().unwrap_or(0.0);
-        let active = [(0usize, wk)];
-        kernel.step(if wk > 0.0 { &active } else { &[] }, k < g_limit);
+    kernel.set_recorder(rec.clone());
+    {
+        let _recursion = rec.span("solve.recursion");
+        for k in 0..=g_limit {
+            let wk = weights.get(k as usize).copied().unwrap_or(0.0);
+            let active = [(0usize, wk)];
+            kernel.step(if wk > 0.0 { &active } else { &[] }, k < g_limit);
+        }
     }
 
+    let _assemble = rec.span("solve.assemble");
     let shifted_moments: Vec<Vec<f64>> = (0..=order)
         .map(|j| {
             let scale = (ln_factorial(j as u64) + j as f64 * d.ln()).exp();
@@ -197,6 +223,30 @@ pub fn moments_terminal_weighted(
                 .sum()
         })
         .collect();
+    drop(_assemble);
+    let report = rec.enabled().then(|| {
+        Arc::new(SolveReport {
+            command: "terminal".to_string(),
+            solver: Some(SolverSection {
+                q,
+                d,
+                qt,
+                shift,
+                g: g_limit,
+                max_iterations: config.max_iterations,
+                epsilon: config.epsilon,
+                order,
+                n_states,
+                n_times: 1,
+                threads: kernel.threads(),
+                error_bound,
+                error_bounds: error_bounds.clone(),
+                poisson: poisson_accounting(&[t], std::slice::from_ref(&weights), g_limit),
+            }),
+            pool: kernel.pool_stats().map(pool_section),
+            metrics: rec.snapshot().unwrap_or_default(),
+        })
+    });
     Ok(MomentSolution {
         t,
         per_state,
@@ -208,6 +258,8 @@ pub fn moments_terminal_weighted(
             iterations: g_limit,
             error_bound,
         },
+        error_bounds,
+        report,
     })
 }
 
@@ -219,9 +271,9 @@ fn terminal_truncation(
     order: usize,
     w_max: f64,
     config: &SolverConfig,
-) -> Result<(u64, f64), MrmError> {
+) -> Result<(u64, Vec<f64>), MrmError> {
     if qt == 0.0 {
-        return Ok((0, 0.0));
+        return Ok((0, vec![0.0; order + 1]));
     }
     let ln_w = w_max.max(1.0).ln();
     let ln_front: Vec<f64> = (0..=order)
@@ -234,16 +286,17 @@ fn terminal_truncation(
         })
         .collect();
     let ln_eps = config.epsilon.ln();
+    let ln_bound_order = |g: u64, j: usize| {
+        let tail = if g >= j as u64 {
+            poisson::ln_tail_above(qt, g - j as u64)
+        } else {
+            0.0
+        };
+        ln_front[j] + tail
+    };
     let ln_bound = |g: u64| {
         (0..=order)
-            .map(|j| {
-                let tail = if g >= j as u64 {
-                    poisson::ln_tail_above(qt, g - j as u64)
-                } else {
-                    0.0
-                };
-                ln_front[j] + tail
-            })
+            .map(|j| ln_bound_order(g, j))
             .fold(f64::NEG_INFINITY, f64::max)
     };
     let mut hi = (qt as u64).max(16);
@@ -267,7 +320,8 @@ fn terminal_truncation(
             lo = mid + 1;
         }
     }
-    Ok((hi, ln_bound(hi).exp()))
+    let per_order = (0..=order).map(|j| ln_bound_order(hi, j).exp()).collect();
+    Ok((hi, per_order))
 }
 
 #[cfg(test)]

@@ -44,9 +44,11 @@ use somrm_linalg::FusedMomentKernel;
 use somrm_num::poisson;
 use somrm_num::special::{binomial, ln_factorial};
 use somrm_num::sum::NeumaierSum;
+use somrm_obs::{PoissonStat, PoolSection, RecorderHandle, SolveReport, SolverSection};
+use std::sync::Arc;
 
 /// Configuration of the randomization moment solver.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SolverConfig {
     /// Absolute truncation error bound `ε` of Theorem 4 (paper default
     /// `1e-9`).
@@ -68,6 +70,11 @@ pub struct SolverConfig {
     /// than it saves on short rows). Lower it in tests to exercise the
     /// pooled path on small models.
     pub parallel_threshold: usize,
+    /// Telemetry sink. Disabled by default: every instrumentation site
+    /// degrades to a single branch, and no [`SolveReport`] is built.
+    /// Attaching a recorder never changes computed results — the
+    /// instrumentation only observes.
+    pub recorder: RecorderHandle,
 }
 
 impl Default for SolverConfig {
@@ -77,11 +84,18 @@ impl Default for SolverConfig {
             max_iterations: 50_000_000,
             threads: 1,
             parallel_threshold: 4096,
+            recorder: RecorderHandle::disabled(),
         }
     }
 }
 
 impl SolverConfig {
+    /// This config with `recorder` attached (builder style).
+    pub fn with_recorder(mut self, recorder: RecorderHandle) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
     /// The thread count the kernels actually engage for an `n_states`
     /// model: [`SolverConfig::threads`] when at or above the
     /// [`SolverConfig::parallel_threshold`], otherwise 1.
@@ -106,12 +120,33 @@ pub struct MomentSolution {
     pub weighted: Vec<f64>,
     /// Diagnostics of the run.
     pub stats: SolverStats,
+    /// Realized Theorem-4 truncation bound per order `0..=order()`.
+    /// In a sweep the truncation point belongs to the largest requested
+    /// time, so each entry is the worst bound over the sweep's time
+    /// points. All-zero on the exact degenerate paths (`q = 0`, `d = 0`,
+    /// `t = 0`).
+    pub error_bounds: Vec<f64>,
+    /// Telemetry report of the producing solve; present iff the config
+    /// carried an enabled recorder. Shared (`Arc`) across all solutions
+    /// of one sweep.
+    pub report: Option<Arc<SolveReport>>,
 }
 
 impl MomentSolution {
     /// Highest moment order contained in this solution.
     pub fn order(&self) -> usize {
         self.weighted.len() - 1
+    }
+
+    /// The realized Theorem-4 absolute error bound of the `n`-th moment
+    /// (worst over the sweep's time points — see
+    /// [`MomentSolution::error_bounds`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n > self.order()`.
+    pub fn error_bound(&self, n: usize) -> f64 {
+        self.error_bounds[n]
     }
 
     /// The π-weighted `n`-th raw moment.
@@ -252,6 +287,7 @@ pub fn moments_sweep(
     if times.is_empty() {
         return Ok(Vec::new());
     }
+    let rec = &config.recorder;
     let n_states = model.n_states();
     let q = model.generator().uniformization_rate();
 
@@ -262,10 +298,12 @@ pub fn moments_sweep(
     // Degenerate chains (q = 0): the state never changes, B(t) is a plain
     // Brownian motion with the initial state's parameters.
     if q == 0.0 {
-        return Ok(times
+        let mut solutions: Vec<MomentSolution> = times
             .iter()
             .map(|&t| frozen_chain_solution(model, order, t))
-            .collect());
+            .collect();
+        attach_degenerate_report(&mut solutions, model, config, order, 0.0, 0.0, 0.0);
+        return Ok(solutions);
     }
 
     // Corrected normalization constant (see module docs).
@@ -279,41 +317,69 @@ pub fn moments_sweep(
 
     if d == 0.0 {
         // All shifted rates and variances vanish: B(t) = ř·t surely.
-        return Ok(times
+        let mut solutions: Vec<MomentSolution> = times
             .iter()
             .map(|&t| deterministic_solution(model, order, t, shift))
-            .collect());
+            .collect();
+        attach_degenerate_report(&mut solutions, model, config, order, q, 0.0, shift);
+        return Ok(solutions);
     }
 
     // Substochastic ingredients.
-    let q_prime = model
-        .generator()
-        .uniformized_kernel(q)
-        .expect("q > 0 checked above");
-    let r_prime: Vec<f64> = shifted_rates.iter().map(|&r| r / (q * d)).collect();
-    let s_half: Vec<f64> = model
-        .variances()
-        .iter()
-        .map(|&s| 0.5 * s / (q * d * d))
-        .collect();
+    let (q_prime, r_prime, s_half) = rec.time("solve.setup", || {
+        let q_prime = model
+            .generator()
+            .uniformized_kernel(q)
+            .expect("q > 0 checked above");
+        let r_prime: Vec<f64> = shifted_rates.iter().map(|&r| r / (q * d)).collect();
+        let s_half: Vec<f64> = model
+            .variances()
+            .iter()
+            .map(|&s| 0.5 * s / (q * d * d))
+            .collect();
+        (q_prime, r_prime, s_half)
+    });
 
     // Truncation point: the largest G over requested times and orders.
     let t_max = times.iter().copied().fold(0.0, f64::max);
-    let (g_limit, error_bound) = truncation_point(q * t_max, d, order, config)?;
+    let qt = q * t_max;
+    let (g_limit, error_bounds) =
+        rec.time("solve.truncation", || truncation_point(qt, d, order, config))?;
+    let error_bound = error_bounds.iter().copied().fold(0.0, f64::max);
+    if rec.enabled() {
+        rec.gauge_set("solver.q", q);
+        rec.gauge_set("solver.d", d);
+        rec.gauge_set("solver.qt", qt);
+        rec.gauge_set("solver.shift", shift);
+        rec.gauge_set("solver.g", g_limit as f64);
+        rec.gauge_set("solver.error_bound", error_bound);
+    }
 
     // Poisson weights per time point, each trimmed at its own underflow
     // tail (the global G belongs to the largest time; smaller times'
     // weights hit exact 0.0 much earlier).
-    let weights: Vec<Vec<f64>> = times
-        .iter()
-        .map(|&t| {
-            if t == 0.0 {
-                Vec::new()
-            } else {
-                poisson::weights_trimmed(q * t, g_limit)
-            }
-        })
-        .collect();
+    let weights: Vec<Vec<f64>> = rec.time("solve.poisson", || {
+        times
+            .iter()
+            .map(|&t| {
+                if t == 0.0 {
+                    Vec::new()
+                } else {
+                    poisson::weights_trimmed(q * t, g_limit)
+                }
+            })
+            .collect()
+    });
+    let poisson_stats: Vec<PoissonStat> = if rec.enabled() {
+        let stats = poisson_accounting(times, &weights, g_limit);
+        let kept: u64 = stats.iter().map(|p| p.weights_kept).sum();
+        let trimmed: u64 = stats.iter().map(|p| p.weights_trimmed).sum();
+        rec.counter_add("poisson.weights_kept", kept);
+        rec.counter_add("poisson.weights_trimmed", trimmed);
+        stats
+    } else {
+        Vec::new()
+    };
 
     // U-recursion via the fused kernel: one parallel pass per iteration
     // k covers the sparse mat-vec, the R'/½S' combine, and the weighted
@@ -329,17 +395,21 @@ pub fn moments_sweep(
         &u0,
         config.effective_threads(n_states),
     );
-    let mut active: Vec<(usize, f64)> = Vec::with_capacity(times.len());
-    for k in 0..=g_limit {
-        active.clear();
-        for (ti, w) in weights.iter().enumerate() {
-            let wk = w.get(k as usize).copied().unwrap_or(0.0);
-            if wk > 0.0 {
-                active.push((ti, wk));
+    kernel.set_recorder(rec.clone());
+    {
+        let _recursion = rec.span("solve.recursion");
+        let mut active: Vec<(usize, f64)> = Vec::with_capacity(times.len());
+        for k in 0..=g_limit {
+            active.clear();
+            for (ti, w) in weights.iter().enumerate() {
+                let wk = w.get(k as usize).copied().unwrap_or(0.0);
+                if wk > 0.0 {
+                    active.push((ti, wk));
+                }
             }
+            // The final iteration only accumulates; no U(G+1) is needed.
+            kernel.step(&active, k < g_limit);
         }
-        // The final iteration only accumulates; no U(G+1) is needed.
-        kernel.step(&active, k < g_limit);
     }
 
     // Assemble solutions: scale by n!·dⁿ, un-shift, weight by π.
@@ -350,46 +420,148 @@ pub fn moments_sweep(
         iterations: g_limit,
         error_bound,
     };
-    let solutions = times
-        .iter()
-        .enumerate()
-        .map(|(ti, &t)| {
-            let shifted_moments: Vec<Vec<f64>> = if t == 0.0 {
-                // B(0) = 0: moment 0 is 1, the rest are 0.
-                (0..=order)
-                    .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
-                    .collect()
-            } else {
-                (0..=order)
+    let mut solutions: Vec<MomentSolution> = rec.time("solve.assemble", || {
+        times
+            .iter()
+            .enumerate()
+            .map(|(ti, &t)| {
+                let shifted_moments: Vec<Vec<f64>> = if t == 0.0 {
+                    // B(0) = 0: moment 0 is 1, the rest are 0.
+                    (0..=order)
+                        .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
+                        .collect()
+                } else {
+                    (0..=order)
+                        .map(|j| {
+                            let scale = (ln_factorial(j as u64) + j as f64 * d.ln()).exp();
+                            kernel
+                                .accumulated(ti, j)
+                                .iter()
+                                .map(|a| scale * a.value())
+                                .collect()
+                        })
+                        .collect()
+                };
+                let per_state = unshift_moments(&shifted_moments, shift, t);
+                let weighted = (0..=order)
                     .map(|j| {
-                        let scale = (ln_factorial(j as u64) + j as f64 * d.ln()).exp();
-                        kernel
-                            .accumulated(ti, j)
+                        per_state[j]
                             .iter()
-                            .map(|a| scale * a.value())
-                            .collect()
+                            .zip(model.initial())
+                            .map(|(&v, &p)| v * p)
+                            .sum()
                     })
-                    .collect()
-            };
-            let per_state = unshift_moments(&shifted_moments, shift, t);
-            let weighted = (0..=order)
-                .map(|j| {
-                    per_state[j]
-                        .iter()
-                        .zip(model.initial())
-                        .map(|(&v, &p)| v * p)
-                        .sum()
-                })
-                .collect();
-            MomentSolution {
+                    .collect();
+                MomentSolution {
+                    t,
+                    per_state,
+                    weighted,
+                    stats,
+                    error_bounds: error_bounds.clone(),
+                    report: None,
+                }
+            })
+            .collect()
+    });
+    if rec.enabled() {
+        let report = Arc::new(SolveReport {
+            command: "moments".to_string(),
+            solver: Some(SolverSection {
+                q,
+                d,
+                qt,
+                shift,
+                g: g_limit,
+                max_iterations: config.max_iterations,
+                epsilon: config.epsilon,
+                order,
+                n_states,
+                n_times: times.len(),
+                threads: kernel.threads(),
+                error_bound,
+                error_bounds,
+                poisson: poisson_stats,
+            }),
+            pool: kernel.pool_stats().map(pool_section),
+            metrics: rec.snapshot().unwrap_or_default(),
+        });
+        for s in &mut solutions {
+            s.report = Some(Arc::clone(&report));
+        }
+    }
+    Ok(solutions)
+}
+
+/// Per-time-point weight accounting for the report: how many series
+/// terms carried non-zero Poisson weight, and how much mass they retain.
+pub(crate) fn poisson_accounting(
+    times: &[f64],
+    weights: &[Vec<f64>],
+    g_limit: u64,
+) -> Vec<PoissonStat> {
+    times
+        .iter()
+        .zip(weights)
+        .map(|(&t, w)| {
+            let kept = w.iter().filter(|&&wk| wk > 0.0).count() as u64;
+            PoissonStat {
                 t,
-                per_state,
-                weighted,
-                stats,
+                weights_kept: kept,
+                weights_trimmed: (g_limit + 1).saturating_sub(kept),
+                retained_mass: w.iter().sum(),
             }
         })
-        .collect();
-    Ok(solutions)
+        .collect()
+}
+
+pub(crate) fn pool_section(stats: somrm_linalg::PoolStats) -> PoolSection {
+    PoolSection {
+        threads: stats.threads,
+        epochs: stats.epochs,
+        parks: stats.parks,
+        wakes: stats.wakes,
+    }
+}
+
+/// Attaches a report to solutions produced by the exact degenerate paths
+/// (`q = 0` or `d = 0`), which never run the recursion: `G = 0`, zero
+/// bounds, no pool.
+fn attach_degenerate_report(
+    solutions: &mut [MomentSolution],
+    model: &SecondOrderMrm,
+    config: &SolverConfig,
+    order: usize,
+    q: f64,
+    d: f64,
+    shift: f64,
+) {
+    if !config.recorder.enabled() {
+        return;
+    }
+    let report = Arc::new(SolveReport {
+        command: "moments".to_string(),
+        solver: Some(SolverSection {
+            q,
+            d,
+            qt: 0.0,
+            shift,
+            g: 0,
+            max_iterations: config.max_iterations,
+            epsilon: config.epsilon,
+            order,
+            n_states: model.n_states(),
+            n_times: solutions.len(),
+            threads: 1,
+            error_bound: 0.0,
+            error_bounds: vec![0.0; order + 1],
+            poisson: Vec::new(),
+        }),
+        pool: None,
+        metrics: config.recorder.snapshot().unwrap_or_default(),
+    });
+    for s in solutions {
+        s.report = Some(Arc::clone(&report));
+    }
 }
 
 fn validate_params(times: &[f64], config: &SolverConfig) -> Result<(), MrmError> {
@@ -426,16 +598,17 @@ fn validate_params(times: &[f64], config: &SolverConfig) -> Result<(), MrmError>
 /// 2. **All orders.** We return all orders `0..=n` from one pass, so `G`
 ///    must satisfy the per-order bound for each of them.
 ///
-/// Found by bisection on the monotone log-space bound. Returns
-/// `(G, guaranteed bound)`.
+/// Found by bisection on the monotone log-space bound. Returns `(G,
+/// realized per-order bounds at that G)`; the bound Theorem 4
+/// guarantees for the whole solve is the maximum entry.
 fn truncation_point(
     qt: f64,
     d: f64,
     order: usize,
     config: &SolverConfig,
-) -> Result<(u64, f64), MrmError> {
+) -> Result<(u64, Vec<f64>), MrmError> {
     if qt == 0.0 {
-        return Ok((0, 0.0));
+        return Ok((0, vec![0.0; order + 1]));
     }
     let ln_front: Vec<f64> = (0..=order)
         .map(|j| {
@@ -446,16 +619,17 @@ fn truncation_point(
         })
         .collect();
     let ln_eps = config.epsilon.ln();
+    let ln_bound_order = |g: u64, j: usize| {
+        let tail = if g >= j as u64 {
+            poisson::ln_tail_above(qt, g - j as u64)
+        } else {
+            0.0 // P[Pois > negative] = 1
+        };
+        ln_front[j] + tail
+    };
     let ln_bound = |g: u64| {
         (0..=order)
-            .map(|j| {
-                let tail = if g >= j as u64 {
-                    poisson::ln_tail_above(qt, g - j as u64)
-                } else {
-                    0.0 // P[Pois > negative] = 1
-                };
-                ln_front[j] + tail
-            })
+            .map(|j| ln_bound_order(g, j))
             .fold(f64::NEG_INFINITY, f64::max)
     };
 
@@ -484,7 +658,8 @@ fn truncation_point(
             lo = mid + 1;
         }
     }
-    Ok((hi, ln_bound(hi).exp()))
+    let per_order = (0..=order).map(|j| ln_bound_order(hi, j).exp()).collect();
+    Ok((hi, per_order))
 }
 
 /// Moments when the chain never leaves its initial state: per state `i`,
@@ -528,6 +703,8 @@ fn frozen_chain_solution(model: &SecondOrderMrm, order: usize, t: f64) -> Moment
             iterations: 0,
             error_bound: 0.0,
         },
+        error_bounds: vec![0.0; order + 1],
+        report: None,
     }
 }
 
@@ -554,6 +731,8 @@ fn deterministic_solution(
             iterations: 0,
             error_bound: 0.0,
         },
+        error_bounds: vec![0.0; order + 1],
+        report: None,
     }
 }
 
@@ -888,9 +1067,105 @@ mod tests {
                 iterations: 1,
                 error_bound: 0.0,
             },
+            error_bounds: vec![0.0; 3],
+            report: None,
         };
         assert!(sol.weighted[2] - sol.weighted[1] * sol.weighted[1] < 0.0);
         assert_eq!(sol.variance(), 0.0);
+    }
+
+    #[test]
+    fn per_order_bounds_monotone_and_capped_by_stats() {
+        let m = two_state_model([1.0, 3.0], [0.5, 2.0]);
+        let sol = moments(&m, 4, 1.0, &SolverConfig::default()).unwrap();
+        assert_eq!(sol.error_bounds.len(), 5);
+        // Higher orders carry larger front factors dʲ·j!·(qt)ʲ at the
+        // shared G, so the realized bound grows with the order.
+        for j in 1..=4 {
+            assert!(
+                sol.error_bound(j) >= sol.error_bound(j - 1),
+                "order {j}: {} < {}",
+                sol.error_bound(j),
+                sol.error_bound(j - 1)
+            );
+        }
+        // The stats bound is exactly the worst per-order bound.
+        let worst = sol.error_bounds.iter().copied().fold(0.0, f64::max);
+        assert_eq!(sol.stats.error_bound, worst);
+        assert!(worst < SolverConfig::default().epsilon);
+    }
+
+    #[test]
+    fn recorder_captures_solver_facts_and_attaches_report() {
+        use somrm_obs::MetricsRegistry;
+
+        let m = two_state_model([1.0, 3.0], [0.5, 2.0]);
+        let registry = Arc::new(MetricsRegistry::new());
+        let cfg = SolverConfig::default()
+            .with_recorder(RecorderHandle::new(registry.clone()));
+        let sol = moments(&m, 2, 1.0, &cfg).unwrap();
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("solver.g"), Some(sol.stats.iterations as f64));
+        assert_eq!(snap.gauge("solver.q"), Some(sol.stats.q));
+        assert_eq!(
+            snap.counter("kernel.passes"),
+            Some(sol.stats.iterations + 1)
+        );
+        let kept = snap.counter("poisson.weights_kept").unwrap();
+        let trimmed = snap.counter("poisson.weights_trimmed").unwrap();
+        assert_eq!(kept + trimmed, sol.stats.iterations + 1);
+        for stage in ["solve.setup", "solve.truncation", "solve.poisson", "solve.recursion", "solve.assemble"] {
+            assert_eq!(snap.timing(stage).map(|t| t.count), Some(1), "{stage}");
+        }
+
+        let report = sol.report.as_ref().expect("report attached");
+        let section = report.solver.as_ref().expect("solver section");
+        assert_eq!(section.g, sol.stats.iterations);
+        assert_eq!(section.error_bounds, sol.error_bounds);
+        assert_eq!(section.poisson.len(), 1);
+        assert_eq!(
+            section.poisson[0].weights_kept + section.poisson[0].weights_trimmed,
+            sol.stats.iterations + 1
+        );
+        assert!((section.poisson[0].retained_mass - 1.0).abs() < 1e-6);
+        // 2-state model stays below the parallel threshold: no pool.
+        assert!(report.pool.is_none());
+    }
+
+    #[test]
+    fn noop_recorder_solves_bit_identical_to_disabled() {
+        use somrm_obs::NoopRecorder;
+
+        let m = two_state_model([1.0, 3.0], [0.5, 2.0]);
+        let plain = moments(&m, 3, 1.3, &SolverConfig::default()).unwrap();
+        let cfg =
+            SolverConfig::default().with_recorder(RecorderHandle::new(Arc::new(NoopRecorder)));
+        let noop = moments(&m, 3, 1.3, &cfg).unwrap();
+        assert_eq!(plain.weighted, noop.weighted);
+        assert_eq!(plain.per_state, noop.per_state);
+        assert_eq!(plain.error_bounds, noop.error_bounds);
+        // NoopRecorder aggregates nothing, so no report is assembled
+        // beyond the empty-metrics shell.
+        let report = noop.report.as_ref().expect("enabled handle builds a report");
+        assert!(report.metrics.counters.is_empty());
+    }
+
+    #[test]
+    fn degenerate_paths_report_zero_bounds() {
+        use somrm_obs::MetricsRegistry;
+
+        // Frozen chain (q = 0).
+        let b = GeneratorBuilder::new(1);
+        let m = SecondOrderMrm::new(b.build().unwrap(), vec![2.0], vec![1.0], vec![1.0])
+            .unwrap();
+        let registry = Arc::new(MetricsRegistry::new());
+        let cfg = SolverConfig::default()
+            .with_recorder(RecorderHandle::new(registry));
+        let sol = moments(&m, 2, 1.0, &cfg).unwrap();
+        assert_eq!(sol.error_bounds, vec![0.0; 3]);
+        let report = sol.report.as_ref().expect("report attached");
+        assert_eq!(report.solver.as_ref().unwrap().g, 0);
     }
 
     #[test]

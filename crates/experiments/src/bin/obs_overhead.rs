@@ -1,0 +1,80 @@
+//! Overhead of the telemetry layer on the serial solve path.
+//!
+//! Three configurations of the same solve, interleaved round-robin so
+//! ambient machine noise hits all three equally:
+//!
+//! * **disabled** — the default `RecorderHandle::disabled()`: every
+//!   instrumentation point is a single predictable branch;
+//! * **noop** — a live recorder that discards everything: measures the
+//!   cost of the enabled path itself (clock reads per span, virtual
+//!   dispatch) without aggregation;
+//! * **registry** — the real `MetricsRegistry`: adds the mutex-guarded
+//!   aggregation that `--metrics` uses.
+//!
+//! The acceptance target is the *disabled* column: below 2 % of the
+//! uninstrumented solve, which by construction equals the disabled
+//! solve minus the branches — so the honest check is disabled vs noop
+//! vs registry spread staying within noise on a realistically sized
+//! model.
+
+use somrm_core::uniformization::{moments, SolverConfig};
+use somrm_experiments::{flag_value, print_table};
+use somrm_models::OnOffMultiplexer;
+use somrm_obs::{MetricsRegistry, NoopRecorder, Recorder, RecorderHandle};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let n_sources: usize = flag_value(&args, "--sources").unwrap_or(256);
+    let reps: usize = flag_value(&args, "--reps").unwrap_or(9);
+    let order: usize = flag_value(&args, "--order").unwrap_or(3);
+    let t = 0.5;
+
+    let model = OnOffMultiplexer::table2_scaled(n_sources).model().unwrap();
+    let configs: Vec<(&str, SolverConfig)> = vec![
+        ("disabled", SolverConfig::default()),
+        (
+            "noop",
+            SolverConfig::default().with_recorder(RecorderHandle::new(
+                Arc::new(NoopRecorder) as Arc<dyn Recorder>
+            )),
+        ),
+        (
+            "registry",
+            SolverConfig::default().with_recorder(RecorderHandle::new(
+                Arc::new(MetricsRegistry::new()) as Arc<dyn Recorder>,
+            )),
+        ),
+    ];
+
+    // Warm-up: touch every path once.
+    for (_, cfg) in &configs {
+        let _ = moments(&model, order, t, cfg).unwrap();
+    }
+
+    let mut best = vec![f64::INFINITY; configs.len()];
+    for _ in 0..reps {
+        for (i, (_, cfg)) in configs.iter().enumerate() {
+            let start = Instant::now();
+            let sol = moments(&model, order, t, cfg).unwrap();
+            let secs = start.elapsed().as_secs_f64();
+            assert!(sol.mean().is_finite());
+            best[i] = best[i].min(secs);
+        }
+    }
+
+    let base = best[0];
+    let rows: Vec<Vec<f64>> = best
+        .iter()
+        .map(|&s| vec![s * 1e3, (s / base - 1.0) * 100.0])
+        .collect();
+    println!(
+        "obs_overhead: {} states, order {order}, t = {t}, best of {reps}",
+        model.n_states()
+    );
+    print_table("telemetry overhead (serial path)", &["ms", "vs disabled %"], &rows);
+    for ((name, _), row) in configs.iter().zip(&rows) {
+        println!("{:>9}: {:8.3} ms  ({:+.2} % vs disabled)", name, row[0], row[1]);
+    }
+}

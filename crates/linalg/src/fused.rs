@@ -32,9 +32,10 @@
 //! each accumulator cell receives its terms in ascending-`k` order from
 //! a single thread.
 
-use crate::pool::{chunk_range, SyncMutPtr, WorkerPool};
+use crate::pool::{chunk_range, PoolStats, SyncMutPtr, WorkerPool};
 use crate::sparse::CsrMatrix;
 use somrm_num::sum::NeumaierSum;
+use somrm_obs::RecorderHandle;
 
 /// Fused recursion + accumulation kernel over a persistent worker pool.
 ///
@@ -53,6 +54,7 @@ pub struct FusedMomentKernel<'a> {
     u_cur: Vec<f64>,
     u_next: Vec<f64>,
     acc: Vec<NeumaierSum>,
+    recorder: RecorderHandle,
 }
 
 impl<'a> FusedMomentKernel<'a> {
@@ -95,12 +97,26 @@ impl<'a> FusedMomentKernel<'a> {
             u_cur,
             u_next: vec![0.0; (order + 1) * n],
             acc: vec![NeumaierSum::new(); n_times * (order + 1) * n],
+            recorder: RecorderHandle::disabled(),
         }
+    }
+
+    /// Attaches a telemetry recorder; each pass is then timed under
+    /// `"kernel.pass"` and counted under `"kernel.passes"`. Disabled by
+    /// default (zero instrumentation cost).
+    pub fn set_recorder(&mut self, recorder: RecorderHandle) {
+        self.recorder = recorder;
     }
 
     /// Number of row chunks (= threads engaged per pass).
     pub fn threads(&self) -> usize {
         self.chunks
+    }
+
+    /// Worker-pool telemetry, if this kernel runs a pool (`None` for
+    /// inline single-chunk kernels).
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.pool.as_ref().map(WorkerPool::stats)
     }
 
     /// One fused pass at iteration `k`: adds `wk·U⁽ʲ⁾(k)` into the
@@ -161,10 +177,14 @@ impl<'a> FusedMomentKernel<'a> {
                 }
             }
         };
-        match &mut self.pool {
-            Some(pool) => pool.run(&task),
-            None => task(0),
+        {
+            let _pass = self.recorder.span("kernel.pass");
+            match &mut self.pool {
+                Some(pool) => pool.run(&task),
+                None => task(0),
+            }
         }
+        self.recorder.counter_add("kernel.passes", 1);
         if advance {
             std::mem::swap(&mut self.u_cur, &mut self.u_next);
         }
@@ -308,6 +328,32 @@ mod tests {
         m.matvec_into(&u0, &mut expect);
         let got: Vec<f64> = k.accumulated(0, 0).iter().map(|a| a.value()).collect();
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn recorder_counts_passes_and_pool_stats_surface() {
+        use somrm_obs::MetricsRegistry;
+        use std::sync::Arc;
+
+        let n = 64;
+        let m = test_matrix(n);
+        let zeros = vec![0.0; n];
+        let u0 = vec![1.0; n];
+        let mut k = FusedMomentKernel::new(&m, &zeros, &zeros, 1, 1, &u0, 2);
+        let registry = Arc::new(MetricsRegistry::new());
+        k.set_recorder(RecorderHandle::new(registry.clone()));
+        for _ in 0..5 {
+            k.step(&[(0, 0.1)], true);
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("kernel.passes"), Some(5));
+        assert_eq!(snap.timing("kernel.pass").unwrap().count, 5);
+        let stats = k.pool_stats().expect("2-chunk kernel runs a pool");
+        assert_eq!(stats.threads, 2);
+        assert_eq!(stats.epochs, 5);
+
+        let serial = FusedMomentKernel::new(&m, &zeros, &zeros, 1, 1, &u0, 1);
+        assert!(serial.pool_stats().is_none());
     }
 
     #[test]

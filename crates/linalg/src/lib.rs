@@ -51,6 +51,6 @@ pub mod vec_ops;
 pub use dense::Mat;
 pub use error::LinalgError;
 pub use fused::FusedMomentKernel;
-pub use pool::WorkerPool;
+pub use pool::{PoolStats, WorkerPool};
 pub use scalar::{Cx, Scalar};
 pub use sparse::{CsrMatrix, TripletBuilder};

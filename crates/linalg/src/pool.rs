@@ -21,8 +21,28 @@
 //! are bit-identical to the serial kernel no matter the thread count.
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+
+/// Counters describing a pool's lifetime behaviour, for telemetry.
+///
+/// `parks` counts condvar waits entered by workers (how often a worker
+/// found no fresh epoch and blocked); `wakes` counts epochs picked up by
+/// workers. A healthy solve shows `wakes ≈ epochs · (threads − 1)`;
+/// `parks` close to `wakes` means workers drain each pass and park
+/// instead of spinning through spurious wakeups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Threads participating in each run (workers + caller).
+    pub threads: usize,
+    /// Parallel passes executed so far (pool epochs).
+    pub epochs: u64,
+    /// Condvar waits entered by workers.
+    pub parks: u64,
+    /// Epochs picked up by workers.
+    pub wakes: u64,
+}
 
 /// Type-erased job pointer: the chunk closure of the current epoch.
 ///
@@ -51,6 +71,11 @@ struct Shared {
     work: Condvar,
     /// The caller parks here waiting for `remaining == 0`.
     done: Condvar,
+    /// Telemetry: condvar waits entered by workers. Relaxed atomics —
+    /// read only by [`WorkerPool::stats`], never for synchronization.
+    parks: AtomicU64,
+    /// Telemetry: epochs picked up by workers.
+    wakes: AtomicU64,
 }
 
 /// A pool of parked OS threads executing statically-assigned chunks.
@@ -72,6 +97,9 @@ struct Shared {
 pub struct WorkerPool {
     shared: Arc<Shared>,
     workers: Vec<JoinHandle<()>>,
+    /// Total `run` calls, including inline single-thread runs (which
+    /// never touch the epoch protocol).
+    runs: u64,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -98,6 +126,8 @@ impl WorkerPool {
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            parks: AtomicU64::new(0),
+            wakes: AtomicU64::new(0),
         });
         let workers = (1..n_threads)
             .map(|chunk_index| {
@@ -108,12 +138,26 @@ impl WorkerPool {
                     .expect("spawn pool worker")
             })
             .collect();
-        WorkerPool { shared, workers }
+        WorkerPool {
+            shared,
+            workers,
+            runs: 0,
+        }
     }
 
     /// Total threads participating in each `run` (workers + caller).
     pub fn threads(&self) -> usize {
         self.workers.len() + 1
+    }
+
+    /// Telemetry counters accumulated since the pool was created.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.threads(),
+            epochs: self.runs,
+            parks: self.shared.parks.load(Ordering::Relaxed),
+            wakes: self.shared.wakes.load(Ordering::Relaxed),
+        }
     }
 
     /// Executes `task(chunk)` for every chunk `0..self.threads()`, chunk
@@ -129,6 +173,7 @@ impl WorkerPool {
     ///
     /// Propagates a panic from any chunk after all chunks finished.
     pub fn run(&mut self, task: &(dyn Fn(usize) + Sync)) {
+        self.runs += 1;
         if self.workers.is_empty() {
             task(0);
             return;
@@ -189,9 +234,11 @@ fn worker_loop(shared: &Shared, chunk_index: usize) {
                 if st.epoch != last_epoch {
                     break;
                 }
+                shared.parks.fetch_add(1, Ordering::Relaxed);
                 st = shared.work.wait(st).expect("pool mutex");
             }
             last_epoch = st.epoch;
+            shared.wakes.fetch_add(1, Ordering::Relaxed);
             st.job.expect("job published with the epoch")
         };
         // SAFETY: `run` cannot return (and the closure cannot die) until
@@ -313,6 +360,28 @@ mod tests {
             });
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn stats_count_epochs_and_wakes() {
+        let mut pool = WorkerPool::new(4);
+        for _ in 0..10 {
+            pool.run(&|_| {});
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.threads, 4);
+        assert_eq!(stats.epochs, 10);
+        // Every epoch is picked up by each of the 3 workers exactly once.
+        assert_eq!(stats.wakes, 30);
+        // Workers park at least once on creation (before the first epoch).
+        assert!(stats.parks >= 3);
+
+        // Inline single-thread pools still count their runs as epochs.
+        let mut serial = WorkerPool::new(1);
+        serial.run(&|_| {});
+        let stats = serial.stats();
+        assert_eq!(stats.epochs, 1);
+        assert_eq!(stats.wakes, 0);
     }
 
     #[test]

@@ -1,0 +1,233 @@
+//! The aggregating sink: counters, gauges, and histogram-lite timings.
+
+use crate::recorder::Recorder;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Aggregate of one duration series: count, total, min, max.
+///
+/// A four-field "histogram-lite" instead of bucketed histograms: the
+/// solver's series are either short (a handful of stages) or extremely
+/// regular (one pass per recursion iteration), where mean/min/max answer
+/// the perf questions and the fixed size keeps recording allocation-free
+/// after the first observation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimingStat {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observations, nanoseconds.
+    pub total_ns: u64,
+    /// Smallest observation, nanoseconds.
+    pub min_ns: u64,
+    /// Largest observation, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl TimingStat {
+    fn record(&mut self, nanos: u64) {
+        if self.count == 0 {
+            self.min_ns = nanos;
+            self.max_ns = nanos;
+        } else {
+            self.min_ns = self.min_ns.min(nanos);
+            self.max_ns = self.max_ns.max(nanos);
+        }
+        self.count += 1;
+        self.total_ns = self.total_ns.saturating_add(nanos);
+    }
+
+    /// Mean observation in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of a registry's contents, sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` of every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` of every gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// `(name, stat)` of every timing series.
+    pub timings: Vec<(String, TimingStat)>,
+}
+
+impl MetricsSnapshot {
+    /// The counter `name`, if recorded.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        lookup(&self.counters, name).copied()
+    }
+
+    /// The gauge `name`, if recorded.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        lookup(&self.gauges, name).copied()
+    }
+
+    /// The timing series `name`, if recorded.
+    pub fn timing(&self, name: &str) -> Option<&TimingStat> {
+        lookup(&self.timings, name)
+    }
+}
+
+fn lookup<'a, T>(sorted: &'a [(String, T)], name: &str) -> Option<&'a T> {
+    sorted
+        .binary_search_by(|(k, _)| k.as_str().cmp(name))
+        .ok()
+        .map(|i| &sorted[i].1)
+}
+
+/// Thread-safe metrics aggregation behind a single short-held mutex.
+///
+/// # Why a mutex and not atomics
+///
+/// Counter names arrive as strings, so a lock-free design would need a
+/// concurrent map or an up-front registration step. The instrumented
+/// paths emit at stage/pass granularity — the hottest series is one
+/// event per recursion iteration, each covering an `O(n·nnz)` kernel
+/// pass — so an uncontended lock (tens of nanoseconds) disappears into
+/// the measurement noise of the thing being measured. "Lock-cheap"
+/// here means: one lock per *event*, never per matrix row, and no lock
+/// at all when the handle is disabled.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    timings: BTreeMap<String, TimingStat>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies out everything recorded so far.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().expect("metrics mutex");
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            gauges: inner.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            timings: inner.timings.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+        }
+    }
+}
+
+impl Recorder for MetricsRegistry {
+    fn counter_add(&self, name: &str, delta: u64) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        match inner.counters.get_mut(name) {
+            Some(v) => *v = v.saturating_add(delta),
+            None => {
+                inner.counters.insert(name.to_string(), delta);
+            }
+        }
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        match inner.gauges.get_mut(name) {
+            Some(v) => *v = value,
+            None => {
+                inner.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    fn duration_ns(&self, name: &str, nanos: u64) {
+        let mut inner = self.inner.lock().expect("metrics mutex");
+        match inner.timings.get_mut(name) {
+            Some(t) => t.record(nanos),
+            None => {
+                let mut t = TimingStat::default();
+                t.record(nanos);
+                inner.timings.insert(name.to_string(), t);
+            }
+        }
+    }
+
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        Some(MetricsRegistry::snapshot(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_monotonically() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("a", 2);
+        reg.counter_add("a", 3);
+        reg.counter_add("b", 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("a"), Some(5));
+        assert_eq!(snap.counter("b"), Some(1));
+        assert_eq!(snap.counter("missing"), None);
+    }
+
+    #[test]
+    fn gauges_take_last_write() {
+        let reg = MetricsRegistry::new();
+        reg.gauge_set("g", 1.0);
+        reg.gauge_set("g", -2.5);
+        assert_eq!(reg.snapshot().gauge("g"), Some(-2.5));
+    }
+
+    #[test]
+    fn timings_aggregate_min_max_total() {
+        let reg = MetricsRegistry::new();
+        for ns in [5u64, 1, 9, 3] {
+            reg.duration_ns("t", ns);
+        }
+        let snap = reg.snapshot();
+        let t = snap.timing("t").unwrap();
+        assert_eq!(t.count, 4);
+        assert_eq!(t.total_ns, 18);
+        assert_eq!(t.min_ns, 1);
+        assert_eq!(t.max_ns, 9);
+        assert!((t.mean_ns() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_lookup_works() {
+        let reg = MetricsRegistry::new();
+        for name in ["z", "a", "m"] {
+            reg.counter_add(name, 1);
+        }
+        let snap = reg.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(names, ["a", "m", "z"]);
+        assert_eq!(snap.counter("m"), Some(1));
+    }
+
+    #[test]
+    fn concurrent_counting_is_lossless() {
+        use std::sync::Arc;
+        let reg = Arc::new(MetricsRegistry::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let reg = reg.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        reg.counter_add("hits", 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.snapshot().counter("hits"), Some(4000));
+    }
+}

@@ -1,0 +1,105 @@
+//! Human-readable tracing: a [`Recorder`] that narrates spans and gauges
+//! to stderr while teeing every event into a [`MetricsRegistry`].
+
+use crate::recorder::Recorder;
+use crate::registry::{MetricsRegistry, MetricsSnapshot};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Writes a `trace:`-prefixed line to stderr for each span boundary and
+/// gauge write, indented by span depth, and forwards *all* events to an
+/// internal [`MetricsRegistry`] so a [`crate::SolveReport`] can still be
+/// assembled from the same run.
+///
+/// Plain duration observations (including the ones the [`crate::Span`]
+/// guard emits alongside `span_end`) are aggregated but not printed —
+/// the per-iteration series would flood the log. Counters are likewise
+/// aggregated silently and appear in the final snapshot.
+///
+/// Stderr is chosen so `--trace` composes with `--metrics -` (JSON on
+/// stdout) and with ordinary redirection of result output.
+#[derive(Debug, Default)]
+pub struct TraceRecorder {
+    registry: MetricsRegistry,
+    depth: AtomicUsize,
+}
+
+impl TraceRecorder {
+    /// A tracer with an empty internal registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn emit(&self, depth: usize, line: std::fmt::Arguments<'_>) {
+        // Depth can momentarily be off under concurrent spans from pool
+        // workers; the indent is cosmetic, so that is acceptable.
+        eprintln!("trace: {:indent$}{}", "", line, indent = depth * 2);
+    }
+}
+
+impl Recorder for TraceRecorder {
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.registry.counter_add(name, delta);
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        self.registry.gauge_set(name, value);
+        let depth = self.depth.load(Ordering::Relaxed);
+        self.emit(depth, format_args!("{name} = {value}"));
+    }
+
+    fn duration_ns(&self, name: &str, nanos: u64) {
+        self.registry.duration_ns(name, nanos);
+    }
+
+    fn span_start(&self, name: &str) {
+        let depth = self.depth.fetch_add(1, Ordering::Relaxed);
+        self.emit(depth, format_args!("{name} {{"));
+    }
+
+    fn span_end(&self, name: &str, nanos: u64) {
+        let depth = self
+            .depth
+            .fetch_sub(1, Ordering::Relaxed)
+            .saturating_sub(1);
+        self.emit(
+            depth,
+            format_args!("}} {name} ({:.3} ms)", nanos as f64 / 1e6),
+        );
+    }
+
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        Some(self.registry.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::RecorderHandle;
+    use std::sync::Arc;
+
+    #[test]
+    fn tracer_aggregates_like_a_registry() {
+        let tracer = Arc::new(TraceRecorder::new());
+        let h = RecorderHandle::new(tracer.clone());
+        h.counter_add("c", 2);
+        h.gauge_set("g", 1.25);
+        {
+            let _s = h.span("stage");
+        }
+        let snap = h.snapshot().expect("tracer snapshots");
+        assert_eq!(snap.counter("c"), Some(2));
+        assert_eq!(snap.gauge("g"), Some(1.25));
+        assert_eq!(snap.timing("stage").unwrap().count, 1);
+    }
+
+    #[test]
+    fn depth_returns_to_zero_after_nested_spans() {
+        let tracer = TraceRecorder::new();
+        tracer.span_start("a");
+        tracer.span_start("b");
+        tracer.span_end("b", 10);
+        tracer.span_end("a", 20);
+        assert_eq!(tracer.depth.load(Ordering::Relaxed), 0);
+    }
+}

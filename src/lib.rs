@@ -50,6 +50,7 @@ pub use somrm_ctmc as ctmc;
 pub use somrm_linalg as linalg;
 pub use somrm_models as models;
 pub use somrm_num as num;
+pub use somrm_obs as obs;
 pub use somrm_ode as ode;
 pub use somrm_pde as pde;
 pub use somrm_sim as sim;

@@ -1,0 +1,88 @@
+//! End-to-end checks of the telemetry layer against the paper's ON-OFF
+//! multiplexer model: the recorder must capture the solver facts, the
+//! realized per-order Theorem-4 bounds must behave, and instrumentation
+//! must never perturb the numerics.
+
+use somrm::models::OnOffMultiplexer;
+use somrm::obs::{MetricsRegistry, NoopRecorder, Recorder, RecorderHandle};
+use somrm::solver::{moments, SolverConfig};
+use std::sync::Arc;
+
+#[test]
+fn recorder_captures_solver_facts_on_onoff_model() {
+    let model = OnOffMultiplexer::table1(1.0).model().unwrap();
+    let registry = Arc::new(MetricsRegistry::new());
+    let cfg = SolverConfig::default()
+        .with_recorder(RecorderHandle::new(Arc::clone(&registry) as Arc<dyn Recorder>));
+    let sol = moments(&model, 3, 0.5, &cfg).unwrap();
+
+    let snap = registry.snapshot();
+    let g = snap.gauge("solver.g").expect("solver.g gauge");
+    assert_eq!(g as u64, sol.stats.iterations);
+    let kept = snap.counter("poisson.weights_kept").unwrap();
+    let trimmed = snap.counter("poisson.weights_trimmed").unwrap();
+    assert_eq!(
+        kept + trimmed,
+        sol.stats.iterations + 1,
+        "kept + trimmed must cover all G+1 Poisson weights"
+    );
+    assert_eq!(
+        snap.counter("kernel.passes").unwrap(),
+        sol.stats.iterations + 1
+    );
+    for stage in [
+        "solve.setup",
+        "solve.truncation",
+        "solve.poisson",
+        "solve.recursion",
+        "solve.assemble",
+    ] {
+        assert!(snap.timing(stage).is_some(), "missing stage {stage}");
+    }
+
+    let report = sol.report.as_ref().expect("report attached");
+    let json = report.to_json();
+    let v = somrm::obs::json::parse(&json).expect("report JSON parses");
+    assert_eq!(v.get("command").and_then(|c| c.as_str()), Some("moments"));
+    assert_eq!(
+        v.get("G").and_then(|g| g.as_f64()),
+        Some(sol.stats.iterations as f64)
+    );
+}
+
+#[test]
+fn per_order_bounds_are_monotone_on_onoff_model() {
+    let model = OnOffMultiplexer::table1(1.0).model().unwrap();
+    let order = 5;
+    let sol = moments(&model, order, 0.5, &SolverConfig::default()).unwrap();
+    for n in 1..=order {
+        assert!(
+            sol.error_bound(n) >= sol.error_bound(n - 1),
+            "per-order bound must grow with the order: bound({n}) = {} < bound({}) = {}",
+            sol.error_bound(n),
+            n - 1,
+            sol.error_bound(n - 1)
+        );
+    }
+    assert_eq!(sol.error_bound(order), sol.stats.error_bound);
+    assert!(sol.error_bound(order) < 1e-9, "worst bound within epsilon");
+}
+
+#[test]
+fn noop_recorder_is_bit_identical_to_disabled() {
+    let model = OnOffMultiplexer::table1(1.0).model().unwrap();
+    let plain_cfg = SolverConfig::default();
+    let noop_cfg = SolverConfig::default()
+        .with_recorder(RecorderHandle::new(Arc::new(NoopRecorder) as Arc<dyn Recorder>));
+    for &t in &[0.1, 0.5, 2.0] {
+        let a = moments(&model, 4, t, &plain_cfg).unwrap();
+        let b = moments(&model, 4, t, &noop_cfg).unwrap();
+        // Bit-for-bit equality, not approximate: instrumentation only
+        // observes, so every float must be untouched.
+        assert_eq!(a.weighted, b.weighted, "t = {t}");
+        assert_eq!(a.per_state, b.per_state, "t = {t}");
+        assert_eq!(a.error_bounds, b.error_bounds, "t = {t}");
+        assert!(a.report.is_none());
+        assert!(b.report.is_some(), "noop is enabled-path: report attached");
+    }
+}
