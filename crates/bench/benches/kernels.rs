@@ -2,6 +2,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use somrm_linalg::dense::Mat;
+use somrm_linalg::dia::{DiaMatrix, IterationMatrix, MatrixFormat};
 use somrm_linalg::expm::expm;
 use somrm_linalg::fused::FusedMomentKernel;
 use somrm_linalg::pool::WorkerPool;
@@ -19,6 +20,10 @@ fn sparse_matvec(c: &mut Criterion) {
     let mut y = vec![0.0f64; n];
     c.bench_function("csr_matvec_100k_tridiag", |bch| {
         bch.iter(|| m.matvec_into(black_box(&x), &mut y))
+    });
+    let dia = DiaMatrix::from_csr(&m).expect("tridiagonal is DIA-profitable");
+    c.bench_function("dia_matvec_100k_tridiag", |bch| {
+        bch.iter(|| dia.matvec_into(black_box(&x), &mut y))
     });
 }
 
@@ -79,16 +84,19 @@ fn fused_step(c: &mut Criterion) {
     let u0 = vec![1.0f64; n];
     let active = [(0usize, 0.01f64)];
     let mut group = c.benchmark_group("fused_step_8192_order2");
-    for &threads in &[1usize, 2, 4, 8] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, &threads| {
-                let mut k =
-                    FusedMomentKernel::new(&m, &r_prime, &s_half, order, 1, &u0, threads);
-                b.iter(|| k.step(black_box(&active), true));
-            },
-        );
+    for format in [MatrixFormat::Csr, MatrixFormat::Dia] {
+        let matrix = IterationMatrix::with_format(m.clone(), format);
+        for &threads in &[1usize, 2, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format.to_string(), threads),
+                &threads,
+                |b, &threads| {
+                    let mut k =
+                        FusedMomentKernel::new(&matrix, &r_prime, &s_half, order, 1, &u0, threads);
+                    b.iter(|| k.step(black_box(&active), true));
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -9,6 +9,7 @@ use somrm_core::impulse::moments_with_impulse;
 use somrm_core::moments::summarize;
 use somrm_core::uniformization::{moments, MomentSolution, SolverConfig};
 use somrm_ctmc::stationary::stationary_gth;
+use somrm_linalg::MatrixFormat;
 use somrm_num::Dd;
 use somrm_obs::{MetricsRegistry, Recorder, RecorderHandle, SolveReport, TraceRecorder};
 use somrm_sim::reward::{estimate_moments, estimate_moments_impulse};
@@ -33,6 +34,9 @@ pub struct CommonOpts {
     /// `--trace`: print span open/close lines with timings to stderr
     /// while the solver runs.
     pub trace: bool,
+    /// `--format`: iteration-matrix storage (`auto` detects banded
+    /// structure and promotes to DIA; `csr`/`dia` force a format).
+    pub format: MatrixFormat,
 }
 
 impl Default for CommonOpts {
@@ -43,6 +47,7 @@ impl Default for CommonOpts {
             threads: 1,
             metrics: None,
             trace: false,
+            format: MatrixFormat::Auto,
         }
     }
 }
@@ -67,6 +72,7 @@ impl CommonOpts {
         SolverConfig {
             epsilon: self.epsilon,
             threads: self.threads,
+            format: self.format,
             recorder: rec.clone(),
             ..SolverConfig::default()
         }

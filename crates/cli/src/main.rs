@@ -14,6 +14,7 @@ use somrm_cli::commands::{
     cmd_bounds, cmd_check, cmd_density, cmd_moments, cmd_simulate, cmd_sweep, CommonOpts,
 };
 use somrm_cli::format::parse_model;
+use somrm_linalg::MatrixFormat;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: somrm-tool <check|moments|bounds|simulate|density|sweep> <model-file> [options]
@@ -28,6 +29,8 @@ options:
   --eps E         solver precision (default 1e-9)
   --threads N     solver worker threads (default 1; results are
                   identical for any count)
+  --format F      iteration-matrix storage: auto|csr|dia (default auto;
+                  results are identical for any choice)
   --metrics DEST  emit the JSON solve report; DEST '-' replaces the
                   normal output on stdout, anything else is a file path
   --trace         print solver stage timings to stderr as they happen
@@ -81,6 +84,7 @@ fn run() -> Result<String, String> {
         threads: flag(&args, "--threads", 1usize)?,
         metrics: opt_flag(&args, "--metrics")?,
         trace: switch(&args, "--trace"),
+        format: flag(&args, "--format", MatrixFormat::Auto)?,
     };
     match cmd.as_str() {
         "check" => cmd_check(&parsed, &opts),

@@ -13,7 +13,8 @@
 use crate::error::MrmError;
 use crate::model::SecondOrderMrm;
 use crate::uniformization::{poisson_accounting, MomentSolution, SolverConfig, SolverStats};
-use somrm_num::poisson;
+use somrm_linalg::IterationMatrix;
+use somrm_num::poisson::{self, PoissonWindow};
 use somrm_num::special::ln_factorial;
 use somrm_num::sum::NeumaierSum;
 use somrm_obs::{SolveReport, SolverSection};
@@ -84,10 +85,13 @@ pub fn moments_first_order(
     let rec = &config.recorder;
     let d = max_rate / q;
     let (q_prime, r_prime) = rec.time("solve.setup", || {
-        let q_prime = model
-            .generator()
-            .uniformized_kernel(q)
-            .expect("q > 0 checked above");
+        let q_prime = IterationMatrix::with_format(
+            model
+                .generator()
+                .uniformized_kernel(q)
+                .expect("q > 0 checked above"),
+            config.format,
+        );
         let r_prime: Vec<f64> = shifted.iter().map(|&r| r / (q * d)).collect();
         (q_prime, r_prime)
     });
@@ -103,8 +107,13 @@ pub fn moments_first_order(
         rec.gauge_set("solver.shift", shift);
         rec.gauge_set("solver.g", g_limit as f64);
         rec.gauge_set("solver.error_bound", error_bound);
+        rec.gauge_set(
+            "solver.matrix_format",
+            if q_prime.is_dia() { 1.0 } else { 0.0 },
+        );
+        rec.gauge_set("solver.bandwidth", q_prime.bandwidth() as f64);
     }
-    let weights = rec.time("solve.poisson", || poisson::weights_upto(qt, g_limit));
+    let window = rec.time("solve.poisson", || Some(PoissonWindow::exact(qt, g_limit)));
 
     let mut u: Vec<Vec<f64>> = (0..=order)
         .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
@@ -114,7 +123,7 @@ pub fn moments_first_order(
 
     let recursion = rec.span("solve.recursion");
     for k in 0..=g_limit {
-        let wk = weights[k as usize];
+        let wk = window.as_ref().map_or(0.0, |w| w.weight(k));
         if wk > 0.0 {
             for j in 0..=order {
                 for i in 0..n_states {
@@ -177,7 +186,7 @@ pub fn moments_first_order(
                 threads: 1,
                 error_bound,
                 error_bounds: error_bounds.clone(),
-                poisson: poisson_accounting(&[t], std::slice::from_ref(&weights), g_limit),
+                poisson: poisson_accounting(&[t], std::slice::from_ref(&window), g_limit),
             }),
             pool: None,
             metrics: rec.snapshot().unwrap_or_default(),

@@ -39,7 +39,8 @@ use crate::error::MrmError;
 use crate::model::SecondOrderMrm;
 use crate::uniformization::{poisson_accounting, MomentSolution, SolverConfig, SolverStats};
 use somrm_linalg::sparse::{CsrMatrix, TripletBuilder};
-use somrm_num::poisson;
+use somrm_linalg::IterationMatrix;
+use somrm_num::poisson::{self, PoissonWindow};
 use somrm_num::special::ln_factorial;
 use somrm_num::sum::NeumaierSum;
 use somrm_obs::{SolveReport, SolverSection};
@@ -188,10 +189,12 @@ pub fn moments_with_impulse(
 
     let rec = &config.recorder;
     let setup = rec.span("solve.setup");
-    let q_prime = base
-        .generator()
-        .uniformized_kernel(q)
-        .expect("q > 0 checked above");
+    let q_prime = IterationMatrix::with_format(
+        base.generator()
+            .uniformized_kernel(q)
+            .expect("q > 0 checked above"),
+        config.format,
+    );
     let r_prime: Vec<f64> = shifted_rates.iter().map(|&r| r / (q * d)).collect();
     let s_half: Vec<f64> = base
         .variances()
@@ -225,13 +228,14 @@ pub fn moments_with_impulse(
         rec.gauge_set("solver.shift", shift);
         rec.gauge_set("solver.g", g_limit as f64);
         rec.gauge_set("solver.error_bound", error_bound);
+        rec.gauge_set(
+            "solver.matrix_format",
+            if q_prime.is_dia() { 1.0 } else { 0.0 },
+        );
+        rec.gauge_set("solver.bandwidth", q_prime.bandwidth() as f64);
     }
-    let weights = rec.time("solve.poisson", || {
-        if t == 0.0 {
-            Vec::new()
-        } else {
-            poisson::weights_upto(qt, g_limit)
-        }
+    let window = rec.time("solve.poisson", || {
+        (t > 0.0).then(|| PoissonWindow::exact(qt, g_limit))
     });
 
     let mut u: Vec<Vec<f64>> = (0..=order)
@@ -243,7 +247,7 @@ pub fn moments_with_impulse(
 
     let recursion = rec.span("solve.recursion");
     for k in 0..=g_limit {
-        let wk = weights.get(k as usize).copied().unwrap_or(0.0);
+        let wk = window.as_ref().map_or(0.0, |w| w.weight(k));
         if wk > 0.0 {
             for j in 0..=order {
                 for i in 0..n_states {
@@ -326,7 +330,7 @@ pub fn moments_with_impulse(
                 threads: 1,
                 error_bound,
                 error_bounds: error_bounds.clone(),
-                poisson: poisson_accounting(&[t], std::slice::from_ref(&weights), g_limit),
+                poisson: poisson_accounting(&[t], std::slice::from_ref(&window), g_limit),
             }),
             pool: None,
             metrics: rec.snapshot().unwrap_or_default(),

@@ -23,8 +23,8 @@ use crate::model::SecondOrderMrm;
 use crate::uniformization::{
     poisson_accounting, pool_section, MomentSolution, SolverConfig, SolverStats,
 };
-use somrm_linalg::FusedMomentKernel;
-use somrm_num::poisson;
+use somrm_linalg::{FusedMomentKernel, IterationMatrix};
+use somrm_num::poisson::{self, PoissonWindow};
 use somrm_num::special::{binomial, ln_factorial};
 use somrm_obs::{SolveReport, SolverSection};
 use std::sync::Arc;
@@ -133,18 +133,19 @@ pub fn moments_terminal_weighted(
     let max_sigma = model.variances().iter().map(|&s| s.sqrt()).fold(0.0, f64::max);
     let d = (max_rate / q).max(max_sigma / q.sqrt()).max(f64::MIN_POSITIVE);
 
-    let (q_prime, r_prime, s_half) = rec.time("solve.setup", || {
+    let (matrix, r_prime, s_half) = rec.time("solve.setup", || {
         let q_prime = model
             .generator()
             .uniformized_kernel(q)
             .expect("q > 0 checked above");
+        let matrix = IterationMatrix::with_format(q_prime, config.format);
         let r_prime: Vec<f64> = shifted_rates.iter().map(|&r| r / (q * d)).collect();
         let s_half: Vec<f64> = model
             .variances()
             .iter()
             .map(|&s| 0.5 * s / (q * d * d))
             .collect();
-        (q_prime, r_prime, s_half)
+        (matrix, r_prime, s_half)
     });
 
     let qt = q * t;
@@ -158,13 +159,18 @@ pub fn moments_terminal_weighted(
         rec.gauge_set("solver.shift", shift);
         rec.gauge_set("solver.g", g_limit as f64);
         rec.gauge_set("solver.error_bound", error_bound);
+        rec.gauge_set(
+            "solver.matrix_format",
+            if matrix.is_dia() { 1.0 } else { 0.0 },
+        );
+        rec.gauge_set("solver.bandwidth", matrix.bandwidth() as f64);
     }
-    let weights = rec.time("solve.poisson", || poisson::weights_trimmed(qt, g_limit));
+    let window = rec.time("solve.poisson", || Some(PoissonWindow::exact(qt, g_limit)));
 
     // Same fused kernel as the plain sweep, with U⁽⁰⁾(0) = w and a
     // single time point; threads live in one pool for the whole solve.
     let mut kernel = FusedMomentKernel::new(
-        &q_prime,
+        &matrix,
         &r_prime,
         &s_half,
         order,
@@ -175,8 +181,9 @@ pub fn moments_terminal_weighted(
     kernel.set_recorder(rec.clone());
     {
         let _recursion = rec.span("solve.recursion");
+        let w = window.as_ref().expect("qt > 0 here");
         for k in 0..=g_limit {
-            let wk = weights.get(k as usize).copied().unwrap_or(0.0);
+            let wk = w.weight(k);
             let active = [(0usize, wk)];
             kernel.step(if wk > 0.0 { &active } else { &[] }, k < g_limit);
         }
@@ -241,7 +248,7 @@ pub fn moments_terminal_weighted(
                 threads: kernel.threads(),
                 error_bound,
                 error_bounds: error_bounds.clone(),
-                poisson: poisson_accounting(&[t], std::slice::from_ref(&weights), g_limit),
+                poisson: poisson_accounting(&[t], std::slice::from_ref(&window), g_limit),
             }),
             pool: kernel.pool_stats().map(pool_section),
             metrics: rec.snapshot().unwrap_or_default(),

@@ -40,8 +40,8 @@
 
 use crate::error::MrmError;
 use crate::model::SecondOrderMrm;
-use somrm_linalg::FusedMomentKernel;
-use somrm_num::poisson;
+use somrm_linalg::{FusedMomentKernel, IterationMatrix, MatrixFormat};
+use somrm_num::poisson::{self, PoissonWindow};
 use somrm_num::special::{binomial, ln_factorial};
 use somrm_num::sum::NeumaierSum;
 use somrm_obs::{PoissonStat, PoolSection, RecorderHandle, SolveReport, SolverSection};
@@ -70,6 +70,13 @@ pub struct SolverConfig {
     /// than it saves on short rows). Lower it in tests to exercise the
     /// pooled path on small models.
     pub parallel_threshold: usize,
+    /// Storage format for the iteration matrix `Q'`. The default
+    /// [`MatrixFormat::Auto`] selects the banded DIA kernel when the
+    /// matrix is diagonal-structured (e.g. the paper's birth–death
+    /// models) and generic CSR otherwise; forcing either format never
+    /// changes results — the two kernels are bit-identical (see
+    /// `somrm_linalg::dia`).
+    pub format: MatrixFormat,
     /// Telemetry sink. Disabled by default: every instrumentation site
     /// degrades to a single branch, and no [`SolveReport`] is built.
     /// Attaching a recorder never changes computed results — the
@@ -84,6 +91,7 @@ impl Default for SolverConfig {
             max_iterations: 50_000_000,
             threads: 1,
             parallel_threshold: 4096,
+            format: MatrixFormat::Auto,
             recorder: RecorderHandle::disabled(),
         }
     }
@@ -325,19 +333,22 @@ pub fn moments_sweep(
         return Ok(solutions);
     }
 
-    // Substochastic ingredients.
-    let (q_prime, r_prime, s_half) = rec.time("solve.setup", || {
+    // Substochastic ingredients. The iteration matrix format (CSR vs
+    // banded DIA) is selected once here; every later mat-vec dispatches
+    // on the chosen variant.
+    let (matrix, r_prime, s_half) = rec.time("solve.setup", || {
         let q_prime = model
             .generator()
             .uniformized_kernel(q)
             .expect("q > 0 checked above");
+        let matrix = IterationMatrix::with_format(q_prime, config.format);
         let r_prime: Vec<f64> = shifted_rates.iter().map(|&r| r / (q * d)).collect();
         let s_half: Vec<f64> = model
             .variances()
             .iter()
             .map(|&s| 0.5 * s / (q * d * d))
             .collect();
-        (q_prime, r_prime, s_half)
+        (matrix, r_prime, s_half)
     });
 
     // Truncation point: the largest G over requested times and orders.
@@ -353,29 +364,39 @@ pub fn moments_sweep(
         rec.gauge_set("solver.shift", shift);
         rec.gauge_set("solver.g", g_limit as f64);
         rec.gauge_set("solver.error_bound", error_bound);
+        rec.gauge_set(
+            "solver.matrix_format",
+            if matrix.is_dia() { 1.0 } else { 0.0 },
+        );
+        rec.gauge_set("solver.bandwidth", matrix.bandwidth() as f64);
     }
 
-    // Poisson weights per time point, each trimmed at its own underflow
-    // tail (the global G belongs to the largest time; smaller times'
-    // weights hit exact 0.0 much earlier).
-    let weights: Vec<Vec<f64>> = rec.time("solve.poisson", || {
+    // Poisson weight windows per time point: each holds only its own
+    // non-zero pmf support `[left, right]`. The right edge is the usual
+    // underflow trim (the global G belongs to the largest time; smaller
+    // times' weights hit exact 0.0 much earlier); the left edge lets the
+    // accumulation loop skip every `k < left`, whose weights underflow
+    // to exact 0.0 for large `qt` (≈ 4/5 of the series at qt = 40,000).
+    let windows: Vec<Option<PoissonWindow>> = rec.time("solve.poisson", || {
         times
             .iter()
             .map(|&t| {
                 if t == 0.0 {
-                    Vec::new()
+                    None
                 } else {
-                    poisson::weights_trimmed(q * t, g_limit)
+                    Some(PoissonWindow::exact(q * t, g_limit))
                 }
             })
             .collect()
     });
     let poisson_stats: Vec<PoissonStat> = if rec.enabled() {
-        let stats = poisson_accounting(times, &weights, g_limit);
+        let stats = poisson_accounting(times, &windows, g_limit);
         let kept: u64 = stats.iter().map(|p| p.weights_kept).sum();
         let trimmed: u64 = stats.iter().map(|p| p.weights_trimmed).sum();
+        let left_skipped: u64 = stats.iter().map(|p| p.weights_left_skipped).sum();
         rec.counter_add("poisson.weights_kept", kept);
         rec.counter_add("poisson.weights_trimmed", trimmed);
+        rec.counter_add("poisson.weights_left_skipped", left_skipped);
         stats
     } else {
         Vec::new()
@@ -387,7 +408,7 @@ pub fn moments_sweep(
     // kernel is created once here and dropped with it.
     let u0 = vec![1.0; n_states];
     let mut kernel = FusedMomentKernel::new(
-        &q_prime,
+        &matrix,
         &r_prime,
         &s_half,
         order,
@@ -401,8 +422,11 @@ pub fn moments_sweep(
         let mut active: Vec<(usize, f64)> = Vec::with_capacity(times.len());
         for k in 0..=g_limit {
             active.clear();
-            for (ti, w) in weights.iter().enumerate() {
-                let wk = w.get(k as usize).copied().unwrap_or(0.0);
+            for (ti, w) in windows.iter().enumerate() {
+                // `weight(k)` is exactly 0.0 outside each window, so
+                // skipped-left terms never enter the accumulation — the
+                // recursion still advances U_k below every left edge.
+                let wk = w.as_ref().map_or(0.0, |w| w.weight(k));
                 if wk > 0.0 {
                     active.push((ti, wk));
                 }
@@ -493,23 +517,36 @@ pub fn moments_sweep(
 }
 
 /// Per-time-point weight accounting for the report: how many series
-/// terms carried non-zero Poisson weight, and how much mass they retain.
+/// terms carried non-zero Poisson weight, how many were skipped below
+/// the window's left edge, and how much mass the kept ones retain.
 pub(crate) fn poisson_accounting(
     times: &[f64],
-    weights: &[Vec<f64>],
+    windows: &[Option<PoissonWindow>],
     g_limit: u64,
 ) -> Vec<PoissonStat> {
     times
         .iter()
-        .zip(weights)
-        .map(|(&t, w)| {
-            let kept = w.iter().filter(|&&wk| wk > 0.0).count() as u64;
-            PoissonStat {
-                t,
-                weights_kept: kept,
-                weights_trimmed: (g_limit + 1).saturating_sub(kept),
-                retained_mass: w.iter().sum(),
+        .zip(windows)
+        .map(|(&t, w)| match w {
+            Some(w) => {
+                let kept = w.weights().len() as u64;
+                let left_skipped = w.left();
+                PoissonStat {
+                    t,
+                    weights_kept: kept,
+                    weights_left_skipped: left_skipped,
+                    weights_trimmed: (g_limit + 1).saturating_sub(kept + left_skipped),
+                    retained_mass: w.weights().iter().sum(),
+                }
             }
+            // t = 0: no window; every term of the series is trimmed.
+            None => PoissonStat {
+                t,
+                weights_kept: 0,
+                weights_left_skipped: 0,
+                weights_trimmed: g_limit + 1,
+                retained_mass: 0.0,
+            },
         })
         .collect()
 }
@@ -1112,9 +1149,13 @@ mod tests {
             snap.counter("kernel.passes"),
             Some(sol.stats.iterations + 1)
         );
+        // The 2-state tridiagonal kernel is auto-promoted to DIA.
+        assert_eq!(snap.gauge("solver.matrix_format"), Some(1.0));
+        assert_eq!(snap.gauge("solver.bandwidth"), Some(1.0));
         let kept = snap.counter("poisson.weights_kept").unwrap();
         let trimmed = snap.counter("poisson.weights_trimmed").unwrap();
-        assert_eq!(kept + trimmed, sol.stats.iterations + 1);
+        let left_skipped = snap.counter("poisson.weights_left_skipped").unwrap_or(0);
+        assert_eq!(kept + trimmed + left_skipped, sol.stats.iterations + 1);
         for stage in ["solve.setup", "solve.truncation", "solve.poisson", "solve.recursion", "solve.assemble"] {
             assert_eq!(snap.timing(stage).map(|t| t.count), Some(1), "{stage}");
         }
@@ -1125,7 +1166,9 @@ mod tests {
         assert_eq!(section.error_bounds, sol.error_bounds);
         assert_eq!(section.poisson.len(), 1);
         assert_eq!(
-            section.poisson[0].weights_kept + section.poisson[0].weights_trimmed,
+            section.poisson[0].weights_kept
+                + section.poisson[0].weights_trimmed
+                + section.poisson[0].weights_left_skipped,
             sol.stats.iterations + 1
         );
         assert!((section.poisson[0].retained_mass - 1.0).abs() < 1e-6);

@@ -1,0 +1,98 @@
+//! CSR vs DIA iteration-matrix formats on the paper's birth–death shape.
+//!
+//! Two comparisons at each model size (states = sources + 1):
+//!
+//! * **SpMV** — one `matvec_into` on the tridiagonal uniformized kernel,
+//!   best of `--reps` calls;
+//! * **solve** — a full order-2 moment solve with the format forced via
+//!   `SolverConfig::format`, at a time chosen so `qt ≈ 4096` regardless
+//!   of size (`q = 4·sources` for the Table-2 parameters), keeping the
+//!   iteration count comparable across sizes.
+//!
+//! The default size list ends at the paper's full-scale 200,001-state
+//! model. Both formats produce bit-identical moments (asserted here on
+//! every run); the only difference is wall-clock. All numbers are
+//! single-process wall-clock on whatever CPU runs this — see
+//! EXPERIMENTS.md for the honest caveats.
+
+use somrm_core::uniformization::{moments, SolverConfig};
+use somrm_experiments::flag_value;
+use somrm_linalg::{DiaMatrix, MatrixFormat};
+use somrm_models::OnOffMultiplexer;
+use std::time::Instant;
+
+fn best_of<F: FnMut()>(reps: usize, mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reps: usize = flag_value(&args, "--reps").unwrap_or(5);
+    let max_states: usize = flag_value(&args, "--max-states").unwrap_or(200_001);
+    let order = 2;
+
+    let sizes: Vec<usize> = [1_000usize, 10_000, 100_000, 200_001]
+        .into_iter()
+        .filter(|&n| n <= max_states)
+        .collect();
+
+    println!("# kernel_formats: CSR vs DIA on the ON-OFF birth–death chain");
+    println!("# order {order}, qt ≈ 4096 at every size, best of {reps} reps");
+    println!(
+        "{:>9} {:>13} {:>13} {:>7} {:>12} {:>12} {:>7}",
+        "states", "spmv_csr_s", "spmv_dia_s", "ratio", "solve_csr_s", "solve_dia_s", "ratio"
+    );
+
+    for &states in &sizes {
+        let sources = states - 1;
+        let mux = OnOffMultiplexer::table2_scaled(sources);
+        let model = mux.model_steady_start().expect("model builds");
+        let q = model.generator().uniformization_rate();
+
+        // SpMV comparison on the uniformized kernel itself.
+        let csr = model.generator().uniformized_kernel(q).expect("q > 0");
+        let dia = DiaMatrix::from_csr(&csr).expect("tridiagonal is DIA-profitable");
+        assert_eq!(dia.bandwidth(), 1);
+        let x: Vec<f64> = (0..states).map(|i| 1.0 + ((i * 37) % 11) as f64).collect();
+        let mut y = vec![0.0f64; states];
+        let mut z = vec![0.0f64; states];
+        let spmv_csr = best_of(reps.max(20), || csr.matvec_into(&x, &mut y));
+        let spmv_dia = best_of(reps.max(20), || dia.matvec_into(&x, &mut z));
+        assert_eq!(y, z, "DIA SpMV must be bit-identical to CSR");
+
+        // Full solve with each format forced; qt ≈ 4096 at every size.
+        let t = 4096.0 / q;
+        let solve_with = |format: MatrixFormat| {
+            let cfg = SolverConfig {
+                format,
+                ..SolverConfig::default()
+            };
+            moments(&model, order, t, &cfg).expect("solve")
+        };
+        let mut sol_csr = None;
+        let solve_csr = best_of(reps, || sol_csr = Some(solve_with(MatrixFormat::Csr)));
+        let mut sol_dia = None;
+        let solve_dia = best_of(reps, || sol_dia = Some(solve_with(MatrixFormat::Dia)));
+        let (a, b) = (sol_csr.unwrap(), sol_dia.unwrap());
+        assert_eq!(a.weighted, b.weighted, "formats must agree bitwise");
+        assert_eq!(a.per_state, b.per_state, "formats must agree bitwise");
+
+        println!(
+            "{:>9} {:>13.6} {:>13.6} {:>6.2}x {:>12.3} {:>12.3} {:>6.2}x",
+            states,
+            spmv_csr,
+            spmv_dia,
+            spmv_csr / spmv_dia,
+            solve_csr,
+            solve_dia,
+            solve_csr / solve_dia
+        );
+    }
+    println!("# single-CPU wall-clock; ratios > 1.00x favour DIA");
+}

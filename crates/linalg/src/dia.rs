@@ -1,0 +1,496 @@
+//! Diagonal (DIA) sparse storage for banded matrices.
+//!
+//! The paper's headline model — the 200,001-state ON-OFF multiplexer —
+//! has a birth–death generator, so the uniformized `Q'` is tridiagonal.
+//! CSR spends its inner loop chasing `col_idx` through memory; for a
+//! matrix whose entries live on a handful of diagonals, storing each
+//! diagonal contiguously gives a branch-free, unit-stride kernel: for
+//! every stored diagonal `o`, `y[i] += diag[i] · x[i + o]` over the rows
+//! where the diagonal is in bounds. No index array, no per-entry branch,
+//! and both streams advance by one element per step.
+//!
+//! ## Bit-identity with the CSR kernel
+//!
+//! [`DiaMatrix::matvec_into`] produces the same floating-point results
+//! as [`CsrMatrix::matvec_into`] on the same matrix:
+//!
+//! * [`TripletBuilder`](crate::sparse::TripletBuilder) sorts entries by
+//!   `(row, col)`, so the CSR row dot accumulates in ascending column
+//!   order. The DIA kernel visits diagonals in ascending offset order,
+//!   which for any fixed row is the *same* ascending column order, with
+//!   the same left-associated `acc + v·x` chain (`y[i]` starts at `0.0`
+//!   and takes one `+=` per diagonal).
+//! * Positions padded with `+0.0` (rows where a stored diagonal has no
+//!   structural entry) contribute `+0.0 · x` terms. All solver matrices
+//!   (`Q'`, and the `U` iterates they multiply) are non-negative, where
+//!   `acc + 0.0·x` is bitwise the identity; for general signed data the
+//!   only possible difference is the sign of an exact zero (`-0.0` vs
+//!   `+0.0`), which `==` cannot observe.
+//!
+//! [`IterationMatrix`] is the dispatch point the solvers iterate over:
+//! built once per solve from the uniformized CSR matrix, auto-selecting
+//! DIA when the diagonal count makes it profitable ([`MatrixFormat::Auto`]),
+//! or forced either way for benchmarks and tests.
+
+use crate::sparse::CsrMatrix;
+
+/// A sparse matrix stored by diagonals (DIA format).
+///
+/// Entry `A[i][j]` with `j - i = offsets[d]` lives at `data[d·n + i]`;
+/// positions where a stored diagonal has no structural entry hold `+0.0`.
+/// Offsets are strictly ascending.
+///
+/// # Example
+///
+/// ```
+/// use somrm_linalg::{DiaMatrix, TripletBuilder};
+///
+/// let mut b = TripletBuilder::new(3, 3);
+/// b.push(0, 0, 2.0);
+/// b.push(1, 1, 2.0);
+/// b.push(2, 2, 2.0);
+/// b.push(0, 1, 1.0);
+/// b.push(1, 2, 1.0);
+/// let csr = b.build();
+/// let dia = DiaMatrix::from_csr(&csr).expect("bidiagonal is DIA-friendly");
+/// assert_eq!(dia.bandwidth(), 1);
+/// assert_eq!(dia.offsets(), &[0, 1]);
+/// let mut y = vec![0.0; 3];
+/// dia.matvec_into(&[1.0, 10.0, 100.0], &mut y);
+/// assert_eq!(y, vec![12.0, 120.0, 200.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiaMatrix {
+    n: usize,
+    /// Strictly ascending diagonal offsets (`col - row`).
+    offsets: Vec<isize>,
+    /// Flattened diagonals: `data[d·n + i] = A[i][i + offsets[d]]`.
+    data: Vec<f64>,
+    /// Structural non-zeros of the CSR source (for reporting).
+    nnz: usize,
+}
+
+impl DiaMatrix {
+    /// Converts a square CSR matrix to DIA **if the format is profitable**:
+    /// the number of distinct diagonals must satisfy
+    /// `ndiag · n ≤ 4 · nnz + 64`, i.e. the padded diagonal storage may
+    /// exceed the CSR payload by at most a small constant factor.
+    /// Returns `None` for non-square matrices or when too many diagonals
+    /// are populated (a scattered matrix would explode to `O(n²)` here).
+    pub fn from_csr(csr: &CsrMatrix<f64>) -> Option<DiaMatrix> {
+        let offsets = distinct_offsets(csr)?;
+        if offsets.len().saturating_mul(csr.rows()) > 4 * csr.nnz() + 64 {
+            return None;
+        }
+        Some(Self::assemble(csr, offsets))
+    }
+
+    /// Converts any square CSR matrix to DIA, regardless of how many
+    /// diagonals are populated (benchmarks and format-forcing only —
+    /// a scattered matrix stores up to `2n − 1` full diagonals).
+    ///
+    /// Returns `None` only for non-square matrices.
+    pub fn from_csr_forced(csr: &CsrMatrix<f64>) -> Option<DiaMatrix> {
+        let offsets = distinct_offsets(csr)?;
+        Some(Self::assemble(csr, offsets))
+    }
+
+    fn assemble(csr: &CsrMatrix<f64>, offsets: Vec<isize>) -> DiaMatrix {
+        let n = csr.rows();
+        let mut data = vec![0.0f64; offsets.len() * n];
+        for i in 0..n {
+            for (j, v) in csr.row(i) {
+                let o = j as isize - i as isize;
+                let d = offsets.binary_search(&o).expect("offset collected above");
+                data[d * n + i] = v;
+            }
+        }
+        DiaMatrix {
+            n,
+            offsets,
+            data,
+            nnz: csr.nnz(),
+        }
+    }
+
+    /// Matrix dimension (the matrix is square by construction).
+    pub fn rows(&self) -> usize {
+        self.n
+    }
+
+    /// The stored diagonal offsets, strictly ascending.
+    pub fn offsets(&self) -> &[isize] {
+        &self.offsets
+    }
+
+    /// The flattened diagonal data (`data[d·n + i]`).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Structural non-zeros of the CSR matrix this was built from.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Maximum `|offset|` over the stored diagonals (0 for diagonal or
+    /// empty matrices). A birth–death generator reports 1.
+    pub fn bandwidth(&self) -> usize {
+        self.offsets
+            .iter()
+            .map(|&o| o.unsigned_abs())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The row range `lo..hi` where diagonal offset `o` is in bounds.
+    #[inline]
+    pub(crate) fn diag_rows(n: usize, o: isize) -> std::ops::Range<usize> {
+        let hi = (n as isize - o.max(0)).max(0) as usize;
+        let lo = ((-o).max(0) as usize).min(hi);
+        lo..hi
+    }
+
+    /// Computes `y = A·x`: one branch-free, unit-stride pass per stored
+    /// diagonal, bit-identical to the CSR kernel (see the module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths do not match the matrix dimension.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n, "matvec: x length mismatch");
+        assert_eq!(y.len(), self.n, "matvec: y length mismatch");
+        y.fill(0.0);
+        for (d, &o) in self.offsets.iter().enumerate() {
+            let diag = &self.data[d * self.n..(d + 1) * self.n];
+            for i in Self::diag_rows(self.n, o) {
+                y[i] += diag[i] * x[(i as isize + o) as usize];
+            }
+        }
+    }
+
+    /// `A·x` as a fresh vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len()` does not match the matrix dimension.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.matvec_into(x, &mut y);
+        y
+    }
+}
+
+/// The distinct `col − row` offsets of a square CSR matrix, ascending;
+/// `None` if the matrix is not square.
+fn distinct_offsets(csr: &CsrMatrix<f64>) -> Option<Vec<isize>> {
+    if csr.rows() != csr.cols() {
+        return None;
+    }
+    let (row_ptr, col_idx, _) = csr.csr_parts();
+    let mut offsets: Vec<isize> = Vec::new();
+    for i in 0..csr.rows() {
+        for k in row_ptr[i]..row_ptr[i + 1] {
+            let o = col_idx[k] as isize - i as isize;
+            if let Err(pos) = offsets.binary_search(&o) {
+                offsets.insert(pos, o);
+            }
+        }
+    }
+    Some(offsets)
+}
+
+/// Which storage the solver's iteration matrix should use.
+///
+/// `Auto` (the default) converts to DIA when the bandwidth detector
+/// accepts the matrix and stays on CSR otherwise; `Csr`/`Dia` force the
+/// format (DIA on a scattered matrix stores every populated diagonal in
+/// full — benchmarks only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatrixFormat {
+    /// Pick per matrix: DIA when profitable, CSR otherwise.
+    #[default]
+    Auto,
+    /// Always CSR.
+    Csr,
+    /// Always DIA (padded to every populated diagonal).
+    Dia,
+}
+
+impl std::fmt::Display for MatrixFormat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MatrixFormat::Auto => "auto",
+            MatrixFormat::Csr => "csr",
+            MatrixFormat::Dia => "dia",
+        })
+    }
+}
+
+impl std::str::FromStr for MatrixFormat {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(MatrixFormat::Auto),
+            "csr" => Ok(MatrixFormat::Csr),
+            "dia" => Ok(MatrixFormat::Dia),
+            other => Err(format!("unknown matrix format '{other}' (auto|csr|dia)")),
+        }
+    }
+}
+
+/// The matrix a solver iterates with, in whichever storage was selected
+/// at solve setup. [`FusedMomentKernel`](crate::fused::FusedMomentKernel)
+/// and the serial solver loops dispatch over this enum once per pass;
+/// both variants produce bit-identical mat-vec results (module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum IterationMatrix {
+    /// Generic compressed-sparse-row storage.
+    Csr(CsrMatrix<f64>),
+    /// Diagonal storage for banded matrices.
+    Dia(DiaMatrix),
+}
+
+impl IterationMatrix {
+    /// Selects the storage for `csr` according to `format`.
+    ///
+    /// `Auto` defers to the [`DiaMatrix::from_csr`] profitability check;
+    /// `Dia` forces conversion via [`DiaMatrix::from_csr_forced`] and
+    /// falls back to CSR only for non-square matrices.
+    pub fn with_format(csr: CsrMatrix<f64>, format: MatrixFormat) -> IterationMatrix {
+        match format {
+            MatrixFormat::Auto => match DiaMatrix::from_csr(&csr) {
+                Some(d) => IterationMatrix::Dia(d),
+                None => IterationMatrix::Csr(csr),
+            },
+            MatrixFormat::Csr => IterationMatrix::Csr(csr),
+            MatrixFormat::Dia => match DiaMatrix::from_csr_forced(&csr) {
+                Some(d) => IterationMatrix::Dia(d),
+                None => IterationMatrix::Csr(csr),
+            },
+        }
+    }
+
+    /// [`IterationMatrix::with_format`] with [`MatrixFormat::Auto`].
+    pub fn auto(csr: CsrMatrix<f64>) -> IterationMatrix {
+        Self::with_format(csr, MatrixFormat::Auto)
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            IterationMatrix::Csr(m) => m.rows(),
+            IterationMatrix::Dia(m) => m.rows(),
+        }
+    }
+
+    /// Number of columns (square for the DIA variant by construction).
+    pub fn cols(&self) -> usize {
+        match self {
+            IterationMatrix::Csr(m) => m.cols(),
+            IterationMatrix::Dia(m) => m.rows(),
+        }
+    }
+
+    /// `true` if the DIA storage was selected.
+    pub fn is_dia(&self) -> bool {
+        matches!(self, IterationMatrix::Dia(_))
+    }
+
+    /// The selected format as a report-friendly name.
+    pub fn format_name(&self) -> &'static str {
+        match self {
+            IterationMatrix::Csr(_) => "csr",
+            IterationMatrix::Dia(_) => "dia",
+        }
+    }
+
+    /// Maximum `|col − row|` over the stored entries (an `O(nnz)` scan
+    /// for the CSR variant; precomputed for DIA).
+    pub fn bandwidth(&self) -> usize {
+        match self {
+            IterationMatrix::Csr(m) => {
+                let (row_ptr, col_idx, _) = m.csr_parts();
+                let mut bw = 0usize;
+                for i in 0..m.rows() {
+                    for k in row_ptr[i]..row_ptr[i + 1] {
+                        bw = bw.max(col_idx[k].abs_diff(i));
+                    }
+                }
+                bw
+            }
+            IterationMatrix::Dia(m) => m.bandwidth(),
+        }
+    }
+
+    /// Computes `y = A·x` with the selected kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer lengths do not match the matrix shape.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        match self {
+            IterationMatrix::Csr(m) => m.matvec_into(x, y),
+            IterationMatrix::Dia(m) => m.matvec_into(x, y),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sparse::TripletBuilder;
+
+    fn tridiag(n: usize) -> CsrMatrix<f64> {
+        let mut b = TripletBuilder::with_capacity(n, n, 3 * n);
+        for i in 0..n {
+            if i > 0 {
+                b.push(i, i - 1, 0.2 + (i % 5) as f64 * 0.03);
+            }
+            b.push(i, i, 0.4 + (i % 3) as f64 * 0.05);
+            if i + 1 < n {
+                b.push(i, i + 1, 0.3 - (i % 4) as f64 * 0.02);
+            }
+        }
+        b.build()
+    }
+
+    fn ring(n: usize) -> CsrMatrix<f64> {
+        let mut b = TripletBuilder::with_capacity(n, n, 2 * n);
+        for i in 0..n {
+            b.push(i, i, 0.5);
+            b.push(i, (i + 1) % n, 0.5);
+        }
+        b.build()
+    }
+
+    fn scattered(n: usize) -> CsrMatrix<f64> {
+        let mut b = TripletBuilder::with_capacity(n, n, 2 * n);
+        for i in 0..n {
+            b.push(i, i, 1.0);
+            b.push(i, (i * 7 + 3) % n, 0.01);
+        }
+        b.build()
+    }
+
+    fn test_vector(n: usize) -> Vec<f64> {
+        (0..n).map(|i| ((i * 29) % 13) as f64 / 7.0 - 0.8).collect()
+    }
+
+    #[test]
+    fn tridiagonal_is_detected_with_bandwidth_one() {
+        let csr = tridiag(100);
+        let dia = DiaMatrix::from_csr(&csr).expect("tridiagonal accepted");
+        assert_eq!(dia.offsets(), &[-1, 0, 1]);
+        assert_eq!(dia.bandwidth(), 1);
+        assert_eq!(dia.nnz(), csr.nnz());
+    }
+
+    #[test]
+    fn ring_matrix_is_accepted() {
+        // A ring chain has offsets {-(n-1), 0, 1}: three diagonals, so
+        // DIA is efficient even though the naive bandwidth is n-1.
+        let n = 64;
+        let dia = DiaMatrix::from_csr(&ring(n)).expect("ring accepted");
+        assert_eq!(dia.offsets(), &[-(n as isize - 1), 0, 1]);
+        assert_eq!(dia.bandwidth(), n - 1);
+    }
+
+    #[test]
+    fn scattered_matrix_is_rejected_but_forcible() {
+        let csr = scattered(257);
+        assert!(DiaMatrix::from_csr(&csr).is_none(), "too many diagonals");
+        let forced = DiaMatrix::from_csr_forced(&csr).expect("square always forcible");
+        assert_eq!(forced.matvec(&test_vector(257)), csr.matvec(&test_vector(257)));
+    }
+
+    #[test]
+    fn non_square_is_rejected() {
+        let csr = CsrMatrix::from_triplets(2, 3, &[(0, 0, 1.0)]);
+        assert!(DiaMatrix::from_csr(&csr).is_none());
+        assert!(DiaMatrix::from_csr_forced(&csr).is_none());
+        assert!(!IterationMatrix::auto(csr).is_dia());
+    }
+
+    #[test]
+    fn dia_matvec_bitwise_matches_csr() {
+        for csr in [tridiag(101), ring(101), scattered(101)] {
+            let dia = DiaMatrix::from_csr_forced(&csr).unwrap();
+            let x = test_vector(101);
+            let mut y_csr = vec![f64::NAN; 101];
+            let mut y_dia = vec![f64::NAN; 101];
+            csr.matvec_into(&x, &mut y_csr);
+            dia.matvec_into(&x, &mut y_dia);
+            assert_eq!(y_dia, y_csr);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_matrices_work() {
+        let empty = TripletBuilder::new(0, 0).build();
+        let dia = DiaMatrix::from_csr(&empty).unwrap();
+        assert_eq!(dia.bandwidth(), 0);
+        dia.matvec_into(&[], &mut []);
+
+        let one = CsrMatrix::from_triplets(1, 1, &[(0, 0, 3.0)]);
+        let dia = DiaMatrix::from_csr(&one).unwrap();
+        assert_eq!(dia.matvec(&[2.0]), vec![6.0]);
+    }
+
+    #[test]
+    fn diag_rows_clips_to_bounds() {
+        assert_eq!(DiaMatrix::diag_rows(5, 0), 0..5);
+        assert_eq!(DiaMatrix::diag_rows(5, 2), 0..3);
+        assert_eq!(DiaMatrix::diag_rows(5, -2), 2..5);
+        assert_eq!(DiaMatrix::diag_rows(5, 7), 0..0);
+        assert_eq!(DiaMatrix::diag_rows(5, -7), 5..5);
+        assert_eq!(DiaMatrix::diag_rows(0, 0), 0..0);
+    }
+
+    #[test]
+    fn format_selection_and_names() {
+        let auto = IterationMatrix::auto(tridiag(64));
+        assert!(auto.is_dia());
+        assert_eq!(auto.format_name(), "dia");
+        assert_eq!(auto.bandwidth(), 1);
+
+        let auto_scattered = IterationMatrix::auto(scattered(257));
+        assert!(!auto_scattered.is_dia());
+        assert_eq!(auto_scattered.format_name(), "csr");
+
+        let forced = IterationMatrix::with_format(scattered(257), MatrixFormat::Dia);
+        assert!(forced.is_dia());
+
+        let forced_csr = IterationMatrix::with_format(tridiag(64), MatrixFormat::Csr);
+        assert!(!forced_csr.is_dia());
+        assert_eq!(forced_csr.bandwidth(), 1);
+    }
+
+    #[test]
+    fn iteration_matrix_matvec_dispatches() {
+        let csr = tridiag(50);
+        let x = test_vector(50);
+        let expect = csr.matvec(&x);
+        for format in [MatrixFormat::Auto, MatrixFormat::Csr, MatrixFormat::Dia] {
+            let m = IterationMatrix::with_format(csr.clone(), format);
+            let mut y = vec![f64::NAN; 50];
+            m.matvec_into(&x, &mut y);
+            assert_eq!(y, expect, "format {format}");
+        }
+    }
+
+    #[test]
+    fn matrix_format_parses_and_displays() {
+        for (s, f) in [
+            ("auto", MatrixFormat::Auto),
+            ("csr", MatrixFormat::Csr),
+            ("dia", MatrixFormat::Dia),
+        ] {
+            assert_eq!(s.parse::<MatrixFormat>().unwrap(), f);
+            assert_eq!(f.to_string(), s);
+        }
+        assert!("banded".parse::<MatrixFormat>().is_err());
+        assert_eq!(MatrixFormat::default(), MatrixFormat::Auto);
+    }
+}

@@ -10,6 +10,10 @@
 //!   stationary analysis;
 //! * [`sparse`] — CSR sparse matrices with a triplet builder; the
 //!   randomization solver's inner loop is one sparse mat-vec per step;
+//! * [`dia`] — diagonal (DIA) storage for banded matrices with a
+//!   branch-free unit-stride kernel, a CSR→DIA bandwidth detector, and
+//!   the [`dia::IterationMatrix`] dispatch the solvers select once per
+//!   solve (the paper's 200,001-state model is tridiagonal);
 //! * [`pool`] — a persistent worker pool (threads spawned once per
 //!   solve, parked between passes) with statically-assigned chunks, so
 //!   parallel reductions stay deterministic;
@@ -36,6 +40,7 @@
 //! ```
 
 pub mod dense;
+pub mod dia;
 pub mod error;
 pub mod expm;
 pub mod fft;
@@ -49,6 +54,7 @@ pub mod tridiag;
 pub mod vec_ops;
 
 pub use dense::Mat;
+pub use dia::{DiaMatrix, IterationMatrix, MatrixFormat};
 pub use error::LinalgError;
 pub use fused::FusedMomentKernel;
 pub use pool::{PoolStats, WorkerPool};

@@ -226,7 +226,20 @@ impl<T: Scalar> CsrMatrix<T> {
     }
 
     /// Converts to a dense matrix (tests and small models only).
+    ///
+    /// This allocates `O(rows × cols)` memory regardless of sparsity —
+    /// on the paper's 200,001-state model that would be ~320 GB. Debug
+    /// builds assert both dimensions stay at or below 2,000 to catch
+    /// accidental use on large models; use the sparse kernels (or
+    /// [`crate::dia::DiaMatrix`]) there instead.
     pub fn to_dense(&self) -> crate::dense::Mat<T> {
+        debug_assert!(
+            self.rows.max(self.cols) <= 2_000,
+            "to_dense on a {}x{} matrix allocates O(rows*cols) memory; \
+             use the sparse kernels for large models",
+            self.rows,
+            self.cols
+        );
         let mut m = crate::dense::Mat::zeros(self.rows, self.cols);
         for i in 0..self.rows {
             for (j, v) in self.row(i) {

@@ -251,6 +251,50 @@ mod tests {
         let model = OnOffMultiplexer::table1(1.0).model().unwrap();
         assert!(!model.is_first_order());
     }
+
+    /// The paper's Table-2 "large model" at full scale: 200,001 states.
+    ///
+    /// Tier-2: run with `cargo test --release -p somrm-models -- --ignored`
+    /// (a debug build takes far too long; release completes in well under
+    /// a minute on one CPU). Checks that the birth–death generator is
+    /// detected as tridiagonal and auto-promoted to the DIA kernel, and
+    /// that an order-2 steady-start solve lands within the Theorem-4
+    /// bound of the closed-form mean `rate·t`.
+    #[test]
+    #[ignore = "paper-scale model (200,001 states); run with --release -- --ignored"]
+    fn table2_full_scale_solves_on_dia_kernel() {
+        use somrm_linalg::{DiaMatrix, IterationMatrix};
+
+        let m = OnOffMultiplexer::table2();
+        let model = m.model_steady_start().unwrap();
+        assert_eq!(model.n_states(), 200_001);
+        let q = model.generator().uniformization_rate();
+        assert_eq!(q, 800_000.0);
+
+        // The uniformized kernel Q' = Q/q + I is tridiagonal, and the
+        // auto-detector must pick the DIA storage for it.
+        let kernel = model.generator().uniformized_kernel(q).unwrap();
+        let dia = DiaMatrix::from_csr(&kernel).expect("tridiagonal kernel is DIA-profitable");
+        assert_eq!(dia.bandwidth(), 1, "birth–death chain is tridiagonal");
+        let auto = IterationMatrix::auto(kernel);
+        assert!(auto.is_dia(), "auto-selection must promote to DIA");
+        assert_eq!(auto.bandwidth(), 1);
+
+        // Steady start: E[B(t)] = rate·t exactly (the Figure-3 line), so
+        // the solve is checked against a closed form, within the realized
+        // Theorem-4 bound plus accumulated-roundoff slack.
+        let t = 0.01; // qt = 8,000
+        let sol = moments(&model, 2, t, &SolverConfig::default()).unwrap();
+        let expect = m.steady_state_mean_rate() * t;
+        let tol = sol.error_bound(1) + 1e-7 * expect;
+        assert!(
+            (sol.mean() - expect).abs() < tol,
+            "mean {} vs closed form {} (tol {tol})",
+            sol.mean(),
+            expect
+        );
+        assert!(sol.variance() > 0.0);
+    }
 }
 
 #[cfg(test)]

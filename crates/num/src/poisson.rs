@@ -185,6 +185,85 @@ impl PoissonWindow {
         }
     }
 
+    /// The *exact-underflow* window `[left, right] ⊆ [0, gmax]`: every
+    /// index whose pmf is representable as a non-zero `f64`, and nothing
+    /// else. All stored weights are `> 0.0`; everything outside is an
+    /// exact `0.0`, so a solver that skips the excluded indices computes
+    /// **bit-identical** results to one iterating the full `0..=gmax`
+    /// range (the skipped terms are multiplications by exact zero).
+    ///
+    /// This is the window the randomization solvers iterate with: at the
+    /// paper's `qt = 40,000` the left edge sits near `k ≈ 32,000` —
+    /// about ⅘ of the [`weights_trimmed`] vector is exact zeros that
+    /// [`weights_upto`] would compute, store, and the accumulation loop
+    /// would then filter out one by one.
+    ///
+    /// Both edges are found by bisection (`O(log gmax)` pmf
+    /// evaluations): the pmf is unimodal, so "pmf > 0" is monotone on
+    /// each side of the mode. A short safety walk at each edge guards
+    /// the (never observed) case of non-monotone rounding at the
+    /// underflow boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda <= 0` or `lambda` is not finite.
+    pub fn exact(lambda: f64, gmax: u64) -> Self {
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "Poisson rate must be positive and finite, got {lambda}"
+        );
+        let mode = (lambda.floor() as u64).min(gmax);
+        debug_assert!(pmf(lambda, mode) > 0.0, "mode weight cannot underflow");
+
+        // Left edge: smallest k with pmf(k) > 0.
+        let mut left = if pmf(lambda, 0) > 0.0 {
+            0
+        } else {
+            let mut lo = 0u64; // pmf == 0 here
+            let mut hi = mode; // pmf > 0 here
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                if pmf(lambda, mid) > 0.0 {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+            hi
+        };
+        while left > 0 && pmf(lambda, left - 1) > 0.0 {
+            left -= 1;
+        }
+
+        // Right edge: largest k ≤ gmax with pmf(k) > 0.
+        let mut right = if pmf(lambda, gmax) > 0.0 {
+            gmax
+        } else {
+            let mut lo = mode; // pmf > 0 here
+            let mut hi = gmax; // pmf == 0 here
+            while hi - lo > 1 {
+                let mid = lo + (hi - lo) / 2;
+                if pmf(lambda, mid) > 0.0 {
+                    lo = mid;
+                } else {
+                    hi = mid;
+                }
+            }
+            lo
+        };
+        while right < gmax && pmf(lambda, right + 1) > 0.0 {
+            right += 1;
+        }
+
+        let weights: Vec<f64> = (left..=right).map(|k| pmf(lambda, k)).collect();
+        debug_assert!(weights.iter().all(|&w| w > 0.0));
+        Self {
+            lambda,
+            left,
+            weights,
+        }
+    }
+
     /// The Poisson rate this window was built for.
     pub fn lambda(&self) -> f64 {
         self.lambda
@@ -338,6 +417,63 @@ mod tests {
         assert_eq!(w.weight(w.right() + 1), 0.0);
         assert!((w.weight(400) - pmf(400.0, 400)).abs() < 1e-16);
         assert_eq!(w.lambda(), 400.0);
+    }
+
+    #[test]
+    fn exact_window_is_the_nonzero_support_of_weights_upto() {
+        for &(lambda, gmax) in &[
+            (0.5f64, 40u64),
+            (8.0, 2500),
+            (100.0, 10_000),
+            (1000.0, 1300),
+            (5000.0, 6000),
+        ] {
+            let full = weights_upto(lambda, gmax);
+            let w = PoissonWindow::exact(lambda, gmax);
+            assert!(w.weights().iter().all(|&x| x > 0.0), "lambda = {lambda}");
+            for k in 0..=gmax {
+                assert_eq!(
+                    w.weight(k),
+                    full[k as usize],
+                    "lambda = {lambda}, k = {k}"
+                );
+            }
+            // Edge weights are the first/last non-zeros of the full vector.
+            let first_nz = full.iter().position(|&x| x > 0.0).unwrap() as u64;
+            let last_nz = full.iter().rposition(|&x| x > 0.0).unwrap() as u64;
+            assert_eq!(w.left(), first_nz, "lambda = {lambda}");
+            assert_eq!(w.right(), last_nz, "lambda = {lambda}");
+        }
+    }
+
+    #[test]
+    fn exact_window_skips_deep_left_tail_at_paper_scale() {
+        // The paper's qt = 40,000: the left tail underflows to exact 0.0
+        // for roughly the first 32,000 indices — the window must exclude
+        // them without computing each one.
+        let w = PoissonWindow::exact(40_000.0, 42_082);
+        assert!(w.left() > 30_000, "left edge {}", w.left());
+        assert!(w.left() < 40_000);
+        assert_eq!(w.right(), 42_082, "no right underflow before gmax here");
+        assert_eq!(w.weight(w.left() - 1), 0.0);
+        assert!(w.weight(w.left()) > 0.0);
+        let mass: f64 = w.weights().iter().copied().collect::<NeumaierSum>().value();
+        assert!((mass - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_window_small_gmax_keeps_everything() {
+        // No underflow anywhere in range: window is the whole [0, gmax].
+        let w = PoissonWindow::exact(3.0, 20);
+        assert_eq!(w.left(), 0);
+        assert_eq!(w.right(), 20);
+        assert_eq!(w.weights().len(), 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn exact_window_rejects_bad_rate() {
+        PoissonWindow::exact(-1.0, 10);
     }
 
     #[test]

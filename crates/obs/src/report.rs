@@ -7,12 +7,15 @@ use std::fmt::Write as _;
 /// Poisson-weight accounting for one time point of a solve.
 ///
 /// The recursion truncates at the global `G` of the largest requested
-/// time; each individual time point's weight vector is additionally
-/// trimmed where its tail underflows to exact zero. `weights_kept +
-/// weights_trimmed = G + 1` always holds, and `retained_mass` is the sum
-/// of the kept weights — how much of `P[Pois(qt_i)]` the truncated
-/// series actually covers (`1 − retained_mass` is Poisson mass assigned
-/// to iterations beyond `G` or below underflow).
+/// time; each individual time point's weight window is additionally
+/// trimmed where its right tail underflows to exact zero, and skipped
+/// below the left edge where the pmf underflows on the way up (large
+/// `qt` pushes the window far right of `k = 0`). `weights_kept +
+/// weights_left_skipped + weights_trimmed = G + 1` always holds, and
+/// `retained_mass` is the sum of the kept weights — how much of
+/// `P[Pois(qt_i)]` the truncated series actually covers
+/// (`1 − retained_mass` is Poisson mass assigned to iterations beyond
+/// `G` or below underflow).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PoissonStat {
     /// The time point.
@@ -20,7 +23,12 @@ pub struct PoissonStat {
     /// Number of non-trimmed Poisson weights (series terms evaluated
     /// with a non-zero weight).
     pub weights_kept: u64,
-    /// Number of weight slots up to `G` trimmed away as exact zeros.
+    /// Number of weight slots below the window's left edge skipped as
+    /// exact zeros (the recursion still advances through them, but no
+    /// accumulation happens there).
+    pub weights_left_skipped: u64,
+    /// Number of weight slots up to `G` trimmed away as exact zeros
+    /// past the window's right edge.
     pub weights_trimmed: u64,
     /// Total Poisson mass of the kept weights.
     pub retained_mass: f64,
@@ -162,8 +170,8 @@ impl SolveReport {
                     json::write_f64(&mut out, p.t);
                     let _ = write!(
                         out,
-                        ",\"weights_kept\":{},\"weights_trimmed\":{},\"retained_mass\":",
-                        p.weights_kept, p.weights_trimmed
+                        ",\"weights_kept\":{},\"weights_left_skipped\":{},\"weights_trimmed\":{},\"retained_mass\":",
+                        p.weights_kept, p.weights_left_skipped, p.weights_trimmed
                     );
                     json::write_f64(&mut out, p.retained_mass);
                     out.push('}');
@@ -290,6 +298,7 @@ mod tests {
                 poisson: vec![PoissonStat {
                     t: 1.0,
                     weights_kept: 40,
+                    weights_left_skipped: 0,
                     weights_trimmed: 2,
                     retained_mass: 0.999999,
                 }],

@@ -21,10 +21,11 @@ fn recorder_captures_solver_facts_on_onoff_model() {
     assert_eq!(g as u64, sol.stats.iterations);
     let kept = snap.counter("poisson.weights_kept").unwrap();
     let trimmed = snap.counter("poisson.weights_trimmed").unwrap();
+    let left_skipped = snap.counter("poisson.weights_left_skipped").unwrap_or(0);
     assert_eq!(
-        kept + trimmed,
+        kept + trimmed + left_skipped,
         sol.stats.iterations + 1,
-        "kept + trimmed must cover all G+1 Poisson weights"
+        "kept + trimmed + left-skipped must cover all G+1 Poisson weights"
     );
     assert_eq!(
         snap.counter("kernel.passes").unwrap(),

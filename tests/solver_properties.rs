@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 use somrm::ode::{moments_ode, OdeMethod};
 use somrm::prelude::*;
-use somrm::solver::moments_terminal_weighted;
+use somrm::solver::{moments_terminal_weighted, MatrixFormat};
 
 /// Strategy: a random irreducible-ish CTMC with 2..6 states plus random
 /// rates/variances/initial distribution.
@@ -135,9 +135,11 @@ proptest! {
         order in 0usize..=5,
     ) {
         // The worker-pool kernel promises *bit-identical* results for
-        // every thread count, on both the multi-time sweep and the
-        // terminal-weighted path. parallel_threshold: 0 forces the
-        // pooled kernel even on these small models.
+        // every thread count AND either matrix format, on both the
+        // multi-time sweep and the terminal-weighted path.
+        // parallel_threshold: 0 forces the pooled kernel even on these
+        // small models; MatrixFormat::Dia forces the banded kernel even
+        // on matrices the auto-detector would keep in CSR.
         let times = [0.5 * t, t];
         let terminal: Vec<f64> = (0..model.n_states())
             .map(|i| if i % 2 == 0 { 1.0 } else { 0.25 })
@@ -147,19 +149,22 @@ proptest! {
         let serial_term =
             moments_terminal_weighted(&model, order, t, &terminal, &serial_cfg).unwrap();
         for threads in [1usize, 2, 4, 8] {
-            let cfg = SolverConfig {
-                threads,
-                parallel_threshold: 0,
-                ..SolverConfig::default()
-            };
-            let sweep = moments_sweep(&model, order, &times, &cfg).unwrap();
-            for (a, b) in serial_sweep.iter().zip(&sweep) {
-                prop_assert_eq!(&a.weighted, &b.weighted, "sweep, threads {}", threads);
-                prop_assert_eq!(&a.per_state, &b.per_state, "sweep, threads {}", threads);
+            for format in [MatrixFormat::Csr, MatrixFormat::Dia] {
+                let cfg = SolverConfig {
+                    threads,
+                    parallel_threshold: 0,
+                    format,
+                    ..SolverConfig::default()
+                };
+                let sweep = moments_sweep(&model, order, &times, &cfg).unwrap();
+                for (a, b) in serial_sweep.iter().zip(&sweep) {
+                    prop_assert_eq!(&a.weighted, &b.weighted, "sweep, threads {}, {}", threads, format);
+                    prop_assert_eq!(&a.per_state, &b.per_state, "sweep, threads {}, {}", threads, format);
+                }
+                let term = moments_terminal_weighted(&model, order, t, &terminal, &cfg).unwrap();
+                prop_assert_eq!(&serial_term.weighted, &term.weighted, "terminal, threads {}, {}", threads, format);
+                prop_assert_eq!(&serial_term.per_state, &term.per_state, "terminal, threads {}, {}", threads, format);
             }
-            let term = moments_terminal_weighted(&model, order, t, &terminal, &cfg).unwrap();
-            prop_assert_eq!(&serial_term.weighted, &term.weighted, "terminal, threads {}", threads);
-            prop_assert_eq!(&serial_term.per_state, &term.per_state, "terminal, threads {}", threads);
         }
     }
 
