@@ -195,6 +195,15 @@ pub fn cmd_moments(
     let s = summarize(&sol.weighted);
     let _ = writeln!(out, "mean      = {:.6}", s.mean);
     let _ = writeln!(out, "variance  = {:.6}", s.variance);
+    match (sol.time_average_mean(), sol.time_average_variance()) {
+        (Ok(mean), Ok(var)) => {
+            let _ = writeln!(out, "time-avg mean     = {mean:.6}");
+            let _ = writeln!(out, "time-avg variance = {var:.6}");
+        }
+        (Err(e), _) | (_, Err(e)) => {
+            let _ = writeln!(out, "time-avg          = ({e})");
+        }
+    }
     if order >= 3 {
         let _ = writeln!(out, "skewness  = {:.6}", s.skewness);
     }
@@ -367,6 +376,32 @@ pub fn cmd_density(
         let _ = writeln!(out, "{:>14.6} {:>14.8}", x, d[i]);
     }
     emit(opts, &rec, "density", sol.report.as_ref(), out)
+}
+
+/// `somrm verify`: runs the differential oracle harness over randomly
+/// generated models (no model file — the harness generates its own).
+///
+/// # Errors
+///
+/// Returns the rendered summary as an error when any case violated the
+/// oracle, so the process exits nonzero for CI.
+pub fn cmd_verify(
+    cases: u64,
+    seed: u64,
+    out_dir: Option<String>,
+) -> Result<String, String> {
+    let opts = somrm_verify::VerifyOpts {
+        cases,
+        seed,
+        out_dir: out_dir.map(std::path::PathBuf::from),
+        ..somrm_verify::VerifyOpts::default()
+    };
+    let summary = somrm_verify::run_verification(&opts);
+    if summary.passed() {
+        Ok(summary.render())
+    } else {
+        Err(summary.render())
+    }
 }
 
 #[cfg(test)]

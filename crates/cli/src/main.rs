@@ -8,16 +8,19 @@
 //! somrm-tool bounds   <model-file> [--t T] [--moments N] [--points K] [--eps E]
 //! somrm-tool simulate <model-file> [--t T] [--order N] [--samples K] [--seed S]
 //! somrm-tool density  <model-file> [--t T] [--points K]
+//! somrm-tool verify   [--cases N] [--seed S] [--out-dir DIR]
 //! ```
 
 use somrm_cli::commands::{
-    cmd_bounds, cmd_check, cmd_density, cmd_moments, cmd_simulate, cmd_sweep, CommonOpts,
+    cmd_bounds, cmd_check, cmd_density, cmd_moments, cmd_simulate, cmd_sweep, cmd_verify,
+    CommonOpts,
 };
 use somrm_cli::format::parse_model;
 use somrm_linalg::MatrixFormat;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: somrm-tool <check|moments|bounds|simulate|density|sweep> <model-file> [options]
+       somrm-tool verify [--cases N] [--seed S] [--out-dir DIR]
 
 options:
   --t T           accumulation time (default 1.0)
@@ -34,6 +37,11 @@ options:
   --metrics DEST  emit the JSON solve report; DEST '-' replaces the
                   normal output on stdout, anything else is a file path
   --trace         print solver stage timings to stderr as they happen
+
+verify options:
+  --cases N       number of generated cases (default 200)
+  --seed S        generation seed (default 0)
+  --out-dir DIR   write shrunken reproducer JSON files here on failure
 
 model file format:
   states N
@@ -72,6 +80,14 @@ fn opt_flag(args: &[String], name: &str) -> Result<Option<String>, String> {
 
 fn run() -> Result<String, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // `verify` generates its own models, so it takes no model file.
+    if args.first().map(String::as_str) == Some("verify") {
+        return cmd_verify(
+            flag(&args, "--cases", 200u64)?,
+            flag(&args, "--seed", 0u64)?,
+            opt_flag(&args, "--out-dir")?,
+        );
+    }
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) if !f.starts_with("--") => (c.clone(), f.clone()),
         _ => return Err(USAGE.to_string()),

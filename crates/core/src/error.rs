@@ -38,6 +38,33 @@ pub enum MrmError {
         /// Description of the violation.
         reason: String,
     },
+    /// The Theorem-4 truncation point `G` for the requested precision
+    /// exceeds the configured iteration cap. Raise
+    /// `SolverConfig::max_iterations`, loosen `epsilon`, or reduce
+    /// `q·t`.
+    TruncationCapExceeded {
+        /// The uniformization exponent `q·t` of the request.
+        qt: f64,
+        /// The configured `max_iterations` cap that was exceeded.
+        cap: u64,
+    },
+    /// A time-averaged quantity (`B(t)/t`) was requested at `t = 0`,
+    /// where it is undefined.
+    UndefinedAtZeroTime {
+        /// The accessor that was called.
+        what: &'static str,
+    },
+    /// An explicit ODE scheme would be unstable (or was detected to
+    /// have lost accuracy) at the requested step size.
+    OdeUnstable {
+        /// The realized `h·|λ|_max` product (`λ` ranges over the
+        /// generator spectrum, `|λ| ≤ 2q`).
+        h_lambda: f64,
+        /// The scheme's stability limit on the negative real axis.
+        limit: f64,
+        /// The smallest step count that satisfies the limit.
+        min_steps: u64,
+    },
     /// The underlying CTMC is invalid.
     Ctmc(CtmcError),
 }
@@ -59,6 +86,23 @@ impl fmt::Display for MrmError {
             MrmError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter {name}: {reason}")
             }
+            MrmError::TruncationCapExceeded { qt, cap } => write!(
+                f,
+                "Theorem-4 truncation point exceeds the iteration cap {cap} (qt = {qt}); \
+                 raise max_iterations, loosen epsilon, or reduce q*t"
+            ),
+            MrmError::UndefinedAtZeroTime { what } => {
+                write!(f, "{what} is undefined at t = 0")
+            }
+            MrmError::OdeUnstable {
+                h_lambda,
+                limit,
+                min_steps,
+            } => write!(
+                f,
+                "explicit ODE scheme unstable: h*|lambda| = {h_lambda:.3} exceeds the \
+                 stability limit {limit}; use at least {min_steps} steps"
+            ),
             MrmError::Ctmc(e) => write!(f, "invalid structure-state process: {e}"),
         }
     }

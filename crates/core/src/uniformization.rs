@@ -191,32 +191,49 @@ impl MomentSolution {
     /// (e.g. the average available bandwidth over the interval, rather
     /// than the accumulated amount).
     ///
+    /// # Errors
+    ///
+    /// Returns [`MrmError::UndefinedAtZeroTime`] when `t == 0` (the
+    /// time average is undefined there); callers that used to rely on
+    /// the old panicking behaviour should propagate or match instead.
+    ///
     /// # Panics
     ///
-    /// Panics if `n > self.order()` or `t == 0` (the time average is
-    /// undefined at `t = 0`).
-    pub fn time_average_raw_moment(&self, n: usize) -> f64 {
-        assert!(self.t > 0.0, "time average undefined at t = 0");
-        self.weighted[n] / self.t.powi(n as i32)
+    /// Panics if `n > self.order()`.
+    pub fn time_average_raw_moment(&self, n: usize) -> Result<f64, MrmError> {
+        if !(self.t > 0.0) {
+            return Err(MrmError::UndefinedAtZeroTime {
+                what: "time_average_raw_moment",
+            });
+        }
+        Ok(self.weighted[n] / self.t.powi(n as i32))
     }
 
     /// Mean of the time-averaged reward `E[B(t)]/t`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `t == 0`.
-    pub fn time_average_mean(&self) -> f64 {
+    /// Returns [`MrmError::UndefinedAtZeroTime`] when `t == 0`.
+    pub fn time_average_mean(&self) -> Result<f64, MrmError> {
         self.time_average_raw_moment(1)
     }
 
     /// Variance of the time-averaged reward `Var[B(t)]/t²`.
     ///
+    /// # Errors
+    ///
+    /// Returns [`MrmError::UndefinedAtZeroTime`] when `t == 0`.
+    ///
     /// # Panics
     ///
-    /// Panics if the solution holds fewer than 2 moments or `t == 0`.
-    pub fn time_average_variance(&self) -> f64 {
-        assert!(self.t > 0.0, "time average undefined at t = 0");
-        self.variance() / (self.t * self.t)
+    /// Panics if the solution holds fewer than 2 moments.
+    pub fn time_average_variance(&self) -> Result<f64, MrmError> {
+        if !(self.t > 0.0) {
+            return Err(MrmError::UndefinedAtZeroTime {
+                what: "time_average_variance",
+            });
+        }
+        Ok(self.variance() / (self.t * self.t))
     }
 }
 
@@ -670,19 +687,27 @@ fn truncation_point(
             .fold(f64::NEG_INFINITY, f64::max)
     };
 
-    // Exponential search for an upper bracket, then bisection.
+    // Exponential search for an upper bracket, then bisection. The cap
+    // must be checked *before* the first bound evaluation: for any
+    // meaningful ε the search cannot terminate below ~qt (the Poisson
+    // mass sits at the mode), and evaluating the bound left of the mode
+    // costs O(qt) — at qt beyond the cap that is an effective hang
+    // (hours of CDF summation) where a typed error is owed instead.
     let mut hi = (qt as u64).max(16);
+    if hi > config.max_iterations && config.epsilon < 1.0 {
+        return Err(MrmError::TruncationCapExceeded {
+            qt,
+            cap: config.max_iterations,
+        });
+    }
     let mut guard = 0;
     while ln_bound(hi) >= ln_eps {
         hi = hi.saturating_mul(2);
         guard += 1;
         if guard > 64 || hi > config.max_iterations {
-            return Err(MrmError::InvalidParameter {
-                name: "max_iterations",
-                reason: format!(
-                    "Theorem-4 truncation point exceeds the configured cap {} (qt = {qt})",
-                    config.max_iterations
-                ),
+            return Err(MrmError::TruncationCapExceeded {
+                qt,
+                cap: config.max_iterations,
             });
         }
     }
@@ -694,6 +719,15 @@ fn truncation_point(
         } else {
             lo = mid + 1;
         }
+    }
+    // The exponential search starts at max(qt, 16), so a small cap can
+    // be exceeded without the doubling loop ever noticing; re-check the
+    // final G explicitly.
+    if hi > config.max_iterations {
+        return Err(MrmError::TruncationCapExceeded {
+            qt,
+            cap: config.max_iterations,
+        });
     }
     let per_order = (0..=order).map(|j| ln_bound_order(hi, j).exp()).collect();
     Ok((hi, per_order))
@@ -950,6 +984,89 @@ mod tests {
         assert!((sol.raw_moment(1) - 0.0).abs() < 1e-12);
     }
 
+    /// Closed-form raw moments of `Normal(mu, var)`:
+    /// `m_n = mu·m_{n−1} + (n−1)·var·m_{n−2}`.
+    fn normal_raw(mu: f64, var: f64, order: usize) -> Vec<f64> {
+        let mut m = vec![1.0];
+        for n in 1..=order {
+            let a = mu * m[n - 1];
+            let b = if n >= 2 { (n - 1) as f64 * var * m[n - 2] } else { 0.0 };
+            m.push(a + b);
+        }
+        m
+    }
+
+    #[test]
+    fn one_state_absorbing_chain_orders_0_to_3() {
+        // A single state with no transitions is the smallest q = 0
+        // degenerate chain: B(t) ~ Normal(r·t, σ²·t) exactly.
+        let b = GeneratorBuilder::new(1);
+        let m = SecondOrderMrm::new(b.build().unwrap(), vec![1.5], vec![0.7], vec![1.0])
+            .unwrap();
+        for &t in &[0.0, 0.3, 2.0] {
+            let sol = moments(&m, 3, t, &SolverConfig::default()).unwrap();
+            let want = normal_raw(1.5 * t, 0.7 * t, 3);
+            for n in 0..=3 {
+                assert!(
+                    (sol.raw_moment(n) - want[n]).abs() < 1e-12 * want[n].abs().max(1.0),
+                    "t = {t}, order {n}: {} vs {}",
+                    sol.raw_moment(n),
+                    want[n]
+                );
+            }
+            assert_eq!(sol.stats.iterations, 0);
+            assert_eq!(sol.error_bounds, vec![0.0; 4]);
+        }
+    }
+
+    #[test]
+    fn all_absorbing_chain_reduces_to_mixture_of_normals() {
+        // Every state absorbing (q = 0 with several states): B(t) is a
+        // π-mixture of per-state normals, so the weighted moments are
+        // π-combinations of the per-state closed forms — the mean is
+        // exactly π·r·t.
+        let b = GeneratorBuilder::new(3);
+        let rates = vec![2.0, -1.0, 0.5];
+        let variances = vec![0.4, 0.0, 3.0];
+        let initial = vec![0.5, 0.3, 0.2];
+        let m = SecondOrderMrm::new(b.build().unwrap(), rates.clone(), variances.clone(), initial.clone())
+            .unwrap();
+        let t = 1.7;
+        let sol = moments(&m, 3, t, &SolverConfig::default()).unwrap();
+        for n in 0..=3 {
+            let want: f64 = (0..3)
+                .map(|i| initial[i] * normal_raw(rates[i] * t, variances[i] * t, 3)[n])
+                .sum();
+            assert!(
+                (sol.raw_moment(n) - want).abs() < 1e-12 * want.abs().max(1.0),
+                "order {n}: {} vs {want}",
+                sol.raw_moment(n)
+            );
+        }
+        let pi_r_t: f64 = initial.iter().zip(&rates).map(|(&p, &r)| p * r * t).sum();
+        assert!((sol.mean() - pi_r_t).abs() < 1e-14);
+    }
+
+    #[test]
+    fn all_absorbing_first_order_is_deterministic_per_state() {
+        // q = 0 and σ² = 0 everywhere: per state, B(t) = r_i·t surely,
+        // so each per-state n-th moment is exactly (r_i·t)ⁿ.
+        let b = GeneratorBuilder::new(2);
+        let m = SecondOrderMrm::first_order(b.build().unwrap(), vec![3.0, -2.0], vec![0.4, 0.6])
+            .unwrap();
+        let t = 0.9;
+        let sol = moments(&m, 3, t, &SolverConfig::default()).unwrap();
+        for n in 0..=3 {
+            for (i, &r) in [3.0, -2.0].iter().enumerate() {
+                assert!(
+                    (sol.per_state[n][i] - (r * t).powi(n as i32)).abs()
+                        < 1e-12 * (r * t).powi(n as i32).abs().max(1.0),
+                    "state {i}, order {n}"
+                );
+            }
+        }
+    }
+
     #[test]
     fn deterministic_negative_drift_everywhere() {
         // All rates equal and negative, zero variance: B(t) = −3t surely;
@@ -1046,8 +1163,50 @@ mod tests {
         };
         assert!(matches!(
             moments(&m, 2, 100.0, &cfg),
-            Err(MrmError::InvalidParameter { name: "max_iterations", .. })
+            Err(MrmError::TruncationCapExceeded { cap: 2, .. })
         ));
+    }
+
+    #[test]
+    fn iteration_cap_enforced_even_when_bracket_starts_beyond_it() {
+        // With a loose epsilon the exponential search's initial bracket
+        // max(qt, 16) can already satisfy the bound, so the doubling
+        // loop never runs; the cap must still be honoured.
+        let m = two_state_model([1.0, 1.0], [1.0, 1.0]);
+        let cfg = SolverConfig {
+            epsilon: 0.5,
+            max_iterations: 10,
+            ..SolverConfig::default()
+        };
+        match moments(&m, 2, 1000.0, &cfg) {
+            Err(MrmError::TruncationCapExceeded { qt, cap }) => {
+                assert_eq!(cap, 10);
+                assert!(qt > 1000.0);
+            }
+            other => panic!("expected TruncationCapExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn extreme_qt_fails_fast_instead_of_hanging_in_the_bound_search() {
+        // qt ~ 2e9 with the default 5e7 cap: the old code evaluated the
+        // Theorem-4 bound at the initial bracket hi = qt before looking
+        // at the cap, and left of the Poisson mode that evaluation sums
+        // an O(qt)-term CDF — an effective hang. The cap check must come
+        // first so this returns the typed error in microseconds.
+        let m = two_state_model([1.0, 1.0], [1.0, 1.0]);
+        let start = std::time::Instant::now();
+        match moments(&m, 2, 1e9, &SolverConfig::default()) {
+            Err(MrmError::TruncationCapExceeded { qt, cap }) => {
+                assert!(qt > 1e9);
+                assert_eq!(cap, SolverConfig::default().max_iterations);
+            }
+            other => panic!("expected TruncationCapExceeded, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "cap check ran after the expensive bound evaluation"
+        );
     }
 
     #[test]
@@ -1055,25 +1214,39 @@ mod tests {
         let m = two_state_model([1.0, 3.0], [0.5, 2.0]);
         let t = 2.0;
         let sol = moments(&m, 2, t, &SolverConfig::default()).unwrap();
-        assert!((sol.time_average_mean() - sol.mean() / t).abs() < 1e-14);
+        assert!((sol.time_average_mean().unwrap() - sol.mean() / t).abs() < 1e-14);
         assert!(
-            (sol.time_average_variance() - sol.variance() / (t * t)).abs() < 1e-14
+            (sol.time_average_variance().unwrap() - sol.variance() / (t * t)).abs() < 1e-14
         );
-        assert!((sol.time_average_raw_moment(0) - 1.0).abs() < 1e-9);
+        assert!((sol.time_average_raw_moment(0).unwrap() - 1.0).abs() < 1e-9);
         // Long horizon: the time average concentrates at the long-run
         // rate and its variance decays like 1/t.
         let long = moments(&m, 2, 50.0, &SolverConfig::default()).unwrap();
         let rate = m.steady_state_growth_rate().unwrap();
-        assert!((long.time_average_mean() - rate).abs() < 0.05);
-        assert!(long.time_average_variance() < sol.time_average_variance());
+        assert!((long.time_average_mean().unwrap() - rate).abs() < 0.05);
+        assert!(
+            long.time_average_variance().unwrap() < sol.time_average_variance().unwrap()
+        );
     }
 
     #[test]
-    #[should_panic(expected = "undefined at t = 0")]
-    fn time_average_rejects_zero_time() {
+    fn time_average_rejects_zero_time_as_error() {
+        // Regression: these accessors used to panic at t = 0; they now
+        // surface a typed error instead.
         let m = two_state_model([1.0, 3.0], [0.5, 2.0]);
         let sol = moments(&m, 2, 0.0, &SolverConfig::default()).unwrap();
-        let _ = sol.time_average_mean();
+        assert!(matches!(
+            sol.time_average_mean(),
+            Err(MrmError::UndefinedAtZeroTime { .. })
+        ));
+        assert!(matches!(
+            sol.time_average_variance(),
+            Err(MrmError::UndefinedAtZeroTime { .. })
+        ));
+        assert!(matches!(
+            sol.time_average_raw_moment(0),
+            Err(MrmError::UndefinedAtZeroTime { .. })
+        ));
     }
 
     #[test]
@@ -1085,7 +1258,7 @@ mod tests {
             let sol = moments(&m, 2, t, &SolverConfig::default()).unwrap();
             assert!(sol.variance() >= 0.0, "t = {t}: {}", sol.variance());
             assert!(sol.variance() < 1e-9, "t = {t}");
-            assert!(sol.time_average_variance() >= 0.0, "t = {t}");
+            assert!(sol.time_average_variance().unwrap() >= 0.0, "t = {t}");
         }
     }
 

@@ -30,6 +30,36 @@ pub enum OdeMethod {
     Rk4,
 }
 
+impl OdeMethod {
+    /// The scheme's stability interval on the negative real axis: the
+    /// largest `|h·λ|` for which the amplification factor stays ≤ 1.
+    /// (Heun: 2; RK4: ≈ 2.785.)
+    pub fn stability_limit(self) -> f64 {
+        match self {
+            OdeMethod::Trapezoid => 2.0,
+            OdeMethod::Rk4 => 2.785,
+        }
+    }
+
+    /// The smallest step count for which the fixed-step integration of
+    /// the moment ODE to time `t` is stable on a model with
+    /// uniformization rate `q`.
+    ///
+    /// The joint moment system is block lower triangular with `Q` on
+    /// every diagonal block, so its spectrum is that of `Q`, which by
+    /// Gershgorin lies in the disk of radius `q` centred at `−q`:
+    /// `|λ| ≤ 2q`. A 10% safety margin is added — explicit schemes at
+    /// the exact stability boundary do not diverge but stop damping,
+    /// which on stiff models (rate ratios of 1e6 and beyond) turns into
+    /// visible accuracy loss long before blow-up.
+    pub fn min_stable_steps(self, q: f64, t: f64) -> u64 {
+        if q <= 0.0 || t <= 0.0 {
+            return 1;
+        }
+        ((2.0 * q * t / self.stability_limit() * 1.1).ceil() as u64).max(1)
+    }
+}
+
 /// Result of an ODE moment integration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OdeMomentSolution {
@@ -97,7 +127,13 @@ impl MomentRhs<'_> {
 /// # Errors
 ///
 /// Returns [`MrmError::InvalidParameter`] for a negative/non-finite `t`
-/// or `steps == 0`.
+/// or `steps == 0`, and [`MrmError::OdeUnstable`] when the step size
+/// violates the scheme's stability limit for the model's stiffness
+/// (`h·2q` beyond the negative-real-axis stability interval) — on stiff
+/// models the explicit schemes would otherwise diverge silently, which
+/// is exactly the failure mode a differential oracle cannot tolerate in
+/// its reference backend. Use [`OdeMethod::min_stable_steps`] to size
+/// `steps`.
 ///
 /// # Example
 ///
@@ -133,6 +169,7 @@ pub fn moments_ode(
             reason: "need at least one step".to_string(),
         });
     }
+    check_stability(model.generator().uniformization_rate(), t, method, steps)?;
     let n_states = model.n_states();
     let rhs = MomentRhs {
         q: model.generator().as_csr(),
@@ -200,6 +237,24 @@ pub fn moments_ode(
         steps,
         method,
     })
+}
+
+/// Rejects step sizes outside the scheme's stability region (see
+/// [`OdeMethod::min_stable_steps`]).
+fn check_stability(q: f64, t: f64, method: OdeMethod, steps: usize) -> Result<(), MrmError> {
+    if t <= 0.0 || q <= 0.0 {
+        return Ok(());
+    }
+    let h_lambda = t / steps as f64 * 2.0 * q;
+    let limit = method.stability_limit();
+    if h_lambda > limit {
+        return Err(MrmError::OdeUnstable {
+            h_lambda,
+            limit,
+            min_steps: method.min_stable_steps(q, t),
+        });
+    }
+    Ok(())
 }
 
 /// `out = u + h·k`.
@@ -320,6 +375,73 @@ mod tests {
     }
 
     #[test]
+    fn stiff_model_rejected_below_stability_threshold() {
+        // Rate ratio 1e6: the fast transition forces h·2q ≤ limit. With
+        // too few steps the explicit schemes must refuse rather than
+        // silently diverge.
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 1e6).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        let m = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![1.0, 2.0],
+            vec![0.1, 0.3],
+            vec![1.0, 0.0],
+        )
+        .unwrap();
+        let t = 0.01;
+        for method in [OdeMethod::Trapezoid, OdeMethod::Rk4] {
+            match moments_ode(&m, 2, t, method, 100) {
+                Err(MrmError::OdeUnstable { h_lambda, limit, min_steps }) => {
+                    assert!(h_lambda > limit, "{method:?}");
+                    assert!(min_steps > 100, "{method:?}: min_steps {min_steps}");
+                    // The advertised minimum must actually be accepted.
+                    assert!(
+                        moments_ode(&m, 2, t, method, min_steps as usize).is_ok(),
+                        "{method:?} rejected its own min_steps"
+                    );
+                }
+                other => panic!("{method:?}: expected OdeUnstable, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stiff_model_agrees_with_randomization_at_stable_steps() {
+        // Same 1e6-ratio model: once the step count satisfies the
+        // stability bound (plus accuracy headroom), the ODE backend must
+        // agree with randomization instead of silently diverging.
+        let mut b = GeneratorBuilder::new(3);
+        b.rate(0, 1, 1e6).unwrap();
+        b.rate(1, 0, 1.0).unwrap();
+        b.rate(1, 2, 2.0).unwrap();
+        b.rate(2, 1, 5e5).unwrap();
+        let m = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![1.0, -2.0, 3.0],
+            vec![0.2, 0.0, 1.0],
+            vec![1.0, 0.0, 0.0],
+        )
+        .unwrap();
+        let t = 0.005;
+        let steps = OdeMethod::Rk4.min_stable_steps(
+            m.generator().uniformization_rate(),
+            t,
+        ) as usize * 2;
+        let ode = moments_ode(&m, 2, t, OdeMethod::Rk4, steps).unwrap();
+        let rnd = moments(&m, 2, t, &SolverConfig::default()).unwrap();
+        for n in 0..=2 {
+            let scale = rnd.raw_moment(n).abs().max(1.0);
+            assert!(
+                (ode.raw_moment(n) - rnd.raw_moment(n)).abs() < 1e-6 * scale,
+                "order {n}: {} vs {}",
+                ode.raw_moment(n),
+                rnd.raw_moment(n)
+            );
+        }
+    }
+
+    #[test]
     fn negative_rates_no_shift_needed() {
         // The ODE integrates eq. (6) directly; negative rates need no
         // shifting here, making it an independent check of the
@@ -374,6 +496,7 @@ pub fn moments_ode_impulse(
         });
     }
     let base = model.base();
+    check_stability(base.generator().uniformization_rate(), t, method, steps)?;
     let n_states = base.n_states();
     // Impulse moment matrices Q_l = {q_ij·c_ij^l}, l = 1..=order.
     let q_l: Vec<somrm_linalg::sparse::CsrMatrix<f64>> = (1..=order)

@@ -1,0 +1,424 @@
+//! The differential oracle: solve one case with every backend and check
+//! pairwise agreement within *earned* tolerances.
+//!
+//! Tolerance discipline — every comparison budget is derived from error
+//! bounds the solvers themselves report, never from a magic constant:
+//!
+//! - **CSR vs DIA** and **serial vs pooled** randomization must agree
+//!   **bitwise** (prior work proved the kernels bit-identical; the
+//!   oracle keeps them honest).
+//! - **Randomization vs closed forms / ODE / simulation** must agree
+//!   within `bound_rnd + bound_other + rel_floor·scale`, where
+//!   `bound_rnd` is the realized Theorem-4 truncation bound,
+//!   `bound_other` is a Richardson step-doubling estimate (ODE) or a
+//!   `z`-sigma CLT half-width (simulation), and the relative floor
+//!   absorbs accumulated f64 rounding.
+
+use crate::case::VerifyCase;
+use rand::rngs::StdRng;
+use somrm_core::error::MrmError;
+use somrm_core::first_order::moments_first_order;
+use somrm_core::uniformization::{moments, SolverConfig};
+use somrm_linalg::MatrixFormat;
+use somrm_obs::json::{self};
+use somrm_ode::{moments_ode, OdeMethod};
+use somrm_sim::reward::estimate_moments;
+use std::fmt;
+
+/// Tolerance and budget knobs of one oracle run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OracleConfig {
+    /// Truncation `ε` handed to the randomization solver.
+    pub epsilon: f64,
+    /// Relative rounding floor: every non-bitwise comparison tolerates
+    /// `rel_floor · max(1, |a|, |b|)` on top of the method bounds.
+    pub rel_floor: f64,
+    /// The ODE cross-check is skipped when the stability-mandated step
+    /// count (doubled for Richardson) exceeds this budget.
+    pub ode_max_steps: u64,
+    /// Upper bound on simulated sample paths per case.
+    pub sim_samples: usize,
+    /// Total jump budget for one case's simulation: the sample count is
+    /// scaled down to `sim_jump_budget / max(qt, 1)` and the check is
+    /// skipped entirely below [`OracleConfig::sim_min_samples`].
+    pub sim_jump_budget: f64,
+    /// Minimum sample count for a meaningful CLT half-width.
+    pub sim_min_samples: usize,
+    /// CLT half-width multiplier (`z` standard errors).
+    pub sim_z: f64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        OracleConfig {
+            epsilon: 1e-10,
+            rel_floor: 1e-8,
+            ode_max_steps: 200_000,
+            sim_samples: 2_000,
+            sim_jump_budget: 2_000_000.0,
+            sim_min_samples: 200,
+            sim_z: 8.0,
+        }
+    }
+}
+
+impl OracleConfig {
+    /// Cheaper budgets for the debug-mode smoke tier.
+    pub fn smoke() -> Self {
+        OracleConfig {
+            ode_max_steps: 40_000,
+            sim_samples: 400,
+            sim_jump_budget: 200_000.0,
+            ..OracleConfig::default()
+        }
+    }
+}
+
+/// Which cross-checks actually ran on a case (budget-skipped checks are
+/// reported so a run can't silently verify nothing).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CaseStats {
+    /// DIA-forced randomization compared bitwise.
+    pub dia_checked: bool,
+    /// Pooled randomization compared bitwise.
+    pub pool_checked: bool,
+    /// First-order closed form compared (only σ² ≡ 0 models).
+    pub first_order_checked: bool,
+    /// ODE reference compared with a Richardson tolerance.
+    pub ode_checked: bool,
+    /// Simulation compared with a CLT half-width.
+    pub sim_checked: bool,
+}
+
+/// One failed pairwise comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Name of the check (`"rnd-dia"`, `"rnd-pool"`, `"first-order"`,
+    /// `"ode-rk4"`, `"simulation"`, or `"solve-error"`).
+    pub check: String,
+    /// Moment order at which the disagreement occurred.
+    pub order: usize,
+    /// Reference (randomization CSR serial) value.
+    pub reference: f64,
+    /// The other backend's value.
+    pub candidate: f64,
+    /// Tolerance the pair was allowed.
+    pub tolerance: f64,
+    /// Human-readable detail (tolerance decomposition or solver error).
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: order {}: |{} - {}| = {:e} > tol {:e} ({})",
+            self.check,
+            self.order,
+            self.reference,
+            self.candidate,
+            (self.reference - self.candidate).abs(),
+            self.tolerance,
+            self.detail
+        )
+    }
+}
+
+impl Violation {
+    /// Serializes the violation as a JSON object (embedded in the
+    /// regression file's `note`-adjacent metadata).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        json::write_string(&mut out, "check");
+        out.push(':');
+        json::write_string(&mut out, &self.check);
+        out.push_str(&format!(",\"order\":{},", self.order));
+        json::write_string(&mut out, "reference");
+        out.push(':');
+        json::write_f64(&mut out, self.reference);
+        out.push(',');
+        json::write_string(&mut out, "candidate");
+        out.push(':');
+        json::write_f64(&mut out, self.candidate);
+        out.push(',');
+        json::write_string(&mut out, "tolerance");
+        out.push(':');
+        json::write_f64(&mut out, self.tolerance);
+        out.push(',');
+        json::write_string(&mut out, "detail");
+        out.push(':');
+        json::write_string(&mut out, &self.detail);
+        out.push('}');
+        out
+    }
+}
+
+fn solve_error(check: &str, e: &MrmError) -> Violation {
+    Violation {
+        check: check.to_string(),
+        order: 0,
+        reference: f64::NAN,
+        candidate: f64::NAN,
+        tolerance: 0.0,
+        detail: format!("solver returned error: {e}"),
+    }
+}
+
+fn scale(a: f64, b: f64) -> f64 {
+    a.abs().max(b.abs()).max(1.0)
+}
+
+fn compare_bitwise(
+    check: &str,
+    reference: &[f64],
+    candidate: &[f64],
+) -> Result<(), Violation> {
+    for n in 0..reference.len() {
+        // Bitwise: NaN-safe exact equality.
+        if reference[n].to_bits() != candidate[n].to_bits() {
+            return Err(Violation {
+                check: check.to_string(),
+                order: n,
+                reference: reference[n],
+                candidate: candidate[n],
+                tolerance: 0.0,
+                detail: "bitwise equality required".to_string(),
+            });
+        }
+    }
+    Ok(())
+}
+
+fn compare_bounded(
+    check: &str,
+    reference: &[f64],
+    candidate: &[f64],
+    tol_for: impl Fn(usize) -> (f64, String),
+) -> Result<(), Violation> {
+    for n in 0..reference.len().min(candidate.len()) {
+        let (tol, detail) = tol_for(n);
+        let diff = (reference[n] - candidate[n]).abs();
+        if !(diff <= tol) {
+            // NaN diff also lands here.
+            return Err(Violation {
+                check: check.to_string(),
+                order: n,
+                reference: reference[n],
+                candidate: candidate[n],
+                tolerance: tol,
+                detail,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs every backend on `case` and cross-checks the results.
+///
+/// The randomization solve with CSR storage and one thread is the
+/// reference; everything else is compared against it. `rng` drives the
+/// simulation check only (pass the case's deterministic stream).
+///
+/// # Errors
+///
+/// The first [`Violation`] encountered, including solver errors — a
+/// backend erroring on a model another backend accepts is itself a
+/// disagreement.
+pub fn check_case(
+    case: &VerifyCase,
+    cfg: &OracleConfig,
+    rng: &mut StdRng,
+) -> Result<CaseStats, Violation> {
+    let model = case.build().map_err(|e| solve_error("build", &e))?;
+    let mut stats = CaseStats::default();
+
+    let base = SolverConfig {
+        epsilon: cfg.epsilon,
+        format: MatrixFormat::Csr,
+        ..SolverConfig::default()
+    };
+    let reference = moments(&model, case.order, case.t, &base)
+        .map_err(|e| solve_error("rnd-csr", &e))?;
+
+    // --- Format oracle: forced DIA must be bit-identical. ---
+    let dia_cfg = SolverConfig {
+        format: MatrixFormat::Dia,
+        ..base.clone()
+    };
+    let dia = moments(&model, case.order, case.t, &dia_cfg)
+        .map_err(|e| solve_error("rnd-dia", &e))?;
+    compare_bitwise("rnd-dia", &reference.weighted, &dia.weighted)?;
+    stats.dia_checked = true;
+
+    // --- Pool oracle: pooled kernel must be bit-identical. ---
+    let pool_cfg = SolverConfig {
+        threads: 2,
+        parallel_threshold: 2,
+        ..base.clone()
+    };
+    let pooled = moments(&model, case.order, case.t, &pool_cfg)
+        .map_err(|e| solve_error("rnd-pool", &e))?;
+    compare_bitwise("rnd-pool", &reference.weighted, &pooled.weighted)?;
+    stats.pool_checked = true;
+
+    // --- First-order closed path (σ² ≡ 0 models only). ---
+    if model.is_first_order() {
+        let fo = moments_first_order(&model, case.order, case.t, &base)
+            .map_err(|e| solve_error("first-order", &e))?;
+        compare_bounded("first-order", &reference.weighted, &fo.weighted, |n| {
+            let s = scale(reference.weighted[n], fo.weighted[n]);
+            let tol = reference.error_bound(n) + fo.error_bound(n) + cfg.rel_floor * s;
+            (
+                tol,
+                format!(
+                    "bound_rnd={:e} + bound_fo={:e} + floor={:e}",
+                    reference.error_bound(n),
+                    fo.error_bound(n),
+                    cfg.rel_floor * s
+                ),
+            )
+        })?;
+        stats.first_order_checked = true;
+    }
+
+    // --- ODE reference with Richardson step-doubling tolerance. ---
+    let q = model.generator().uniformization_rate();
+    let method = OdeMethod::Rk4;
+    let coarse_steps = method.min_stable_steps(q, case.t).max(64);
+    if 2 * coarse_steps <= cfg.ode_max_steps {
+        let coarse = moments_ode(&model, case.order, case.t, method, coarse_steps as usize)
+            .map_err(|e| solve_error("ode-rk4", &e))?;
+        let fine = moments_ode(&model, case.order, case.t, method, 2 * coarse_steps as usize)
+            .map_err(|e| solve_error("ode-rk4", &e))?;
+        compare_bounded("ode-rk4", &reference.weighted, &fine.weighted, |n| {
+            // Step-doubling: |fine − coarse| over-estimates the fine
+            // solution's own error by ~15× for RK4, so using the raw
+            // difference as the budget is already conservative.
+            let est = (fine.weighted[n] - coarse.weighted[n]).abs();
+            let s = scale(reference.weighted[n], fine.weighted[n]);
+            let tol = reference.error_bound(n) + est + cfg.rel_floor * s;
+            (
+                tol,
+                format!(
+                    "bound_rnd={:e} + richardson={:e} + floor={:e} (steps {})",
+                    reference.error_bound(n),
+                    est,
+                    cfg.rel_floor * s,
+                    2 * coarse_steps
+                ),
+            )
+        })?;
+        stats.ode_checked = true;
+    }
+
+    // --- Monte-Carlo simulation with a CLT half-width tolerance. ---
+    let qt = q * case.t;
+    let samples = ((cfg.sim_jump_budget / qt.max(1.0)) as usize).min(cfg.sim_samples);
+    if samples >= cfg.sim_min_samples {
+        let est = estimate_moments(rng, &model, case.order, case.t, samples);
+        compare_bounded("simulation", &reference.weighted, &est.estimates, |n| {
+            let s = scale(reference.weighted[n], est.estimates[n]);
+            let half_width = cfg.sim_z * est.std_errors[n];
+            let tol = reference.error_bound(n) + half_width + cfg.rel_floor * s;
+            (
+                tol,
+                format!(
+                    "bound_rnd={:e} + {}sigma={:e} + floor={:e} ({} samples)",
+                    reference.error_bound(n),
+                    cfg.sim_z,
+                    half_width,
+                    cfg.rel_floor * s,
+                    samples
+                ),
+            )
+        })?;
+        stats.sim_checked = true;
+    }
+
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::Family;
+    use crate::generate::case_rng;
+
+    fn simple_case() -> VerifyCase {
+        VerifyCase {
+            id: "oracle-test".to_string(),
+            family: Family::BirthDeath,
+            n_states: 3,
+            transitions: vec![(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0), (2, 1, 0.5)],
+            drifts: vec![1.0, -2.0, 4.0],
+            variances: vec![0.5, 0.0, 1.5],
+            initial: vec![1.0, 0.0, 0.0],
+            t: 0.8,
+            order: 3,
+            note: String::new(),
+        }
+    }
+
+    #[test]
+    fn healthy_case_passes_all_checks() {
+        let case = simple_case();
+        let stats = check_case(&case, &OracleConfig::default(), &mut case_rng(1, 1))
+            .unwrap_or_else(|v| panic!("unexpected violation: {v}"));
+        assert!(stats.dia_checked);
+        assert!(stats.pool_checked);
+        assert!(stats.ode_checked);
+        assert!(stats.sim_checked);
+        assert!(!stats.first_order_checked, "model has positive variances");
+    }
+
+    #[test]
+    fn first_order_path_engages_on_zero_variance_models() {
+        let mut case = simple_case();
+        case.variances = vec![0.0; 3];
+        let stats =
+            check_case(&case, &OracleConfig::default(), &mut case_rng(1, 2)).unwrap();
+        assert!(stats.first_order_checked);
+    }
+
+    #[test]
+    fn t_zero_boundary_passes() {
+        let mut case = simple_case();
+        case.t = 0.0;
+        let stats =
+            check_case(&case, &OracleConfig::default(), &mut case_rng(1, 3)).unwrap();
+        assert!(stats.dia_checked && stats.pool_checked);
+    }
+
+    #[test]
+    fn corrupted_model_is_caught() {
+        // A hostile candidate: compare the reference against itself with
+        // one moment perturbed far beyond any earned tolerance, through
+        // the same comparator the real checks use.
+        let case = simple_case();
+        let model = case.build().unwrap();
+        let cfg = OracleConfig::default();
+        let base = SolverConfig {
+            epsilon: cfg.epsilon,
+            ..SolverConfig::default()
+        };
+        let sol = moments(&model, case.order, case.t, &base).unwrap();
+        let mut bad = sol.weighted.clone();
+        bad[2] *= 1.0 + 1e-3;
+        let err = compare_bounded("ode-rk4", &sol.weighted, &bad, |n| {
+            (sol.error_bound(n) + cfg.rel_floor, "test".to_string())
+        })
+        .unwrap_err();
+        assert_eq!(err.order, 2);
+        assert_eq!(err.check, "ode-rk4");
+        assert!(err.to_json().contains("\"order\":2"));
+    }
+
+    #[test]
+    fn bitwise_comparison_rejects_ulp_differences() {
+        let a = [1.0f64, 2.0, 3.0];
+        let mut b = a;
+        b[1] = f64::from_bits(b[1].to_bits() + 1);
+        let err = compare_bitwise("rnd-dia", &a, &b).unwrap_err();
+        assert_eq!(err.order, 1);
+    }
+}

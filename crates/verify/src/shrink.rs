@@ -1,0 +1,206 @@
+//! Greedy failure shrinking: reduce a violating case to a minimal
+//! reproducer before it is written under `tests/regressions/`.
+//!
+//! Three reductions are tried in order, each kept only if the shrunken
+//! case still violates the oracle:
+//!
+//! 1. **Halve states** — keep the leading principal submatrix, drop
+//!    out-of-range transitions, renormalize the initial distribution.
+//! 2. **Zero variances** — turn the model first-order.
+//! 3. **Sparsify** — drop every other transition.
+//!
+//! The loop runs to a fixpoint (no reduction preserved the failure) and
+//! is iteration-capped as a defence against an oracle whose verdict
+//! flips nondeterministically.
+
+use crate::case::VerifyCase;
+use crate::generate::case_rng;
+use crate::oracle::{check_case, OracleConfig, Violation};
+
+/// Upper bound on shrink attempts (reductions tried, kept or not).
+const MAX_ATTEMPTS: usize = 200;
+
+/// Result of shrinking a failing case.
+#[derive(Debug, Clone)]
+pub struct Shrunk {
+    /// The minimal case found (annotated with the original violation in
+    /// its `note`).
+    pub case: VerifyCase,
+    /// The violation the minimal case produces.
+    pub violation: Violation,
+    /// Number of reductions that were kept.
+    pub reductions: usize,
+}
+
+fn still_fails(case: &VerifyCase, cfg: &OracleConfig) -> Option<Violation> {
+    // A fixed replay stream: shrinking must chase the *deterministic*
+    // part of the failure, so every candidate sees the same sim draws.
+    check_case(case, cfg, &mut case_rng(0xdead_beef, 0)).err()
+}
+
+fn halve_states(case: &VerifyCase) -> Option<VerifyCase> {
+    let n = case.n_states / 2;
+    if n == 0 || n == case.n_states {
+        return None;
+    }
+    let mut out = case.clone();
+    out.n_states = n;
+    out.transitions.retain(|&(i, j, _)| i < n && j < n);
+    out.drifts.truncate(n);
+    out.variances.truncate(n);
+    out.initial.truncate(n);
+    let mass: f64 = out.initial.iter().sum();
+    if mass > 0.0 {
+        for p in &mut out.initial {
+            *p /= mass;
+        }
+    } else {
+        out.initial[0] = 1.0;
+    }
+    Some(out)
+}
+
+fn zero_variances(case: &VerifyCase) -> Option<VerifyCase> {
+    if case.variances.iter().all(|&s| s == 0.0) {
+        return None;
+    }
+    let mut out = case.clone();
+    out.variances = vec![0.0; out.n_states];
+    Some(out)
+}
+
+fn sparsify(case: &VerifyCase) -> Option<VerifyCase> {
+    if case.transitions.len() < 2 {
+        return None;
+    }
+    let mut out = case.clone();
+    out.transitions = out
+        .transitions
+        .iter()
+        .copied()
+        .step_by(2)
+        .collect();
+    Some(out)
+}
+
+/// Shrinks `case` (known to produce `violation`) to a smaller case that
+/// still fails the oracle.
+///
+/// Returns the original case unchanged (zero reductions) when no
+/// reduction preserves the failure.
+pub fn shrink(case: &VerifyCase, violation: Violation, cfg: &OracleConfig) -> Shrunk {
+    let mut best = case.clone();
+    let mut best_violation = violation.clone();
+    let mut reductions = 0usize;
+    let mut attempts = 0usize;
+    loop {
+        let mut progressed = false;
+        for reduce in [halve_states, zero_variances, sparsify] {
+            if attempts >= MAX_ATTEMPTS {
+                break;
+            }
+            attempts += 1;
+            let Some(candidate) = reduce(&best) else {
+                continue;
+            };
+            if let Some(v) = still_fails(&candidate, cfg) {
+                best = candidate;
+                best_violation = v;
+                reductions += 1;
+                progressed = true;
+            }
+        }
+        if !progressed || attempts >= MAX_ATTEMPTS {
+            break;
+        }
+    }
+    best.note = format!(
+        "shrunk from {} ({} states) after {reductions} reductions; original violation: {violation}",
+        case.id, case.n_states
+    );
+    Shrunk {
+        case: best,
+        violation: best_violation,
+        reductions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::case::Family;
+    use crate::generate::{random_case, GenConfig};
+
+    #[test]
+    fn reductions_produce_valid_models() {
+        let cfg = GenConfig::default();
+        for index in 0..24u64 {
+            let case = random_case(7, index, &cfg);
+            for reduce in [halve_states, zero_variances, sparsify] {
+                if let Some(candidate) = reduce(&case) {
+                    candidate.build().unwrap_or_else(|e| {
+                        panic!("reduction broke case {index}: {e}")
+                    });
+                    let mass: f64 = candidate.initial.iter().sum();
+                    assert!((mass - 1.0).abs() < 1e-9, "case {index}: mass {mass}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn halving_stops_at_one_state() {
+        let mut case = random_case(7, 0, &GenConfig::default());
+        while let Some(next) = halve_states(&case) {
+            case = next;
+        }
+        assert_eq!(case.n_states, 1);
+    }
+
+    #[test]
+    fn shrink_is_a_noop_on_a_passing_case() {
+        // A healthy case never "still fails", so every reduction is
+        // rejected and the original comes back untouched (modulo note).
+        let case = VerifyCase {
+            id: "healthy".to_string(),
+            family: Family::BirthDeath,
+            n_states: 4,
+            transitions: vec![(0, 1, 1.0), (1, 2, 2.0), (2, 3, 1.5), (3, 0, 0.5)],
+            drifts: vec![1.0, 2.0, 0.0, -1.0],
+            variances: vec![0.1, 0.0, 0.4, 0.2],
+            initial: vec![0.25; 4],
+            t: 0.5,
+            order: 2,
+            note: String::new(),
+        };
+        let fake = Violation {
+            check: "test".to_string(),
+            order: 1,
+            reference: 1.0,
+            candidate: 2.0,
+            tolerance: 0.1,
+            detail: "synthetic".to_string(),
+        };
+        let shrunk = shrink(&case, fake, &OracleConfig::smoke());
+        assert_eq!(shrunk.reductions, 0);
+        assert_eq!(shrunk.case.n_states, 4);
+        assert!(shrunk.case.note.contains("healthy"));
+    }
+
+    #[test]
+    fn shrink_reduces_when_failure_is_preserved() {
+        // An oracle stub that "fails" any case with more than 3 states
+        // would be ideal, but check_case is concrete; instead verify the
+        // mechanics on the reduction level: a 16-state case halves to 8,
+        // 4, 2 when the predicate keeps failing. Simulate by applying
+        // halve_states directly.
+        let case = random_case(3, 8, &GenConfig { max_states: 16, max_qt: 1000.0 });
+        let mut n = case.n_states;
+        let mut current = case;
+        while let Some(next) = halve_states(&current) {
+            assert_eq!(next.n_states, n / 2);
+            n = next.n_states;
+            current = next;
+        }
+    }
+}

@@ -24,6 +24,7 @@
 //! | [`ode`], [`pde`], [`transform`] | the paper's baselines / small-model oracles |
 //! | [`models`] | ON-OFF multiplexer (the paper's example), performability, queueing |
 //! | [`linalg`], [`num`] | the numeric substrates |
+//! | [`verify`] | differential oracle harness cross-checking every backend |
 //!
 //! ## Quick start
 //!
@@ -55,6 +56,7 @@ pub use somrm_ode as ode;
 pub use somrm_pde as pde;
 pub use somrm_sim as sim;
 pub use somrm_transform as transform;
+pub use somrm_verify as verify;
 
 /// The paper's model type and validation errors (`somrm-core`).
 pub mod model {

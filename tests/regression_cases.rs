@@ -1,0 +1,92 @@
+//! Replays every shrunken reproducer under `tests/regressions/` through
+//! the full differential oracle.
+//!
+//! Each JSON file is a minimal case that once exposed a bug (its `note`
+//! records which); with the fixes in place the oracle must pass on all
+//! of them, forever. New failures found by the deep tier land here once
+//! fixed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use somrm::solver::{moments, SolverConfig};
+use somrm::verify::{check_case, OracleConfig, VerifyCase};
+use std::path::PathBuf;
+
+fn regressions_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/regressions")
+}
+
+fn load(name: &str) -> VerifyCase {
+    let path = regressions_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    VerifyCase::from_json(&text).unwrap_or_else(|e| panic!("{name}: {e}"))
+}
+
+#[test]
+fn every_checked_in_reproducer_passes_the_oracle() {
+    let mut ran = 0usize;
+    for entry in std::fs::read_dir(regressions_dir()).expect("tests/regressions exists") {
+        let path = entry.unwrap().path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let case = load(&name);
+        assert!(!case.note.is_empty(), "{name}: reproducers must document their bug");
+        let mut rng = StdRng::seed_from_u64(0xc0ffee);
+        if let Err(v) = check_case(&case, &OracleConfig::smoke(), &mut rng) {
+            panic!("{name} regressed: {v}");
+        }
+        ran += 1;
+    }
+    assert!(ran >= 4, "regression corpus went missing (found {ran} files)");
+}
+
+#[test]
+fn one_state_absorbing_matches_the_normal_closed_form() {
+    let case = load("one-state-absorbing.json");
+    let sol = moments(&case.build().unwrap(), case.order, case.t, &SolverConfig::default())
+        .unwrap();
+    let (mu, var) = (case.drifts[0] * case.t, case.variances[0] * case.t);
+    // Normal raw moments: m_n = mu m_{n-1} + (n-1) var m_{n-2}.
+    let mut expect = vec![1.0, mu];
+    for n in 2..=case.order {
+        expect.push(mu * expect[n - 1] + (n - 1) as f64 * var * expect[n - 2]);
+    }
+    for n in 0..=case.order {
+        assert!(
+            (sol.raw_moment(n) - expect[n]).abs() <= 1e-12 * expect[n].abs().max(1.0),
+            "order {n}: {} vs {}",
+            sol.raw_moment(n),
+            expect[n]
+        );
+        assert_eq!(sol.error_bound(n), 0.0, "degenerate path must be exact");
+    }
+}
+
+#[test]
+fn t_zero_case_yields_delta_moments_and_errs_on_time_averages() {
+    let case = load("t-zero-time-average.json");
+    let sol = moments(&case.build().unwrap(), case.order, case.t, &SolverConfig::default())
+        .unwrap();
+    assert_eq!(sol.raw_moment(0), 1.0);
+    for n in 1..=case.order {
+        assert_eq!(sol.raw_moment(n), 0.0, "B(0) is the point mass at 0");
+    }
+    // The original bug: these divided by t = 0 and panicked.
+    assert!(sol.time_average_mean().is_err());
+    assert!(sol.time_average_variance().is_err());
+}
+
+#[test]
+fn stiff_case_rejects_unstable_step_counts() {
+    use somrm::ode::{moments_ode, OdeMethod};
+    let case = load("stiff-ode-stability.json");
+    let model = case.build().unwrap();
+    let err = moments_ode(&model, case.order, case.t, OdeMethod::Rk4, 100).unwrap_err();
+    assert!(
+        err.to_string().contains("unstable"),
+        "expected the stability guard, got: {err}"
+    );
+}
