@@ -1,0 +1,469 @@
+//! `somrm-tool bench` — the machine-readable perf trajectory.
+//!
+//! Runs a fixed ladder of solver benchmarks (ON-OFF multiplexer models
+//! at 1k/10k/100k states, CSR and DIA storage) and writes one JSON
+//! document per run. Two documents from different revisions feed the
+//! comparator (`--compare old.json new.json`), which flags per-rung
+//! wall-time regressions beyond a percentage threshold — so the perf
+//! trajectory of the solver is a series of small files that diff, plot,
+//! and gate in CI.
+//!
+//! The ladder holds `q·t ≈ 2000` on every rung (the uniformization rate
+//! of the scaled Table-2 multiplexer is `4N`): the recursion depth is
+//! constant across sizes and wall time isolates per-iteration cost,
+//! which is what regresses when a kernel changes.
+
+use somrm_core::uniformization::{moments, SolverConfig};
+use somrm_linalg::MatrixFormat;
+use somrm_models::OnOffMultiplexer;
+use somrm_obs::{json, MetricsRegistry, MetricsSnapshot, Recorder, RecorderHandle};
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Schema tag written into every bench document.
+pub const SCHEMA: &str = "somrm-bench-v1";
+
+/// Moment order solved on every rung.
+const ORDER: usize = 2;
+
+/// Solver precision on every rung.
+const EPSILON: f64 = 1e-9;
+
+/// One rung of the ladder: a model size, a storage format, and a rep
+/// count (wall time is the minimum over reps, so noisy machines still
+/// produce comparable numbers).
+#[derive(Debug, Clone)]
+pub struct Rung {
+    /// Entry name, the comparator's join key (e.g. `onoff-10k-dia`).
+    pub name: String,
+    /// Source count `N` of the scaled multiplexer (`N + 1` states).
+    pub sources: usize,
+    /// Forced iteration-matrix storage.
+    pub format: MatrixFormat,
+    /// Accumulation time (chosen so `q·t ≈ 2000`).
+    pub t: f64,
+    /// Solve repetitions; the fastest is reported.
+    pub reps: usize,
+}
+
+/// The fixed ladder. `quick` drops the 100k-state rungs (CI's
+/// debug-friendly tier); the full ladder is meant for release builds.
+pub fn standard_ladder(quick: bool) -> Vec<Rung> {
+    let sizes: &[(&str, usize, f64, usize)] = &[
+        ("1k", 1_000, 0.5, 3),
+        ("10k", 10_000, 0.05, 2),
+        ("100k", 100_000, 0.005, 1),
+    ];
+    let formats = [("csr", MatrixFormat::Csr), ("dia", MatrixFormat::Dia)];
+    let mut rungs = Vec::new();
+    for &(label, sources, t, reps) in sizes {
+        if quick && sources > 10_000 {
+            continue;
+        }
+        for (fmt_name, format) in formats {
+            rungs.push(Rung {
+                name: format!("onoff-{label}-{fmt_name}"),
+                sources,
+                format,
+                t,
+                reps,
+            });
+        }
+    }
+    rungs
+}
+
+/// Measured result of one rung.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// The rung's name.
+    pub name: String,
+    /// CTMC state count.
+    pub states: usize,
+    /// Storage format label (`csr`/`dia`).
+    pub format: String,
+    /// Accumulation time.
+    pub t: f64,
+    /// Reps run.
+    pub reps: usize,
+    /// Recursion depth `G` of the solve.
+    pub iterations: u64,
+    /// Fastest wall time over the reps, nanoseconds.
+    pub wall_ns: u64,
+    /// `iterations / wall_seconds` of the fastest rep.
+    pub iters_per_sec: f64,
+    /// Per-stage total nanoseconds of the fastest rep, from the solve's
+    /// metrics snapshot (`solve.setup`, `solve.recursion`, …).
+    pub stages: Vec<(String, u64)>,
+}
+
+/// Solves one rung and reports its fastest rep.
+///
+/// # Errors
+///
+/// Propagates model-construction and solver errors as readable strings.
+pub fn run_rung(rung: &Rung) -> Result<BenchEntry, String> {
+    let model = OnOffMultiplexer::table2_scaled(rung.sources)
+        .model()
+        .map_err(|e| format!("{}: {e}", rung.name))?;
+    let mut best: Option<(u64, u64, MetricsSnapshot)> = None;
+    for _ in 0..rung.reps.max(1) {
+        let registry = Arc::new(MetricsRegistry::new());
+        let cfg = SolverConfig {
+            epsilon: EPSILON,
+            format: rung.format,
+            recorder: RecorderHandle::new(registry.clone() as Arc<dyn Recorder>),
+            ..SolverConfig::default()
+        };
+        let start = Instant::now();
+        let sol = moments(&model, ORDER, rung.t, &cfg).map_err(|e| format!("{}: {e}", rung.name))?;
+        let wall = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        if best.as_ref().is_none_or(|(w, _, _)| wall < *w) {
+            best = Some((wall, sol.stats.iterations, registry.snapshot()));
+        }
+    }
+    let (wall_ns, iterations, snapshot) = best.expect("at least one rep");
+    let secs = wall_ns as f64 / 1e9;
+    Ok(BenchEntry {
+        name: rung.name.clone(),
+        states: rung.sources + 1,
+        format: match rung.format {
+            MatrixFormat::Dia => "dia".to_string(),
+            _ => "csr".to_string(),
+        },
+        t: rung.t,
+        reps: rung.reps,
+        iterations,
+        wall_ns,
+        iters_per_sec: if secs > 0.0 { iterations as f64 / secs } else { 0.0 },
+        stages: snapshot
+            .timings
+            .iter()
+            .map(|(name, stat)| (name.clone(), stat.total_ns))
+            .collect(),
+    })
+}
+
+/// `git rev-parse --short HEAD`, or `"unknown"` outside a repository.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Serializes a run as one bench document.
+pub fn to_json(entries: &[BenchEntry], quick: bool) -> String {
+    let created = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let mut out = String::new();
+    out.push_str("{\"schema\":");
+    json::write_string(&mut out, SCHEMA);
+    out.push_str(",\"git_rev\":");
+    json::write_string(&mut out, &git_rev());
+    let _ = write!(out, ",\"created_unix\":{created}");
+    let _ = write!(out, ",\"quick\":{quick}");
+    let _ = write!(out, ",\"order\":{ORDER}");
+    out.push_str(",\"epsilon\":");
+    json::write_f64(&mut out, EPSILON);
+    out.push_str(",\"entries\":[");
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        json::write_string(&mut out, &e.name);
+        let _ = write!(out, ",\"states\":{}", e.states);
+        out.push_str(",\"format\":");
+        json::write_string(&mut out, &e.format);
+        out.push_str(",\"t\":");
+        json::write_f64(&mut out, e.t);
+        let _ = write!(
+            out,
+            ",\"reps\":{},\"iterations\":{},\"wall_ns\":{}",
+            e.reps, e.iterations, e.wall_ns
+        );
+        out.push_str(",\"iters_per_sec\":");
+        json::write_f64(&mut out, e.iters_per_sec);
+        out.push_str(",\"stages\":{");
+        for (j, (name, ns)) in e.stages.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json::write_string(&mut out, name);
+            let _ = write!(out, ":{ns}");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3} ms", ns as f64 / 1e6)
+}
+
+/// Runs the ladder and writes the document to `out_path`.
+///
+/// # Errors
+///
+/// Solver errors and the output write are propagated as readable
+/// strings.
+pub fn cmd_bench_run(quick: bool, out_path: &str) -> Result<String, String> {
+    let mut entries = Vec::new();
+    let mut human = String::new();
+    for rung in standard_ladder(quick) {
+        let e = run_rung(&rung)?;
+        let _ = writeln!(
+            human,
+            "{:<16} {:>7} states  G={:<6} wall {:>12} (min of {})",
+            e.name,
+            e.states,
+            e.iterations,
+            fmt_ms(e.wall_ns),
+            e.reps
+        );
+        entries.push(e);
+    }
+    let doc = to_json(&entries, quick);
+    std::fs::write(out_path, &doc).map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    let _ = writeln!(human, "wrote {out_path} (git {})", git_rev());
+    Ok(human)
+}
+
+fn load_entries(path: &str) -> Result<Vec<(String, u64)>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    if doc.get("schema").and_then(|s| s.as_str()) != Some(SCHEMA) {
+        return Err(format!("{path}: not a {SCHEMA} document"));
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(|e| e.as_array())
+        .ok_or_else(|| format!("{path}: missing entries array"))?;
+    entries
+        .iter()
+        .map(|e| {
+            let name = e
+                .get("name")
+                .and_then(|n| n.as_str())
+                .ok_or_else(|| format!("{path}: entry without name"))?;
+            let wall = e
+                .get("wall_ns")
+                .and_then(|w| w.as_f64())
+                .ok_or_else(|| format!("{path}: entry {name} without wall_ns"))?;
+            Ok((name.to_string(), wall as u64))
+        })
+        .collect()
+}
+
+/// Compares two bench documents rung-by-rung.
+///
+/// A rung regresses when its new wall time exceeds the old one by more
+/// than `threshold_pct` percent. Rungs present in only one file are
+/// reported but never fail the comparison (the ladder may grow).
+///
+/// # Errors
+///
+/// Unreadable/malformed documents always error; detected regressions
+/// error unless `warn_only` is set (then they are reported and the
+/// comparison still succeeds, for advisory CI lanes).
+pub fn cmd_bench_compare(
+    old_path: &str,
+    new_path: &str,
+    threshold_pct: f64,
+    warn_only: bool,
+) -> Result<String, String> {
+    let old = load_entries(old_path)?;
+    let new = load_entries(new_path)?;
+    let mut out = String::new();
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (name, new_wall) in &new {
+        let Some((_, old_wall)) = old.iter().find(|(n, _)| n == name) else {
+            let _ = writeln!(out, "{name:<16} new rung ({})", fmt_ms(*new_wall));
+            continue;
+        };
+        compared += 1;
+        let delta_pct = if *old_wall > 0 {
+            (*new_wall as f64 - *old_wall as f64) / *old_wall as f64 * 100.0
+        } else {
+            0.0
+        };
+        let regressed = delta_pct > threshold_pct;
+        regressions += usize::from(regressed);
+        let _ = writeln!(
+            out,
+            "{name:<16} {:>12} -> {:>12}  {delta_pct:+.1}%{}",
+            fmt_ms(*old_wall),
+            fmt_ms(*new_wall),
+            if regressed { "  REGRESSION" } else { "" }
+        );
+    }
+    for (name, _) in &old {
+        if !new.iter().any(|(n, _)| n == name) {
+            let _ = writeln!(out, "{name:<16} missing from {new_path}");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "bench compare: {compared} rungs, {regressions} regressions (threshold +{threshold_pct}%)"
+    );
+    if regressions > 0 && !warn_only {
+        Err(out)
+    } else {
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn micro_rung(format: MatrixFormat, fmt_name: &str) -> Rung {
+        Rung {
+            name: format!("onoff-micro-{fmt_name}"),
+            sources: 50,
+            format,
+            t: 0.1,
+            reps: 1,
+        }
+    }
+
+    #[test]
+    fn micro_ladder_produces_a_parsable_document() {
+        let entries: Vec<BenchEntry> = [
+            micro_rung(MatrixFormat::Csr, "csr"),
+            micro_rung(MatrixFormat::Dia, "dia"),
+        ]
+        .iter()
+        .map(|r| run_rung(r).unwrap())
+        .collect();
+        assert!(entries[0].iterations > 0);
+        assert!(entries[0].wall_ns > 0);
+        assert!(
+            entries[0].stages.iter().any(|(n, _)| n == "solve.recursion"),
+            "stages: {:?}",
+            entries[0].stages
+        );
+        let doc = to_json(&entries, true);
+        let v = json::parse(&doc).expect("valid bench JSON");
+        assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some(SCHEMA));
+        assert!(v.get("git_rev").and_then(|s| s.as_str()).is_some());
+        let parsed = v.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(
+            parsed[0].get("states").and_then(|s| s.as_f64()),
+            Some(51.0)
+        );
+        assert!(parsed[0].get("stages").unwrap().get("solve.recursion").is_some());
+    }
+
+    #[test]
+    fn csr_and_dia_rungs_agree_on_iteration_count() {
+        let csr = run_rung(&micro_rung(MatrixFormat::Csr, "csr")).unwrap();
+        let dia = run_rung(&micro_rung(MatrixFormat::Dia, "dia")).unwrap();
+        assert_eq!(csr.iterations, dia.iterations);
+    }
+
+    #[test]
+    fn standard_ladder_shape() {
+        let full = standard_ladder(false);
+        assert_eq!(full.len(), 6);
+        let quick = standard_ladder(true);
+        assert_eq!(quick.len(), 4);
+        assert!(quick.iter().all(|r| r.sources <= 10_000));
+        // qt ≈ 2000 on every rung: q = 4N for the scaled multiplexer.
+        for r in &full {
+            let qt = 4.0 * r.sources as f64 * r.t;
+            assert!((qt - 2000.0).abs() < 1e-9, "{}: qt = {qt}", r.name);
+        }
+    }
+
+    fn doc_with(wall_a: u64, wall_b: u64) -> String {
+        let entries = vec![
+            BenchEntry {
+                name: "a".into(),
+                states: 2,
+                format: "csr".into(),
+                t: 0.1,
+                reps: 1,
+                iterations: 10,
+                wall_ns: wall_a,
+                iters_per_sec: 1.0,
+                stages: vec![],
+            },
+            BenchEntry {
+                name: "b".into(),
+                states: 2,
+                format: "dia".into(),
+                t: 0.1,
+                reps: 1,
+                iterations: 10,
+                wall_ns: wall_b,
+                iters_per_sec: 1.0,
+                stages: vec![],
+            },
+        ];
+        to_json(&entries, false)
+    }
+
+    fn write_tmp(name: &str, contents: &str) -> String {
+        let path = std::env::temp_dir().join(name);
+        std::fs::write(&path, contents).unwrap();
+        path.display().to_string()
+    }
+
+    #[test]
+    fn comparator_accepts_identical_runs() {
+        let old = write_tmp("somrm-bench-cmp-old1.json", &doc_with(1000, 2000));
+        let new = write_tmp("somrm-bench-cmp-new1.json", &doc_with(1000, 2000));
+        let out = cmd_bench_compare(&old, &new, 10.0, false).unwrap();
+        assert!(out.contains("0 regressions"), "{out}");
+    }
+
+    #[test]
+    fn comparator_flags_regressions_beyond_threshold() {
+        let old = write_tmp("somrm-bench-cmp-old2.json", &doc_with(1000, 2000));
+        // Rung a slows by 50%: over a 10% threshold.
+        let new = write_tmp("somrm-bench-cmp-new2.json", &doc_with(1500, 2000));
+        let err = cmd_bench_compare(&old, &new, 10.0, false).unwrap_err();
+        assert!(err.contains("REGRESSION"), "{err}");
+        assert!(err.contains("1 regressions"), "{err}");
+        // The same comparison in warn-only mode succeeds but still reports.
+        let out = cmd_bench_compare(&old, &new, 10.0, true).unwrap();
+        assert!(out.contains("REGRESSION"), "{out}");
+        // A 100% threshold absorbs the slowdown entirely.
+        let out = cmd_bench_compare(&old, &new, 100.0, false).unwrap();
+        assert!(out.contains("0 regressions"), "{out}");
+    }
+
+    #[test]
+    fn comparator_tolerates_ladder_growth() {
+        let old_doc = doc_with(1000, 2000);
+        // Drop rung b from the old file by renaming it away.
+        let old_doc = old_doc.replace("\"name\":\"b\"", "\"name\":\"gone\"");
+        let old = write_tmp("somrm-bench-cmp-old3.json", &old_doc);
+        let new = write_tmp("somrm-bench-cmp-new3.json", &doc_with(1000, 2000));
+        let out = cmd_bench_compare(&old, &new, 10.0, false).unwrap();
+        assert!(out.contains("new rung"), "{out}");
+        assert!(out.contains("missing from"), "{out}");
+    }
+
+    #[test]
+    fn malformed_documents_error() {
+        let bad = write_tmp("somrm-bench-cmp-bad.json", "{\"schema\":\"nope\"}");
+        let good = write_tmp("somrm-bench-cmp-good.json", &doc_with(1, 1));
+        assert!(cmd_bench_compare(&bad, &good, 10.0, true).is_err());
+        assert!(cmd_bench_compare(&good, &bad, 10.0, true).is_err());
+    }
+}

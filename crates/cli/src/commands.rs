@@ -11,7 +11,9 @@ use somrm_core::uniformization::{moments, MomentSolution, SolverConfig};
 use somrm_ctmc::stationary::stationary_gth;
 use somrm_linalg::MatrixFormat;
 use somrm_num::Dd;
-use somrm_obs::{MetricsRegistry, Recorder, RecorderHandle, SolveReport, TraceRecorder};
+use somrm_obs::{
+    ChromeTraceRecorder, MetricsRegistry, Recorder, RecorderHandle, SolveReport, TraceRecorder,
+};
 use somrm_sim::reward::{estimate_moments, estimate_moments_impulse};
 use somrm_transform::{density_at, TransformConfig};
 use std::fmt::Write as _;
@@ -34,6 +36,13 @@ pub struct CommonOpts {
     /// `--trace`: print span open/close lines with timings to stderr
     /// while the solver runs.
     pub trace: bool,
+    /// `--trace-out`: capture the solve timeline and write it to this
+    /// path as Chrome `trace_event` JSON (open in Perfetto or
+    /// `chrome://tracing`). Supersedes `--trace` when both are given.
+    pub trace_out: Option<String>,
+    /// `--progress`: print a throttled `k/G` heartbeat with ETA to
+    /// stderr during long recursions.
+    pub progress: bool,
     /// `--format`: iteration-matrix storage (`auto` detects banded
     /// structure and promotes to DIA; `csr`/`dia` force a format).
     pub format: MatrixFormat,
@@ -47,24 +56,58 @@ impl Default for CommonOpts {
             threads: 1,
             metrics: None,
             trace: false,
+            trace_out: None,
+            progress: false,
             format: MatrixFormat::Auto,
         }
     }
 }
 
+/// The recorder of one command invocation plus, for `--trace-out` runs,
+/// the timeline recorder and its destination path so [`emit`] can write
+/// the trace file once the command finishes.
+pub struct Telemetry {
+    rec: RecorderHandle,
+    chrome: Option<(Arc<ChromeTraceRecorder>, String)>,
+}
+
+impl Telemetry {
+    /// The recorder to hand to solvers and spans.
+    pub fn rec(&self) -> &RecorderHandle {
+        &self.rec
+    }
+}
+
 impl CommonOpts {
-    /// Builds the recorder for one command invocation. A `--trace` run
-    /// uses the live [`TraceRecorder`] (which also aggregates, so
-    /// `--metrics` composes with it); a `--metrics`-only run aggregates
-    /// silently; otherwise recording is disabled and the solver pays a
-    /// single predictable branch per instrumentation point.
-    fn telemetry(&self) -> RecorderHandle {
-        if self.trace {
-            RecorderHandle::new(Arc::new(TraceRecorder::new()) as Arc<dyn Recorder>)
+    /// Builds the telemetry for one command invocation. A `--trace-out`
+    /// run captures the timeline with [`ChromeTraceRecorder`] (which
+    /// also aggregates, so `--metrics` composes with it); a `--trace`
+    /// run uses the live [`TraceRecorder`] (likewise aggregating); a
+    /// `--metrics`-only run aggregates silently; otherwise recording is
+    /// disabled and the solver pays a single predictable branch per
+    /// instrumentation point.
+    fn telemetry(&self) -> Telemetry {
+        if let Some(path) = &self.trace_out {
+            let chrome = Arc::new(ChromeTraceRecorder::new());
+            Telemetry {
+                rec: RecorderHandle::new(chrome.clone() as Arc<dyn Recorder>),
+                chrome: Some((chrome, path.clone())),
+            }
+        } else if self.trace {
+            Telemetry {
+                rec: RecorderHandle::new(Arc::new(TraceRecorder::new()) as Arc<dyn Recorder>),
+                chrome: None,
+            }
         } else if self.metrics.is_some() {
-            RecorderHandle::new(Arc::new(MetricsRegistry::new()) as Arc<dyn Recorder>)
+            Telemetry {
+                rec: RecorderHandle::new(Arc::new(MetricsRegistry::new()) as Arc<dyn Recorder>),
+                chrome: None,
+            }
         } else {
-            RecorderHandle::disabled()
+            Telemetry {
+                rec: RecorderHandle::disabled(),
+                chrome: None,
+            }
         }
     }
 
@@ -74,6 +117,7 @@ impl CommonOpts {
             threads: self.threads,
             format: self.format,
             recorder: rec.clone(),
+            progress: self.progress,
             ..SolverConfig::default()
         }
     }
@@ -94,7 +138,8 @@ fn solve(
     }
 }
 
-/// Routes a finished command's output according to `--metrics`.
+/// Routes a finished command's output according to `--trace-out` and
+/// `--metrics`.
 ///
 /// The report is the solver-attached one when a solve ran (it carries
 /// the full solver section), or a fresh solver-less report otherwise;
@@ -102,11 +147,15 @@ fn solve(
 /// *after* the solve (e.g. the CDF-bound stages) are included.
 fn emit(
     opts: &CommonOpts,
-    rec: &RecorderHandle,
+    tel: &Telemetry,
     command: &str,
     report: Option<&Arc<SolveReport>>,
     human: String,
 ) -> Result<String, String> {
+    if let Some((chrome, path)) = &tel.chrome {
+        std::fs::write(path, chrome.to_json())
+            .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+    }
     let Some(dest) = &opts.metrics else {
         return Ok(human);
     };
@@ -114,7 +163,7 @@ fn emit(
         Some(r) => (**r).clone(),
         None => SolveReport::new(command),
     };
-    report.set_metrics(rec.snapshot().unwrap_or_default());
+    report.set_metrics(tel.rec.snapshot().unwrap_or_default());
     let json = report.to_json();
     if dest == "-" {
         Ok(format!("{json}\n"))
@@ -131,7 +180,7 @@ fn emit(
 ///
 /// Returns a human-readable message on analysis failure.
 pub fn cmd_check(parsed: &ParsedModel, opts: &CommonOpts) -> Result<String, String> {
-    let rec = opts.telemetry();
+    let tel = opts.telemetry();
     let m = &parsed.model;
     let mut out = String::new();
     let _ = writeln!(out, "states            : {}", m.n_states());
@@ -166,7 +215,7 @@ pub fn cmd_check(parsed: &ParsedModel, opts: &CommonOpts) -> Result<String, Stri
             let _ = writeln!(out, "long-run rate     : (chain not irreducible)");
         }
     }
-    emit(opts, &rec, "check", None, out)
+    emit(opts, &tel, "check", None, out)
 }
 
 /// `somrm moments`: raw moments and summary statistics at time `t`.
@@ -179,7 +228,8 @@ pub fn cmd_moments(
     order: usize,
     opts: &CommonOpts,
 ) -> Result<String, String> {
-    let rec = opts.telemetry();
+    let tel = opts.telemetry();
+    let rec = tel.rec().clone();
     let sol = solve(parsed, order.max(2), opts, &rec)?;
     let mut out = String::new();
     let _ = writeln!(out, "t = {}, solver iterations G = {}, error bound {:.2e}",
@@ -210,7 +260,7 @@ pub fn cmd_moments(
     if order >= 4 {
         let _ = writeln!(out, "kurtosis  = {:.6}", s.kurtosis);
     }
-    emit(opts, &rec, "moments", sol.report.as_ref(), out)
+    emit(opts, &tel, "moments", sol.report.as_ref(), out)
 }
 
 /// `somrm bounds`: CDF envelope (and moment-matched estimate) on a grid.
@@ -227,7 +277,8 @@ pub fn cmd_bounds(
     if n_points < 2 {
         return Err("need at least 2 grid points".to_string());
     }
-    let rec = opts.telemetry();
+    let tel = opts.telemetry();
+    let rec = tel.rec().clone();
     let sol = solve(parsed, n_moments.max(3), opts, &rec)?;
     let mean = sol.mean();
     let sd = sol.variance().max(0.0).sqrt();
@@ -254,7 +305,7 @@ pub fn cmd_bounds(
             b.x, b.lower, b.upper, estimate[i]
         );
     }
-    emit(opts, &rec, "bounds", sol.report.as_ref(), out)
+    emit(opts, &tel, "bounds", sol.report.as_ref(), out)
 }
 
 /// `somrm simulate`: Monte-Carlo moment estimates with standard errors.
@@ -272,7 +323,8 @@ pub fn cmd_simulate(
     if samples < 2 {
         return Err("need at least 2 samples".to_string());
     }
-    let rec = opts.telemetry();
+    let tel = opts.telemetry();
+    let rec = tel.rec().clone();
     let sim = rec.span("simulate.paths");
     let mut rng = StdRng::seed_from_u64(seed);
     let est = if parsed.has_impulses() {
@@ -291,7 +343,7 @@ pub fn cmd_simulate(
             est.estimates[n], est.std_errors[n]
         );
     }
-    emit(opts, &rec, "simulate", None, out)
+    emit(opts, &tel, "simulate", None, out)
 }
 
 /// `somrm sweep`: mean and standard deviation of `B(t)` over a time
@@ -308,7 +360,8 @@ pub fn cmd_sweep(
     if n_points < 2 {
         return Err("need at least 2 sweep points".to_string());
     }
-    let rec = opts.telemetry();
+    let tel = opts.telemetry();
+    let rec = tel.rec().clone();
     let times: Vec<f64> = (1..=n_points)
         .map(|k| opts.t * k as f64 / n_points as f64)
         .collect();
@@ -331,7 +384,7 @@ pub fn cmd_sweep(
         }
         report = sweep.last().and_then(|s| s.report.clone());
     }
-    emit(opts, &rec, "sweep", report.as_ref(), out)
+    emit(opts, &tel, "sweep", report.as_ref(), out)
 }
 
 /// `somrm density`: the reward density on a grid (transform inversion;
@@ -359,7 +412,8 @@ pub fn cmd_density(
             parsed.model.n_states()
         ));
     }
-    let rec = opts.telemetry();
+    let tel = opts.telemetry();
+    let rec = tel.rec().clone();
     let sol = solve(parsed, 2, opts, &rec)?;
     let mean = sol.mean();
     let sd = sol.variance().max(1e-12).sqrt();
@@ -375,11 +429,16 @@ pub fn cmd_density(
     for (i, &x) in xs.iter().enumerate() {
         let _ = writeln!(out, "{:>14.6} {:>14.8}", x, d[i]);
     }
-    emit(opts, &rec, "density", sol.report.as_ref(), out)
+    emit(opts, &tel, "density", sol.report.as_ref(), out)
 }
 
 /// `somrm verify`: runs the differential oracle harness over randomly
 /// generated models (no model file — the harness generates its own).
+///
+/// With `--metrics DEST`, per-case solve timings and check/violation
+/// counters are aggregated and emitted as a `"verify"` [`SolveReport`]:
+/// `-` replaces the summary on stdout (pass only), a path gets the JSON
+/// either way.
 ///
 /// # Errors
 ///
@@ -389,18 +448,42 @@ pub fn cmd_verify(
     cases: u64,
     seed: u64,
     out_dir: Option<String>,
+    metrics: Option<String>,
 ) -> Result<String, String> {
+    let rec = if metrics.is_some() {
+        RecorderHandle::new(Arc::new(MetricsRegistry::new()) as Arc<dyn Recorder>)
+    } else {
+        RecorderHandle::disabled()
+    };
     let opts = somrm_verify::VerifyOpts {
         cases,
         seed,
         out_dir: out_dir.map(std::path::PathBuf::from),
+        oracle: somrm_verify::OracleConfig {
+            recorder: rec.clone(),
+            ..somrm_verify::OracleConfig::default()
+        },
         ..somrm_verify::VerifyOpts::default()
     };
     let summary = somrm_verify::run_verification(&opts);
+    let human = summary.render();
+    if let Some(dest) = &metrics {
+        let mut report = SolveReport::new("verify");
+        report.set_metrics(rec.snapshot().unwrap_or_default());
+        let json = report.to_json();
+        if dest == "-" {
+            if summary.passed() {
+                return Ok(format!("{json}\n"));
+            }
+        } else {
+            std::fs::write(dest, format!("{json}\n"))
+                .map_err(|e| format!("cannot write {dest}: {e}"))?;
+        }
+    }
     if summary.passed() {
-        Ok(summary.render())
+        Ok(human)
     } else {
-        Err(summary.render())
+        Err(human)
     }
 }
 
@@ -545,6 +628,47 @@ mod tests {
         let v = somrm_obs::json::parse(&out).expect("valid JSON");
         assert_eq!(v.get("command").and_then(|c| c.as_str()), Some("check"));
         assert!(matches!(v.get("G"), Some(somrm_obs::json::Value::Null)));
+    }
+
+    #[test]
+    fn trace_out_writes_chrome_trace_json() {
+        let path = std::env::temp_dir().join("somrm-cli-trace-test.json");
+        let opts = CommonOpts {
+            trace_out: Some(path.display().to_string()),
+            ..CommonOpts::default()
+        };
+        let out = cmd_moments(&parsed(), 2, &opts).unwrap();
+        assert!(out.contains("E[B^1]"), "human output preserved");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let v = somrm_obs::json::parse(&text).expect("valid trace JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("name").and_then(|n| n.as_str()) == Some("solve.recursion")),
+            "timeline carries the recursion span"
+        );
+    }
+
+    #[test]
+    fn verify_metrics_stdout_emits_counters() {
+        let out = cmd_verify(2, 5, None, Some("-".to_string())).unwrap();
+        let v = somrm_obs::json::parse(&out).expect("valid JSON");
+        assert_eq!(v.get("command").and_then(|c| c.as_str()), Some("verify"));
+        let counters = v.get("counters").unwrap();
+        assert_eq!(
+            counters.get("verify.cases").and_then(|c| c.as_f64()),
+            Some(2.0)
+        );
+        assert_eq!(
+            counters.get("verify.passed").and_then(|c| c.as_f64()),
+            Some(2.0)
+        );
+        assert!(
+            v.get("stages").unwrap().get("verify.case").is_some(),
+            "per-case wall time recorded"
+        );
     }
 
     #[test]

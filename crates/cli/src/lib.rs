@@ -19,5 +19,6 @@
 //! init   0 1.0          # initial probability mass (must sum to 1)
 //! ```
 
+pub mod bench;
 pub mod commands;
 pub mod format;

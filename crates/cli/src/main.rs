@@ -8,7 +8,9 @@
 //! somrm-tool bounds   <model-file> [--t T] [--moments N] [--points K] [--eps E]
 //! somrm-tool simulate <model-file> [--t T] [--order N] [--samples K] [--seed S]
 //! somrm-tool density  <model-file> [--t T] [--points K]
-//! somrm-tool verify   [--cases N] [--seed S] [--out-dir DIR]
+//! somrm-tool verify   [--cases N] [--seed S] [--out-dir DIR] [--metrics DEST]
+//! somrm-tool bench    [--quick] [--out PATH]
+//! somrm-tool bench    --compare OLD NEW [--threshold PCT] [--warn-only]
 //! ```
 
 use somrm_cli::commands::{
@@ -20,7 +22,9 @@ use somrm_linalg::MatrixFormat;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: somrm-tool <check|moments|bounds|simulate|density|sweep> <model-file> [options]
-       somrm-tool verify [--cases N] [--seed S] [--out-dir DIR]
+       somrm-tool verify [--cases N] [--seed S] [--out-dir DIR] [--metrics DEST]
+       somrm-tool bench [--quick] [--out PATH]
+       somrm-tool bench --compare OLD NEW [--threshold PCT] [--warn-only]
 
 options:
   --t T           accumulation time (default 1.0)
@@ -37,11 +41,23 @@ options:
   --metrics DEST  emit the JSON solve report; DEST '-' replaces the
                   normal output on stdout, anything else is a file path
   --trace         print solver stage timings to stderr as they happen
+  --trace-out P   write the solve timeline to P as Chrome trace_event
+                  JSON (open in Perfetto / chrome://tracing)
+  --progress      print a throttled k/G heartbeat with ETA to stderr
 
 verify options:
   --cases N       number of generated cases (default 200)
   --seed S        generation seed (default 0)
   --out-dir DIR   write shrunken reproducer JSON files here on failure
+  --metrics DEST  emit per-case solve timings and check counters as a
+                  JSON report ('-' or file path, as above)
+
+bench options:
+  --quick         drop the 100k-state rungs (debug/CI tier)
+  --out PATH      bench document destination (default BENCH_solver.json)
+  --compare A B   compare two bench documents instead of running
+  --threshold P   regression threshold, percent (default 10)
+  --warn-only     report regressions without failing the comparison
 
 model file format:
   states N
@@ -86,6 +102,25 @@ fn run() -> Result<String, String> {
             flag(&args, "--cases", 200u64)?,
             flag(&args, "--seed", 0u64)?,
             opt_flag(&args, "--out-dir")?,
+            opt_flag(&args, "--metrics")?,
+        );
+    }
+    // `bench` runs a fixed model ladder, so it takes no model file.
+    if args.first().map(String::as_str) == Some("bench") {
+        if let Some(i) = args.iter().position(|a| a == "--compare") {
+            let (Some(old), Some(new)) = (args.get(i + 1), args.get(i + 2)) else {
+                return Err("--compare needs two bench files: OLD NEW".to_string());
+            };
+            return somrm_cli::bench::cmd_bench_compare(
+                old,
+                new,
+                flag(&args, "--threshold", 10.0f64)?,
+                switch(&args, "--warn-only"),
+            );
+        }
+        return somrm_cli::bench::cmd_bench_run(
+            switch(&args, "--quick"),
+            &opt_flag(&args, "--out")?.unwrap_or_else(|| "BENCH_solver.json".to_string()),
         );
     }
     let (cmd, file) = match (args.first(), args.get(1)) {
@@ -100,6 +135,8 @@ fn run() -> Result<String, String> {
         threads: flag(&args, "--threads", 1usize)?,
         metrics: opt_flag(&args, "--metrics")?,
         trace: switch(&args, "--trace"),
+        trace_out: opt_flag(&args, "--trace-out")?,
+        progress: switch(&args, "--progress"),
         format: flag(&args, "--format", MatrixFormat::Auto)?,
     };
     match cmd.as_str() {

@@ -17,7 +17,7 @@ use somrm_linalg::IterationMatrix;
 use somrm_num::poisson::{self, PoissonWindow};
 use somrm_num::special::ln_factorial;
 use somrm_num::sum::NeumaierSum;
-use somrm_obs::{SolveReport, SolverSection};
+use somrm_obs::{HealthMonitor, ProgressMeter, SolveReport, SolverSection};
 use std::sync::Arc;
 
 /// Computes raw moments `0 ..= order` of a **first-order** model at time
@@ -121,6 +121,10 @@ pub fn moments_first_order(
     let mut acc: Vec<Vec<NeumaierSum>> = vec![vec![NeumaierSum::new(); n_states]; order + 1];
     let mut scratch = vec![0.0f64; n_states];
 
+    let mut health = rec.enabled().then(|| HealthMonitor::new(g_limit, order));
+    let mut meter = config
+        .progress
+        .then(|| ProgressMeter::new("solve.recursion", g_limit));
     let recursion = rec.span("solve.recursion");
     for k in 0..=g_limit {
         let wk = window.as_ref().map_or(0.0, |w| w.weight(k));
@@ -130,6 +134,16 @@ pub fn moments_first_order(
                     acc[j][i].add(wk * u[j][i]);
                 }
             }
+        }
+        if let Some(h) = health.as_mut() {
+            if h.should_sample(k, g_limit) {
+                for (j, uj) in u.iter().enumerate() {
+                    h.observe_order(j, uj);
+                }
+            }
+        }
+        if let Some(m) = meter.as_mut() {
+            m.tick(k);
         }
         if k == g_limit {
             break;
@@ -149,6 +163,13 @@ pub fn moments_first_order(
         }
     }
     drop(recursion);
+    if let Some(h) = health.as_mut() {
+        for row in &acc {
+            for a in row {
+                h.observe_compensation(a.raw_sum(), a.compensation());
+            }
+        }
+    }
 
     let assemble = rec.span("solve.assemble");
     let shifted_moments: Vec<Vec<f64>> = (0..=order)
@@ -189,6 +210,7 @@ pub fn moments_first_order(
                 poisson: poisson_accounting(&[t], std::slice::from_ref(&window), g_limit),
             }),
             pool: None,
+            health: health.take().map(|h| h.finish(rec)),
             metrics: rec.snapshot().unwrap_or_default(),
         })
     });

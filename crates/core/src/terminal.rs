@@ -26,7 +26,7 @@ use crate::uniformization::{
 use somrm_linalg::{FusedMomentKernel, IterationMatrix};
 use somrm_num::poisson::{self, PoissonWindow};
 use somrm_num::special::{binomial, ln_factorial};
-use somrm_obs::{SolveReport, SolverSection};
+use somrm_obs::{HealthMonitor, ProgressMeter, SolveReport, SolverSection};
 use std::sync::Arc;
 
 /// Computes terminal-weighted raw moments
@@ -179,6 +179,13 @@ pub fn moments_terminal_weighted(
         config.effective_threads(n_states),
     );
     kernel.set_recorder(rec.clone());
+    // Health probes, as in the plain sweep: the weighted initial
+    // condition makes this the path where genuine substochastic mass
+    // decay of U⁽⁰⁾ can show up.
+    let mut health = rec.enabled().then(|| HealthMonitor::new(g_limit, order));
+    let mut meter = config
+        .progress
+        .then(|| ProgressMeter::new("solve.recursion", g_limit));
     {
         let _recursion = rec.span("solve.recursion");
         let w = window.as_ref().expect("qt > 0 here");
@@ -186,6 +193,23 @@ pub fn moments_terminal_weighted(
             let wk = w.weight(k);
             let active = [(0usize, wk)];
             kernel.step(if wk > 0.0 { &active } else { &[] }, k < g_limit);
+            if let Some(h) = health.as_mut() {
+                if h.should_sample(k, g_limit) {
+                    for j in 0..=order {
+                        h.observe_order(j, kernel.u_order(j));
+                    }
+                }
+            }
+            if let Some(m) = meter.as_mut() {
+                m.tick(k);
+            }
+        }
+    }
+    if let Some(h) = health.as_mut() {
+        for j in 0..=order {
+            for a in kernel.accumulated(0, j) {
+                h.observe_compensation(a.raw_sum(), a.compensation());
+            }
         }
     }
 
@@ -251,6 +275,7 @@ pub fn moments_terminal_weighted(
                 poisson: poisson_accounting(&[t], std::slice::from_ref(&window), g_limit),
             }),
             pool: kernel.pool_stats().map(pool_section),
+            health: health.take().map(|h| h.finish(rec)),
             metrics: rec.snapshot().unwrap_or_default(),
         })
     });

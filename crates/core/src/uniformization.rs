@@ -44,7 +44,10 @@ use somrm_linalg::{FusedMomentKernel, IterationMatrix, MatrixFormat};
 use somrm_num::poisson::{self, PoissonWindow};
 use somrm_num::special::{binomial, ln_factorial};
 use somrm_num::sum::NeumaierSum;
-use somrm_obs::{PoissonStat, PoolSection, RecorderHandle, SolveReport, SolverSection};
+use somrm_obs::{
+    HealthMonitor, PoissonStat, PoolSection, ProgressMeter, RecorderHandle, SolveReport,
+    SolverSection,
+};
 use std::sync::Arc;
 
 /// Configuration of the randomization moment solver.
@@ -82,6 +85,11 @@ pub struct SolverConfig {
     /// Attaching a recorder never changes computed results — the
     /// instrumentation only observes.
     pub recorder: RecorderHandle,
+    /// Print a throttled progress heartbeat (`k/G`, percentage, ETA) to
+    /// stderr during the recursion — for paper-scale solves where `G`
+    /// reaches tens of thousands. Off by default; never affects
+    /// results.
+    pub progress: bool,
 }
 
 impl Default for SolverConfig {
@@ -93,6 +101,7 @@ impl Default for SolverConfig {
             parallel_threshold: 4096,
             format: MatrixFormat::Auto,
             recorder: RecorderHandle::disabled(),
+            progress: false,
         }
     }
 }
@@ -434,6 +443,14 @@ pub fn moments_sweep(
         config.effective_threads(n_states),
     );
     kernel.set_recorder(rec.clone());
+    // Numerical-health probes: read-only scans of the iterate blocks on
+    // a throttled cadence. Only built when a recorder is attached (the
+    // report they feed exists only then), so disabled solves skip every
+    // scan and stay bit-identical by construction.
+    let mut health = rec.enabled().then(|| HealthMonitor::new(g_limit, order));
+    let mut meter = config
+        .progress
+        .then(|| ProgressMeter::new("solve.recursion", g_limit));
     {
         let _recursion = rec.span("solve.recursion");
         let mut active: Vec<(usize, f64)> = Vec::with_capacity(times.len());
@@ -450,6 +467,27 @@ pub fn moments_sweep(
             }
             // The final iteration only accumulates; no U(G+1) is needed.
             kernel.step(&active, k < g_limit);
+            if let Some(h) = health.as_mut() {
+                if h.should_sample(k, g_limit) {
+                    for j in 0..=order {
+                        h.observe_order(j, kernel.u_order(j));
+                    }
+                }
+            }
+            if let Some(m) = meter.as_mut() {
+                m.tick(k);
+            }
+        }
+    }
+    // Neumaier audit: how much mass the compensation terms carry at the
+    // end of the weighted accumulation.
+    if let Some(h) = health.as_mut() {
+        for ti in 0..times.len() {
+            for j in 0..=order {
+                for a in kernel.accumulated(ti, j) {
+                    h.observe_compensation(a.raw_sum(), a.compensation());
+                }
+            }
         }
     }
 
@@ -505,6 +543,9 @@ pub fn moments_sweep(
             .collect()
     });
     if rec.enabled() {
+        // Finish health before the snapshot so the health.* counters it
+        // emits are part of the report's metrics.
+        let health_section = health.map(|h| h.finish(rec));
         let report = Arc::new(SolveReport {
             command: "moments".to_string(),
             solver: Some(SolverSection {
@@ -524,6 +565,7 @@ pub fn moments_sweep(
                 poisson: poisson_stats,
             }),
             pool: kernel.pool_stats().map(pool_section),
+            health: health_section,
             metrics: rec.snapshot().unwrap_or_default(),
         });
         for s in &mut solutions {
@@ -611,6 +653,8 @@ fn attach_degenerate_report(
             poisson: Vec::new(),
         }),
         pool: None,
+        // No recursion ran on the exact paths — nothing to probe.
+        health: None,
         metrics: config.recorder.snapshot().unwrap_or_default(),
     });
     for s in solutions {

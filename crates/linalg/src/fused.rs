@@ -160,11 +160,17 @@ impl<'a> FusedMomentKernel<'a> {
         let u_cur = &self.u_cur;
         let u_next = SyncMutPtr::new(self.u_next.as_mut_ptr());
         let acc = SyncMutPtr::new(self.acc.as_mut_ptr());
+        let rec = &self.recorder;
         let task = |c: usize| {
             let range = chunk_range(n, chunks, c);
             if range.is_empty() {
                 return;
             }
+            // Timeline-only per-chunk event, emitted from the thread
+            // that ran the chunk so the Chrome trace shows one lane per
+            // worker. Does not feed the duration aggregates (that stays
+            // at kernel.pass granularity).
+            let chunk_start = rec.enabled().then(std::time::Instant::now);
             for &(ti, wk) in active {
                 for j in 0..order1 {
                     let uj = &u_cur[j * n..(j + 1) * n];
@@ -335,6 +341,10 @@ impl<'a> FusedMomentKernel<'a> {
                     }
                 }
             }
+            if let Some(start) = chunk_start {
+                let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+                rec.span_complete("kernel.chunk", start, nanos);
+            }
         };
         {
             let _pass = self.recorder.span("kernel.pass");
@@ -359,6 +369,19 @@ impl<'a> FusedMomentKernel<'a> {
         assert!(ti < self.n_times && j <= self.order, "accumulator index out of range");
         let base = (ti * (self.order + 1) + j) * self.n;
         &self.acc[base..base + self.n]
+    }
+
+    /// Read-only view of the order-`j` block of the *current* iterate —
+    /// `U⁽ʲ⁾(k+1)` right after a `step(..., true)` at iteration `k`
+    /// (`U⁽ʲ⁾(G)` after the final non-advancing step). Health probes
+    /// scan this between passes; it never aliases in-flight writes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j` is out of range.
+    pub fn u_order(&self, j: usize) -> &[f64] {
+        assert!(j <= self.order, "order index out of range");
+        &self.u_cur[j * self.n..(j + 1) * self.n]
     }
 }
 
@@ -561,6 +584,55 @@ mod tests {
 
         let serial = FusedMomentKernel::new(&im, &zeros, &zeros, 1, 1, &u0, 1);
         assert!(serial.pool_stats().is_none());
+    }
+
+    #[test]
+    fn chunk_timeline_events_come_from_each_worker_lane() {
+        use somrm_obs::ChromeTraceRecorder;
+        use std::sync::Arc;
+
+        let n = 64;
+        let im = IterationMatrix::with_format(test_matrix(n), MatrixFormat::Csr);
+        let zeros = vec![0.0; n];
+        let u0 = vec![1.0; n];
+        let mut k = FusedMomentKernel::new(&im, &zeros, &zeros, 1, 1, &u0, 2);
+        let chrome = Arc::new(ChromeTraceRecorder::new());
+        k.set_recorder(RecorderHandle::new(chrome.clone()));
+        for _ in 0..3 {
+            k.step(&[(0, 0.1)], true);
+        }
+        // 3 passes × 2 chunks + 3 kernel.pass spans.
+        let v = somrm_obs::json::parse(&chrome.to_json()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let chunk_tids: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("kernel.chunk"))
+            .map(|e| e.get("tid").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(chunk_tids.len(), 6);
+        let distinct: std::collections::BTreeSet<u64> =
+            chunk_tids.iter().map(|&t| t as u64).collect();
+        assert_eq!(distinct.len(), 2, "one lane per chunk owner: {chunk_tids:?}");
+        let passes = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("kernel.pass"))
+            .count();
+        assert_eq!(passes, 3);
+    }
+
+    #[test]
+    fn u_order_exposes_the_current_iterate() {
+        let n = 16;
+        let m = test_matrix(n);
+        let im = IterationMatrix::with_format(m.clone(), MatrixFormat::Csr);
+        let zeros = vec![0.0; n];
+        let u0 = vec![1.0; n];
+        let mut k = FusedMomentKernel::new(&im, &zeros, &zeros, 0, 1, &u0, 1);
+        assert_eq!(k.u_order(0), &u0[..]);
+        k.step(&[], true);
+        let mut expect = vec![0.0; n];
+        m.matvec_into(&u0, &mut expect);
+        assert_eq!(k.u_order(0), &expect[..]);
     }
 
     #[test]

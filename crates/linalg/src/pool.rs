@@ -223,6 +223,10 @@ impl Drop for WorkerPool {
 }
 
 fn worker_loop(shared: &Shared, chunk_index: usize) {
+    // Claim a dense timeline lane before any work arrives, so workers
+    // spawned in chunk order get consecutive lanes and trace sinks show
+    // a stable `somrm-worker-<chunk>` lane layout across solves.
+    let _ = somrm_obs::thread_lane();
     let mut last_epoch = 0u64;
     loop {
         let job = {

@@ -54,6 +54,19 @@ impl NeumaierSum {
     pub fn value(&self) -> f64 {
         self.sum + self.compensation
     }
+
+    /// The raw running sum (without the compensation applied).
+    pub fn raw_sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// The running compensation term: the accumulated rounding error
+    /// the naive sum has lost so far. `|compensation| / |sum|` is a
+    /// direct measure of how hard compensated summation had to work —
+    /// health probes report the worst such ratio over a solve.
+    pub fn compensation(&self) -> f64 {
+        self.compensation
+    }
 }
 
 impl Extend<f64> for NeumaierSum {
@@ -138,6 +151,18 @@ mod tests {
         let mut acc = NeumaierSum::with_value(2.5);
         acc.add(0.5);
         assert_eq!(acc.value(), 3.0);
+    }
+
+    #[test]
+    fn compensation_accessor_exposes_lost_bits() {
+        let mut acc = NeumaierSum::new();
+        acc.add(1.0e100);
+        acc.add(1.0);
+        // 1.0 is entirely absorbed by the compensation term.
+        assert_eq!(acc.raw_sum(), 1.0e100);
+        assert_eq!(acc.compensation(), 1.0);
+        assert_eq!(acc.value(), acc.raw_sum() + acc.compensation());
+        assert_eq!(NeumaierSum::new().compensation(), 0.0);
     }
 
     #[test]

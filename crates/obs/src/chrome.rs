@@ -1,0 +1,236 @@
+//! Chrome `trace_event` exporter: a recorder that turns spans into a
+//! timeline Perfetto / `chrome://tracing` can open.
+//!
+//! The recorder double-duties: it forwards counters/gauges/durations to
+//! an internal [`MetricsRegistry`] (so `--metrics` and the
+//! [`crate::SolveReport`] keep working when a trace is being captured)
+//! and collects every [`Recorder::span_complete`] event as a Chrome
+//! "complete" (`ph:"X"`) event with microsecond `ts`/`dur` relative to
+//! the recorder's construction instant. One lane per thread: the `tid`
+//! is the dense [`thread_lane`] of the emitting thread, and a
+//! `thread_name` metadata event names each lane after its OS thread
+//! (pool workers are named `somrm-worker-<chunk>` at spawn, so a solve
+//! opens with one labelled lane per worker).
+//!
+//! The JSON object form (`{"traceEvents": [...]}`) is emitted rather
+//! than the bare array so the file is self-describing and strict
+//! parsers — including [`crate::json::parse`] — round-trip it.
+
+use crate::json;
+use crate::recorder::{thread_lane, Recorder};
+use crate::registry::{MetricsRegistry, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One collected timeline event (a Chrome `ph:"X"` complete event).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TraceEvent {
+    name: String,
+    /// Start, nanoseconds since the recorder's epoch.
+    ts_ns: u64,
+    /// Duration, nanoseconds.
+    dur_ns: u64,
+    /// Lane of the emitting thread.
+    lane: u64,
+}
+
+#[derive(Debug, Default)]
+struct Timeline {
+    events: Vec<TraceEvent>,
+    /// Lane → OS thread name, captured at each lane's first event.
+    lanes: BTreeMap<u64, String>,
+}
+
+/// Recorder producing a Chrome `trace_event` timeline (plus aggregated
+/// metrics via an internal registry).
+#[derive(Debug)]
+pub struct ChromeTraceRecorder {
+    epoch: Instant,
+    registry: MetricsRegistry,
+    timeline: Mutex<Timeline>,
+}
+
+impl Default for ChromeTraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ChromeTraceRecorder {
+    /// A recorder whose timeline starts now.
+    pub fn new() -> Self {
+        ChromeTraceRecorder {
+            epoch: Instant::now(),
+            registry: MetricsRegistry::new(),
+            timeline: Mutex::new(Timeline::default()),
+        }
+    }
+
+    /// Number of timeline events collected so far.
+    pub fn event_count(&self) -> usize {
+        self.timeline.lock().expect("trace mutex").events.len()
+    }
+
+    /// Serializes the timeline as Chrome `trace_event` JSON:
+    /// `{"displayTimeUnit":"ns","traceEvents":[...]}` with one
+    /// `thread_name` metadata event per lane followed by the `ph:"X"`
+    /// complete events (`ts`/`dur` in fractional microseconds,
+    /// `pid` fixed at 1, `tid` = lane). Guaranteed to parse with
+    /// [`crate::json::parse`].
+    pub fn to_json(&self) -> String {
+        let timeline = self.timeline.lock().expect("trace mutex");
+        let mut out = String::with_capacity(256 + timeline.events.len() * 96);
+        out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+        let mut first = true;
+        let meta = |out: &mut String, tid: u64, kind: &str, name: &str, first: &mut bool| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            let _ = write!(out, "{{\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"name\":");
+            json::write_string(out, kind);
+            out.push_str(",\"args\":{\"name\":");
+            json::write_string(out, name);
+            out.push_str("}}");
+        };
+        meta(&mut out, 0, "process_name", "somrm", &mut first);
+        for (lane, name) in &timeline.lanes {
+            meta(&mut out, *lane, "thread_name", name, &mut first);
+        }
+        for e in &timeline.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"ph\":\"X\",\"pid\":1,");
+            let _ = write!(out, "\"tid\":{},\"name\":", e.lane);
+            json::write_string(&mut out, &e.name);
+            out.push_str(",\"ts\":");
+            json::write_f64(&mut out, e.ts_ns as f64 / 1_000.0);
+            out.push_str(",\"dur\":");
+            json::write_f64(&mut out, e.dur_ns as f64 / 1_000.0);
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl Recorder for ChromeTraceRecorder {
+    fn counter_add(&self, name: &str, delta: u64) {
+        self.registry.counter_add(name, delta);
+    }
+
+    fn gauge_set(&self, name: &str, value: f64) {
+        self.registry.gauge_set(name, value);
+    }
+
+    fn duration_ns(&self, name: &str, nanos: u64) {
+        self.registry.duration_ns(name, nanos);
+    }
+
+    fn span_complete(&self, name: &str, start: Instant, nanos: u64) {
+        let lane = thread_lane();
+        let ts_ns = start
+            .saturating_duration_since(self.epoch)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        let mut timeline = self.timeline.lock().expect("trace mutex");
+        timeline.lanes.entry(lane).or_insert_with(|| {
+            std::thread::current()
+                .name()
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("thread-{lane}"))
+        });
+        timeline.events.push(TraceEvent {
+            name: name.to_string(),
+            ts_ns,
+            dur_ns: nanos,
+            lane,
+        });
+    }
+
+    fn snapshot(&self) -> Option<MetricsSnapshot> {
+        Some(self.registry.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::RecorderHandle;
+    use std::sync::Arc;
+
+    #[test]
+    fn spans_become_complete_events_that_parse() {
+        let rec = Arc::new(ChromeTraceRecorder::new());
+        let h = RecorderHandle::new(rec.clone());
+        {
+            let _outer = h.span("solve.recursion");
+            let _inner = h.span("kernel.pass");
+        }
+        assert_eq!(rec.event_count(), 2);
+        let v = crate::json::parse(&rec.to_json()).expect("valid trace JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let xs: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(xs.len(), 2);
+        for e in &xs {
+            assert!(e.get("ts").unwrap().as_f64().is_some());
+            assert!(e.get("dur").unwrap().as_f64().is_some());
+            assert!(e.get("tid").unwrap().as_f64().is_some());
+        }
+    }
+
+    #[test]
+    fn metrics_still_aggregate_while_tracing() {
+        let rec = Arc::new(ChromeTraceRecorder::new());
+        let h = RecorderHandle::new(rec.clone());
+        h.counter_add("kernel.passes", 3);
+        h.gauge_set("solver.q", 7.0);
+        h.time("solve.setup", || ());
+        let snap = h.snapshot().expect("chrome recorder aggregates");
+        assert_eq!(snap.counter("kernel.passes"), Some(3));
+        assert_eq!(snap.gauge("solver.q"), Some(7.0));
+        assert_eq!(snap.timing("solve.setup").map(|t| t.count), Some(1));
+    }
+
+    #[test]
+    fn worker_threads_get_their_own_named_lane() {
+        let rec = Arc::new(ChromeTraceRecorder::new());
+        let h = RecorderHandle::new(rec.clone());
+        {
+            let _main = h.span("main.work");
+        }
+        let h2 = h.clone();
+        std::thread::Builder::new()
+            .name("somrm-worker-test".into())
+            .spawn(move || {
+                let start = Instant::now();
+                h2.span_complete("kernel.chunk", start, 5);
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+        let v = crate::json::parse(&rec.to_json()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("name").unwrap().as_str() == Some("thread_name"))
+            .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"somrm-worker-test"), "lanes: {names:?}");
+        // The two X events sit on different tids.
+        let tids: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .map(|e| e.get("tid").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(tids.len(), 2);
+        assert_ne!(tids[0], tids[1]);
+    }
+}

@@ -42,13 +42,17 @@
 //! assert_eq!(snap.timing("demo.stage").unwrap().count, 1);
 //! ```
 
+pub mod chrome;
+pub mod health;
 pub mod json;
 pub mod recorder;
 pub mod registry;
 pub mod report;
 pub mod trace;
 
-pub use recorder::{NoopRecorder, Recorder, RecorderHandle, Span};
+pub use chrome::ChromeTraceRecorder;
+pub use health::{HealthMonitor, HealthSection, ProgressMeter};
+pub use recorder::{thread_lane, NoopRecorder, Recorder, RecorderHandle, Span};
 pub use registry::{MetricsRegistry, MetricsSnapshot, TimingStat};
 pub use report::{PoissonStat, PoolSection, SolveReport, SolverSection};
 pub use trace::TraceRecorder;

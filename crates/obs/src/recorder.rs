@@ -2,8 +2,28 @@
 //! handle they hold.
 
 use crate::registry::MetricsSnapshot;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Process-wide dense thread-lane allocator (see [`thread_lane`]).
+static NEXT_THREAD_LANE: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static THREAD_LANE: u64 = NEXT_THREAD_LANE.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A small dense integer identifying the calling thread, stable for the
+/// thread's lifetime.
+///
+/// `std::thread::ThreadId` has no stable integer form, but timeline
+/// sinks (the Chrome exporter, the stderr tracer) want one lane per
+/// thread with small consecutive numbers. Lanes are assigned on first
+/// use in program order, so the main thread is usually lane 0 and pool
+/// workers claim theirs at spawn (see `linalg`'s worker loop).
+pub fn thread_lane() -> u64 {
+    THREAD_LANE.with(|l| *l)
+}
 
 /// Sink for solver telemetry.
 ///
@@ -38,6 +58,20 @@ pub trait Recorder: Send + Sync {
     /// implement this.
     fn span_end(&self, name: &str, nanos: u64) {
         let _ = (name, nanos);
+    }
+
+    /// A timeline event: the span `name` ran on the *calling thread*
+    /// from the monotonic instant `start` for `nanos`. Default:
+    /// ignored.
+    ///
+    /// Unlike [`Recorder::span_end`] this carries enough to place the
+    /// span on a wall-clock timeline — the start instant plus the
+    /// caller's thread (recover a lane with [`thread_lane`]). The
+    /// [`Span`] guard emits it on drop alongside `duration_ns` /
+    /// `span_end`; kernels additionally emit per-chunk events directly
+    /// from worker threads so the timeline shows one lane per worker.
+    fn span_complete(&self, name: &str, start: Instant, nanos: u64) {
+        let _ = (name, start, nanos);
     }
 
     /// A snapshot of everything aggregated so far, if this recorder
@@ -138,6 +172,16 @@ impl RecorderHandle {
         }
     }
 
+    /// See [`Recorder::span_complete`]. Timeline-only: does *not* feed
+    /// the duration aggregates, so high-frequency per-chunk events can
+    /// be emitted without drowning the stage timings.
+    #[inline]
+    pub fn span_complete(&self, name: &str, start: Instant, nanos: u64) {
+        if let Some(r) = &self.0 {
+            r.span_complete(name, start, nanos);
+        }
+    }
+
     /// Opens a timing span; its drop records the elapsed time under
     /// `name` (both as a duration observation and as a span-end event).
     /// Disabled handles return an inert guard without reading the clock.
@@ -186,6 +230,7 @@ impl Drop for Span<'_> {
             let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
             r.duration_ns(self.name, nanos);
             r.span_end(self.name, nanos);
+            r.span_complete(self.name, start, nanos);
         }
     }
 }

@@ -4,14 +4,18 @@ use crate::recorder::Recorder;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-/// Aggregate of one duration series: count, total, min, max.
+/// Aggregate of one duration series: count, total, min, max, and a
+/// fixed 64-bucket log2 histogram for percentiles.
 ///
-/// A four-field "histogram-lite" instead of bucketed histograms: the
+/// Bucket `i` counts observations whose value `v` satisfies
+/// `floor(log2(v)) == i` (with `v = 0` landing in bucket 0), so the
+/// full `u64` nanosecond range is covered by exactly 64 buckets and
+/// recording stays allocation-free after the first observation. The
 /// solver's series are either short (a handful of stages) or extremely
-/// regular (one pass per recursion iteration), where mean/min/max answer
-/// the perf questions and the fixed size keeps recording allocation-free
-/// after the first observation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// regular (one pass per recursion iteration), so power-of-two
+/// resolution — at worst a factor-of-two error on a quantile, clamped
+/// to the observed `[min_ns, max_ns]` — answers the perf questions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimingStat {
     /// Number of observations.
     pub count: u64,
@@ -21,6 +25,40 @@ pub struct TimingStat {
     pub min_ns: u64,
     /// Largest observation, nanoseconds.
     pub max_ns: u64,
+    /// Log2 histogram: `buckets[i]` counts observations with
+    /// `floor(log2(v)) == i` (`v = 0` counts in bucket 0).
+    pub buckets: [u64; 64],
+}
+
+// Manual impl: `[u64; 64]` is past the derive-friendly array sizes for
+// `Default` on older toolchains, and an all-zero stat is the identity
+// we want regardless.
+impl Default for TimingStat {
+    fn default() -> Self {
+        TimingStat {
+            count: 0,
+            total_ns: 0,
+            min_ns: 0,
+            max_ns: 0,
+            buckets: [0; 64],
+        }
+    }
+}
+
+/// The histogram bucket of one observation: `floor(log2(v))`, with 0
+/// mapping to bucket 0.
+fn bucket_of(nanos: u64) -> usize {
+    (63u32.saturating_sub(nanos.leading_zeros())) as usize
+}
+
+/// Exclusive upper edge of bucket `i` (`2^(i+1)`), saturating at
+/// `u64::MAX` for the last bucket.
+fn bucket_upper(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
 }
 
 impl TimingStat {
@@ -34,6 +72,7 @@ impl TimingStat {
         }
         self.count += 1;
         self.total_ns = self.total_ns.saturating_add(nanos);
+        self.buckets[bucket_of(nanos)] += 1;
     }
 
     /// Mean observation in nanoseconds (0 when empty).
@@ -43,6 +82,37 @@ impl TimingStat {
         } else {
             self.total_ns as f64 / self.count as f64
         }
+    }
+
+    /// The quantile `q` in `[0, 1]` from the log2 histogram: the upper
+    /// edge of the bucket containing the `ceil(q·count)`-th smallest
+    /// observation, clamped to the observed `[min_ns, max_ns]`. Exact
+    /// for series that fit one bucket; otherwise right by at most a
+    /// factor of two. Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper(i).clamp(self.min_ns, self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+
+    /// Median observation in nanoseconds (log2-bucket resolution).
+    pub fn p50_ns(&self) -> u64 {
+        self.quantile_ns(0.50)
+    }
+
+    /// 99th-percentile observation in nanoseconds (log2-bucket
+    /// resolution).
+    pub fn p99_ns(&self) -> u64 {
+        self.quantile_ns(0.99)
     }
 }
 
@@ -197,6 +267,72 @@ mod tests {
         assert_eq!(t.min_ns, 1);
         assert_eq!(t.max_ns, 9);
         assert!((t.mean_ns() - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_follow_log2_of_the_observation() {
+        let reg = MetricsRegistry::new();
+        // 0 and 1 land in bucket 0; 2..4 in bucket 1; 1024..2048 in 10.
+        for ns in [0u64, 1, 2, 3, 1024, 2047] {
+            reg.duration_ns("t", ns);
+        }
+        let snap = reg.snapshot();
+        let t = snap.timing("t").unwrap();
+        assert_eq!(t.buckets[0], 2);
+        assert_eq!(t.buckets[1], 2);
+        assert_eq!(t.buckets[10], 2);
+        assert_eq!(t.buckets.iter().sum::<u64>(), t.count);
+    }
+
+    #[test]
+    fn single_observation_quantiles_are_exact() {
+        let mut t = TimingStat::default();
+        t.record(777);
+        // One observation: every quantile is that observation (bucket
+        // edges clamp to [min, max] = [777, 777]).
+        assert_eq!(t.p50_ns(), 777);
+        assert_eq!(t.p99_ns(), 777);
+        assert_eq!(t.quantile_ns(0.0), 777);
+        assert_eq!(t.quantile_ns(1.0), 777);
+    }
+
+    #[test]
+    fn empty_stat_quantiles_are_zero() {
+        let t = TimingStat::default();
+        assert_eq!(t.p50_ns(), 0);
+        assert_eq!(t.p99_ns(), 0);
+        assert_eq!(t.mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_within_a_factor_of_two_and_ordered() {
+        let mut t = TimingStat::default();
+        // 99 observations near 1 µs, one outlier at ~1 ms.
+        for _ in 0..99 {
+            t.record(1_000);
+        }
+        t.record(1_000_000);
+        let p50 = t.p50_ns();
+        let p99 = t.p99_ns();
+        // p50 covers the bulk: true median 1000, bucket edge 1024.
+        assert!((1_000..=2_048).contains(&p50), "p50 = {p50}");
+        // p99 is still in the bulk (99% of mass), p100 would hit the
+        // outlier; ordering must hold.
+        assert!(p50 <= p99);
+        assert!(t.quantile_ns(1.0) >= 1_000_000u64.min(t.max_ns));
+        assert_eq!(t.max_ns, 1_000_000);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_range() {
+        let mut t = TimingStat::default();
+        for ns in [100u64, 120, 127] {
+            t.record(ns);
+        }
+        // All in bucket 6 (64..128): upper edge 128 clamps to max 127.
+        assert_eq!(t.p50_ns(), 127);
+        assert_eq!(t.p99_ns(), 127);
+        assert!(t.p50_ns() >= t.min_ns && t.p99_ns() <= t.max_ns);
     }
 
     #[test]

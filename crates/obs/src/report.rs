@@ -1,5 +1,6 @@
 //! The end-of-run audit artifact: a [`SolveReport`] and its JSON form.
 
+use crate::health::HealthSection;
 use crate::json;
 use crate::registry::MetricsSnapshot;
 use std::fmt::Write as _;
@@ -98,6 +99,9 @@ pub struct SolveReport {
     pub solver: Option<SolverSection>,
     /// Worker-pool stats; `None` for serial runs.
     pub pool: Option<PoolSection>,
+    /// Numerical-health probes sampled during the recursion; `None`
+    /// when the operation has no iterative phase to probe.
+    pub health: Option<HealthSection>,
     /// Snapshot of the attached metrics registry (stage timings, pass
     /// counters, gauges). Empty when the recorder does not aggregate.
     pub metrics: MetricsSnapshot,
@@ -110,6 +114,7 @@ impl SolveReport {
             command: command.into(),
             solver: None,
             pool: None,
+            health: None,
             metrics: MetricsSnapshot::default(),
         }
     }
@@ -214,6 +219,39 @@ impl SolveReport {
             None => out.push_str("null"),
         }
 
+        out.push_str(",\"health\":");
+        match &self.health {
+            Some(h) => {
+                let _ = write!(
+                    out,
+                    "{{\"samples\":{},\"stride\":{},\"nan\":{},\"inf\":{},\"subnormal\":{},\"warnings\":{}",
+                    h.samples,
+                    h.stride,
+                    h.nan,
+                    h.inf,
+                    h.subnormal,
+                    h.warnings()
+                );
+                for (key, v) in [
+                    ("u0_mass_initial", h.u0_mass_initial),
+                    ("u0_mass_min", h.u0_mass_min),
+                    ("u0_mass_final", h.u0_mass_final),
+                    ("compensation_ratio", h.compensation_ratio),
+                ] {
+                    push_num(&mut out, key, v);
+                }
+                out.push_str(",\"max_abs\":[");
+                for (i, &m) in h.max_abs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::write_f64(&mut out, m);
+                }
+                out.push_str("]}");
+            }
+            None => out.push_str("null"),
+        }
+
         out.push_str(",\"stages\":{");
         for (i, (name, t)) in self.metrics.timings.iter().enumerate() {
             if i > 0 {
@@ -222,8 +260,13 @@ impl SolveReport {
             json::write_string(&mut out, name);
             let _ = write!(
                 out,
-                ":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"mean_ns\":",
-                t.count, t.total_ns, t.min_ns, t.max_ns
+                ":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"mean_ns\":",
+                t.count,
+                t.total_ns,
+                t.min_ns,
+                t.max_ns,
+                t.p50_ns(),
+                t.p99_ns()
             );
             json::write_f64(&mut out, t.mean_ns());
             out.push('}');
@@ -277,6 +320,7 @@ mod tests {
                 total_ns: 1000,
                 min_ns: 1000,
                 max_ns: 1000,
+                ..crate::TimingStat::default()
             },
         ));
         SolveReport {
@@ -309,6 +353,18 @@ mod tests {
                 parks: 130,
                 wakes: 126,
             }),
+            health: Some(HealthSection {
+                samples: 42,
+                stride: 1,
+                nan: 0,
+                inf: 0,
+                subnormal: 3,
+                max_abs: vec![1.0, 0.9, 0.8, 0.7],
+                u0_mass_initial: 1.0,
+                u0_mass_min: 1.0,
+                u0_mass_final: 1.0,
+                compensation_ratio: 2.5e-16,
+            }),
             metrics,
         }
     }
@@ -327,6 +383,14 @@ mod tests {
         assert_eq!(v.get("pool").unwrap().get("parks").unwrap().as_f64(), Some(130.0));
         let stage = v.get("stages").unwrap().get("solve.recursion").unwrap();
         assert_eq!(stage.get("count").unwrap().as_f64(), Some(1.0));
+        assert_eq!(stage.get("p50_ns").unwrap().as_f64(), Some(1000.0));
+        assert_eq!(stage.get("p99_ns").unwrap().as_f64(), Some(1000.0));
+        let health = v.get("health").unwrap();
+        assert_eq!(health.get("samples").unwrap().as_f64(), Some(42.0));
+        assert_eq!(health.get("subnormal").unwrap().as_f64(), Some(3.0));
+        assert_eq!(health.get("warnings").unwrap().as_f64(), Some(3.0));
+        assert_eq!(health.get("u0_mass_final").unwrap().as_f64(), Some(1.0));
+        assert_eq!(health.get("max_abs").unwrap().as_array().unwrap().len(), 4);
         assert_eq!(
             v.get("counters").unwrap().get("kernel.passes").unwrap().as_f64(),
             Some(42.0)
@@ -340,6 +404,7 @@ mod tests {
         assert_eq!(v.get("G"), Some(&crate::json::Value::Null));
         assert_eq!(v.get("error_bound"), Some(&crate::json::Value::Null));
         assert_eq!(v.get("pool"), Some(&crate::json::Value::Null));
+        assert_eq!(v.get("health"), Some(&crate::json::Value::Null));
         assert!(v.get("stages").is_some());
     }
 

@@ -1,14 +1,21 @@
 //! Human-readable tracing: a [`Recorder`] that narrates spans and gauges
 //! to stderr while teeing every event into a [`MetricsRegistry`].
 
-use crate::recorder::Recorder;
+use crate::recorder::{thread_lane, Recorder};
 use crate::registry::{MetricsRegistry, MetricsSnapshot};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Writes a `trace:`-prefixed line to stderr for each span boundary and
 /// gauge write, indented by span depth, and forwards *all* events to an
 /// internal [`MetricsRegistry`] so a [`crate::SolveReport`] can still be
 /// assembled from the same run.
+///
+/// Each line carries the elapsed time since the tracer was constructed
+/// (solve start, in practice) and the dense
+/// [`thread_lane`] of the emitting thread —
+/// `trace: [+0.123456s t0] name {` — so a serial stderr log lines up
+/// with the Chrome timeline's clock and lanes.
 ///
 /// Plain duration observations (including the ones the [`crate::Span`]
 /// guard emits alongside `span_end`) are aggregated but not printed —
@@ -17,22 +24,41 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 ///
 /// Stderr is chosen so `--trace` composes with `--metrics -` (JSON on
 /// stdout) and with ordinary redirection of result output.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TraceRecorder {
     registry: MetricsRegistry,
     depth: AtomicUsize,
+    epoch: Instant,
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl TraceRecorder {
-    /// A tracer with an empty internal registry.
+    /// A tracer with an empty internal registry; timestamps count from
+    /// this moment.
     pub fn new() -> Self {
-        Self::default()
+        TraceRecorder {
+            registry: MetricsRegistry::new(),
+            depth: AtomicUsize::new(0),
+            epoch: Instant::now(),
+        }
     }
 
     fn emit(&self, depth: usize, line: std::fmt::Arguments<'_>) {
         // Depth can momentarily be off under concurrent spans from pool
         // workers; the indent is cosmetic, so that is acceptable.
-        eprintln!("trace: {:indent$}{}", "", line, indent = depth * 2);
+        let elapsed = self.epoch.elapsed().as_secs_f64();
+        eprintln!(
+            "trace: [+{elapsed:.6}s t{}] {:indent$}{}",
+            thread_lane(),
+            "",
+            line,
+            indent = depth * 2
+        );
     }
 }
 

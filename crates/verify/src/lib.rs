@@ -31,7 +31,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 /// Options of one verification run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct VerifyOpts {
     /// Number of generated cases.
     pub cases: u64,
@@ -182,7 +182,14 @@ pub fn run_verification(opts: &VerifyOpts) -> VerifySummary {
                 summary.sim_checked += u64::from(stats.sim_checked);
             }
             Err(violation) => {
-                let shrunk = shrink(&case, violation.clone(), &opts.oracle);
+                // Shrinking replays the oracle many times on reduced
+                // cases; detach the recorder so its counters keep
+                // meaning "top-level cases checked".
+                let shrink_cfg = OracleConfig {
+                    recorder: somrm_obs::RecorderHandle::disabled(),
+                    ..opts.oracle.clone()
+                };
+                let shrunk = shrink(&case, violation.clone(), &shrink_cfg);
                 let written_to = opts.out_dir.as_ref().and_then(|dir| {
                     let path = dir.join(format!(
                         "seed{}-case{}-{}.json",

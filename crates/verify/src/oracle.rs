@@ -21,12 +21,13 @@ use somrm_core::first_order::moments_first_order;
 use somrm_core::uniformization::{moments, SolverConfig};
 use somrm_linalg::MatrixFormat;
 use somrm_obs::json::{self};
+use somrm_obs::RecorderHandle;
 use somrm_ode::{moments_ode, OdeMethod};
 use somrm_sim::reward::estimate_moments;
 use std::fmt;
 
 /// Tolerance and budget knobs of one oracle run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct OracleConfig {
     /// Truncation `ε` handed to the randomization solver.
     pub epsilon: f64,
@@ -46,6 +47,10 @@ pub struct OracleConfig {
     pub sim_min_samples: usize,
     /// CLT half-width multiplier (`z` standard errors).
     pub sim_z: f64,
+    /// Telemetry sink for per-case solve timings and check/violation
+    /// counters. Disabled by default; attaching one never changes which
+    /// checks run or their outcomes.
+    pub recorder: RecorderHandle,
 }
 
 impl Default for OracleConfig {
@@ -58,6 +63,7 @@ impl Default for OracleConfig {
             sim_jump_budget: 2_000_000.0,
             sim_min_samples: 200,
             sim_z: 8.0,
+            recorder: RecorderHandle::disabled(),
         }
     }
 }
@@ -229,6 +235,27 @@ pub fn check_case(
     cfg: &OracleConfig,
     rng: &mut StdRng,
 ) -> Result<CaseStats, Violation> {
+    let rec = &cfg.recorder;
+    rec.counter_add("verify.cases", 1);
+    let result = rec.time("verify.case", || check_case_inner(case, cfg, rng));
+    match &result {
+        Ok(_) => rec.counter_add("verify.passed", 1),
+        Err(v) => {
+            rec.counter_add("verify.violations", 1);
+            if rec.enabled() {
+                rec.counter_add(&format!("verify.violations.{}", v.check), 1);
+            }
+        }
+    }
+    result
+}
+
+fn check_case_inner(
+    case: &VerifyCase,
+    cfg: &OracleConfig,
+    rng: &mut StdRng,
+) -> Result<CaseStats, Violation> {
+    let rec = &cfg.recorder;
     let model = case.build().map_err(|e| solve_error("build", &e))?;
     let mut stats = CaseStats::default();
 
@@ -237,7 +264,10 @@ pub fn check_case(
         format: MatrixFormat::Csr,
         ..SolverConfig::default()
     };
-    let reference = moments(&model, case.order, case.t, &base)
+    let reference = rec
+        .time("verify.solve.reference", || {
+            moments(&model, case.order, case.t, &base)
+        })
         .map_err(|e| solve_error("rnd-csr", &e))?;
 
     // --- Format oracle: forced DIA must be bit-identical. ---
@@ -245,10 +275,14 @@ pub fn check_case(
         format: MatrixFormat::Dia,
         ..base.clone()
     };
-    let dia = moments(&model, case.order, case.t, &dia_cfg)
+    let dia = rec
+        .time("verify.solve.dia", || {
+            moments(&model, case.order, case.t, &dia_cfg)
+        })
         .map_err(|e| solve_error("rnd-dia", &e))?;
     compare_bitwise("rnd-dia", &reference.weighted, &dia.weighted)?;
     stats.dia_checked = true;
+    rec.counter_add("verify.checks.dia", 1);
 
     // --- Pool oracle: pooled kernel must be bit-identical. ---
     let pool_cfg = SolverConfig {
@@ -256,14 +290,21 @@ pub fn check_case(
         parallel_threshold: 2,
         ..base.clone()
     };
-    let pooled = moments(&model, case.order, case.t, &pool_cfg)
+    let pooled = rec
+        .time("verify.solve.pool", || {
+            moments(&model, case.order, case.t, &pool_cfg)
+        })
         .map_err(|e| solve_error("rnd-pool", &e))?;
     compare_bitwise("rnd-pool", &reference.weighted, &pooled.weighted)?;
     stats.pool_checked = true;
+    rec.counter_add("verify.checks.pool", 1);
 
     // --- First-order closed path (σ² ≡ 0 models only). ---
     if model.is_first_order() {
-        let fo = moments_first_order(&model, case.order, case.t, &base)
+        let fo = rec
+            .time("verify.solve.first_order", || {
+                moments_first_order(&model, case.order, case.t, &base)
+            })
             .map_err(|e| solve_error("first-order", &e))?;
         compare_bounded("first-order", &reference.weighted, &fo.weighted, |n| {
             let s = scale(reference.weighted[n], fo.weighted[n]);
@@ -279,6 +320,7 @@ pub fn check_case(
             )
         })?;
         stats.first_order_checked = true;
+        rec.counter_add("verify.checks.first_order", 1);
     }
 
     // --- ODE reference with Richardson step-doubling tolerance. ---
@@ -286,10 +328,12 @@ pub fn check_case(
     let method = OdeMethod::Rk4;
     let coarse_steps = method.min_stable_steps(q, case.t).max(64);
     if 2 * coarse_steps <= cfg.ode_max_steps {
+        let _ode_span = rec.span("verify.solve.ode");
         let coarse = moments_ode(&model, case.order, case.t, method, coarse_steps as usize)
             .map_err(|e| solve_error("ode-rk4", &e))?;
         let fine = moments_ode(&model, case.order, case.t, method, 2 * coarse_steps as usize)
             .map_err(|e| solve_error("ode-rk4", &e))?;
+        drop(_ode_span);
         compare_bounded("ode-rk4", &reference.weighted, &fine.weighted, |n| {
             // Step-doubling: |fine − coarse| over-estimates the fine
             // solution's own error by ~15× for RK4, so using the raw
@@ -309,13 +353,16 @@ pub fn check_case(
             )
         })?;
         stats.ode_checked = true;
+        rec.counter_add("verify.checks.ode", 1);
     }
 
     // --- Monte-Carlo simulation with a CLT half-width tolerance. ---
     let qt = q * case.t;
     let samples = ((cfg.sim_jump_budget / qt.max(1.0)) as usize).min(cfg.sim_samples);
     if samples >= cfg.sim_min_samples {
-        let est = estimate_moments(rng, &model, case.order, case.t, samples);
+        let est = rec.time("verify.solve.sim", || {
+            estimate_moments(rng, &model, case.order, case.t, samples)
+        });
         compare_bounded("simulation", &reference.weighted, &est.estimates, |n| {
             let s = scale(reference.weighted[n], est.estimates[n]);
             let half_width = cfg.sim_z * est.std_errors[n];
@@ -333,6 +380,7 @@ pub fn check_case(
             )
         })?;
         stats.sim_checked = true;
+        rec.counter_add("verify.checks.sim", 1);
     }
 
     Ok(stats)
@@ -411,6 +459,39 @@ mod tests {
         assert_eq!(err.order, 2);
         assert_eq!(err.check, "ode-rk4");
         assert!(err.to_json().contains("\"order\":2"));
+    }
+
+    #[test]
+    fn recorder_counts_checks_without_changing_outcomes() {
+        use somrm_obs::MetricsRegistry;
+        use std::sync::Arc;
+
+        let case = simple_case();
+        let plain = check_case(&case, &OracleConfig::default(), &mut case_rng(1, 9)).unwrap();
+
+        let registry = Arc::new(MetricsRegistry::new());
+        let cfg = OracleConfig {
+            recorder: RecorderHandle::new(registry.clone()),
+            ..OracleConfig::default()
+        };
+        let observed = check_case(&case, &cfg, &mut case_rng(1, 9)).unwrap();
+        assert_eq!(plain, observed, "recorder must not change which checks run");
+
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("verify.cases"), Some(1));
+        assert_eq!(snap.counter("verify.passed"), Some(1));
+        assert_eq!(snap.counter("verify.checks.dia"), Some(1));
+        assert_eq!(snap.counter("verify.checks.pool"), Some(1));
+        assert_eq!(snap.counter("verify.checks.sim"), Some(1));
+        assert_eq!(snap.counter("verify.violations"), None);
+        assert!(
+            snap.timings.iter().any(|(n, _)| n == "verify.case"),
+            "per-case wall time must be recorded"
+        );
+        assert!(snap
+            .timings
+            .iter()
+            .any(|(n, _)| n == "verify.solve.reference"));
     }
 
     #[test]
