@@ -96,6 +96,8 @@ pub struct BenchEntry {
     /// Per-stage total nanoseconds of the fastest rep, from the solve's
     /// metrics snapshot (`solve.setup`, `solve.recursion`, …).
     pub stages: Vec<(String, u64)>,
+    /// Serving throughput of the fastest rep (`serve-*` rungs only).
+    pub requests_per_sec: Option<f64>,
 }
 
 /// Solves one rung and reports its fastest rep.
@@ -142,7 +144,93 @@ pub fn run_rung(rung: &Rung) -> Result<BenchEntry, String> {
             .iter()
             .map(|(name, stat)| (name.clone(), stat.total_ns))
             .collect(),
+        requests_per_sec: None,
     })
+}
+
+/// Runs the serving rung pair: `n_requests` moment queries against one
+/// model, cycling through four shared horizons in the upper half of
+/// `(0, t_max]` — the burst shape serving is built for: many clients
+/// polling the same few horizons, so requests share qt-buckets and the
+/// merged grid dedups hard.
+///
+/// The **cold** entry answers each request with a full per-request
+/// solve — plan built from scratch every time, no coalescing — which is
+/// what serving looked like before the plan/execute split. The **warm**
+/// entry routes the same requests through `serve_batch` against a
+/// pre-warmed plan cache, so the batch runs as a handful of fused
+/// multi-time sweeps. Both report `requests_per_sec` of their fastest
+/// rep; warm/cold is the speedup the serve mode buys.
+///
+/// # Errors
+///
+/// Propagates model-construction and solver errors as readable strings.
+pub fn run_serve_rung(
+    label: &str,
+    sources: usize,
+    t_max: f64,
+    n_requests: usize,
+    reps: usize,
+) -> Result<(BenchEntry, BenchEntry), String> {
+    let model = OnOffMultiplexer::table2_scaled(sources)
+        .model()
+        .map_err(|e| format!("serve-{label}: {e}"))?;
+    const HORIZONS: usize = 4;
+    let distinct: Vec<f64> = (1..=HORIZONS)
+        .map(|k| t_max * (HORIZONS + k) as f64 / (2 * HORIZONS) as f64)
+        .collect();
+    let times: Vec<f64> = (0..n_requests).map(|i| distinct[i % HORIZONS]).collect();
+    let cfg = SolverConfig {
+        epsilon: EPSILON,
+        ..SolverConfig::default()
+    };
+
+    let mut cold_best = u64::MAX;
+    let mut iterations = 0u64;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        for &t in &times {
+            let sol = moments(&model, ORDER, t, &cfg).map_err(|e| format!("serve-{label}: {e}"))?;
+            iterations = sol.stats.iterations;
+        }
+        cold_best = cold_best.min(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    let resolver = |_: &somrm_serve::ModelSpec| -> Result<_, String> { Ok(model.clone()) };
+    let lines: Vec<String> = times
+        .iter()
+        .enumerate()
+        .map(|(i, t)| format!("{{\"id\":{i},\"model\":\"m\",\"t\":{t},\"order\":{ORDER}}}"))
+        .collect();
+    let mut cache = somrm_serve::PlanCache::new(8, RecorderHandle::disabled());
+    // Prime the cache; the timed reps measure warm serving.
+    let primed = somrm_serve::serve_batch(&lines, &resolver, &mut cache, &cfg);
+    if primed.errors > 0 {
+        return Err(format!("serve-{label}: warm-up batch had errors: {:?}", primed.responses));
+    }
+    let mut warm_best = u64::MAX;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let outcome = somrm_serve::serve_batch(&lines, &resolver, &mut cache, &cfg);
+        warm_best = warm_best.min(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        if outcome.errors > 0 {
+            return Err(format!("serve-{label}: batch had errors: {:?}", outcome.responses));
+        }
+    }
+
+    let entry = |suffix: &str, wall_ns: u64| BenchEntry {
+        name: format!("serve-{label}-{suffix}"),
+        states: sources + 1,
+        format: "auto".to_string(),
+        t: t_max,
+        reps,
+        iterations,
+        wall_ns,
+        iters_per_sec: 0.0,
+        stages: vec![],
+        requests_per_sec: Some(n_requests as f64 / (wall_ns as f64 / 1e9)),
+    };
+    Ok((entry("cold", cold_best), entry("warm", warm_best)))
 }
 
 /// `git rev-parse --short HEAD`, or `"unknown"` outside a repository.
@@ -193,6 +281,10 @@ pub fn to_json(entries: &[BenchEntry], quick: bool) -> String {
         );
         out.push_str(",\"iters_per_sec\":");
         json::write_f64(&mut out, e.iters_per_sec);
+        if let Some(rps) = e.requests_per_sec {
+            out.push_str(",\"requests_per_sec\":");
+            json::write_f64(&mut out, rps);
+        }
         out.push_str(",\"stages\":{");
         for (j, (name, ns)) in e.stages.iter().enumerate() {
             if j > 0 {
@@ -228,6 +320,24 @@ pub fn cmd_bench_run(quick: bool, out_path: &str) -> Result<String, String> {
             e.name,
             e.states,
             e.iterations,
+            fmt_ms(e.wall_ns),
+            e.reps
+        );
+        entries.push(e);
+    }
+    // The serving rung pair: quick stays at 1k sources so the CI tier
+    // keeps its debug-build budget; the full ladder serves the 10k
+    // model (t chosen as in the solver ladder, qt up to 2000).
+    let (label, sources, t_max, reps) =
+        if quick { ("1k", 1_000, 0.5, 1) } else { ("10k", 10_000, 0.05, 2) };
+    let (cold, warm) = run_serve_rung(label, sources, t_max, 24, reps)?;
+    for e in [cold, warm] {
+        let _ = writeln!(
+            human,
+            "{:<16} {:>7} states  {:>10.1} req/s  wall {:>12} (min of {})",
+            e.name,
+            e.states,
+            e.requests_per_sec.unwrap_or(0.0),
             fmt_ms(e.wall_ns),
             e.reps
         );
@@ -269,14 +379,16 @@ fn load_entries(path: &str) -> Result<Vec<(String, u64)>, String> {
 /// Compares two bench documents rung-by-rung.
 ///
 /// A rung regresses when its new wall time exceeds the old one by more
-/// than `threshold_pct` percent. Rungs present in only one file are
-/// reported but never fail the comparison (the ladder may grow).
+/// than `threshold_pct` percent. Rungs present only in the new file are
+/// reported but never fail (the ladder may grow); rungs present in the
+/// old file but **missing from the new one are failures** — a silently
+/// dropped rung is how a perf regression escapes the gate.
 ///
 /// # Errors
 ///
 /// Unreadable/malformed documents always error; detected regressions
-/// error unless `warn_only` is set (then they are reported and the
-/// comparison still succeeds, for advisory CI lanes).
+/// and missing rungs error unless `warn_only` is set (then they are
+/// reported and the comparison still succeeds, for advisory CI lanes).
 pub fn cmd_bench_compare(
     old_path: &str,
     new_path: &str,
@@ -309,16 +421,18 @@ pub fn cmd_bench_compare(
             if regressed { "  REGRESSION" } else { "" }
         );
     }
+    let mut missing = 0usize;
     for (name, _) in &old {
         if !new.iter().any(|(n, _)| n == name) {
-            let _ = writeln!(out, "{name:<16} missing from {new_path}");
+            missing += 1;
+            let _ = writeln!(out, "{name:<16} MISSING from {new_path}");
         }
     }
     let _ = writeln!(
         out,
-        "bench compare: {compared} rungs, {regressions} regressions (threshold +{threshold_pct}%)"
+        "bench compare: {compared} rungs, {regressions} regressions, {missing} missing (threshold +{threshold_pct}%)"
     );
-    if regressions > 0 && !warn_only {
+    if (regressions > 0 || missing > 0) && !warn_only {
         Err(out)
     } else {
         Ok(out)
@@ -401,6 +515,7 @@ mod tests {
                 wall_ns: wall_a,
                 iters_per_sec: 1.0,
                 stages: vec![],
+                requests_per_sec: None,
             },
             BenchEntry {
                 name: "b".into(),
@@ -412,6 +527,7 @@ mod tests {
                 wall_ns: wall_b,
                 iters_per_sec: 1.0,
                 stages: vec![],
+                requests_per_sec: None,
             },
         ];
         to_json(&entries, false)
@@ -449,14 +565,67 @@ mod tests {
 
     #[test]
     fn comparator_tolerates_ladder_growth() {
-        let old_doc = doc_with(1000, 2000);
-        // Drop rung b from the old file by renaming it away.
-        let old_doc = old_doc.replace("\"name\":\"b\"", "\"name\":\"gone\"");
+        // A rung only in the NEW file is fine: the ladder may grow.
+        let old_doc = doc_with(1000, 2000).replace("\"name\":\"b\"", "\"name\":\"gone\"");
         let old = write_tmp("somrm-bench-cmp-old3.json", &old_doc);
-        let new = write_tmp("somrm-bench-cmp-new3.json", &doc_with(1000, 2000));
-        let out = cmd_bench_compare(&old, &new, 10.0, false).unwrap();
-        assert!(out.contains("new rung"), "{out}");
-        assert!(out.contains("missing from"), "{out}");
+        let new_doc = doc_with(1000, 2000).replace("\"name\":\"gone\"", "\"name\":\"b\"");
+        let new = write_tmp("somrm-bench-cmp-new3.json", &new_doc);
+        // ...but "gone" is in OLD and not NEW, so this must fail.
+        let err = cmd_bench_compare(&old, &new, 10.0, false).unwrap_err();
+        assert!(err.contains("new rung"), "{err}");
+        assert!(err.contains("MISSING"), "{err}");
+        assert!(err.contains("1 missing"), "{err}");
+        // Warn-only reports the missing rung without failing.
+        let out = cmd_bench_compare(&old, &new, 10.0, true).unwrap();
+        assert!(out.contains("MISSING"), "{out}");
+    }
+
+    #[test]
+    fn comparator_fails_on_missing_rung() {
+        // Regression of the silent-skip bug: OLD has rungs a and b, NEW
+        // only a — before the fix the comparison passed with a note.
+        let old = write_tmp("somrm-bench-cmp-old4.json", &doc_with(1000, 2000));
+        let new_doc = doc_with(1000, 2000).replace("\"name\":\"b\"", "\"name\":\"c\"");
+        let new = write_tmp("somrm-bench-cmp-new4.json", &new_doc);
+        let err = cmd_bench_compare(&old, &new, 10.0, false).unwrap_err();
+        assert!(err.contains("b                MISSING"), "{err}");
+        let ok_doc = doc_with(1000, 2000);
+        let new_full = write_tmp("somrm-bench-cmp-new4b.json", &ok_doc);
+        assert!(cmd_bench_compare(&old, &new_full, 10.0, false).is_ok());
+    }
+
+    #[test]
+    fn serve_rung_reports_warm_speedup() {
+        let (cold, warm) = run_serve_rung("micro", 50, 0.1, 8, 1).unwrap();
+        let cold_rps = cold.requests_per_sec.unwrap();
+        let warm_rps = warm.requests_per_sec.unwrap();
+        assert!(cold_rps > 0.0 && warm_rps > 0.0);
+        assert!(
+            warm_rps > cold_rps,
+            "warm serving must beat per-request cold solves: {warm_rps} vs {cold_rps} req/s"
+        );
+        // The field survives the document round trip.
+        let doc = to_json(&[cold, warm], true);
+        let v = json::parse(&doc).unwrap();
+        let entries = v.get("entries").unwrap().as_array().unwrap();
+        assert_eq!(entries[0].get("name").and_then(|n| n.as_str()), Some("serve-micro-cold"));
+        assert!(entries[0].get("requests_per_sec").and_then(|r| r.as_f64()).unwrap() > 0.0);
+        assert!(entries[1].get("requests_per_sec").and_then(|r| r.as_f64()).unwrap() > 0.0);
+    }
+
+    #[test]
+    #[ignore = "release-scale: run with cargo test --release -p somrm-cli -- --ignored"]
+    fn serve_10k_warm_cache_is_5x_over_cold() {
+        // The PR's acceptance rung: warm plan-cache serving of the
+        // 10k-state multiplexer at ≥5× the cold per-request throughput.
+        let (cold, warm) = run_serve_rung("10k", 10_000, 0.05, 24, 2).unwrap();
+        let cold_rps = cold.requests_per_sec.unwrap();
+        let warm_rps = warm.requests_per_sec.unwrap();
+        assert!(
+            warm_rps >= 5.0 * cold_rps,
+            "warm {warm_rps:.1} req/s vs cold {cold_rps:.1} req/s: speedup {:.1}x < 5x",
+            warm_rps / cold_rps
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The CLI subcommands, as testable functions.
 
-use crate::format::ParsedModel;
+use crate::format::{parse_model, ParsedModel};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use somrm_bounds::cms::cdf_bounds_recorded;
@@ -121,6 +121,37 @@ impl CommonOpts {
             ..SolverConfig::default()
         }
     }
+}
+
+/// Sorts and dedups a command's evaluation grid in place. Returns a
+/// human-readable note when anything was reordered or dropped, `None`
+/// when the grid was already sorted and duplicate-free.
+///
+/// The solvers require strictly increasing grids; user-supplied lists
+/// (and degenerate generated ones, e.g. `sweep --t 0`) get normalized
+/// here instead of erroring deep inside the recursion.
+pub fn normalize_grid(label: &str, grid: &mut Vec<f64>) -> Option<String> {
+    let before = grid.len();
+    let was_sorted = grid
+        .windows(2)
+        .all(|w| w[0].total_cmp(&w[1]) != std::cmp::Ordering::Greater);
+    grid.sort_by(f64::total_cmp);
+    grid.dedup();
+    let dropped = before - grid.len();
+    if was_sorted && dropped == 0 {
+        return None;
+    }
+    let mut parts = Vec::new();
+    if !was_sorted {
+        parts.push("sorted".to_string());
+    }
+    if dropped > 0 {
+        parts.push(format!(
+            "dropped {dropped} duplicate point{}",
+            if dropped == 1 { "" } else { "s" }
+        ));
+    }
+    Some(format!("note: {label} grid {}", parts.join(", ")))
 }
 
 fn solve(
@@ -285,9 +316,12 @@ pub fn cmd_bounds(
     if sd == 0.0 {
         return Err("reward distribution is degenerate (zero variance)".to_string());
     }
-    let xs: Vec<f64> = (0..n_points)
+    let mut xs: Vec<f64> = (0..n_points)
         .map(|k| mean + sd * (k as f64 / (n_points - 1).max(1) as f64 * 8.0 - 4.0))
         .collect();
+    if let Some(note) = normalize_grid("bounds x", &mut xs) {
+        eprintln!("{note}");
+    }
     let bounds =
         cdf_bounds_recorded::<Dd>(&sol.weighted, &xs, &rec).map_err(|e| e.to_string())?;
     let estimate = gauss_mixture_cdf::<Dd>(&sol.weighted, &xs).map_err(|e| e.to_string())?;
@@ -347,7 +381,14 @@ pub fn cmd_simulate(
 }
 
 /// `somrm sweep`: mean and standard deviation of `B(t)` over a time
-/// grid `(0, t]`, CSV-ish output suitable for plotting.
+/// grid `(0, t]` — or an explicit `--times` list — CSV-ish output
+/// suitable for plotting.
+///
+/// An explicit grid may arrive unsorted or with duplicates (a shell
+/// one-liner gluing ranges together, say); it is sorted and deduped
+/// with a note on stderr rather than rejected. The same normalization
+/// catches the degenerate generated grid of `--t 0` (every point 0),
+/// which collapses to a single row.
 ///
 /// # Errors
 ///
@@ -355,16 +396,35 @@ pub fn cmd_simulate(
 pub fn cmd_sweep(
     parsed: &ParsedModel,
     n_points: usize,
+    explicit_times: Option<&[f64]>,
     opts: &CommonOpts,
 ) -> Result<String, String> {
-    if n_points < 2 {
-        return Err("need at least 2 sweep points".to_string());
+    let mut times: Vec<f64> = match explicit_times {
+        Some(ts) => {
+            if ts.is_empty() {
+                return Err("--times list is empty".to_string());
+            }
+            for &t in ts {
+                if !(t >= 0.0) || !t.is_finite() {
+                    return Err(format!("--times: time must be finite and non-negative, got {t}"));
+                }
+            }
+            ts.to_vec()
+        }
+        None => {
+            if n_points < 2 {
+                return Err("need at least 2 sweep points".to_string());
+            }
+            (1..=n_points)
+                .map(|k| opts.t * k as f64 / n_points as f64)
+                .collect()
+        }
+    };
+    if let Some(note) = normalize_grid("sweep time", &mut times) {
+        eprintln!("{note}");
     }
     let tel = opts.telemetry();
     let rec = tel.rec().clone();
-    let times: Vec<f64> = (1..=n_points)
-        .map(|k| opts.t * k as f64 / n_points as f64)
-        .collect();
     let cfg = opts.solver_config(&rec);
     let mut out = String::new();
     let mut report = None;
@@ -417,9 +477,12 @@ pub fn cmd_density(
     let sol = solve(parsed, 2, opts, &rec)?;
     let mean = sol.mean();
     let sd = sol.variance().max(1e-12).sqrt();
-    let xs: Vec<f64> = (0..n_points)
+    let mut xs: Vec<f64> = (0..n_points)
         .map(|k| mean + sd * (k as f64 / (n_points - 1).max(1) as f64 * 10.0 - 5.0))
         .collect();
+    if let Some(note) = normalize_grid("density x", &mut xs) {
+        eprintln!("{note}");
+    }
     let d = rec.time("density.transform", || {
         density_at(&parsed.model, opts.t, &xs, &TransformConfig::default())
     })
@@ -487,6 +550,66 @@ pub fn cmd_verify(
     }
 }
 
+/// The `somrm-tool serve` model resolver: inline text is parsed
+/// directly, `model_file` paths are read relative to the server's
+/// working directory. Impulse models are rejected — the plan/execute
+/// split serves the rate-reward solver only.
+///
+/// # Errors
+///
+/// A human-readable message; the serve loop wraps it in a per-request
+/// error response.
+pub fn resolve_model_spec(spec: &somrm_serve::ModelSpec) -> Result<somrm_core::model::SecondOrderMrm, String> {
+    let text = match spec {
+        somrm_serve::ModelSpec::Inline(text) => text.clone(),
+        somrm_serve::ModelSpec::File(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?
+        }
+    };
+    let parsed = parse_model(&text).map_err(|e| e.to_string())?;
+    if parsed.has_impulses() {
+        return Err("impulse models are not served (rate rewards only)".to_string());
+    }
+    Ok(parsed.model)
+}
+
+/// `somrm serve`: long-running JSON-lines service on stdin/stdout (see
+/// `somrm-serve` for the protocol). Responses go straight to stdout as
+/// they are produced; the returned string is the exit summary, which
+/// [`main`](crate) prints — callers route it to stderr-adjacent use.
+///
+/// With `--metrics DEST`, cache and solver counters accumulated over
+/// the whole run are emitted as a `"serve"` [`SolveReport`].
+///
+/// # Errors
+///
+/// Only I/O failures on stdout (or the metrics destination) — bad
+/// requests are answered in-protocol, never fatal.
+pub fn cmd_serve(cache_size: usize, opts: &CommonOpts) -> Result<String, String> {
+    let tel = opts.telemetry();
+    let rec = tel.rec().clone();
+    let options = somrm_serve::ServeOptions {
+        solver: opts.solver_config(&rec),
+        cache_capacity: cache_size,
+    };
+    let mut stdout = std::io::stdout().lock();
+    let summary = somrm_serve::serve(std::io::stdin(), &mut stdout, &resolve_model_spec, &options)
+        .map_err(|e| format!("serve: stdout write failed: {e}"))?;
+    // The summary goes to stderr: stdout is the response stream, and a
+    // consumer piping it must see protocol lines only.
+    eprintln!(
+        "serve: {} requests in {} batches — {} ok, {} errors; plan cache {} hits / {} misses / {} evictions",
+        summary.requests,
+        summary.batches,
+        summary.ok,
+        summary.errors,
+        summary.cache.hits,
+        summary.cache.misses,
+        summary.cache.evictions,
+    );
+    emit(opts, &tel, "serve", None, String::new())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -546,7 +669,7 @@ mod tests {
 
     #[test]
     fn sweep_outputs_monotone_mean() {
-        let out = cmd_sweep(&parsed(), 10, &CommonOpts::default()).unwrap();
+        let out = cmd_sweep(&parsed(), 10, None, &CommonOpts::default()).unwrap();
         let means: Vec<f64> = out
             .lines()
             .skip(1)
@@ -560,9 +683,87 @@ mod tests {
     }
 
     #[test]
+    fn normalize_grid_sorts_dedups_and_reports() {
+        let mut g = vec![0.5, 0.1, 0.5, 0.3];
+        let note = normalize_grid("test", &mut g).unwrap();
+        assert_eq!(g, vec![0.1, 0.3, 0.5]);
+        assert!(note.contains("sorted"), "{note}");
+        assert!(note.contains("1 duplicate point"), "{note}");
+
+        let mut ok = vec![0.1, 0.2, 0.3];
+        assert_eq!(normalize_grid("test", &mut ok), None);
+        assert_eq!(ok, vec![0.1, 0.2, 0.3]);
+
+        // Degenerate all-equal grid collapses to one point.
+        let mut flat = vec![0.25; 6];
+        let note = normalize_grid("test", &mut flat).unwrap();
+        assert_eq!(flat, vec![0.25]);
+        assert!(note.contains("5 duplicate points"), "{note}");
+    }
+
+    #[test]
+    fn sweep_accepts_unsorted_duplicate_times() {
+        // Before the grid normalization fix this was rejected by the
+        // solver's strictly-increasing-times validation.
+        let out = cmd_sweep(
+            &parsed(),
+            20,
+            Some(&[0.5, 0.1, 0.5, 0.3]),
+            &CommonOpts::default(),
+        )
+        .unwrap();
+        let ts: Vec<f64> = out
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(ts, vec![0.1, 0.3, 0.5], "sorted, deduped, in output order");
+    }
+
+    #[test]
+    fn sweep_degenerate_all_equal_grid_collapses_to_one_row() {
+        // `--t 0` generates an all-zero grid; it must collapse to a
+        // single t=0 row instead of erroring on duplicate time points.
+        let opts = CommonOpts {
+            t: 0.0,
+            ..CommonOpts::default()
+        };
+        let out = cmd_sweep(&parsed(), 10, None, &opts).unwrap();
+        assert_eq!(out.lines().count(), 2, "header + one row:\n{out}");
+        assert!(out.lines().nth(1).unwrap().starts_with("0,"));
+
+        // Same via an explicit all-equal --times list.
+        let out = cmd_sweep(&parsed(), 20, Some(&[0.4; 5]), &CommonOpts::default()).unwrap();
+        assert_eq!(out.lines().count(), 2, "header + one row:\n{out}");
+    }
+
+    #[test]
+    fn sweep_rejects_bad_explicit_times() {
+        let opts = CommonOpts::default();
+        assert!(cmd_sweep(&parsed(), 20, Some(&[]), &opts).is_err());
+        assert!(cmd_sweep(&parsed(), 20, Some(&[0.1, -0.5]), &opts).is_err());
+        assert!(cmd_sweep(&parsed(), 20, Some(&[f64::NAN]), &opts).is_err());
+    }
+
+    #[test]
+    fn serve_resolver_parses_inline_and_rejects_impulses() {
+        let m = resolve_model_spec(&somrm_serve::ModelSpec::Inline(MODEL.to_string())).unwrap();
+        assert_eq!(m.n_states(), 2);
+        let imp = "states 2\nrate 0 1 1.0\nrate 1 0 1.0\nimpulse 0 1 1.0\n";
+        let err =
+            resolve_model_spec(&somrm_serve::ModelSpec::Inline(imp.to_string())).unwrap_err();
+        assert!(err.contains("impulse"), "{err}");
+        let err = resolve_model_spec(&somrm_serve::ModelSpec::File(
+            "/nonexistent/model.somrm".to_string(),
+        ))
+        .unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+    }
+
+    #[test]
     fn sweep_impulse_route() {
         let p = parse_model("states 2\nrate 0 1 2.0\nrate 1 0 2.0\nimpulse 0 1 1.0\n").unwrap();
-        let out = cmd_sweep(&p, 5, &CommonOpts::default()).unwrap();
+        let out = cmd_sweep(&p, 5, None, &CommonOpts::default()).unwrap();
         assert_eq!(out.lines().count(), 6);
     }
 
@@ -585,7 +786,7 @@ mod tests {
         for n in [0usize, 1] {
             assert!(cmd_bounds(&parsed(), 12, n, &opts).is_err(), "bounds --points {n}");
             assert!(cmd_density(&parsed(), n, &opts).is_err(), "density --points {n}");
-            assert!(cmd_sweep(&parsed(), n, &opts).is_err(), "sweep --points {n}");
+            assert!(cmd_sweep(&parsed(), n, None, &opts).is_err(), "sweep --points {n}");
         }
     }
 

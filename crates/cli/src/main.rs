@@ -4,18 +4,19 @@
 //! ```text
 //! somrm-tool check    <model-file>
 //! somrm-tool moments  <model-file> [--t T] [--order N] [--eps E]
-//! somrm-tool sweep    <model-file> [--t T] [--points K]
+//! somrm-tool sweep    <model-file> [--t T] [--points K] [--times T1,T2,...]
 //! somrm-tool bounds   <model-file> [--t T] [--moments N] [--points K] [--eps E]
 //! somrm-tool simulate <model-file> [--t T] [--order N] [--samples K] [--seed S]
 //! somrm-tool density  <model-file> [--t T] [--points K]
 //! somrm-tool verify   [--cases N] [--seed S] [--out-dir DIR] [--metrics DEST]
 //! somrm-tool bench    [--quick] [--out PATH]
 //! somrm-tool bench    --compare OLD NEW [--threshold PCT] [--warn-only]
+//! somrm-tool serve    [--cache-size N] [--threads N] [--eps E] [--metrics DEST]
 //! ```
 
 use somrm_cli::commands::{
-    cmd_bounds, cmd_check, cmd_density, cmd_moments, cmd_simulate, cmd_sweep, cmd_verify,
-    CommonOpts,
+    cmd_bounds, cmd_check, cmd_density, cmd_moments, cmd_serve, cmd_simulate, cmd_sweep,
+    cmd_verify, CommonOpts,
 };
 use somrm_cli::format::parse_model;
 use somrm_linalg::MatrixFormat;
@@ -25,12 +26,15 @@ const USAGE: &str = "usage: somrm-tool <check|moments|bounds|simulate|density|sw
        somrm-tool verify [--cases N] [--seed S] [--out-dir DIR] [--metrics DEST]
        somrm-tool bench [--quick] [--out PATH]
        somrm-tool bench --compare OLD NEW [--threshold PCT] [--warn-only]
+       somrm-tool serve [--cache-size N] [--threads N] [--eps E] [--metrics DEST]
 
 options:
   --t T           accumulation time (default 1.0)
   --order N       highest moment order (default 3)
   --moments N     moments fed to the bounding step (default 20)
   --points K      grid points for bounds/density output (default 21)
+  --times LIST    explicit sweep time grid, comma-separated; unsorted or
+                  duplicate entries are normalized with a stderr note
   --samples K     simulation paths (default 100000)
   --seed S        simulation seed (default 1)
   --eps E         solver precision (default 1e-9)
@@ -58,6 +62,10 @@ bench options:
   --compare A B   compare two bench documents instead of running
   --threshold P   regression threshold, percent (default 10)
   --warn-only     report regressions without failing the comparison
+
+serve options (JSON-lines requests on stdin, responses on stdout,
+summary on stderr; see the somrm-serve crate docs for the protocol):
+  --cache-size N  plan-cache capacity in entries (default 8)
 
 model file format:
   states N
@@ -123,6 +131,17 @@ fn run() -> Result<String, String> {
             &opt_flag(&args, "--out")?.unwrap_or_else(|| "BENCH_solver.json".to_string()),
         );
     }
+    // `serve` reads models from its request stream, not from argv.
+    if args.first().map(String::as_str) == Some("serve") {
+        let opts = CommonOpts {
+            epsilon: flag(&args, "--eps", 1e-9)?,
+            threads: flag(&args, "--threads", 1usize)?,
+            metrics: opt_flag(&args, "--metrics")?,
+            format: flag(&args, "--format", MatrixFormat::Auto)?,
+            ..CommonOpts::default()
+        };
+        return cmd_serve(flag(&args, "--cache-size", 8usize)?, &opts);
+    }
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) if !f.starts_with("--") => (c.clone(), f.clone()),
         _ => return Err(USAGE.to_string()),
@@ -156,7 +175,21 @@ fn run() -> Result<String, String> {
             &opts,
         ),
         "density" => cmd_density(&parsed, flag(&args, "--points", 21usize)?, &opts),
-        "sweep" => cmd_sweep(&parsed, flag(&args, "--points", 20usize)?, &opts),
+        "sweep" => {
+            let times = match opt_flag(&args, "--times")? {
+                None => None,
+                Some(csv) => Some(
+                    csv.split(',')
+                        .map(|s| {
+                            s.trim()
+                                .parse::<f64>()
+                                .map_err(|_| format!("cannot parse --times entry '{}'", s.trim()))
+                        })
+                        .collect::<Result<Vec<f64>, String>>()?,
+                ),
+            };
+            cmd_sweep(&parsed, flag(&args, "--points", 20usize)?, times.as_deref(), &opts)
+        }
         other => Err(format!("unknown command '{other}'\n\n{USAGE}")),
     }
 }

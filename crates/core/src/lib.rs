@@ -39,9 +39,11 @@ pub mod first_order;
 pub mod impulse;
 pub mod model;
 pub mod moments;
+pub mod plan;
 pub mod terminal;
 pub mod uniformization;
 
 pub use error::MrmError;
 pub use model::SecondOrderMrm;
+pub use plan::{model_digest, SolvePlan};
 pub use uniformization::{moments as solve_moments, MomentSolution, SolverConfig, SolverStats};

@@ -1,0 +1,801 @@
+//! Plan/execute split of the uniformization solver.
+//!
+//! The paper's workloads are "few hot models, many queries": Table 2
+//! re-solves the same multiplexer at many time points and orders. A cold
+//! [`crate::uniformization::moments_sweep`] call re-derives everything
+//! from scratch each time — uniformization constants, the iteration
+//! matrix in its chosen storage format, the normalized reward vectors,
+//! and a fresh worker pool. [`SolvePlan`] hoists exactly the parts that
+//! depend only on `(model, config)`:
+//!
+//! - validation of the configuration ([`SolverConfig::validate`]),
+//! - `q`, the drift shift `ř`, and the normalization constant `d`,
+//! - the [`IterationMatrix`] (CSR or banded DIA, selected once),
+//! - the substochastic `R'` and `½S'` diagonals,
+//! - the [`WorkerPool`], whose threads stay parked between executes,
+//! - a FNV-1a content digest for cache keying ([`model_digest`]).
+//!
+//! [`SolvePlan::execute`] then performs only the per-query work: the
+//! Theorem-4 truncation search for the *requested* time grid, the
+//! Poisson windows, the fused `U`-recursion, and assembly. Crucially the
+//! truncation point is recomputed per execute — a plan-wide `G` would
+//! keep extra non-zero Poisson weights alive for small times and break
+//! the bitwise guarantee below.
+//!
+//! # Bitwise contract
+//!
+//! `SolvePlan::build(m, n, c)?.execute(ts, n)` returns results
+//! bit-identical to `moments_sweep(m, n, ts, c)` (which is nowadays a
+//! thin wrapper over exactly that), for every matrix format and thread
+//! count, on first and on repeated executes. The verify crate enforces
+//! this as an oracle arm.
+
+use crate::error::MrmError;
+use crate::model::SecondOrderMrm;
+use crate::terminal::terminal_truncation;
+use crate::uniformization::{
+    attach_degenerate_report, deterministic_solution, frozen_chain_solution, pool_section,
+    poisson_accounting, truncation_point, unshift_moments, validate_times, MomentSolution,
+    SolverConfig, SolverStats,
+};
+use somrm_linalg::{FusedMomentKernel, IterationMatrix, WorkerPool};
+use somrm_num::poisson::PoissonWindow;
+use somrm_num::special::{binomial, ln_factorial};
+use somrm_obs::{HealthMonitor, PoissonStat, ProgressMeter, SolveReport, SolverSection};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// FNV-1a content digest of a model: structure and every parameter, via
+/// the exact bit patterns of the floats. Two models share a digest iff
+/// they solve identically (modulo an astronomically unlikely collision),
+/// which is what a plan cache needs: a mutated model — one rate nudged,
+/// one variance added — changes the digest and misses the cache.
+pub fn model_digest(model: &SecondOrderMrm) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |v: u64| {
+        for b in v.to_le_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    eat(model.n_states() as u64);
+    let (row_ptr, col_idx, values) = model.generator().as_csr().csr_parts();
+    for &p in row_ptr {
+        eat(p as u64);
+    }
+    for &c in col_idx {
+        eat(c as u64);
+    }
+    for &v in values {
+        eat(v.to_bits());
+    }
+    for &r in model.rates() {
+        eat(r.to_bits());
+    }
+    for &s in model.variances() {
+        eat(s.to_bits());
+    }
+    for &p in model.initial() {
+        eat(p.to_bits());
+    }
+    h
+}
+
+/// Model- and config-dependent solver state reusable across executes.
+///
+/// Present only when `q > 0` (a frozen chain never runs the recursion).
+/// When the raw `d` is zero the normalized vectors are computed with the
+/// terminal solver's `f64::MIN_POSITIVE` floor — the plain sweep takes
+/// its exact degenerate path and never reads them, while the terminal
+/// path reproduces its historical values bit-for-bit.
+#[derive(Debug)]
+struct PlanKernel {
+    matrix: IterationMatrix,
+    r_prime: Vec<f64>,
+    s_half: Vec<f64>,
+    /// Parked worker threads, spawned once at plan build. `None` for
+    /// serial plans. Behind a mutex so `execute(&self)` can hand the
+    /// kernel exclusive access while the plan itself is shared (`Arc`).
+    pool: Option<Mutex<WorkerPool>>,
+}
+
+/// A prepared solve: everything derived from `(model, config)` alone,
+/// built once by [`SolvePlan::build`] and executed many times by
+/// [`SolvePlan::execute`] / [`SolvePlan::execute_terminal`].
+#[derive(Debug)]
+pub struct SolvePlan {
+    model: SecondOrderMrm,
+    digest: u64,
+    max_order: usize,
+    config: SolverConfig,
+    q: f64,
+    d: f64,
+    shift: f64,
+    kernel: Option<PlanKernel>,
+}
+
+impl SolvePlan {
+    /// Builds a plan for moment queries up to `max_order`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MrmError::InvalidParameter`] when the configuration is
+    /// invalid (see [`SolverConfig::validate`]).
+    pub fn build(
+        model: &SecondOrderMrm,
+        max_order: usize,
+        config: &SolverConfig,
+    ) -> Result<SolvePlan, MrmError> {
+        let n_states = model.n_states();
+        config.validate(n_states)?;
+        let digest = model_digest(model);
+        let q = model.generator().uniformization_rate();
+        let shift = model.min_rate().min(0.0);
+        let shifted_rates: Vec<f64> = model.rates().iter().map(|&r| r - shift).collect();
+
+        let (d, kernel) = if q == 0.0 {
+            (0.0, None)
+        } else {
+            let max_rate = shifted_rates.iter().copied().fold(0.0, f64::max);
+            let max_sigma = model
+                .variances()
+                .iter()
+                .map(|&s| s.sqrt())
+                .fold(0.0, f64::max);
+            let d = (max_rate / q).max(max_sigma / q.sqrt());
+            let dk = if d > 0.0 { d } else { f64::MIN_POSITIVE };
+            let rec = &config.recorder;
+            let (matrix, r_prime, s_half) = rec.time("solve.setup", || {
+                let q_prime = model
+                    .generator()
+                    .uniformized_kernel(q)
+                    .expect("q > 0 checked above");
+                let matrix = IterationMatrix::with_format(q_prime, config.format);
+                let r_prime: Vec<f64> = shifted_rates.iter().map(|&r| r / (q * dk)).collect();
+                let s_half: Vec<f64> = model
+                    .variances()
+                    .iter()
+                    .map(|&s| 0.5 * s / (q * dk * dk))
+                    .collect();
+                (matrix, r_prime, s_half)
+            });
+            // Same clamp the fused kernel applies internally, so the
+            // pool thread count *is* the chunk count — fixed chunk
+            // boundaries keep every execute bit-identical to a cold run.
+            let threads = config.effective_threads(n_states).clamp(1, n_states.max(1));
+            let pool = (threads > 1).then(|| Mutex::new(WorkerPool::new(threads)));
+            (
+                d,
+                Some(PlanKernel {
+                    matrix,
+                    r_prime,
+                    s_half,
+                    pool,
+                }),
+            )
+        };
+
+        Ok(SolvePlan {
+            model: model.clone(),
+            digest,
+            max_order,
+            config: config.clone(),
+            q,
+            d,
+            shift,
+            kernel,
+        })
+    }
+
+    /// FNV-1a content digest of the planned model (cache key material).
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Highest moment order this plan accepts.
+    pub fn max_order(&self) -> usize {
+        self.max_order
+    }
+
+    /// Number of states of the planned model.
+    pub fn n_states(&self) -> usize {
+        self.model.n_states()
+    }
+
+    /// Uniformization rate `q` of the planned model.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Normalization constant `d` (raw, i.e. possibly `0.0`).
+    pub fn d(&self) -> f64 {
+        self.d
+    }
+
+    /// Drift shift `ř` applied (0 when all drifts are non-negative).
+    pub fn shift(&self) -> f64 {
+        self.shift
+    }
+
+    /// The planned model.
+    pub fn model(&self) -> &SecondOrderMrm {
+        &self.model
+    }
+
+    /// The configuration the plan was built with.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
+    }
+
+    fn check_order(&self, order: usize) -> Result<(), MrmError> {
+        if order > self.max_order {
+            return Err(MrmError::InvalidParameter {
+                name: "order",
+                reason: format!(
+                    "plan was built for orders up to {}, got {order}",
+                    self.max_order
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    fn lock_pool(kernel: &PlanKernel) -> Option<MutexGuard<'_, WorkerPool>> {
+        kernel
+            .pool
+            .as_ref()
+            // A panic inside a kernel pass poisons the lock; the pool's
+            // epoch protocol re-raises that panic on the next run, so
+            // clearing the poison here loses nothing.
+            .map(|m| m.lock().unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+
+    /// Moments at several time points in one pass of the `U`-recursion —
+    /// the per-query half of [`crate::uniformization::moments_sweep`],
+    /// bit-identical to a cold call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MrmError::InvalidParameter`] for a negative/non-finite
+    /// time, `order > max_order`, or if the iteration cap is exceeded.
+    pub fn execute(&self, times: &[f64], order: usize) -> Result<Vec<MomentSolution>, MrmError> {
+        self.check_order(order)?;
+        validate_times(times)?;
+        if times.is_empty() {
+            return Ok(Vec::new());
+        }
+        let model = &self.model;
+        let config = &self.config;
+        let rec = &config.recorder;
+        let n_states = model.n_states();
+        let (q, d, shift) = (self.q, self.d, self.shift);
+
+        if q == 0.0 {
+            let mut solutions: Vec<MomentSolution> = times
+                .iter()
+                .map(|&t| frozen_chain_solution(model, order, t))
+                .collect();
+            attach_degenerate_report(&mut solutions, model, config, order, 0.0, 0.0, 0.0);
+            return Ok(solutions);
+        }
+        if d == 0.0 {
+            let mut solutions: Vec<MomentSolution> = times
+                .iter()
+                .map(|&t| deterministic_solution(model, order, t, shift))
+                .collect();
+            attach_degenerate_report(&mut solutions, model, config, order, q, 0.0, shift);
+            return Ok(solutions);
+        }
+        let pk = self.kernel.as_ref().expect("kernel built whenever q > 0");
+        let matrix = &pk.matrix;
+
+        let t_max = times.iter().copied().fold(0.0, f64::max);
+        let qt = q * t_max;
+        let (g_limit, error_bounds) =
+            rec.time("solve.truncation", || truncation_point(qt, d, order, config))?;
+        let error_bound = error_bounds.iter().copied().fold(0.0, f64::max);
+        if rec.enabled() {
+            rec.gauge_set("solver.q", q);
+            rec.gauge_set("solver.d", d);
+            rec.gauge_set("solver.qt", qt);
+            rec.gauge_set("solver.shift", shift);
+            rec.gauge_set("solver.g", g_limit as f64);
+            rec.gauge_set("solver.error_bound", error_bound);
+            rec.gauge_set(
+                "solver.matrix_format",
+                if matrix.is_dia() { 1.0 } else { 0.0 },
+            );
+            rec.gauge_set("solver.bandwidth", matrix.bandwidth() as f64);
+        }
+
+        let windows: Vec<Option<PoissonWindow>> = rec.time("solve.poisson", || {
+            times
+                .iter()
+                .map(|&t| {
+                    if t == 0.0 {
+                        None
+                    } else {
+                        Some(PoissonWindow::exact(q * t, g_limit))
+                    }
+                })
+                .collect()
+        });
+        let poisson_stats: Vec<PoissonStat> = if rec.enabled() {
+            let stats = poisson_accounting(times, &windows, g_limit);
+            let kept: u64 = stats.iter().map(|p| p.weights_kept).sum();
+            let trimmed: u64 = stats.iter().map(|p| p.weights_trimmed).sum();
+            let left_skipped: u64 = stats.iter().map(|p| p.weights_left_skipped).sum();
+            rec.counter_add("poisson.weights_kept", kept);
+            rec.counter_add("poisson.weights_trimmed", trimmed);
+            rec.counter_add("poisson.weights_left_skipped", left_skipped);
+            stats
+        } else {
+            Vec::new()
+        };
+
+        let u0 = vec![1.0; n_states];
+        let mut pool_guard = Self::lock_pool(pk);
+        let mut kernel = FusedMomentKernel::with_pool(
+            matrix,
+            &pk.r_prime,
+            &pk.s_half,
+            order,
+            times.len(),
+            &u0,
+            pool_guard.as_deref_mut(),
+        );
+        kernel.set_recorder(rec.clone());
+        let mut health = rec.enabled().then(|| HealthMonitor::new(g_limit, order));
+        let mut meter = config
+            .progress
+            .then(|| ProgressMeter::new("solve.recursion", g_limit));
+        {
+            let _recursion = rec.span("solve.recursion");
+            let mut active: Vec<(usize, f64)> = Vec::with_capacity(times.len());
+            for k in 0..=g_limit {
+                active.clear();
+                for (ti, w) in windows.iter().enumerate() {
+                    let wk = w.as_ref().map_or(0.0, |w| w.weight(k));
+                    if wk > 0.0 {
+                        active.push((ti, wk));
+                    }
+                }
+                kernel.step(&active, k < g_limit);
+                if let Some(h) = health.as_mut() {
+                    if h.should_sample(k, g_limit) {
+                        for j in 0..=order {
+                            h.observe_order(j, kernel.u_order(j));
+                        }
+                    }
+                }
+                if let Some(m) = meter.as_mut() {
+                    m.tick(k);
+                }
+            }
+        }
+        if let Some(h) = health.as_mut() {
+            for ti in 0..times.len() {
+                for j in 0..=order {
+                    for a in kernel.accumulated(ti, j) {
+                        h.observe_compensation(a.raw_sum(), a.compensation());
+                    }
+                }
+            }
+        }
+
+        let stats = SolverStats {
+            q,
+            d,
+            shift,
+            iterations: g_limit,
+            error_bound,
+        };
+        let mut solutions: Vec<MomentSolution> = rec.time("solve.assemble", || {
+            times
+                .iter()
+                .enumerate()
+                .map(|(ti, &t)| {
+                    let shifted_moments: Vec<Vec<f64>> = if t == 0.0 {
+                        (0..=order)
+                            .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
+                            .collect()
+                    } else {
+                        (0..=order)
+                            .map(|j| {
+                                let scale =
+                                    (ln_factorial(j as u64) + j as f64 * d.ln()).exp();
+                                kernel
+                                    .accumulated(ti, j)
+                                    .iter()
+                                    .map(|a| scale * a.value())
+                                    .collect()
+                            })
+                            .collect()
+                    };
+                    let per_state = unshift_moments(&shifted_moments, shift, t);
+                    let weighted = (0..=order)
+                        .map(|j| {
+                            per_state[j]
+                                .iter()
+                                .zip(model.initial())
+                                .map(|(&v, &p)| v * p)
+                                .sum()
+                        })
+                        .collect();
+                    MomentSolution {
+                        t,
+                        per_state,
+                        weighted,
+                        stats,
+                        error_bounds: error_bounds.clone(),
+                        report: None,
+                    }
+                })
+                .collect()
+        });
+        if rec.enabled() {
+            let health_section = health.map(|h| h.finish(rec));
+            let report = Arc::new(SolveReport {
+                command: "moments".to_string(),
+                solver: Some(SolverSection {
+                    q,
+                    d,
+                    qt,
+                    shift,
+                    g: g_limit,
+                    max_iterations: config.max_iterations,
+                    epsilon: config.epsilon,
+                    order,
+                    n_states,
+                    n_times: times.len(),
+                    threads: kernel.threads(),
+                    error_bound,
+                    error_bounds,
+                    poisson: poisson_stats,
+                }),
+                pool: kernel.pool_stats().map(pool_section),
+                health: health_section,
+                metrics: rec.snapshot().unwrap_or_default(),
+            });
+            for s in &mut solutions {
+                s.report = Some(Arc::clone(&report));
+            }
+        }
+        Ok(solutions)
+    }
+
+    /// Terminal-weighted moments — the per-query half of
+    /// [`crate::terminal::moments_terminal_weighted`], bit-identical to
+    /// a cold call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SolvePlan::execute`], plus the length/validity checks
+    /// on `terminal_weights`.
+    pub fn execute_terminal(
+        &self,
+        t: f64,
+        terminal_weights: &[f64],
+        order: usize,
+    ) -> Result<MomentSolution, MrmError> {
+        self.check_order(order)?;
+        let model = &self.model;
+        let n_states = model.n_states();
+        if terminal_weights.len() != n_states {
+            return Err(MrmError::DimensionMismatch {
+                what: "terminal weight vector",
+                expected: n_states,
+                actual: terminal_weights.len(),
+            });
+        }
+        for (i, &w) in terminal_weights.iter().enumerate() {
+            if !(w >= 0.0) || !w.is_finite() {
+                return Err(MrmError::InvalidParameter {
+                    name: "terminal_weights",
+                    reason: format!("weight of state {i} is {w}"),
+                });
+            }
+        }
+        validate_times(std::slice::from_ref(&t))?;
+
+        let (q, shift) = (self.q, self.shift);
+        let w_max = terminal_weights.iter().cloned().fold(0.0, f64::max);
+
+        if q == 0.0 || t == 0.0 {
+            // Frozen chain / zero horizon: w_{Z(t)} = w_{Z(0)}.
+            let plain = self
+                .execute(&[t], order)?
+                .pop()
+                .expect("one time point requested");
+            let per_state: Vec<Vec<f64>> = (0..=order)
+                .map(|n| {
+                    (0..n_states)
+                        .map(|i| plain.per_state[n][i] * terminal_weights[i])
+                        .collect()
+                })
+                .collect();
+            let weighted = (0..=order)
+                .map(|n| {
+                    per_state[n]
+                        .iter()
+                        .zip(model.initial())
+                        .map(|(&v, &p)| v * p)
+                        .sum()
+                })
+                .collect();
+            return Ok(MomentSolution {
+                t,
+                per_state,
+                weighted,
+                stats: plain.stats,
+                error_bounds: plain.error_bounds.clone(),
+                report: plain.report.clone(),
+            });
+        }
+
+        let config = &self.config;
+        let rec = &config.recorder;
+        // The terminal solver floors d at the smallest positive double
+        // (it has no exact d = 0 path); the plan's normalized vectors
+        // were computed with the same floor.
+        let d = self.d.max(f64::MIN_POSITIVE);
+        let pk = self.kernel.as_ref().expect("kernel built whenever q > 0");
+        let matrix = &pk.matrix;
+
+        let qt = q * t;
+        let (g_limit, error_bounds) = rec.time("solve.truncation", || {
+            terminal_truncation(qt, d, order, w_max, config)
+        })?;
+        let error_bound = error_bounds.iter().copied().fold(0.0, f64::max);
+        if rec.enabled() {
+            rec.gauge_set("solver.q", q);
+            rec.gauge_set("solver.d", d);
+            rec.gauge_set("solver.qt", qt);
+            rec.gauge_set("solver.shift", shift);
+            rec.gauge_set("solver.g", g_limit as f64);
+            rec.gauge_set("solver.error_bound", error_bound);
+            rec.gauge_set(
+                "solver.matrix_format",
+                if matrix.is_dia() { 1.0 } else { 0.0 },
+            );
+            rec.gauge_set("solver.bandwidth", matrix.bandwidth() as f64);
+        }
+        let window = rec.time("solve.poisson", || Some(PoissonWindow::exact(qt, g_limit)));
+
+        let mut pool_guard = Self::lock_pool(pk);
+        let mut kernel = FusedMomentKernel::with_pool(
+            matrix,
+            &pk.r_prime,
+            &pk.s_half,
+            order,
+            1,
+            terminal_weights,
+            pool_guard.as_deref_mut(),
+        );
+        kernel.set_recorder(rec.clone());
+        let mut health = rec.enabled().then(|| HealthMonitor::new(g_limit, order));
+        let mut meter = config
+            .progress
+            .then(|| ProgressMeter::new("solve.recursion", g_limit));
+        {
+            let _recursion = rec.span("solve.recursion");
+            let w = window.as_ref().expect("qt > 0 here");
+            for k in 0..=g_limit {
+                let wk = w.weight(k);
+                let active = [(0usize, wk)];
+                kernel.step(if wk > 0.0 { &active } else { &[] }, k < g_limit);
+                if let Some(h) = health.as_mut() {
+                    if h.should_sample(k, g_limit) {
+                        for j in 0..=order {
+                            h.observe_order(j, kernel.u_order(j));
+                        }
+                    }
+                }
+                if let Some(m) = meter.as_mut() {
+                    m.tick(k);
+                }
+            }
+        }
+        if let Some(h) = health.as_mut() {
+            for j in 0..=order {
+                for a in kernel.accumulated(0, j) {
+                    h.observe_compensation(a.raw_sum(), a.compensation());
+                }
+            }
+        }
+
+        let _assemble = rec.span("solve.assemble");
+        let shifted_moments: Vec<Vec<f64>> = (0..=order)
+            .map(|j| {
+                let scale = (ln_factorial(j as u64) + j as f64 * d.ln()).exp();
+                kernel
+                    .accumulated(0, j)
+                    .iter()
+                    .map(|a| scale * a.value())
+                    .collect()
+            })
+            .collect();
+        // Un-shift the *defective* moments:
+        // E[(B̌+c)ⁿ w] = Σ C(n,j)c^{n−j}E[B̌ʲ w].
+        let per_state = if shift == 0.0 {
+            shifted_moments
+        } else {
+            let c = shift * t;
+            (0..=order)
+                .map(|n| {
+                    (0..n_states)
+                        .map(|i| {
+                            (0..=n)
+                                .map(|j| {
+                                    binomial(n as u32, j as u32)
+                                        * c.powi((n - j) as i32)
+                                        * shifted_moments[j][i]
+                                })
+                                .sum()
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let weighted = (0..=order)
+            .map(|j| {
+                per_state[j]
+                    .iter()
+                    .zip(model.initial())
+                    .map(|(&v, &p)| v * p)
+                    .sum()
+            })
+            .collect();
+        drop(_assemble);
+        let report = rec.enabled().then(|| {
+            Arc::new(SolveReport {
+                command: "terminal".to_string(),
+                solver: Some(SolverSection {
+                    q,
+                    d,
+                    qt,
+                    shift,
+                    g: g_limit,
+                    max_iterations: config.max_iterations,
+                    epsilon: config.epsilon,
+                    order,
+                    n_states,
+                    n_times: 1,
+                    threads: kernel.threads(),
+                    error_bound,
+                    error_bounds: error_bounds.clone(),
+                    poisson: poisson_accounting(&[t], std::slice::from_ref(&window), g_limit),
+                }),
+                pool: kernel.pool_stats().map(pool_section),
+                health: health.take().map(|h| h.finish(rec)),
+                metrics: rec.snapshot().unwrap_or_default(),
+            })
+        });
+        Ok(MomentSolution {
+            t,
+            per_state,
+            weighted,
+            stats: SolverStats {
+                q,
+                d,
+                shift,
+                iterations: g_limit,
+                error_bound,
+            },
+            error_bounds,
+            report,
+        })
+    }
+
+    /// Approximate resident size of the plan in bytes (matrix + vectors;
+    /// cache accounting, not an allocator measurement).
+    pub fn approx_bytes(&self) -> usize {
+        let n = self.model.n_states();
+        let vectors = 2 * n * std::mem::size_of::<f64>();
+        let matrix = self.kernel.as_ref().map_or(0, |k| {
+            let nnz = match &k.matrix {
+                IterationMatrix::Csr(m) => m.nnz(),
+                IterationMatrix::Dia(m) => m.nnz(),
+            };
+            nnz * 2 * std::mem::size_of::<f64>()
+        });
+        vectors + matrix
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uniformization::{moments, moments_sweep};
+    use somrm_ctmc::generator::GeneratorBuilder;
+
+    fn chain(n: usize) -> SecondOrderMrm {
+        let mut b = GeneratorBuilder::new(n);
+        for i in 0..n - 1 {
+            b.rate(i, i + 1, 1.5).unwrap();
+            b.rate(i + 1, i, 2.0).unwrap();
+        }
+        let mut init = vec![0.0; n];
+        init[0] = 1.0;
+        let rates: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        let variances: Vec<f64> = (0..n).map(|i| 0.1 + i as f64 / n as f64).collect();
+        SecondOrderMrm::new(b.build().unwrap(), rates, variances, init).unwrap()
+    }
+
+    #[test]
+    fn digest_changes_with_any_parameter() {
+        let m = chain(4);
+        let base = model_digest(&m);
+        assert_eq!(base, model_digest(&chain(4)), "digest is deterministic");
+        let mut rates = m.rates().to_vec();
+        rates[2] += 1e-12;
+        let mutated = SecondOrderMrm::new(
+            m.generator().clone(),
+            rates,
+            m.variances().to_vec(),
+            m.initial().to_vec(),
+        )
+        .unwrap();
+        assert_ne!(base, model_digest(&mutated), "1-ulp rate change must re-key");
+        let redistributed = m.clone().with_initial(vec![0.0, 1.0, 0.0, 0.0]).unwrap();
+        assert_ne!(base, model_digest(&redistributed));
+    }
+
+    #[test]
+    fn warm_executes_are_bitwise_stable() {
+        let m = chain(5);
+        let plan = SolvePlan::build(&m, 3, &SolverConfig::default()).unwrap();
+        let times = [0.2, 0.9];
+        let first = plan.execute(&times, 3).unwrap();
+        let second = plan.execute(&times, 3).unwrap();
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.weighted, b.weighted);
+            assert_eq!(a.per_state, b.per_state);
+            assert_eq!(a.error_bounds, b.error_bounds);
+        }
+        // And both match the one-shot API bit-for-bit.
+        let cold = moments_sweep(&m, 3, &times, &SolverConfig::default()).unwrap();
+        for (a, b) in first.iter().zip(&cold) {
+            assert_eq!(a.weighted, b.weighted);
+        }
+    }
+
+    #[test]
+    fn lower_orders_run_on_a_higher_order_plan() {
+        let m = chain(4);
+        let plan = SolvePlan::build(&m, 4, &SolverConfig::default()).unwrap();
+        let via_plan = plan.execute(&[0.7], 2).unwrap();
+        let cold = moments(&m, 2, 0.7, &SolverConfig::default()).unwrap();
+        assert_eq!(via_plan[0].weighted, cold.weighted);
+        assert!(plan.execute(&[0.7], 5).is_err(), "above max_order");
+    }
+
+    #[test]
+    fn degenerate_models_plan_without_a_kernel() {
+        let b = GeneratorBuilder::new(2);
+        let frozen = SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![1.0, -1.0],
+            vec![0.5, 0.0],
+            vec![0.5, 0.5],
+        )
+        .unwrap();
+        let plan = SolvePlan::build(&frozen, 2, &SolverConfig::default()).unwrap();
+        assert_eq!(plan.q(), 0.0);
+        let sol = plan.execute(&[1.0], 2).unwrap();
+        let cold = moments(&frozen, 2, 1.0, &SolverConfig::default()).unwrap();
+        assert_eq!(sol[0].weighted, cold.weighted);
+    }
+
+    #[test]
+    fn terminal_execute_matches_cold_terminal() {
+        use crate::terminal::moments_terminal_weighted;
+        let m = chain(3);
+        let plan = SolvePlan::build(&m, 2, &SolverConfig::default()).unwrap();
+        let w = [1.0, 0.0, 2.0];
+        let warm = plan.execute_terminal(0.8, &w, 2).unwrap();
+        let cold = moments_terminal_weighted(&m, 2, 0.8, &w, &SolverConfig::default()).unwrap();
+        assert_eq!(warm.weighted, cold.weighted);
+        assert_eq!(warm.per_state, cold.per_state);
+    }
+}

@@ -20,14 +20,9 @@
 
 use crate::error::MrmError;
 use crate::model::SecondOrderMrm;
-use crate::uniformization::{
-    poisson_accounting, pool_section, MomentSolution, SolverConfig, SolverStats,
-};
-use somrm_linalg::{FusedMomentKernel, IterationMatrix};
-use somrm_num::poisson::{self, PoissonWindow};
-use somrm_num::special::{binomial, ln_factorial};
-use somrm_obs::{HealthMonitor, ProgressMeter, SolveReport, SolverSection};
-use std::sync::Arc;
+use crate::uniformization::{MomentSolution, SolverConfig};
+use somrm_num::poisson;
+use somrm_num::special::ln_factorial;
 
 /// Computes terminal-weighted raw moments
 /// `E[Bⁿ(t)·w_{Z(t)} | Z(0) = i]` for `n = 0 ..= order`.
@@ -57,6 +52,13 @@ use std::sync::Arc;
 /// assert!(sol.raw_moment(0) < 1.0); // P[Z(t)=0] < 1
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+/// # Implementation
+///
+/// A thin wrapper over the plan/execute split: builds a one-shot
+/// [`crate::plan::SolvePlan`] and calls
+/// [`crate::plan::SolvePlan::execute_terminal`] once. Repeated terminal
+/// queries on the same model should keep the plan; results are
+/// bit-identical either way.
 pub fn moments_terminal_weighted(
     model: &SecondOrderMrm,
     order: usize,
@@ -64,240 +66,12 @@ pub fn moments_terminal_weighted(
     terminal_weights: &[f64],
     config: &SolverConfig,
 ) -> Result<MomentSolution, MrmError> {
-    let n_states = model.n_states();
-    if terminal_weights.len() != n_states {
-        return Err(MrmError::DimensionMismatch {
-            what: "terminal weight vector",
-            expected: n_states,
-            actual: terminal_weights.len(),
-        });
-    }
-    for (i, &w) in terminal_weights.iter().enumerate() {
-        if !(w >= 0.0) || !w.is_finite() {
-            return Err(MrmError::InvalidParameter {
-                name: "terminal_weights",
-                reason: format!("weight of state {i} is {w}"),
-            });
-        }
-    }
-    if !(t >= 0.0) || !t.is_finite() {
-        return Err(MrmError::InvalidParameter {
-            name: "t",
-            reason: format!("time must be finite and non-negative, got {t}"),
-        });
-    }
-    if !(config.epsilon > 0.0) || config.epsilon >= 1.0 {
-        return Err(MrmError::InvalidParameter {
-            name: "epsilon",
-            reason: format!("must lie in (0,1), got {}", config.epsilon),
-        });
-    }
-
-    let q = model.generator().uniformization_rate();
-    let shift = model.min_rate().min(0.0);
-    let shifted_rates: Vec<f64> = model.rates().iter().map(|&r| r - shift).collect();
-    let w_max = terminal_weights.iter().cloned().fold(0.0, f64::max);
-
-    if q == 0.0 || t == 0.0 {
-        // Frozen chain / zero horizon: w_{Z(t)} = w_{Z(0)} and B(t) has
-        // the single-state normal moments (or is 0 at t = 0).
-        let plain = crate::uniformization::moments(model, order, t, config)?;
-        let per_state: Vec<Vec<f64>> = (0..=order)
-            .map(|n| {
-                (0..n_states)
-                    .map(|i| plain.per_state[n][i] * terminal_weights[i])
-                    .collect()
-            })
-            .collect();
-        let weighted = (0..=order)
-            .map(|n| {
-                per_state[n]
-                    .iter()
-                    .zip(model.initial())
-                    .map(|(&v, &p)| v * p)
-                    .sum()
-            })
-            .collect();
-        return Ok(MomentSolution {
-            t,
-            per_state,
-            weighted,
-            stats: plain.stats,
-            error_bounds: plain.error_bounds.clone(),
-            report: plain.report.clone(),
-        });
-    }
-
-    let rec = &config.recorder;
-    let max_rate = shifted_rates.iter().copied().fold(0.0, f64::max);
-    let max_sigma = model.variances().iter().map(|&s| s.sqrt()).fold(0.0, f64::max);
-    let d = (max_rate / q).max(max_sigma / q.sqrt()).max(f64::MIN_POSITIVE);
-
-    let (matrix, r_prime, s_half) = rec.time("solve.setup", || {
-        let q_prime = model
-            .generator()
-            .uniformized_kernel(q)
-            .expect("q > 0 checked above");
-        let matrix = IterationMatrix::with_format(q_prime, config.format);
-        let r_prime: Vec<f64> = shifted_rates.iter().map(|&r| r / (q * d)).collect();
-        let s_half: Vec<f64> = model
-            .variances()
-            .iter()
-            .map(|&s| 0.5 * s / (q * d * d))
-            .collect();
-        (matrix, r_prime, s_half)
-    });
-
-    let qt = q * t;
-    let (g_limit, error_bounds) =
-        rec.time("solve.truncation", || terminal_truncation(qt, d, order, w_max, config))?;
-    let error_bound = error_bounds.iter().copied().fold(0.0, f64::max);
-    if rec.enabled() {
-        rec.gauge_set("solver.q", q);
-        rec.gauge_set("solver.d", d);
-        rec.gauge_set("solver.qt", qt);
-        rec.gauge_set("solver.shift", shift);
-        rec.gauge_set("solver.g", g_limit as f64);
-        rec.gauge_set("solver.error_bound", error_bound);
-        rec.gauge_set(
-            "solver.matrix_format",
-            if matrix.is_dia() { 1.0 } else { 0.0 },
-        );
-        rec.gauge_set("solver.bandwidth", matrix.bandwidth() as f64);
-    }
-    let window = rec.time("solve.poisson", || Some(PoissonWindow::exact(qt, g_limit)));
-
-    // Same fused kernel as the plain sweep, with U⁽⁰⁾(0) = w and a
-    // single time point; threads live in one pool for the whole solve.
-    let mut kernel = FusedMomentKernel::new(
-        &matrix,
-        &r_prime,
-        &s_half,
-        order,
-        1,
-        terminal_weights,
-        config.effective_threads(n_states),
-    );
-    kernel.set_recorder(rec.clone());
-    // Health probes, as in the plain sweep: the weighted initial
-    // condition makes this the path where genuine substochastic mass
-    // decay of U⁽⁰⁾ can show up.
-    let mut health = rec.enabled().then(|| HealthMonitor::new(g_limit, order));
-    let mut meter = config
-        .progress
-        .then(|| ProgressMeter::new("solve.recursion", g_limit));
-    {
-        let _recursion = rec.span("solve.recursion");
-        let w = window.as_ref().expect("qt > 0 here");
-        for k in 0..=g_limit {
-            let wk = w.weight(k);
-            let active = [(0usize, wk)];
-            kernel.step(if wk > 0.0 { &active } else { &[] }, k < g_limit);
-            if let Some(h) = health.as_mut() {
-                if h.should_sample(k, g_limit) {
-                    for j in 0..=order {
-                        h.observe_order(j, kernel.u_order(j));
-                    }
-                }
-            }
-            if let Some(m) = meter.as_mut() {
-                m.tick(k);
-            }
-        }
-    }
-    if let Some(h) = health.as_mut() {
-        for j in 0..=order {
-            for a in kernel.accumulated(0, j) {
-                h.observe_compensation(a.raw_sum(), a.compensation());
-            }
-        }
-    }
-
-    let _assemble = rec.span("solve.assemble");
-    let shifted_moments: Vec<Vec<f64>> = (0..=order)
-        .map(|j| {
-            let scale = (ln_factorial(j as u64) + j as f64 * d.ln()).exp();
-            kernel
-                .accumulated(0, j)
-                .iter()
-                .map(|a| scale * a.value())
-                .collect()
-        })
-        .collect();
-    // Un-shift the *defective* moments: E[(B̌+c)ⁿ w] = Σ C(n,j)c^{n−j}E[B̌ʲ w].
-    let per_state = if shift == 0.0 {
-        shifted_moments
-    } else {
-        let c = shift * t;
-        (0..=order)
-            .map(|n| {
-                (0..n_states)
-                    .map(|i| {
-                        (0..=n)
-                            .map(|j| {
-                                binomial(n as u32, j as u32)
-                                    * c.powi((n - j) as i32)
-                                    * shifted_moments[j][i]
-                            })
-                            .sum()
-                    })
-                    .collect()
-            })
-            .collect()
-    };
-    let weighted = (0..=order)
-        .map(|j| {
-            per_state[j]
-                .iter()
-                .zip(model.initial())
-                .map(|(&v, &p)| v * p)
-                .sum()
-        })
-        .collect();
-    drop(_assemble);
-    let report = rec.enabled().then(|| {
-        Arc::new(SolveReport {
-            command: "terminal".to_string(),
-            solver: Some(SolverSection {
-                q,
-                d,
-                qt,
-                shift,
-                g: g_limit,
-                max_iterations: config.max_iterations,
-                epsilon: config.epsilon,
-                order,
-                n_states,
-                n_times: 1,
-                threads: kernel.threads(),
-                error_bound,
-                error_bounds: error_bounds.clone(),
-                poisson: poisson_accounting(&[t], std::slice::from_ref(&window), g_limit),
-            }),
-            pool: kernel.pool_stats().map(pool_section),
-            health: health.take().map(|h| h.finish(rec)),
-            metrics: rec.snapshot().unwrap_or_default(),
-        })
-    });
-    Ok(MomentSolution {
-        t,
-        per_state,
-        weighted,
-        stats: SolverStats {
-            q,
-            d,
-            shift,
-            iterations: g_limit,
-            error_bound,
-        },
-        error_bounds,
-        report,
-    })
+    crate::plan::SolvePlan::build(model, order, config)?.execute_terminal(t, terminal_weights, order)
 }
 
 /// Theorem-4 truncation with the extra `max(1, ‖w‖_∞)` factor from the
 /// weighted initial condition.
-fn terminal_truncation(
+pub(crate) fn terminal_truncation(
     qt: f64,
     d: f64,
     order: usize,

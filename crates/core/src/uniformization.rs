@@ -40,14 +40,11 @@
 
 use crate::error::MrmError;
 use crate::model::SecondOrderMrm;
-use somrm_linalg::{FusedMomentKernel, IterationMatrix, MatrixFormat};
+use somrm_linalg::MatrixFormat;
 use somrm_num::poisson::{self, PoissonWindow};
 use somrm_num::special::{binomial, ln_factorial};
 use somrm_num::sum::NeumaierSum;
-use somrm_obs::{
-    HealthMonitor, PoissonStat, PoolSection, ProgressMeter, RecorderHandle, SolveReport,
-    SolverSection,
-};
+use somrm_obs::{PoissonStat, PoolSection, RecorderHandle, SolveReport, SolverSection};
 use std::sync::Arc;
 
 /// Configuration of the randomization moment solver.
@@ -122,6 +119,53 @@ impl SolverConfig {
         } else {
             1
         }
+    }
+
+    /// Validates this configuration for a model with `n_states` states.
+    ///
+    /// Every solver entry point calls this before doing any work, so a
+    /// misconfiguration surfaces as a typed error at plan-build time
+    /// rather than as whatever the worker pool makes of it. Checks:
+    ///
+    /// - `epsilon` must lie in `(0, 1)`;
+    /// - `threads` must be at least 1 (the pool used to treat 0 as 1
+    ///   silently, masking a configuration bug);
+    /// - `threads` must not exceed `max(n_states, 256)` — more threads
+    ///   than states is pure handshake overhead (the kernel would clamp
+    ///   them away), and far above any machine's core count it is almost
+    ///   certainly a typo'd `--threads`. The floor of 256 keeps modest
+    ///   over-subscription on small models legal, since the kernel
+    ///   clamps chunks to the state count anyway.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MrmError::InvalidParameter`] naming the offending
+    /// field.
+    pub fn validate(&self, n_states: usize) -> Result<(), MrmError> {
+        if !(self.epsilon > 0.0) || self.epsilon >= 1.0 {
+            return Err(MrmError::InvalidParameter {
+                name: "epsilon",
+                reason: format!("must lie in (0,1), got {}", self.epsilon),
+            });
+        }
+        if self.threads == 0 {
+            return Err(MrmError::InvalidParameter {
+                name: "threads",
+                reason: "thread count must be at least 1, got 0".to_string(),
+            });
+        }
+        let cap = n_states.max(256);
+        if self.threads > cap {
+            return Err(MrmError::InvalidParameter {
+                name: "threads",
+                reason: format!(
+                    "{} threads for a {n_states}-state model exceeds the cap of {cap} \
+                     (more threads than states is pure overhead)",
+                    self.threads
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -311,268 +355,21 @@ pub fn moments(
 /// # Errors
 ///
 /// See [`moments`]. An empty `times` slice yields an empty vector.
+///
+/// # Implementation
+///
+/// This is a thin wrapper over the plan/execute split: it builds a
+/// one-shot [`crate::plan::SolvePlan`] and executes it once. A caller
+/// that re-solves the same model should build the plan once and call
+/// [`crate::plan::SolvePlan::execute`] per query — the results are
+/// bit-identical either way.
 pub fn moments_sweep(
     model: &SecondOrderMrm,
     order: usize,
     times: &[f64],
     config: &SolverConfig,
 ) -> Result<Vec<MomentSolution>, MrmError> {
-    validate_params(times, config)?;
-    if times.is_empty() {
-        return Ok(Vec::new());
-    }
-    let rec = &config.recorder;
-    let n_states = model.n_states();
-    let q = model.generator().uniformization_rate();
-
-    // Shift negative drifts: ř = min_i r_i if negative, else 0.
-    let shift = model.min_rate().min(0.0);
-    let shifted_rates: Vec<f64> = model.rates().iter().map(|&r| r - shift).collect();
-
-    // Degenerate chains (q = 0): the state never changes, B(t) is a plain
-    // Brownian motion with the initial state's parameters.
-    if q == 0.0 {
-        let mut solutions: Vec<MomentSolution> = times
-            .iter()
-            .map(|&t| frozen_chain_solution(model, order, t))
-            .collect();
-        attach_degenerate_report(&mut solutions, model, config, order, 0.0, 0.0, 0.0);
-        return Ok(solutions);
-    }
-
-    // Corrected normalization constant (see module docs).
-    let max_rate = shifted_rates.iter().copied().fold(0.0, f64::max);
-    let max_sigma = model
-        .variances()
-        .iter()
-        .map(|&s| s.sqrt())
-        .fold(0.0, f64::max);
-    let d = (max_rate / q).max(max_sigma / q.sqrt());
-
-    if d == 0.0 {
-        // All shifted rates and variances vanish: B(t) = ř·t surely.
-        let mut solutions: Vec<MomentSolution> = times
-            .iter()
-            .map(|&t| deterministic_solution(model, order, t, shift))
-            .collect();
-        attach_degenerate_report(&mut solutions, model, config, order, q, 0.0, shift);
-        return Ok(solutions);
-    }
-
-    // Substochastic ingredients. The iteration matrix format (CSR vs
-    // banded DIA) is selected once here; every later mat-vec dispatches
-    // on the chosen variant.
-    let (matrix, r_prime, s_half) = rec.time("solve.setup", || {
-        let q_prime = model
-            .generator()
-            .uniformized_kernel(q)
-            .expect("q > 0 checked above");
-        let matrix = IterationMatrix::with_format(q_prime, config.format);
-        let r_prime: Vec<f64> = shifted_rates.iter().map(|&r| r / (q * d)).collect();
-        let s_half: Vec<f64> = model
-            .variances()
-            .iter()
-            .map(|&s| 0.5 * s / (q * d * d))
-            .collect();
-        (matrix, r_prime, s_half)
-    });
-
-    // Truncation point: the largest G over requested times and orders.
-    let t_max = times.iter().copied().fold(0.0, f64::max);
-    let qt = q * t_max;
-    let (g_limit, error_bounds) =
-        rec.time("solve.truncation", || truncation_point(qt, d, order, config))?;
-    let error_bound = error_bounds.iter().copied().fold(0.0, f64::max);
-    if rec.enabled() {
-        rec.gauge_set("solver.q", q);
-        rec.gauge_set("solver.d", d);
-        rec.gauge_set("solver.qt", qt);
-        rec.gauge_set("solver.shift", shift);
-        rec.gauge_set("solver.g", g_limit as f64);
-        rec.gauge_set("solver.error_bound", error_bound);
-        rec.gauge_set(
-            "solver.matrix_format",
-            if matrix.is_dia() { 1.0 } else { 0.0 },
-        );
-        rec.gauge_set("solver.bandwidth", matrix.bandwidth() as f64);
-    }
-
-    // Poisson weight windows per time point: each holds only its own
-    // non-zero pmf support `[left, right]`. The right edge is the usual
-    // underflow trim (the global G belongs to the largest time; smaller
-    // times' weights hit exact 0.0 much earlier); the left edge lets the
-    // accumulation loop skip every `k < left`, whose weights underflow
-    // to exact 0.0 for large `qt` (≈ 4/5 of the series at qt = 40,000).
-    let windows: Vec<Option<PoissonWindow>> = rec.time("solve.poisson", || {
-        times
-            .iter()
-            .map(|&t| {
-                if t == 0.0 {
-                    None
-                } else {
-                    Some(PoissonWindow::exact(q * t, g_limit))
-                }
-            })
-            .collect()
-    });
-    let poisson_stats: Vec<PoissonStat> = if rec.enabled() {
-        let stats = poisson_accounting(times, &windows, g_limit);
-        let kept: u64 = stats.iter().map(|p| p.weights_kept).sum();
-        let trimmed: u64 = stats.iter().map(|p| p.weights_trimmed).sum();
-        let left_skipped: u64 = stats.iter().map(|p| p.weights_left_skipped).sum();
-        rec.counter_add("poisson.weights_kept", kept);
-        rec.counter_add("poisson.weights_trimmed", trimmed);
-        rec.counter_add("poisson.weights_left_skipped", left_skipped);
-        stats
-    } else {
-        Vec::new()
-    };
-
-    // U-recursion via the fused kernel: one parallel pass per iteration
-    // k covers the sparse mat-vec, the R'/½S' combine, and the weighted
-    // accumulation for every time point. The worker pool inside the
-    // kernel is created once here and dropped with it.
-    let u0 = vec![1.0; n_states];
-    let mut kernel = FusedMomentKernel::new(
-        &matrix,
-        &r_prime,
-        &s_half,
-        order,
-        times.len(),
-        &u0,
-        config.effective_threads(n_states),
-    );
-    kernel.set_recorder(rec.clone());
-    // Numerical-health probes: read-only scans of the iterate blocks on
-    // a throttled cadence. Only built when a recorder is attached (the
-    // report they feed exists only then), so disabled solves skip every
-    // scan and stay bit-identical by construction.
-    let mut health = rec.enabled().then(|| HealthMonitor::new(g_limit, order));
-    let mut meter = config
-        .progress
-        .then(|| ProgressMeter::new("solve.recursion", g_limit));
-    {
-        let _recursion = rec.span("solve.recursion");
-        let mut active: Vec<(usize, f64)> = Vec::with_capacity(times.len());
-        for k in 0..=g_limit {
-            active.clear();
-            for (ti, w) in windows.iter().enumerate() {
-                // `weight(k)` is exactly 0.0 outside each window, so
-                // skipped-left terms never enter the accumulation — the
-                // recursion still advances U_k below every left edge.
-                let wk = w.as_ref().map_or(0.0, |w| w.weight(k));
-                if wk > 0.0 {
-                    active.push((ti, wk));
-                }
-            }
-            // The final iteration only accumulates; no U(G+1) is needed.
-            kernel.step(&active, k < g_limit);
-            if let Some(h) = health.as_mut() {
-                if h.should_sample(k, g_limit) {
-                    for j in 0..=order {
-                        h.observe_order(j, kernel.u_order(j));
-                    }
-                }
-            }
-            if let Some(m) = meter.as_mut() {
-                m.tick(k);
-            }
-        }
-    }
-    // Neumaier audit: how much mass the compensation terms carry at the
-    // end of the weighted accumulation.
-    if let Some(h) = health.as_mut() {
-        for ti in 0..times.len() {
-            for j in 0..=order {
-                for a in kernel.accumulated(ti, j) {
-                    h.observe_compensation(a.raw_sum(), a.compensation());
-                }
-            }
-        }
-    }
-
-    // Assemble solutions: scale by n!·dⁿ, un-shift, weight by π.
-    let stats = SolverStats {
-        q,
-        d,
-        shift,
-        iterations: g_limit,
-        error_bound,
-    };
-    let mut solutions: Vec<MomentSolution> = rec.time("solve.assemble", || {
-        times
-            .iter()
-            .enumerate()
-            .map(|(ti, &t)| {
-                let shifted_moments: Vec<Vec<f64>> = if t == 0.0 {
-                    // B(0) = 0: moment 0 is 1, the rest are 0.
-                    (0..=order)
-                        .map(|j| vec![if j == 0 { 1.0 } else { 0.0 }; n_states])
-                        .collect()
-                } else {
-                    (0..=order)
-                        .map(|j| {
-                            let scale = (ln_factorial(j as u64) + j as f64 * d.ln()).exp();
-                            kernel
-                                .accumulated(ti, j)
-                                .iter()
-                                .map(|a| scale * a.value())
-                                .collect()
-                        })
-                        .collect()
-                };
-                let per_state = unshift_moments(&shifted_moments, shift, t);
-                let weighted = (0..=order)
-                    .map(|j| {
-                        per_state[j]
-                            .iter()
-                            .zip(model.initial())
-                            .map(|(&v, &p)| v * p)
-                            .sum()
-                    })
-                    .collect();
-                MomentSolution {
-                    t,
-                    per_state,
-                    weighted,
-                    stats,
-                    error_bounds: error_bounds.clone(),
-                    report: None,
-                }
-            })
-            .collect()
-    });
-    if rec.enabled() {
-        // Finish health before the snapshot so the health.* counters it
-        // emits are part of the report's metrics.
-        let health_section = health.map(|h| h.finish(rec));
-        let report = Arc::new(SolveReport {
-            command: "moments".to_string(),
-            solver: Some(SolverSection {
-                q,
-                d,
-                qt,
-                shift,
-                g: g_limit,
-                max_iterations: config.max_iterations,
-                epsilon: config.epsilon,
-                order,
-                n_states,
-                n_times: times.len(),
-                threads: kernel.threads(),
-                error_bound,
-                error_bounds,
-                poisson: poisson_stats,
-            }),
-            pool: kernel.pool_stats().map(pool_section),
-            health: health_section,
-            metrics: rec.snapshot().unwrap_or_default(),
-        });
-        for s in &mut solutions {
-            s.report = Some(Arc::clone(&report));
-        }
-    }
-    Ok(solutions)
+    crate::plan::SolvePlan::build(model, order, config)?.execute(times, order)
 }
 
 /// Per-time-point weight accounting for the report: how many series
@@ -622,7 +419,7 @@ pub(crate) fn pool_section(stats: somrm_linalg::PoolStats) -> PoolSection {
 /// Attaches a report to solutions produced by the exact degenerate paths
 /// (`q = 0` or `d = 0`), which never run the recursion: `G = 0`, zero
 /// bounds, no pool.
-fn attach_degenerate_report(
+pub(crate) fn attach_degenerate_report(
     solutions: &mut [MomentSolution],
     model: &SecondOrderMrm,
     config: &SolverConfig,
@@ -662,7 +459,7 @@ fn attach_degenerate_report(
     }
 }
 
-fn validate_params(times: &[f64], config: &SolverConfig) -> Result<(), MrmError> {
+pub(crate) fn validate_times(times: &[f64]) -> Result<(), MrmError> {
     for &t in times {
         if !(t >= 0.0) || !t.is_finite() {
             return Err(MrmError::InvalidParameter {
@@ -670,12 +467,6 @@ fn validate_params(times: &[f64], config: &SolverConfig) -> Result<(), MrmError>
                 reason: format!("time must be finite and non-negative, got {t}"),
             });
         }
-    }
-    if !(config.epsilon > 0.0) || config.epsilon >= 1.0 {
-        return Err(MrmError::InvalidParameter {
-            name: "epsilon",
-            reason: format!("must lie in (0,1), got {}", config.epsilon),
-        });
     }
     Ok(())
 }
@@ -699,7 +490,7 @@ fn validate_params(times: &[f64], config: &SolverConfig) -> Result<(), MrmError>
 /// Found by bisection on the monotone log-space bound. Returns `(G,
 /// realized per-order bounds at that G)`; the bound Theorem 4
 /// guarantees for the whole solve is the maximum entry.
-fn truncation_point(
+pub(crate) fn truncation_point(
     qt: f64,
     d: f64,
     order: usize,
@@ -780,7 +571,11 @@ fn truncation_point(
 /// Moments when the chain never leaves its initial state: per state `i`,
 /// `B(t) ~ Normal(r_i t, σ_i² t)`, whose raw moments follow the
 /// recurrence `m_n = μ·m_{n−1} + (n−1)·σ²·m_{n−2}`.
-fn frozen_chain_solution(model: &SecondOrderMrm, order: usize, t: f64) -> MomentSolution {
+pub(crate) fn frozen_chain_solution(
+    model: &SecondOrderMrm,
+    order: usize,
+    t: f64,
+) -> MomentSolution {
     let n_states = model.n_states();
     let mut per_state: Vec<Vec<f64>> = vec![vec![0.0; n_states]; order + 1];
     for i in 0..n_states {
@@ -824,7 +619,7 @@ fn frozen_chain_solution(model: &SecondOrderMrm, order: usize, t: f64) -> Moment
 }
 
 /// Moments when `B(t) = shift·t` deterministically.
-fn deterministic_solution(
+pub(crate) fn deterministic_solution(
     model: &SecondOrderMrm,
     order: usize,
     t: f64,
@@ -853,7 +648,7 @@ fn deterministic_solution(
 
 /// Un-shifts raw moments: if `B = B̌ + ř·t`, then
 /// `E[Bⁿ] = Σ_j C(n,j)·(řt)^{n−j}·E[B̌ʲ]`.
-fn unshift_moments(shifted: &[Vec<f64>], shift: f64, t: f64) -> Vec<Vec<f64>> {
+pub(crate) fn unshift_moments(shifted: &[Vec<f64>], shift: f64, t: f64) -> Vec<Vec<f64>> {
     if shift == 0.0 {
         return shifted.to_vec();
     }
@@ -1195,6 +990,54 @@ mod tests {
             ..SolverConfig::default()
         };
         assert!(moments(&m, 1, 1.0, &bad).is_err());
+    }
+
+    #[test]
+    fn zero_threads_rejected_with_typed_error() {
+        // Regression: `threads: 0` used to slip through to the worker
+        // pool, which silently treated it as 1 — masking a broken
+        // `--threads 0` flag. It must fail at config-validation time.
+        let m = two_state_model([1.0, 1.0], [0.5, 0.5]);
+        let cfg = SolverConfig {
+            threads: 0,
+            ..SolverConfig::default()
+        };
+        match moments(&m, 1, 1.0, &cfg) {
+            Err(MrmError::InvalidParameter { name: "threads", .. }) => {}
+            other => panic!("expected InvalidParameter(threads), got {other:?}"),
+        }
+        assert!(matches!(
+            cfg.validate(2),
+            Err(MrmError::InvalidParameter { name: "threads", .. })
+        ));
+    }
+
+    #[test]
+    fn absurd_thread_counts_rejected_with_typed_error() {
+        // Regression: thread counts far above the state count were
+        // accepted and spawned that many parked OS threads. The cap is
+        // max(n_states, 256): oversubscription on small models stays
+        // legal (the kernel clamps chunks to the state count), typo'd
+        // counts do not.
+        let m = two_state_model([1.0, 1.0], [0.5, 0.5]);
+        let cfg = SolverConfig {
+            threads: 100_000,
+            ..SolverConfig::default()
+        };
+        match moments(&m, 1, 1.0, &cfg) {
+            Err(MrmError::InvalidParameter { name: "threads", .. }) => {}
+            other => panic!("expected InvalidParameter(threads), got {other:?}"),
+        }
+        // Within the floor: 8 threads on a 2-state model stays accepted.
+        let small_over = SolverConfig {
+            threads: 8,
+            ..SolverConfig::default()
+        };
+        assert!(small_over.validate(2).is_ok());
+        moments(&m, 1, 1.0, &small_over).unwrap();
+        // Above 256 states the state count itself is the cap.
+        assert!(SolverConfig { threads: 300, ..SolverConfig::default() }.validate(500).is_ok());
+        assert!(SolverConfig { threads: 501, ..SolverConfig::default() }.validate(500).is_err());
     }
 
     #[test]

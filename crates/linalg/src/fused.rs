@@ -51,6 +51,21 @@ enum MatrixParts<'b> {
     Dia(&'b [isize], &'b [f64]),
 }
 
+/// How a kernel reaches its worker threads: none (inline), a pool it
+/// owns for the duration of one solve, or a pool borrowed from a
+/// longer-lived [`SolvePlan`]-style cache so repeated executes skip the
+/// thread spawns entirely.
+#[derive(Debug)]
+enum KernelPool<'a> {
+    /// Single chunk, runs on the calling thread.
+    Inline,
+    /// Created by [`FusedMomentKernel::new`], dropped with the kernel.
+    Owned(WorkerPool),
+    /// Supplied by the caller via [`FusedMomentKernel::with_pool`];
+    /// outlives the kernel, its threads stay parked between solves.
+    Borrowed(&'a mut WorkerPool),
+}
+
 /// Fused recursion + accumulation kernel over a persistent worker pool.
 ///
 /// Layout: `U` vectors are flattened as `u[j·n + i]`; accumulators as
@@ -64,7 +79,7 @@ pub struct FusedMomentKernel<'a> {
     n: usize,
     n_times: usize,
     chunks: usize,
-    pool: Option<WorkerPool>,
+    pool: KernelPool<'a>,
     u_cur: Vec<f64>,
     u_next: Vec<f64>,
     acc: Vec<NeumaierSum>,
@@ -97,6 +112,67 @@ impl<'a> FusedMomentKernel<'a> {
         assert_eq!(s_half.len(), n, "s_half length mismatch");
         assert_eq!(u0.len(), n, "u0 length mismatch");
         let chunks = threads.clamp(1, n.max(1));
+        let pool = if chunks > 1 {
+            KernelPool::Owned(WorkerPool::new(chunks))
+        } else {
+            KernelPool::Inline
+        };
+        Self::assemble(matrix, r_prime, s_half, order, n_times, u0, chunks, pool)
+    }
+
+    /// Like [`FusedMomentKernel::new`], but running passes on a
+    /// caller-owned [`WorkerPool`] instead of spawning one. The pool's
+    /// thread count decides the chunk count (`None` runs inline), so a
+    /// plan that keeps one pool alive executes any number of solves
+    /// without paying thread creation again — with the same fixed chunk
+    /// boundaries, hence bit-identical results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` is not square, the vector lengths disagree, or
+    /// the pool has more threads than the matrix has rows (an owned pool
+    /// is clamped at construction; a borrowed one must already fit).
+    pub fn with_pool(
+        matrix: &'a IterationMatrix,
+        r_prime: &'a [f64],
+        s_half: &'a [f64],
+        order: usize,
+        n_times: usize,
+        u0: &[f64],
+        pool: Option<&'a mut WorkerPool>,
+    ) -> Self {
+        let n = matrix.rows();
+        let (chunks, pool) = match pool {
+            Some(p) => {
+                assert!(
+                    p.threads() <= n.max(1),
+                    "borrowed pool has {} threads for {} rows",
+                    p.threads(),
+                    n
+                );
+                (p.threads().max(1), KernelPool::Borrowed(p))
+            }
+            None => (1, KernelPool::Inline),
+        };
+        Self::assemble(matrix, r_prime, s_half, order, n_times, u0, chunks, pool)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        matrix: &'a IterationMatrix,
+        r_prime: &'a [f64],
+        s_half: &'a [f64],
+        order: usize,
+        n_times: usize,
+        u0: &[f64],
+        chunks: usize,
+        pool: KernelPool<'a>,
+    ) -> Self {
+        let n = matrix.rows();
+        assert_eq!(matrix.cols(), n, "fused kernel needs a square matrix");
+        assert_eq!(r_prime.len(), n, "r_prime length mismatch");
+        assert_eq!(s_half.len(), n, "s_half length mismatch");
+        assert_eq!(u0.len(), n, "u0 length mismatch");
         let mut u_cur = vec![0.0; (order + 1) * n];
         u_cur[..n].copy_from_slice(u0);
         FusedMomentKernel {
@@ -107,7 +183,7 @@ impl<'a> FusedMomentKernel<'a> {
             n,
             n_times,
             chunks,
-            pool: (chunks > 1).then(|| WorkerPool::new(chunks)),
+            pool,
             u_cur,
             u_next: vec![0.0; (order + 1) * n],
             acc: vec![NeumaierSum::new(); n_times * (order + 1) * n],
@@ -130,7 +206,11 @@ impl<'a> FusedMomentKernel<'a> {
     /// Worker-pool telemetry, if this kernel runs a pool (`None` for
     /// inline single-chunk kernels).
     pub fn pool_stats(&self) -> Option<PoolStats> {
-        self.pool.as_ref().map(WorkerPool::stats)
+        match &self.pool {
+            KernelPool::Inline => None,
+            KernelPool::Owned(p) => Some(p.stats()),
+            KernelPool::Borrowed(p) => Some(p.stats()),
+        }
     }
 
     /// One fused pass at iteration `k`: adds `wk·U⁽ʲ⁾(k)` into the
@@ -349,8 +429,9 @@ impl<'a> FusedMomentKernel<'a> {
         {
             let _pass = self.recorder.span("kernel.pass");
             match &mut self.pool {
-                Some(pool) => pool.run(&task),
-                None => task(0),
+                KernelPool::Inline => task(0),
+                KernelPool::Owned(pool) => pool.run(&task),
+                KernelPool::Borrowed(pool) => pool.run(&task),
             }
         }
         self.recorder.counter_add("kernel.passes", 1);

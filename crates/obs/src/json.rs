@@ -38,6 +38,43 @@ pub fn write_f64(out: &mut String, v: f64) {
     }
 }
 
+/// Appends `v` re-serialized as JSON to `out`.
+///
+/// The inverse of [`parse`] (modulo whitespace): needed by the serve
+/// protocol to echo a request's `id` member — which may be any JSON
+/// value — back verbatim in the response.
+pub fn write_value(out: &mut String, v: &Value) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Num(n) => write_f64(out, *n),
+        Value::Str(s) => write_string(out, s),
+        Value::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(out, item);
+            }
+            out.push(']');
+        }
+        Value::Obj(members) => {
+            out.push('{');
+            for (i, (k, item)) in members.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(out, k);
+                out.push(':');
+                write_value(out, item);
+            }
+            out.push('}');
+        }
+    }
+}
+
 /// A parsed JSON value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Value {
@@ -323,6 +360,15 @@ mod tests {
         for bad in ["{", "[1,", "{\"a\" 1}", "nul", "1 2", "\"abc", "{\"a\":1}x"] {
             assert!(parse(bad).is_err(), "should reject {bad:?}");
         }
+    }
+
+    #[test]
+    fn write_value_round_trips_arbitrary_documents() {
+        let src = r#"{"id": [1, "a\nb", null], "nested": {"ok": false, "x": -2.5e-3}}"#;
+        let v = parse(src).unwrap();
+        let mut out = String::new();
+        write_value(&mut out, &v);
+        assert_eq!(parse(&out).unwrap(), v);
     }
 
     #[test]

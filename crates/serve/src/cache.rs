@@ -1,0 +1,285 @@
+//! LRU cache of built [`SolvePlan`]s.
+//!
+//! Keyed by `(model digest, qt-bucket, max order)`: the digest pins the
+//! exact model content (a mutated model re-keys), the qt-bucket keeps a
+//! plan's usage profile narrow (requests a thousandfold apart in `q·t`
+//! don't share an entry's LRU slot), and the max order bounds which
+//! executes the cached plan may run. Hits, misses, and evictions are
+//! published to the `somrm-obs` registry under `serve.plan.*`.
+
+use somrm_core::{MrmError, SolvePlan};
+use somrm_obs::RecorderHandle;
+use std::sync::Arc;
+
+/// Cache key of one plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// FNV-1a content digest of the model
+    /// ([`somrm_core::model_digest`]).
+    pub digest: u64,
+    /// `log2`-bucket of the request's largest `q·t`
+    /// (see [`qt_bucket`]).
+    pub qt_bucket: i32,
+    /// Highest moment order the plan was built for.
+    pub max_order: usize,
+}
+
+/// Buckets `q·t` by binary order of magnitude: all `qt` in `[2ᵏ, 2ᵏ⁺¹)`
+/// share bucket `k`. `qt ≤ 0` (a `t = 0`-only request, or a frozen
+/// chain) gets the dedicated bucket `i32::MIN`.
+pub fn qt_bucket(qt: f64) -> i32 {
+    if qt > 0.0 {
+        // log2 of a positive finite f64 lies well inside i32.
+        qt.log2().floor() as i32
+    } else {
+        i32::MIN
+    }
+}
+
+/// Hit/miss/eviction counts since the cache was created.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a plan.
+    pub misses: u64,
+    /// Entries dropped to make room.
+    pub evictions: u64,
+}
+
+struct Entry {
+    key: PlanKey,
+    plan: Arc<SolvePlan>,
+    last_used: u64,
+}
+
+/// An LRU map from [`PlanKey`] to a shared [`SolvePlan`].
+///
+/// Linear scan over at most `capacity` entries — plan caches are small
+/// (each entry holds a matrix and possibly a worker pool), so a vector
+/// beats hash-map bookkeeping and keeps eviction order trivial to audit.
+pub struct PlanCache {
+    capacity: usize,
+    entries: Vec<Entry>,
+    tick: u64,
+    recorder: RecorderHandle,
+    stats: CacheStats,
+}
+
+impl PlanCache {
+    /// Creates a cache holding at most `capacity` plans (clamped to at
+    /// least 1). Counter deltas go to `recorder` as `serve.plan.hit`,
+    /// `serve.plan.miss`, and `serve.plan.evict`.
+    pub fn new(capacity: usize, recorder: RecorderHandle) -> Self {
+        PlanCache {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+            tick: 0,
+            recorder,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of cached plans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counters accumulated since creation.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Returns the plan under `key`, building (and caching) it with
+    /// `build` on a miss. The boolean is `true` on a hit.
+    ///
+    /// A failed build caches nothing and counts as a miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the error of `build`.
+    pub fn get_or_build(
+        &mut self,
+        key: PlanKey,
+        build: impl FnOnce() -> Result<SolvePlan, MrmError>,
+    ) -> Result<(Arc<SolvePlan>, bool), MrmError> {
+        self.tick += 1;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+            e.last_used = self.tick;
+            self.stats.hits += 1;
+            self.recorder.counter_add("serve.plan.hit", 1);
+            return Ok((Arc::clone(&e.plan), true));
+        }
+        self.stats.misses += 1;
+        self.recorder.counter_add("serve.plan.miss", 1);
+        let plan = Arc::new(build()?);
+        if self.entries.len() >= self.capacity {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("capacity >= 1, so entries is non-empty here");
+            self.entries.swap_remove(lru);
+            self.stats.evictions += 1;
+            self.recorder.counter_add("serve.plan.evict", 1);
+        }
+        self.entries.push(Entry {
+            key,
+            plan: Arc::clone(&plan),
+            last_used: self.tick,
+        });
+        Ok((plan, false))
+    }
+
+    /// `true` if a plan is cached under `key` (no LRU touch).
+    pub fn contains(&self, key: &PlanKey) -> bool {
+        self.entries.iter().any(|e| e.key == *key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use somrm_core::uniformization::SolverConfig;
+    use somrm_core::{model_digest, SecondOrderMrm, SolvePlan};
+    use somrm_ctmc::generator::GeneratorBuilder;
+
+    fn model(hi_rate: f64) -> SecondOrderMrm {
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, hi_rate).unwrap();
+        SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![0.0, 3.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap()
+    }
+
+    fn key_for(m: &SecondOrderMrm, qt: f64, order: usize) -> PlanKey {
+        PlanKey {
+            digest: model_digest(m),
+            qt_bucket: qt_bucket(qt),
+            max_order: order,
+        }
+    }
+
+    fn build_plan(m: &SecondOrderMrm, order: usize) -> Result<SolvePlan, somrm_core::MrmError> {
+        SolvePlan::build(m, order, &SolverConfig::default())
+    }
+
+    #[test]
+    fn qt_buckets_are_binary_orders_of_magnitude() {
+        assert_eq!(qt_bucket(1.0), 0);
+        assert_eq!(qt_bucket(1.9), 0);
+        assert_eq!(qt_bucket(2.0), 1);
+        assert_eq!(qt_bucket(0.5), -1);
+        assert_eq!(qt_bucket(1024.0), 10);
+        assert_eq!(qt_bucket(0.0), i32::MIN);
+        assert_eq!(qt_bucket(-3.0), i32::MIN);
+    }
+
+    #[test]
+    fn hit_then_miss_then_evict() {
+        let m = model(2.0);
+        let mut cache = PlanCache::new(2, RecorderHandle::disabled());
+
+        let (p1, hit) = cache
+            .get_or_build(key_for(&m, 1.0, 2), || build_plan(&m, 2))
+            .unwrap();
+        assert!(!hit);
+        let (p2, hit) = cache
+            .get_or_build(key_for(&m, 1.0, 2), || panic!("must not rebuild"))
+            .unwrap();
+        assert!(hit);
+        assert!(Arc::ptr_eq(&p1, &p2), "hit returns the same plan");
+
+        // Two more keys overflow capacity 2; the LRU entry is the one
+        // *not* touched since: key(qt=4) inserted second, never reused.
+        cache
+            .get_or_build(key_for(&m, 4.0, 2), || build_plan(&m, 2))
+            .unwrap();
+        cache
+            .get_or_build(key_for(&m, 1.0, 2), || panic!("still cached"))
+            .unwrap();
+        cache
+            .get_or_build(key_for(&m, 16.0, 2), || build_plan(&m, 2))
+            .unwrap();
+        assert!(cache.contains(&key_for(&m, 1.0, 2)), "recently used survives");
+        assert!(!cache.contains(&key_for(&m, 4.0, 2)), "LRU entry evicted");
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 2,
+                misses: 3,
+                evictions: 1
+            }
+        );
+    }
+
+    #[test]
+    fn mutated_model_changes_digest_and_misses() {
+        let m1 = model(2.0);
+        let m2 = model(2.0 + 1e-12);
+        let mut cache = PlanCache::new(4, RecorderHandle::disabled());
+        cache
+            .get_or_build(key_for(&m1, 1.0, 2), || build_plan(&m1, 2))
+            .unwrap();
+        let (_, hit) = cache
+            .get_or_build(key_for(&m2, 1.0, 2), || build_plan(&m2, 2))
+            .unwrap();
+        assert!(!hit, "a 1-ulp rate change must not reuse the stale plan");
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn failed_build_caches_nothing() {
+        let m = model(2.0);
+        let mut cache = PlanCache::new(2, RecorderHandle::disabled());
+        let bad = SolverConfig {
+            threads: 0,
+            ..SolverConfig::default()
+        };
+        let key = key_for(&m, 1.0, 2);
+        assert!(cache
+            .get_or_build(key, || SolvePlan::build(&m, 2, &bad))
+            .is_err());
+        assert!(!cache.contains(&key));
+        let (_, hit) = cache.get_or_build(key, || build_plan(&m, 2)).unwrap();
+        assert!(!hit, "the failed build left no entry behind");
+    }
+
+    #[test]
+    fn counters_reach_the_registry() {
+        use somrm_obs::MetricsRegistry;
+        let registry = Arc::new(MetricsRegistry::new());
+        let m = model(2.0);
+        let mut cache = PlanCache::new(1, RecorderHandle::new(registry.clone()));
+        cache
+            .get_or_build(key_for(&m, 1.0, 2), || build_plan(&m, 2))
+            .unwrap();
+        cache
+            .get_or_build(key_for(&m, 1.0, 2), || panic!("cached"))
+            .unwrap();
+        cache
+            .get_or_build(key_for(&m, 8.0, 2), || build_plan(&m, 2))
+            .unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.plan.hit"), Some(1));
+        assert_eq!(snap.counter("serve.plan.miss"), Some(2));
+        assert_eq!(snap.counter("serve.plan.evict"), Some(1));
+    }
+}

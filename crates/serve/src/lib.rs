@@ -1,0 +1,25 @@
+//! Plan-cached batch serving of second-order MRM moment queries.
+//!
+//! The solver's plan/execute split ([`somrm_core::SolvePlan`]) makes a
+//! solve's setup — uniformization constants, shifted iteration matrix,
+//! worker pool — reusable across requests. This crate turns that into a
+//! serving layer:
+//!
+//! - [`cache`] — an LRU [`PlanCache`] keyed by
+//!   `(model digest, qt-bucket, max order)` with hit/miss/evict
+//!   counters published through `somrm-obs`;
+//! - [`proto`] — the JSON-lines request/response protocol;
+//! - [`server`] — the batch loop: requests that arrive together and
+//!   share a plan key are coalesced into ONE fused multi-order sweep
+//!   over their merged time grid.
+//!
+//! The CLI front end is `somrm-tool serve`; this crate stays I/O-shaped
+//! (any `Read`/`Write`) so tests drive it with in-memory buffers.
+
+pub mod cache;
+pub mod proto;
+pub mod server;
+
+pub use cache::{qt_bucket, CacheStats, PlanCache, PlanKey};
+pub use proto::{parse_request, render_err, render_ok, ModelSpec, Request, MAX_ORDER};
+pub use server::{serve, serve_batch, BatchOutcome, ModelResolver, ServeOptions, ServeSummary};

@@ -1,0 +1,242 @@
+//! The JSON-lines serve protocol.
+//!
+//! One request per line on stdin, one response per line on stdout, in
+//! request order within a batch. A request:
+//!
+//! ```json
+//! {"id": 1, "model": "states 2\nrate 0 1 1.0\n...", "t": [0.1, 0.5], "order": 2}
+//! ```
+//!
+//! - `id` (optional, any JSON value) — echoed back verbatim;
+//! - `model` (inline model text) **or** `model_file` (path), exactly one;
+//! - `t` — a number or a non-empty array of finite, non-negative numbers;
+//! - `order` (optional, default 2) — highest moment order requested.
+//!
+//! A success response (`plan` says whether the plan cache hit,
+//! `coalesced` how many requests of the batch shared the executed plan):
+//!
+//! ```json
+//! {"id":1,"ok":true,"plan":"miss","coalesced":1,
+//!  "results":[{"t":0.1,"moments":[1.0,...],"error_bounds":[0.0,...]}]}
+//! ```
+//!
+//! Any problem — unparsable line, missing fields, solver error — yields
+//! a structured error on the same line slot and never kills the server:
+//!
+//! ```json
+//! {"id":null,"ok":false,"error":"..."}
+//! ```
+
+use somrm_core::MomentSolution;
+use somrm_obs::json::{self, Value};
+
+/// Where the model of a request comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelSpec {
+    /// The model file content inline in the request.
+    Inline(String),
+    /// A path to a model file readable by the server.
+    File(String),
+}
+
+/// A parsed, validated request line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Echoed back verbatim in the response ([`Value::Null`] if the
+    /// request carried no `id`).
+    pub id: Value,
+    /// The model to solve.
+    pub model: ModelSpec,
+    /// Requested time points, in request order.
+    pub times: Vec<f64>,
+    /// Highest moment order requested.
+    pub order: usize,
+}
+
+/// Orders above this are rejected at parse time: the recursion holds
+/// `(order + 1)` state-sized blocks, so an absurd order is a typo (or a
+/// memory-exhaustion attempt), not a workload.
+pub const MAX_ORDER: usize = 16;
+
+/// Parses and validates one request line.
+///
+/// # Errors
+///
+/// A human-readable message describing the first problem; the caller
+/// wraps it in an error response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = json::parse(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    if !matches!(v, Value::Obj(_)) {
+        return Err("request must be a JSON object".to_string());
+    }
+    let id = v.get("id").cloned().unwrap_or(Value::Null);
+
+    let model = match (v.get("model"), v.get("model_file")) {
+        (Some(_), Some(_)) => {
+            return Err("give either \"model\" or \"model_file\", not both".to_string())
+        }
+        (Some(m), None) => ModelSpec::Inline(
+            m.as_str()
+                .ok_or("\"model\" must be a string of model-file text")?
+                .to_string(),
+        ),
+        (None, Some(f)) => ModelSpec::File(
+            f.as_str()
+                .ok_or("\"model_file\" must be a string path")?
+                .to_string(),
+        ),
+        (None, None) => return Err("request needs \"model\" or \"model_file\"".to_string()),
+    };
+
+    let times = match v.get("t") {
+        Some(Value::Num(t)) => vec![*t],
+        Some(Value::Arr(items)) => items
+            .iter()
+            .map(|x| x.as_f64().ok_or("\"t\" array must contain only numbers"))
+            .collect::<Result<Vec<f64>, _>>()?,
+        Some(_) => return Err("\"t\" must be a number or an array of numbers".to_string()),
+        None => return Err("request needs \"t\"".to_string()),
+    };
+    if times.is_empty() {
+        return Err("\"t\" must not be empty".to_string());
+    }
+    for &t in &times {
+        if !(t >= 0.0) || !t.is_finite() {
+            return Err(format!("time must be finite and non-negative, got {t}"));
+        }
+    }
+    // Canonicalize -0.0 to +0.0 so the batch executor's sorted-merged
+    // grid lookup (total_cmp) treats the two zeros as one time point.
+    let times: Vec<f64> = times.into_iter().map(|t| t + 0.0).collect();
+
+    let order = match v.get("order") {
+        None => 2,
+        Some(Value::Num(n)) if *n >= 0.0 && n.fract() == 0.0 && *n <= MAX_ORDER as f64 => {
+            *n as usize
+        }
+        Some(Value::Num(n)) => {
+            return Err(format!(
+                "\"order\" must be an integer in 0..={MAX_ORDER}, got {n}"
+            ))
+        }
+        Some(_) => return Err("\"order\" must be a number".to_string()),
+    };
+
+    Ok(Request {
+        id,
+        model,
+        times,
+        order,
+    })
+}
+
+/// Renders a success response line (no trailing newline).
+///
+/// `solutions` must be in the same order as the request's `times`, and
+/// each is truncated to the request's `order` — the group may have been
+/// executed at a higher order on behalf of another request.
+pub fn render_ok(
+    id: &Value,
+    plan_hit: bool,
+    coalesced: usize,
+    order: usize,
+    solutions: &[&MomentSolution],
+) -> String {
+    let mut out = String::new();
+    out.push_str("{\"id\":");
+    json::write_value(&mut out, id);
+    out.push_str(",\"ok\":true,\"plan\":");
+    out.push_str(if plan_hit { "\"hit\"" } else { "\"miss\"" });
+    out.push_str(",\"coalesced\":");
+    out.push_str(&coalesced.to_string());
+    out.push_str(",\"results\":[");
+    for (i, sol) in solutions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"t\":");
+        json::write_f64(&mut out, sol.t);
+        out.push_str(",\"moments\":[");
+        for (j, &m) in sol.weighted.iter().take(order + 1).enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json::write_f64(&mut out, m);
+        }
+        out.push_str("],\"error_bounds\":[");
+        for (j, &b) in sol.error_bounds.iter().take(order + 1).enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            json::write_f64(&mut out, b);
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders an error response line (no trailing newline).
+pub fn render_err(id: &Value, error: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\"id\":");
+    json::write_value(&mut out, id);
+    out.push_str(",\"ok\":false,\"error\":");
+    json::write_string(&mut out, error);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_request() {
+        let r = parse_request(
+            r#"{"id": "q1", "model": "states 1\nreward 0 1.0 0.5\n", "t": [0.5, 0.1], "order": 3}"#,
+        )
+        .unwrap();
+        assert_eq!(r.id, Value::Str("q1".to_string()));
+        assert_eq!(r.model, ModelSpec::Inline("states 1\nreward 0 1.0 0.5\n".to_string()));
+        assert_eq!(r.times, vec![0.5, 0.1]);
+        assert_eq!(r.order, 3);
+    }
+
+    #[test]
+    fn scalar_t_and_defaults() {
+        let r = parse_request(r#"{"model_file": "models/x.somrm", "t": 0.25}"#).unwrap();
+        assert_eq!(r.id, Value::Null);
+        assert_eq!(r.model, ModelSpec::File("models/x.somrm".to_string()));
+        assert_eq!(r.times, vec![0.25]);
+        assert_eq!(r.order, 2, "order defaults to 2");
+    }
+
+    #[test]
+    fn rejects_malformed_requests_with_messages() {
+        for (line, needle) in [
+            ("not json", "invalid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"t": 1}"#, "needs \"model\""),
+            (r#"{"model": "x", "model_file": "y", "t": 1}"#, "not both"),
+            (r#"{"model": "x"}"#, "needs \"t\""),
+            (r#"{"model": "x", "t": []}"#, "must not be empty"),
+            (r#"{"model": "x", "t": -1}"#, "non-negative"),
+            (r#"{"model": "x", "t": "soon"}"#, "number"),
+            (r#"{"model": "x", "t": 1, "order": 2.5}"#, "integer"),
+            (r#"{"model": "x", "t": 1, "order": 99}"#, "integer"),
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn responses_are_valid_json() {
+        let err = render_err(&Value::Num(7.0), "bad \"thing\"\nline two");
+        let v = somrm_obs::json::parse(&err).unwrap();
+        assert_eq!(v.get("id").unwrap().as_f64(), Some(7.0));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+        assert!(v.get("error").unwrap().as_str().unwrap().contains("line two"));
+    }
+}

@@ -1,0 +1,479 @@
+//! The batch loop: read request lines, coalesce per plan, execute,
+//! answer.
+//!
+//! [`serve`] drains its input through a reader thread into a channel and
+//! processes whatever has accumulated since the last batch in one go —
+//! under load, concurrent requests for the same model land in the same
+//! batch and are coalesced by [`serve_batch`]: the group shares one
+//! cached plan and ONE fused multi-order sweep over the merged time
+//! grid (the `U`-recursion does not depend on `t`, so a single pass to
+//! the largest requested time serves every request of the group). That
+//! coalescing — not the cached setup, which is a few percent of a solve
+//! — is where the serving throughput comes from.
+//!
+//! Error containment: a malformed line, an unresolvable model, or a
+//! solver error produces a structured error response on that request's
+//! line slot; the server never exits on bad input.
+
+use crate::cache::{qt_bucket, CacheStats, PlanCache, PlanKey};
+use crate::proto::{parse_request, render_err, render_ok, ModelSpec, Request};
+use somrm_core::uniformization::SolverConfig;
+use somrm_core::{model_digest, SecondOrderMrm, SolvePlan};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::mpsc;
+
+/// How the server resolves a request's [`ModelSpec`] to a model. The
+/// CLI supplies its model-file parser here; tests supply closures.
+pub type ModelResolver<'a> = dyn Fn(&ModelSpec) -> Result<SecondOrderMrm, String> + 'a;
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Solver configuration every plan is built with (including the
+    /// telemetry recorder the cache counters go to).
+    pub solver: SolverConfig,
+    /// Plan-cache capacity (entries; clamped to at least 1).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            solver: SolverConfig::default(),
+            cache_capacity: 8,
+        }
+    }
+}
+
+/// What one [`serve`] run did, for the exit summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Request lines received (blank lines excluded).
+    pub requests: u64,
+    /// Success responses written.
+    pub ok: u64,
+    /// Error responses written.
+    pub errors: u64,
+    /// Batches processed.
+    pub batches: u64,
+    /// Plan-cache counters.
+    pub cache: CacheStats,
+}
+
+/// Responses and counts of one processed batch.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutcome {
+    /// One response line per non-blank request line, in request order.
+    pub responses: Vec<String>,
+    /// Success responses among them.
+    pub ok: u64,
+    /// Error responses among them.
+    pub errors: u64,
+}
+
+struct Parsed {
+    /// Index into the batch's response slots.
+    slot: usize,
+    req: Request,
+    model: SecondOrderMrm,
+    digest: u64,
+    bucket: i32,
+}
+
+/// Processes one batch of request lines: parse, group by
+/// `(model digest, qt-bucket)`, one plan lookup per request (so cache
+/// counters reflect demand), ONE `execute` per group at the group's
+/// maximum order over the merged time grid, then per-request responses
+/// in request order.
+///
+/// Lower-order requests of a coalesced group are answered from the
+/// higher-order sweep; their moments 0..=order are bit-identical across
+/// repeats of the same group shape, and their reported error bounds are
+/// the (tighter) bounds of the executed truncation.
+pub fn serve_batch(
+    lines: &[String],
+    resolver: &ModelResolver,
+    cache: &mut PlanCache,
+    solver: &SolverConfig,
+) -> BatchOutcome {
+    let mut responses: Vec<Option<String>> = vec![None; lines.len()];
+    let mut parsed: Vec<Parsed> = Vec::new();
+
+    for (slot, line) in lines.iter().enumerate() {
+        match parse_request(line) {
+            Err(e) => {
+                // The id may still be recoverable from valid JSON.
+                let id = somrm_obs::json::parse(line)
+                    .ok()
+                    .and_then(|v| v.get("id").cloned())
+                    .unwrap_or(somrm_obs::json::Value::Null);
+                responses[slot] = Some(render_err(&id, &e));
+            }
+            Ok(req) => match resolver(&req.model) {
+                Err(e) => {
+                    responses[slot] = Some(render_err(&req.id, &format!("model: {e}")));
+                }
+                Ok(model) => {
+                    let digest = model_digest(&model);
+                    let q = model.generator().uniformization_rate();
+                    let t_max = req.times.iter().copied().fold(0.0, f64::max);
+                    parsed.push(Parsed {
+                        slot,
+                        req,
+                        model,
+                        digest,
+                        bucket: qt_bucket(q * t_max),
+                    });
+                }
+            },
+        }
+    }
+
+    // Group members by (digest, qt-bucket), preserving first-seen order.
+    let mut groups: Vec<((u64, i32), Vec<usize>)> = Vec::new();
+    for (i, p) in parsed.iter().enumerate() {
+        let gk = (p.digest, p.bucket);
+        match groups.iter_mut().find(|(k, _)| *k == gk) {
+            Some((_, members)) => members.push(i),
+            None => groups.push((gk, vec![i])),
+        }
+    }
+
+    for ((digest, bucket), members) in &groups {
+        let group_order = members.iter().map(|&i| parsed[i].req.order).max().unwrap_or(0);
+        let key = PlanKey {
+            digest: *digest,
+            qt_bucket: *bucket,
+            max_order: group_order,
+        };
+        let build_model = &parsed[members[0]].model;
+
+        // One lookup per request: the cache counters measure demand, not
+        // batch shapes, and the first lookup builds for the whole group.
+        let mut plan = None;
+        let mut hits: Vec<bool> = Vec::with_capacity(members.len());
+        for _ in members {
+            match cache.get_or_build(key, || {
+                SolvePlan::build(build_model, group_order, solver)
+            }) {
+                Ok((p, hit)) => {
+                    hits.push(hit);
+                    plan = Some(p);
+                }
+                Err(e) => hits.push({
+                    // Build failures answer per request below.
+                    let _ = e;
+                    false
+                }),
+            }
+        }
+        let Some(plan) = plan else {
+            // Every lookup failed to build (bad solver config for this
+            // model); re-derive the error once for the messages.
+            let msg = SolvePlan::build(build_model, group_order, solver)
+                .err()
+                .map_or_else(|| "plan build failed".to_string(), |e| e.to_string());
+            for &i in members {
+                responses[parsed[i].slot] = Some(render_err(&parsed[i].req.id, &msg));
+            }
+            continue;
+        };
+
+        let mut merged: Vec<f64> = members
+            .iter()
+            .flat_map(|&i| parsed[i].req.times.iter().copied())
+            .collect();
+        merged.sort_by(f64::total_cmp);
+        merged.dedup();
+
+        match plan.execute(&merged, group_order) {
+            Err(e) => {
+                let msg = e.to_string();
+                for &i in members {
+                    responses[parsed[i].slot] = Some(render_err(&parsed[i].req.id, &msg));
+                }
+            }
+            Ok(solutions) => {
+                for (&i, &hit) in members.iter().zip(&hits) {
+                    let p = &parsed[i];
+                    let sols: Vec<&somrm_core::MomentSolution> = p
+                        .req
+                        .times
+                        .iter()
+                        .map(|t| {
+                            let idx = merged
+                                .binary_search_by(|x| x.total_cmp(t))
+                                .expect("every requested time is in the merged grid");
+                            &solutions[idx]
+                        })
+                        .collect();
+                    responses[p.slot] =
+                        Some(render_ok(&p.req.id, hit, members.len(), p.req.order, &sols));
+                }
+            }
+        }
+    }
+
+    let mut outcome = BatchOutcome::default();
+    for r in responses {
+        let r = r.expect("every slot answered");
+        if r.contains("\"ok\":true") {
+            outcome.ok += 1;
+        } else {
+            outcome.errors += 1;
+        }
+        outcome.responses.push(r);
+    }
+    outcome
+}
+
+/// Runs the serve loop until `input` reaches end-of-file: one JSON
+/// request per line in, one JSON response per line out (see
+/// [`crate::proto`]), batching whatever has queued between writes so
+/// concurrent requests coalesce.
+///
+/// # Errors
+///
+/// Only I/O errors on `out` end the loop early; bad request lines are
+/// answered, never fatal.
+pub fn serve<R, W>(
+    input: R,
+    out: &mut W,
+    resolver: &ModelResolver,
+    options: &ServeOptions,
+) -> std::io::Result<ServeSummary>
+where
+    R: Read + Send + 'static,
+    W: Write,
+{
+    let (tx, rx) = mpsc::channel::<String>();
+    let reader = std::thread::Builder::new()
+        .name("somrm-serve-reader".to_string())
+        .spawn(move || {
+            for line in BufReader::new(input).lines() {
+                match line {
+                    Ok(l) => {
+                        if tx.send(l).is_err() {
+                            break;
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        })
+        .expect("spawn serve reader thread");
+
+    let rec = options.solver.recorder.clone();
+    let mut cache = PlanCache::new(options.cache_capacity, rec.clone());
+    let mut summary = ServeSummary::default();
+    // Block for the first line, then drain whatever else has queued —
+    // concurrent senders coalesce into one batch. Exits when input
+    // closes and the channel drains.
+    while let Ok(first) = rx.recv() {
+        let mut batch = vec![first];
+        while let Ok(l) = rx.try_recv() {
+            batch.push(l);
+        }
+        let lines: Vec<String> = batch
+            .into_iter()
+            .filter(|l| !l.trim().is_empty())
+            .collect();
+        if lines.is_empty() {
+            continue;
+        }
+        summary.requests += lines.len() as u64;
+        rec.counter_add("serve.requests", lines.len() as u64);
+        let outcome = serve_batch(&lines, resolver, &mut cache, &options.solver);
+        for r in &outcome.responses {
+            writeln!(out, "{r}")?;
+        }
+        out.flush()?;
+        summary.ok += outcome.ok;
+        summary.errors += outcome.errors;
+        summary.batches += 1;
+        rec.counter_add("serve.responses.ok", outcome.ok);
+        rec.counter_add("serve.responses.err", outcome.errors);
+        rec.counter_add("serve.batches", 1);
+    }
+    reader.join().ok();
+    summary.cache = cache.stats();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use somrm_core::uniformization::moments_sweep;
+    use somrm_obs::json::{parse, Value};
+    use somrm_ctmc::generator::GeneratorBuilder;
+    use std::io::Cursor;
+
+    const MODEL_A: &str = "model-a";
+    const MODEL_B: &str = "model-b";
+
+    fn build(which: &str) -> SecondOrderMrm {
+        let (hi, drift) = match which {
+            MODEL_A => (2.0, 3.0),
+            MODEL_B => (5.0, 1.0),
+            other => panic!("unknown test model {other}"),
+        };
+        let mut b = GeneratorBuilder::new(2);
+        b.rate(0, 1, 1.0).unwrap();
+        b.rate(1, 0, hi).unwrap();
+        SecondOrderMrm::new(
+            b.build().unwrap(),
+            vec![0.0, drift],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+        )
+        .unwrap()
+    }
+
+    fn resolver(spec: &ModelSpec) -> Result<SecondOrderMrm, String> {
+        match spec {
+            ModelSpec::Inline(text) => Ok(build(text)),
+            ModelSpec::File(path) => Err(format!("no files in tests: {path}")),
+        }
+    }
+
+    fn moments_of(response: &Value) -> Vec<f64> {
+        response.get("results").unwrap().as_array().unwrap()[0]
+            .get("moments")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_with_malformed_input_never_exits() {
+        let input = format!(
+            "{}\n{}\n{}\n{}\n",
+            r#"{"id": 1, "model": "model-a", "t": [0.5], "order": 2}"#,
+            "this is not json",
+            r#"{"id": 3, "model": "model-a", "t": -2}"#,
+            r#"{"id": 4, "model_file": "/nope", "t": 1}"#,
+        );
+        let mut out = Vec::new();
+        let summary = serve(
+            Cursor::new(input),
+            &mut out,
+            &resolver,
+            &ServeOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(summary.requests, 4);
+        assert_eq!(summary.ok, 1);
+        assert_eq!(summary.errors, 3);
+
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "one response per request line");
+        for l in &lines {
+            parse(l).unwrap_or_else(|e| panic!("response not JSON: {e}: {l}"));
+        }
+        // The good request matches a cold solve bit-for-bit (shortest
+        // round-trip float formatting preserves every bit).
+        let good = lines
+            .iter()
+            .map(|l| parse(l).unwrap())
+            .find(|v| v.get("ok") == Some(&Value::Bool(true)))
+            .expect("one success");
+        let cold = moments_sweep(&build(MODEL_A), 2, &[0.5], &SolverConfig::default()).unwrap();
+        assert_eq!(moments_of(&good), cold[0].weighted);
+        // Errors carry their ids and a message.
+        let errs: Vec<Value> = lines
+            .iter()
+            .map(|l| parse(l).unwrap())
+            .filter(|v| v.get("ok") == Some(&Value::Bool(false)))
+            .collect();
+        assert_eq!(errs.len(), 3);
+        assert!(errs.iter().any(|v| v.get("id").unwrap().as_f64() == Some(3.0)));
+        assert!(errs.iter().all(|v| v.get("error").unwrap().as_str().is_some()));
+    }
+
+    #[test]
+    fn batch_coalesces_same_model_requests_into_one_sweep() {
+        // model-a has q = 2, so t ∈ {0.6, 0.9} puts both requests in
+        // qt-bucket 0 — the same group.
+        let lines: Vec<String> = vec![
+            r#"{"id": "a", "model": "model-a", "t": [0.6], "order": 2}"#.to_string(),
+            r#"{"id": "b", "model": "model-a", "t": [0.9, 0.6]}"#.to_string(),
+            r#"{"id": "c", "model": "model-b", "t": [0.5]}"#.to_string(),
+        ];
+        let mut cache = PlanCache::new(4, somrm_obs::RecorderHandle::disabled());
+        let solver = SolverConfig::default();
+        let outcome = serve_batch(&lines, &resolver, &mut cache, &solver);
+        assert_eq!(outcome.ok, 3);
+        assert_eq!(outcome.errors, 0);
+
+        let a = parse(&outcome.responses[0]).unwrap();
+        let b = parse(&outcome.responses[1]).unwrap();
+        let c = parse(&outcome.responses[2]).unwrap();
+        // a and b share the model-a plan: coalesced group of 2, one miss
+        // plus one hit. c is its own group.
+        assert_eq!(a.get("coalesced").unwrap().as_f64(), Some(2.0));
+        assert_eq!(b.get("coalesced").unwrap().as_f64(), Some(2.0));
+        assert_eq!(c.get("coalesced").unwrap().as_f64(), Some(1.0));
+        assert_eq!(a.get("plan").unwrap().as_str(), Some("miss"));
+        assert_eq!(b.get("plan").unwrap().as_str(), Some("hit"));
+        assert_eq!(cache.stats().misses, 2);
+        assert_eq!(cache.stats().hits, 1);
+
+        // Results arrive in request order, sliced from the merged grid.
+        let b_results = b.get("results").unwrap().as_array().unwrap();
+        assert_eq!(b_results[0].get("t").unwrap().as_f64(), Some(0.9));
+        assert_eq!(b_results[1].get("t").unwrap().as_f64(), Some(0.6));
+
+        // A second batch with the same shape is all hits.
+        let outcome2 = serve_batch(&lines, &resolver, &mut cache, &solver);
+        for r in &outcome2.responses {
+            assert_eq!(parse(r).unwrap().get("plan").unwrap().as_str(), Some("hit"));
+        }
+        assert_eq!(cache.stats().hits, 4);
+        // And byte-identical responses (modulo the miss→hit flip):
+        // same plan, same sweep.
+        let normalized: Vec<String> = outcome
+            .responses
+            .iter()
+            .map(|r| r.replace("\"plan\":\"miss\"", "\"plan\":\"hit\""))
+            .collect();
+        assert_eq!(normalized, outcome2.responses);
+    }
+
+    #[test]
+    fn coalesced_lower_order_request_gets_its_order_sliced() {
+        let lines: Vec<String> = vec![
+            r#"{"id": 1, "model": "model-a", "t": 0.4, "order": 1}"#.to_string(),
+            r#"{"id": 2, "model": "model-a", "t": 0.4, "order": 3}"#.to_string(),
+        ];
+        let mut cache = PlanCache::new(4, somrm_obs::RecorderHandle::disabled());
+        let outcome = serve_batch(&lines, &resolver, &mut cache, &SolverConfig::default());
+        let r1 = parse(&outcome.responses[0]).unwrap();
+        let r2 = parse(&outcome.responses[1]).unwrap();
+        assert_eq!(moments_of(&r1).len(), 2, "order 1 → moments 0..=1");
+        assert_eq!(moments_of(&r2).len(), 4, "order 3 → moments 0..=3");
+        // The shared prefix agrees exactly (one sweep produced both).
+        assert_eq!(moments_of(&r1), moments_of(&r2)[..2].to_vec());
+    }
+
+    #[test]
+    fn solver_errors_answer_instead_of_killing_the_batch() {
+        // Iteration cap exceeded for one group; the other still answers.
+        let lines: Vec<String> = vec![
+            r#"{"id": 1, "model": "model-a", "t": 1e9}"#.to_string(),
+            r#"{"id": 2, "model": "model-b", "t": 0.5}"#.to_string(),
+        ];
+        let mut cache = PlanCache::new(4, somrm_obs::RecorderHandle::disabled());
+        let outcome = serve_batch(&lines, &resolver, &mut cache, &SolverConfig::default());
+        assert_eq!(outcome.ok, 1);
+        assert_eq!(outcome.errors, 1);
+        let r1 = parse(&outcome.responses[0]).unwrap();
+        assert_eq!(r1.get("ok"), Some(&Value::Bool(false)));
+        assert!(r1.get("error").unwrap().as_str().unwrap().contains("truncation"));
+        let r2 = parse(&outcome.responses[1]).unwrap();
+        assert_eq!(r2.get("ok"), Some(&Value::Bool(true)));
+    }
+}

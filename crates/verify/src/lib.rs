@@ -98,6 +98,8 @@ pub struct VerifySummary {
     /// See [`VerifySummary::dia_checked`].
     pub pool_checked: u64,
     /// See [`VerifySummary::dia_checked`].
+    pub plan_checked: u64,
+    /// See [`VerifySummary::dia_checked`].
     pub first_order_checked: u64,
     /// See [`VerifySummary::dia_checked`].
     pub ode_checked: u64,
@@ -122,9 +124,10 @@ impl VerifySummary {
         }
         let _ = writeln!(
             out,
-            "checks: dia {} | pool {} | first-order {} | ode {} | sim {}",
+            "checks: dia {} | pool {} | plan {} | first-order {} | ode {} | sim {}",
             self.dia_checked,
             self.pool_checked,
+            self.plan_checked,
             self.first_order_checked,
             self.ode_checked,
             self.sim_checked
@@ -177,6 +180,7 @@ pub fn run_verification(opts: &VerifyOpts) -> VerifySummary {
             Ok(stats) => {
                 summary.dia_checked += u64::from(stats.dia_checked);
                 summary.pool_checked += u64::from(stats.pool_checked);
+                summary.plan_checked += u64::from(stats.plan_checked);
                 summary.first_order_checked += u64::from(stats.first_order_checked);
                 summary.ode_checked += u64::from(stats.ode_checked);
                 summary.sim_checked += u64::from(stats.sim_checked);
@@ -234,6 +238,7 @@ mod tests {
         assert!(summary.family_counts.iter().all(|&(_, c)| c == 2));
         assert_eq!(summary.dia_checked, 16);
         assert_eq!(summary.pool_checked, 16);
+        assert_eq!(summary.plan_checked, 16);
         assert!(summary.first_order_checked >= 2, "first-order family ran");
         assert!(summary.render().contains("PASS"));
     }

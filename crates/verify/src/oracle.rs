@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use somrm_core::error::MrmError;
 use somrm_core::first_order::moments_first_order;
 use somrm_core::uniformization::{moments, SolverConfig};
+use somrm_core::SolvePlan;
 use somrm_linalg::MatrixFormat;
 use somrm_obs::json::{self};
 use somrm_obs::RecorderHandle;
@@ -88,6 +89,8 @@ pub struct CaseStats {
     pub dia_checked: bool,
     /// Pooled randomization compared bitwise.
     pub pool_checked: bool,
+    /// Cached-plan execute (cold and warm) compared bitwise.
+    pub plan_checked: bool,
     /// First-order closed form compared (only σ² ≡ 0 models).
     pub first_order_checked: bool,
     /// ODE reference compared with a Richardson tolerance.
@@ -299,6 +302,22 @@ fn check_case_inner(
     stats.pool_checked = true;
     rec.counter_add("verify.checks.pool", 1);
 
+    // --- Plan oracle: a prebuilt plan's execute must be bit-identical
+    // to the cold solve, and stay so on warm re-execution. ---
+    let plan = rec
+        .time("verify.solve.plan", || {
+            SolvePlan::build(&model, case.order, &base)
+        })
+        .map_err(|e| solve_error("rnd-plan", &e))?;
+    for check in ["rnd-plan", "rnd-plan-warm"] {
+        let executed = plan
+            .execute(&[case.t], case.order)
+            .map_err(|e| solve_error(check, &e))?;
+        compare_bitwise(check, &reference.weighted, &executed[0].weighted)?;
+    }
+    stats.plan_checked = true;
+    rec.counter_add("verify.checks.plan", 1);
+
     // --- First-order closed path (σ² ≡ 0 models only). ---
     if model.is_first_order() {
         let fo = rec
@@ -414,6 +433,7 @@ mod tests {
             .unwrap_or_else(|v| panic!("unexpected violation: {v}"));
         assert!(stats.dia_checked);
         assert!(stats.pool_checked);
+        assert!(stats.plan_checked);
         assert!(stats.ode_checked);
         assert!(stats.sim_checked);
         assert!(!stats.first_order_checked, "model has positive variances");
@@ -434,7 +454,7 @@ mod tests {
         case.t = 0.0;
         let stats =
             check_case(&case, &OracleConfig::default(), &mut case_rng(1, 3)).unwrap();
-        assert!(stats.dia_checked && stats.pool_checked);
+        assert!(stats.dia_checked && stats.pool_checked && stats.plan_checked);
     }
 
     #[test]
@@ -482,6 +502,7 @@ mod tests {
         assert_eq!(snap.counter("verify.passed"), Some(1));
         assert_eq!(snap.counter("verify.checks.dia"), Some(1));
         assert_eq!(snap.counter("verify.checks.pool"), Some(1));
+        assert_eq!(snap.counter("verify.checks.plan"), Some(1));
         assert_eq!(snap.counter("verify.checks.sim"), Some(1));
         assert_eq!(snap.counter("verify.violations"), None);
         assert!(

@@ -24,6 +24,7 @@
 //! | [`ode`], [`pde`], [`transform`] | the paper's baselines / small-model oracles |
 //! | [`models`] | ON-OFF multiplexer (the paper's example), performability, queueing |
 //! | [`linalg`], [`num`] | the numeric substrates |
+//! | [`serve`] | plan-cached batch serving (LRU `SolvePlan` cache, JSON-lines protocol) |
 //! | [`verify`] | differential oracle harness cross-checking every backend |
 //!
 //! ## Quick start
@@ -54,6 +55,7 @@ pub use somrm_num as num;
 pub use somrm_obs as obs;
 pub use somrm_ode as ode;
 pub use somrm_pde as pde;
+pub use somrm_serve as serve;
 pub use somrm_sim as sim;
 pub use somrm_transform as transform;
 pub use somrm_verify as verify;
@@ -73,6 +75,7 @@ pub mod solver {
     pub use somrm_core::first_order::moments_first_order;
     pub use somrm_core::impulse::{moments_with_impulse, ImpulseMrm};
     pub use somrm_core::terminal::moments_terminal_weighted;
+    pub use somrm_core::plan::{model_digest, SolvePlan};
     pub use somrm_core::uniformization::{
         moments, moments_sweep, MomentSolution, SolverConfig, SolverStats,
     };
