@@ -573,41 +573,234 @@ pub fn resolve_model_spec(spec: &somrm_serve::ModelSpec) -> Result<somrm_core::m
     Ok(parsed.model)
 }
 
+/// How `serve --stats-out` serializes the end-of-run [`ServeStats`]
+/// snapshot.
+///
+/// [`ServeStats`]: somrm_obs::ServeStats
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StatsFormat {
+    /// The sideband `{"cmd":"stats"}` JSON object (plus a newline).
+    #[default]
+    Json,
+    /// Prometheus text exposition format (counters, latency
+    /// histograms in seconds) via [`somrm_obs::write_prometheus`].
+    Prom,
+}
+
+impl std::str::FromStr for StatsFormat {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "json" => Ok(StatsFormat::Json),
+            "prom" | "prometheus" => Ok(StatsFormat::Prom),
+            other => Err(format!("unknown stats format '{other}' (expected json or prom)")),
+        }
+    }
+}
+
+/// The `somrm-tool serve` telemetry flags.
+#[derive(Debug, Clone, Default)]
+pub struct ServeTelemetryOpts {
+    /// `--stats-out PATH`: write the final stats snapshot here on exit
+    /// (`-` is rejected — stdout belongs to the response protocol).
+    pub stats_out: Option<String>,
+    /// `--stats-format json|prom`.
+    pub stats_format: StatsFormat,
+    /// `--slow-trace-dir DIR`: capture per-request Chrome traces here.
+    pub slow_trace_dir: Option<String>,
+    /// `--slow-ms T`: capture threshold in milliseconds (`0` captures
+    /// every request).
+    pub slow_ms: u64,
+}
+
 /// `somrm serve`: long-running JSON-lines service on stdin/stdout (see
 /// `somrm-serve` for the protocol). Responses go straight to stdout as
 /// they are produced; the returned string is the exit summary, which
 /// [`main`](crate) prints — callers route it to stderr-adjacent use.
 ///
-/// With `--metrics DEST`, cache and solver counters accumulated over
-/// the whole run are emitted as a `"serve"` [`SolveReport`].
+/// With `--metrics PATH`, cache and solver counters accumulated over
+/// the whole run are emitted as a `"serve"` [`SolveReport`]; with
+/// `--stats-out PATH`, the request-level [`somrm_obs::ServeStats`]
+/// snapshot is written on exit in `--stats-format` (JSON or Prometheus
+/// text). Both reject `-`: stdout carries the response protocol, and a
+/// report interleaved into it would corrupt the stream a client is
+/// parsing — the live alternative is the in-band `{"cmd":"stats"}`
+/// sideband.
 ///
 /// # Errors
 ///
-/// Only I/O failures on stdout (or the metrics destination) — bad
+/// Only I/O failures on stdout (or the report destinations) — bad
 /// requests are answered in-protocol, never fatal.
-pub fn cmd_serve(cache_size: usize, opts: &CommonOpts) -> Result<String, String> {
+pub fn cmd_serve(
+    cache_size: usize,
+    tel_opts: &ServeTelemetryOpts,
+    opts: &CommonOpts,
+) -> Result<String, String> {
+    if opts.metrics.as_deref() == Some("-") {
+        return Err("serve: --metrics - would interleave the report with the response \
+                    protocol on stdout; write it to a file (--metrics report.json) or \
+                    query the live sideband ({\"cmd\":\"stats\"}) instead"
+            .to_string());
+    }
+    if tel_opts.stats_out.as_deref() == Some("-") {
+        return Err("serve: --stats-out - would interleave the snapshot with the response \
+                    protocol on stdout; use a file path or the sideband {\"cmd\":\"stats\"}"
+            .to_string());
+    }
+    let slow_trace = match &tel_opts.slow_trace_dir {
+        None => None,
+        Some(dir) => {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("serve: cannot create --slow-trace-dir {dir}: {e}"))?;
+            Some(somrm_serve::SlowTraceOptions {
+                dir: std::path::PathBuf::from(dir),
+                slow_ms: tel_opts.slow_ms,
+            })
+        }
+    };
     let tel = opts.telemetry();
     let rec = tel.rec().clone();
     let options = somrm_serve::ServeOptions {
         solver: opts.solver_config(&rec),
         cache_capacity: cache_size,
+        slow_trace,
+        ..somrm_serve::ServeOptions::default()
     };
     let mut stdout = std::io::stdout().lock();
     let summary = somrm_serve::serve(std::io::stdin(), &mut stdout, &resolve_model_spec, &options)
         .map_err(|e| format!("serve: stdout write failed: {e}"))?;
+    drop(stdout);
     // The summary goes to stderr: stdout is the response stream, and a
     // consumer piping it must see protocol lines only.
     eprintln!(
-        "serve: {} requests in {} batches — {} ok, {} errors; plan cache {} hits / {} misses / {} evictions",
+        "serve: {} requests in {} batches — {} ok, {} errors, {} cmds; plan cache {} hits / {} misses / {} evictions",
         summary.requests,
         summary.batches,
         summary.ok,
         summary.errors,
+        summary.cmds,
         summary.cache.hits,
         summary.cache.misses,
         summary.cache.evictions,
     );
+    if let Some(path) = &tel_opts.stats_out {
+        let snap = options.stats.snapshot();
+        let text = match tel_opts.stats_format {
+            StatsFormat::Json => format!("{}\n", snap.to_json()),
+            StatsFormat::Prom => somrm_obs::write_prometheus(&snap.to_metrics_snapshot()),
+        };
+        std::fs::write(path, text).map_err(|e| format!("cannot write {path}: {e}"))?;
+    }
     emit(opts, &tel, "serve", None, String::new())
+}
+
+fn fmt_ns_human(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+fn render_stats_human(stats: &somrm_obs::json::Value) -> Option<String> {
+    use somrm_obs::json::Value;
+    let num = |v: &Value, key: &str| v.get(key).and_then(Value::as_f64);
+    let requests = num(stats, "requests")?;
+    let ok = num(stats, "ok")?;
+    let batches = num(stats, "batches")?;
+    let mut out = String::new();
+    let _ = writeln!(out, "requests   : {requests:.0} ({ok:.0} ok) in {batches:.0} batches");
+    if let Some(Value::Obj(kinds)) = stats.get("errors") {
+        if kinds.is_empty() {
+            let _ = writeln!(out, "errors     : none");
+        } else {
+            let parts: Vec<String> = kinds
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|n| format!("{k} {n:.0}")))
+                .collect();
+            let _ = writeln!(out, "errors     : {}", parts.join(", "));
+        }
+    }
+    if let Some(cache) = stats.get("cache") {
+        let rate = match cache.get("hit_rate").and_then(Value::as_f64) {
+            Some(r) => format!("{:.1}% hit rate", r * 100.0),
+            None => "no lookups".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "plan cache : {:.0} hits / {:.0} misses / {:.0} evictions ({rate})",
+            num(cache, "hits").unwrap_or(0.0),
+            num(cache, "misses").unwrap_or(0.0),
+            num(cache, "evictions").unwrap_or(0.0),
+        );
+    }
+    let latency = stats.get("latency")?;
+    let _ = writeln!(
+        out,
+        "latency    : {:>8} {:>10} {:>10} {:>10} {:>10}",
+        "count", "mean", "p50", "p99", "max"
+    );
+    for phase in ["total", "queue", "plan", "execute", "slice"] {
+        let Some(t) = latency.get(phase) else { continue };
+        let count = num(t, "count").unwrap_or(0.0);
+        // Empty windows carry no percentile keys (a 0 would read as
+        // "instant", not "no data"); render the absence.
+        let cell = |key: &str| num(t, key).map_or_else(|| "-".to_string(), fmt_ns_human);
+        let max = if count > 0.0 { cell("max_ns") } else { "-".to_string() };
+        let _ = writeln!(
+            out,
+            "  {phase:<9}: {count:>8.0} {:>10} {:>10} {:>10} {max:>10}",
+            cell("mean_ns"),
+            cell("p50_ns"),
+            cell("p99_ns"),
+        );
+    }
+    if let Some(Value::Obj(models)) = stats.get("models") {
+        if !models.is_empty() {
+            let _ = writeln!(out, "models     :");
+            for (digest, m) in models {
+                let p99 = m
+                    .get("latency")
+                    .and_then(|l| l.get("p99_ns"))
+                    .and_then(Value::as_f64)
+                    .map_or_else(|| "-".to_string(), fmt_ns_human);
+                let _ = writeln!(
+                    out,
+                    "  {digest}  {:>6.0} requests ({:.0} ok, {:.0} errors)  p99 {p99}",
+                    num(m, "requests").unwrap_or(0.0),
+                    num(m, "ok").unwrap_or(0.0),
+                    num(m, "errors").unwrap_or(0.0),
+                );
+            }
+        }
+    }
+    Some(out)
+}
+
+/// `somrm stats <file>`: pretty-prints a serve statistics snapshot —
+/// either the file written by `serve --stats-out` (JSON format) or a
+/// captured sideband `{"cmd":"stats"}` response line (the `stats`
+/// member is unwrapped automatically).
+///
+/// # Errors
+///
+/// Unreadable files, non-JSON content, and JSON without the stats keys
+/// all produce readable messages.
+pub fn cmd_stats(path: &str) -> Result<String, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let v = somrm_obs::json::parse(text.trim())
+        .map_err(|e| format!("{path}: not a stats JSON document: {e}"))?;
+    let stats = v.get("stats").unwrap_or(&v);
+    render_stats_human(stats).ok_or_else(|| {
+        format!(
+            "{path}: missing stats keys (expected a serve --stats-out snapshot \
+             or a captured {{\"cmd\":\"stats\"}} response)"
+        )
+    })
 }
 
 #[cfg(test)]
@@ -870,6 +1063,96 @@ mod tests {
             v.get("stages").unwrap().get("verify.case").is_some(),
             "per-case wall time recorded"
         );
+    }
+
+    #[test]
+    fn serve_rejects_stdout_metrics_with_a_hint() {
+        // Regression: `serve --metrics -` used to write the JSON report
+        // to stdout after the run — interleaved with the response
+        // protocol a client was parsing. It must be rejected up front
+        // (before stdin is touched), pointing at the alternatives.
+        let opts = CommonOpts {
+            metrics: Some("-".to_string()),
+            ..CommonOpts::default()
+        };
+        let err = cmd_serve(8, &ServeTelemetryOpts::default(), &opts).unwrap_err();
+        assert!(err.contains("--metrics -"), "{err}");
+        assert!(err.contains("stdout"), "{err}");
+        assert!(err.contains("cmd"), "hint at the sideband: {err}");
+
+        // Same guard for --stats-out.
+        let tel = ServeTelemetryOpts {
+            stats_out: Some("-".to_string()),
+            ..ServeTelemetryOpts::default()
+        };
+        let err = cmd_serve(8, &tel, &CommonOpts::default()).unwrap_err();
+        assert!(err.contains("--stats-out -"), "{err}");
+    }
+
+    #[test]
+    fn stats_format_parses_known_names_only() {
+        assert_eq!("json".parse::<StatsFormat>(), Ok(StatsFormat::Json));
+        assert_eq!("prom".parse::<StatsFormat>(), Ok(StatsFormat::Prom));
+        assert_eq!("prometheus".parse::<StatsFormat>(), Ok(StatsFormat::Prom));
+        assert!("yaml".parse::<StatsFormat>().is_err());
+    }
+
+    #[test]
+    fn stats_pretty_prints_snapshots_and_sideband_captures() {
+        use somrm_obs::{RequestLatency, ServeStats};
+        let stats = ServeStats::new();
+        for i in 0..5u64 {
+            stats.record_request(
+                Some(0xabc),
+                None,
+                &RequestLatency {
+                    queue_ns: 100,
+                    plan_ns: 200,
+                    execute_ns: 1_000 * (i + 1),
+                    slice_ns: 50,
+                    total_ns: 2_000_000 * (i + 1),
+                },
+            );
+        }
+        stats.record_request(None, Some("parse"), &RequestLatency::default());
+        stats.record_batch();
+        stats.record_cache_delta(3, 2, 1);
+        let snap = stats.snapshot();
+
+        // The raw --stats-out file form.
+        let path = std::env::temp_dir().join("somrm-cli-stats-test.json");
+        std::fs::write(&path, format!("{}\n", snap.to_json())).unwrap();
+        let out = cmd_stats(&path.display().to_string()).unwrap();
+        assert!(out.contains("requests   : 6 (5 ok)"), "{out}");
+        assert!(out.contains("parse 1"), "{out}");
+        assert!(out.contains("3 hits / 2 misses / 1 evictions"), "{out}");
+        assert!(out.contains("60.0% hit rate"), "{out}");
+        assert!(out.contains("total"), "{out}");
+        assert!(out.contains("ms"), "human units: {out}");
+        assert!(out.contains("0000000000000abc"), "per-model row: {out}");
+
+        // The captured sideband response form unwraps `stats`.
+        std::fs::write(
+            &path,
+            format!("{{\"id\":null,\"ok\":true,\"cmd\":\"stats\",\"stats\":{}}}\n", snap.to_json()),
+        )
+        .unwrap();
+        let wrapped = cmd_stats(&path.display().to_string()).unwrap();
+        assert_eq!(out, wrapped, "both forms render identically");
+
+        // An empty window renders dashes, not fake zero percentiles.
+        std::fs::write(&path, format!("{}\n", ServeStats::new().snapshot().to_json())).unwrap();
+        let empty = cmd_stats(&path.display().to_string()).unwrap();
+        assert!(empty.contains('-'), "{empty}");
+        assert!(empty.contains("no lookups"), "{empty}");
+
+        // Garbage errors readably.
+        std::fs::write(&path, "not json").unwrap();
+        assert!(cmd_stats(&path.display().to_string()).is_err());
+        std::fs::write(&path, "{\"unrelated\": true}").unwrap();
+        let err = cmd_stats(&path.display().to_string()).unwrap_err();
+        assert!(err.contains("missing stats keys"), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

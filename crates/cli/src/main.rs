@@ -11,12 +11,15 @@
 //! somrm-tool verify   [--cases N] [--seed S] [--out-dir DIR] [--metrics DEST]
 //! somrm-tool bench    [--quick] [--out PATH]
 //! somrm-tool bench    --compare OLD NEW [--threshold PCT] [--warn-only]
-//! somrm-tool serve    [--cache-size N] [--threads N] [--eps E] [--metrics DEST]
+//! somrm-tool serve    [--cache-size N] [--threads N] [--eps E] [--metrics PATH]
+//!                     [--stats-out PATH] [--stats-format json|prom]
+//!                     [--slow-trace-dir DIR] [--slow-ms T]
+//! somrm-tool stats    <snapshot-file>
 //! ```
 
 use somrm_cli::commands::{
-    cmd_bounds, cmd_check, cmd_density, cmd_moments, cmd_serve, cmd_simulate, cmd_sweep,
-    cmd_verify, CommonOpts,
+    cmd_bounds, cmd_check, cmd_density, cmd_moments, cmd_serve, cmd_simulate, cmd_stats,
+    cmd_sweep, cmd_verify, CommonOpts, ServeTelemetryOpts, StatsFormat,
 };
 use somrm_cli::format::parse_model;
 use somrm_linalg::MatrixFormat;
@@ -26,7 +29,10 @@ const USAGE: &str = "usage: somrm-tool <check|moments|bounds|simulate|density|sw
        somrm-tool verify [--cases N] [--seed S] [--out-dir DIR] [--metrics DEST]
        somrm-tool bench [--quick] [--out PATH]
        somrm-tool bench --compare OLD NEW [--threshold PCT] [--warn-only]
-       somrm-tool serve [--cache-size N] [--threads N] [--eps E] [--metrics DEST]
+       somrm-tool serve [--cache-size N] [--threads N] [--eps E] [--metrics PATH]
+                        [--stats-out PATH] [--stats-format json|prom]
+                        [--slow-trace-dir DIR] [--slow-ms T]
+       somrm-tool stats <snapshot-file>
 
 options:
   --t T           accumulation time (default 1.0)
@@ -64,8 +70,21 @@ bench options:
   --warn-only     report regressions without failing the comparison
 
 serve options (JSON-lines requests on stdin, responses on stdout,
-summary on stderr; see the somrm-serve crate docs for the protocol):
-  --cache-size N  plan-cache capacity in entries (default 8)
+summary on stderr; see the somrm-serve crate docs for the protocol;
+lines with a top-level \"cmd\" member are sideband admin commands:
+{\"cmd\":\"stats\"}, {\"cmd\":\"reset\"}, {\"cmd\":\"health\"}):
+  --cache-size N    plan-cache capacity in entries (default 8)
+  --metrics PATH    write the JSON solve report on exit ('-' rejected:
+                    stdout carries the response protocol)
+  --stats-out PATH  write the final request-stats snapshot on exit
+  --stats-format F  snapshot format: json|prom (default json)
+  --slow-trace-dir DIR  write per-request Chrome traces of slow
+                    requests into DIR (named req-<seq>.json)
+  --slow-ms T       slow threshold in milliseconds (default 250;
+                    0 captures every request)
+
+stats: pretty-print a snapshot file from serve --stats-out (or a
+captured {\"cmd\":\"stats\"} response line)
 
 model file format:
   states N
@@ -140,7 +159,24 @@ fn run() -> Result<String, String> {
             format: flag(&args, "--format", MatrixFormat::Auto)?,
             ..CommonOpts::default()
         };
-        return cmd_serve(flag(&args, "--cache-size", 8usize)?, &opts);
+        let tel_opts = ServeTelemetryOpts {
+            stats_out: opt_flag(&args, "--stats-out")?,
+            stats_format: flag(&args, "--stats-format", StatsFormat::Json)?,
+            slow_trace_dir: opt_flag(&args, "--slow-trace-dir")?,
+            slow_ms: flag(&args, "--slow-ms", 250u64)?,
+        };
+        return cmd_serve(flag(&args, "--cache-size", 8usize)?, &tel_opts, &opts);
+    }
+    // `stats` pretty-prints a snapshot file, no model involved.
+    if args.first().map(String::as_str) == Some("stats") {
+        let Some(file) = args.get(1).filter(|f| !f.starts_with("--")) else {
+            return Err(
+                "stats: need a snapshot file (from serve --stats-out, or a captured \
+                 {\"cmd\":\"stats\"} response line)"
+                    .to_string(),
+            );
+        };
+        return cmd_stats(file);
     }
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) if !f.starts_with("--") => (c.clone(), f.clone()),

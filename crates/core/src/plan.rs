@@ -267,6 +267,11 @@ impl SolvePlan {
         let model = &self.model;
         let config = &self.config;
         let rec = &config.recorder;
+        // The outer execute span covers every path (degenerate ones
+        // included): serve-side cost attribution needs the full
+        // per-query wall time, not just the recursion.
+        let _execute = rec.span("plan.execute");
+        rec.counter_add("plan.executes", 1);
         let n_states = model.n_states();
         let (q, d, shift) = (self.q, self.d, self.shift);
 
@@ -535,6 +540,10 @@ impl SolvePlan {
 
         let config = &self.config;
         let rec = &config.recorder;
+        // Mirrors `execute`'s outer span (the q = 0 / t = 0 paths above
+        // delegate to `execute` and are covered by its span).
+        let _execute = rec.span("plan.execute_terminal");
+        rec.counter_add("plan.executes", 1);
         // The terminal solver floors d at the smallest positive double
         // (it has no exact d = 0 path); the plan's normalized vectors
         // were computed with the same floor.
@@ -785,6 +794,25 @@ mod tests {
         let sol = plan.execute(&[1.0], 2).unwrap();
         let cold = moments(&frozen, 2, 1.0, &SolverConfig::default()).unwrap();
         assert_eq!(sol[0].weighted, cold.weighted);
+    }
+
+    #[test]
+    fn execute_records_plan_level_telemetry() {
+        use somrm_obs::{MetricsRegistry, RecorderHandle};
+        let m = chain(3);
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let config = SolverConfig {
+            recorder: RecorderHandle::new(reg.clone()),
+            ..SolverConfig::default()
+        };
+        let plan = SolvePlan::build(&m, 2, &config).unwrap();
+        plan.execute(&[0.5], 2).unwrap();
+        plan.execute(&[0.5, 1.0], 2).unwrap();
+        plan.execute_terminal(0.5, &[1.0, 0.0, 1.0], 2).unwrap();
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("plan.executes"), Some(3));
+        assert_eq!(snap.timing("plan.execute").map(|t| t.count), Some(2));
+        assert_eq!(snap.timing("plan.execute_terminal").map(|t| t.count), Some(1));
     }
 
     #[test]

@@ -45,14 +45,18 @@
 pub mod chrome;
 pub mod health;
 pub mod json;
+pub mod prom;
 pub mod recorder;
 pub mod registry;
 pub mod report;
+pub mod stats;
 pub mod trace;
 
 pub use chrome::ChromeTraceRecorder;
 pub use health::{HealthMonitor, HealthSection, ProgressMeter};
+pub use prom::write_prometheus;
 pub use recorder::{thread_lane, NoopRecorder, Recorder, RecorderHandle, Span};
 pub use registry::{MetricsRegistry, MetricsSnapshot, TimingStat};
 pub use report::{PoissonStat, PoolSection, SolveReport, SolverSection};
+pub use stats::{ModelStats, RequestLatency, ServeStats, ServeStatsSnapshot};
 pub use trace::TraceRecorder;

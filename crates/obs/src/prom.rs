@@ -1,0 +1,241 @@
+//! Prometheus text-exposition writer for [`MetricsSnapshot`].
+//!
+//! Renders any snapshot — the solver registry's or a
+//! [`crate::ServeStats`] view — in the Prometheus text format
+//! (version 0.0.4), the one `node_exporter`'s textfile collector and
+//! every scrape agent accept. The mapping:
+//!
+//! - counters → `counter` samples, gauges → `gauge` samples;
+//! - each [`TimingStat`] → one classic `histogram` family in
+//!   **seconds** (Prometheus' base unit for time): the 64 log2
+//!   nanosecond buckets collapse to cumulative `_bucket{le="..."}`
+//!   samples over the non-empty range, plus `le="+Inf"`, `_sum`, and
+//!   `_count`;
+//! - metric names gain a `somrm_` prefix and have every character
+//!   outside `[a-zA-Z0-9_]` (dots, dashes) replaced by `_`, per the
+//!   exposition grammar.
+//!
+//! Writing is append-to-`String` only; callers own file/atomic-rename
+//! concerns (the CLI writes to a temp-free scrape file between
+//! batches, which textfile collectors tolerate).
+
+use crate::registry::{MetricsSnapshot, TimingStat};
+use std::fmt::Write as _;
+
+/// Exclusive upper edge of log2 bucket `i` in nanoseconds (mirrors the
+/// histogram layout in [`TimingStat`]).
+fn bucket_upper_ns(i: usize) -> u64 {
+    if i >= 63 {
+        u64::MAX
+    } else {
+        1u64 << (i + 1)
+    }
+}
+
+/// Appends `name` sanitized for the exposition grammar: `somrm_`
+/// prefix, and `[^a-zA-Z0-9_]` replaced by `_`.
+fn write_name(out: &mut String, name: &str) {
+    out.push_str("somrm_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+}
+
+/// Appends `v` as a Prometheus sample value (`+Inf`/`-Inf`/`NaN`
+/// spellings for non-finite values).
+fn write_sample_f64(out: &mut String, v: f64) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("+Inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-Inf");
+    } else {
+        let _ = write!(out, "{v:?}");
+    }
+}
+
+fn write_histogram(out: &mut String, name: &str, t: &TimingStat) {
+    let mut family = String::new();
+    write_name(&mut family, name);
+    family.push_str("_seconds");
+    let _ = writeln!(out, "# TYPE {family} histogram");
+    let mut cumulative = 0u64;
+    for (i, &c) in t.buckets.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        cumulative += c;
+        let le = bucket_upper_ns(i) as f64 * 1e-9;
+        let _ = write!(out, "{family}_bucket{{le=\"");
+        write_sample_f64(out, le);
+        let _ = writeln!(out, "\"}} {cumulative}");
+    }
+    let _ = writeln!(out, "{family}_bucket{{le=\"+Inf\"}} {}", t.count);
+    let _ = write!(out, "{family}_sum ");
+    write_sample_f64(out, t.total_ns as f64 * 1e-9);
+    out.push('\n');
+    let _ = writeln!(out, "{family}_count {}", t.count);
+}
+
+/// Renders `snap` in the Prometheus text exposition format, terminated
+/// by the required trailing newline. Families appear in snapshot
+/// (sorted-by-name) order: counters, then gauges, then histograms.
+pub fn write_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(1024);
+    for (name, value) in &snap.counters {
+        let mut family = String::new();
+        write_name(&mut family, name);
+        family.push_str("_total");
+        let _ = writeln!(out, "# TYPE {family} counter");
+        let _ = writeln!(out, "{family} {value}");
+    }
+    for (name, value) in &snap.gauges {
+        let mut family = String::new();
+        write_name(&mut family, name);
+        let _ = writeln!(out, "# TYPE {family} gauge");
+        let _ = write!(out, "{family} ");
+        write_sample_f64(&mut out, *value);
+        out.push('\n');
+    }
+    for (name, t) in &snap.timings {
+        write_histogram(&mut out, name, t);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+    use crate::registry::MetricsRegistry;
+
+    /// Minimal exposition-format lint mirroring what the CI
+    /// scrape-check enforces: every non-comment line is
+    /// `name[{le="..."}] value`, names match the grammar, `# TYPE`
+    /// precedes its family's samples.
+    fn lint(text: &str) {
+        assert!(text.ends_with('\n'), "must end with a newline");
+        let mut typed: Vec<String> = Vec::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let family = parts.next().unwrap();
+                let kind = parts.next().unwrap();
+                assert!(matches!(kind, "counter" | "gauge" | "histogram"), "{line}");
+                typed.push(family.to_string());
+                continue;
+            }
+            assert!(!line.starts_with('#'), "unexpected comment: {line}");
+            let (name_part, value) = line.split_once(' ').expect(line);
+            let name = name_part.split('{').next().unwrap();
+            assert!(
+                name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad metric name: {name}"
+            );
+            assert!(
+                typed.iter().any(|fam| name.starts_with(fam.as_str())),
+                "sample {name} has no preceding # TYPE"
+            );
+            assert!(
+                value == "+Inf" || value == "-Inf" || value == "NaN" || value.parse::<f64>().is_ok(),
+                "bad sample value: {value}"
+            );
+        }
+    }
+
+    #[test]
+    fn counters_and_gauges_render_with_sanitized_names() {
+        let reg = MetricsRegistry::new();
+        reg.counter_add("serve.requests", 7);
+        reg.gauge_set("health.u0-mass.final", 0.25);
+        let text = write_prometheus(&reg.snapshot());
+        lint(&text);
+        assert!(text.contains("# TYPE somrm_serve_requests_total counter\n"));
+        assert!(text.contains("somrm_serve_requests_total 7\n"));
+        assert!(text.contains("# TYPE somrm_health_u0_mass_final gauge\n"));
+        assert!(text.contains("somrm_health_u0_mass_final 0.25\n"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_in_seconds() {
+        let reg = MetricsRegistry::new();
+        // 1000 ns lands in bucket 9 (512..1024, le = 1024 ns = 1.024e-6 s);
+        // 3000 ns in bucket 11 (2048..4096, le = 4.096e-6 s).
+        reg.duration_ns("serve.latency.total", 1_000);
+        reg.duration_ns("serve.latency.total", 1_000);
+        reg.duration_ns("serve.latency.total", 3_000);
+        let text = write_prometheus(&reg.snapshot());
+        lint(&text);
+        assert!(text.contains("# TYPE somrm_serve_latency_total_seconds histogram\n"));
+        assert!(
+            text.contains("somrm_serve_latency_total_seconds_bucket{le=\"1.024e-6\"} 2\n"),
+            "cumulative first bucket:\n{text}"
+        );
+        assert!(
+            text.contains("somrm_serve_latency_total_seconds_bucket{le=\"4.096e-6\"} 3\n"),
+            "cumulative second bucket:\n{text}"
+        );
+        assert!(text.contains("somrm_serve_latency_total_seconds_bucket{le=\"+Inf\"} 3\n"));
+        assert!(text.contains("somrm_serve_latency_total_seconds_sum 5e-6\n"));
+        assert!(text.contains("somrm_serve_latency_total_seconds_count 3\n"));
+    }
+
+    #[test]
+    fn empty_histogram_still_exposes_inf_bucket_and_count() {
+        let snap = MetricsSnapshot {
+            counters: vec![],
+            gauges: vec![],
+            timings: vec![("idle".into(), TimingStat::default())],
+        };
+        let text = write_prometheus(&snap);
+        lint(&text);
+        assert!(text.contains("somrm_idle_seconds_bucket{le=\"+Inf\"} 0\n"));
+        assert!(text.contains("somrm_idle_seconds_count 0\n"));
+        assert!(text.contains("somrm_idle_seconds_sum 0.0\n"));
+    }
+
+    #[test]
+    fn non_finite_gauges_use_prometheus_spellings() {
+        let snap = MetricsSnapshot {
+            counters: vec![],
+            gauges: vec![
+                ("bad".into(), f64::NAN),
+                ("hot".into(), f64::INFINITY),
+            ],
+            timings: vec![],
+        };
+        let text = write_prometheus(&snap);
+        lint(&text);
+        assert!(text.contains("somrm_bad NaN\n"));
+        assert!(text.contains("somrm_hot +Inf\n"));
+    }
+
+    #[test]
+    fn serve_stats_snapshot_renders_end_to_end() {
+        let stats = crate::ServeStats::new();
+        stats.record_request(
+            Some(0x1234),
+            None,
+            &crate::RequestLatency {
+                queue_ns: 100,
+                plan_ns: 50,
+                execute_ns: 800,
+                slice_ns: 60,
+                total_ns: 1_010,
+            },
+        );
+        stats.record_batch();
+        stats.record_cache_delta(0, 1, 0);
+        let text = write_prometheus(&stats.snapshot().to_metrics_snapshot());
+        lint(&text);
+        assert!(text.contains("somrm_serve_requests_total 1\n"));
+        assert!(text.contains("somrm_serve_plan_miss_total 1\n"));
+        assert!(text.contains("somrm_serve_model_0000000000001234_requests_total 1\n"));
+        assert!(text.contains("# TYPE somrm_serve_latency_total_seconds histogram\n"));
+    }
+}

@@ -148,6 +148,14 @@ impl RecorderHandle {
         self.0.is_some()
     }
 
+    /// The attached recorder, if any. Lets adapters — tees, filters —
+    /// wrap an existing handle's sink without losing raw events
+    /// (`span_start`/`span_end`/`span_complete` have no handle-level
+    /// pass-through for the first two).
+    pub fn shared(&self) -> Option<Arc<dyn Recorder>> {
+        self.0.clone()
+    }
+
     /// See [`Recorder::counter_add`].
     #[inline]
     pub fn counter_add(&self, name: &str, delta: u64) {

@@ -62,7 +62,10 @@ fn bucket_upper(i: usize) -> u64 {
 }
 
 impl TimingStat {
-    fn record(&mut self, nanos: u64) {
+    /// Records one observation. Public so request-level aggregators
+    /// ([`crate::ServeStats`], bench harnesses) can reuse the histogram
+    /// type on standalone stats outside the registry.
+    pub fn record(&mut self, nanos: u64) {
         if self.count == 0 {
             self.min_ns = nanos;
             self.max_ns = nanos;
@@ -88,30 +91,35 @@ impl TimingStat {
     /// edge of the bucket containing the `ceil(q·count)`-th smallest
     /// observation, clamped to the observed `[min_ns, max_ns]`. Exact
     /// for series that fit one bucket; otherwise right by at most a
-    /// factor of two. Returns 0 when empty.
-    pub fn quantile_ns(&self, q: f64) -> u64 {
+    /// factor of two.
+    ///
+    /// Returns `None` when the histogram is empty — a `0 ns` answer
+    /// would be indistinguishable from a real sub-nanosecond timing, so
+    /// absence is explicit and snapshots omit the keys entirely.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
-            return 0;
+            return None;
         }
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return bucket_upper(i).clamp(self.min_ns, self.max_ns);
+                return Some(bucket_upper(i).clamp(self.min_ns, self.max_ns));
             }
         }
-        self.max_ns
+        Some(self.max_ns)
     }
 
-    /// Median observation in nanoseconds (log2-bucket resolution).
-    pub fn p50_ns(&self) -> u64 {
+    /// Median observation in nanoseconds (log2-bucket resolution);
+    /// `None` when the histogram is empty.
+    pub fn p50_ns(&self) -> Option<u64> {
         self.quantile_ns(0.50)
     }
 
     /// 99th-percentile observation in nanoseconds (log2-bucket
-    /// resolution).
-    pub fn p99_ns(&self) -> u64 {
+    /// resolution); `None` when the histogram is empty.
+    pub fn p99_ns(&self) -> Option<u64> {
         self.quantile_ns(0.99)
     }
 }
@@ -290,17 +298,20 @@ mod tests {
         t.record(777);
         // One observation: every quantile is that observation (bucket
         // edges clamp to [min, max] = [777, 777]).
-        assert_eq!(t.p50_ns(), 777);
-        assert_eq!(t.p99_ns(), 777);
-        assert_eq!(t.quantile_ns(0.0), 777);
-        assert_eq!(t.quantile_ns(1.0), 777);
+        assert_eq!(t.p50_ns(), Some(777));
+        assert_eq!(t.p99_ns(), Some(777));
+        assert_eq!(t.quantile_ns(0.0), Some(777));
+        assert_eq!(t.quantile_ns(1.0), Some(777));
     }
 
     #[test]
-    fn empty_stat_quantiles_are_zero() {
+    fn empty_stat_quantiles_are_absent() {
+        // Regression: an empty histogram used to answer 0 ns, which is
+        // indistinguishable from a genuine sub-ns observation.
         let t = TimingStat::default();
-        assert_eq!(t.p50_ns(), 0);
-        assert_eq!(t.p99_ns(), 0);
+        assert_eq!(t.p50_ns(), None);
+        assert_eq!(t.p99_ns(), None);
+        assert_eq!(t.quantile_ns(1.0), None);
         assert_eq!(t.mean_ns(), 0.0);
     }
 
@@ -312,14 +323,14 @@ mod tests {
             t.record(1_000);
         }
         t.record(1_000_000);
-        let p50 = t.p50_ns();
-        let p99 = t.p99_ns();
+        let p50 = t.p50_ns().unwrap();
+        let p99 = t.p99_ns().unwrap();
         // p50 covers the bulk: true median 1000, bucket edge 1024.
         assert!((1_000..=2_048).contains(&p50), "p50 = {p50}");
         // p99 is still in the bulk (99% of mass), p100 would hit the
         // outlier; ordering must hold.
         assert!(p50 <= p99);
-        assert!(t.quantile_ns(1.0) >= 1_000_000u64.min(t.max_ns));
+        assert!(t.quantile_ns(1.0).unwrap() >= 1_000_000u64.min(t.max_ns));
         assert_eq!(t.max_ns, 1_000_000);
     }
 
@@ -330,9 +341,9 @@ mod tests {
             t.record(ns);
         }
         // All in bucket 6 (64..128): upper edge 128 clamps to max 127.
-        assert_eq!(t.p50_ns(), 127);
-        assert_eq!(t.p99_ns(), 127);
-        assert!(t.p50_ns() >= t.min_ns && t.p99_ns() <= t.max_ns);
+        assert_eq!(t.p50_ns(), Some(127));
+        assert_eq!(t.p99_ns(), Some(127));
+        assert!(t.p50_ns().unwrap() >= t.min_ns && t.p99_ns().unwrap() <= t.max_ns);
     }
 
     #[test]

@@ -260,14 +260,15 @@ impl SolveReport {
             json::write_string(&mut out, name);
             let _ = write!(
                 out,
-                ":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"mean_ns\":",
-                t.count,
-                t.total_ns,
-                t.min_ns,
-                t.max_ns,
-                t.p50_ns(),
-                t.p99_ns()
+                ":{{\"count\":{},\"total_ns\":{},\"min_ns\":{},\"max_ns\":{}",
+                t.count, t.total_ns, t.min_ns, t.max_ns,
             );
+            // Percentile keys are omitted for empty histograms: a 0 ns
+            // placeholder would read as a real sub-ns timing.
+            if let (Some(p50), Some(p99)) = (t.p50_ns(), t.p99_ns()) {
+                let _ = write!(out, ",\"p50_ns\":{p50},\"p99_ns\":{p99}");
+            }
+            out.push_str(",\"mean_ns\":");
             json::write_f64(&mut out, t.mean_ns());
             out.push('}');
         }
@@ -406,6 +407,19 @@ mod tests {
         assert_eq!(v.get("pool"), Some(&crate::json::Value::Null));
         assert_eq!(v.get("health"), Some(&crate::json::Value::Null));
         assert!(v.get("stages").is_some());
+    }
+
+    #[test]
+    fn empty_stage_histogram_omits_percentile_keys() {
+        let mut report = SolveReport::new("serve");
+        let mut metrics = MetricsSnapshot::default();
+        metrics.timings.push(("never.ran".into(), crate::TimingStat::default()));
+        report.set_metrics(metrics);
+        let v = parse(&report.to_json()).expect("valid JSON");
+        let stage = v.get("stages").unwrap().get("never.ran").unwrap();
+        assert_eq!(stage.get("count").unwrap().as_f64(), Some(0.0));
+        assert!(stage.get("p50_ns").is_none(), "empty stat must omit p50_ns");
+        assert!(stage.get("p99_ns").is_none(), "empty stat must omit p99_ns");
     }
 
     #[test]

@@ -263,6 +263,148 @@ mod tests {
     }
 
     #[test]
+    fn eviction_order_is_by_last_use_across_interleaved_digests() {
+        // Two digests interleaving lookups: eviction must follow the
+        // global last-used order, not per-digest insertion order.
+        let ma = model(2.0);
+        let mb = model(5.0);
+        let mut cache = PlanCache::new(3, RecorderHandle::disabled());
+        let a1 = key_for(&ma, 1.0, 2);
+        let b1 = key_for(&mb, 1.0, 2);
+        let a2 = key_for(&ma, 8.0, 2);
+        let b2 = key_for(&mb, 8.0, 2);
+
+        cache.get_or_build(a1, || build_plan(&ma, 2)).unwrap(); // tick 1
+        cache.get_or_build(b1, || build_plan(&mb, 2)).unwrap(); // tick 2
+        cache.get_or_build(a2, || build_plan(&ma, 2)).unwrap(); // tick 3
+        // Touch a1 (oldest) so b1 becomes LRU despite a1 being the
+        // earliest insert.
+        cache.get_or_build(a1, || panic!("cached")).unwrap(); // tick 4
+        cache.get_or_build(b2, || build_plan(&mb, 2)).unwrap(); // evicts b1
+        assert!(cache.contains(&a1), "touched entry survives");
+        assert!(cache.contains(&a2));
+        assert!(cache.contains(&b2));
+        assert!(!cache.contains(&b1), "globally least-recently-used evicted");
+
+        // Next overflow evicts a2 (tick 3 is now the oldest).
+        let a3 = key_for(&ma, 64.0, 2);
+        cache.get_or_build(a3, || build_plan(&ma, 2)).unwrap();
+        assert!(!cache.contains(&a2));
+        assert!(cache.contains(&a1));
+        assert_eq!(cache.len(), 3);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 5,
+                evictions: 2
+            }
+        );
+    }
+
+    #[test]
+    fn qt_bucket_boundaries_split_exactly_at_powers_of_two() {
+        // Just-below / just-above a power of two land in different
+        // buckets; everything inside [2^k, 2^(k+1)) shares one.
+        // (log2's rounding may pull values within an ulp of the edge
+        // into the upper bucket, so "just below" stays a ppm away —
+        // bucket placement, not ulp behavior, is the contract.)
+        for k in [-3i32, 0, 1, 10] {
+            let edge = (k as f64).exp2();
+            assert_eq!(qt_bucket(edge * 0.999_999), k - 1, "just below 2^{k}");
+            assert_eq!(qt_bucket(edge), k, "exactly 2^{k}");
+            assert_eq!(qt_bucket(edge * 1.000_001), k, "just above 2^{k}");
+            assert_eq!(qt_bucket(edge * 1.999), k, "top of the bucket");
+        }
+        // Tiny positive values still bucket finitely (no i32 overflow).
+        assert_eq!(qt_bucket(f64::MIN_POSITIVE), -1022);
+        assert_eq!(qt_bucket(5e-324), -1074, "subnormal");
+
+        // The same boundaries at the cache level: qt 2.1 and 3.9 share
+        // a plan, 3.9 and 4.1 do not.
+        let m = model(2.0);
+        let mut cache = PlanCache::new(4, RecorderHandle::disabled());
+        cache
+            .get_or_build(key_for(&m, 2.1, 2), || build_plan(&m, 2))
+            .unwrap();
+        let (_, hit) = cache
+            .get_or_build(key_for(&m, 3.9, 2), || panic!("same bucket"))
+            .unwrap();
+        assert!(hit);
+        let (_, hit) = cache
+            .get_or_build(key_for(&m, 4.1, 2), || build_plan(&m, 2))
+            .unwrap();
+        assert!(!hit, "crossing the 2^2 boundary re-keys");
+    }
+
+    #[test]
+    fn counters_are_exact_over_a_mixed_workload() {
+        let m = model(2.0);
+        let mut cache = PlanCache::new(2, RecorderHandle::disabled());
+        let bad = SolverConfig {
+            threads: 0,
+            ..SolverConfig::default()
+        };
+        // Scripted: miss, hit, miss, failed miss, hit, miss+evict.
+        let k1 = key_for(&m, 1.0, 2);
+        let k2 = key_for(&m, 4.0, 2);
+        let k3 = key_for(&m, 16.0, 2);
+        cache.get_or_build(k1, || build_plan(&m, 2)).unwrap();
+        cache.get_or_build(k1, || panic!("cached")).unwrap();
+        cache.get_or_build(k2, || build_plan(&m, 2)).unwrap();
+        assert!(cache
+            .get_or_build(k3, || SolvePlan::build(&m, 2, &bad))
+            .is_err());
+        cache.get_or_build(k2, || panic!("cached")).unwrap();
+        cache.get_or_build(k3, || build_plan(&m, 2)).unwrap();
+        let s = cache.stats();
+        assert_eq!(
+            s,
+            CacheStats {
+                hits: 2,
+                misses: 4,
+                evictions: 1
+            }
+        );
+        // Reconciliation invariants the serve stats sideband relies on.
+        assert_eq!(s.hits + s.misses, 6, "every lookup is a hit or a miss");
+        assert!(s.evictions <= s.misses);
+        assert!(cache.len() <= cache.capacity());
+    }
+
+    #[test]
+    fn failed_build_never_occupies_or_evicts_a_slot_at_capacity() {
+        let m = model(2.0);
+        let mut cache = PlanCache::new(2, RecorderHandle::disabled());
+        let bad = SolverConfig {
+            threads: 0,
+            ..SolverConfig::default()
+        };
+        let k1 = key_for(&m, 1.0, 2);
+        let k2 = key_for(&m, 4.0, 2);
+        cache.get_or_build(k1, || build_plan(&m, 2)).unwrap();
+        cache.get_or_build(k2, || build_plan(&m, 2)).unwrap();
+        assert_eq!(cache.len(), 2, "at capacity");
+
+        // A failing build at capacity must not evict the residents:
+        // eviction happens only once a replacement plan exists.
+        let k3 = key_for(&m, 16.0, 2);
+        assert!(cache
+            .get_or_build(k3, || SolvePlan::build(&m, 2, &bad))
+            .is_err());
+        assert_eq!(cache.len(), 2);
+        assert!(cache.contains(&k1) && cache.contains(&k2), "residents intact");
+        assert!(!cache.contains(&k3));
+        assert_eq!(cache.stats().evictions, 0);
+
+        // The retry builds, and only then does one eviction happen.
+        let (_, hit) = cache.get_or_build(k3, || build_plan(&m, 2)).unwrap();
+        assert!(!hit);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
     fn counters_reach_the_registry() {
         use somrm_obs::MetricsRegistry;
         let registry = Arc::new(MetricsRegistry::new());

@@ -11,7 +11,12 @@
 //! - [`proto`] — the JSON-lines request/response protocol;
 //! - [`server`] — the batch loop: requests that arrive together and
 //!   share a plan key are coalesced into ONE fused multi-order sweep
-//!   over their merged time grid.
+//!   over their merged time grid;
+//! - [`telemetry`] — request-scoped observability riding on top:
+//!   id-tagged lifecycle spans surviving coalescing, the sideband admin
+//!   protocol (`{"cmd":"stats"}` / `reset` / `health`), and
+//!   slow-request Chrome-trace capture. All read-only — responses are
+//!   bitwise identical with telemetry on or off.
 //!
 //! The CLI front end is `somrm-tool serve`; this crate stays I/O-shaped
 //! (any `Read`/`Write`) so tests drive it with in-memory buffers.
@@ -19,7 +24,14 @@
 pub mod cache;
 pub mod proto;
 pub mod server;
+pub mod telemetry;
 
 pub use cache::{qt_bucket, CacheStats, PlanCache, PlanKey};
 pub use proto::{parse_request, render_err, render_ok, ModelSpec, Request, MAX_ORDER};
-pub use server::{serve, serve_batch, BatchOutcome, ModelResolver, ServeOptions, ServeSummary};
+pub use server::{
+    serve, serve_batch, serve_batch_traced, BatchOutcome, ModelResolver, ServeOptions,
+    ServeSummary,
+};
+pub use telemetry::{
+    parse_command, Command, CommandKind, SlowTraceOptions, TraceTee, TracedLine,
+};

@@ -4,12 +4,20 @@
 //! [`serve`] drains its input through a reader thread into a channel and
 //! processes whatever has accumulated since the last batch in one go —
 //! under load, concurrent requests for the same model land in the same
-//! batch and are coalesced by [`serve_batch`]: the group shares one
-//! cached plan and ONE fused multi-order sweep over the merged time
+//! batch and are coalesced by [`serve_batch_traced`]: the group shares
+//! one cached plan and ONE fused multi-order sweep over the merged time
 //! grid (the `U`-recursion does not depend on `t`, so a single pass to
 //! the largest requested time serves every request of the group). That
 //! coalescing — not the cached setup, which is a few percent of a solve
 //! — is where the serving throughput comes from.
+//!
+//! Request-scoped telemetry rides on top (see [`crate::telemetry`]):
+//! every request line gets a sequence number and a received instant,
+//! its lifecycle phases are measured with shared group cost split
+//! evenly over coalesced members, and the splits feed a rolling
+//! [`ServeStats`] window queryable in-band via `{"cmd":"stats"}`. All
+//! of it is read-only — response bytes are bitwise identical with
+//! telemetry on or off.
 //!
 //! Error containment: a malformed line, an unresolvable model, or a
 //! solver error produces a structured error response on that request's
@@ -17,10 +25,16 @@
 
 use crate::cache::{qt_bucket, CacheStats, PlanCache, PlanKey};
 use crate::proto::{parse_request, render_err, render_ok, ModelSpec, Request};
+use crate::telemetry::{
+    parse_command, render_health, render_reset, render_stats, CommandKind, SlowTraceOptions,
+    TraceTee, TracedLine,
+};
 use somrm_core::uniformization::SolverConfig;
 use somrm_core::{model_digest, SecondOrderMrm, SolvePlan};
+use somrm_obs::{ChromeTraceRecorder, RecorderHandle, RequestLatency, ServeStats};
 use std::io::{BufRead, BufReader, Read, Write};
-use std::sync::mpsc;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// How the server resolves a request's [`ModelSpec`] to a model. The
 /// CLI supplies its model-file parser here; tests supply closures.
@@ -34,6 +48,14 @@ pub struct ServeOptions {
     pub solver: SolverConfig,
     /// Plan-cache capacity (entries; clamped to at least 1).
     pub cache_capacity: usize,
+    /// The rolling request-statistics window, shared with the caller so
+    /// an end-of-session snapshot (`--stats-out`) can be taken after
+    /// [`serve`] returns. Always on: one short mutex touch per request,
+    /// noise against the solves being accounted.
+    pub stats: Arc<ServeStats>,
+    /// Slow-request trace capture; `None` disables the per-batch trace
+    /// recorder entirely.
+    pub slow_trace: Option<SlowTraceOptions>,
 }
 
 impl Default for ServeOptions {
@@ -41,6 +63,8 @@ impl Default for ServeOptions {
         ServeOptions {
             solver: SolverConfig::default(),
             cache_capacity: 8,
+            stats: Arc::new(ServeStats::new()),
+            slow_trace: None,
         }
     }
 }
@@ -48,7 +72,8 @@ impl Default for ServeOptions {
 /// What one [`serve`] run did, for the exit summary.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ServeSummary {
-    /// Request lines received (blank lines excluded).
+    /// Request lines received (blank lines and sideband commands
+    /// excluded).
     pub requests: u64,
     /// Success responses written.
     pub ok: u64,
@@ -56,6 +81,8 @@ pub struct ServeSummary {
     pub errors: u64,
     /// Batches processed.
     pub batches: u64,
+    /// Sideband command lines answered (recognized or not).
+    pub cmds: u64,
     /// Plan-cache counters.
     pub cache: CacheStats,
 }
@@ -63,12 +90,14 @@ pub struct ServeSummary {
 /// Responses and counts of one processed batch.
 #[derive(Debug, Clone, Default)]
 pub struct BatchOutcome {
-    /// One response line per non-blank request line, in request order.
+    /// One response line per request line, in request order.
     pub responses: Vec<String>,
     /// Success responses among them.
     pub ok: u64,
     /// Error responses among them.
     pub errors: u64,
+    /// Measured lifecycle of each request, parallel to `responses`.
+    pub latencies: Vec<RequestLatency>,
 }
 
 struct Parsed {
@@ -78,6 +107,33 @@ struct Parsed {
     model: SecondOrderMrm,
     digest: u64,
     bucket: i32,
+}
+
+fn ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
+/// Processes one batch of request lines exactly like the traced path,
+/// with telemetry origin pinned to "now" (zero queue wait) and no stats
+/// sink — the compatibility entry point for benches and tests that
+/// construct plain line slices.
+pub fn serve_batch(
+    lines: &[String],
+    resolver: &ModelResolver,
+    cache: &mut PlanCache,
+    solver: &SolverConfig,
+) -> BatchOutcome {
+    let now = Instant::now();
+    let traced: Vec<TracedLine> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, l)| TracedLine {
+            seq: i as u64,
+            received: now,
+            line: l.clone(),
+        })
+        .collect();
+    serve_batch_traced(&traced, resolver, cache, solver, None, now)
 }
 
 /// Processes one batch of request lines: parse, group by
@@ -90,31 +146,50 @@ struct Parsed {
 /// higher-order sweep; their moments 0..=order are bit-identical across
 /// repeats of the same group shape, and their reported error bounds are
 /// the (tighter) bounds of the executed truncation.
-pub fn serve_batch(
-    lines: &[String],
+///
+/// Telemetry (read-only; responses are not affected): each request's
+/// lifecycle is measured into [`RequestLatency`] — queue wait from its
+/// `received` instant to `batch_start`, an even share of its group's
+/// plan lookup and execute wall time, its individually measured
+/// slice/render — and recorded into `stats` (when given) plus, when the
+/// solver recorder is enabled, emitted as `req[<seq>]` timeline events
+/// via `span_complete` (timeline-only: per-request names never reach
+/// the aggregating registry).
+pub fn serve_batch_traced(
+    lines: &[TracedLine],
     resolver: &ModelResolver,
     cache: &mut PlanCache,
     solver: &SolverConfig,
+    stats: Option<&ServeStats>,
+    batch_start: Instant,
 ) -> BatchOutcome {
-    let mut responses: Vec<Option<String>> = vec![None; lines.len()];
+    let rec = &solver.recorder;
+    let n = lines.len();
+    let mut responses: Vec<Option<String>> = vec![None; n];
+    let mut latencies: Vec<RequestLatency> = vec![RequestLatency::default(); n];
+    let mut digests: Vec<Option<u64>> = vec![None; n];
+    let mut error_kinds: Vec<Option<&'static str>> = vec![None; n];
     let mut parsed: Vec<Parsed> = Vec::new();
 
-    for (slot, line) in lines.iter().enumerate() {
-        match parse_request(line) {
+    for (slot, tl) in lines.iter().enumerate() {
+        match parse_request(&tl.line) {
             Err(e) => {
                 // The id may still be recoverable from valid JSON.
-                let id = somrm_obs::json::parse(line)
+                let id = somrm_obs::json::parse(&tl.line)
                     .ok()
                     .and_then(|v| v.get("id").cloned())
                     .unwrap_or(somrm_obs::json::Value::Null);
+                error_kinds[slot] = Some("parse");
                 responses[slot] = Some(render_err(&id, &e));
             }
             Ok(req) => match resolver(&req.model) {
                 Err(e) => {
+                    error_kinds[slot] = Some("model");
                     responses[slot] = Some(render_err(&req.id, &format!("model: {e}")));
                 }
                 Ok(model) => {
                     let digest = model_digest(&model);
+                    digests[slot] = Some(digest);
                     let q = model.generator().uniformization_rate();
                     let t_max = req.times.iter().copied().fold(0.0, f64::max);
                     parsed.push(Parsed {
@@ -150,6 +225,7 @@ pub fn serve_batch(
 
         // One lookup per request: the cache counters measure demand, not
         // batch shapes, and the first lookup builds for the whole group.
+        let plan_t0 = Instant::now();
         let mut plan = None;
         let mut hits: Vec<bool> = Vec::with_capacity(members.len());
         for _ in members {
@@ -167,6 +243,13 @@ pub fn serve_batch(
                 }),
             }
         }
+        // The group's shared cost attributes back to each member as an
+        // even split: the members are indistinguishable consumers of
+        // one lookup/build section and one fused sweep.
+        let plan_share = ns(plan_t0.elapsed()) / members.len() as u64;
+        for &i in members {
+            latencies[parsed[i].slot].plan_ns = plan_share;
+        }
         let Some(plan) = plan else {
             // Every lookup failed to build (bad solver config for this
             // model); re-derive the error once for the messages.
@@ -174,6 +257,7 @@ pub fn serve_batch(
                 .err()
                 .map_or_else(|| "plan build failed".to_string(), |e| e.to_string());
             for &i in members {
+                error_kinds[parsed[i].slot] = Some("plan");
                 responses[parsed[i].slot] = Some(render_err(&parsed[i].req.id, &msg));
             }
             continue;
@@ -186,16 +270,24 @@ pub fn serve_batch(
         merged.sort_by(f64::total_cmp);
         merged.dedup();
 
-        match plan.execute(&merged, group_order) {
+        let exec_t0 = Instant::now();
+        let executed = plan.execute(&merged, group_order);
+        let exec_share = ns(exec_t0.elapsed()) / members.len() as u64;
+        for &i in members {
+            latencies[parsed[i].slot].execute_ns = exec_share;
+        }
+        match executed {
             Err(e) => {
                 let msg = e.to_string();
                 for &i in members {
+                    error_kinds[parsed[i].slot] = Some("solver");
                     responses[parsed[i].slot] = Some(render_err(&parsed[i].req.id, &msg));
                 }
             }
             Ok(solutions) => {
                 for (&i, &hit) in members.iter().zip(&hits) {
                     let p = &parsed[i];
+                    let slice_t0 = Instant::now();
                     let sols: Vec<&somrm_core::MomentSolution> = p
                         .req
                         .times
@@ -209,13 +301,23 @@ pub fn serve_batch(
                         .collect();
                     responses[p.slot] =
                         Some(render_ok(&p.req.id, hit, members.len(), p.req.order, &sols));
+                    let slice_ns = ns(slice_t0.elapsed());
+                    latencies[p.slot].slice_ns = slice_ns;
+                    if rec.enabled() {
+                        rec.span_complete(
+                            &format!("req[{}] slice", lines[p.slot].seq),
+                            slice_t0,
+                            slice_ns,
+                        );
+                    }
                 }
             }
         }
     }
 
+    let end = Instant::now();
     let mut outcome = BatchOutcome::default();
-    for r in responses {
+    for (slot, r) in responses.into_iter().enumerate() {
         let r = r.expect("every slot answered");
         if r.contains("\"ok\":true") {
             outcome.ok += 1;
@@ -223,14 +325,120 @@ pub fn serve_batch(
             outcome.errors += 1;
         }
         outcome.responses.push(r);
+        let tl = &lines[slot];
+        latencies[slot].queue_ns = ns(batch_start.saturating_duration_since(tl.received));
+        latencies[slot].total_ns = ns(end.saturating_duration_since(tl.received));
+        if rec.enabled() {
+            // The id-tagged lifecycle span: received → responses
+            // rendered (the batch flushes as one write, so batch end IS
+            // the user-visible response time for every member).
+            rec.span_complete(&format!("req[{}]", tl.seq), tl.received, latencies[slot].total_ns);
+        }
+        if let Some(st) = stats {
+            st.record_request(digests[slot], error_kinds[slot], &latencies[slot]);
+        }
     }
+    if let Some(st) = stats {
+        st.record_batch();
+    }
+    outcome.latencies = latencies;
     outcome
+}
+
+/// Flushes one contiguous run of solve requests: executes the batch,
+/// writes its responses, publishes counters, rolls the plan-cache delta
+/// into the stats window, and captures slow-request traces.
+#[allow(clippy::too_many_arguments)]
+fn flush_segment<W: Write>(
+    pending: &mut Vec<TracedLine>,
+    out: &mut W,
+    resolver: &ModelResolver,
+    cache: &mut PlanCache,
+    solver: &SolverConfig,
+    stats: &ServeStats,
+    tee: Option<&TraceTee>,
+    slow: Option<&SlowTraceOptions>,
+    summary: &mut ServeSummary,
+    last_cache: &mut CacheStats,
+) -> std::io::Result<()> {
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let rec = &solver.recorder;
+    summary.requests += pending.len() as u64;
+    rec.counter_add("serve.requests", pending.len() as u64);
+
+    // Slow capture: a fresh per-batch timeline goes into the tee so the
+    // cached plans' executes (whose recorder is the tee, baked in at
+    // build) land in it alongside the request lifecycle spans.
+    let batch_rec = tee.map(|t| {
+        let r = Arc::new(ChromeTraceRecorder::new());
+        t.install(r.clone());
+        r
+    });
+    let batch_start = Instant::now();
+    let outcome = serve_batch_traced(pending, resolver, cache, solver, Some(stats), batch_start);
+    if let Some(t) = tee {
+        t.take();
+    }
+
+    for r in &outcome.responses {
+        writeln!(out, "{r}")?;
+    }
+    out.flush()?;
+    summary.ok += outcome.ok;
+    summary.errors += outcome.errors;
+    summary.batches += 1;
+    rec.counter_add("serve.responses.ok", outcome.ok);
+    rec.counter_add("serve.responses.err", outcome.errors);
+    rec.counter_add("serve.batches", 1);
+
+    let cur = cache.stats();
+    stats.record_cache_delta(
+        cur.hits - last_cache.hits,
+        cur.misses - last_cache.misses,
+        cur.evictions - last_cache.evictions,
+    );
+    *last_cache = cur;
+
+    if let (Some(slow), Some(batch_rec)) = (slow, batch_rec) {
+        let threshold = slow.threshold_ns();
+        let mut trace_json: Option<String> = None;
+        for (tl, lat) in pending.iter().zip(&outcome.latencies) {
+            if lat.total_ns > threshold || threshold == 0 {
+                // Responses stay untouched (bitwise contract), so the
+                // trace is named by seq and correlated on stderr.
+                let json = trace_json.get_or_insert_with(|| batch_rec.to_json());
+                let path = slow.trace_path(tl.seq);
+                match std::fs::write(&path, json.as_bytes()) {
+                    Ok(()) => eprintln!(
+                        "somrm-serve: slow request seq={} total_ms={:.3} trace={}",
+                        tl.seq,
+                        lat.total_ns as f64 / 1e6,
+                        path.display()
+                    ),
+                    Err(e) => eprintln!(
+                        "somrm-serve: failed to write slow trace {}: {e}",
+                        path.display()
+                    ),
+                }
+            }
+        }
+    }
+    pending.clear();
+    Ok(())
 }
 
 /// Runs the serve loop until `input` reaches end-of-file: one JSON
 /// request per line in, one JSON response per line out (see
 /// [`crate::proto`]), batching whatever has queued between writes so
 /// concurrent requests coalesce.
+///
+/// Lines carrying a top-level `"cmd"` member are sideband admin
+/// commands (see [`crate::telemetry`]): they are answered in line order
+/// — solve requests ahead of a command in the same drain are executed
+/// and written first, so `{"cmd":"stats"}` reflects them — and they do
+/// not count as requests.
 ///
 /// # Errors
 ///
@@ -246,14 +454,14 @@ where
     R: Read + Send + 'static,
     W: Write,
 {
-    let (tx, rx) = mpsc::channel::<String>();
+    let (tx, rx) = mpsc::channel::<(Instant, String)>();
     let reader = std::thread::Builder::new()
         .name("somrm-serve-reader".to_string())
         .spawn(move || {
             for line in BufReader::new(input).lines() {
                 match line {
                     Ok(l) => {
-                        if tx.send(l).is_err() {
+                        if tx.send((Instant::now(), l)).is_err() {
                             break;
                         }
                     }
@@ -263,37 +471,90 @@ where
         })
         .expect("spawn serve reader thread");
 
-    let rec = options.solver.recorder.clone();
+    // Slow capture needs a per-batch recorder swap point behind the
+    // stable recorder cached plans bake in at build: the TraceTee.
+    let mut solver = options.solver.clone();
+    let tee: Option<Arc<TraceTee>> = if options.slow_trace.is_some() {
+        let t = Arc::new(TraceTee::new(&solver.recorder));
+        solver.recorder = RecorderHandle::new(t.clone());
+        Some(t)
+    } else {
+        None
+    };
+    let rec = solver.recorder.clone();
     let mut cache = PlanCache::new(options.cache_capacity, rec.clone());
+    let stats = &options.stats;
     let mut summary = ServeSummary::default();
+    let mut last_cache = CacheStats::default();
+    let mut next_seq: u64 = 0;
     // Block for the first line, then drain whatever else has queued —
     // concurrent senders coalesce into one batch. Exits when input
     // closes and the channel drains.
     while let Ok(first) = rx.recv() {
-        let mut batch = vec![first];
-        while let Ok(l) = rx.try_recv() {
-            batch.push(l);
+        let mut drained = vec![first];
+        while let Ok(x) = rx.try_recv() {
+            drained.push(x);
         }
-        let lines: Vec<String> = batch
-            .into_iter()
-            .filter(|l| !l.trim().is_empty())
-            .collect();
-        if lines.is_empty() {
-            continue;
+        let mut pending: Vec<TracedLine> = Vec::new();
+        for (received, line) in drained {
+            if line.trim().is_empty() {
+                continue;
+            }
+            // Cheap pre-filter: a full parse only for lines that could
+            // possibly carry a top-level "cmd" member.
+            if line.contains("\"cmd\"") {
+                if let Some(cmd) = parse_command(&line) {
+                    flush_segment(
+                        &mut pending,
+                        out,
+                        resolver,
+                        &mut cache,
+                        &solver,
+                        stats,
+                        tee.as_deref(),
+                        options.slow_trace.as_ref(),
+                        &mut summary,
+                        &mut last_cache,
+                    )?;
+                    summary.cmds += 1;
+                    let resp = match &cmd.kind {
+                        CommandKind::Stats => render_stats(&cmd.id, &stats.snapshot()),
+                        CommandKind::Reset => {
+                            stats.reset();
+                            render_reset(&cmd.id)
+                        }
+                        CommandKind::Health => render_health(&cmd.id, rec.snapshot().as_ref()),
+                        CommandKind::Unknown(name) => render_err(
+                            &cmd.id,
+                            &format!(
+                                "unknown cmd {name:?}: expected \"stats\", \"reset\", or \"health\""
+                            ),
+                        ),
+                    };
+                    writeln!(out, "{resp}")?;
+                    out.flush()?;
+                    continue;
+                }
+            }
+            pending.push(TracedLine {
+                seq: next_seq,
+                received,
+                line,
+            });
+            next_seq += 1;
         }
-        summary.requests += lines.len() as u64;
-        rec.counter_add("serve.requests", lines.len() as u64);
-        let outcome = serve_batch(&lines, resolver, &mut cache, &options.solver);
-        for r in &outcome.responses {
-            writeln!(out, "{r}")?;
-        }
-        out.flush()?;
-        summary.ok += outcome.ok;
-        summary.errors += outcome.errors;
-        summary.batches += 1;
-        rec.counter_add("serve.responses.ok", outcome.ok);
-        rec.counter_add("serve.responses.err", outcome.errors);
-        rec.counter_add("serve.batches", 1);
+        flush_segment(
+            &mut pending,
+            out,
+            resolver,
+            &mut cache,
+            &solver,
+            stats,
+            tee.as_deref(),
+            options.slow_trace.as_ref(),
+            &mut summary,
+            &mut last_cache,
+        )?;
     }
     reader.join().ok();
     summary.cache = cache.stats();
@@ -475,5 +736,294 @@ mod tests {
         assert!(r1.get("error").unwrap().as_str().unwrap().contains("truncation"));
         let r2 = parse(&outcome.responses[1]).unwrap();
         assert_eq!(r2.get("ok"), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn traced_batch_attributes_cost_to_every_member() {
+        let lines: Vec<String> = vec![
+            r#"{"id": 1, "model": "model-a", "t": 0.6}"#.to_string(),
+            r#"{"id": 2, "model": "model-a", "t": 0.9}"#.to_string(),
+            r#"{"id": 3, "model": "model-b", "t": 0.5}"#.to_string(),
+            "broken".to_string(),
+        ];
+        let mut cache = PlanCache::new(4, somrm_obs::RecorderHandle::disabled());
+        let stats = ServeStats::new();
+        let now = Instant::now();
+        let traced: Vec<TracedLine> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| TracedLine {
+                seq: 100 + i as u64,
+                received: now,
+                line: l.clone(),
+            })
+            .collect();
+        let outcome = serve_batch_traced(
+            &traced,
+            &resolver,
+            &mut cache,
+            &SolverConfig::default(),
+            Some(&stats),
+            now,
+        );
+        assert_eq!(outcome.ok, 3);
+        assert_eq!(outcome.latencies.len(), 4);
+        // Coalesced members 0 and 1 share the sweep: equal splits.
+        assert_eq!(outcome.latencies[0].execute_ns, outcome.latencies[1].execute_ns);
+        assert_eq!(outcome.latencies[0].plan_ns, outcome.latencies[1].plan_ns);
+        assert!(outcome.latencies[0].execute_ns > 0, "sweep cost attributed");
+        assert!(outcome.latencies[2].execute_ns > 0);
+        // The parse error never reached a group: no solver phases.
+        assert_eq!(outcome.latencies[3].execute_ns, 0);
+        assert_eq!(outcome.latencies[3].plan_ns, 0);
+        // Totals cover the whole lifecycle for every slot, errors too.
+        for lat in &outcome.latencies {
+            assert!(lat.total_ns >= lat.slice_ns);
+        }
+
+        let s = stats.snapshot();
+        assert_eq!(s.requests, 4);
+        assert_eq!(s.ok, 3);
+        assert_eq!(s.errors.get("parse"), Some(&1));
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.total.count, 4);
+        assert_eq!(s.execute.count, 4);
+        // Two digests saw traffic; the broken line has none.
+        assert_eq!(s.models.len(), 2);
+        assert_eq!(s.models.values().map(|m| m.requests).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn traced_responses_are_bitwise_identical_to_untraced() {
+        let lines: Vec<String> = vec![
+            r#"{"id": 1, "model": "model-a", "t": [0.6, 0.9], "order": 3}"#.to_string(),
+            r#"{"id": 2, "model": "model-a", "t": 0.7}"#.to_string(),
+            r#"{"id": 3, "model": "model-b", "t": 0.5, "order": 1}"#.to_string(),
+            r#"{"id": 4, "model": "model-a", "t": -1}"#.to_string(),
+        ];
+        // Arm 1: plain batch, telemetry fully off.
+        let mut cache_off = PlanCache::new(4, somrm_obs::RecorderHandle::disabled());
+        let off = serve_batch(&lines, &resolver, &mut cache_off, &SolverConfig::default());
+
+        // Arm 2: full telemetry — stats sink, metrics registry, and a
+        // per-batch Chrome trace through the tee.
+        let session = Arc::new(somrm_obs::MetricsRegistry::new());
+        let tee = Arc::new(TraceTee::new(&RecorderHandle::new(session)));
+        let batch_rec = Arc::new(ChromeTraceRecorder::new());
+        tee.install(batch_rec.clone());
+        let solver = SolverConfig {
+            recorder: RecorderHandle::new(tee),
+            ..SolverConfig::default()
+        };
+        let mut cache_on = PlanCache::new(4, solver.recorder.clone());
+        let stats = ServeStats::new();
+        let now = Instant::now();
+        let traced: Vec<TracedLine> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, l)| TracedLine {
+                seq: i as u64,
+                received: now,
+                line: l.clone(),
+            })
+            .collect();
+        let on = serve_batch_traced(&traced, &resolver, &mut cache_on, &solver, Some(&stats), now);
+
+        assert_eq!(off.responses, on.responses, "telemetry must be read-only");
+        assert!(batch_rec.event_count() > 0, "the traced arm actually traced");
+        assert_eq!(stats.snapshot().requests, 4);
+    }
+
+    #[test]
+    fn sideband_commands_answer_in_order_and_do_not_count_as_requests() {
+        let input = format!(
+            "{}\n{}\n{}\n{}\n{}\n{}\n{}\n",
+            r#"{"id": 1, "model": "model-a", "t": 0.5}"#,
+            r#"{"id": 2, "model": "model-a", "t": 0.6}"#,
+            "this is not json",
+            r#"{"cmd": "stats", "id": "s1"}"#,
+            r#"{"cmd": "reset"}"#,
+            r#"{"cmd": "stats", "id": "s2"}"#,
+            r#"{"cmd": "bogus"}"#,
+        );
+        let options = ServeOptions::default();
+        let mut out = Vec::new();
+        let summary = serve(Cursor::new(input), &mut out, &resolver, &options).unwrap();
+        assert_eq!(summary.requests, 3, "commands are not requests");
+        assert_eq!(summary.cmds, 4);
+        assert_eq!(summary.ok, 2);
+        assert_eq!(summary.errors, 1);
+
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<Value> = text.lines().map(|l| parse(l).unwrap()).collect();
+        assert_eq!(lines.len(), 7, "every line answered in order");
+
+        // The first stats snapshot reflects the 3 requests drained
+        // before it, whatever batching the channel produced.
+        let s1 = &lines[3];
+        assert_eq!(s1.get("id").unwrap().as_str(), Some("s1"));
+        let stats1 = s1.get("stats").unwrap();
+        assert_eq!(stats1.get("requests").unwrap().as_f64(), Some(3.0));
+        assert_eq!(stats1.get("ok").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            stats1.get("errors").unwrap().get("parse").unwrap().as_f64(),
+            Some(1.0)
+        );
+        let latency = stats1.get("latency").unwrap().get("total").unwrap();
+        assert_eq!(latency.get("count").unwrap().as_f64(), Some(3.0));
+        assert!(latency.get("p50_ns").unwrap().as_f64().is_some());
+        // Cache counters reconcile with the plan builds: both solves hit
+        // one (digest, bucket, order) key — 1 miss, 1 hit.
+        let cache = stats1.get("cache").unwrap();
+        assert_eq!(cache.get("misses").unwrap().as_f64(), Some(1.0));
+        assert_eq!(cache.get("hits").unwrap().as_f64(), Some(1.0));
+
+        // reset acknowledged; the next snapshot is a fresh window.
+        assert_eq!(lines[4].get("cmd").unwrap().as_str(), Some("reset"));
+        let stats2 = lines[5].get("stats").unwrap();
+        assert_eq!(stats2.get("requests").unwrap().as_f64(), Some(0.0));
+        assert!(
+            stats2
+                .get("latency")
+                .unwrap()
+                .get("total")
+                .unwrap()
+                .get("p50_ns")
+                .is_none(),
+            "empty window omits percentiles"
+        );
+
+        // Unknown commands answer with an error, never kill the server.
+        let bogus = &lines[6];
+        assert_eq!(bogus.get("ok"), Some(&Value::Bool(false)));
+        assert!(bogus.get("error").unwrap().as_str().unwrap().contains("bogus"));
+    }
+
+    #[test]
+    fn sideband_health_surfaces_aggregated_health_counters() {
+        let registry = Arc::new(somrm_obs::MetricsRegistry::new());
+        let options = ServeOptions {
+            solver: SolverConfig {
+                recorder: RecorderHandle::new(registry),
+                ..SolverConfig::default()
+            },
+            ..ServeOptions::default()
+        };
+        let input = format!(
+            "{}\n{}\n",
+            r#"{"id": 1, "model": "model-a", "t": 0.5}"#,
+            r#"{"cmd": "health"}"#,
+        );
+        let mut out = Vec::new();
+        serve(Cursor::new(input), &mut out, &resolver, &options).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let health = parse(text.lines().last().unwrap()).unwrap();
+        assert_eq!(health.get("cmd").unwrap().as_str(), Some("health"));
+        assert_eq!(health.get("telemetry"), Some(&Value::Bool(true)));
+        // The solve above ran with a recorder, so the health monitor
+        // sampled it.
+        assert!(
+            health
+                .get("counters")
+                .unwrap()
+                .get("samples")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn slow_trace_captures_a_chrome_trace_per_slow_request() {
+        let dir = std::env::temp_dir().join(format!(
+            "somrm-slow-trace-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let options = ServeOptions {
+            slow_trace: Some(SlowTraceOptions {
+                dir: dir.clone(),
+                slow_ms: 0,
+            }),
+            ..ServeOptions::default()
+        };
+        let input = format!(
+            "{}\n{}\n",
+            r#"{"id": 1, "model": "model-a", "t": 0.5}"#,
+            r#"{"id": 2, "model": "model-b", "t": 0.5}"#,
+        );
+        let mut out = Vec::new();
+        let summary = serve(Cursor::new(input), &mut out, &resolver, &options).unwrap();
+        assert_eq!(summary.ok, 2);
+
+        // --slow-ms 0 captures every request: seq 0 and 1, each a valid
+        // Chrome trace containing that request's lifecycle span.
+        for seq in 0..2u64 {
+            let path = dir.join(format!("req-{seq:06}.json"));
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("missing trace {}: {e}", path.display()));
+            let v = parse(&text).expect("trace round-trips the JSON parser");
+            let events = v.get("traceEvents").unwrap().as_array().unwrap();
+            let names: Vec<&str> = events
+                .iter()
+                .filter_map(|e| e.get("name").unwrap().as_str())
+                .collect();
+            assert!(
+                names.contains(&format!("req[{seq}]").as_str()),
+                "lifecycle span of seq {seq} in {names:?}"
+            );
+            assert!(
+                names.contains(&"plan.execute"),
+                "solver spans captured alongside: {names:?}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_output_is_identical_with_full_telemetry_enabled() {
+        // Distinct models per line keep responses independent of how
+        // the reader thread happened to batch them.
+        let input = format!(
+            "{}\n{}\n{}\n",
+            r#"{"id": 1, "model": "model-a", "t": [0.5, 0.8], "order": 3}"#,
+            r#"{"id": 2, "model": "model-b", "t": 0.25}"#,
+            r#"{"id": 3, "model": "model-a", "t": -4}"#,
+        );
+        let mut plain = Vec::new();
+        serve(
+            Cursor::new(input.clone()),
+            &mut plain,
+            &resolver,
+            &ServeOptions::default(),
+        )
+        .unwrap();
+
+        let dir = std::env::temp_dir().join(format!(
+            "somrm-serve-identity-test-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let options = ServeOptions {
+            solver: SolverConfig {
+                recorder: RecorderHandle::new(Arc::new(somrm_obs::MetricsRegistry::new())),
+                ..SolverConfig::default()
+            },
+            slow_trace: Some(SlowTraceOptions {
+                dir: dir.clone(),
+                slow_ms: 0,
+            }),
+            ..ServeOptions::default()
+        };
+        let mut telemetered = Vec::new();
+        serve(Cursor::new(input), &mut telemetered, &resolver, &options).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert_eq!(
+            String::from_utf8(plain).unwrap(),
+            String::from_utf8(telemetered).unwrap(),
+            "stats + slow tracing must not change a single response byte"
+        );
     }
 }
