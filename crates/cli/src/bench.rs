@@ -14,7 +14,7 @@
 //! which is what regresses when a kernel changes.
 
 use somrm_core::uniformization::{moments, SolverConfig};
-use somrm_linalg::MatrixFormat;
+use somrm_linalg::{simd, KernelVariant, MatrixFormat};
 use somrm_models::OnOffMultiplexer;
 use somrm_obs::{json, MetricsRegistry, MetricsSnapshot, Recorder, RecorderHandle};
 use std::fmt::Write as _;
@@ -105,12 +105,13 @@ pub struct BenchEntry {
     pub latency_p99_ns: Option<u64>,
 }
 
-/// Solves one rung and reports its fastest rep.
+/// Solves one rung at the given thread count and kernel variant and
+/// reports its fastest rep.
 ///
 /// # Errors
 ///
 /// Propagates model-construction and solver errors as readable strings.
-pub fn run_rung(rung: &Rung) -> Result<BenchEntry, String> {
+pub fn run_rung(rung: &Rung, threads: usize, kernel: KernelVariant) -> Result<BenchEntry, String> {
     let model = OnOffMultiplexer::table2_scaled(rung.sources)
         .model()
         .map_err(|e| format!("{}: {e}", rung.name))?;
@@ -120,6 +121,8 @@ pub fn run_rung(rung: &Rung) -> Result<BenchEntry, String> {
         let cfg = SolverConfig {
             epsilon: EPSILON,
             format: rung.format,
+            threads,
+            kernel,
             recorder: RecorderHandle::new(registry.clone() as Arc<dyn Recorder>),
             ..SolverConfig::default()
         };
@@ -178,6 +181,8 @@ pub fn run_serve_rung(
     t_max: f64,
     n_requests: usize,
     reps: usize,
+    threads: usize,
+    kernel: KernelVariant,
 ) -> Result<(BenchEntry, BenchEntry), String> {
     let model = OnOffMultiplexer::table2_scaled(sources)
         .model()
@@ -189,6 +194,8 @@ pub fn run_serve_rung(
     let times: Vec<f64> = (0..n_requests).map(|i| distinct[i % HORIZONS]).collect();
     let cfg = SolverConfig {
         epsilon: EPSILON,
+        threads,
+        kernel,
         ..SolverConfig::default()
     };
 
@@ -285,7 +292,13 @@ fn git_rev() -> String {
 }
 
 /// Serializes a run as one bench document.
-pub fn to_json(entries: &[BenchEntry], quick: bool) -> String {
+///
+/// The metadata pins the machine-dependent half of the measurement:
+/// `threads` and `kernel` are the knobs the ladder ran with (`kernel`
+/// as requested, `kernel_resolved` after auto-detection), and
+/// `cpu_features` is the host's detected SIMD feature list — two
+/// documents only compare meaningfully when these match.
+pub fn to_json(entries: &[BenchEntry], quick: bool, threads: usize, kernel: KernelVariant) -> String {
     let created = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -300,6 +313,13 @@ pub fn to_json(entries: &[BenchEntry], quick: bool) -> String {
     let _ = write!(out, ",\"order\":{ORDER}");
     out.push_str(",\"epsilon\":");
     json::write_f64(&mut out, EPSILON);
+    let _ = write!(out, ",\"threads\":{threads}");
+    out.push_str(",\"kernel\":");
+    json::write_string(&mut out, &kernel.to_string());
+    out.push_str(",\"kernel_resolved\":");
+    json::write_string(&mut out, kernel.resolve().name());
+    out.push_str(",\"cpu_features\":");
+    json::write_string(&mut out, &simd::cpu_features());
     out.push_str(",\"entries\":[");
     for (i, e) in entries.iter().enumerate() {
         if i > 0 {
@@ -355,11 +375,22 @@ fn fmt_ms(ns: u64) -> String {
 ///
 /// Solver errors and the output write are propagated as readable
 /// strings.
-pub fn cmd_bench_run(quick: bool, out_path: &str) -> Result<String, String> {
+pub fn cmd_bench_run(
+    quick: bool,
+    out_path: &str,
+    threads: usize,
+    kernel: KernelVariant,
+) -> Result<String, String> {
     let mut entries = Vec::new();
     let mut human = String::new();
+    let _ = writeln!(
+        human,
+        "ladder: threads {threads}, kernel {kernel} (resolved {}), cpu {}",
+        kernel.resolve().name(),
+        simd::cpu_features()
+    );
     for rung in standard_ladder(quick) {
-        let e = run_rung(&rung)?;
+        let e = run_rung(&rung, threads, kernel)?;
         let _ = writeln!(
             human,
             "{:<16} {:>7} states  G={:<6} wall {:>12} (min of {})",
@@ -376,7 +407,7 @@ pub fn cmd_bench_run(quick: bool, out_path: &str) -> Result<String, String> {
     // model (t chosen as in the solver ladder, qt up to 2000).
     let (label, sources, t_max, reps) =
         if quick { ("1k", 1_000, 0.5, 1) } else { ("10k", 10_000, 0.05, 2) };
-    let (cold, warm) = run_serve_rung(label, sources, t_max, 24, reps)?;
+    let (cold, warm) = run_serve_rung(label, sources, t_max, 24, reps, threads, kernel)?;
     for e in [cold, warm] {
         let _ = writeln!(
             human,
@@ -389,7 +420,7 @@ pub fn cmd_bench_run(quick: bool, out_path: &str) -> Result<String, String> {
         );
         entries.push(e);
     }
-    let doc = to_json(&entries, quick);
+    let doc = to_json(&entries, quick, threads, kernel);
     std::fs::write(out_path, &doc).map_err(|e| format!("cannot write {out_path}: {e}"))?;
     let _ = writeln!(human, "wrote {out_path} (git {})", git_rev());
     Ok(human)
@@ -426,9 +457,11 @@ fn load_entries(path: &str) -> Result<Vec<(String, u64)>, String> {
 ///
 /// A rung regresses when its new wall time exceeds the old one by more
 /// than `threshold_pct` percent. Rungs present only in the new file are
-/// reported but never fail (the ladder may grow); rungs present in the
-/// old file but **missing from the new one are failures** — a silently
-/// dropped rung is how a perf regression escapes the gate.
+/// explicitly warned about but never fail (the ladder may grow, but a
+/// rung with no baseline is untracked perf and should get one); rungs
+/// present in the old file but **missing from the new one are
+/// failures** — a silently dropped rung is how a perf regression
+/// escapes the gate.
 ///
 /// # Errors
 ///
@@ -446,9 +479,15 @@ pub fn cmd_bench_compare(
     let mut out = String::new();
     let mut regressions = 0usize;
     let mut compared = 0usize;
+    let mut unbaselined = 0usize;
     for (name, new_wall) in &new {
         let Some((_, old_wall)) = old.iter().find(|(n, _)| n == name) else {
-            let _ = writeln!(out, "{name:<16} new rung ({})", fmt_ms(*new_wall));
+            unbaselined += 1;
+            let _ = writeln!(
+                out,
+                "{name:<16} new rung ({}) — WARNING: no baseline in {old_path}",
+                fmt_ms(*new_wall)
+            );
             continue;
         };
         compared += 1;
@@ -476,7 +515,8 @@ pub fn cmd_bench_compare(
     }
     let _ = writeln!(
         out,
-        "bench compare: {compared} rungs, {regressions} regressions, {missing} missing (threshold +{threshold_pct}%)"
+        "bench compare: {compared} rungs, {regressions} regressions, {missing} missing, \
+         {unbaselined} without baseline (threshold +{threshold_pct}%)"
     );
     if (regressions > 0 || missing > 0) && !warn_only {
         Err(out)
@@ -506,7 +546,7 @@ mod tests {
             micro_rung(MatrixFormat::Dia, "dia"),
         ]
         .iter()
-        .map(|r| run_rung(r).unwrap())
+        .map(|r| run_rung(r, 1, KernelVariant::Auto).unwrap())
         .collect();
         assert!(entries[0].iterations > 0);
         assert!(entries[0].wall_ns > 0);
@@ -515,10 +555,16 @@ mod tests {
             "stages: {:?}",
             entries[0].stages
         );
-        let doc = to_json(&entries, true);
+        let doc = to_json(&entries, true, 1, KernelVariant::Auto);
         let v = json::parse(&doc).expect("valid bench JSON");
         assert_eq!(v.get("schema").and_then(|s| s.as_str()), Some(SCHEMA));
         assert!(v.get("git_rev").and_then(|s| s.as_str()).is_some());
+        // Machine-dependent metadata is pinned in the document.
+        assert_eq!(v.get("threads").and_then(|t| t.as_f64()), Some(1.0));
+        assert_eq!(v.get("kernel").and_then(|k| k.as_str()), Some("auto"));
+        let resolved = v.get("kernel_resolved").and_then(|k| k.as_str()).unwrap();
+        assert!(resolved == "scalar" || resolved == "simd");
+        assert!(v.get("cpu_features").and_then(|c| c.as_str()).is_some());
         let parsed = v.get("entries").unwrap().as_array().unwrap();
         assert_eq!(parsed.len(), 2);
         assert_eq!(
@@ -530,8 +576,8 @@ mod tests {
 
     #[test]
     fn csr_and_dia_rungs_agree_on_iteration_count() {
-        let csr = run_rung(&micro_rung(MatrixFormat::Csr, "csr")).unwrap();
-        let dia = run_rung(&micro_rung(MatrixFormat::Dia, "dia")).unwrap();
+        let csr = run_rung(&micro_rung(MatrixFormat::Csr, "csr"), 1, KernelVariant::Auto).unwrap();
+        let dia = run_rung(&micro_rung(MatrixFormat::Dia, "dia"), 1, KernelVariant::Auto).unwrap();
         assert_eq!(csr.iterations, dia.iterations);
     }
 
@@ -580,7 +626,7 @@ mod tests {
                 latency_p99_ns: None,
             },
         ];
-        to_json(&entries, false)
+        to_json(&entries, false, 1, KernelVariant::Auto)
     }
 
     fn write_tmp(name: &str, contents: &str) -> String {
@@ -623,6 +669,10 @@ mod tests {
         // ...but "gone" is in OLD and not NEW, so this must fail.
         let err = cmd_bench_compare(&old, &new, 10.0, false).unwrap_err();
         assert!(err.contains("new rung"), "{err}");
+        // A rung the OLD document lacks is called out loudly: it ran
+        // without a baseline, so its perf is untracked this round.
+        assert!(err.contains("WARNING: no baseline"), "{err}");
+        assert!(err.contains("1 without baseline"), "{err}");
         assert!(err.contains("MISSING"), "{err}");
         assert!(err.contains("1 missing"), "{err}");
         // Warn-only reports the missing rung without failing.
@@ -646,7 +696,7 @@ mod tests {
 
     #[test]
     fn serve_rung_reports_warm_speedup() {
-        let (cold, warm) = run_serve_rung("micro", 50, 0.1, 8, 1).unwrap();
+        let (cold, warm) = run_serve_rung("micro", 50, 0.1, 8, 1, 1, KernelVariant::Auto).unwrap();
         let cold_rps = cold.requests_per_sec.unwrap();
         let warm_rps = warm.requests_per_sec.unwrap();
         assert!(cold_rps > 0.0 && warm_rps > 0.0);
@@ -660,7 +710,7 @@ mod tests {
         assert!(warm.latency_p99_ns.unwrap() >= warm.latency_p50_ns.unwrap());
         assert_eq!(cold.latency_p50_ns, None);
         // The fields survive the document round trip.
-        let doc = to_json(&[cold, warm], true);
+        let doc = to_json(&[cold, warm], true, 1, KernelVariant::Auto);
         let v = json::parse(&doc).unwrap();
         let entries = v.get("entries").unwrap().as_array().unwrap();
         assert_eq!(entries[0].get("name").and_then(|n| n.as_str()), Some("serve-micro-cold"));
@@ -764,7 +814,8 @@ mod tests {
     fn serve_10k_warm_cache_is_5x_over_cold() {
         // The PR's acceptance rung: warm plan-cache serving of the
         // 10k-state multiplexer at ≥5× the cold per-request throughput.
-        let (cold, warm) = run_serve_rung("10k", 10_000, 0.05, 24, 2).unwrap();
+        let (cold, warm) =
+            run_serve_rung("10k", 10_000, 0.05, 24, 2, 1, KernelVariant::Auto).unwrap();
         let cold_rps = cold.requests_per_sec.unwrap();
         let warm_rps = warm.requests_per_sec.unwrap();
         assert!(

@@ -9,7 +9,7 @@ use somrm_core::impulse::moments_with_impulse;
 use somrm_core::moments::summarize;
 use somrm_core::uniformization::{moments, MomentSolution, SolverConfig};
 use somrm_ctmc::stationary::stationary_gth;
-use somrm_linalg::MatrixFormat;
+use somrm_linalg::{KernelVariant, MatrixFormat};
 use somrm_num::Dd;
 use somrm_obs::{
     ChromeTraceRecorder, MetricsRegistry, Recorder, RecorderHandle, SolveReport, TraceRecorder,
@@ -46,6 +46,10 @@ pub struct CommonOpts {
     /// `--format`: iteration-matrix storage (`auto` detects banded
     /// structure and promotes to DIA; `csr`/`dia` force a format).
     pub format: MatrixFormat,
+    /// `--kernel`: fused-kernel variant (`auto` picks SIMD when the CPU
+    /// has AVX2+FMA; `scalar` pins the bit-exact reference path; `simd`
+    /// forces the FMA path, portable without AVX2).
+    pub kernel: KernelVariant,
 }
 
 impl Default for CommonOpts {
@@ -59,6 +63,7 @@ impl Default for CommonOpts {
             trace_out: None,
             progress: false,
             format: MatrixFormat::Auto,
+            kernel: KernelVariant::from_env(),
         }
     }
 }
@@ -116,6 +121,7 @@ impl CommonOpts {
             epsilon: self.epsilon,
             threads: self.threads,
             format: self.format,
+            kernel: self.kernel,
             recorder: rec.clone(),
             progress: self.progress,
             ..SolverConfig::default()

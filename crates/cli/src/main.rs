@@ -9,7 +9,7 @@
 //! somrm-tool simulate <model-file> [--t T] [--order N] [--samples K] [--seed S]
 //! somrm-tool density  <model-file> [--t T] [--points K]
 //! somrm-tool verify   [--cases N] [--seed S] [--out-dir DIR] [--metrics DEST]
-//! somrm-tool bench    [--quick] [--out PATH]
+//! somrm-tool bench    [--quick] [--out PATH] [--threads N] [--kernel K]
 //! somrm-tool bench    --compare OLD NEW [--threshold PCT] [--warn-only]
 //! somrm-tool serve    [--cache-size N] [--threads N] [--eps E] [--metrics PATH]
 //!                     [--stats-out PATH] [--stats-format json|prom]
@@ -22,12 +22,12 @@ use somrm_cli::commands::{
     cmd_sweep, cmd_verify, CommonOpts, ServeTelemetryOpts, StatsFormat,
 };
 use somrm_cli::format::parse_model;
-use somrm_linalg::MatrixFormat;
+use somrm_linalg::{KernelVariant, MatrixFormat};
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: somrm-tool <check|moments|bounds|simulate|density|sweep> <model-file> [options]
        somrm-tool verify [--cases N] [--seed S] [--out-dir DIR] [--metrics DEST]
-       somrm-tool bench [--quick] [--out PATH]
+       somrm-tool bench [--quick] [--out PATH] [--threads N] [--kernel K]
        somrm-tool bench --compare OLD NEW [--threshold PCT] [--warn-only]
        somrm-tool serve [--cache-size N] [--threads N] [--eps E] [--metrics PATH]
                         [--stats-out PATH] [--stats-format json|prom]
@@ -48,6 +48,11 @@ options:
                   identical for any count)
   --format F      iteration-matrix storage: auto|csr|dia (default auto;
                   results are identical for any choice)
+  --kernel K      fused-kernel variant: auto|scalar|simd (default auto:
+                  SIMD when the CPU has AVX2+FMA; scalar pins the
+                  bit-exact reference; env SOMRM_KERNEL overrides the
+                  default; scalar and simd agree within the Theorem-4
+                  truncation bound)
   --metrics DEST  emit the JSON solve report; DEST '-' replaces the
                   normal output on stdout, anything else is a file path
   --trace         print solver stage timings to stderr as they happen
@@ -65,6 +70,8 @@ verify options:
 bench options:
   --quick         drop the 100k-state rungs (debug/CI tier)
   --out PATH      bench document destination (default BENCH_solver.json)
+  --threads N     solver worker threads for the ladder (default 1)
+  --kernel K      kernel variant for the ladder: auto|scalar|simd
   --compare A B   compare two bench documents instead of running
   --threshold P   regression threshold, percent (default 10)
   --warn-only     report regressions without failing the comparison
@@ -148,6 +155,8 @@ fn run() -> Result<String, String> {
         return somrm_cli::bench::cmd_bench_run(
             switch(&args, "--quick"),
             &opt_flag(&args, "--out")?.unwrap_or_else(|| "BENCH_solver.json".to_string()),
+            flag(&args, "--threads", 1usize)?,
+            flag(&args, "--kernel", KernelVariant::from_env())?,
         );
     }
     // `serve` reads models from its request stream, not from argv.
@@ -157,6 +166,7 @@ fn run() -> Result<String, String> {
             threads: flag(&args, "--threads", 1usize)?,
             metrics: opt_flag(&args, "--metrics")?,
             format: flag(&args, "--format", MatrixFormat::Auto)?,
+            kernel: flag(&args, "--kernel", KernelVariant::from_env())?,
             ..CommonOpts::default()
         };
         let tel_opts = ServeTelemetryOpts {
@@ -193,6 +203,7 @@ fn run() -> Result<String, String> {
         trace_out: opt_flag(&args, "--trace-out")?,
         progress: switch(&args, "--progress"),
         format: flag(&args, "--format", MatrixFormat::Auto)?,
+        kernel: flag(&args, "--kernel", KernelVariant::from_env())?,
     };
     match cmd.as_str() {
         "check" => cmd_check(&parsed, &opts),

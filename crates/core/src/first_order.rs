@@ -205,6 +205,9 @@ pub fn moments_first_order(
                 n_states,
                 n_times: 1,
                 threads: 1,
+                // The first-order recursion runs serial matvecs, not
+                // the fused kernel — always strict scalar arithmetic.
+                kernel_variant: "scalar".to_string(),
                 error_bound,
                 error_bounds: error_bounds.clone(),
                 poisson: poisson_accounting(&[t], std::slice::from_ref(&window), g_limit),

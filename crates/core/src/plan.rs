@@ -38,7 +38,7 @@ use crate::uniformization::{
     poisson_accounting, truncation_point, unshift_moments, validate_times, MomentSolution,
     SolverConfig, SolverStats,
 };
-use somrm_linalg::{FusedMomentKernel, IterationMatrix, WorkerPool};
+use somrm_linalg::{FusedMomentKernel, IterationMatrix, ResolvedKernel, WorkerPool};
 use somrm_num::poisson::PoissonWindow;
 use somrm_num::special::{binomial, ln_factorial};
 use somrm_obs::{HealthMonitor, PoissonStat, ProgressMeter, SolveReport, SolverSection};
@@ -293,6 +293,7 @@ impl SolvePlan {
         }
         let pk = self.kernel.as_ref().expect("kernel built whenever q > 0");
         let matrix = &pk.matrix;
+        let variant = config.kernel.resolve();
 
         let t_max = times.iter().copied().fold(0.0, f64::max);
         let qt = q * t_max;
@@ -311,6 +312,10 @@ impl SolvePlan {
                 if matrix.is_dia() { 1.0 } else { 0.0 },
             );
             rec.gauge_set("solver.bandwidth", matrix.bandwidth() as f64);
+            rec.gauge_set(
+                "solver.kernel_variant",
+                if variant == ResolvedKernel::Simd { 1.0 } else { 0.0 },
+            );
         }
 
         let windows: Vec<Option<PoissonWindow>> = rec.time("solve.poisson", || {
@@ -349,6 +354,7 @@ impl SolvePlan {
             &u0,
             pool_guard.as_deref_mut(),
         );
+        kernel.set_variant(variant);
         kernel.set_recorder(rec.clone());
         let mut health = rec.enabled().then(|| HealthMonitor::new(g_limit, order));
         let mut meter = config
@@ -454,6 +460,7 @@ impl SolvePlan {
                     n_states,
                     n_times: times.len(),
                     threads: kernel.threads(),
+                    kernel_variant: variant.name().to_string(),
                     error_bound,
                     error_bounds,
                     poisson: poisson_stats,
@@ -550,6 +557,7 @@ impl SolvePlan {
         let d = self.d.max(f64::MIN_POSITIVE);
         let pk = self.kernel.as_ref().expect("kernel built whenever q > 0");
         let matrix = &pk.matrix;
+        let variant = config.kernel.resolve();
 
         let qt = q * t;
         let (g_limit, error_bounds) = rec.time("solve.truncation", || {
@@ -568,6 +576,10 @@ impl SolvePlan {
                 if matrix.is_dia() { 1.0 } else { 0.0 },
             );
             rec.gauge_set("solver.bandwidth", matrix.bandwidth() as f64);
+            rec.gauge_set(
+                "solver.kernel_variant",
+                if variant == ResolvedKernel::Simd { 1.0 } else { 0.0 },
+            );
         }
         let window = rec.time("solve.poisson", || Some(PoissonWindow::exact(qt, g_limit)));
 
@@ -581,6 +593,7 @@ impl SolvePlan {
             terminal_weights,
             pool_guard.as_deref_mut(),
         );
+        kernel.set_variant(variant);
         kernel.set_recorder(rec.clone());
         let mut health = rec.enabled().then(|| HealthMonitor::new(g_limit, order));
         let mut meter = config
@@ -671,6 +684,7 @@ impl SolvePlan {
                     n_states,
                     n_times: 1,
                     threads: kernel.threads(),
+                    kernel_variant: variant.name().to_string(),
                     error_bound,
                     error_bounds: error_bounds.clone(),
                     poisson: poisson_accounting(&[t], std::slice::from_ref(&window), g_limit),

@@ -35,11 +35,37 @@
 //! a single thread. The kernel dispatches over [`IterationMatrix`] once
 //! per pass, so the CSR and DIA backends share every other line of the
 //! pass and inherit the same determinism contract.
+//!
+//! # Kernel variants
+//!
+//! The pass body comes in two arithmetic variants
+//! ([`crate::simd::KernelVariant`], selected per kernel with
+//! [`FusedMomentKernel::set_variant`]):
+//!
+//! * **scalar** — the strict-f64 reference above, unchanged; bitwise
+//!   results are pinned across releases by golden files.
+//! * **simd** — the same recursion in *canonical FMA association*: each
+//!   row's dot is a left-to-right chain of correctly-rounded
+//!   `mul_add`s over ascending columns, the combine is
+//!   `fma(½s', w₂, fma(r', w₁, dot))`, and the Poisson accumulate is
+//!   unchanged (plain multiply into the Neumaier update). Everything
+//!   the determinism section promises still holds *within* the
+//!   variant — CSR vs DIA, any thread count, AVX2 lanes vs the
+//!   portable fallback all agree bitwise — but scalar vs simd differ
+//!   by rounding reassociation (bounded far below the Theorem-4
+//!   truncation tolerance; the verify oracle checks this).
+//!
+//! The simd pass additionally tiles each chunk into row blocks with the
+//! order/time loops *inside* the block (multi-order register blocking),
+//! so every `U_k` block is streamed through cache once per pass while
+//! all accumulator updates and all orders' advances consume it.
 
 use crate::dia::{DiaMatrix, IterationMatrix};
 use crate::pool::{chunk_range, PoolStats, SyncMutPtr, WorkerPool};
+use crate::simd::{self, ResolvedKernel};
 use somrm_num::sum::NeumaierSum;
 use somrm_obs::RecorderHandle;
+use std::ops::Range;
 
 /// The borrowed raw storage of the iteration matrix, resolved once per
 /// pass so the chunk closure dispatches without touching the enum.
@@ -80,6 +106,7 @@ pub struct FusedMomentKernel<'a> {
     n_times: usize,
     chunks: usize,
     pool: KernelPool<'a>,
+    variant: ResolvedKernel,
     u_cur: Vec<f64>,
     u_next: Vec<f64>,
     acc: Vec<NeumaierSum>,
@@ -184,11 +211,26 @@ impl<'a> FusedMomentKernel<'a> {
             n_times,
             chunks,
             pool,
+            variant: ResolvedKernel::Scalar,
             u_cur,
             u_next: vec![0.0; (order + 1) * n],
             acc: vec![NeumaierSum::new(); n_times * (order + 1) * n],
             recorder: RecorderHandle::disabled(),
         }
+    }
+
+    /// Selects the arithmetic variant of the pass body. Defaults to
+    /// [`ResolvedKernel::Scalar`] (the strict reference); solvers set
+    /// this from the resolved [`crate::simd::KernelVariant`] of their
+    /// config. Switching mid-recursion is allowed but pointless — set
+    /// it once before the first [`FusedMomentKernel::step`].
+    pub fn set_variant(&mut self, variant: ResolvedKernel) {
+        self.variant = variant;
+    }
+
+    /// The arithmetic variant the pass body runs.
+    pub fn variant(&self) -> ResolvedKernel {
+        self.variant
     }
 
     /// Attaches a telemetry recorder; each pass is then timed under
@@ -235,11 +277,20 @@ impl<'a> FusedMomentKernel<'a> {
             }
             IterationMatrix::Dia(m) => MatrixParts::Dia(m.offsets(), m.data()),
         };
-        let r_prime = self.r_prime;
-        let s_half = self.s_half;
-        let u_cur = &self.u_cur;
-        let u_next = SyncMutPtr::new(self.u_next.as_mut_ptr());
-        let acc = SyncMutPtr::new(self.acc.as_mut_ptr());
+        let ctx = PassCtx {
+            n,
+            order1,
+            parts,
+            r_prime: self.r_prime,
+            s_half: self.s_half,
+            u_cur: &self.u_cur,
+            u_next: SyncMutPtr::new(self.u_next.as_mut_ptr()),
+            acc: SyncMutPtr::new(self.acc.as_mut_ptr()),
+            active,
+            advance,
+        };
+        let ctx = &ctx;
+        let variant = self.variant;
         let rec = &self.recorder;
         let task = |c: usize| {
             let range = chunk_range(n, chunks, c);
@@ -251,175 +302,9 @@ impl<'a> FusedMomentKernel<'a> {
             // worker. Does not feed the duration aggregates (that stays
             // at kernel.pass granularity).
             let chunk_start = rec.enabled().then(std::time::Instant::now);
-            for &(ti, wk) in active {
-                for j in 0..order1 {
-                    let uj = &u_cur[j * n..(j + 1) * n];
-                    let base = (ti * order1 + j) * n;
-                    for i in range.clone() {
-                        // SAFETY: chunks write disjoint row ranges.
-                        unsafe { (*acc.add(base + i)).add(wk * uj[i]) };
-                    }
-                }
-            }
-            if advance {
-                match parts {
-                    MatrixParts::Csr(row_ptr, col_idx, values) => {
-                        for j in 0..order1 {
-                            let uj = &u_cur[j * n..(j + 1) * n];
-                            for i in range.clone() {
-                                let mut dot = 0.0;
-                                for k in row_ptr[i]..row_ptr[i + 1] {
-                                    dot += values[k] * uj[col_idx[k]];
-                                }
-                                let v = if j >= 2 {
-                                    dot + r_prime[i] * u_cur[(j - 1) * n + i]
-                                        + s_half[i] * u_cur[(j - 2) * n + i]
-                                } else if j == 1 {
-                                    dot + r_prime[i] * u_cur[i]
-                                } else {
-                                    dot
-                                };
-                                // SAFETY: chunks write disjoint row ranges.
-                                unsafe { *u_next.add(j * n + i) = v };
-                            }
-                        }
-                    }
-                    MatrixParts::Dia(offsets, data) => {
-                        // Single pass per row, like the CSR branch:
-                        // interior rows — where every diagonal is in
-                        // band — run branch-free, and the handful of
-                        // edge rows near the matrix border guard each
-                        // diagonal individually. Per-row terms
-                        // accumulate in ascending-offset order
-                        // (= ascending columns, the CSR dot's term
-                        // order) into the same left-associated combine,
-                        // so both backends stay bit-identical.
-                        let diags: Vec<&[f64]> = data.chunks_exact(n).collect();
-                        let (int_lo, int_hi) = {
-                            let mut lo = range.start;
-                            let mut hi = range.end;
-                            for &o in offsets {
-                                let rows = DiaMatrix::diag_rows(n, o);
-                                lo = lo.max(rows.start);
-                                hi = hi.min(rows.end);
-                            }
-                            let lo = lo.min(range.end);
-                            (lo, hi.max(lo))
-                        };
-                        let edge_row = |j: usize, i: usize| {
-                            let uj = &u_cur[j * n..(j + 1) * n];
-                            let mut dot = 0.0;
-                            for (&o, diag) in offsets.iter().zip(&diags) {
-                                if DiaMatrix::diag_rows(n, o).contains(&i) {
-                                    dot += diag[i] * uj[(i as isize + o) as usize];
-                                }
-                            }
-                            let v = if j >= 2 {
-                                dot + r_prime[i] * u_cur[(j - 1) * n + i]
-                                    + s_half[i] * u_cur[(j - 2) * n + i]
-                            } else if j == 1 {
-                                dot + r_prime[i] * u_cur[i]
-                            } else {
-                                dot
-                            };
-                            // SAFETY: chunks write disjoint row ranges.
-                            unsafe { *u_next.add(j * n + i) = v };
-                        };
-                        for j in 0..order1 {
-                            for i in (range.start..int_lo).chain(int_hi..range.end) {
-                                edge_row(j, i);
-                            }
-                        }
-                        if matches!(offsets, [-1, 0, 1]) {
-                            // The paper-scale shape (birth–death
-                            // chains). The interior is tiled into row
-                            // blocks with the order loop *inside* the
-                            // block, so the three diagonals and the
-                            // `r'`/`½s'` streams are re-read from cache
-                            // instead of memory for the higher orders.
-                            // Within a block every stream is pre-sliced
-                            // and the order-`j` combine is unswitched,
-                            // so the row loop is branch- and
-                            // bounds-check-free and vectorizes. The +=
-                            // chain keeps the exact ascending-column
-                            // association of the CSR dot; tiling only
-                            // reorders *which rows* are computed when,
-                            // never a row's own term order, so the
-                            // result stays bit-identical.
-                            const BLOCK: usize = 4096;
-                            let mut blo = int_lo;
-                            while blo < int_hi {
-                                let bhi = (blo + BLOCK).min(int_hi);
-                                let len = bhi - blo;
-                                let dm1 = &diags[0][blo..bhi];
-                                let d0 = &diags[1][blo..bhi];
-                                let dp1 = &diags[2][blo..bhi];
-                                let rp = &r_prime[blo..bhi];
-                                let sh = &s_half[blo..bhi];
-                                for j in 0..order1 {
-                                    let uj = &u_cur[j * n..(j + 1) * n];
-                                    let um1 = &uj[blo - 1..bhi - 1];
-                                    let u00 = &uj[blo..bhi];
-                                    let up1 = &uj[blo + 1..bhi + 1];
-                                    // SAFETY: chunks write disjoint row ranges.
-                                    let out = unsafe {
-                                        std::slice::from_raw_parts_mut(
-                                            u_next.add(j * n + blo),
-                                            len,
-                                        )
-                                    };
-                                    let tri = |idx: usize| {
-                                        let mut dot = 0.0;
-                                        dot += dm1[idx] * um1[idx];
-                                        dot += d0[idx] * u00[idx];
-                                        dot += dp1[idx] * up1[idx];
-                                        dot
-                                    };
-                                    if j >= 2 {
-                                        let w1 = &u_cur[(j - 1) * n + blo..(j - 1) * n + bhi];
-                                        let w2 = &u_cur[(j - 2) * n + blo..(j - 2) * n + bhi];
-                                        for idx in 0..len {
-                                            out[idx] =
-                                                tri(idx) + rp[idx] * w1[idx] + sh[idx] * w2[idx];
-                                        }
-                                    } else if j == 1 {
-                                        let w1 = &u_cur[blo..bhi];
-                                        for idx in 0..len {
-                                            out[idx] = tri(idx) + rp[idx] * w1[idx];
-                                        }
-                                    } else {
-                                        for idx in 0..len {
-                                            out[idx] = tri(idx);
-                                        }
-                                    }
-                                }
-                                blo = bhi;
-                            }
-                        } else {
-                            for j in 0..order1 {
-                                let uj = &u_cur[j * n..(j + 1) * n];
-                                let combine = |i: usize, dot: f64| {
-                                    if j >= 2 {
-                                        dot + r_prime[i] * u_cur[(j - 1) * n + i]
-                                            + s_half[i] * u_cur[(j - 2) * n + i]
-                                    } else if j == 1 {
-                                        dot + r_prime[i] * u_cur[i]
-                                    } else {
-                                        dot
-                                    }
-                                };
-                                for i in int_lo..int_hi {
-                                    let mut dot = 0.0;
-                                    for (&o, diag) in offsets.iter().zip(&diags) {
-                                        dot += diag[i] * uj[(i as isize + o) as usize];
-                                    }
-                                    // SAFETY: chunks write disjoint row ranges.
-                                    unsafe { *u_next.add(j * n + i) = combine(i, dot) };
-                                }
-                            }
-                        }
-                    }
-                }
+            match variant {
+                ResolvedKernel::Scalar => scalar_chunk(ctx, range),
+                ResolvedKernel::Simd => simd_chunk(ctx, range),
             }
             if let Some(start) = chunk_start {
                 let nanos = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
@@ -463,6 +348,381 @@ impl<'a> FusedMomentKernel<'a> {
     pub fn u_order(&self, j: usize) -> &[f64] {
         assert!(j <= self.order, "order index out of range");
         &self.u_cur[j * self.n..(j + 1) * self.n]
+    }
+}
+
+/// Shared read-only context of one fused pass, handed to the per-chunk
+/// kernel bodies. The two raw write targets are only touched inside the
+/// chunk's own row range.
+struct PassCtx<'c> {
+    n: usize,
+    order1: usize,
+    parts: MatrixParts<'c>,
+    r_prime: &'c [f64],
+    s_half: &'c [f64],
+    u_cur: &'c [f64],
+    u_next: SyncMutPtr<f64>,
+    acc: SyncMutPtr<NeumaierSum>,
+    active: &'c [(usize, f64)],
+    advance: bool,
+}
+
+/// The strict-f64 reference chunk body — the historical kernel,
+/// bit-for-bit. Plain `*`/`+` in source order; no fused multiply-add.
+fn scalar_chunk(ctx: &PassCtx, range: Range<usize>) {
+    let n = ctx.n;
+    let order1 = ctx.order1;
+    let u_cur = ctx.u_cur;
+    let u_next = &ctx.u_next;
+    let acc = &ctx.acc;
+    let r_prime = ctx.r_prime;
+    let s_half = ctx.s_half;
+    for &(ti, wk) in ctx.active {
+        for j in 0..order1 {
+            let uj = &u_cur[j * n..(j + 1) * n];
+            let base = (ti * order1 + j) * n;
+            for i in range.clone() {
+                // SAFETY: chunks write disjoint row ranges.
+                unsafe { (*acc.add(base + i)).add(wk * uj[i]) };
+            }
+        }
+    }
+    if ctx.advance {
+        match ctx.parts {
+            MatrixParts::Csr(row_ptr, col_idx, values) => {
+                for j in 0..order1 {
+                    let uj = &u_cur[j * n..(j + 1) * n];
+                    for i in range.clone() {
+                        let mut dot = 0.0;
+                        for k in row_ptr[i]..row_ptr[i + 1] {
+                            dot += values[k] * uj[col_idx[k]];
+                        }
+                        let v = if j >= 2 {
+                            dot + r_prime[i] * u_cur[(j - 1) * n + i]
+                                + s_half[i] * u_cur[(j - 2) * n + i]
+                        } else if j == 1 {
+                            dot + r_prime[i] * u_cur[i]
+                        } else {
+                            dot
+                        };
+                        // SAFETY: chunks write disjoint row ranges.
+                        unsafe { *u_next.add(j * n + i) = v };
+                    }
+                }
+            }
+            MatrixParts::Dia(offsets, data) => {
+                // Single pass per row, like the CSR branch:
+                // interior rows — where every diagonal is in
+                // band — run branch-free, and the handful of
+                // edge rows near the matrix border guard each
+                // diagonal individually. Per-row terms
+                // accumulate in ascending-offset order
+                // (= ascending columns, the CSR dot's term
+                // order) into the same left-associated combine,
+                // so both backends stay bit-identical.
+                let diags: Vec<&[f64]> = data.chunks_exact(n).collect();
+                let (int_lo, int_hi) = {
+                    let mut lo = range.start;
+                    let mut hi = range.end;
+                    for &o in offsets {
+                        let rows = DiaMatrix::diag_rows(n, o);
+                        lo = lo.max(rows.start);
+                        hi = hi.min(rows.end);
+                    }
+                    let lo = lo.min(range.end);
+                    (lo, hi.max(lo))
+                };
+                let edge_row = |j: usize, i: usize| {
+                    let uj = &u_cur[j * n..(j + 1) * n];
+                    let mut dot = 0.0;
+                    for (&o, diag) in offsets.iter().zip(&diags) {
+                        if DiaMatrix::diag_rows(n, o).contains(&i) {
+                            dot += diag[i] * uj[(i as isize + o) as usize];
+                        }
+                    }
+                    let v = if j >= 2 {
+                        dot + r_prime[i] * u_cur[(j - 1) * n + i]
+                            + s_half[i] * u_cur[(j - 2) * n + i]
+                    } else if j == 1 {
+                        dot + r_prime[i] * u_cur[i]
+                    } else {
+                        dot
+                    };
+                    // SAFETY: chunks write disjoint row ranges.
+                    unsafe { *u_next.add(j * n + i) = v };
+                };
+                for j in 0..order1 {
+                    for i in (range.start..int_lo).chain(int_hi..range.end) {
+                        edge_row(j, i);
+                    }
+                }
+                if matches!(offsets, [-1, 0, 1]) {
+                    // The paper-scale shape (birth–death
+                    // chains). The interior is tiled into row
+                    // blocks with the order loop *inside* the
+                    // block, so the three diagonals and the
+                    // `r'`/`½s'` streams are re-read from cache
+                    // instead of memory for the higher orders.
+                    // Within a block every stream is pre-sliced
+                    // and the order-`j` combine is unswitched,
+                    // so the row loop is branch- and
+                    // bounds-check-free and vectorizes. The +=
+                    // chain keeps the exact ascending-column
+                    // association of the CSR dot; tiling only
+                    // reorders *which rows* are computed when,
+                    // never a row's own term order, so the
+                    // result stays bit-identical.
+                    const BLOCK: usize = 4096;
+                    let mut blo = int_lo;
+                    while blo < int_hi {
+                        let bhi = (blo + BLOCK).min(int_hi);
+                        let len = bhi - blo;
+                        let dm1 = &diags[0][blo..bhi];
+                        let d0 = &diags[1][blo..bhi];
+                        let dp1 = &diags[2][blo..bhi];
+                        let rp = &r_prime[blo..bhi];
+                        let sh = &s_half[blo..bhi];
+                        for j in 0..order1 {
+                            let uj = &u_cur[j * n..(j + 1) * n];
+                            let um1 = &uj[blo - 1..bhi - 1];
+                            let u00 = &uj[blo..bhi];
+                            let up1 = &uj[blo + 1..bhi + 1];
+                            // SAFETY: chunks write disjoint row ranges.
+                            let out = unsafe {
+                                std::slice::from_raw_parts_mut(u_next.add(j * n + blo), len)
+                            };
+                            let tri = |idx: usize| {
+                                let mut dot = 0.0;
+                                dot += dm1[idx] * um1[idx];
+                                dot += d0[idx] * u00[idx];
+                                dot += dp1[idx] * up1[idx];
+                                dot
+                            };
+                            if j >= 2 {
+                                let w1 = &u_cur[(j - 1) * n + blo..(j - 1) * n + bhi];
+                                let w2 = &u_cur[(j - 2) * n + blo..(j - 2) * n + bhi];
+                                for idx in 0..len {
+                                    out[idx] = tri(idx) + rp[idx] * w1[idx] + sh[idx] * w2[idx];
+                                }
+                            } else if j == 1 {
+                                let w1 = &u_cur[blo..bhi];
+                                for idx in 0..len {
+                                    out[idx] = tri(idx) + rp[idx] * w1[idx];
+                                }
+                            } else {
+                                for idx in 0..len {
+                                    out[idx] = tri(idx);
+                                }
+                            }
+                        }
+                        blo = bhi;
+                    }
+                } else {
+                    for j in 0..order1 {
+                        let uj = &u_cur[j * n..(j + 1) * n];
+                        let combine = |i: usize, dot: f64| {
+                            if j >= 2 {
+                                dot + r_prime[i] * u_cur[(j - 1) * n + i]
+                                    + s_half[i] * u_cur[(j - 2) * n + i]
+                            } else if j == 1 {
+                                dot + r_prime[i] * u_cur[i]
+                            } else {
+                                dot
+                            }
+                        };
+                        for i in int_lo..int_hi {
+                            let mut dot = 0.0;
+                            for (&o, diag) in offsets.iter().zip(&diags) {
+                                dot += diag[i] * uj[(i as isize + o) as usize];
+                            }
+                            // SAFETY: chunks write disjoint row ranges.
+                            unsafe { *u_next.add(j * n + i) = combine(i, dot) };
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The canonical-FMA combine shared by the simd CSR rows and the simd
+/// DIA edge rows: `fma(½s'[i], w₂, fma(r'[i], w₁, dot))`. The strict
+/// interior uses [`simd::axpy_fma`] to apply the identical two terms
+/// lane-wise, so every simd row agrees bitwise regardless of path.
+#[inline(always)]
+fn fma_combine(ctx: &PassCtx, j: usize, i: usize, dot: f64) -> f64 {
+    let n = ctx.n;
+    if j >= 2 {
+        ctx.s_half[i].mul_add(
+            ctx.u_cur[(j - 2) * n + i],
+            ctx.r_prime[i].mul_add(ctx.u_cur[(j - 1) * n + i], dot),
+        )
+    } else if j == 1 {
+        ctx.r_prime[i].mul_add(ctx.u_cur[i], dot)
+    } else {
+        dot
+    }
+}
+
+/// Row-block size of the simd pass: 2048 rows = 16 KiB per order
+/// stream, sized so a block of every order's `U_k` plus the diagonal
+/// and combine streams stays cache-resident while all time points and
+/// orders consume it.
+const SIMD_BLOCK: usize = 2048;
+
+/// Lookahead distance (in rows) of the software prefetch issued ahead
+/// of the CSR gather `u[col_idx[k]]`.
+const CSR_PREFETCH_ROWS: usize = 8;
+
+/// Average-nonzeros-per-row threshold below which the CSR gather skips
+/// software prefetching: sparse-banded rows hit cache lines the
+/// hardware prefetcher already covers, and the extra traversal of the
+/// lookahead row's indices costs more than the stall it would hide.
+const CSR_PREFETCH_MIN_NNZ_PER_ROW: usize = 8;
+
+/// The canonical-FMA chunk body. Tiles the chunk into [`SIMD_BLOCK`]
+/// row blocks; within a block the Poisson-weighted accumulate runs for
+/// every `(time, order)` pair while the `U_k` rows are cache-hot
+/// (vectorized Neumaier, bitwise-equal to the scalar update), then the
+/// advance re-reads the same rows as dot input for order `j` and as
+/// combine input for orders `j+1`/`j+2`. The DIA interior runs 4-wide
+/// ([`simd::dot_strips`] + [`simd::axpy_fma`]); the CSR gather is
+/// software-prefetched [`CSR_PREFETCH_ROWS`] rows ahead.
+///
+/// Dispatch: with AVX2+FMA detected the body runs inside a
+/// `#[target_feature]` wrapper so every `mul_add` in the row loops
+/// compiles to a single `vfmadd` — without it (portable builds, or
+/// `--kernel simd` forced on older CPUs) the same body runs as-is and
+/// `mul_add` falls back to the correctly-rounded libm fma, producing
+/// identical bits at lower speed.
+fn simd_chunk(ctx: &PassCtx, range: Range<usize>) {
+    #[cfg(target_arch = "x86_64")]
+    if simd::fma_available() {
+        // SAFETY: AVX2+FMA presence was just checked at runtime.
+        unsafe { simd_chunk_avx2(ctx, range) };
+        return;
+    }
+    simd_chunk_impl(ctx, range);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn simd_chunk_avx2(ctx: &PassCtx, range: Range<usize>) {
+    simd_chunk_impl(ctx, range);
+}
+
+#[inline(always)]
+fn simd_chunk_impl(ctx: &PassCtx, range: Range<usize>) {
+    let n = ctx.n;
+    let order1 = ctx.order1;
+    let u_cur = ctx.u_cur;
+    // DIA-only precomputation: per-diagonal views and this chunk's
+    // interior rows (where every diagonal is in band). For CSR the
+    // whole chunk counts as interior.
+    let (dia_offsets, dia_diags, int_lo, int_hi) = match ctx.parts {
+        MatrixParts::Dia(offsets, data) => {
+            let diags: Vec<&[f64]> = data.chunks_exact(n).collect();
+            let mut lo = range.start;
+            let mut hi = range.end;
+            for &o in offsets {
+                let rows = DiaMatrix::diag_rows(n, o);
+                lo = lo.max(rows.start);
+                hi = hi.min(rows.end);
+            }
+            let lo = lo.min(range.end);
+            (offsets, diags, lo, hi.max(lo))
+        }
+        MatrixParts::Csr(..) => (&[][..], Vec::new(), range.start, range.end),
+    };
+    let mut strips: Vec<(&[f64], &[f64])> = Vec::with_capacity(dia_diags.len());
+    let mut blo = range.start;
+    while blo < range.end {
+        let bhi = (blo + SIMD_BLOCK).min(range.end);
+        let len = bhi - blo;
+        for j in 0..order1 {
+            let uj = &u_cur[j * n + blo..j * n + bhi];
+            for &(ti, wk) in ctx.active {
+                let base = (ti * order1 + j) * n + blo;
+                // SAFETY: chunks write disjoint row ranges.
+                let accs =
+                    unsafe { std::slice::from_raw_parts_mut(ctx.acc.add(base), len) };
+                simd::accumulate_scaled(accs, uj, wk);
+            }
+        }
+        if ctx.advance {
+            match ctx.parts {
+                MatrixParts::Csr(row_ptr, col_idx, values) => {
+                    // Prefetch pays for itself only on gather-heavy
+                    // rows: on narrow-band matrices stored as CSR
+                    // (few, adjacent targets per row) the extra index
+                    // traversal costs as much as the dot it hides.
+                    let prefetch = row_ptr[n] >= CSR_PREFETCH_MIN_NNZ_PER_ROW * n;
+                    for j in 0..order1 {
+                        let uj = &u_cur[j * n..(j + 1) * n];
+                        for i in blo..bhi {
+                            let pf = i + CSR_PREFETCH_ROWS;
+                            if prefetch && pf < bhi {
+                                for k in row_ptr[pf]..row_ptr[pf + 1] {
+                                    simd::prefetch_read(&uj[col_idx[k]]);
+                                }
+                            }
+                            let mut dot = 0.0;
+                            for k in row_ptr[i]..row_ptr[i + 1] {
+                                dot = values[k].mul_add(uj[col_idx[k]], dot);
+                            }
+                            let v = fma_combine(ctx, j, i, dot);
+                            // SAFETY: chunks write disjoint row ranges.
+                            unsafe { *ctx.u_next.add(j * n + i) = v };
+                        }
+                    }
+                }
+                MatrixParts::Dia(..) => {
+                    // This block's slice of the chunk interior; rows
+                    // outside it are edge rows handled per-diagonal.
+                    let ilo = blo.max(int_lo).min(bhi);
+                    let ihi = bhi.min(int_hi).max(ilo);
+                    for j in 0..order1 {
+                        let uj = &u_cur[j * n..(j + 1) * n];
+                        for i in (blo..ilo).chain(ihi..bhi) {
+                            let mut dot = 0.0;
+                            for (&o, &diag) in dia_offsets.iter().zip(&dia_diags) {
+                                if DiaMatrix::diag_rows(n, o).contains(&i) {
+                                    dot = diag[i].mul_add(uj[(i as isize + o) as usize], dot);
+                                }
+                            }
+                            let v = fma_combine(ctx, j, i, dot);
+                            // SAFETY: chunks write disjoint row ranges.
+                            unsafe { *ctx.u_next.add(j * n + i) = v };
+                        }
+                        if ihi > ilo {
+                            strips.clear();
+                            for (&o, &diag) in dia_offsets.iter().zip(&dia_diags) {
+                                let x_lo = (ilo as isize + o) as usize;
+                                let x_hi = (ihi as isize + o) as usize;
+                                strips.push((&diag[ilo..ihi], &uj[x_lo..x_hi]));
+                            }
+                            // SAFETY: chunks write disjoint row ranges.
+                            let out = unsafe {
+                                std::slice::from_raw_parts_mut(
+                                    ctx.u_next.add(j * n + ilo),
+                                    ihi - ilo,
+                                )
+                            };
+                            simd::dot_strips(out, &strips);
+                            if j >= 1 {
+                                let w1 = &u_cur[(j - 1) * n + ilo..(j - 1) * n + ihi];
+                                simd::axpy_fma(out, &ctx.r_prime[ilo..ihi], w1);
+                            }
+                            if j >= 2 {
+                                let w2 = &u_cur[(j - 2) * n + ilo..(j - 2) * n + ihi];
+                                simd::axpy_fma(out, &ctx.s_half[ilo..ihi], w2);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        blo = bhi;
     }
 }
 
@@ -622,6 +882,77 @@ mod tests {
                 let vd: Vec<f64> = d.accumulated(0, j).iter().map(|s| s.value()).collect();
                 assert_eq!(va, vd, "threads {threads}, j {j}");
             }
+        }
+    }
+
+    /// Runs 30 steps with the given variant and returns every
+    /// accumulated value, flattened. Mixed-sign `r'` exercises the
+    /// negative-intermediate paths of the canonical-FMA chain.
+    fn run_variant(
+        m: &CsrMatrix<f64>,
+        format: MatrixFormat,
+        threads: usize,
+        variant: ResolvedKernel,
+    ) -> Vec<f64> {
+        let n = m.rows();
+        let order = 3;
+        let r_prime: Vec<f64> = (0..n).map(|i| (i % 9) as f64 / 10.0 - 0.4).collect();
+        let s_half: Vec<f64> = (0..n).map(|i| (i % 4) as f64 / 20.0).collect();
+        let u0 = vec![1.0; n];
+        let active0 = [(0usize, 0.25f64), (1, 0.5)];
+        let active1 = [(1usize, 0.125f64)];
+        let im = IterationMatrix::with_format(m.clone(), format);
+        let mut k = FusedMomentKernel::new(&im, &r_prime, &s_half, order, 2, &u0, threads);
+        k.set_variant(variant);
+        assert_eq!(k.variant(), variant);
+        for step in 0..30 {
+            let active: &[(usize, f64)] = if step % 2 == 0 { &active0 } else { &active1 };
+            k.step(active, step < 29);
+        }
+        let mut out = Vec::new();
+        for ti in 0..2 {
+            for j in 0..=order {
+                out.extend(k.accumulated(ti, j).iter().map(|a| a.value()));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn simd_variant_bitwise_across_formats_and_threads() {
+        // The canonical FMA association makes the simd variant its own
+        // determinism class: CSR vs (forced) DIA, every thread count,
+        // vector lanes vs remainder rows — all bit-identical.
+        let m = test_matrix(257);
+        let baseline = run_variant(&m, MatrixFormat::Csr, 1, ResolvedKernel::Simd);
+        for format in [MatrixFormat::Csr, MatrixFormat::Dia] {
+            for threads in [1usize, 2, 4, 8] {
+                let got = run_variant(&m, format, threads, ResolvedKernel::Simd);
+                assert_eq!(baseline.len(), got.len());
+                for (i, (a, b)) in baseline.iter().zip(&got).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "simd {format} x{threads} diverged at {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn simd_variant_agrees_with_scalar_within_rounding() {
+        // Scalar vs simd differ only by rounding reassociation: a few
+        // ulps per step, nowhere near the solver's truncation bounds.
+        let m = test_matrix(257);
+        let scalar = run_variant(&m, MatrixFormat::Csr, 1, ResolvedKernel::Scalar);
+        let simd = run_variant(&m, MatrixFormat::Csr, 1, ResolvedKernel::Simd);
+        let scale = scalar.iter().fold(1.0f64, |a, &v| a.max(v.abs()));
+        for (i, (a, b)) in scalar.iter().zip(&simd).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-12 * scale,
+                "scalar vs simd at {i}: {a} vs {b} (scale {scale})"
+            );
         }
     }
 

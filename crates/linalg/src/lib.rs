@@ -20,6 +20,10 @@
 //! * [`fused`] — the fused randomization-recursion kernel: one parallel
 //!   pass per iteration covering the sparse mat-vec, the `R'`/`½S'`
 //!   diagonal combine, and the Poisson-weighted moment accumulation;
+//! * [`simd`] — the kernel-variant selector (`scalar` reference vs
+//!   canonical-FMA `simd`) with runtime AVX2/FMA dispatch and the
+//!   vectorized strip/combine/accumulate primitives the fused kernel
+//!   blocks over;
 //! * [`expm`] — matrix exponential by scaling-and-squaring with Padé(13),
 //!   generic over the scalar, used to evaluate `exp((Q − vR + v²S/2)t)`;
 //! * [`tridiag`] — symmetric tridiagonal eigensolver (implicit-shift QL)
@@ -48,6 +52,7 @@ pub mod fused;
 pub mod lu;
 pub mod pool;
 pub mod scalar;
+pub mod simd;
 pub mod sparse;
 pub mod thomas;
 pub mod tridiag;
@@ -59,4 +64,5 @@ pub use error::LinalgError;
 pub use fused::FusedMomentKernel;
 pub use pool::{PoolStats, WorkerPool};
 pub use scalar::{Cx, Scalar};
+pub use simd::{KernelVariant, ResolvedKernel};
 pub use sparse::{CsrMatrix, TripletBuilder};

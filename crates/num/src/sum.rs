@@ -19,7 +19,12 @@
 /// }
 /// assert!((acc.value() - 1.0).abs() < 1e-15);
 /// ```
+/// The layout is `repr(C)` — `sum` then `compensation`, two `f64`s —
+/// so vectorized accumulation kernels can view a `[NeumaierSum]` slice
+/// as interleaved `f64` pairs (the SIMD accumulate path in
+/// `somrm-linalg` relies on this).
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[repr(C)]
 pub struct NeumaierSum {
     sum: f64,
     compensation: f64,

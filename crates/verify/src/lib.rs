@@ -100,6 +100,8 @@ pub struct VerifySummary {
     /// See [`VerifySummary::dia_checked`].
     pub plan_checked: u64,
     /// See [`VerifySummary::dia_checked`].
+    pub simd_checked: u64,
+    /// See [`VerifySummary::dia_checked`].
     pub first_order_checked: u64,
     /// See [`VerifySummary::dia_checked`].
     pub ode_checked: u64,
@@ -124,10 +126,11 @@ impl VerifySummary {
         }
         let _ = writeln!(
             out,
-            "checks: dia {} | pool {} | plan {} | first-order {} | ode {} | sim {}",
+            "checks: dia {} | pool {} | plan {} | simd {} | first-order {} | ode {} | sim {}",
             self.dia_checked,
             self.pool_checked,
             self.plan_checked,
+            self.simd_checked,
             self.first_order_checked,
             self.ode_checked,
             self.sim_checked
@@ -181,6 +184,7 @@ pub fn run_verification(opts: &VerifyOpts) -> VerifySummary {
                 summary.dia_checked += u64::from(stats.dia_checked);
                 summary.pool_checked += u64::from(stats.pool_checked);
                 summary.plan_checked += u64::from(stats.plan_checked);
+                summary.simd_checked += u64::from(stats.simd_checked);
                 summary.first_order_checked += u64::from(stats.first_order_checked);
                 summary.ode_checked += u64::from(stats.ode_checked);
                 summary.sim_checked += u64::from(stats.sim_checked);
@@ -239,6 +243,7 @@ mod tests {
         assert_eq!(summary.dia_checked, 16);
         assert_eq!(summary.pool_checked, 16);
         assert_eq!(summary.plan_checked, 16);
+        assert_eq!(summary.simd_checked, 16);
         assert!(summary.first_order_checked >= 2, "first-order family ran");
         assert!(summary.render().contains("PASS"));
     }

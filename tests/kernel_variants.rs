@@ -1,0 +1,255 @@
+//! Cross-variant contracts of the fused-kernel dispatch.
+//!
+//! Two tests anchor the `--kernel` surface:
+//!
+//! - **Golden bit-exactness.** `tests/regressions/scalar-golden.json`
+//!   pins the scalar kernel's outputs as captured *before* the SIMD
+//!   dispatch landed, over three structurally distinct models, two
+//!   thread configurations, and two orders. With `kernel: Scalar` the
+//!   solver must reproduce every bit forever — the scalar path is the
+//!   reference mode the SIMD rewrite is not allowed to disturb.
+//! - **Scalar/SIMD agreement.** A property test crosses the variants
+//!   over random models (banded and scattered), orders 0–5, and thread
+//!   counts 1/2/4: the difference must stay within the Theorem-4
+//!   truncation bounds both solves report, plus a rounding floor —
+//!   FMA reassociation is the only divergence the SIMD path is allowed.
+
+use proptest::prelude::*;
+use somrm::obs::json;
+use somrm::prelude::*;
+use somrm::solver::{moments_sweep, KernelVariant, MatrixFormat};
+
+fn pentadiag_model(n: usize) -> SecondOrderMrm {
+    let mut b = GeneratorBuilder::new(n);
+    for i in 0..n {
+        if i + 1 < n {
+            b.rate(i, i + 1, 1.0 + (i % 3) as f64 * 0.25).unwrap();
+        }
+        if i + 2 < n {
+            b.rate(i, i + 2, 0.5 + (i % 2) as f64 * 0.125).unwrap();
+        }
+        if i >= 1 {
+            b.rate(i, i - 1, 0.75).unwrap();
+        }
+        if i >= 2 {
+            b.rate(i, i - 2, 0.25).unwrap();
+        }
+    }
+    let rates: Vec<f64> = (0..n).map(|i| (i % 5) as f64 - 1.0).collect();
+    let vars: Vec<f64> = (0..n).map(|i| (i % 3) as f64 * 0.5).collect();
+    let mut init = vec![0.0; n];
+    init[0] = 0.5;
+    init[n / 2] = 0.5;
+    SecondOrderMrm::new(b.build().unwrap(), rates, vars, init).unwrap()
+}
+
+fn scattered_model(n: usize) -> SecondOrderMrm {
+    let mut b = GeneratorBuilder::new(n);
+    for i in 0..n {
+        b.rate(i, (i + 1) % n, 1.0 + (i % 4) as f64 * 0.5).unwrap();
+        let j = (i * 7 + 3) % n;
+        if j != i {
+            b.rate(i, j, 0.25).unwrap();
+        }
+    }
+    let rates: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 * 0.5 - 1.0).collect();
+    let vars: Vec<f64> = (0..n).map(|i| ((i * 5) % 4) as f64 * 0.25).collect();
+    let mut init = vec![0.0; n];
+    init[0] = 1.0;
+    SecondOrderMrm::new(b.build().unwrap(), rates, vars, init).unwrap()
+}
+
+fn golden_model(label: &str) -> SecondOrderMrm {
+    match label {
+        "onoff-200" => OnOffMultiplexer::table2_scaled(200).model().unwrap(),
+        "pentadiag-64" => pentadiag_model(64),
+        "scattered-97" => scattered_model(97),
+        other => panic!("golden file references unknown model '{other}'"),
+    }
+}
+
+/// The evaluation grid the golden file was captured on.
+const GOLDEN_TIMES: [f64; 3] = [0.05, 0.4, 1.1];
+
+#[test]
+fn scalar_kernel_matches_pre_simd_golden_bits() {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/regressions/scalar-golden.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let doc = json::parse(&text).expect("golden file parses");
+    let cases = doc.get("cases").and_then(|c| c.as_array()).expect("cases array");
+    assert!(cases.len() >= 12, "golden corpus went missing ({} cases)", cases.len());
+    for case in cases {
+        let label = case.get("label").and_then(|l| l.as_str()).expect("label");
+        let model = golden_model(case.get("model").and_then(|m| m.as_str()).expect("model"));
+        let threads = case.get("threads").and_then(|t| t.as_f64()).expect("threads") as usize;
+        let par = case
+            .get("parallel_threshold")
+            .and_then(|p| p.as_f64())
+            .expect("parallel_threshold") as usize;
+        let order = case.get("order").and_then(|o| o.as_f64()).expect("order") as usize;
+        let expected: Vec<u64> = case
+            .get("bits")
+            .and_then(|b| b.as_array())
+            .expect("bits array")
+            .iter()
+            .map(|b| u64::from_str_radix(b.as_str().expect("hex string"), 16).unwrap())
+            .collect();
+        let cfg = SolverConfig {
+            threads,
+            parallel_threshold: par,
+            format: MatrixFormat::Auto,
+            kernel: KernelVariant::Scalar,
+            ..SolverConfig::default()
+        };
+        let sols = moments_sweep(&model, order, &GOLDEN_TIMES, &cfg).unwrap();
+        let actual: Vec<u64> = sols
+            .iter()
+            .flat_map(|s| s.weighted.iter().map(|v| v.to_bits()))
+            .collect();
+        assert_eq!(
+            actual.len(),
+            expected.len(),
+            "{label}: value count drifted from the golden capture"
+        );
+        for (i, (a, e)) in actual.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                a, e,
+                "{label}: value {i} diverged from the pre-SIMD scalar kernel: \
+                 {} vs golden {}",
+                f64::from_bits(*a),
+                f64::from_bits(*e)
+            );
+        }
+    }
+}
+
+/// Regenerator for the golden file. Permanently `#[ignore]`d: run it by
+/// hand only when the golden corpus is *intentionally* extended, and
+/// review the diff — it must never run as part of a normal test pass,
+/// and it pins `kernel: Scalar` so a rerun on SIMD hardware cannot
+/// corrupt the corpus.
+#[test]
+#[ignore = "regenerates the golden corpus; run manually, review the diff"]
+fn regenerate_scalar_golden() {
+    let models = ["onoff-200", "pentadiag-64", "scattered-97"];
+    let mut out = String::from(
+        "{\n  \"note\": \"pre-PR scalar-kernel golden values; f64 bits as hex\",\n  \"cases\": [\n",
+    );
+    let mut first = true;
+    for label in models {
+        let model = golden_model(label);
+        for (threads, par) in [(1usize, 4096usize), (4, 2)] {
+            for order in [0usize, 3] {
+                let cfg = SolverConfig {
+                    threads,
+                    parallel_threshold: par,
+                    format: MatrixFormat::Auto,
+                    kernel: KernelVariant::Scalar,
+                    ..SolverConfig::default()
+                };
+                let sols = moments_sweep(&model, order, &GOLDEN_TIMES, &cfg).unwrap();
+                let bits: Vec<String> = sols
+                    .iter()
+                    .flat_map(|s| s.weighted.iter().map(|v| format!("\"{:016x}\"", v.to_bits())))
+                    .collect();
+                if !first {
+                    out.push_str(",\n");
+                }
+                first = false;
+                out.push_str(&format!(
+                    "    {{\"label\": \"{label}-t{threads}-o{order}\", \"model\": \"{label}\", \
+                     \"threads\": {threads}, \"parallel_threshold\": {par}, \"order\": {order}, \
+                     \"bits\": [{}]}}",
+                    bits.join(", ")
+                ));
+            }
+        }
+    }
+    out.push_str("\n  ]\n}\n");
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/regressions/scalar-golden.json");
+    std::fs::write(path, out).unwrap();
+}
+
+/// Strategy: a small banded (birth-death-with-bandwidth-2) or scattered
+/// model, so the solver exercises both the DIA strip kernel and the CSR
+/// gather kernel under both variants.
+fn arb_kernel_model() -> impl Strategy<Value = SecondOrderMrm> {
+    (
+        4usize..24,
+        0usize..2,
+        prop::collection::vec(-3.0f64..3.0, 24),
+        prop::collection::vec(0.0f64..2.0, 24),
+        prop::collection::vec(0.1f64..3.0, 24),
+    )
+        .prop_map(|(n, banded, rates, vars, ring)| {
+            let banded = banded == 1;
+            let mut b = GeneratorBuilder::new(n);
+            for i in 0..n {
+                if banded {
+                    if i + 1 < n {
+                        b.rate(i, i + 1, ring[i]).unwrap();
+                    }
+                    if i >= 1 {
+                        b.rate(i, i - 1, 0.5 + ring[n - 1 - i] * 0.25).unwrap();
+                    }
+                    if i + 2 < n && i % 2 == 0 {
+                        b.rate(i, i + 2, 0.125).unwrap();
+                    }
+                } else {
+                    b.rate(i, (i + 1) % n, ring[i]).unwrap();
+                    let j = (i * 5 + 2) % n;
+                    if j != i {
+                        b.rate(i, j, 0.25).unwrap();
+                    }
+                }
+            }
+            let mut init = vec![0.0; n];
+            init[0] = 1.0;
+            SecondOrderMrm::new(
+                b.build().unwrap(),
+                rates[..n].to_vec(),
+                vars[..n].to_vec(),
+                init,
+            )
+            .unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Scalar and forced-SIMD solves of the same case agree within the
+    /// Theorem-4 truncation bounds both report plus a rounding floor,
+    /// for every order 0–5 and thread count 1/2/4.
+    #[test]
+    fn scalar_and_simd_agree_within_theorem4_bound(
+        model in arb_kernel_model(),
+        order in 0usize..=5,
+        threads_idx in 0usize..3,
+        t in 0.05f64..1.5,
+    ) {
+        let threads = [1usize, 2, 4][threads_idx];
+        let base = SolverConfig {
+            threads,
+            parallel_threshold: 2,
+            ..SolverConfig::default()
+        };
+        let scalar_cfg = SolverConfig { kernel: KernelVariant::Scalar, ..base.clone() };
+        let simd_cfg = SolverConfig { kernel: KernelVariant::Simd, ..base };
+        let scalar = moments(&model, order, t, &scalar_cfg).unwrap();
+        let simd = moments(&model, order, t, &simd_cfg).unwrap();
+        for n in 0..=order {
+            let (a, b) = (scalar.weighted[n], simd.weighted[n]);
+            let floor = 1e-12 * a.abs().max(b.abs()).max(1.0);
+            let tol = scalar.error_bound(n) + simd.error_bound(n) + floor;
+            prop_assert!(
+                (a - b).abs() <= tol,
+                "order {n} (threads {threads}): |{a} - {b}| = {:e} > tol {tol:e}",
+                (a - b).abs()
+            );
+        }
+    }
+}
