@@ -47,15 +47,20 @@ pub struct Rung {
     pub reps: usize,
 }
 
-/// The fixed ladder. `quick` drops the 100k-state rungs (CI's
-/// debug-friendly tier); the full ladder is meant for release builds.
+/// The fixed ladder. `quick` drops the 100k-state and 2M-state rungs
+/// (CI's debug-friendly tier); the full ladder is meant for release
+/// builds.
 pub fn standard_ladder(quick: bool) -> Vec<Rung> {
     let sizes: &[(&str, usize, f64, usize)] = &[
         ("1k", 1_000, 0.5, 3),
         ("10k", 10_000, 0.05, 2),
         ("100k", 100_000, 0.005, 1),
     ];
-    let formats = [("csr", MatrixFormat::Csr), ("dia", MatrixFormat::Dia)];
+    let formats = [
+        ("csr", MatrixFormat::Csr),
+        ("dia", MatrixFormat::Dia),
+        ("op", MatrixFormat::Operator),
+    ];
     let mut rungs = Vec::new();
     for &(label, sources, t, reps) in sizes {
         if quick && sources > 10_000 {
@@ -71,6 +76,18 @@ pub fn standard_ladder(quick: bool) -> Vec<Rung> {
             });
         }
     }
+    // The memory-wall rung: 2,000,001 states is far past what CSR or
+    // DIA can materialize comfortably, so it runs matrix-free only and
+    // only on the full (release-tier) ladder.
+    if !quick {
+        rungs.push(Rung {
+            name: "onoff-2m-op".to_string(),
+            sources: 2_000_000,
+            format: MatrixFormat::Operator,
+            t: 0.000_25,
+            reps: 1,
+        });
+    }
     rungs
 }
 
@@ -81,7 +98,7 @@ pub struct BenchEntry {
     pub name: String,
     /// CTMC state count.
     pub states: usize,
-    /// Storage format label (`csr`/`dia`).
+    /// Storage format label (`csr`/`dia`/`operator`).
     pub format: String,
     /// Accumulation time.
     pub t: f64,
@@ -140,6 +157,7 @@ pub fn run_rung(rung: &Rung, threads: usize, kernel: KernelVariant) -> Result<Be
         states: rung.sources + 1,
         format: match rung.format {
             MatrixFormat::Dia => "dia".to_string(),
+            MatrixFormat::Operator => "operator".to_string(),
             _ => "csr".to_string(),
         },
         t: rung.t,
@@ -544,6 +562,7 @@ mod tests {
         let entries: Vec<BenchEntry> = [
             micro_rung(MatrixFormat::Csr, "csr"),
             micro_rung(MatrixFormat::Dia, "dia"),
+            micro_rung(MatrixFormat::Operator, "op"),
         ]
         .iter()
         .map(|r| run_rung(r, 1, KernelVariant::Auto).unwrap())
@@ -566,7 +585,11 @@ mod tests {
         assert!(resolved == "scalar" || resolved == "simd");
         assert!(v.get("cpu_features").and_then(|c| c.as_str()).is_some());
         let parsed = v.get("entries").unwrap().as_array().unwrap();
-        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed.len(), 3);
+        assert_eq!(
+            parsed[2].get("format").and_then(|f| f.as_str()),
+            Some("operator")
+        );
         assert_eq!(
             parsed[0].get("states").and_then(|s| s.as_f64()),
             Some(51.0)
@@ -575,19 +598,27 @@ mod tests {
     }
 
     #[test]
-    fn csr_and_dia_rungs_agree_on_iteration_count() {
+    fn csr_dia_and_operator_rungs_agree_on_iteration_count() {
         let csr = run_rung(&micro_rung(MatrixFormat::Csr, "csr"), 1, KernelVariant::Auto).unwrap();
         let dia = run_rung(&micro_rung(MatrixFormat::Dia, "dia"), 1, KernelVariant::Auto).unwrap();
+        let op = run_rung(&micro_rung(MatrixFormat::Operator, "op"), 1, KernelVariant::Auto)
+            .unwrap();
         assert_eq!(csr.iterations, dia.iterations);
+        assert_eq!(csr.iterations, op.iterations);
     }
 
     #[test]
     fn standard_ladder_shape() {
         let full = standard_ladder(false);
-        assert_eq!(full.len(), 6);
+        assert_eq!(full.len(), 10);
+        assert!(full.iter().any(|r| r.name == "onoff-2m-op"));
+        let two_m = full.iter().find(|r| r.name == "onoff-2m-op").unwrap();
+        assert_eq!(two_m.sources, 2_000_000);
+        assert!(matches!(two_m.format, MatrixFormat::Operator));
         let quick = standard_ladder(true);
-        assert_eq!(quick.len(), 4);
+        assert_eq!(quick.len(), 6);
         assert!(quick.iter().all(|r| r.sources <= 10_000));
+        assert!(quick.iter().any(|r| r.name == "onoff-1k-op"));
         // qt ≈ 2000 on every rung: q = 4N for the scaled multiplexer.
         for r in &full {
             let qt = 4.0 * r.sources as f64 * r.t;

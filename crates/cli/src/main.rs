@@ -46,8 +46,10 @@ options:
   --eps E         solver precision (default 1e-9)
   --threads N     solver worker threads (default 1; results are
                   identical for any count)
-  --format F      iteration-matrix storage: auto|csr|dia (default auto;
-                  results are identical for any choice)
+  --format F      iteration-matrix storage: auto|csr|dia|operator
+                  (default auto; results are identical for any choice;
+                  operator runs matrix-free and needs a birth-death or
+                  Kronecker-structured model)
   --kernel K      fused-kernel variant: auto|scalar|simd (default auto:
                   SIMD when the CPU has AVX2+FMA; scalar pins the
                   bit-exact reference; env SOMRM_KERNEL overrides the
@@ -68,7 +70,7 @@ verify options:
                   JSON report ('-' or file path, as above)
 
 bench options:
-  --quick         drop the 100k-state rungs (debug/CI tier)
+  --quick         drop the 100k- and 2M-state rungs (debug/CI tier)
   --out PATH      bench document destination (default BENCH_solver.json)
   --threads N     solver worker threads for the ladder (default 1)
   --kernel K      kernel variant for the ladder: auto|scalar|simd

@@ -65,6 +65,25 @@ pub enum MrmError {
         /// The smallest step count that satisfies the limit.
         min_steps: u64,
     },
+    /// A forced matrix format would allocate past its hard cap (e.g.
+    /// `--format dia` on a scattered generator pads every populated
+    /// diagonal to full length).
+    AllocationTooLarge {
+        /// What was being allocated.
+        what: &'static str,
+        /// The estimated allocation, in bytes.
+        estimated_bytes: u64,
+        /// The cap that was exceeded, in bytes.
+        cap_bytes: u64,
+    },
+    /// The requested matrix format cannot represent this model (e.g.
+    /// `--format operator` on a model with no recognized structure).
+    FormatUnsupported {
+        /// The requested format.
+        format: &'static str,
+        /// Why the model does not fit it.
+        reason: String,
+    },
     /// The underlying CTMC is invalid.
     Ctmc(CtmcError),
 }
@@ -103,6 +122,18 @@ impl fmt::Display for MrmError {
                 "explicit ODE scheme unstable: h*|lambda| = {h_lambda:.3} exceeds the \
                  stability limit {limit}; use at least {min_steps} steps"
             ),
+            MrmError::AllocationTooLarge {
+                what,
+                estimated_bytes,
+                cap_bytes,
+            } => write!(
+                f,
+                "{what} would allocate an estimated {estimated_bytes} bytes \
+                 (cap {cap_bytes}); use --format auto or csr"
+            ),
+            MrmError::FormatUnsupported { format, reason } => {
+                write!(f, "matrix format '{format}' cannot represent this model: {reason}")
+            }
             MrmError::Ctmc(e) => write!(f, "invalid structure-state process: {e}"),
         }
     }

@@ -10,6 +10,8 @@
 use crate::error::MrmError;
 use somrm_ctmc::error::validate_distribution;
 use somrm_ctmc::Generator;
+use somrm_linalg::ModelStructure;
+use std::sync::Arc;
 
 /// A second-order Markov reward model `(Q, R, S, π)`.
 ///
@@ -32,12 +34,32 @@ use somrm_ctmc::Generator;
 /// assert!(!model.is_first_order());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct SecondOrderMrm {
     generator: Generator,
     rates: Vec<f64>,
     variances: Vec<f64>,
     initial: Vec<f64>,
+    /// Optional structure descriptor (birth–death strips, Kronecker
+    /// factors) advertised by the model builder, letting the solver use
+    /// a matrix-free operator backend. Purely derived metadata: it
+    /// never changes the numbers a model produces, so it is excluded
+    /// from equality.
+    structure: Option<Arc<ModelStructure>>,
+}
+
+/// Equality compares the mathematical content — generator, rewards,
+/// initial distribution — and deliberately ignores the optional
+/// structure descriptor (two equal models may differ only in whether a
+/// builder annotated them, and the plan-cache digest does not cover the
+/// annotation either).
+impl PartialEq for SecondOrderMrm {
+    fn eq(&self, other: &SecondOrderMrm) -> bool {
+        self.generator == other.generator
+            && self.rates == other.rates
+            && self.variances == other.variances
+            && self.initial == other.initial
+    }
 }
 
 impl SecondOrderMrm {
@@ -88,6 +110,7 @@ impl SecondOrderMrm {
             rates,
             variances,
             initial,
+            structure: None,
         })
     }
 
@@ -143,18 +166,46 @@ impl SecondOrderMrm {
     }
 
     /// Returns a model identical to this one but with a different
-    /// initial distribution.
+    /// initial distribution (the structure descriptor, if any, is
+    /// carried over — the generator is unchanged).
     ///
     /// # Errors
     ///
     /// Returns [`MrmError`] if `initial` is invalid.
     pub fn with_initial(&self, initial: Vec<f64>) -> Result<Self, MrmError> {
-        Self::new(
+        let mut m = Self::new(
             self.generator.clone(),
             self.rates.clone(),
             self.variances.clone(),
             initial,
-        )
+        )?;
+        m.structure = self.structure.clone();
+        Ok(m)
+    }
+
+    /// Attaches a structure descriptor advertising how the generator
+    /// was assembled (builder API — the descriptor must describe this
+    /// generator; solvers cross-check dimensions before trusting it).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MrmError::DimensionMismatch`] if the descriptor's
+    /// state count differs from the model's.
+    pub fn with_structure(mut self, structure: ModelStructure) -> Result<Self, MrmError> {
+        if structure.n_states() != self.n_states() {
+            return Err(MrmError::DimensionMismatch {
+                what: "structure descriptor",
+                expected: self.n_states(),
+                actual: structure.n_states(),
+            });
+        }
+        self.structure = Some(Arc::new(structure));
+        Ok(self)
+    }
+
+    /// The structure descriptor, if the model builder attached one.
+    pub fn structure(&self) -> Option<&ModelStructure> {
+        self.structure.as_deref()
     }
 
     /// The long-run reward growth rate `π_stat · r` (slope of the mean
@@ -248,5 +299,32 @@ mod tests {
         let m2 = m.with_initial(vec![0.0, 1.0]).unwrap();
         assert_eq!(m2.initial(), &[0.0, 1.0]);
         assert!(m.with_initial(vec![2.0, -1.0]).is_err());
+    }
+
+    #[test]
+    fn structure_descriptor_is_attached_and_ignored_by_equality() {
+        let m = SecondOrderMrm::first_order(gen2(), vec![1.0, 2.0], vec![1.0, 0.0]).unwrap();
+        assert!(m.structure().is_none());
+        let annotated = m
+            .clone()
+            .with_structure(ModelStructure::BirthDeath {
+                birth: vec![1.0],
+                death: vec![2.0],
+            })
+            .unwrap();
+        let s = annotated.structure().expect("descriptor attached");
+        assert_eq!(s.kind(), "birth-death");
+        assert_eq!(s.n_states(), 2);
+        // Equality ignores the annotation...
+        assert_eq!(annotated, m);
+        // ...and with_initial carries it over.
+        let moved = annotated.with_initial(vec![0.0, 1.0]).unwrap();
+        assert!(moved.structure().is_some());
+        // Wrong-sized descriptors are rejected.
+        let err = m.with_structure(ModelStructure::BirthDeath {
+            birth: vec![1.0, 1.0],
+            death: vec![1.0, 1.0],
+        });
+        assert!(matches!(err, Err(MrmError::DimensionMismatch { .. })));
     }
 }

@@ -38,7 +38,10 @@ use crate::uniformization::{
     poisson_accounting, truncation_point, unshift_moments, validate_times, MomentSolution,
     SolverConfig, SolverStats,
 };
-use somrm_linalg::{FusedMomentKernel, IterationMatrix, ResolvedKernel, WorkerPool};
+use somrm_linalg::{
+    FusedMomentKernel, IterationMatrix, LinalgError, MatrixFormat, OperatorMatrix,
+    ResolvedKernel, UniformizedBirthDeath, WorkerPool,
+};
 use somrm_num::poisson::PoissonWindow;
 use somrm_num::special::{binomial, ln_factorial};
 use somrm_obs::{HealthMonitor, PoissonStat, ProgressMeter, SolveReport, SolverSection};
@@ -49,6 +52,38 @@ use std::sync::{Arc, Mutex, MutexGuard};
 /// they solve identically (modulo an astronomically unlikely collision),
 /// which is what a plan cache needs: a mutated model — one rate nudged,
 /// one variance added — changes the digest and misses the cache.
+/// State count above which [`MatrixFormat::Auto`] switches a model
+/// that advertises a structure descriptor to the matrix-free operator
+/// backend. Below it the materialized formats win (DIA's branch-free
+/// strips beat recomputed rows at cache-resident sizes, and the paper's
+/// 200,001-state reference model stays on its golden-pinned DIA path);
+/// above it the O(n) matrix footprint and the skipped `Q'`
+/// materialization dominate.
+pub const OPERATOR_AUTO_THRESHOLD: usize = 500_000;
+
+/// Maps the linalg-level format failures to their typed [`MrmError`]
+/// equivalents (anything else would be a solver bug surfacing late).
+fn format_error(e: LinalgError) -> MrmError {
+    match e {
+        LinalgError::AllocationTooLarge {
+            what,
+            estimated_bytes,
+            cap_bytes,
+        } => MrmError::AllocationTooLarge {
+            what,
+            estimated_bytes,
+            cap_bytes,
+        },
+        LinalgError::FormatUnsupported { format, reason } => {
+            MrmError::FormatUnsupported { format, reason }
+        }
+        other => MrmError::InvalidParameter {
+            name: "format",
+            reason: other.to_string(),
+        },
+    }
+}
+
 pub fn model_digest(model: &SecondOrderMrm) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -146,19 +181,15 @@ impl SolvePlan {
             let dk = if d > 0.0 { d } else { f64::MIN_POSITIVE };
             let rec = &config.recorder;
             let (matrix, r_prime, s_half) = rec.time("solve.setup", || {
-                let q_prime = model
-                    .generator()
-                    .uniformized_kernel(q)
-                    .expect("q > 0 checked above");
-                let matrix = IterationMatrix::with_format(q_prime, config.format);
+                let matrix = Self::resolve_matrix(model, q, config.format)?;
                 let r_prime: Vec<f64> = shifted_rates.iter().map(|&r| r / (q * dk)).collect();
                 let s_half: Vec<f64> = model
                     .variances()
                     .iter()
                     .map(|&s| 0.5 * s / (q * dk * dk))
                     .collect();
-                (matrix, r_prime, s_half)
-            });
+                Ok::<_, MrmError>((matrix, r_prime, s_half))
+            })?;
             // Same clamp the fused kernel applies internally, so the
             // pool thread count *is* the chunk count — fixed chunk
             // boundaries keep every execute bit-identical to a cold run.
@@ -187,9 +218,62 @@ impl SolvePlan {
         })
     }
 
+    /// Picks the iteration-matrix backend for this model/format pair.
+    ///
+    /// * `Operator` (explicit): build from the model's structure
+    ///   descriptor when present — this skips materializing `Q'`
+    ///   entirely, which is the whole point of the matrix-free backend.
+    ///   Without a descriptor, a tridiagonal generator is still
+    ///   accepted; anything else is a typed [`MrmError::FormatUnsupported`].
+    /// * `Auto`: switch to the operator backend only when the model
+    ///   advertises a structure descriptor *and* has at least
+    ///   [`OPERATOR_AUTO_THRESHOLD`] states; otherwise the historical
+    ///   CSR/DIA selection applies unchanged (bitwise-stable).
+    /// * `Csr`/`Dia`: materialized formats, with the forced-DIA path
+    ///   refusing past [`somrm_linalg::FORCED_DIA_MAX_BYTES`].
+    fn resolve_matrix(
+        model: &SecondOrderMrm,
+        q: f64,
+        format: MatrixFormat,
+    ) -> Result<IterationMatrix, MrmError> {
+        let auto_operator = format == MatrixFormat::Auto
+            && model.structure().is_some()
+            && model.n_states() >= OPERATOR_AUTO_THRESHOLD;
+        if format == MatrixFormat::Operator || auto_operator {
+            if let Some(structure) = model.structure() {
+                let op = OperatorMatrix::from_structure(structure, model.generator().as_csr(), q)
+                    .map_err(format_error)?;
+                return Ok(IterationMatrix::Operator(op));
+            }
+            let op =
+                UniformizedBirthDeath::from_tridiagonal_generator(model.generator().as_csr(), q)
+                    .map_err(|e| MrmError::FormatUnsupported {
+                        format: "operator",
+                        reason: format!(
+                            "model advertises no structure descriptor and its generator \
+                             is not tridiagonal ({e})"
+                        ),
+                    })?;
+            return Ok(IterationMatrix::Operator(OperatorMatrix::birth_death(op)));
+        }
+        let q_prime = model
+            .generator()
+            .uniformized_kernel(q)
+            .expect("q > 0 checked by caller");
+        IterationMatrix::try_with_format(q_prime, format).map_err(format_error)
+    }
+
     /// FNV-1a content digest of the planned model (cache key material).
     pub fn digest(&self) -> u64 {
         self.digest
+    }
+
+    /// Name of the resolved matrix backend (`"csr"`, `"dia"`,
+    /// `"operator"`), or `"none"` for a frozen chain with no kernel.
+    pub fn matrix_format_name(&self) -> &'static str {
+        self.kernel
+            .as_ref()
+            .map_or("none", |k| k.matrix.format_name())
     }
 
     /// Highest moment order this plan accepts.
@@ -309,7 +393,11 @@ impl SolvePlan {
             rec.gauge_set("solver.error_bound", error_bound);
             rec.gauge_set(
                 "solver.matrix_format",
-                if matrix.is_dia() { 1.0 } else { 0.0 },
+                match matrix {
+                    IterationMatrix::Csr(_) => 0.0,
+                    IterationMatrix::Dia(_) => 1.0,
+                    IterationMatrix::Operator(_) => 2.0,
+                },
             );
             rec.gauge_set("solver.bandwidth", matrix.bandwidth() as f64);
             rec.gauge_set(
@@ -573,7 +661,11 @@ impl SolvePlan {
             rec.gauge_set("solver.error_bound", error_bound);
             rec.gauge_set(
                 "solver.matrix_format",
-                if matrix.is_dia() { 1.0 } else { 0.0 },
+                match matrix {
+                    IterationMatrix::Csr(_) => 0.0,
+                    IterationMatrix::Dia(_) => 1.0,
+                    IterationMatrix::Operator(_) => 2.0,
+                },
             );
             rec.gauge_set("solver.bandwidth", matrix.bandwidth() as f64);
             rec.gauge_set(
@@ -715,12 +807,12 @@ impl SolvePlan {
     pub fn approx_bytes(&self) -> usize {
         let n = self.model.n_states();
         let vectors = 2 * n * std::mem::size_of::<f64>();
-        let matrix = self.kernel.as_ref().map_or(0, |k| {
-            let nnz = match &k.matrix {
-                IterationMatrix::Csr(m) => m.nnz(),
-                IterationMatrix::Dia(m) => m.nnz(),
-            };
-            nnz * 2 * std::mem::size_of::<f64>()
+        let matrix = self.kernel.as_ref().map_or(0, |k| match &k.matrix {
+            IterationMatrix::Csr(m) => m.nnz() * 2 * std::mem::size_of::<f64>(),
+            IterationMatrix::Dia(m) => m.nnz() * 2 * std::mem::size_of::<f64>(),
+            // Matrix-free: only the O(n) strips / diagonal stay
+            // resident (≤ 3n doubles), never the structural nonzeros.
+            IterationMatrix::Operator(m) => 3 * m.rows() * std::mem::size_of::<f64>(),
         });
         vectors + matrix
     }
@@ -839,5 +931,143 @@ mod tests {
         let cold = moments_terminal_weighted(&m, 2, 0.8, &w, &SolverConfig::default()).unwrap();
         assert_eq!(warm.weighted, cold.weighted);
         assert_eq!(warm.per_state, cold.per_state);
+    }
+
+    #[test]
+    fn operator_plans_match_csr_plans_bitwise() {
+        // `chain` is tridiagonal, so a forced operator plan works even
+        // without a structure descriptor, and its sweep and terminal
+        // results must be bit-identical to the CSR plan's.
+        let m = chain(6);
+        let op_cfg = SolverConfig {
+            format: MatrixFormat::Operator,
+            ..SolverConfig::default()
+        };
+        let csr = SolvePlan::build(&m, 3, &SolverConfig::default()).unwrap();
+        let op = SolvePlan::build(&m, 3, &op_cfg).unwrap();
+        assert_eq!(op.matrix_format_name(), "operator");
+        let times = [0.3, 1.1];
+        let a = csr.execute(&times, 3).unwrap();
+        let b = op.execute(&times, 3).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.weighted, y.weighted);
+            assert_eq!(x.per_state, y.per_state);
+            assert_eq!(x.error_bounds, y.error_bounds);
+        }
+        let w = [1.0, 0.0, 0.0, 0.0, 0.0, 2.0];
+        let ta = csr.execute_terminal(0.7, &w, 3).unwrap();
+        let tb = op.execute_terminal(0.7, &w, 3).unwrap();
+        assert_eq!(ta.weighted, tb.weighted);
+        assert_eq!(ta.per_state, tb.per_state);
+        // Operator plans account only the O(n) strips.
+        assert!(op.approx_bytes() <= csr.approx_bytes());
+    }
+
+    #[test]
+    fn auto_keeps_small_structured_models_on_materialized_formats() {
+        let m = chain(6)
+            .with_structure(crate::ModelStructure::BirthDeath {
+                birth: vec![1.5; 5],
+                death: vec![2.0; 5],
+            })
+            .unwrap();
+        let auto = SolvePlan::build(&m, 2, &SolverConfig::default()).unwrap();
+        assert_ne!(
+            auto.matrix_format_name(),
+            "operator",
+            "below the threshold Auto must keep its historical selection"
+        );
+        // Forcing the operator uses the descriptor and stays bitwise.
+        let op_cfg = SolverConfig {
+            format: MatrixFormat::Operator,
+            ..SolverConfig::default()
+        };
+        let op = SolvePlan::build(&m, 2, &op_cfg).unwrap();
+        assert_eq!(op.matrix_format_name(), "operator");
+        let a = auto.execute(&[0.9], 2).unwrap();
+        let b = op.execute(&[0.9], 2).unwrap();
+        assert_eq!(a[0].weighted, b[0].weighted);
+    }
+
+    #[test]
+    fn forced_operator_without_structure_errors_cleanly() {
+        // A 4-state model with a (0 -> 2) jump is not tridiagonal and
+        // carries no descriptor: a typed error, never a panic.
+        let mut b = GeneratorBuilder::new(4);
+        b.rate(0, 2, 1.0).unwrap();
+        b.rate(2, 0, 1.0).unwrap();
+        b.rate(1, 2, 0.5).unwrap();
+        b.rate(3, 2, 0.5).unwrap();
+        b.rate(2, 3, 0.5).unwrap();
+        let m = SecondOrderMrm::first_order(
+            b.build().unwrap(),
+            vec![1.0, 0.0, 2.0, 0.0],
+            vec![1.0, 0.0, 0.0, 0.0],
+        )
+        .unwrap();
+        let op_cfg = SolverConfig {
+            format: MatrixFormat::Operator,
+            ..SolverConfig::default()
+        };
+        let err = SolvePlan::build(&m, 2, &op_cfg).unwrap_err();
+        assert!(
+            matches!(err, MrmError::FormatUnsupported { format: "operator", .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn forced_dia_past_the_cap_is_a_typed_error() {
+        // 20k states with ~15k populated diagonals: the padded DIA
+        // estimate (ndiag * n * 8 bytes) crosses the 2 GiB cap.
+        let n = 20_000;
+        let mut b = GeneratorBuilder::new(n);
+        for k in 1..15_000 {
+            b.rate(0, k, 1.0).unwrap();
+            b.rate(k, 0, 1.0).unwrap();
+        }
+        let mut init = vec![0.0; n];
+        init[0] = 1.0;
+        let m =
+            SecondOrderMrm::first_order(b.build().unwrap(), vec![0.0; n], init).unwrap();
+        let dia_cfg = SolverConfig {
+            format: MatrixFormat::Dia,
+            ..SolverConfig::default()
+        };
+        let err = SolvePlan::build(&m, 1, &dia_cfg).unwrap_err();
+        match err {
+            MrmError::AllocationTooLarge {
+                estimated_bytes,
+                cap_bytes,
+                ..
+            } => {
+                assert!(estimated_bytes > cap_bytes);
+                assert_eq!(cap_bytes, somrm_linalg::FORCED_DIA_MAX_BYTES);
+            }
+            other => panic!("expected AllocationTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn auto_switches_to_operator_at_the_threshold_for_structured_models() {
+        // A birth-death chain exactly at the threshold, annotated by the
+        // builder: Auto must pick the matrix-free backend without ever
+        // materializing Q'.
+        let n = OPERATOR_AUTO_THRESHOLD;
+        let birth = vec![1.0; n - 1];
+        let death = vec![2.0; n - 1];
+        let mut b = GeneratorBuilder::new(n);
+        for i in 0..n - 1 {
+            b.rate(i, i + 1, birth[i]).unwrap();
+            b.rate(i + 1, i, death[i]).unwrap();
+        }
+        let mut init = vec![0.0; n];
+        init[0] = 1.0;
+        let m = SecondOrderMrm::first_order(b.build().unwrap(), vec![0.0; n], init)
+            .unwrap()
+            .with_structure(crate::ModelStructure::BirthDeath { birth, death })
+            .unwrap();
+        let plan = SolvePlan::build(&m, 1, &SolverConfig::default()).unwrap();
+        assert_eq!(plan.matrix_format_name(), "operator");
     }
 }

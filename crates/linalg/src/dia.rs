@@ -32,7 +32,19 @@
 //! DIA when the diagonal count makes it profitable ([`MatrixFormat::Auto`]),
 //! or forced either way for benchmarks and tests.
 
+use crate::error::LinalgError;
+use crate::operator::{OperatorMatrix, UniformizedBirthDeath};
 use crate::sparse::CsrMatrix;
+
+/// Hard cap on the padded storage a **forced** DIA conversion may
+/// allocate (2 GiB of `f64` strips). The `Auto` profitability gate
+/// normally keeps DIA within a small factor of the CSR payload, but a
+/// forced `--format dia` on a scattered matrix pads every populated
+/// diagonal to full length — up to `(2n−1)·n` doubles — which can dwarf
+/// the machine before the allocator ever gets to refuse politely.
+/// [`IterationMatrix::try_with_format`] estimates the allocation up
+/// front and returns [`LinalgError::AllocationTooLarge`] instead.
+pub const FORCED_DIA_MAX_BYTES: u64 = 1 << 31;
 
 /// A sparse matrix stored by diagonals (DIA format).
 ///
@@ -229,6 +241,9 @@ pub enum MatrixFormat {
     Csr,
     /// Always DIA (padded to every populated diagonal).
     Dia,
+    /// Matrix-free operator (`crate::operator`): entries computed on
+    /// the fly from model structure, never materialized.
+    Operator,
 }
 
 impl std::fmt::Display for MatrixFormat {
@@ -237,6 +252,7 @@ impl std::fmt::Display for MatrixFormat {
             MatrixFormat::Auto => "auto",
             MatrixFormat::Csr => "csr",
             MatrixFormat::Dia => "dia",
+            MatrixFormat::Operator => "operator",
         })
     }
 }
@@ -249,7 +265,10 @@ impl std::str::FromStr for MatrixFormat {
             "auto" => Ok(MatrixFormat::Auto),
             "csr" => Ok(MatrixFormat::Csr),
             "dia" => Ok(MatrixFormat::Dia),
-            other => Err(format!("unknown matrix format '{other}' (auto|csr|dia)")),
+            "operator" | "op" => Ok(MatrixFormat::Operator),
+            other => Err(format!(
+                "unknown matrix format '{other}' (auto|csr|dia|operator)"
+            )),
         }
     }
 }
@@ -264,6 +283,8 @@ pub enum IterationMatrix {
     Csr(CsrMatrix<f64>),
     /// Diagonal storage for banded matrices.
     Dia(DiaMatrix),
+    /// Matrix-free operator computed from model structure.
+    Operator(OperatorMatrix),
 }
 
 impl IterationMatrix {
@@ -271,7 +292,11 @@ impl IterationMatrix {
     ///
     /// `Auto` defers to the [`DiaMatrix::from_csr`] profitability check;
     /// `Dia` forces conversion via [`DiaMatrix::from_csr_forced`] and
-    /// falls back to CSR only for non-square matrices.
+    /// falls back to CSR only for non-square matrices; `Operator`
+    /// wraps the tridiagonal strips verbatim and falls back to CSR when
+    /// the matrix is not tridiagonal. Infallible — solvers that want
+    /// typed errors (forced-DIA allocation cap, operator on an
+    /// unsupported matrix) use [`IterationMatrix::try_with_format`].
     pub fn with_format(csr: CsrMatrix<f64>, format: MatrixFormat) -> IterationMatrix {
         match format {
             MatrixFormat::Auto => match DiaMatrix::from_csr(&csr) {
@@ -283,6 +308,54 @@ impl IterationMatrix {
                 Some(d) => IterationMatrix::Dia(d),
                 None => IterationMatrix::Csr(csr),
             },
+            MatrixFormat::Operator => match UniformizedBirthDeath::from_uniformized_csr(&csr) {
+                Ok(op) => IterationMatrix::Operator(OperatorMatrix::birth_death(op)),
+                Err(_) => IterationMatrix::Csr(csr),
+            },
+        }
+    }
+
+    /// [`IterationMatrix::with_format`] with typed failures instead of
+    /// silent fallbacks:
+    ///
+    /// * forced `Dia` estimates the padded allocation
+    ///   (`ndiag · n · 8` bytes) up front and refuses past
+    ///   [`FORCED_DIA_MAX_BYTES`] with
+    ///   [`LinalgError::AllocationTooLarge`] — the `Auto` gate is
+    ///   bypassed when forcing, and a scattered matrix pads to
+    ///   `O(n²)`;
+    /// * forced `Operator` on a matrix that is not tridiagonal (and
+    ///   arrived without a structure descriptor) returns
+    ///   [`LinalgError::FormatUnsupported`] instead of panicking or
+    ///   quietly solving with CSR.
+    pub fn try_with_format(
+        csr: CsrMatrix<f64>,
+        format: MatrixFormat,
+    ) -> Result<IterationMatrix, LinalgError> {
+        match format {
+            MatrixFormat::Auto | MatrixFormat::Csr => Ok(Self::with_format(csr, format)),
+            MatrixFormat::Dia => {
+                let offsets = match distinct_offsets(&csr) {
+                    Some(o) => o,
+                    None => return Ok(IterationMatrix::Csr(csr)),
+                };
+                let estimated_bytes = (offsets.len() as u64)
+                    .saturating_mul(csr.rows() as u64)
+                    .saturating_mul(std::mem::size_of::<f64>() as u64);
+                if estimated_bytes > FORCED_DIA_MAX_BYTES {
+                    return Err(LinalgError::AllocationTooLarge {
+                        what: "forced DIA storage",
+                        estimated_bytes,
+                        cap_bytes: FORCED_DIA_MAX_BYTES,
+                    });
+                }
+                Ok(IterationMatrix::Dia(
+                    DiaMatrix::from_csr_forced(&csr).expect("square checked by offset scan"),
+                ))
+            }
+            MatrixFormat::Operator => Ok(IterationMatrix::Operator(
+                OperatorMatrix::birth_death(UniformizedBirthDeath::from_uniformized_csr(&csr)?),
+            )),
         }
     }
 
@@ -296,14 +369,17 @@ impl IterationMatrix {
         match self {
             IterationMatrix::Csr(m) => m.rows(),
             IterationMatrix::Dia(m) => m.rows(),
+            IterationMatrix::Operator(m) => m.rows(),
         }
     }
 
-    /// Number of columns (square for the DIA variant by construction).
+    /// Number of columns (square for the DIA and operator variants by
+    /// construction).
     pub fn cols(&self) -> usize {
         match self {
             IterationMatrix::Csr(m) => m.cols(),
             IterationMatrix::Dia(m) => m.rows(),
+            IterationMatrix::Operator(m) => m.rows(),
         }
     }
 
@@ -312,11 +388,17 @@ impl IterationMatrix {
         matches!(self, IterationMatrix::Dia(_))
     }
 
+    /// `true` if the matrix-free operator backend was selected.
+    pub fn is_operator(&self) -> bool {
+        matches!(self, IterationMatrix::Operator(_))
+    }
+
     /// The selected format as a report-friendly name.
     pub fn format_name(&self) -> &'static str {
         match self {
             IterationMatrix::Csr(_) => "csr",
             IterationMatrix::Dia(_) => "dia",
+            IterationMatrix::Operator(_) => "operator",
         }
     }
 
@@ -335,6 +417,7 @@ impl IterationMatrix {
                 bw
             }
             IterationMatrix::Dia(m) => m.bandwidth(),
+            IterationMatrix::Operator(m) => m.bandwidth(),
         }
     }
 
@@ -347,6 +430,7 @@ impl IterationMatrix {
         match self {
             IterationMatrix::Csr(m) => m.matvec_into(x, y),
             IterationMatrix::Dia(m) => m.matvec_into(x, y),
+            IterationMatrix::Operator(m) => m.matvec_into(x, y),
         }
     }
 }
@@ -552,11 +636,69 @@ mod tests {
             ("auto", MatrixFormat::Auto),
             ("csr", MatrixFormat::Csr),
             ("dia", MatrixFormat::Dia),
+            ("operator", MatrixFormat::Operator),
         ] {
             assert_eq!(s.parse::<MatrixFormat>().unwrap(), f);
             assert_eq!(f.to_string(), s);
         }
+        assert_eq!("op".parse::<MatrixFormat>().unwrap(), MatrixFormat::Operator);
         assert!("banded".parse::<MatrixFormat>().is_err());
         assert_eq!(MatrixFormat::default(), MatrixFormat::Auto);
+    }
+
+    #[test]
+    fn operator_format_wraps_tridiagonal_and_falls_back() {
+        let m = IterationMatrix::with_format(tridiag(50), MatrixFormat::Operator);
+        assert!(m.is_operator());
+        assert_eq!(m.format_name(), "operator");
+        assert_eq!(m.bandwidth(), 1);
+        assert_eq!((m.rows(), m.cols()), (50, 50));
+        let x = test_vector(50).iter().map(|v| v.abs()).collect::<Vec<_>>();
+        let mut y = vec![f64::NAN; 50];
+        m.matvec_into(&x, &mut y);
+        assert_eq!(y, tridiag(50).matvec(&x));
+        // Non-tridiagonal input: infallible API falls back to CSR...
+        let fallback = IterationMatrix::with_format(scattered(64), MatrixFormat::Operator);
+        assert!(!fallback.is_operator());
+        assert_eq!(fallback.format_name(), "csr");
+        // ...while the typed API reports why.
+        let err = IterationMatrix::try_with_format(scattered(64), MatrixFormat::Operator);
+        assert!(matches!(err, Err(LinalgError::FormatUnsupported { .. })));
+    }
+
+    #[test]
+    fn try_with_format_matches_infallible_selection_in_bounds() {
+        for format in [MatrixFormat::Auto, MatrixFormat::Csr, MatrixFormat::Dia] {
+            let a = IterationMatrix::try_with_format(scattered(257), format).unwrap();
+            let b = IterationMatrix::with_format(scattered(257), format);
+            assert_eq!(a.format_name(), b.format_name(), "format {format}");
+        }
+        let op = IterationMatrix::try_with_format(tridiag(40), MatrixFormat::Operator).unwrap();
+        assert!(op.is_operator());
+    }
+
+    #[test]
+    fn forced_dia_past_the_cap_is_refused_with_the_estimate() {
+        // ~20k distinct diagonals over 20k rows pads to ≈ 3.2 GB —
+        // the estimate must be rejected before anything is allocated.
+        let n = 20_000;
+        let csr = scattered(n);
+        let ndiag = distinct_offsets(&csr).unwrap().len() as u64;
+        assert!(ndiag * n as u64 * 8 > FORCED_DIA_MAX_BYTES, "test premise");
+        match IterationMatrix::try_with_format(csr, MatrixFormat::Dia) {
+            Err(LinalgError::AllocationTooLarge {
+                estimated_bytes,
+                cap_bytes,
+                ..
+            }) => {
+                assert_eq!(estimated_bytes, ndiag * n as u64 * 8);
+                assert_eq!(cap_bytes, FORCED_DIA_MAX_BYTES);
+            }
+            other => panic!("expected AllocationTooLarge, got {other:?}"),
+        }
+        // In-bounds forcing still works.
+        assert!(IterationMatrix::try_with_format(scattered(257), MatrixFormat::Dia)
+            .unwrap()
+            .is_dia());
     }
 }

@@ -33,6 +33,25 @@ pub enum LinalgError {
         /// Iterations spent.
         iterations: usize,
     },
+    /// A forced storage format would allocate past the hard cap
+    /// (e.g. `--format dia` on a scattered matrix padding every
+    /// populated diagonal to full length).
+    AllocationTooLarge {
+        /// What was being allocated.
+        what: &'static str,
+        /// The estimated allocation, in bytes.
+        estimated_bytes: u64,
+        /// The cap that was exceeded, in bytes.
+        cap_bytes: u64,
+    },
+    /// A storage format cannot represent the given matrix (e.g.
+    /// `--format operator` on a model with no recognized structure).
+    FormatUnsupported {
+        /// The requested format.
+        format: &'static str,
+        /// Why the matrix does not fit it.
+        reason: String,
+    },
 }
 
 impl fmt::Display for LinalgError {
@@ -53,6 +72,17 @@ impl fmt::Display for LinalgError {
                 f,
                 "eigenvalue {index} failed to converge after {iterations} iterations"
             ),
+            LinalgError::AllocationTooLarge {
+                what,
+                estimated_bytes,
+                cap_bytes,
+            } => write!(
+                f,
+                "{what} would allocate an estimated {estimated_bytes} bytes (cap {cap_bytes})"
+            ),
+            LinalgError::FormatUnsupported { format, reason } => {
+                write!(f, "matrix format '{format}' unsupported here: {reason}")
+            }
         }
     }
 }
@@ -81,6 +111,19 @@ mod tests {
         }
         .to_string()
         .contains("30"));
+        let alloc = LinalgError::AllocationTooLarge {
+            what: "forced DIA storage",
+            estimated_bytes: 1 << 40,
+            cap_bytes: 1 << 31,
+        };
+        assert!(alloc.to_string().contains("forced DIA storage"));
+        assert!(alloc.to_string().contains(&(1u64 << 40).to_string()));
+        let fmt = LinalgError::FormatUnsupported {
+            format: "operator",
+            reason: "no structure".to_string(),
+        };
+        assert!(fmt.to_string().contains("operator"));
+        assert!(fmt.to_string().contains("no structure"));
     }
 
     #[test]

@@ -34,7 +34,12 @@
 //! each accumulator cell receives its terms in ascending-`k` order from
 //! a single thread. The kernel dispatches over [`IterationMatrix`] once
 //! per pass, so the CSR and DIA backends share every other line of the
-//! pass and inherit the same determinism contract.
+//! pass and inherit the same determinism contract. The matrix-free
+//! operator backend (`crate::operator`) joins the same classes: its
+//! scalar rows use the identical ascending-column `+=` chain (dots are
+//! stored, then combined with the same left-associated expression —
+//! stores are exact), and its fma rows the identical canonical
+//! `mul_add` chain with the combine applied via [`simd::axpy_fma`].
 //!
 //! # Kernel variants
 //!
@@ -61,6 +66,7 @@
 //! all accumulator updates and all orders' advances consume it.
 
 use crate::dia::{DiaMatrix, IterationMatrix};
+use crate::operator::MatVec;
 use crate::pool::{chunk_range, PoolStats, SyncMutPtr, WorkerPool};
 use crate::simd::{self, ResolvedKernel};
 use somrm_num::sum::NeumaierSum;
@@ -75,6 +81,8 @@ enum MatrixParts<'b> {
     Csr(&'b [usize], &'b [usize], &'b [f64]),
     /// `(offsets, flattened diagonal data)`.
     Dia(&'b [isize], &'b [f64]),
+    /// Matrix-free backend; rows computed on the fly.
+    Op(&'b dyn MatVec),
 }
 
 /// How a kernel reaches its worker threads: none (inline), a pool it
@@ -276,6 +284,7 @@ impl<'a> FusedMomentKernel<'a> {
                 MatrixParts::Csr(row_ptr, col_idx, values)
             }
             IterationMatrix::Dia(m) => MatrixParts::Dia(m.offsets(), m.data()),
+            IterationMatrix::Operator(m) => MatrixParts::Op(m.as_matvec()),
         };
         let ctx = PassCtx {
             n,
@@ -541,6 +550,38 @@ fn scalar_chunk(ctx: &PassCtx, range: Range<usize>) {
                     }
                 }
             }
+            MatrixParts::Op(op) => {
+                // The operator computes this chunk's dots straight into
+                // `u_next` (the store is exact), then the diagonal
+                // combine rewrites each cell with the canonical
+                // left-associated `dot + r'·w₁ + ½s'·w₂` expression —
+                // bitwise the same chain as the CSR branch above.
+                let len = range.len();
+                let lo = range.start;
+                for j in 0..order1 {
+                    let uj = &u_cur[j * n..(j + 1) * n];
+                    // SAFETY: chunks write disjoint row ranges.
+                    let out = unsafe {
+                        std::slice::from_raw_parts_mut(u_next.add(j * n + lo), len)
+                    };
+                    op.matvec_range_scalar(uj, out, range.clone());
+                    if j >= 2 {
+                        let w1 = &u_cur[(j - 1) * n + lo..(j - 1) * n + range.end];
+                        let w2 = &u_cur[(j - 2) * n + lo..(j - 2) * n + range.end];
+                        let rp = &r_prime[range.clone()];
+                        let sh = &s_half[range.clone()];
+                        for idx in 0..len {
+                            out[idx] = out[idx] + rp[idx] * w1[idx] + sh[idx] * w2[idx];
+                        }
+                    } else if j == 1 {
+                        let w1 = &u_cur[lo..range.end];
+                        let rp = &r_prime[range.clone()];
+                        for idx in 0..len {
+                            out[idx] += rp[idx] * w1[idx];
+                        }
+                    }
+                }
+            }
         }
     }
 }
@@ -632,7 +673,9 @@ fn simd_chunk_impl(ctx: &PassCtx, range: Range<usize>) {
             let lo = lo.min(range.end);
             (offsets, diags, lo, hi.max(lo))
         }
-        MatrixParts::Csr(..) => (&[][..], Vec::new(), range.start, range.end),
+        MatrixParts::Csr(..) | MatrixParts::Op(..) => {
+            (&[][..], Vec::new(), range.start, range.end)
+        }
     };
     let mut strips: Vec<(&[f64], &[f64])> = Vec::with_capacity(dia_diags.len());
     let mut blo = range.start;
@@ -673,6 +716,28 @@ fn simd_chunk_impl(ctx: &PassCtx, range: Range<usize>) {
                             let v = fma_combine(ctx, j, i, dot);
                             // SAFETY: chunks write disjoint row ranges.
                             unsafe { *ctx.u_next.add(j * n + i) = v };
+                        }
+                    }
+                }
+                MatrixParts::Op(op) => {
+                    // Mirrors the DIA strict interior: the operator's
+                    // canonical-FMA rows land in `u_next`, then
+                    // `axpy_fma` applies the identical `r'`/`½s'`
+                    // terms lane-wise (same chain as `fma_combine`).
+                    for j in 0..order1 {
+                        let uj = &u_cur[j * n..(j + 1) * n];
+                        // SAFETY: chunks write disjoint row ranges.
+                        let out = unsafe {
+                            std::slice::from_raw_parts_mut(ctx.u_next.add(j * n + blo), len)
+                        };
+                        op.matvec_range_fma(uj, out, blo..bhi);
+                        if j >= 1 {
+                            let w1 = &u_cur[(j - 1) * n + blo..(j - 1) * n + bhi];
+                            simd::axpy_fma(out, &ctx.r_prime[blo..bhi], w1);
+                        }
+                        if j >= 2 {
+                            let w2 = &u_cur[(j - 2) * n + blo..(j - 2) * n + bhi];
+                            simd::axpy_fma(out, &ctx.s_half[blo..bhi], w2);
                         }
                     }
                 }
@@ -916,6 +981,57 @@ mod tests {
             }
         }
         out
+    }
+
+    /// Fully-populated tridiagonal matrix (no structural zeros), the
+    /// shape the operator backend shares with CSR bitwise for inputs of
+    /// any sign.
+    fn tridiag_matrix(n: usize) -> CsrMatrix<f64> {
+        let mut b = TripletBuilder::with_capacity(n, n, 3 * n);
+        for i in 0..n {
+            if i > 0 {
+                b.push(i, i - 1, 0.21 + (i % 5) as f64 * 0.01);
+            }
+            b.push(i, i, 0.4 + (i % 3) as f64 * 0.03);
+            if i + 1 < n {
+                b.push(i, i + 1, 0.33 - (i % 4) as f64 * 0.01);
+            }
+        }
+        b.build()
+    }
+
+    #[test]
+    fn operator_kernel_bitwise_matches_csr_kernel_scalar() {
+        let n = 131;
+        let m = tridiag_matrix(n);
+        for threads in [1usize, 2, 4, 8] {
+            let a = run_variant(&m, MatrixFormat::Csr, threads, ResolvedKernel::Scalar);
+            let b = run_variant(&m, MatrixFormat::Operator, threads, ResolvedKernel::Scalar);
+            for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "scalar operator x{threads} diverged at {i}: {x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn operator_kernel_bitwise_matches_csr_kernel_simd() {
+        let n = 131;
+        let m = tridiag_matrix(n);
+        let baseline = run_variant(&m, MatrixFormat::Csr, 1, ResolvedKernel::Simd);
+        for threads in [1usize, 2, 4, 8] {
+            let got = run_variant(&m, MatrixFormat::Operator, threads, ResolvedKernel::Simd);
+            for (i, (x, y)) in baseline.iter().zip(&got).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "simd operator x{threads} diverged at {i}: {x} vs {y}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,10 @@
 //!   branch-free unit-stride kernel, a CSR→DIA bandwidth detector, and
 //!   the [`dia::IterationMatrix`] dispatch the solvers select once per
 //!   solve (the paper's 200,001-state model is tridiagonal);
+//! * [`operator`] — matrix-free backends ([`operator::MatVec`]) that
+//!   compute the uniformized mat-vec on the fly from model structure
+//!   (birth–death strips, Kronecker sums of small factors) with O(1)
+//!   matrix memory per state, bitwise-faithful to the CSR pipeline;
 //! * [`pool`] — a persistent worker pool (threads spawned once per
 //!   solve, parked between passes) with statically-assigned chunks, so
 //!   parallel reductions stay deterministic;
@@ -50,6 +54,7 @@ pub mod expm;
 pub mod fft;
 pub mod fused;
 pub mod lu;
+pub mod operator;
 pub mod pool;
 pub mod scalar;
 pub mod simd;
@@ -59,9 +64,12 @@ pub mod tridiag;
 pub mod vec_ops;
 
 pub use dense::Mat;
-pub use dia::{DiaMatrix, IterationMatrix, MatrixFormat};
+pub use dia::{DiaMatrix, IterationMatrix, MatrixFormat, FORCED_DIA_MAX_BYTES};
 pub use error::LinalgError;
 pub use fused::FusedMomentKernel;
+pub use operator::{
+    KroneckerSum, MatVec, ModelStructure, OperatorMatrix, UniformizedBirthDeath,
+};
 pub use pool::{PoolStats, WorkerPool};
 pub use scalar::{Cx, Scalar};
 pub use simd::{KernelVariant, ResolvedKernel};

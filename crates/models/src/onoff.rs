@@ -13,6 +13,7 @@
 
 use somrm_core::error::MrmError;
 use somrm_core::model::SecondOrderMrm;
+use somrm_core::ModelStructure;
 use somrm_ctmc::generator::GeneratorBuilder;
 use somrm_ctmc::stationary::stationary_birth_death;
 
@@ -121,6 +122,10 @@ impl OnOffMultiplexer {
     /// Builds the model with an arbitrary initial distribution over the
     /// number of ON sources.
     ///
+    /// The returned model carries a birth–death structure descriptor,
+    /// so the solver's `--format operator` (and `auto` at large sizes)
+    /// can run matrix-free.
+    ///
     /// # Errors
     ///
     /// Returns [`MrmError`] for invalid parameters or distribution.
@@ -133,7 +138,9 @@ impl OnOffMultiplexer {
             // ...and i+1 ON sources may switch off in state i+1.
             b.rate(i + 1, i, (i + 1) as f64 * self.alpha)?;
         }
-        SecondOrderMrm::new(b.build()?, self.drifts(), self.variances(), initial)
+        let (birth, death) = self.birth_death_rates();
+        SecondOrderMrm::new(b.build()?, self.drifts(), self.variances(), initial)?
+            .with_structure(ModelStructure::BirthDeath { birth, death })
     }
 
     /// The birth/death rate vectors of the background chain.
@@ -245,6 +252,17 @@ mod tests {
     }
 
     #[test]
+    fn models_carry_a_birth_death_descriptor() {
+        let m = OnOffMultiplexer::table1(1.0);
+        let model = m.model().unwrap();
+        let s = model.structure().expect("builder attaches the descriptor");
+        assert_eq!(s.kind(), "birth-death");
+        assert_eq!(s.n_states(), 33);
+        // The steady-start variant keeps it too (with_initial path).
+        assert!(m.model_steady_start().unwrap().structure().is_some());
+    }
+
+    #[test]
     fn sigma_zero_is_first_order() {
         let model = OnOffMultiplexer::table1(0.0).model().unwrap();
         assert!(model.is_first_order());
@@ -285,6 +303,54 @@ mod tests {
         // Theorem-4 bound plus accumulated-roundoff slack.
         let t = 0.01; // qt = 8,000
         let sol = moments(&model, 2, t, &SolverConfig::default()).unwrap();
+        let expect = m.steady_state_mean_rate() * t;
+        let tol = sol.error_bound(1) + 1e-7 * expect;
+        assert!(
+            (sol.mean() - expect).abs() < tol,
+            "mean {} vs closed form {} (tol {tol})",
+            sol.mean(),
+            expect
+        );
+        assert!(sol.variance() > 0.0);
+    }
+
+    /// The Table-2 model at 10× paper scale: 2,000,001 states, solved
+    /// matrix-free through the operator backend.
+    ///
+    /// Tier-2: run with
+    /// `cargo test --release -p somrm-models -- --ignored`. At this size
+    /// a materialized CSR kernel alone is ~6M entries plus index
+    /// arrays; the operator backend keeps only the O(n) birth–death
+    /// strips. Checks that `Auto` promotes the structure-annotated
+    /// model to the operator at this size, and that the explicit
+    /// operator solve lands within the realized Theorem-4 bound of the
+    /// closed-form steady-start mean `rate·t`.
+    #[test]
+    #[ignore = "10x paper scale (2,000,001 states); run with --release -- --ignored"]
+    fn multiplexer_2m_states_operator() {
+        use somrm_core::plan::SolvePlan;
+        use somrm_linalg::MatrixFormat;
+
+        let m = OnOffMultiplexer::table2_scaled(2_000_000);
+        let model = m.model_steady_start().unwrap();
+        assert_eq!(model.n_states(), 2_000_001);
+        assert!(model.structure().is_some(), "builder attaches the descriptor");
+        let q = model.generator().uniformization_rate();
+        assert_eq!(q, 8_000_000.0);
+
+        // Auto must pick the matrix-free backend above the threshold.
+        let auto_plan = SolvePlan::build(&model, 2, &SolverConfig::default()).unwrap();
+        assert_eq!(auto_plan.matrix_format_name(), "operator");
+
+        // The explicit operator solve against the closed form. Steady
+        // start makes E[B(t)] = rate·t exact, so the check is the
+        // realized Theorem-4 bound plus accumulated-roundoff slack.
+        let config = SolverConfig {
+            format: MatrixFormat::Operator,
+            ..SolverConfig::default()
+        };
+        let t = 0.000_25; // qt = 2,000
+        let sol = moments(&model, 2, t, &config).unwrap();
         let expect = m.steady_state_mean_rate() * t;
         let tol = sol.error_bound(1) + 1e-7 * expect;
         assert!(

@@ -7,7 +7,7 @@
 //! executes the cached plan may run. Hits, misses, and evictions are
 //! published to the `somrm-obs` registry under `serve.plan.*`.
 
-use somrm_core::{MrmError, SolvePlan};
+use somrm_core::{MrmError, SecondOrderMrm, SolvePlan};
 use somrm_obs::RecorderHandle;
 use std::sync::Arc;
 
@@ -24,15 +24,23 @@ pub struct PlanKey {
     pub max_order: usize,
 }
 
+/// The pinned bucket for degenerate requests: `qt = 0` (a `t = 0`-only
+/// request, or a frozen chain with `q = 0`), negative `qt`, and NaN all
+/// land here. Pinned as a constant so the degenerate path can never
+/// drift into a finite bucket — `log2(0) = -inf` would cast to
+/// `i32::MIN` on most targets, but the contract is explicit, not an
+/// artifact of float-to-int saturation.
+pub const QT_ZERO_BUCKET: i32 = i32::MIN;
+
 /// Buckets `q·t` by binary order of magnitude: all `qt` in `[2ᵏ, 2ᵏ⁺¹)`
-/// share bucket `k`. `qt ≤ 0` (a `t = 0`-only request, or a frozen
-/// chain) gets the dedicated bucket `i32::MIN`.
+/// share bucket `k`. Anything not strictly positive (including `-0.0`
+/// and NaN) gets the dedicated [`QT_ZERO_BUCKET`].
 pub fn qt_bucket(qt: f64) -> i32 {
     if qt > 0.0 {
         // log2 of a positive finite f64 lies well inside i32.
         qt.log2().floor() as i32
     } else {
-        i32::MIN
+        QT_ZERO_BUCKET
     }
 }
 
@@ -45,6 +53,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped to make room.
     pub evictions: u64,
+    /// Key matches whose resident plan was built for a *different*
+    /// model — a 64-bit digest collision, counted within `misses`.
+    pub collisions: u64,
 }
 
 struct Entry {
@@ -103,6 +114,13 @@ impl PlanCache {
     /// Returns the plan under `key`, building (and caching) it with
     /// `build` on a miss. The boolean is `true` on a hit.
     ///
+    /// The 64-bit digest in `key` is index material, not proof of
+    /// identity: on a key match the resident plan's model is compared
+    /// against `model` in full, and a mismatch (a digest collision) is
+    /// treated as a miss — counted under `serve.plan.digest_collision`
+    /// and [`CacheStats::collisions`] — with the fresh plan replacing
+    /// the colliding entry in place (no eviction of bystanders).
+    ///
     /// A failed build caches nothing and counts as a miss.
     ///
     /// # Errors
@@ -111,14 +129,30 @@ impl PlanCache {
     pub fn get_or_build(
         &mut self,
         key: PlanKey,
+        model: &SecondOrderMrm,
         build: impl FnOnce() -> Result<SolvePlan, MrmError>,
     ) -> Result<(Arc<SolvePlan>, bool), MrmError> {
         self.tick += 1;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.key == key) {
+        if let Some(idx) = self.entries.iter().position(|e| e.key == key) {
+            if self.entries[idx].plan.model() == model {
+                let e = &mut self.entries[idx];
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                self.recorder.counter_add("serve.plan.hit", 1);
+                return Ok((Arc::clone(&e.plan), true));
+            }
+            // Same digest, different model content. Serving the
+            // resident plan would silently answer for the wrong model;
+            // rebuild and take over the slot.
+            self.stats.misses += 1;
+            self.stats.collisions += 1;
+            self.recorder.counter_add("serve.plan.miss", 1);
+            self.recorder.counter_add("serve.plan.digest_collision", 1);
+            let plan = Arc::new(build()?);
+            let e = &mut self.entries[idx];
+            e.plan = Arc::clone(&plan);
             e.last_used = self.tick;
-            self.stats.hits += 1;
-            self.recorder.counter_add("serve.plan.hit", 1);
-            return Ok((Arc::clone(&e.plan), true));
+            return Ok((plan, false));
         }
         self.stats.misses += 1;
         self.recorder.counter_add("serve.plan.miss", 1);
@@ -198,11 +232,11 @@ mod tests {
         let mut cache = PlanCache::new(2, RecorderHandle::disabled());
 
         let (p1, hit) = cache
-            .get_or_build(key_for(&m, 1.0, 2), || build_plan(&m, 2))
+            .get_or_build(key_for(&m, 1.0, 2), &m, || build_plan(&m, 2))
             .unwrap();
         assert!(!hit);
         let (p2, hit) = cache
-            .get_or_build(key_for(&m, 1.0, 2), || panic!("must not rebuild"))
+            .get_or_build(key_for(&m, 1.0, 2), &m, || panic!("must not rebuild"))
             .unwrap();
         assert!(hit);
         assert!(Arc::ptr_eq(&p1, &p2), "hit returns the same plan");
@@ -210,13 +244,13 @@ mod tests {
         // Two more keys overflow capacity 2; the LRU entry is the one
         // *not* touched since: key(qt=4) inserted second, never reused.
         cache
-            .get_or_build(key_for(&m, 4.0, 2), || build_plan(&m, 2))
+            .get_or_build(key_for(&m, 4.0, 2), &m, || build_plan(&m, 2))
             .unwrap();
         cache
-            .get_or_build(key_for(&m, 1.0, 2), || panic!("still cached"))
+            .get_or_build(key_for(&m, 1.0, 2), &m, || panic!("still cached"))
             .unwrap();
         cache
-            .get_or_build(key_for(&m, 16.0, 2), || build_plan(&m, 2))
+            .get_or_build(key_for(&m, 16.0, 2), &m, || build_plan(&m, 2))
             .unwrap();
         assert!(cache.contains(&key_for(&m, 1.0, 2)), "recently used survives");
         assert!(!cache.contains(&key_for(&m, 4.0, 2)), "LRU entry evicted");
@@ -225,7 +259,8 @@ mod tests {
             CacheStats {
                 hits: 2,
                 misses: 3,
-                evictions: 1
+                evictions: 1,
+                collisions: 0
             }
         );
     }
@@ -236,10 +271,10 @@ mod tests {
         let m2 = model(2.0 + 1e-12);
         let mut cache = PlanCache::new(4, RecorderHandle::disabled());
         cache
-            .get_or_build(key_for(&m1, 1.0, 2), || build_plan(&m1, 2))
+            .get_or_build(key_for(&m1, 1.0, 2), &m1, || build_plan(&m1, 2))
             .unwrap();
         let (_, hit) = cache
-            .get_or_build(key_for(&m2, 1.0, 2), || build_plan(&m2, 2))
+            .get_or_build(key_for(&m2, 1.0, 2), &m2, || build_plan(&m2, 2))
             .unwrap();
         assert!(!hit, "a 1-ulp rate change must not reuse the stale plan");
         assert_eq!(cache.stats().misses, 2);
@@ -255,10 +290,10 @@ mod tests {
         };
         let key = key_for(&m, 1.0, 2);
         assert!(cache
-            .get_or_build(key, || SolvePlan::build(&m, 2, &bad))
+            .get_or_build(key, &m, || SolvePlan::build(&m, 2, &bad))
             .is_err());
         assert!(!cache.contains(&key));
-        let (_, hit) = cache.get_or_build(key, || build_plan(&m, 2)).unwrap();
+        let (_, hit) = cache.get_or_build(key, &m, || build_plan(&m, 2)).unwrap();
         assert!(!hit, "the failed build left no entry behind");
     }
 
@@ -274,13 +309,13 @@ mod tests {
         let a2 = key_for(&ma, 8.0, 2);
         let b2 = key_for(&mb, 8.0, 2);
 
-        cache.get_or_build(a1, || build_plan(&ma, 2)).unwrap(); // tick 1
-        cache.get_or_build(b1, || build_plan(&mb, 2)).unwrap(); // tick 2
-        cache.get_or_build(a2, || build_plan(&ma, 2)).unwrap(); // tick 3
+        cache.get_or_build(a1, &ma, || build_plan(&ma, 2)).unwrap(); // tick 1
+        cache.get_or_build(b1, &mb, || build_plan(&mb, 2)).unwrap(); // tick 2
+        cache.get_or_build(a2, &ma, || build_plan(&ma, 2)).unwrap(); // tick 3
         // Touch a1 (oldest) so b1 becomes LRU despite a1 being the
         // earliest insert.
-        cache.get_or_build(a1, || panic!("cached")).unwrap(); // tick 4
-        cache.get_or_build(b2, || build_plan(&mb, 2)).unwrap(); // evicts b1
+        cache.get_or_build(a1, &ma, || panic!("cached")).unwrap(); // tick 4
+        cache.get_or_build(b2, &mb, || build_plan(&mb, 2)).unwrap(); // evicts b1
         assert!(cache.contains(&a1), "touched entry survives");
         assert!(cache.contains(&a2));
         assert!(cache.contains(&b2));
@@ -288,7 +323,7 @@ mod tests {
 
         // Next overflow evicts a2 (tick 3 is now the oldest).
         let a3 = key_for(&ma, 64.0, 2);
-        cache.get_or_build(a3, || build_plan(&ma, 2)).unwrap();
+        cache.get_or_build(a3, &ma, || build_plan(&ma, 2)).unwrap();
         assert!(!cache.contains(&a2));
         assert!(cache.contains(&a1));
         assert_eq!(cache.len(), 3);
@@ -297,7 +332,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 5,
-                evictions: 2
+                evictions: 2,
+                collisions: 0
             }
         );
     }
@@ -325,14 +361,14 @@ mod tests {
         let m = model(2.0);
         let mut cache = PlanCache::new(4, RecorderHandle::disabled());
         cache
-            .get_or_build(key_for(&m, 2.1, 2), || build_plan(&m, 2))
+            .get_or_build(key_for(&m, 2.1, 2), &m, || build_plan(&m, 2))
             .unwrap();
         let (_, hit) = cache
-            .get_or_build(key_for(&m, 3.9, 2), || panic!("same bucket"))
+            .get_or_build(key_for(&m, 3.9, 2), &m, || panic!("same bucket"))
             .unwrap();
         assert!(hit);
         let (_, hit) = cache
-            .get_or_build(key_for(&m, 4.1, 2), || build_plan(&m, 2))
+            .get_or_build(key_for(&m, 4.1, 2), &m, || build_plan(&m, 2))
             .unwrap();
         assert!(!hit, "crossing the 2^2 boundary re-keys");
     }
@@ -349,21 +385,22 @@ mod tests {
         let k1 = key_for(&m, 1.0, 2);
         let k2 = key_for(&m, 4.0, 2);
         let k3 = key_for(&m, 16.0, 2);
-        cache.get_or_build(k1, || build_plan(&m, 2)).unwrap();
-        cache.get_or_build(k1, || panic!("cached")).unwrap();
-        cache.get_or_build(k2, || build_plan(&m, 2)).unwrap();
+        cache.get_or_build(k1, &m, || build_plan(&m, 2)).unwrap();
+        cache.get_or_build(k1, &m, || panic!("cached")).unwrap();
+        cache.get_or_build(k2, &m, || build_plan(&m, 2)).unwrap();
         assert!(cache
-            .get_or_build(k3, || SolvePlan::build(&m, 2, &bad))
+            .get_or_build(k3, &m, || SolvePlan::build(&m, 2, &bad))
             .is_err());
-        cache.get_or_build(k2, || panic!("cached")).unwrap();
-        cache.get_or_build(k3, || build_plan(&m, 2)).unwrap();
+        cache.get_or_build(k2, &m, || panic!("cached")).unwrap();
+        cache.get_or_build(k3, &m, || build_plan(&m, 2)).unwrap();
         let s = cache.stats();
         assert_eq!(
             s,
             CacheStats {
                 hits: 2,
                 misses: 4,
-                evictions: 1
+                evictions: 1,
+                collisions: 0
             }
         );
         // Reconciliation invariants the serve stats sideband relies on.
@@ -382,15 +419,15 @@ mod tests {
         };
         let k1 = key_for(&m, 1.0, 2);
         let k2 = key_for(&m, 4.0, 2);
-        cache.get_or_build(k1, || build_plan(&m, 2)).unwrap();
-        cache.get_or_build(k2, || build_plan(&m, 2)).unwrap();
+        cache.get_or_build(k1, &m, || build_plan(&m, 2)).unwrap();
+        cache.get_or_build(k2, &m, || build_plan(&m, 2)).unwrap();
         assert_eq!(cache.len(), 2, "at capacity");
 
         // A failing build at capacity must not evict the residents:
         // eviction happens only once a replacement plan exists.
         let k3 = key_for(&m, 16.0, 2);
         assert!(cache
-            .get_or_build(k3, || SolvePlan::build(&m, 2, &bad))
+            .get_or_build(k3, &m, || SolvePlan::build(&m, 2, &bad))
             .is_err());
         assert_eq!(cache.len(), 2);
         assert!(cache.contains(&k1) && cache.contains(&k2), "residents intact");
@@ -398,7 +435,7 @@ mod tests {
         assert_eq!(cache.stats().evictions, 0);
 
         // The retry builds, and only then does one eviction happen.
-        let (_, hit) = cache.get_or_build(k3, || build_plan(&m, 2)).unwrap();
+        let (_, hit) = cache.get_or_build(k3, &m, || build_plan(&m, 2)).unwrap();
         assert!(!hit);
         assert_eq!(cache.len(), 2);
         assert_eq!(cache.stats().evictions, 1);
@@ -411,17 +448,91 @@ mod tests {
         let m = model(2.0);
         let mut cache = PlanCache::new(1, RecorderHandle::new(registry.clone()));
         cache
-            .get_or_build(key_for(&m, 1.0, 2), || build_plan(&m, 2))
+            .get_or_build(key_for(&m, 1.0, 2), &m, || build_plan(&m, 2))
             .unwrap();
         cache
-            .get_or_build(key_for(&m, 1.0, 2), || panic!("cached"))
+            .get_or_build(key_for(&m, 1.0, 2), &m, || panic!("cached"))
             .unwrap();
         cache
-            .get_or_build(key_for(&m, 8.0, 2), || build_plan(&m, 2))
+            .get_or_build(key_for(&m, 8.0, 2), &m, || build_plan(&m, 2))
             .unwrap();
         let snap = registry.snapshot();
         assert_eq!(snap.counter("serve.plan.hit"), Some(1));
         assert_eq!(snap.counter("serve.plan.miss"), Some(2));
         assert_eq!(snap.counter("serve.plan.evict"), Some(1));
+    }
+
+    #[test]
+    fn qt_zero_bucket_is_pinned_and_dedicated() {
+        // Every non-positive (or non-number) qt lands in the pinned
+        // degenerate bucket...
+        assert_eq!(qt_bucket(0.0), QT_ZERO_BUCKET);
+        assert_eq!(qt_bucket(-0.0), QT_ZERO_BUCKET);
+        assert_eq!(qt_bucket(-1.5), QT_ZERO_BUCKET);
+        assert_eq!(qt_bucket(f64::NAN), QT_ZERO_BUCKET);
+        assert_eq!(qt_bucket(f64::NEG_INFINITY), QT_ZERO_BUCKET);
+        // ...which no positive qt can reach, not even the subnormal
+        // floor (companion to the subnormal-edge test above).
+        assert_ne!(qt_bucket(5e-324), QT_ZERO_BUCKET);
+        assert_ne!(qt_bucket(f64::MIN_POSITIVE), QT_ZERO_BUCKET);
+
+        // Cache level: qt = 0 and a subnormal qt use distinct slots,
+        // while every degenerate qt shares the pinned one.
+        let m = model(2.0);
+        let mut cache = PlanCache::new(4, RecorderHandle::disabled());
+        cache
+            .get_or_build(key_for(&m, 0.0, 2), &m, || build_plan(&m, 2))
+            .unwrap();
+        let (_, hit) = cache
+            .get_or_build(key_for(&m, 5e-324, 2), &m, || build_plan(&m, 2))
+            .unwrap();
+        assert!(!hit, "subnormal qt must not share the degenerate bucket");
+        let (_, hit) = cache
+            .get_or_build(key_for(&m, -3.0, 2), &m, || panic!("pinned bucket"))
+            .unwrap();
+        assert!(hit, "negative qt shares the qt=0 slot");
+    }
+
+    #[test]
+    fn digest_collision_is_detected_and_rebuilt_in_place() {
+        use somrm_obs::MetricsRegistry;
+        // Simulate a 64-bit digest collision: two different models
+        // presented under the same key — exactly what the server would
+        // do if FNV-1a collided.
+        let registry = Arc::new(MetricsRegistry::new());
+        let m1 = model(2.0);
+        let m2 = model(5.0);
+        let mut cache = PlanCache::new(2, RecorderHandle::new(registry.clone()));
+        let key = key_for(&m1, 1.0, 2);
+        let (p1, _) = cache.get_or_build(key, &m1, || build_plan(&m1, 2)).unwrap();
+        let (p2, hit) = cache.get_or_build(key, &m2, || build_plan(&m2, 2)).unwrap();
+        assert!(!hit, "a colliding key must never serve the wrong model's plan");
+        assert!(!Arc::ptr_eq(&p1, &p2));
+        assert_eq!(p2.model(), &m2, "the rebuilt plan answers for the new model");
+        assert_eq!(cache.len(), 1, "replacement happens in place");
+        let s = cache.stats();
+        assert_eq!(s.collisions, 1);
+        assert_eq!(s.misses, 2, "the collision is counted as a miss");
+        assert_eq!(s.evictions, 0, "no bystander eviction");
+
+        // The slot now answers for m2.
+        let (_, hit) = cache.get_or_build(key, &m2, || panic!("cached")).unwrap();
+        assert!(hit);
+
+        // A failed rebuild on a later collision keeps the resident.
+        let bad = SolverConfig {
+            threads: 0,
+            ..SolverConfig::default()
+        };
+        assert!(cache
+            .get_or_build(key, &m1, || SolvePlan::build(&m1, 2, &bad))
+            .is_err());
+        let (_, hit) = cache
+            .get_or_build(key, &m2, || panic!("resident intact"))
+            .unwrap();
+        assert!(hit);
+        assert_eq!(cache.stats().collisions, 2);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.plan.digest_collision"), Some(2));
     }
 }

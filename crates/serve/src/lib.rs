@@ -26,7 +26,7 @@ pub mod proto;
 pub mod server;
 pub mod telemetry;
 
-pub use cache::{qt_bucket, CacheStats, PlanCache, PlanKey};
+pub use cache::{qt_bucket, CacheStats, PlanCache, PlanKey, QT_ZERO_BUCKET};
 pub use proto::{parse_request, render_err, render_ok, ModelSpec, Request, MAX_ORDER};
 pub use server::{
     serve, serve_batch, serve_batch_traced, BatchOutcome, ModelResolver, ServeOptions,

@@ -229,7 +229,7 @@ pub fn serve_batch_traced(
         let mut plan = None;
         let mut hits: Vec<bool> = Vec::with_capacity(members.len());
         for _ in members {
-            match cache.get_or_build(key, || {
+            match cache.get_or_build(key, build_model, || {
                 SolvePlan::build(build_model, group_order, solver)
             }) {
                 Ok((p, hit)) => {

@@ -4,9 +4,10 @@
 //! Tolerance discipline — every comparison budget is derived from error
 //! bounds the solvers themselves report, never from a magic constant:
 //!
-//! - **CSR vs DIA** and **serial vs pooled** randomization must agree
-//!   **bitwise** (prior work proved the kernels bit-identical; the
-//!   oracle keeps them honest).
+//! - **CSR vs DIA**, **CSR vs matrix-free operator** (tridiagonal cases
+//!   plus a Kronecker-sum companion built per case), and **serial vs
+//!   pooled** randomization must agree **bitwise** (prior work proved
+//!   the kernels bit-identical; the oracle keeps them honest).
 //! - **Randomization vs closed forms / ODE / simulation** must agree
 //!   within `bound_rnd + bound_other + rel_floor·scale`, where
 //!   `bound_rnd` is the realized Theorem-4 truncation bound,
@@ -23,9 +24,11 @@ use crate::case::VerifyCase;
 use rand::rngs::StdRng;
 use somrm_core::error::MrmError;
 use somrm_core::first_order::moments_first_order;
+use somrm_core::model::SecondOrderMrm;
 use somrm_core::uniformization::{moments, SolverConfig};
-use somrm_core::SolvePlan;
-use somrm_linalg::{KernelVariant, MatrixFormat};
+use somrm_core::{ModelStructure, SolvePlan};
+use somrm_ctmc::generator::GeneratorBuilder;
+use somrm_linalg::{KernelVariant, Mat, MatrixFormat};
 use somrm_obs::json::{self};
 use somrm_obs::RecorderHandle;
 use somrm_ode::{moments_ode, OdeMethod};
@@ -92,6 +95,13 @@ impl OracleConfig {
 pub struct CaseStats {
     /// DIA-forced randomization compared bitwise.
     pub dia_checked: bool,
+    /// Matrix-free operator randomization compared bitwise (runs when
+    /// the case's generator is tridiagonal; other shapes assert the
+    /// typed refusal instead).
+    pub op_checked: bool,
+    /// Kronecker-sum companion model compared bitwise (operator vs
+    /// CSR); runs on every case.
+    pub kron_checked: bool,
     /// Pooled randomization compared bitwise.
     pub pool_checked: bool,
     /// Cached-plan execute (cold and warm) compared bitwise.
@@ -298,6 +308,49 @@ fn check_case_inner(
     stats.dia_checked = true;
     rec.counter_add("verify.checks.dia", 1);
 
+    // --- Operator oracle: the matrix-free backend must be bit-identical
+    // wherever it applies. A tridiagonal generator takes the forced
+    // path even without a structure descriptor; any other shape must be
+    // refused with a typed error (never a panic) — the refusal itself
+    // is part of the contract under test. ---
+    let op_cfg = SolverConfig {
+        format: MatrixFormat::Operator,
+        ..base.clone()
+    };
+    match rec.time("verify.solve.op", || {
+        moments(&model, case.order, case.t, &op_cfg)
+    }) {
+        Ok(op) => {
+            compare_bitwise("rnd-op", &reference.weighted, &op.weighted)?;
+            stats.op_checked = true;
+            rec.counter_add("verify.checks.op", 1);
+        }
+        Err(MrmError::FormatUnsupported { .. }) => {
+            rec.counter_add("verify.checks.op_refused", 1);
+        }
+        Err(e) => return Err(solve_error("rnd-op", &e)),
+    }
+
+    // --- Kronecker companion: a small composite model derived
+    // deterministically from the case, solved through the Kronecker-sum
+    // operator and through CSR; bitwise agreement required. Runs on
+    // every case so the composite path gets coverage regardless of the
+    // case's own shape. ---
+    let companion = kron_companion(case).map_err(|e| solve_error("rnd-op-kron", &e))?;
+    let kron_ref = rec
+        .time("verify.solve.kron_ref", || {
+            moments(&companion, case.order, case.t, &base)
+        })
+        .map_err(|e| solve_error("rnd-op-kron", &e))?;
+    let kron_op = rec
+        .time("verify.solve.kron_op", || {
+            moments(&companion, case.order, case.t, &op_cfg)
+        })
+        .map_err(|e| solve_error("rnd-op-kron", &e))?;
+    compare_bitwise("rnd-op-kron", &kron_ref.weighted, &kron_op.weighted)?;
+    stats.kron_checked = true;
+    rec.counter_add("verify.checks.kron", 1);
+
     // --- Pool oracle: pooled kernel must be bit-identical. ---
     let pool_cfg = SolverConfig {
         threads: 2,
@@ -444,6 +497,59 @@ fn check_case_inner(
     Ok(stats)
 }
 
+/// Builds the case's Kronecker companion: a 2×3-factor composite chain
+/// (6 states) with rates derived deterministically from the case's own
+/// parameters, annotated with a [`ModelStructure::KroneckerSum`]
+/// descriptor. The flat generator is assembled from the *same* factor
+/// entries the operator enumerates, so the operator's off-diagonal
+/// values (`a · 1/q`) coincide exactly with CSR's (`v · 1/q`), and its
+/// diagonal is aligned with the stored `Q` — bitwise agreement is owed,
+/// not hoped for.
+fn kron_companion(case: &VerifyCase) -> Result<SecondOrderMrm, MrmError> {
+    let r0 = case
+        .transitions
+        .first()
+        .map_or(1.0, |&(_, _, r)| r.abs().clamp(0.125, 8.0));
+    let r1 = (0.5 + case.t).clamp(0.25, 4.0);
+    let f0 = Mat::from_rows(&[&[0.0, r0][..], &[0.5 * r1, 0.0][..]])
+        .expect("2x2 factor rows are rectangular");
+    let f1 = Mat::from_rows(&[
+        &[0.0, r1, 0.0][..],
+        &[0.75 * r0, 0.0, 1.5][..],
+        &[0.0, 2.0 * r1, 0.0][..],
+    ])
+    .expect("3x3 factor rows are rectangular");
+    let factors = vec![f0, f1];
+
+    // Flat generator over the mixed-radix product space (outer factor
+    // stride 3, inner stride 1), emitting each factor's off-diagonal
+    // entries verbatim.
+    let (sizes, strides) = ([2usize, 3], [3usize, 1]);
+    let n = 6;
+    let mut b = GeneratorBuilder::new(n);
+    for i in 0..n {
+        let digits = [i / 3, i % 3];
+        for k in 0..2 {
+            let jk = digits[k];
+            let base = i - jk * strides[k];
+            for c in 0..sizes[k] {
+                let a = factors[k][(jk, c)];
+                if c != jk && a > 0.0 {
+                    b.rate(i, base + c * strides[k], a)?;
+                }
+            }
+        }
+    }
+    let drifts: Vec<f64> = (0..n).map(|i| case.drifts[i % case.drifts.len()]).collect();
+    let variances: Vec<f64> = (0..n)
+        .map(|i| case.variances[i % case.variances.len()])
+        .collect();
+    let mut initial = vec![0.0; n];
+    initial[0] = 1.0;
+    SecondOrderMrm::new(b.build()?, drifts, variances, initial)?
+        .with_structure(ModelStructure::KroneckerSum { factors })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -471,12 +577,28 @@ mod tests {
         let stats = check_case(&case, &OracleConfig::default(), &mut case_rng(1, 1))
             .unwrap_or_else(|v| panic!("unexpected violation: {v}"));
         assert!(stats.dia_checked);
+        assert!(stats.op_checked, "tridiagonal case runs the operator arm");
+        assert!(stats.kron_checked, "every case runs the Kronecker companion");
         assert!(stats.pool_checked);
         assert!(stats.plan_checked);
         assert!(stats.simd_checked);
         assert!(stats.ode_checked);
         assert!(stats.sim_checked);
         assert!(!stats.first_order_checked, "model has positive variances");
+    }
+
+    #[test]
+    fn non_tridiagonal_case_skips_operator_via_typed_refusal() {
+        // A (0 -> 2) jump breaks the tridiagonal shape: the operator arm
+        // must be refused cleanly (no violation, no panic) while the
+        // Kronecker companion still runs.
+        let mut case = simple_case();
+        case.transitions.push((0, 2, 0.25));
+        let stats = check_case(&case, &OracleConfig::default(), &mut case_rng(1, 5))
+            .unwrap_or_else(|v| panic!("unexpected violation: {v}"));
+        assert!(!stats.op_checked, "non-tridiagonal model cannot run matrix-free");
+        assert!(stats.kron_checked);
+        assert!(stats.dia_checked, "other arms unaffected");
     }
 
     #[test]
@@ -541,6 +663,8 @@ mod tests {
         assert_eq!(snap.counter("verify.cases"), Some(1));
         assert_eq!(snap.counter("verify.passed"), Some(1));
         assert_eq!(snap.counter("verify.checks.dia"), Some(1));
+        assert_eq!(snap.counter("verify.checks.op"), Some(1));
+        assert_eq!(snap.counter("verify.checks.kron"), Some(1));
         assert_eq!(snap.counter("verify.checks.pool"), Some(1));
         assert_eq!(snap.counter("verify.checks.plan"), Some(1));
         assert_eq!(snap.counter("verify.checks.simd"), Some(1));
