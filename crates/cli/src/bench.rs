@@ -120,6 +120,13 @@ pub struct BenchEntry {
     pub latency_p50_ns: Option<u64>,
     /// p99 per-request end-to-end latency of the fastest rep.
     pub latency_p99_ns: Option<u64>,
+    /// Exact iteration-matrix bytes of the fastest rep (sum of the
+    /// `mem.matrix.*` ledger gauges); absent for serve rungs and for
+    /// documents predating the memory ledger.
+    pub matrix_bytes: Option<u64>,
+    /// OS peak RSS (`VmHWM`) sampled after the rung; absent where the
+    /// platform exposes no cheap probe (non-Linux).
+    pub peak_rss_bytes: Option<u64>,
 }
 
 /// Solves one rung at the given thread count and kernel variant and
@@ -152,6 +159,18 @@ pub fn run_rung(rung: &Rung, threads: usize, kernel: KernelVariant) -> Result<Be
     }
     let (wall_ns, iterations, snapshot) = best.expect("at least one rep");
     let secs = wall_ns as f64 / 1e9;
+    // The solve ran with an enabled recorder, so the plan attached a
+    // memory ledger and published its exact byte gauges; only one
+    // `mem.matrix.*` category is nonzero per rung (the chosen backend).
+    let matrix_bytes = {
+        let sum: f64 = snapshot
+            .gauges
+            .iter()
+            .filter(|(name, _)| name.starts_with("mem.matrix."))
+            .map(|(_, v)| *v)
+            .sum();
+        (sum > 0.0).then_some(sum as u64)
+    };
     Ok(BenchEntry {
         name: rung.name.clone(),
         states: rung.sources + 1,
@@ -173,6 +192,8 @@ pub fn run_rung(rung: &Rung, threads: usize, kernel: KernelVariant) -> Result<Be
         requests_per_sec: None,
         latency_p50_ns: None,
         latency_p99_ns: None,
+        matrix_bytes,
+        peak_rss_bytes: somrm_obs::peak_rss_bytes(),
     })
 }
 
@@ -288,6 +309,8 @@ pub fn run_serve_rung(
             requests_per_sec: Some(n_requests as f64 / (wall_ns as f64 / 1e9)),
             latency_p50_ns: stats.and_then(|s| s.total.p50_ns()),
             latency_p99_ns: stats.and_then(|s| s.total.p99_ns()),
+            matrix_bytes: None,
+            peak_rss_bytes: None,
         }
     };
     Ok((
@@ -368,6 +391,14 @@ pub fn to_json(entries: &[BenchEntry], quick: bool, threads: usize, kernel: Kern
         }
         if let Some(p) = e.latency_p99_ns {
             let _ = write!(out, ",\"latency_p99_ns\":{p}");
+        }
+        // Memory facts are optional the same way: absent keys mean the
+        // rung predates the ledger (or the platform has no RSS probe).
+        if let Some(b) = e.matrix_bytes {
+            let _ = write!(out, ",\"matrix_bytes\":{b}");
+        }
+        if let Some(b) = e.peak_rss_bytes {
+            let _ = write!(out, ",\"peak_rss_bytes\":{b}");
         }
         out.push_str(",\"stages\":{");
         for (j, (name, ns)) in e.stages.iter().enumerate() {
@@ -595,6 +626,23 @@ mod tests {
             Some(51.0)
         );
         assert!(parsed[0].get("stages").unwrap().get("solve.recursion").is_some());
+        // Memory facts: every solver rung carries exact matrix bytes,
+        // and the matrix-free operator strip is the smallest footprint.
+        let bytes: Vec<u64> = entries
+            .iter()
+            .map(|e| e.matrix_bytes.expect("ledger gauge present"))
+            .collect();
+        assert!(bytes.iter().all(|&b| b > 0), "{bytes:?}");
+        assert!(bytes[2] < bytes[0] && bytes[2] < bytes[1], "operator smallest: {bytes:?}");
+        assert_eq!(
+            parsed[0].get("matrix_bytes").and_then(|b| b.as_f64()),
+            Some(bytes[0] as f64)
+        );
+        #[cfg(target_os = "linux")]
+        assert!(
+            parsed[0].get("peak_rss_bytes").and_then(|b| b.as_f64()).unwrap() > 0.0,
+            "VmHWM probe present on linux"
+        );
     }
 
     #[test]
@@ -641,6 +689,8 @@ mod tests {
                 requests_per_sec: None,
                 latency_p50_ns: None,
                 latency_p99_ns: None,
+                matrix_bytes: None,
+                peak_rss_bytes: None,
             },
             BenchEntry {
                 name: "b".into(),
@@ -655,6 +705,8 @@ mod tests {
                 requests_per_sec: None,
                 latency_p50_ns: None,
                 latency_p99_ns: None,
+                matrix_bytes: None,
+                peak_rss_bytes: None,
             },
         ];
         to_json(&entries, false, 1, KernelVariant::Auto)
@@ -764,6 +816,25 @@ mod tests {
         assert!(with.contains("latency_p50_ns"), "replacement applied");
         let old = write_tmp("somrm-bench-cmp-lat-old.json", &doc_with(1000, 2000));
         let new = write_tmp("somrm-bench-cmp-lat-new.json", &with);
+        let out = cmd_bench_compare(&old, &new, 10.0, false).unwrap();
+        assert!(out.contains("0 regressions"), "{out}");
+        let out = cmd_bench_compare(&new, &old, 10.0, false).unwrap();
+        assert!(out.contains("0 regressions"), "{out}");
+    }
+
+    #[test]
+    fn comparator_ignores_optional_memory_fields() {
+        // A document carrying the new memory facts compares cleanly
+        // against one that predates them, in both directions: the join
+        // and threshold logic read names and wall_ns only.
+        let mut with = doc_with(1000, 2000);
+        with = with.replace(
+            "\"iters_per_sec\":1.0,",
+            "\"iters_per_sec\":1.0,\"matrix_bytes\":2832,\"peak_rss_bytes\":1048576,",
+        );
+        assert!(with.contains("matrix_bytes"), "replacement applied");
+        let old = write_tmp("somrm-bench-cmp-mem-old.json", &doc_with(1000, 2000));
+        let new = write_tmp("somrm-bench-cmp-mem-new.json", &with);
         let out = cmd_bench_compare(&old, &new, 10.0, false).unwrap();
         assert!(out.contains("0 regressions"), "{out}");
         let out = cmd_bench_compare(&new, &old, 10.0, false).unwrap();

@@ -50,6 +50,12 @@ pub struct CommonOpts {
     /// has AVX2+FMA; `scalar` pins the bit-exact reference path; `simd`
     /// forces the FMA path, portable without AVX2).
     pub kernel: KernelVariant,
+    /// `--events-out`: stream the typed solve event log (JSONL,
+    /// `somrm-events-v1`) to this file.
+    pub events_out: Option<String>,
+    /// `--progress-json`: stream the same event records to stderr, for
+    /// supervisors that tail the process instead of a file.
+    pub progress_json: bool,
 }
 
 impl Default for CommonOpts {
@@ -64,6 +70,8 @@ impl Default for CommonOpts {
             progress: false,
             format: MatrixFormat::Auto,
             kernel: KernelVariant::from_env(),
+            events_out: None,
+            progress_json: false,
         }
     }
 }
@@ -116,16 +124,36 @@ impl CommonOpts {
         }
     }
 
-    fn solver_config(&self, rec: &RecorderHandle) -> SolverConfig {
-        SolverConfig {
+    /// Builds the solve event log: a file sink for `--events-out`, a
+    /// stderr sink for `--progress-json`, both teed when both are set,
+    /// disabled (one predictable branch per emit point) otherwise.
+    fn events_handle(&self) -> Result<somrm_obs::EventLogHandle, String> {
+        if self.events_out.is_none() && !self.progress_json {
+            return Ok(somrm_obs::EventLogHandle::disabled());
+        }
+        let log = somrm_obs::EventLogRecorder::new();
+        if let Some(path) = &self.events_out {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("cannot create --events-out {path}: {e}"))?;
+            log.add_sink(Box::new(file));
+        }
+        if self.progress_json {
+            log.add_sink(Box::new(std::io::stderr()));
+        }
+        Ok(somrm_obs::EventLogHandle::new(log))
+    }
+
+    fn solver_config(&self, rec: &RecorderHandle) -> Result<SolverConfig, String> {
+        Ok(SolverConfig {
             epsilon: self.epsilon,
             threads: self.threads,
             format: self.format,
             kernel: self.kernel,
             recorder: rec.clone(),
+            events: self.events_handle()?,
             progress: self.progress,
             ..SolverConfig::default()
-        }
+        })
     }
 }
 
@@ -166,7 +194,7 @@ fn solve(
     opts: &CommonOpts,
     rec: &RecorderHandle,
 ) -> Result<MomentSolution, String> {
-    let cfg = opts.solver_config(rec);
+    let cfg = opts.solver_config(rec)?;
     if parsed.has_impulses() {
         let m = parsed.clone().into_impulse_mrm().map_err(|e| e.to_string())?;
         moments_with_impulse(&m, order, opts.t, &cfg).map_err(|e| e.to_string())
@@ -431,7 +459,7 @@ pub fn cmd_sweep(
     }
     let tel = opts.telemetry();
     let rec = tel.rec().clone();
-    let cfg = opts.solver_config(&rec);
+    let cfg = opts.solver_config(&rec)?;
     let mut out = String::new();
     let mut report = None;
     let _ = writeln!(out, "t,mean,stddev");
@@ -639,6 +667,7 @@ pub struct ServeTelemetryOpts {
 /// requests are answered in-protocol, never fatal.
 pub fn cmd_serve(
     cache_size: usize,
+    cache_bytes: Option<u64>,
     tel_opts: &ServeTelemetryOpts,
     opts: &CommonOpts,
 ) -> Result<String, String> {
@@ -667,8 +696,9 @@ pub fn cmd_serve(
     let tel = opts.telemetry();
     let rec = tel.rec().clone();
     let options = somrm_serve::ServeOptions {
-        solver: opts.solver_config(&rec),
+        solver: opts.solver_config(&rec)?,
         cache_capacity: cache_size,
+        cache_bytes,
         slow_trace,
         ..somrm_serve::ServeOptions::default()
     };
@@ -679,7 +709,7 @@ pub fn cmd_serve(
     // The summary goes to stderr: stdout is the response stream, and a
     // consumer piping it must see protocol lines only.
     eprintln!(
-        "serve: {} requests in {} batches — {} ok, {} errors, {} cmds; plan cache {} hits / {} misses / {} evictions",
+        "serve: {} requests in {} batches — {} ok, {} errors, {} cmds; plan cache {} hits / {} misses / {} evictions ({} bytes evicted)",
         summary.requests,
         summary.batches,
         summary.ok,
@@ -688,6 +718,7 @@ pub fn cmd_serve(
         summary.cache.hits,
         summary.cache.misses,
         summary.cache.evictions,
+        summary.cache.evict_bytes,
     );
     if let Some(path) = &tel_opts.stats_out {
         let snap = options.stats.snapshot();
@@ -700,6 +731,19 @@ pub fn cmd_serve(
     emit(opts, &tel, "serve", None, String::new())
 }
 
+fn fmt_bytes_human(b: f64) -> String {
+    const KIB: f64 = 1024.0;
+    if b >= KIB * KIB * KIB {
+        format!("{:.2} GiB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.2} MiB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.1} KiB", b / KIB)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
 fn fmt_ns_human(ns: f64) -> String {
     if ns >= 1e9 {
         format!("{:.2} s", ns / 1e9)
@@ -709,6 +753,62 @@ fn fmt_ns_human(ns: f64) -> String {
         format!("{:.2} us", ns / 1e3)
     } else {
         format!("{ns:.0} ns")
+    }
+}
+
+/// Renders the memory-ledger object (`mem` in a solve report, or any
+/// future stats section with the same `{category: {current, peak}}`
+/// shape): one row per touched category, plus the peak-RSS sample.
+fn render_mem_section(mem: &somrm_obs::json::Value) -> String {
+    use somrm_obs::json::Value;
+    let mut out = String::new();
+    let _ = writeln!(out, "memory     :");
+    if let Value::Obj(entries) = mem {
+        for (key, v) in entries {
+            if key == "peak_rss_bytes" {
+                if let Some(b) = v.as_f64() {
+                    let _ = writeln!(out, "  {:<15}: {}", "peak RSS", fmt_bytes_human(b));
+                }
+                continue;
+            }
+            let (current, peak) = (
+                v.get("current").and_then(Value::as_f64).unwrap_or(0.0),
+                v.get("peak").and_then(Value::as_f64).unwrap_or(0.0),
+            );
+            if peak == 0.0 {
+                continue; // untouched category
+            }
+            let _ = writeln!(
+                out,
+                "  {key:<15}: {} now, {} peak",
+                fmt_bytes_human(current),
+                fmt_bytes_human(peak)
+            );
+        }
+    }
+    out
+}
+
+/// A one-line warning naming top-level sections the renderer does not
+/// know, or `None` when everything was recognized. Unknown sections
+/// are skipped, never fatal — a snapshot from a newer somrm-tool must
+/// still render — but silently dropping them would hide data.
+fn unknown_sections_warning(v: &somrm_obs::json::Value, known: &[&str]) -> Option<String> {
+    use somrm_obs::json::Value;
+    let Value::Obj(entries) = v else { return None };
+    let unknown: Vec<&str> = entries
+        .iter()
+        .map(|(k, _)| k.as_str())
+        .filter(|k| !known.contains(k))
+        .collect();
+    if unknown.is_empty() {
+        None
+    } else {
+        Some(format!(
+            "warning: ignoring unknown section{} {} (snapshot from a newer somrm-tool?)",
+            if unknown.len() == 1 { "" } else { "s" },
+            unknown.join(", ")
+        ))
     }
 }
 
@@ -743,6 +843,23 @@ fn render_stats_human(stats: &somrm_obs::json::Value) -> Option<String> {
             num(cache, "misses").unwrap_or(0.0),
             num(cache, "evictions").unwrap_or(0.0),
         );
+        // Byte accounting arrived with the byte-aware cache; older
+        // snapshots lack the keys and keep the short row.
+        if let (Some(resident), Some(evicted)) =
+            (num(cache, "resident_bytes"), num(cache, "evict_bytes"))
+        {
+            let _ = writeln!(
+                out,
+                "             {} resident, {} evicted over the run",
+                fmt_bytes_human(resident),
+                fmt_bytes_human(evicted)
+            );
+        }
+    }
+    if let Some(mem) = stats.get("mem") {
+        if !matches!(mem, Value::Null) {
+            out.push_str(&render_mem_section(mem));
+        }
     }
     let latency = stats.get("latency")?;
     let _ = writeln!(
@@ -784,13 +901,54 @@ fn render_stats_human(stats: &somrm_obs::json::Value) -> Option<String> {
             }
         }
     }
+    if let Some(warning) = unknown_sections_warning(
+        stats,
+        &["requests", "ok", "batches", "errors", "cache", "latency", "models", "mem"],
+    ) {
+        let _ = writeln!(out, "{warning}");
+    }
+    Some(out)
+}
+
+/// Renders a `--metrics` solve report: the headline solver facts plus
+/// the memory section the ledger recorded, with a one-line warning for
+/// any section this renderer does not know.
+fn render_report_human(report: &somrm_obs::json::Value) -> Option<String> {
+    use somrm_obs::json::Value;
+    let command = report.get("command")?.as_str()?;
+    let num = |key: &str| report.get(key).and_then(Value::as_f64);
+    let mut out = String::new();
+    let _ = writeln!(out, "command    : {command}");
+    if let (Some(g), Some(bound)) = (num("G"), num("error_bound")) {
+        let _ = writeln!(out, "solver     : G = {g:.0}, error bound {bound:.2e}");
+    }
+    if let (Some(n), Some(threads)) = (num("n_states"), num("threads")) {
+        let _ = writeln!(out, "model      : {n:.0} states, {threads:.0} threads");
+    }
+    match report.get("mem") {
+        Some(mem) if !matches!(mem, Value::Null) => out.push_str(&render_mem_section(mem)),
+        _ => {
+            let _ = writeln!(out, "memory     : (no ledger in this report)");
+        }
+    }
+    if let Some(warning) = unknown_sections_warning(
+        report,
+        &[
+            "command", "q", "d", "qt", "shift", "G", "max_iterations", "epsilon", "order",
+            "n_states", "n_times", "threads", "kernel_variant", "error_bound", "error_bounds",
+            "poisson", "pool", "health", "mem", "stages", "counters", "gauges",
+        ],
+    ) {
+        let _ = writeln!(out, "{warning}");
+    }
     Some(out)
 }
 
 /// `somrm stats <file>`: pretty-prints a serve statistics snapshot —
 /// either the file written by `serve --stats-out` (JSON format) or a
 /// captured sideband `{"cmd":"stats"}` response line (the `stats`
-/// member is unwrapped automatically).
+/// member is unwrapped automatically) — or a `--metrics` solve report,
+/// recognized by its `command` key, rendering the memory section.
 ///
 /// # Errors
 ///
@@ -800,11 +958,15 @@ pub fn cmd_stats(path: &str) -> Result<String, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let v = somrm_obs::json::parse(text.trim())
         .map_err(|e| format!("{path}: not a stats JSON document: {e}"))?;
+    if v.get("command").is_some() {
+        return render_report_human(&v)
+            .ok_or_else(|| format!("{path}: malformed solve report (non-string command)"));
+    }
     let stats = v.get("stats").unwrap_or(&v);
     render_stats_human(stats).ok_or_else(|| {
         format!(
-            "{path}: missing stats keys (expected a serve --stats-out snapshot \
-             or a captured {{\"cmd\":\"stats\"}} response)"
+            "{path}: missing stats keys (expected a serve --stats-out snapshot, \
+             a captured {{\"cmd\":\"stats\"}} response, or a --metrics solve report)"
         )
     })
 }
@@ -1081,7 +1243,7 @@ mod tests {
             metrics: Some("-".to_string()),
             ..CommonOpts::default()
         };
-        let err = cmd_serve(8, &ServeTelemetryOpts::default(), &opts).unwrap_err();
+        let err = cmd_serve(8, None, &ServeTelemetryOpts::default(), &opts).unwrap_err();
         assert!(err.contains("--metrics -"), "{err}");
         assert!(err.contains("stdout"), "{err}");
         assert!(err.contains("cmd"), "hint at the sideband: {err}");
@@ -1091,7 +1253,7 @@ mod tests {
             stats_out: Some("-".to_string()),
             ..ServeTelemetryOpts::default()
         };
-        let err = cmd_serve(8, &tel, &CommonOpts::default()).unwrap_err();
+        let err = cmd_serve(8, None, &tel, &CommonOpts::default()).unwrap_err();
         assert!(err.contains("--stats-out -"), "{err}");
     }
 
@@ -1122,7 +1284,8 @@ mod tests {
         }
         stats.record_request(None, Some("parse"), &RequestLatency::default());
         stats.record_batch();
-        stats.record_cache_delta(3, 2, 1);
+        stats.record_cache_delta(3, 2, 1, 4_096);
+        stats.record_cache_resident(65_536);
         let snap = stats.snapshot();
 
         // The raw --stats-out file form.
@@ -1133,6 +1296,9 @@ mod tests {
         assert!(out.contains("parse 1"), "{out}");
         assert!(out.contains("3 hits / 2 misses / 1 evictions"), "{out}");
         assert!(out.contains("60.0% hit rate"), "{out}");
+        assert!(out.contains("64.0 KiB resident"), "{out}");
+        assert!(out.contains("4.0 KiB evicted"), "{out}");
+        assert!(!out.contains("warning:"), "all sections known: {out}");
         assert!(out.contains("total"), "{out}");
         assert!(out.contains("ms"), "human units: {out}");
         assert!(out.contains("0000000000000abc"), "per-model row: {out}");
@@ -1159,6 +1325,67 @@ mod tests {
         let err = cmd_stats(&path.display().to_string()).unwrap_err();
         assert!(err.contains("missing stats keys"), "{err}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn events_out_streams_a_parseable_log_and_preserves_output() {
+        let path = std::env::temp_dir().join("somrm-cli-events-test.jsonl");
+        let opts = CommonOpts {
+            events_out: Some(path.display().to_string()),
+            ..CommonOpts::default()
+        };
+        let logged = cmd_moments(&parsed(), 2, &opts).unwrap();
+        let bare = cmd_moments(&parsed(), 2, &CommonOpts::default()).unwrap();
+        assert_eq!(logged, bare, "event logging must not change results");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let events = somrm_obs::Event::parse_lines(&text).expect("strict parse");
+        assert_eq!(events.first().map(somrm_obs::Event::kind), Some("solve.start"));
+        assert_eq!(events.last().map(somrm_obs::Event::kind), Some("complete"));
+        assert!(events.iter().any(|e| e.kind() == "progress"), "{text}");
+        assert!(events.iter().any(|e| e.kind() == "plan.resolved"), "{text}");
+    }
+
+    #[test]
+    fn events_out_to_an_unwritable_path_errors_readably() {
+        let opts = CommonOpts {
+            events_out: Some("/nonexistent-dir/events.jsonl".to_string()),
+            ..CommonOpts::default()
+        };
+        let err = cmd_moments(&parsed(), 2, &opts).unwrap_err();
+        assert!(err.contains("--events-out"), "{err}");
+    }
+
+    #[test]
+    fn stats_renders_solve_reports_with_memory_section() {
+        let path = std::env::temp_dir().join("somrm-cli-report-stats-test.json");
+        let opts = CommonOpts {
+            metrics: Some(path.display().to_string()),
+            ..CommonOpts::default()
+        };
+        cmd_moments(&parsed(), 2, &opts).unwrap();
+        let out = cmd_stats(&path.display().to_string()).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(out.contains("command    : moments"), "{out}");
+        assert!(out.contains("memory     :"), "{out}");
+        assert!(out.contains("kernel.buffers"), "{out}");
+        assert!(!out.contains("warning:"), "all report sections known: {out}");
+    }
+
+    #[test]
+    fn stats_warns_once_on_unknown_sections() {
+        let path = std::env::temp_dir().join("somrm-cli-unknown-section-test.json");
+        std::fs::write(
+            &path,
+            "{\"requests\":1,\"ok\":1,\"batches\":1,\"latency\":{},\"frobnicator\":{},\"zetagauge\":3}",
+        )
+        .unwrap();
+        let out = cmd_stats(&path.display().to_string()).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            out.contains("warning: ignoring unknown sections frobnicator, zetagauge"),
+            "{out}"
+        );
     }
 
     #[test]

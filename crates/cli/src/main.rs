@@ -11,7 +11,7 @@
 //! somrm-tool verify   [--cases N] [--seed S] [--out-dir DIR] [--metrics DEST]
 //! somrm-tool bench    [--quick] [--out PATH] [--threads N] [--kernel K]
 //! somrm-tool bench    --compare OLD NEW [--threshold PCT] [--warn-only]
-//! somrm-tool serve    [--cache-size N] [--threads N] [--eps E] [--metrics PATH]
+//! somrm-tool serve    [--cache-size N] [--cache-bytes B] [--threads N] [--eps E] [--metrics PATH]
 //!                     [--stats-out PATH] [--stats-format json|prom]
 //!                     [--slow-trace-dir DIR] [--slow-ms T]
 //! somrm-tool stats    <snapshot-file>
@@ -29,7 +29,8 @@ const USAGE: &str = "usage: somrm-tool <check|moments|bounds|simulate|density|sw
        somrm-tool verify [--cases N] [--seed S] [--out-dir DIR] [--metrics DEST]
        somrm-tool bench [--quick] [--out PATH] [--threads N] [--kernel K]
        somrm-tool bench --compare OLD NEW [--threshold PCT] [--warn-only]
-       somrm-tool serve [--cache-size N] [--threads N] [--eps E] [--metrics PATH]
+       somrm-tool serve [--cache-size N] [--cache-bytes B] [--threads N] [--eps E]
+                        [--metrics PATH]
                         [--stats-out PATH] [--stats-format json|prom]
                         [--slow-trace-dir DIR] [--slow-ms T]
        somrm-tool stats <snapshot-file>
@@ -61,6 +62,11 @@ options:
   --trace-out P   write the solve timeline to P as Chrome trace_event
                   JSON (open in Perfetto / chrome://tracing)
   --progress      print a throttled k/G heartbeat with ETA to stderr
+  --events-out P  stream the typed solve event log (JSONL, schema
+                  somrm-events-v1: solve.start, plan.resolved,
+                  truncation, health, progress with ETA, complete) to P
+  --progress-json stream the same event records to stderr, for
+                  supervisors tailing the process
 
 verify options:
   --cases N       number of generated cases (default 200)
@@ -83,6 +89,9 @@ summary on stderr; see the somrm-serve crate docs for the protocol;
 lines with a top-level \"cmd\" member are sideband admin commands:
 {\"cmd\":\"stats\"}, {\"cmd\":\"reset\"}, {\"cmd\":\"health\"}):
   --cache-size N    plan-cache capacity in entries (default 8)
+  --cache-bytes B   additional plan-cache byte budget: evict LRU plans
+                    while resident bytes exceed B (default unlimited;
+                    the newest plan is always retained)
   --metrics PATH    write the JSON solve report on exit ('-' rejected:
                     stdout carries the response protocol)
   --stats-out PATH  write the final request-stats snapshot on exit
@@ -130,6 +139,17 @@ fn opt_flag(args: &[String], name: &str) -> Result<Option<String>, String> {
     }
 }
 
+/// Optional *parsed* flag: absent → `None`, present → parsed value.
+fn opt_parsed<T: std::str::FromStr>(args: &[String], name: &str) -> Result<Option<T>, String> {
+    match opt_flag(args, name)? {
+        None => Ok(None),
+        Some(s) => s
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("cannot parse value of {name}")),
+    }
+}
+
 fn run() -> Result<String, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // `verify` generates its own models, so it takes no model file.
@@ -169,6 +189,8 @@ fn run() -> Result<String, String> {
             metrics: opt_flag(&args, "--metrics")?,
             format: flag(&args, "--format", MatrixFormat::Auto)?,
             kernel: flag(&args, "--kernel", KernelVariant::from_env())?,
+            events_out: opt_flag(&args, "--events-out")?,
+            progress_json: switch(&args, "--progress-json"),
             ..CommonOpts::default()
         };
         let tel_opts = ServeTelemetryOpts {
@@ -177,7 +199,12 @@ fn run() -> Result<String, String> {
             slow_trace_dir: opt_flag(&args, "--slow-trace-dir")?,
             slow_ms: flag(&args, "--slow-ms", 250u64)?,
         };
-        return cmd_serve(flag(&args, "--cache-size", 8usize)?, &tel_opts, &opts);
+        return cmd_serve(
+            flag(&args, "--cache-size", 8usize)?,
+            opt_parsed(&args, "--cache-bytes")?,
+            &tel_opts,
+            &opts,
+        );
     }
     // `stats` pretty-prints a snapshot file, no model involved.
     if args.first().map(String::as_str) == Some("stats") {
@@ -206,6 +233,8 @@ fn run() -> Result<String, String> {
         progress: switch(&args, "--progress"),
         format: flag(&args, "--format", MatrixFormat::Auto)?,
         kernel: flag(&args, "--kernel", KernelVariant::from_env())?,
+        events_out: opt_flag(&args, "--events-out")?,
+        progress_json: switch(&args, "--progress-json"),
     };
     match cmd.as_str() {
         "check" => cmd_check(&parsed, &opts),

@@ -214,6 +214,7 @@ pub fn moments_first_order(
             }),
             pool: None,
             health: health.take().map(|h| h.finish(rec)),
+            mem: None,
             metrics: rec.snapshot().unwrap_or_default(),
         })
     });

@@ -358,6 +358,7 @@ pub fn moments_with_impulse(
             }),
             pool: None,
             health: health.take().map(|h| h.finish(rec)),
+            mem: None,
             metrics: rec.snapshot().unwrap_or_default(),
         })
     });

@@ -39,13 +39,17 @@ use crate::uniformization::{
     SolverConfig, SolverStats,
 };
 use somrm_linalg::{
-    FusedMomentKernel, IterationMatrix, LinalgError, MatrixFormat, OperatorMatrix,
-    ResolvedKernel, UniformizedBirthDeath, WorkerPool,
+    FootprintBytes, FusedMomentKernel, IterationMatrix, LinalgError, MatrixFormat,
+    OperatorMatrix, ResolvedKernel, UniformizedBirthDeath, WorkerPool,
 };
 use somrm_num::poisson::PoissonWindow;
 use somrm_num::special::{binomial, ln_factorial};
-use somrm_obs::{HealthMonitor, PoissonStat, ProgressMeter, SolveReport, SolverSection};
+use somrm_obs::{
+    Event, HealthMonitor, MemCategory, MemLedger, PoissonStat, ProgressMeter, SolveReport,
+    SolverSection,
+};
 use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
 
 /// FNV-1a content digest of a model: structure and every parameter, via
 /// the exact bit patterns of the floats. Two models share a digest iff
@@ -147,6 +151,12 @@ pub struct SolvePlan {
     d: f64,
     shift: f64,
     kernel: Option<PlanKernel>,
+    /// Memory ledger: exact per-category bytes + peak RSS. Present only
+    /// when the config carries a recorder (disabled-by-default, like
+    /// every observability hook); the cheap [`SolvePlan::footprint_bytes`]
+    /// accounting the byte-aware plan cache budgets against works with
+    /// or without it.
+    mem: Option<Arc<MemLedger>>,
 }
 
 impl SolvePlan {
@@ -206,6 +216,24 @@ impl SolvePlan {
             )
         };
 
+        let mem = match (&kernel, config.recorder.enabled()) {
+            (Some(pk), true) => {
+                let rec = &config.recorder;
+                let ledger = MemLedger::new();
+                let cat = Self::matrix_category(&pk.matrix);
+                let matrix_bytes = pk.matrix.footprint_bytes() as u64;
+                let plan_bytes =
+                    ((pk.r_prime.len() + pk.s_half.len()) * std::mem::size_of::<f64>()) as u64;
+                ledger.set(cat, matrix_bytes);
+                ledger.set(MemCategory::Plan, plan_bytes);
+                ledger.observe_rss();
+                rec.gauge_set(cat.gauge_name(), matrix_bytes as f64);
+                rec.gauge_set(MemCategory::Plan.gauge_name(), plan_bytes as f64);
+                Some(Arc::new(ledger))
+            }
+            _ => None,
+        };
+
         Ok(SolvePlan {
             model: model.clone(),
             digest,
@@ -215,7 +243,17 @@ impl SolvePlan {
             d,
             shift,
             kernel,
+            mem,
         })
+    }
+
+    /// The ledger category the resolved iteration matrix accounts under.
+    fn matrix_category(matrix: &IterationMatrix) -> MemCategory {
+        match matrix {
+            IterationMatrix::Csr(_) => MemCategory::MatrixCsr,
+            IterationMatrix::Dia(_) => MemCategory::MatrixDia,
+            IterationMatrix::Operator(_) => MemCategory::MatrixOperator,
+        }
     }
 
     /// Picks the iteration-matrix backend for this model/format pair.
@@ -358,6 +396,14 @@ impl SolvePlan {
         rec.counter_add("plan.executes", 1);
         let n_states = model.n_states();
         let (q, d, shift) = (self.q, self.d, self.shift);
+        let ev = &config.events;
+        if ev.enabled() {
+            ev.emit(&Event::SolveStart {
+                order: order as u64,
+                n_states: n_states as u64,
+                n_times: times.len() as u64,
+            });
+        }
 
         if q == 0.0 {
             let mut solutions: Vec<MomentSolution> = times
@@ -365,6 +411,12 @@ impl SolvePlan {
                 .map(|&t| frozen_chain_solution(model, order, t))
                 .collect();
             attach_degenerate_report(&mut solutions, model, config, order, 0.0, 0.0, 0.0);
+            if ev.enabled() {
+                ev.emit(&Event::Complete {
+                    g: 0,
+                    error_bound: 0.0,
+                });
+            }
             return Ok(solutions);
         }
         if d == 0.0 {
@@ -373,17 +425,42 @@ impl SolvePlan {
                 .map(|&t| deterministic_solution(model, order, t, shift))
                 .collect();
             attach_degenerate_report(&mut solutions, model, config, order, q, 0.0, shift);
+            if ev.enabled() {
+                ev.emit(&Event::Complete {
+                    g: 0,
+                    error_bound: 0.0,
+                });
+            }
             return Ok(solutions);
         }
         let pk = self.kernel.as_ref().expect("kernel built whenever q > 0");
         let matrix = &pk.matrix;
         let variant = config.kernel.resolve();
+        if ev.enabled() {
+            ev.emit(&Event::PlanResolved {
+                format: matrix.format_name().to_string(),
+                n_states: n_states as u64,
+                matrix_bytes: matrix.footprint_bytes() as u64,
+                plan_bytes: ((pk.r_prime.len() + pk.s_half.len()) * std::mem::size_of::<f64>())
+                    as u64,
+                q,
+                d,
+                shift,
+            });
+        }
 
         let t_max = times.iter().copied().fold(0.0, f64::max);
         let qt = q * t_max;
         let (g_limit, error_bounds) =
             rec.time("solve.truncation", || truncation_point(qt, d, order, config))?;
         let error_bound = error_bounds.iter().copied().fold(0.0, f64::max);
+        if ev.enabled() {
+            ev.emit(&Event::Truncation {
+                qt,
+                g: g_limit as u64,
+                error_bounds: error_bounds.clone(),
+            });
+        }
         if rec.enabled() {
             rec.gauge_set("solver.q", q);
             rec.gauge_set("solver.d", d);
@@ -444,10 +521,28 @@ impl SolvePlan {
         );
         kernel.set_variant(variant);
         kernel.set_recorder(rec.clone());
-        let mut health = rec.enabled().then(|| HealthMonitor::new(g_limit, order));
+        if let Some(ledger) = &self.mem {
+            let kernel_bytes = kernel.footprint_bytes() as u64;
+            ledger.set(MemCategory::KernelBuffers, kernel_bytes);
+            rec.gauge_set(
+                MemCategory::KernelBuffers.gauge_name(),
+                kernel_bytes as f64,
+            );
+        }
+        // The monitor also feeds the event log's health records, so it
+        // runs whenever either sink is attached (it only reads).
+        let mut health =
+            (rec.enabled() || ev.enabled()).then(|| HealthMonitor::new(g_limit, order));
         let mut meter = config
             .progress
             .then(|| ProgressMeter::new("solve.recursion", g_limit));
+        // Progress events fire every ~5% of G (stride floor 1) plus the
+        // final iteration; the ETA is read off a wall clock only when a
+        // record is actually emitted, so the recursion arithmetic is
+        // untouched — bit-identity holds with the log on.
+        let ev_progress = ev
+            .enabled()
+            .then(|| (Instant::now(), (g_limit / 20).max(1)));
         {
             let _recursion = rec.span("solve.recursion");
             let mut active: Vec<(usize, f64)> = Vec::with_capacity(times.len());
@@ -465,12 +560,36 @@ impl SolvePlan {
                         for j in 0..=order {
                             h.observe_order(j, kernel.u_order(j));
                         }
+                        if ev.enabled() {
+                            ev.emit(&Event::Health {
+                                k: k as u64,
+                                g: g_limit as u64,
+                                u0_mass: h.u0_mass_last(),
+                                anomalies: h.anomalies(),
+                            });
+                        }
+                    }
+                }
+                if let Some((start, stride)) = &ev_progress {
+                    if k % stride == 0 || k == g_limit {
+                        let elapsed = start.elapsed().as_secs_f64();
+                        let eta_s = (k > 0)
+                            .then(|| elapsed * (g_limit - k) as f64 / k as f64);
+                        ev.emit(&Event::Progress {
+                            k: k as u64,
+                            g: g_limit as u64,
+                            percent: 100.0 * k as f64 / g_limit.max(1) as f64,
+                            eta_s,
+                        });
                     }
                 }
                 if let Some(m) = meter.as_mut() {
                     m.tick(k);
                 }
             }
+        }
+        if let Some(ledger) = &self.mem {
+            ledger.observe_rss();
         }
         if let Some(h) = health.as_mut() {
             for ti in 0..times.len() {
@@ -555,11 +674,18 @@ impl SolvePlan {
                 }),
                 pool: kernel.pool_stats().map(pool_section),
                 health: health_section,
+                mem: self.mem.as_ref().map(|l| l.section()),
                 metrics: rec.snapshot().unwrap_or_default(),
             });
             for s in &mut solutions {
                 s.report = Some(Arc::clone(&report));
             }
+        }
+        if ev.enabled() {
+            ev.emit(&Event::Complete {
+                g: g_limit as u64,
+                error_bound,
+            });
         }
         Ok(solutions)
     }
@@ -639,6 +765,14 @@ impl SolvePlan {
         // delegate to `execute` and are covered by its span).
         let _execute = rec.span("plan.execute_terminal");
         rec.counter_add("plan.executes", 1);
+        let ev = &config.events;
+        if ev.enabled() {
+            ev.emit(&Event::SolveStart {
+                order: order as u64,
+                n_states: n_states as u64,
+                n_times: 1,
+            });
+        }
         // The terminal solver floors d at the smallest positive double
         // (it has no exact d = 0 path); the plan's normalized vectors
         // were computed with the same floor.
@@ -646,12 +780,31 @@ impl SolvePlan {
         let pk = self.kernel.as_ref().expect("kernel built whenever q > 0");
         let matrix = &pk.matrix;
         let variant = config.kernel.resolve();
+        if ev.enabled() {
+            ev.emit(&Event::PlanResolved {
+                format: matrix.format_name().to_string(),
+                n_states: n_states as u64,
+                matrix_bytes: matrix.footprint_bytes() as u64,
+                plan_bytes: ((pk.r_prime.len() + pk.s_half.len()) * std::mem::size_of::<f64>())
+                    as u64,
+                q,
+                d,
+                shift,
+            });
+        }
 
         let qt = q * t;
         let (g_limit, error_bounds) = rec.time("solve.truncation", || {
             terminal_truncation(qt, d, order, w_max, config)
         })?;
         let error_bound = error_bounds.iter().copied().fold(0.0, f64::max);
+        if ev.enabled() {
+            ev.emit(&Event::Truncation {
+                qt,
+                g: g_limit as u64,
+                error_bounds: error_bounds.clone(),
+            });
+        }
         if rec.enabled() {
             rec.gauge_set("solver.q", q);
             rec.gauge_set("solver.d", d);
@@ -687,10 +840,22 @@ impl SolvePlan {
         );
         kernel.set_variant(variant);
         kernel.set_recorder(rec.clone());
-        let mut health = rec.enabled().then(|| HealthMonitor::new(g_limit, order));
+        if let Some(ledger) = &self.mem {
+            let kernel_bytes = kernel.footprint_bytes() as u64;
+            ledger.set(MemCategory::KernelBuffers, kernel_bytes);
+            rec.gauge_set(
+                MemCategory::KernelBuffers.gauge_name(),
+                kernel_bytes as f64,
+            );
+        }
+        let mut health =
+            (rec.enabled() || ev.enabled()).then(|| HealthMonitor::new(g_limit, order));
         let mut meter = config
             .progress
             .then(|| ProgressMeter::new("solve.recursion", g_limit));
+        let ev_progress = ev
+            .enabled()
+            .then(|| (Instant::now(), (g_limit / 20).max(1)));
         {
             let _recursion = rec.span("solve.recursion");
             let w = window.as_ref().expect("qt > 0 here");
@@ -703,12 +868,36 @@ impl SolvePlan {
                         for j in 0..=order {
                             h.observe_order(j, kernel.u_order(j));
                         }
+                        if ev.enabled() {
+                            ev.emit(&Event::Health {
+                                k: k as u64,
+                                g: g_limit as u64,
+                                u0_mass: h.u0_mass_last(),
+                                anomalies: h.anomalies(),
+                            });
+                        }
+                    }
+                }
+                if let Some((start, stride)) = &ev_progress {
+                    if k % stride == 0 || k == g_limit {
+                        let elapsed = start.elapsed().as_secs_f64();
+                        let eta_s = (k > 0)
+                            .then(|| elapsed * (g_limit - k) as f64 / k as f64);
+                        ev.emit(&Event::Progress {
+                            k: k as u64,
+                            g: g_limit as u64,
+                            percent: 100.0 * k as f64 / g_limit.max(1) as f64,
+                            eta_s,
+                        });
                     }
                 }
                 if let Some(m) = meter.as_mut() {
                     m.tick(k);
                 }
             }
+        }
+        if let Some(ledger) = &self.mem {
+            ledger.observe_rss();
         }
         if let Some(h) = health.as_mut() {
             for j in 0..=order {
@@ -783,9 +972,16 @@ impl SolvePlan {
                 }),
                 pool: kernel.pool_stats().map(pool_section),
                 health: health.take().map(|h| h.finish(rec)),
+                mem: self.mem.as_ref().map(|l| l.section()),
                 metrics: rec.snapshot().unwrap_or_default(),
             })
         });
+        if ev.enabled() {
+            ev.emit(&Event::Complete {
+                g: g_limit as u64,
+                error_bound,
+            });
+        }
         Ok(MomentSolution {
             t,
             per_state,
@@ -802,19 +998,28 @@ impl SolvePlan {
         })
     }
 
-    /// Approximate resident size of the plan in bytes (matrix + vectors;
-    /// cache accounting, not an allocator measurement).
-    pub fn approx_bytes(&self) -> usize {
-        let n = self.model.n_states();
-        let vectors = 2 * n * std::mem::size_of::<f64>();
-        let matrix = self.kernel.as_ref().map_or(0, |k| match &k.matrix {
-            IterationMatrix::Csr(m) => m.nnz() * 2 * std::mem::size_of::<f64>(),
-            IterationMatrix::Dia(m) => m.nnz() * 2 * std::mem::size_of::<f64>(),
-            // Matrix-free: only the O(n) strips / diagonal stay
-            // resident (≤ 3n doubles), never the structural nonzeros.
-            IterationMatrix::Operator(m) => 3 * m.rows() * std::mem::size_of::<f64>(),
-        });
-        vectors + matrix
+    /// Exact resident bytes of the plan's owned solver state: the
+    /// iteration matrix (via `FootprintBytes`) plus the normalized
+    /// `R'`/`½S'` diagonals. Frozen-chain plans (no kernel) report 0 —
+    /// they hold no solver allocations beyond the model itself. This is
+    /// the number the byte-aware serve `PlanCache` budgets against.
+    pub fn footprint_bytes(&self) -> usize {
+        self.kernel.as_ref().map_or(0, |k| {
+            k.matrix.footprint_bytes()
+                + (k.r_prime.len() + k.s_half.len()) * std::mem::size_of::<f64>()
+        })
+    }
+
+    /// Exact owned bytes of just the iteration matrix (0 for frozen
+    /// chains).
+    pub fn matrix_bytes(&self) -> usize {
+        self.kernel.as_ref().map_or(0, |k| k.matrix.footprint_bytes())
+    }
+
+    /// The plan's memory ledger, when the build config carried a
+    /// recorder.
+    pub fn mem_ledger(&self) -> Option<&Arc<MemLedger>> {
+        self.mem.as_ref()
     }
 }
 
@@ -959,8 +1164,16 @@ mod tests {
         let tb = op.execute_terminal(0.7, &w, 3).unwrap();
         assert_eq!(ta.weighted, tb.weighted);
         assert_eq!(ta.per_state, tb.per_state);
-        // Operator plans account only the O(n) strips.
-        assert!(op.approx_bytes() <= csr.approx_bytes());
+        // Operator plans account only the O(n) strips, and both report
+        // exact owned bytes: 6 states tridiagonal → the operator holds
+        // 16 strip doubles, while Auto picks DIA here (3 offsets plus
+        // 3 padded strips of n doubles).
+        assert_eq!(op.matrix_bytes(), 16 * 8);
+        assert_eq!(
+            csr.matrix_bytes(),
+            3 * std::mem::size_of::<isize>() + 3 * 6 * 8
+        );
+        assert!(op.footprint_bytes() < csr.footprint_bytes());
     }
 
     #[test]
@@ -1046,6 +1259,181 @@ mod tests {
             }
             other => panic!("expected AllocationTooLarge, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn event_log_streams_a_parseable_record_sequence_without_changing_results() {
+        use somrm_obs::{Event, EventLogHandle, EventLogRecorder, VecSink};
+        let m = chain(5);
+        let bare = SolvePlan::build(&m, 2, &SolverConfig::default()).unwrap();
+        let sink = VecSink::new();
+        let rec = EventLogRecorder::new();
+        rec.add_sink(Box::new(sink.clone()));
+        let logged_cfg = SolverConfig {
+            events: EventLogHandle::new(rec),
+            ..SolverConfig::default()
+        };
+        let logged = SolvePlan::build(&m, 2, &logged_cfg).unwrap();
+        let times = [0.4, 1.3];
+        let a = bare.execute(&times, 2).unwrap();
+        let b = logged.execute(&times, 2).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.weighted, y.weighted, "event log must not perturb results");
+            assert_eq!(x.per_state, y.per_state);
+        }
+
+        let events = Event::parse_lines(&sink.contents()).expect("strict parse");
+        assert!(
+            matches!(events[0], Event::SolveStart { n_times: 2, .. }),
+            "log opens with solve.start: {:?}",
+            events[0]
+        );
+        let g = match events
+            .iter()
+            .find_map(|e| match e {
+                Event::Truncation { g, .. } => Some(*g),
+                _ => None,
+            }) {
+            Some(g) => g,
+            None => panic!("no truncation record"),
+        };
+        let expected_format = logged.matrix_format_name();
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::PlanResolved { format, .. } if format == expected_format)),
+            "plan.resolved carries the format"
+        );
+        assert!(events.iter().any(|e| matches!(e, Event::Health { .. })));
+        // Progress ks are strictly increasing and end at G.
+        let ks: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Progress { k, .. } => Some(*k),
+                _ => None,
+            })
+            .collect();
+        assert!(!ks.is_empty());
+        assert!(ks.windows(2).all(|w| w[0] < w[1]), "monotone k: {ks:?}");
+        assert_eq!(*ks.last().unwrap(), g, "final progress lands on G");
+        assert!(
+            matches!(events.last(), Some(Event::Complete { g: cg, .. }) if *cg == g),
+            "log closes with complete"
+        );
+
+        // Terminal executes stream the same vocabulary.
+        let t_sink = VecSink::new();
+        let t_rec = EventLogRecorder::new();
+        t_rec.add_sink(Box::new(t_sink.clone()));
+        let t_cfg = SolverConfig {
+            events: EventLogHandle::new(t_rec),
+            ..SolverConfig::default()
+        };
+        let t_plan = SolvePlan::build(&m, 2, &t_cfg).unwrap();
+        let w = [1.0, 0.0, 0.0, 0.0, 2.0];
+        let warm = t_plan.execute_terminal(0.8, &w, 2).unwrap();
+        let cold = bare.execute_terminal(0.8, &w, 2).unwrap();
+        assert_eq!(warm.weighted, cold.weighted);
+        let t_events = Event::parse_lines(&t_sink.contents()).expect("terminal log parses");
+        assert!(matches!(t_events[0], Event::SolveStart { n_times: 1, .. }));
+        assert!(matches!(t_events.last(), Some(Event::Complete { .. })));
+    }
+
+    #[test]
+    fn progress_cadence_covers_at_least_twenty_records_for_large_g() {
+        use somrm_obs::{Event, EventLogHandle, EventLogRecorder, VecSink};
+        let m = chain(4);
+        let sink = VecSink::new();
+        let rec = EventLogRecorder::new();
+        rec.add_sink(Box::new(sink.clone()));
+        let cfg = SolverConfig {
+            events: EventLogHandle::new(rec),
+            ..SolverConfig::default()
+        };
+        let plan = SolvePlan::build(&m, 1, &cfg).unwrap();
+        // qt large enough that G >> 20.
+        plan.execute(&[40.0], 1).unwrap();
+        let events = Event::parse_lines(&sink.contents()).unwrap();
+        let progress: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e, Event::Progress { .. }))
+            .collect();
+        assert!(
+            progress.len() >= 20,
+            "expected >= 20 progress records, got {}",
+            progress.len()
+        );
+        for e in &progress {
+            if let Event::Progress { k, g, percent, eta_s } = e {
+                assert!(k <= g);
+                assert!((0.0..=100.0).contains(percent));
+                if *k == 0 {
+                    assert!(eta_s.is_none(), "no ETA before the first iteration");
+                } else {
+                    assert!(eta_s.unwrap() >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mem_ledger_tracks_exact_category_bytes_when_recording() {
+        use somrm_obs::{MemCategory, MetricsRegistry, RecorderHandle};
+        let n = 1_000;
+        let m = chain(n);
+        let reg = std::sync::Arc::new(MetricsRegistry::new());
+        let cfg = SolverConfig {
+            recorder: RecorderHandle::new(reg.clone()),
+            ..SolverConfig::default()
+        };
+        let plan = SolvePlan::build(&m, 2, &cfg).unwrap();
+        let ledger = plan.mem_ledger().expect("recorder-backed plans carry a ledger");
+        // chain(n) is tridiagonal: nnz = 3n - 2, CSR row_ptr n + 1.
+        let nnz = 3 * n - 2;
+        let expected_matrix = match plan.matrix_format_name() {
+            "csr" => (n + 1) * 8 + nnz * 8 + nnz * 8,
+            "dia" => 3 * std::mem::size_of::<isize>() + 3 * n * 8,
+            other => panic!("unexpected format {other}"),
+        } as u64;
+        let cat = if plan.matrix_format_name() == "csr" {
+            MemCategory::MatrixCsr
+        } else {
+            MemCategory::MatrixDia
+        };
+        assert_eq!(ledger.current(cat), expected_matrix);
+        assert_eq!(plan.matrix_bytes() as u64, expected_matrix);
+        assert_eq!(
+            ledger.current(MemCategory::Plan),
+            (2 * n * 8) as u64,
+            "R' and S'/2 diagonals"
+        );
+        // Kernel buffers appear after an execute, matching the fused
+        // kernel's exact footprint, and flow to the recorder gauges.
+        plan.execute(&[0.5], 2).unwrap();
+        let kb = ledger.current(MemCategory::KernelBuffers);
+        assert!(kb > 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.gauge("mem.kernel.buffers"), Some(kb as f64));
+        assert_eq!(
+            snap.gauge(cat.gauge_name()),
+            Some(expected_matrix as f64)
+        );
+        // The report carries the section, and peak RSS was sampled on
+        // linux.
+        let sol = plan.execute(&[0.5], 2).unwrap();
+        let report = sol[0].report.as_ref().expect("recorder attaches a report");
+        let mem = report.mem.as_ref().expect("mem section present");
+        assert!(mem.entries.iter().any(|e| e.key == "kernel.buffers" && e.current == kb));
+        if cfg!(target_os = "linux") {
+            assert!(mem.peak_rss_bytes.unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn plans_without_a_recorder_carry_no_ledger() {
+        let plan = SolvePlan::build(&chain(4), 1, &SolverConfig::default()).unwrap();
+        assert!(plan.mem_ledger().is_none());
+        assert!(plan.footprint_bytes() > 0, "byte accounting works regardless");
     }
 
     #[test]

@@ -44,7 +44,9 @@ use somrm_linalg::{KernelVariant, MatrixFormat};
 use somrm_num::poisson::{self, PoissonWindow};
 use somrm_num::special::{binomial, ln_factorial};
 use somrm_num::sum::NeumaierSum;
-use somrm_obs::{PoissonStat, PoolSection, RecorderHandle, SolveReport, SolverSection};
+use somrm_obs::{
+    EventLogHandle, PoissonStat, PoolSection, RecorderHandle, SolveReport, SolverSection,
+};
 use std::sync::Arc;
 
 /// Configuration of the randomization moment solver.
@@ -99,6 +101,12 @@ pub struct SolverConfig {
     /// reaches tens of thousands. Off by default; never affects
     /// results.
     pub progress: bool,
+    /// Structured solve event log (`somrm-events-v1` JSONL): solve
+    /// start, resolved plan with exact byte footprints, truncation
+    /// result, health samples, ~5%-of-`G` progress with ETA, and
+    /// completion. Disabled by default; like the recorder, an attached
+    /// log observes only and never changes computed results.
+    pub events: EventLogHandle,
 }
 
 impl Default for SolverConfig {
@@ -112,6 +120,7 @@ impl Default for SolverConfig {
             kernel: KernelVariant::from_env(),
             recorder: RecorderHandle::disabled(),
             progress: false,
+            events: EventLogHandle::disabled(),
         }
     }
 }
@@ -466,6 +475,7 @@ pub(crate) fn attach_degenerate_report(
         pool: None,
         // No recursion ran on the exact paths — nothing to probe.
         health: None,
+        mem: None,
         metrics: config.recorder.snapshot().unwrap_or_default(),
     });
     for s in solutions {

@@ -360,6 +360,19 @@ impl<'a> FusedMomentKernel<'a> {
     }
 }
 
+impl crate::footprint::FootprintBytes for FusedMomentKernel<'_> {
+    /// The kernel's owned working set: the `U` ping-pong pair
+    /// (`2·(order+1)·n` doubles) plus the compensated accumulators
+    /// (`n_times·(order+1)·n` [`NeumaierSum`]s). The matrix and the
+    /// `R'`/`½S'` strips are borrowed, not owned, and are accounted by
+    /// their own [`FootprintBytes`](crate::footprint::FootprintBytes)
+    /// impls.
+    fn footprint_bytes(&self) -> usize {
+        (self.u_cur.len() + self.u_next.len()) * std::mem::size_of::<f64>()
+            + self.acc.len() * std::mem::size_of::<NeumaierSum>()
+    }
+}
+
 /// Shared read-only context of one fused pass, handed to the per-chunk
 /// kernel bodies. The two raw write targets are only touched inside the
 /// chunk's own row range.

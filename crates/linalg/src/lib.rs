@@ -18,6 +18,9 @@
 //!   compute the uniformized mat-vec on the fly from model structure
 //!   (birth–death strips, Kronecker sums of small factors) with O(1)
 //!   matrix memory per state, bitwise-faithful to the CSR pipeline;
+//! * [`footprint`] — exact owned-bytes accounting
+//!   ([`footprint::FootprintBytes`]) for every matrix storage and the
+//!   fused kernel's working set, feeding the `somrm-obs` memory ledger;
 //! * [`pool`] — a persistent worker pool (threads spawned once per
 //!   solve, parked between passes) with statically-assigned chunks, so
 //!   parallel reductions stay deterministic;
@@ -52,6 +55,7 @@ pub mod dia;
 pub mod error;
 pub mod expm;
 pub mod fft;
+pub mod footprint;
 pub mod fused;
 pub mod lu;
 pub mod operator;
@@ -66,6 +70,7 @@ pub mod vec_ops;
 pub use dense::Mat;
 pub use dia::{DiaMatrix, IterationMatrix, MatrixFormat, FORCED_DIA_MAX_BYTES};
 pub use error::LinalgError;
+pub use footprint::FootprintBytes;
 pub use fused::FusedMomentKernel;
 pub use operator::{
     KroneckerSum, MatVec, ModelStructure, OperatorMatrix, UniformizedBirthDeath,

@@ -67,6 +67,12 @@ pub trait MatVec: Send + Sync + fmt::Debug {
     /// Structural non-zero estimate (for memory/report accounting).
     fn nnz_estimate(&self) -> usize;
 
+    /// Exact bytes stored by the backend's owned allocations (strips,
+    /// factor blocks, precomputed diagonal) — the operator's entire
+    /// memory cost, since rows are recomputed on the fly. Same `len`-
+    /// based contract as `crate::footprint::FootprintBytes`.
+    fn footprint_bytes(&self) -> usize;
+
     /// Report-friendly backend name (`"birth-death"`, `"kronecker-sum"`).
     fn kind(&self) -> &'static str;
 
@@ -301,6 +307,10 @@ impl MatVec for UniformizedBirthDeath {
 
     fn nnz_estimate(&self) -> usize {
         3 * self.diag.len() - 2
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        (self.sub.len() + self.diag.len() + self.sup.len()) * std::mem::size_of::<f64>()
     }
 
     fn kind(&self) -> &'static str {
@@ -599,6 +609,17 @@ impl MatVec for KroneckerSum {
     fn nnz_estimate(&self) -> usize {
         let off: usize = self.sizes.iter().map(|&s| s - 1).sum();
         self.n * (1 + off)
+    }
+
+    fn footprint_bytes(&self) -> usize {
+        let factor_bytes: usize = self
+            .factors
+            .iter()
+            .map(|f| f.rows() * f.cols() * std::mem::size_of::<f64>())
+            .sum();
+        factor_bytes
+            + (self.sizes.len() + self.strides.len()) * std::mem::size_of::<usize>()
+            + self.diag.len() * std::mem::size_of::<f64>()
     }
 
     fn kind(&self) -> &'static str {

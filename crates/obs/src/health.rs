@@ -99,6 +99,19 @@ impl HealthMonitor {
         }
     }
 
+    /// Order-0 sup-norm of the most recently sampled iterate (0 before
+    /// the first sample). The solve event log reads this at each sample
+    /// point to stream the live mass trajectory.
+    pub fn u0_mass_last(&self) -> f64 {
+        self.u0_final
+    }
+
+    /// Anomaly sightings so far (NaN + Inf + subnormal), the running
+    /// counterpart of [`HealthSection::warnings`].
+    pub fn anomalies(&self) -> u64 {
+        self.nan + self.inf + self.subnormal
+    }
+
     /// Feeds one Neumaier accumulator cell `(sum, compensation)` —
     /// called at assembly over the accumulated moments. Tracks the
     /// worst `|compensation| / |sum|` over non-zero sums.

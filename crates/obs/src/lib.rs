@@ -43,8 +43,10 @@
 //! ```
 
 pub mod chrome;
+pub mod events;
 pub mod health;
 pub mod json;
+pub mod mem;
 pub mod prom;
 pub mod recorder;
 pub mod registry;
@@ -53,7 +55,11 @@ pub mod stats;
 pub mod trace;
 
 pub use chrome::ChromeTraceRecorder;
+pub use events::{Event, EventLogHandle, EventLogRecorder, VecSink};
 pub use health::{HealthMonitor, HealthSection, ProgressMeter};
+pub use mem::{
+    current_rss_bytes, peak_rss_bytes, MemCategory, MemEntry, MemLedger, MemSection,
+};
 pub use prom::write_prometheus;
 pub use recorder::{thread_lane, NoopRecorder, Recorder, RecorderHandle, Span};
 pub use registry::{MetricsRegistry, MetricsSnapshot, TimingStat};

@@ -1,0 +1,297 @@
+//! Memory ledger: per-category byte gauges with peak tracking.
+//!
+//! The solver's capacity story is gated by a handful of allocations —
+//! the iteration matrix, the fused kernel's `U`/accumulator working
+//! set, the plan's diagonal vectors, and (in serve mode) the resident
+//! plan cache. A [`MemLedger`] tracks each as a current/peak byte pair
+//! using relaxed atomics, so writers on hot paths pay two uncontended
+//! atomic ops and readers can snapshot at any time. Like the
+//! `Recorder`, the ledger is **disabled by default**: solvers create
+//! one only when telemetry is attached (`Option<Arc<MemLedger>>`), and
+//! every byte it reports comes from the exact `FootprintBytes`
+//! accounting in `somrm-linalg` — observation never changes what the
+//! solver allocates or computes.
+//!
+//! Ledger state surfaces three ways: a [`MemSection`] in the
+//! `SolveReport` JSON (`"mem"` key), `mem.*` gauges on the recorder
+//! (which flow into the Prometheus export as `somrm_mem_*`), and the
+//! serve stats sideband (`mem.cache.resident`). An OS sampler
+//! ([`peak_rss_bytes`]/[`current_rss_bytes`]) reads `/proc/self/status`
+//! so span boundaries can record the process high-water mark next to
+//! the exact per-category numbers.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The allocation categories the ledger distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemCategory {
+    /// CSR iteration-matrix storage (`row_ptr` + `col_idx` + values).
+    MatrixCsr,
+    /// DIA iteration-matrix storage (offsets + padded diagonals).
+    MatrixDia,
+    /// Matrix-free operator state (strips / factor blocks + diagonal).
+    MatrixOperator,
+    /// Fused-kernel working set: `U` ping-pong pair + accumulators.
+    KernelBuffers,
+    /// Plan-owned vectors (`R'`, `½S'`) beyond the matrix itself.
+    Plan,
+    /// Bytes resident in the serve plan cache across all entries.
+    CacheResident,
+}
+
+impl MemCategory {
+    /// Every category, in report order.
+    pub const ALL: [MemCategory; 6] = [
+        MemCategory::MatrixCsr,
+        MemCategory::MatrixDia,
+        MemCategory::MatrixOperator,
+        MemCategory::KernelBuffers,
+        MemCategory::Plan,
+        MemCategory::CacheResident,
+    ];
+
+    /// Key inside the report's `"mem"` section (no `mem.` prefix).
+    pub fn key(self) -> &'static str {
+        match self {
+            MemCategory::MatrixCsr => "matrix.csr",
+            MemCategory::MatrixDia => "matrix.dia",
+            MemCategory::MatrixOperator => "matrix.operator",
+            MemCategory::KernelBuffers => "kernel.buffers",
+            MemCategory::Plan => "plan",
+            MemCategory::CacheResident => "cache.resident",
+        }
+    }
+
+    /// Recorder gauge name (`somrm_mem_*` after Prometheus mangling).
+    pub fn gauge_name(self) -> &'static str {
+        match self {
+            MemCategory::MatrixCsr => "mem.matrix.csr",
+            MemCategory::MatrixDia => "mem.matrix.dia",
+            MemCategory::MatrixOperator => "mem.matrix.operator",
+            MemCategory::KernelBuffers => "mem.kernel.buffers",
+            MemCategory::Plan => "mem.plan",
+            MemCategory::CacheResident => "mem.cache.resident",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            MemCategory::MatrixCsr => 0,
+            MemCategory::MatrixDia => 1,
+            MemCategory::MatrixOperator => 2,
+            MemCategory::KernelBuffers => 3,
+            MemCategory::Plan => 4,
+            MemCategory::CacheResident => 5,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    current: AtomicU64,
+    peak: AtomicU64,
+}
+
+/// Per-category current/peak byte gauges (relaxed atomics throughout —
+/// the ledger is a monitor, not a synchronization point).
+#[derive(Debug, Default)]
+pub struct MemLedger {
+    slots: [Slot; 6],
+    peak_rss: AtomicU64,
+}
+
+impl MemLedger {
+    /// An empty ledger (all gauges zero).
+    pub fn new() -> MemLedger {
+        MemLedger::default()
+    }
+
+    /// Sets a category's current bytes, raising its peak if exceeded.
+    pub fn set(&self, cat: MemCategory, bytes: u64) {
+        let slot = &self.slots[cat.index()];
+        slot.current.store(bytes, Ordering::Relaxed);
+        slot.peak.fetch_max(bytes, Ordering::Relaxed);
+    }
+
+    /// Adds to a category's current bytes, raising its peak if exceeded.
+    pub fn add(&self, cat: MemCategory, bytes: u64) {
+        let slot = &self.slots[cat.index()];
+        let new = slot.current.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        slot.peak.fetch_max(new, Ordering::Relaxed);
+    }
+
+    /// Subtracts from a category's current bytes (saturating at zero).
+    pub fn sub(&self, cat: MemCategory, bytes: u64) {
+        let slot = &self.slots[cat.index()];
+        let _ = slot
+            .current
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |cur| {
+                Some(cur.saturating_sub(bytes))
+            });
+    }
+
+    /// A category's current bytes.
+    pub fn current(&self, cat: MemCategory) -> u64 {
+        self.slots[cat.index()].current.load(Ordering::Relaxed)
+    }
+
+    /// A category's peak bytes over the ledger's lifetime.
+    pub fn peak(&self, cat: MemCategory) -> u64 {
+        self.slots[cat.index()].peak.load(Ordering::Relaxed)
+    }
+
+    /// Samples the OS peak-RSS counter and folds it into the ledger's
+    /// high-water mark; returns the sampled value when the platform
+    /// exposes one. Called at span boundaries (setup / recursion /
+    /// assemble) so the report carries the process-level peak next to
+    /// the exact per-category bytes.
+    pub fn observe_rss(&self) -> Option<u64> {
+        let bytes = peak_rss_bytes()?;
+        self.peak_rss.fetch_max(bytes, Ordering::Relaxed);
+        Some(bytes)
+    }
+
+    /// The highest RSS sample recorded via [`MemLedger::observe_rss`]
+    /// (`None` if never sampled successfully).
+    pub fn peak_rss(&self) -> Option<u64> {
+        match self.peak_rss.load(Ordering::Relaxed) {
+            0 => None,
+            b => Some(b),
+        }
+    }
+
+    /// Snapshot of every category for the solve report.
+    pub fn section(&self) -> MemSection {
+        MemSection {
+            entries: MemCategory::ALL
+                .iter()
+                .map(|&cat| MemEntry {
+                    key: cat.key(),
+                    current: self.current(cat),
+                    peak: self.peak(cat),
+                })
+                .collect(),
+            peak_rss_bytes: self.peak_rss(),
+        }
+    }
+}
+
+/// One category row of a [`MemSection`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemEntry {
+    /// Category key (see [`MemCategory::key`]).
+    pub key: &'static str,
+    /// Bytes currently attributed to the category.
+    pub current: u64,
+    /// Peak bytes ever attributed to the category.
+    pub peak: u64,
+}
+
+/// Memory snapshot attached to `SolveReport` as the `"mem"` section.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemSection {
+    /// One row per [`MemCategory`], in [`MemCategory::ALL`] order.
+    pub entries: Vec<MemEntry>,
+    /// OS peak RSS in bytes, when the platform sampler is available.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+/// Reads a `kB` line from `/proc/self/status` (Linux). Returns bytes.
+#[cfg(target_os = "linux")]
+fn proc_status_kb(field: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix(field) {
+            let kb: u64 = rest.trim().trim_end_matches(" kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+/// Process peak resident-set size in bytes (`VmHWM`), `None` where the
+/// platform exposes no cheap sampler.
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        proc_status_kb("VmHWM:")
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Process current resident-set size in bytes (`VmRSS`), `None` where
+/// the platform exposes no cheap sampler.
+pub fn current_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        proc_status_kb("VmRSS:")
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_add_sub_track_current_and_peak() {
+        let l = MemLedger::new();
+        l.set(MemCategory::MatrixCsr, 100);
+        l.add(MemCategory::MatrixCsr, 50);
+        assert_eq!(l.current(MemCategory::MatrixCsr), 150);
+        assert_eq!(l.peak(MemCategory::MatrixCsr), 150);
+        l.sub(MemCategory::MatrixCsr, 120);
+        assert_eq!(l.current(MemCategory::MatrixCsr), 30);
+        assert_eq!(l.peak(MemCategory::MatrixCsr), 150, "peak is sticky");
+        l.sub(MemCategory::MatrixCsr, 1_000);
+        assert_eq!(l.current(MemCategory::MatrixCsr), 0, "sub saturates");
+    }
+
+    #[test]
+    fn categories_are_independent() {
+        let l = MemLedger::new();
+        l.set(MemCategory::KernelBuffers, 7);
+        assert_eq!(l.current(MemCategory::Plan), 0);
+        assert_eq!(l.current(MemCategory::KernelBuffers), 7);
+    }
+
+    #[test]
+    fn section_lists_every_category_in_order() {
+        let l = MemLedger::new();
+        l.set(MemCategory::MatrixDia, 24);
+        let s = l.section();
+        assert_eq!(s.entries.len(), MemCategory::ALL.len());
+        let keys: Vec<&str> = s.entries.iter().map(|e| e.key).collect();
+        assert_eq!(
+            keys,
+            vec![
+                "matrix.csr",
+                "matrix.dia",
+                "matrix.operator",
+                "kernel.buffers",
+                "plan",
+                "cache.resident"
+            ]
+        );
+        assert_eq!(s.entries[1].current, 24);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn rss_sampler_reads_something_plausible() {
+        let peak = peak_rss_bytes().expect("linux exposes VmHWM");
+        let cur = current_rss_bytes().expect("linux exposes VmRSS");
+        assert!(peak >= cur, "high-water mark below current RSS");
+        assert!(cur > 0);
+        let l = MemLedger::new();
+        assert_eq!(l.peak_rss(), None);
+        l.observe_rss();
+        assert!(l.peak_rss().unwrap() >= peak);
+    }
+}

@@ -7,10 +7,10 @@
 //!
 //! - counters → `counter` samples, gauges → `gauge` samples;
 //! - each [`TimingStat`] → one classic `histogram` family in
-//!   **seconds** (Prometheus' base unit for time): the 64 log2
-//!   nanosecond buckets collapse to cumulative `_bucket{le="..."}`
-//!   samples over the non-empty range, plus `le="+Inf"`, `_sum`, and
-//!   `_count`;
+//!   **seconds** (Prometheus' base unit for time): all 64 log2
+//!   nanosecond buckets become cumulative `_bucket{le="..."}` samples
+//!   (zero-count buckets included, so every scrape sees the same `le`
+//!   set), plus `le="+Inf"`, `_sum`, and `_count`;
 //! - metric names gain a `somrm_` prefix and have every character
 //!   outside `[a-zA-Z0-9_]` (dots, dashes) replaced by `_`, per the
 //!   exposition grammar.
@@ -64,11 +64,13 @@ fn write_histogram(out: &mut String, name: &str, t: &TimingStat) {
     write_name(&mut family, name);
     family.push_str("_seconds");
     let _ = writeln!(out, "# TYPE {family} histogram");
+    // Every bucket is emitted — including zero-count ones — so a scrape
+    // always sees the same `le` label set for a family. Skipping empty
+    // buckets made the exposed series set depend on the data, which
+    // breaks Prometheus staleness handling and PromQL joins across
+    // scrapes.
     let mut cumulative = 0u64;
     for (i, &c) in t.buckets.iter().enumerate() {
-        if c == 0 {
-            continue;
-        }
         cumulative += c;
         let le = bucket_upper_ns(i) as f64 * 1e-9;
         let _ = write!(out, "{family}_bucket{{le=\"");
@@ -199,6 +201,40 @@ mod tests {
         assert!(text.contains("somrm_idle_seconds_sum 0.0\n"));
     }
 
+    /// The `le` label values of every `_bucket` sample in `text`.
+    fn bucket_les(text: &str) -> Vec<String> {
+        text.lines()
+            .filter_map(|l| {
+                let (head, _) = l.split_once("\"} ")?;
+                let (_, le) = head.split_once("_bucket{le=\"")?;
+                Some(le.to_string())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn histogram_le_set_is_stable_regardless_of_data() {
+        let empty = MetricsSnapshot {
+            counters: vec![],
+            gauges: vec![],
+            timings: vec![("stage".into(), TimingStat::default())],
+        };
+        let reg = MetricsRegistry::new();
+        reg.duration_ns("stage", 1_000);
+        reg.duration_ns("stage", 123_456_789);
+        let empty_les = bucket_les(&write_prometheus(&empty));
+        let busy_les = bucket_les(&write_prometheus(&reg.snapshot()));
+        assert_eq!(empty_les.len(), 65, "64 log2 buckets + +Inf");
+        assert_eq!(
+            empty_les, busy_les,
+            "scrapes must see the same le set whether or not the window saw data"
+        );
+        // And the zero-count buckets really are emitted with value 0.
+        let text = write_prometheus(&empty);
+        lint(&text);
+        assert!(text.contains("somrm_stage_seconds_bucket{le=\"2e-9\"} 0\n"), "{text}");
+    }
+
     #[test]
     fn non_finite_gauges_use_prometheus_spellings() {
         let snap = MetricsSnapshot {
@@ -230,7 +266,7 @@ mod tests {
             },
         );
         stats.record_batch();
-        stats.record_cache_delta(0, 1, 0);
+        stats.record_cache_delta(0, 1, 0, 0);
         let text = write_prometheus(&stats.snapshot().to_metrics_snapshot());
         lint(&text);
         assert!(text.contains("somrm_serve_requests_total 1\n"));

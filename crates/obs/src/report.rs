@@ -2,6 +2,7 @@
 
 use crate::health::HealthSection;
 use crate::json;
+use crate::mem::MemSection;
 use crate::registry::MetricsSnapshot;
 use std::fmt::Write as _;
 
@@ -106,6 +107,9 @@ pub struct SolveReport {
     /// Numerical-health probes sampled during the recursion; `None`
     /// when the operation has no iterative phase to probe.
     pub health: Option<HealthSection>,
+    /// Memory-ledger snapshot (exact per-category bytes + peak RSS);
+    /// `None` when no ledger was attached.
+    pub mem: Option<MemSection>,
     /// Snapshot of the attached metrics registry (stage timings, pass
     /// counters, gauges). Empty when the recorder does not aggregate.
     pub metrics: MetricsSnapshot,
@@ -119,6 +123,7 @@ impl SolveReport {
             solver: None,
             pool: None,
             health: None,
+            mem: None,
             metrics: MetricsSnapshot::default(),
         }
     }
@@ -261,6 +266,29 @@ impl SolveReport {
             None => out.push_str("null"),
         }
 
+        out.push_str(",\"mem\":");
+        match &self.mem {
+            Some(m) => {
+                out.push('{');
+                for (i, e) in m.entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::write_string(&mut out, e.key);
+                    let _ = write!(out, ":{{\"current\":{},\"peak\":{}}}", e.current, e.peak);
+                }
+                out.push_str(",\"peak_rss_bytes\":");
+                match m.peak_rss_bytes {
+                    Some(b) => {
+                        let _ = write!(out, "{b}");
+                    }
+                    None => out.push_str("null"),
+                }
+                out.push('}');
+            }
+            None => out.push_str("null"),
+        }
+
         out.push_str(",\"stages\":{");
         for (i, (name, t)) in self.metrics.timings.iter().enumerate() {
             if i > 0 {
@@ -376,6 +404,12 @@ mod tests {
                 u0_mass_final: 1.0,
                 compensation_ratio: 2.5e-16,
             }),
+            mem: {
+                let ledger = crate::MemLedger::new();
+                ledger.set(crate::MemCategory::MatrixCsr, 224);
+                ledger.set(crate::MemCategory::KernelBuffers, 512);
+                Some(ledger.section())
+            },
             metrics,
         }
     }
@@ -406,6 +440,20 @@ mod tests {
             v.get("counters").unwrap().get("kernel.passes").unwrap().as_f64(),
             Some(42.0)
         );
+        let mem = v.get("mem").unwrap();
+        let csr = mem.get("matrix.csr").unwrap();
+        assert_eq!(csr.get("current").unwrap().as_f64(), Some(224.0));
+        assert_eq!(csr.get("peak").unwrap().as_f64(), Some(224.0));
+        assert_eq!(
+            mem.get("kernel.buffers").unwrap().get("current").unwrap().as_f64(),
+            Some(512.0)
+        );
+        assert_eq!(
+            mem.get("cache.resident").unwrap().get("current").unwrap().as_f64(),
+            Some(0.0),
+            "every category is present even when untouched"
+        );
+        assert!(mem.get("peak_rss_bytes").is_some());
     }
 
     #[test]
@@ -416,6 +464,7 @@ mod tests {
         assert_eq!(v.get("error_bound"), Some(&crate::json::Value::Null));
         assert_eq!(v.get("pool"), Some(&crate::json::Value::Null));
         assert_eq!(v.get("health"), Some(&crate::json::Value::Null));
+        assert_eq!(v.get("mem"), Some(&crate::json::Value::Null));
         assert!(v.get("stages").is_some());
     }
 

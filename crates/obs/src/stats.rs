@@ -81,6 +81,11 @@ pub struct ServeStatsSnapshot {
     pub cache_misses: u64,
     /// Plan-cache evictions accumulated over the window.
     pub cache_evictions: u64,
+    /// Exact plan bytes those evictions released.
+    pub cache_evict_bytes: u64,
+    /// Current resident bytes of the plan cache (a gauge: the last
+    /// reported value, not a sum).
+    pub cache_resident_bytes: u64,
     /// End-to-end request latency.
     pub total: TimingStat,
     /// Queue-wait component.
@@ -132,8 +137,12 @@ impl ServeStatsSnapshot {
         out.push('}');
         let _ = write!(
             out,
-            ",\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}",
-            self.cache_hits, self.cache_misses, self.cache_evictions
+            ",\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"evict_bytes\":{},\"resident_bytes\":{}",
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_evict_bytes,
+            self.cache_resident_bytes
         );
         match self.cache_hit_rate() {
             Some(rate) => {
@@ -191,6 +200,7 @@ impl ServeStatsSnapshot {
     pub fn to_metrics_snapshot(&self) -> MetricsSnapshot {
         let mut counters: Vec<(String, u64)> = vec![
             ("serve.plan.evict".into(), self.cache_evictions),
+            ("serve.plan.evict_bytes".into(), self.cache_evict_bytes),
             ("serve.plan.hit".into(), self.cache_hits),
             ("serve.plan.miss".into(), self.cache_misses),
             ("serve.requests".into(), self.requests),
@@ -217,7 +227,10 @@ impl ServeStatsSnapshot {
         timings.sort_by(|(a, _), (b, _)| a.cmp(b));
         MetricsSnapshot {
             counters,
-            gauges: Vec::new(),
+            gauges: vec![(
+                "mem.cache.resident".into(),
+                self.cache_resident_bytes as f64,
+            )],
             timings,
         }
     }
@@ -307,13 +320,25 @@ impl ServeStats {
         self.inner.lock().expect("serve stats mutex").snapshot.batches += 1;
     }
 
-    /// Accumulates a plan-cache counter delta (hits, misses,
-    /// evictions observed since the previous call).
-    pub fn record_cache_delta(&self, hits: u64, misses: u64, evictions: u64) {
+    /// Accumulates a plan-cache counter delta (hits, misses, evictions,
+    /// and the bytes those evictions released, observed since the
+    /// previous call).
+    pub fn record_cache_delta(&self, hits: u64, misses: u64, evictions: u64, evict_bytes: u64) {
         let mut inner = self.inner.lock().expect("serve stats mutex");
         inner.snapshot.cache_hits += hits;
         inner.snapshot.cache_misses += misses;
         inner.snapshot.cache_evictions += evictions;
+        inner.snapshot.cache_evict_bytes += evict_bytes;
+    }
+
+    /// Sets the plan cache's current resident bytes (gauge semantics:
+    /// overwrites, never accumulates).
+    pub fn record_cache_resident(&self, bytes: u64) {
+        self.inner
+            .lock()
+            .expect("serve stats mutex")
+            .snapshot
+            .cache_resident_bytes = bytes;
     }
 
     /// Copies out the current window.
@@ -350,7 +375,7 @@ mod tests {
         stats.record_request(Some(9), Some("solver"), &lat(2_000));
         stats.record_request(None, Some("parse"), &lat(100));
         stats.record_batch();
-        stats.record_cache_delta(2, 1, 0);
+        stats.record_cache_delta(2, 1, 0, 0);
 
         let s = stats.snapshot();
         assert_eq!(s.requests, 4);
@@ -377,7 +402,8 @@ mod tests {
     fn reset_starts_a_fresh_window() {
         let stats = ServeStats::new();
         stats.record_request(Some(1), None, &lat(500));
-        stats.record_cache_delta(1, 1, 1);
+        stats.record_cache_delta(1, 1, 1, 640);
+        stats.record_cache_resident(1024);
         stats.reset();
         let s = stats.snapshot();
         assert_eq!(s, ServeStatsSnapshot::default());
@@ -391,7 +417,8 @@ mod tests {
         stats.record_request(Some(0xabc), None, &lat(2_000));
         stats.record_request(Some(0xabc), Some("model"), &lat(900));
         stats.record_batch();
-        stats.record_cache_delta(1, 1, 0);
+        stats.record_cache_delta(1, 1, 2, 4_096);
+        stats.record_cache_resident(65_536);
         let v = parse(&stats.snapshot().to_json()).expect("valid stats JSON");
         assert_eq!(v.get("requests").unwrap().as_f64(), Some(2.0));
         assert_eq!(v.get("ok").unwrap().as_f64(), Some(1.0));
@@ -399,6 +426,8 @@ mod tests {
         let cache = v.get("cache").unwrap();
         assert_eq!(cache.get("hits").unwrap().as_f64(), Some(1.0));
         assert_eq!(cache.get("hit_rate").unwrap().as_f64(), Some(0.5));
+        assert_eq!(cache.get("evict_bytes").unwrap().as_f64(), Some(4_096.0));
+        assert_eq!(cache.get("resident_bytes").unwrap().as_f64(), Some(65_536.0));
         let total = v.get("latency").unwrap().get("total").unwrap();
         assert_eq!(total.get("count").unwrap().as_f64(), Some(2.0));
         assert!(total.get("p50_ns").unwrap().as_f64().is_some());
@@ -437,12 +466,15 @@ mod tests {
         stats.record_request(Some(3), None, &lat(1_000));
         stats.record_request(None, Some("parse"), &lat(10));
         stats.record_batch();
-        stats.record_cache_delta(0, 1, 0);
+        stats.record_cache_delta(0, 1, 1, 2_048);
+        stats.record_cache_resident(8_192);
         let snap = stats.snapshot().to_metrics_snapshot();
         assert_eq!(snap.counter("serve.requests"), Some(2));
         assert_eq!(snap.counter("serve.responses.ok"), Some(1));
         assert_eq!(snap.counter("serve.errors.parse"), Some(1));
         assert_eq!(snap.counter("serve.plan.miss"), Some(1));
+        assert_eq!(snap.counter("serve.plan.evict_bytes"), Some(2_048));
+        assert_eq!(snap.gauge("mem.cache.resident"), Some(8_192.0));
         assert_eq!(snap.counter("serve.model.0000000000000003.requests"), Some(1));
         assert_eq!(snap.timing("serve.latency.total").map(|t| t.count), Some(2));
         // lookup() relies on sort order; spot-check both lists.

@@ -53,6 +53,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries dropped to make room.
     pub evictions: u64,
+    /// Exact plan bytes released by those evictions
+    /// ([`somrm_core::SolvePlan::footprint_bytes`] of each victim).
+    pub evict_bytes: u64,
     /// Key matches whose resident plan was built for a *different*
     /// model — a 64-bit digest collision, counted within `misses`.
     pub collisions: u64,
@@ -61,6 +64,9 @@ pub struct CacheStats {
 struct Entry {
     key: PlanKey,
     plan: Arc<SolvePlan>,
+    /// Exact owned bytes of the plan's solver state, frozen at insert
+    /// (plans are immutable once built).
+    bytes: u64,
     last_used: u64,
 }
 
@@ -69,9 +75,18 @@ struct Entry {
 /// Linear scan over at most `capacity` entries — plan caches are small
 /// (each entry holds a matrix and possibly a worker pool), so a vector
 /// beats hash-map bookkeeping and keeps eviction order trivial to audit.
+///
+/// Eviction is LRU under **two** ceilings: the entry-count `capacity`
+/// and an optional byte budget ([`PlanCache::with_budget`]) measured
+/// against each plan's exact [`somrm_core::SolvePlan::footprint_bytes`].
+/// The most-recently-inserted plan is never evicted, so a single plan
+/// larger than the whole budget still serves (the budget bounds what the
+/// cache *retains*, not what the server may build).
 pub struct PlanCache {
     capacity: usize,
+    byte_budget: Option<u64>,
     entries: Vec<Entry>,
+    resident_bytes: u64,
     tick: u64,
     recorder: RecorderHandle,
     stats: CacheStats,
@@ -79,12 +94,26 @@ pub struct PlanCache {
 
 impl PlanCache {
     /// Creates a cache holding at most `capacity` plans (clamped to at
-    /// least 1). Counter deltas go to `recorder` as `serve.plan.hit`,
-    /// `serve.plan.miss`, and `serve.plan.evict`.
+    /// least 1), with no byte budget. Counter deltas go to `recorder`
+    /// as `serve.plan.hit`, `serve.plan.miss`, `serve.plan.evict`, and
+    /// `serve.plan.evict_bytes`; resident bytes as the
+    /// `mem.cache.resident` gauge.
     pub fn new(capacity: usize, recorder: RecorderHandle) -> Self {
+        Self::with_budget(capacity, None, recorder)
+    }
+
+    /// Like [`PlanCache::new`], additionally bounding the summed plan
+    /// footprints by `byte_budget` (the `--cache-bytes` serve flag).
+    pub fn with_budget(
+        capacity: usize,
+        byte_budget: Option<u64>,
+        recorder: RecorderHandle,
+    ) -> Self {
         PlanCache {
             capacity: capacity.max(1),
+            byte_budget,
             entries: Vec::new(),
+            resident_bytes: 0,
             tick: 0,
             recorder,
             stats: CacheStats::default(),
@@ -106,9 +135,54 @@ impl PlanCache {
         self.capacity
     }
 
+    /// The byte budget, if one was set.
+    pub fn byte_budget(&self) -> Option<u64> {
+        self.byte_budget
+    }
+
+    /// Summed exact footprints of the resident plans.
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
     /// Counters accumulated since creation.
     pub fn stats(&self) -> CacheStats {
         self.stats
+    }
+
+    /// `true` when the cache exceeds either ceiling and still holds a
+    /// candidate besides the protected (most recent) entry.
+    fn over_budget(&self) -> bool {
+        if self.entries.len() <= 1 {
+            return false;
+        }
+        self.entries.len() > self.capacity
+            || self
+                .byte_budget
+                .is_some_and(|b| self.resident_bytes > b)
+    }
+
+    /// Evicts LRU entries until both ceilings hold (always keeping the
+    /// newest entry), then republishes the resident-bytes gauge.
+    fn enforce_budget(&mut self) {
+        while self.over_budget() {
+            let lru = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(i, _)| i)
+                .expect("over_budget implies at least two entries");
+            let victim = self.entries.swap_remove(lru);
+            self.resident_bytes -= victim.bytes;
+            self.stats.evictions += 1;
+            self.stats.evict_bytes += victim.bytes;
+            self.recorder.counter_add("serve.plan.evict", 1);
+            self.recorder
+                .counter_add("serve.plan.evict_bytes", victim.bytes);
+        }
+        self.recorder
+            .gauge_set("mem.cache.resident", self.resident_bytes as f64);
     }
 
     /// Returns the plan under `key`, building (and caching) it with
@@ -149,31 +223,29 @@ impl PlanCache {
             self.recorder.counter_add("serve.plan.miss", 1);
             self.recorder.counter_add("serve.plan.digest_collision", 1);
             let plan = Arc::new(build()?);
+            let bytes = plan.footprint_bytes() as u64;
             let e = &mut self.entries[idx];
+            self.resident_bytes = self.resident_bytes - e.bytes + bytes;
             e.plan = Arc::clone(&plan);
+            e.bytes = bytes;
             e.last_used = self.tick;
+            // The replacement may be bigger than the collided plan; the
+            // byte budget still holds afterwards.
+            self.enforce_budget();
             return Ok((plan, false));
         }
         self.stats.misses += 1;
         self.recorder.counter_add("serve.plan.miss", 1);
         let plan = Arc::new(build()?);
-        if self.entries.len() >= self.capacity {
-            let lru = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(i, _)| i)
-                .expect("capacity >= 1, so entries is non-empty here");
-            self.entries.swap_remove(lru);
-            self.stats.evictions += 1;
-            self.recorder.counter_add("serve.plan.evict", 1);
-        }
+        let bytes = plan.footprint_bytes() as u64;
+        self.resident_bytes += bytes;
         self.entries.push(Entry {
             key,
             plan: Arc::clone(&plan),
+            bytes,
             last_used: self.tick,
         });
+        self.enforce_budget();
         Ok((plan, false))
     }
 
@@ -254,15 +326,18 @@ mod tests {
             .unwrap();
         assert!(cache.contains(&key_for(&m, 1.0, 2)), "recently used survives");
         assert!(!cache.contains(&key_for(&m, 4.0, 2)), "LRU entry evicted");
+        let plan_bytes = build_plan(&m, 2).unwrap().footprint_bytes() as u64;
         assert_eq!(
             cache.stats(),
             CacheStats {
                 hits: 2,
                 misses: 3,
                 evictions: 1,
+                evict_bytes: plan_bytes,
                 collisions: 0
             }
         );
+        assert_eq!(cache.resident_bytes(), 2 * plan_bytes);
     }
 
     #[test]
@@ -327,12 +402,15 @@ mod tests {
         assert!(!cache.contains(&a2));
         assert!(cache.contains(&a1));
         assert_eq!(cache.len(), 3);
+        let pa = build_plan(&ma, 2).unwrap().footprint_bytes() as u64;
+        let pb = build_plan(&mb, 2).unwrap().footprint_bytes() as u64;
         assert_eq!(
             cache.stats(),
             CacheStats {
                 hits: 1,
                 misses: 5,
                 evictions: 2,
+                evict_bytes: pb + pa, // b1 then a2
                 collisions: 0
             }
         );
@@ -400,6 +478,7 @@ mod tests {
                 hits: 2,
                 misses: 4,
                 evictions: 1,
+                evict_bytes: build_plan(&m, 2).unwrap().footprint_bytes() as u64,
                 collisions: 0
             }
         );
@@ -491,6 +570,97 @@ mod tests {
             .get_or_build(key_for(&m, -3.0, 2), &m, || panic!("pinned bucket"))
             .unwrap();
         assert!(hit, "negative qt shares the qt=0 slot");
+    }
+
+    /// A birth-death chain with `n` states, so plans of very different
+    /// footprints can share one cache.
+    fn chain_model(n: usize, rate: f64) -> SecondOrderMrm {
+        let mut b = GeneratorBuilder::new(n);
+        for i in 0..n - 1 {
+            b.rate(i, i + 1, rate).unwrap();
+            b.rate(i + 1, i, 2.0 * rate).unwrap();
+        }
+        let mut init = vec![0.0; n];
+        init[0] = 1.0;
+        let rates: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        SecondOrderMrm::new(b.build().unwrap(), rates, vec![0.1; n], init).unwrap()
+    }
+
+    #[test]
+    fn byte_budget_evicts_lru_and_accounts_evict_bytes_under_mixed_sizes() {
+        use somrm_obs::MetricsRegistry;
+        let registry = Arc::new(MetricsRegistry::new());
+        let small = model(2.0);
+        let big = chain_model(64, 1.5);
+        let small_bytes = build_plan(&small, 2).unwrap().footprint_bytes() as u64;
+        let big_bytes = build_plan(&big, 2).unwrap().footprint_bytes() as u64;
+        assert!(big_bytes > 4 * small_bytes, "sizes must genuinely differ");
+        // Room for the big plan plus one small one — not two.
+        let budget = big_bytes + small_bytes + small_bytes / 2;
+        let mut cache =
+            PlanCache::with_budget(8, Some(budget), RecorderHandle::new(registry.clone()));
+
+        let s1 = key_for(&small, 1.0, 2);
+        let kb = key_for(&big, 1.0, 2);
+        let s2 = key_for(&small, 16.0, 2);
+        cache.get_or_build(s1, &small, || build_plan(&small, 2)).unwrap();
+        cache.get_or_build(kb, &big, || build_plan(&big, 2)).unwrap();
+        assert_eq!(cache.resident_bytes(), small_bytes + big_bytes);
+        assert_eq!(cache.stats().evictions, 0, "within budget so far");
+
+        // A third plan crosses the byte budget though the entry count
+        // (8) is nowhere near: the LRU small plan goes.
+        cache.get_or_build(s2, &small, || build_plan(&small, 2)).unwrap();
+        assert!(!cache.contains(&s1), "LRU victim under byte pressure");
+        assert!(cache.contains(&kb));
+        assert_eq!(cache.resident_bytes(), big_bytes + small_bytes);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().evict_bytes, small_bytes);
+
+        // Touch the big plan, then insert another big one: now the
+        // cache must shed both LRU entries to get back under budget.
+        cache.get_or_build(kb, &big, || panic!("cached")).unwrap();
+        let big2 = chain_model(64, 2.5);
+        let kb2 = key_for(&big2, 1.0, 2);
+        cache.get_or_build(kb2, &big2, || build_plan(&big2, 2)).unwrap();
+        assert!(cache.contains(&kb2), "newest entry is never evicted");
+        assert!(
+            cache.resident_bytes() <= budget,
+            "{} > budget {budget}",
+            cache.resident_bytes()
+        );
+        let s = cache.stats();
+        assert_eq!(s.evictions, 3, "s2 and kb both evicted for kb2");
+        assert_eq!(s.evict_bytes, 2 * small_bytes + big_bytes);
+
+        // The registry mirrors both: the counter and the live gauge.
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("serve.plan.evict_bytes"), Some(s.evict_bytes));
+        assert_eq!(
+            snap.gauge("mem.cache.resident"),
+            Some(cache.resident_bytes() as f64)
+        );
+    }
+
+    #[test]
+    fn a_single_plan_larger_than_the_budget_is_still_retained() {
+        let big = chain_model(32, 1.0);
+        let mut cache = PlanCache::with_budget(4, Some(1), RecorderHandle::disabled());
+        let kb = key_for(&big, 1.0, 2);
+        cache.get_or_build(kb, &big, || build_plan(&big, 2)).unwrap();
+        assert_eq!(cache.len(), 1, "the newest plan always stays");
+        assert_eq!(cache.stats().evictions, 0);
+        // The next insert displaces it — the budget holds again.
+        let small = model(2.0);
+        let ks = key_for(&small, 1.0, 2);
+        cache.get_or_build(ks, &small, || build_plan(&small, 2)).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert!(cache.contains(&ks));
+        assert!(!cache.contains(&kb));
+        assert_eq!(
+            cache.stats().evict_bytes,
+            build_plan(&big, 2).unwrap().footprint_bytes() as u64
+        );
     }
 
     #[test]

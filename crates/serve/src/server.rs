@@ -48,6 +48,10 @@ pub struct ServeOptions {
     pub solver: SolverConfig,
     /// Plan-cache capacity (entries; clamped to at least 1).
     pub cache_capacity: usize,
+    /// Optional plan-cache byte budget (`--cache-bytes`): summed exact
+    /// plan footprints are kept at or under this, evicting LRU entries
+    /// beyond the count ceiling. `None` disables byte-based eviction.
+    pub cache_bytes: Option<u64>,
     /// The rolling request-statistics window, shared with the caller so
     /// an end-of-session snapshot (`--stats-out`) can be taken after
     /// [`serve`] returns. Always on: one short mutex touch per request,
@@ -63,6 +67,7 @@ impl Default for ServeOptions {
         ServeOptions {
             solver: SolverConfig::default(),
             cache_capacity: 8,
+            cache_bytes: None,
             stats: Arc::new(ServeStats::new()),
             slow_trace: None,
         }
@@ -398,7 +403,9 @@ fn flush_segment<W: Write>(
         cur.hits - last_cache.hits,
         cur.misses - last_cache.misses,
         cur.evictions - last_cache.evictions,
+        cur.evict_bytes - last_cache.evict_bytes,
     );
+    stats.record_cache_resident(cache.resident_bytes());
     *last_cache = cur;
 
     if let (Some(slow), Some(batch_rec)) = (slow, batch_rec) {
@@ -482,7 +489,7 @@ where
         None
     };
     let rec = solver.recorder.clone();
-    let mut cache = PlanCache::new(options.cache_capacity, rec.clone());
+    let mut cache = PlanCache::with_budget(options.cache_capacity, options.cache_bytes, rec.clone());
     let stats = &options.stats;
     let mut summary = ServeSummary::default();
     let mut last_cache = CacheStats::default();
@@ -897,6 +904,42 @@ mod tests {
         let bogus = &lines[6];
         assert_eq!(bogus.get("ok"), Some(&Value::Bool(false)));
         assert!(bogus.get("error").unwrap().as_str().unwrap().contains("bogus"));
+    }
+
+    #[test]
+    fn byte_budget_flows_from_options_to_stats_sideband() {
+        // Budget of 1 byte: every plan overflows it, so each new
+        // (digest, bucket) key displaces the resident plan, and the
+        // sideband stats must report the eviction bytes and the live
+        // resident footprint.
+        let options = ServeOptions {
+            cache_bytes: Some(1),
+            ..ServeOptions::default()
+        };
+        let input = format!(
+            "{}\n{}\n{}\n",
+            r#"{"id": 1, "model": "model-a", "t": 0.5}"#,
+            r#"{"id": 2, "model": "model-b", "t": 0.5}"#,
+            r#"{"cmd": "stats"}"#,
+        );
+        let mut out = Vec::new();
+        let summary = serve(Cursor::new(input), &mut out, &resolver, &options).unwrap();
+        assert_eq!(summary.ok, 2);
+        assert!(summary.cache.evictions >= 1, "budget forced an eviction");
+        assert!(summary.cache.evict_bytes > 0);
+
+        let text = String::from_utf8(out).unwrap();
+        let stats_line = parse(text.lines().last().unwrap()).unwrap();
+        let cache = stats_line.get("stats").unwrap().get("cache").unwrap();
+        let evict_bytes = cache.get("evict_bytes").unwrap().as_f64().unwrap();
+        let resident = cache.get("resident_bytes").unwrap().as_f64().unwrap();
+        assert_eq!(evict_bytes, summary.cache.evict_bytes as f64);
+        assert!(resident > 0.0, "one plan always stays resident");
+        // Both test models are 2-state: the resident footprint is one
+        // plan's exact bytes.
+        let plan =
+            SolvePlan::build(&build(MODEL_B), 0, &SolverConfig::default()).unwrap();
+        assert_eq!(resident, plan.footprint_bytes() as f64);
     }
 
     #[test]
